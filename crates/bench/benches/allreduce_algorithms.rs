@@ -1,0 +1,76 @@
+//! Criterion benches of the allreduce algorithm implementations (real
+//! payloads, 8 simulated ranks): the ablation behind choosing the
+//! hierarchical two-level design for dense GPU nodes. Measures *host* time
+//! of the simulation — i.e. the implementation cost of each algorithm's
+//! message schedule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dlsr_mpi::collectives::{allreduce_with, AllreduceAlgorithm};
+use dlsr_mpi::{MpiConfig, MpiWorld};
+use dlsr_net::ClusterTopology;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce_8_ranks");
+    group.sample_size(20);
+    for &elems in &[4_096usize, 262_144] {
+        for algo in [
+            AllreduceAlgorithm::Ring,
+            AllreduceAlgorithm::RecursiveDoubling,
+            AllreduceAlgorithm::TwoLevel,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algo:?}"), elems * 4),
+                &elems,
+                |b, &elems| {
+                    let topo = ClusterTopology::lassen(2);
+                    b.iter(|| {
+                        MpiWorld::run(&topo, MpiConfig::mpi_opt(), move |comm| {
+                            let mut buf = vec![comm.rank() as f32; elems];
+                            allreduce_with(comm, &mut buf, 1, algo);
+                            black_box(buf[0])
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_synthetic_vs_real(c: &mut Criterion) {
+    // The costs-only path must be far cheaper in host time — that is its
+    // reason to exist for 512-rank sweeps.
+    let mut group = c.benchmark_group("synthetic_vs_real_payloads");
+    group.sample_size(15);
+    let elems = 1_000_000usize;
+    group.bench_function("real_4MB", |b| {
+        let topo = ClusterTopology::lassen(2);
+        b.iter(|| {
+            MpiWorld::run(&topo, MpiConfig::mpi_opt(), move |comm| {
+                let mut buf = vec![1.0f32; elems];
+                allreduce_with(comm, &mut buf, 1, AllreduceAlgorithm::TwoLevel);
+                black_box(buf[0])
+            })
+        })
+    });
+    group.bench_function("synthetic_4MB", |b| {
+        let topo = ClusterTopology::lassen(2);
+        b.iter(|| {
+            MpiWorld::run(&topo, MpiConfig::mpi_opt(), move |comm| {
+                dlsr_mpi::collectives::synthetic::allreduce_elems(
+                    comm,
+                    elems,
+                    1,
+                    AllreduceAlgorithm::TwoLevel,
+                );
+                black_box(comm.now())
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_synthetic_vs_real);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion microbenches for the convolution kernels — the compute
+//! substrate every model in the workspace runs on. Ablation: im2col+GEMM
+//! (production path) vs the direct reference implementation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dlsr_tensor::conv::{conv2d, conv2d_backward, conv2d_reference, Conv2dParams};
+use dlsr_tensor::init;
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d_forward");
+    for &(ch, hw) in &[(16usize, 24usize), (32, 24), (64, 12)] {
+        let x = init::uniform([2, ch, hw, hw], -1.0, 1.0, 1);
+        let w = init::uniform([ch, ch, 3, 3], -1.0, 1.0, 2);
+        let p = Conv2dParams::same(3);
+        group.bench_with_input(
+            BenchmarkId::new("im2col_gemm", format!("c{ch}_s{hw}")),
+            &(&x, &w),
+            |b, (x, w)| b.iter(|| conv2d(black_box(x), black_box(w), None, p).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("direct_reference", format!("c{ch}_s{hw}")),
+            &(&x, &w),
+            |b, (x, w)| {
+                b.iter(|| conv2d_reference(black_box(x), black_box(w), None, p).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d_backward");
+    for &ch in &[16usize, 32] {
+        let x = init::uniform([2, ch, 16, 16], -1.0, 1.0, 1);
+        let w = init::uniform([ch, ch, 3, 3], -1.0, 1.0, 2);
+        let p = Conv2dParams::same(3);
+        let go = init::uniform([2, ch, 16, 16], -1.0, 1.0, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(ch), &ch, |b, _| {
+            b.iter(|| conv2d_backward(black_box(&x), black_box(&w), black_box(&go), p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_backward);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches of the tensor-fusion machinery: static packing,
+//! dynamic (cycle-aware) planning, and the registration cache — the
+//! design pieces §II-D and §III-D turn on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dlsr_horovod::{plan_dynamic, plan_fusion, readiness_from_elems, TensorSpec};
+use dlsr_net::RegistrationCache;
+
+fn edsr_tensors() -> Vec<TensorSpec> {
+    dlsr_models::EdsrConfig::full()
+        .param_shapes()
+        .into_iter()
+        .rev()
+        .map(|(name, elems)| TensorSpec { name, elems })
+        .collect()
+}
+
+fn bench_fusion_planning(c: &mut Criterion) {
+    let tensors = edsr_tensors();
+    let readiness = readiness_from_elems(&tensors, 0.25);
+    let mut group = c.benchmark_group("fusion_planning");
+    for &threshold in &[16u64 << 20, 48 << 20, 64 << 20] {
+        group.bench_with_input(
+            BenchmarkId::new("static", threshold >> 20),
+            &threshold,
+            |b, &t| b.iter(|| plan_fusion(black_box(&tensors), t)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dynamic", threshold >> 20),
+            &threshold,
+            |b, &t| {
+                b.iter(|| {
+                    plan_dynamic(
+                        black_box(&tensors),
+                        &readiness,
+                        80e-3,
+                        t,
+                        1e-3,
+                        &|bytes| bytes as f64 / 12e9,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_registration_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registration_cache");
+    group.bench_function("hit_path", |b| {
+        let mut cache = RegistrationCache::new(1 << 30);
+        cache.lookup(1, 64 << 20);
+        b.iter(|| black_box(cache.lookup(1, 64 << 20)))
+    });
+    group.bench_function("miss_with_eviction", |b| {
+        let mut cache = RegistrationCache::new(4 << 20);
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            black_box(cache.lookup(id, 1 << 20))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion_planning, bench_registration_cache);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches of the transport-model hot path (path selection +
+//! cost evaluation runs once per message in every simulated collective)
+//! and of the bicubic resampling kernels used by the data pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dlsr_net::{TransportModel, TransportPath};
+use dlsr_tensor::{init, resize};
+
+fn bench_path_selection(c: &mut Criterion) {
+    let t = TransportModel::lassen();
+    let mut group = c.benchmark_group("transport_model");
+    group.bench_function("path_plus_cost", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &bytes in &[1u64 << 10, 1 << 20, 32 << 20] {
+                for &(same_node, ipc) in &[(true, true), (true, false), (false, false)] {
+                    let p = t.path(false, same_node, ipc, bytes);
+                    acc += t.transfer_time(black_box(p), black_box(bytes));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("pin_time", |b| {
+        b.iter(|| black_box(t.pin_time(black_box(48 << 20))))
+    });
+    group.bench_function("nccl_transfer", |b| {
+        b.iter(|| {
+            black_box(t.transfer_time_nccl(black_box(TransportPath::IbRdma), black_box(1 << 20)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_bicubic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bicubic");
+    for &hw in &[64usize, 128] {
+        let img = init::uniform([1, 3, hw, hw], 0.0, 1.0, 1);
+        group.bench_with_input(BenchmarkId::new("downsample_x2", hw), &img, |b, img| {
+            b.iter(|| resize::bicubic_downsample(black_box(img), 2).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("upsample_x2", hw), &img, |b, img| {
+            b.iter(|| resize::bicubic_upsample(black_box(img), 2).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_selection, bench_bicubic);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! **Ablation** — why MVAPICH2-GDR's hierarchical (two-level) allreduce is
+//! the right design for dense GPU nodes: virtual-time comparison of ring,
+//! recursive doubling and two-level across message sizes and scales.
+//!
+//! Run: `cargo run --release -p dlsr-bench --bin ablation_allreduce_algos`
+
+use dlsr::mpi::collectives::{synthetic, AllreduceAlgorithm};
+use dlsr::prelude::*;
+use dlsr_bench::write_json;
+use dlsr_net::ClusterTopology;
+
+fn time_allreduce(topo: &ClusterTopology, elems: usize, algo: AllreduceAlgorithm) -> f64 {
+    MpiWorld::run(topo, MpiConfig::mpi_opt(), move |c| {
+        // warm up registrations, then measure a steady-state reduction
+        synthetic::allreduce_elems(c, elems, 1, algo);
+        let t0 = c.now();
+        synthetic::allreduce_elems(c, elems, 1, algo);
+        c.now() - t0
+    })
+    .clocks
+    .iter()
+    .copied()
+    .fold(0.0, f64::max)
+}
+
+fn main() {
+    println!("== allreduce algorithm ablation (virtual ms, steady state) ==\n");
+    let algos = [
+        ("ring", AllreduceAlgorithm::Ring),
+        ("recursive-dbl", AllreduceAlgorithm::RecursiveDoubling),
+        ("two-level", AllreduceAlgorithm::TwoLevel),
+    ];
+    let mut out = Vec::new();
+    for &nodes in &[1usize, 4, 16, 64] {
+        let topo = ClusterTopology::lassen(nodes);
+        println!("-- {} GPUs --", topo.total_gpus());
+        println!("{:>10} {:>14} {:>14} {:>14}", "size", algos[0].0, algos[1].0, algos[2].0);
+        for &elems in &[4_096usize, 262_144, 12_000_000] {
+            let times: Vec<f64> = algos
+                .iter()
+                .map(|&(_, a)| time_allreduce(&topo, elems, a))
+                .collect();
+            println!(
+                "{:>8}KB {:>12.3}ms {:>12.3}ms {:>12.3}ms{}",
+                elems * 4 / 1024,
+                times[0] * 1e3,
+                times[1] * 1e3,
+                times[2] * 1e3,
+                {
+                    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let winner = algos[times.iter().position(|&t| t == min).unwrap()].0;
+                    format!("   <- {winner}")
+                }
+            );
+            out.push(serde_json::json!({
+                "gpus": topo.total_gpus(),
+                "bytes": elems * 4,
+                "ring_ms": times[0] * 1e3,
+                "recursive_doubling_ms": times[1] * 1e3,
+                "two_level_ms": times[2] * 1e3,
+            }));
+        }
+        println!();
+    }
+    println!("recursive doubling wins latency-bound (small) reductions; the flat");
+    println!("ring is bandwidth-optimal for large buffers at moderate scale (which");
+    println!("is why NCCL uses it); the hierarchical two-level design pays off at");
+    println!("extreme rank counts, where the ring's 2(p−1) per-step latencies and");
+    println!("per-chunk costs dominate — the regime where MPI-Opt overtakes NCCL");
+    println!("in Fig 12.");
+
+    write_json("ablation_allreduce_algos.json", &serde_json::json!({ "rows": out }));
+}

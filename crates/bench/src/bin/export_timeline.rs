@@ -1,0 +1,34 @@
+//! Export a `HOROVOD_TIMELINE`-style Chrome trace of a few simulated EDSR
+//! training steps (open `results/timeline_*.json` in `chrome://tracing` or
+//! <https://ui.perfetto.dev>) — the visualization real Horovod users debug
+//! overlap with.
+//!
+//! Run: `cargo run --release -p dlsr-bench --bin export_timeline [nodes]`
+
+use dlsr::prelude::*;
+use dlsr_bench::SEED;
+use dlsr_net::ClusterTopology;
+
+fn main() {
+    let nodes: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1);
+    let (w, tensors) = edsr_measured_workload();
+    let topo = ClusterTopology::lassen(nodes);
+    std::fs::create_dir_all("results").expect("results dir");
+    for sc in [Scenario::MpiDefault, Scenario::MpiOpt] {
+        let run = run_training(&topo, sc, &w, &tensors, 4, 1, 3, SEED);
+        let path = format!(
+            "results/timeline_{}_{}gpus.json",
+            sc.label().to_lowercase().replace('-', "_"),
+            run.gpus
+        );
+        std::fs::write(&path, run.timeline.to_chrome_trace()).expect("write trace");
+        println!(
+            "{}: {} events, allreduce busy {:.1} ms, compute {:.1} ms -> {path}",
+            sc.label(),
+            run.timeline.events().len(),
+            run.timeline.category_seconds("allreduce") * 1e3,
+            run.timeline.category_seconds("compute") * 1e3,
+        );
+    }
+    println!("\nopen the files in chrome://tracing or https://ui.perfetto.dev");
+}

@@ -1,0 +1,46 @@
+//! **Fig 14** — hvprof allreduce profile for 100 training steps of EDSR on
+//! 4 GPUs, default MPI vs MPI-Opt, by message-size bin.
+//!
+//! Run: `cargo run --release -p dlsr-bench --bin fig14_hvprof`
+
+use dlsr::prelude::*;
+use dlsr_bench::{bar, write_json, SEED};
+use dlsr_hvprof::BINS;
+use dlsr_net::ClusterTopology;
+
+fn main() {
+    let (w, tensors) = edsr_measured_workload();
+    let topo = ClusterTopology::lassen(1); // 4 GPUs, as in §III-B
+    let steps = 100;
+    println!("== Fig 14: hvprof allreduce profile, {steps} steps of EDSR on 4 GPUs ==\n");
+
+    let d = run_training(&topo, Scenario::MpiDefault, &w, &tensors, 4, 2, steps, SEED);
+    let o = run_training(&topo, Scenario::MpiOpt, &w, &tensors, 4, 2, steps, SEED);
+
+    let db = d.profile.bin_seconds(Collective::Allreduce);
+    let ob = o.profile.bin_seconds(Collective::Allreduce);
+    let max = db.iter().chain(ob.iter()).copied().fold(0.0, f64::max);
+
+    let mut series = Vec::new();
+    for (i, &(name, _, _)) in BINS.iter().enumerate() {
+        if db[i] == 0.0 && ob[i] == 0.0 {
+            continue;
+        }
+        println!("{name:>16}  default {:>8.1} ms  {}", db[i] * 1e3, bar(db[i], max, 32));
+        println!("{:>16}  MPI-Opt {:>8.1} ms  {}", "", ob[i] * 1e3, bar(ob[i], max, 32));
+        series.push(serde_json::json!({
+            "bin": name, "default_ms": db[i] * 1e3, "optimized_ms": ob[i] * 1e3
+        }));
+    }
+    println!(
+        "\ntotal: default {:.1} ms vs MPI-Opt {:.1} ms over {steps} steps",
+        d.profile.total_seconds(Collective::Allreduce) * 1e3,
+        o.profile.total_seconds(Collective::Allreduce) * 1e3
+    );
+    println!("(see table1_allreduce for the Table I presentation of this run)");
+
+    write_json(
+        "fig14_results.json",
+        &serde_json::json!({ "figure": "14", "series": series }),
+    );
+}

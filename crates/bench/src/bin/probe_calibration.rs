@@ -1,0 +1,32 @@
+//! Internal calibration probe: prints the headline numbers the paper's
+//! figures hinge on, at a few scales, for every scenario. Not one of the
+//! figure harnesses — used to verify/tune simulator constants.
+
+use dlsr_cluster::{edsr_measured_workload, run_training, Scenario};
+use dlsr_net::ClusterTopology;
+
+fn main() {
+    let (w, tensors) = edsr_measured_workload();
+    let args: Vec<String> = std::env::args().collect();
+    let nodes_list: Vec<usize> = if args.len() > 1 {
+        args[1..].iter().map(|a| a.parse().expect("node count")).collect()
+    } else {
+        vec![1, 8, 32, 128]
+    };
+    println!("{:>6} {:>10} {:>12} {:>10} {:>10} {:>10}", "GPUs", "scenario", "img/s", "eff", "step(ms)", "reghit");
+    for &nodes in &nodes_list {
+        let topo = ClusterTopology::lassen(nodes);
+        for sc in Scenario::all() {
+            let run = run_training(&topo, sc, &w, &tensors, 4, 2, 8, 99);
+            println!(
+                "{:>6} {:>10} {:>12.1} {:>10.3} {:>10.1} {:>10.2}",
+                run.gpus,
+                sc.label(),
+                run.images_per_sec,
+                run.efficiency,
+                run.step_time * 1e3,
+                run.regcache_hit_rate
+            );
+        }
+    }
+}

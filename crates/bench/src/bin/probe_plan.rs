@@ -1,0 +1,23 @@
+//! Internal probe: prints the fusion schedule for a scenario at a scale.
+
+use dlsr_cluster::{edsr_measured_workload, Scenario, SimTrainer};
+use dlsr_net::ClusterTopology;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nodes: usize = args.get(1).map(|a| a.parse().unwrap()).unwrap_or(1);
+    let (w, tensors) = edsr_measured_workload();
+    let topo = ClusterTopology::lassen(nodes);
+    for sc in Scenario::all() {
+        let tr = SimTrainer::new(w.clone(), tensors.clone(), 4, sc, &topo, 1).unwrap();
+        println!("-- {} ({} nodes) --", sc.label(), nodes);
+        for sg in tr.plan() {
+            println!(
+                "  launch {:>7.1} ms  {:>6.1} MB  ({} tensors)",
+                sg.launch_offset * 1e3,
+                sg.group.bytes as f64 / (1 << 20) as f64,
+                sg.group.indices.len()
+            );
+        }
+    }
+}

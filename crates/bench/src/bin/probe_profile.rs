@@ -1,0 +1,23 @@
+//! Internal probe: per-bin allreduce profile for each scenario at a scale.
+
+use dlsr_cluster::{edsr_measured_workload, run_training, Scenario};
+use dlsr_hvprof::Collective;
+use dlsr_net::ClusterTopology;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nodes: usize = args.get(1).map(|a| a.parse().unwrap()).unwrap_or(1);
+    let (w, tensors) = edsr_measured_workload();
+    let topo = ClusterTopology::lassen(nodes);
+    for sc in Scenario::all() {
+        let run = run_training(&topo, sc, &w, &tensors, 4, 2, 8, 99);
+        println!(
+            "-- {} ({} nodes): step {:.1} ms, allreduce total {:.1} ms --",
+            sc.label(),
+            nodes,
+            run.step_time * 1e3,
+            run.profile.total_seconds(Collective::Allreduce) * 1e3
+        );
+        print!("{}", run.profile.render(Collective::Allreduce));
+    }
+}

@@ -1,0 +1,86 @@
+//! The four evaluated configurations of the paper.
+
+use dlsr_horovod::Backend;
+use dlsr_mpi::MpiConfig;
+
+/// One column of the paper's comparison plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Default Horovod + MVAPICH2-GDR: `CUDA_VISIBLE_DEVICES` pinned, no
+    /// IPC for MPI, no registration cache. ("MPI" in Figs 10–13.)
+    MpiDefault,
+    /// Default + registration cache ("MPI-Reg", Fig 11).
+    MpiReg,
+    /// Registration cache + `MV2_VISIBLE_DEVICES` restoring CUDA IPC
+    /// ("MPI-Opt", Figs 12–14, Table I).
+    MpiOpt,
+    /// Horovod + NCCL.
+    Nccl,
+}
+
+impl Scenario {
+    /// Every scenario, in presentation order.
+    pub fn all() -> [Scenario; 4] {
+        [Scenario::MpiDefault, Scenario::MpiReg, Scenario::MpiOpt, Scenario::Nccl]
+    }
+
+    /// The MPI library configuration for this scenario.
+    pub fn mpi_config(self) -> MpiConfig {
+        match self {
+            Scenario::MpiDefault => MpiConfig::default_mpi(),
+            Scenario::MpiReg => MpiConfig::mpi_reg(),
+            Scenario::MpiOpt => MpiConfig::mpi_opt(),
+            // NCCL manages its own transports; the MPI config only carries
+            // the shared link constants.
+            Scenario::Nccl => MpiConfig::default_mpi(),
+        }
+    }
+
+    /// The Horovod backend for this scenario.
+    pub fn backend(self) -> Backend {
+        match self {
+            Scenario::Nccl => Backend::Nccl,
+            _ => Backend::Mpi,
+        }
+    }
+
+    /// Label used in plots/tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::MpiDefault => "MPI",
+            Scenario::MpiReg => "MPI-Reg",
+            Scenario::MpiOpt => "MPI-Opt",
+            Scenario::Nccl => "NCCL",
+        }
+    }
+
+    /// CUDA contexts each training process holds (all four scenarios pin
+    /// the framework to one device; only a hypothetical unpinned run pays
+    /// more — see `dlsr_gpu::DeviceEnv::unpinned`).
+    pub fn context_count(self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlsr_mpi::config::DeviceMode;
+
+    #[test]
+    fn scenario_configs_are_distinct() {
+        assert_eq!(Scenario::MpiDefault.mpi_config().device_mode, DeviceMode::Pinned);
+        assert!(!Scenario::MpiDefault.mpi_config().registration_cache);
+        assert!(Scenario::MpiReg.mpi_config().registration_cache);
+        assert_eq!(Scenario::MpiOpt.mpi_config().device_mode, DeviceMode::PinnedWithMv2);
+        assert_eq!(Scenario::Nccl.backend(), Backend::Nccl);
+        assert_eq!(Scenario::MpiOpt.backend(), Backend::Mpi);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            Scenario::all().iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,94 @@
+//! Standard workloads: model profiles converted for the GPU cost model.
+
+use dlsr_gpu::{WorkloadKind, WorkloadProfile};
+use dlsr_horovod::TensorSpec;
+use dlsr_models::profile::{edsr_profile, resnet_profile, ModelProfile};
+use dlsr_models::{EdsrConfig, ResNetConfig};
+
+/// Convert a model-zoo profile into the GPU cost model's workload form.
+pub fn to_workload(p: &ModelProfile, kind: WorkloadKind) -> WorkloadProfile {
+    WorkloadProfile {
+        name: p.name.clone(),
+        params: p.params,
+        fwd_flops: p.fwd_flops,
+        activation_elems: p.activation_elems,
+        kernels: p.kernels,
+        kind,
+    }
+}
+
+/// The EDSR configuration the paper *measured* (see DESIGN.md §5 and the
+/// cost-model notes): B=32, F=256, ×2, trained on LR 48×48 patches.
+/// 40.7 M parameters → 163 MB of gradients, matching Table I's bins and
+/// the 10.3 img/s single-V100 anchor.
+pub fn edsr_measured_workload() -> (WorkloadProfile, Vec<TensorSpec>) {
+    let cfg = EdsrConfig::full();
+    let profile = edsr_profile(&cfg, 48, 48);
+    let tensors = tensor_specs(&cfg);
+    (to_workload(&profile, WorkloadKind::SuperResolution), tensors)
+}
+
+/// The EDSR configuration as §IV-C *describes* it (B=32, F=64): kept for
+/// the ablation comparing what the text says against what the measurements
+/// imply.
+pub fn edsr_text_workload() -> (WorkloadProfile, Vec<TensorSpec>) {
+    let cfg = EdsrConfig::paper();
+    let profile = edsr_profile(&cfg, 96, 96);
+    let tensors = tensor_specs(&cfg);
+    (to_workload(&profile, WorkloadKind::SuperResolution), tensors)
+}
+
+/// ResNet-50 at ImageNet resolution (the Fig 1 comparator).
+pub fn resnet50_workload() -> WorkloadProfile {
+    let profile = resnet_profile(&ResNetConfig::resnet50(), 224, 224);
+    to_workload(&profile, WorkloadKind::Classification)
+}
+
+/// Gradient tensors in **readiness order** (reverse of forward traversal —
+/// backward produces output-side gradients first).
+fn tensor_specs(cfg: &EdsrConfig) -> Vec<TensorSpec> {
+    let mut specs: Vec<TensorSpec> = cfg
+        .param_shapes()
+        .into_iter()
+        .map(|(name, elems)| TensorSpec { name, elems })
+        .collect();
+    specs.reverse();
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_workload_matches_table1_scale() {
+        let (w, tensors) = edsr_measured_workload();
+        // 163 MB of gradients — the quantity behind Table I's 16–64 MB bins
+        let mb = w.grad_bytes() >> 20;
+        assert!((150..180).contains(&mb), "gradient MB {mb}");
+        let total: usize = tensors.iter().map(|t| t.elems).sum();
+        assert_eq!(total, w.params);
+        // readiness order: the first-ready tensor is the tiny out_conv bias
+        assert_eq!(tensors[0].name, "out_conv.bias");
+        assert!(tensors[0].elems < 10);
+    }
+
+    #[test]
+    fn text_workload_is_an_order_of_magnitude_smaller() {
+        let (m, _) = edsr_measured_workload();
+        let (t, _) = edsr_text_workload();
+        assert!(m.params > 10 * t.params);
+    }
+
+    #[test]
+    fn single_gpu_anchors_hold_for_cluster_workloads() {
+        use dlsr_gpu::{GpuSpec, KernelCostModel};
+        let model = KernelCostModel::new(GpuSpec::v100());
+        let (edsr, _) = edsr_measured_workload();
+        let t_edsr = model.throughput(&edsr, 4, 1).unwrap();
+        assert!((9.2..11.4).contains(&t_edsr), "EDSR {t_edsr} img/s (Fig 1: 10.3)");
+        let rn = resnet50_workload();
+        let t_rn = model.throughput(&rn, 64, 1).unwrap();
+        assert!((320.0..400.0).contains(&t_rn), "ResNet {t_rn} img/s (Fig 1: 360)");
+    }
+}

@@ -1,0 +1,196 @@
+//! The `dlsr` command-line interface.
+//!
+//! ```text
+//! dlsr train    [--nodes N] [--gpus G] [--steps S] [--batch B] [--scenario NAME]
+//!               [--augment] [--warmup W] [--eval-every E]
+//! dlsr simulate [--nodes N] [--steps S] [--batch B] [--scenario NAME]
+//! dlsr profile  [--steps S]
+//! dlsr info
+//! ```
+
+use std::collections::HashMap;
+
+use dlsr::prelude::*;
+use dlsr::tensor::resize;
+
+fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            // boolean flags take no value; valued flags consume the next arg
+            let boolean = matches!(name, "augment" | "help");
+            if boolean {
+                flags.insert(name.to_string(), "true".to_string());
+            } else {
+                let v = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| die(&format!("--{name} needs a value")));
+                flags.insert(name.to_string(), v.clone());
+                i += 1;
+            }
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    (flags, positional)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run `dlsr help` for usage");
+    std::process::exit(2);
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> T {
+    match flags.get(name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| die(&format!("bad value for --{name}: {v}"))),
+    }
+}
+
+fn scenario(flags: &HashMap<String, String>) -> Scenario {
+    match flags.get("scenario").map(String::as_str).unwrap_or("mpi-opt") {
+        "mpi" => Scenario::MpiDefault,
+        "mpi-reg" => Scenario::MpiReg,
+        "mpi-opt" => Scenario::MpiOpt,
+        "nccl" => Scenario::Nccl,
+        other => die(&format!("unknown scenario `{other}` (mpi | mpi-reg | mpi-opt | nccl)")),
+    }
+}
+
+fn usage() {
+    println!(
+        "dlsr — distributed super-resolution training on a simulated HPC cluster
+
+USAGE:
+  dlsr train    [--nodes N] [--gpus G] [--steps S] [--batch B] [--scenario NAME]
+                [--augment] [--warmup W] [--eval-every E]
+                real EDSR training (tiny model, real math) on a simulated cluster
+  dlsr simulate [--nodes N] [--steps S] [--batch B] [--scenario NAME]
+                at-scale costs-only run of the paper-scale EDSR workload
+  dlsr profile  [--steps S]
+                hvprof Table-I comparison (default vs MPI-Opt, 4 GPUs)
+  dlsr info     calibration anchors and workload facts
+  dlsr help     this text
+
+Scenarios: mpi (broken default) | mpi-reg | mpi-opt (the paper's fix) | nccl"
+    );
+}
+
+fn cmd_train(flags: &HashMap<String, String>) {
+    let nodes: usize = get(flags, "nodes", 1);
+    let gpus: usize = get(flags, "gpus", 4);
+    let topo = ClusterTopology { name: format!("cli-{nodes}x{gpus}"), nodes, gpus_per_node: gpus };
+    let world = topo.total_gpus();
+    let cfg = RealTrainConfig {
+        steps: get(flags, "steps", 30),
+        global_batch: get(flags, "batch", world.max(4)),
+        augment: flags.contains_key("augment"),
+        warmup_steps: get(flags, "warmup", 0),
+        eval_every: flags.get("eval-every").map(|v| v.parse().unwrap_or_else(|_| die("bad --eval-every"))),
+        ..Default::default()
+    };
+    let sc = scenario(flags);
+    println!(
+        "training EDSR(tiny) on {world} simulated GPUs ({}) for {} steps...",
+        sc.label(),
+        cfg.steps
+    );
+    let res = train_real(&topo, sc.mpi_config(), &cfg);
+    println!(
+        "loss: {:.4} -> {:.4}",
+        res.losses.first().unwrap(),
+        res.losses.last().unwrap()
+    );
+    for (step, p) in &res.psnr_curve {
+        println!("  step {step:>4}: held-out PSNR {p:.2} dB");
+    }
+    println!(
+        "held-out PSNR: EDSR {:.2} dB vs bicubic {:.2} dB",
+        res.model_psnr, res.bicubic_psnr
+    );
+    println!("virtual makespan: {:.1} ms", res.makespan * 1e3);
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) {
+    let nodes: usize = get(flags, "nodes", 8);
+    let steps: usize = get(flags, "steps", 6);
+    let batch: usize = get(flags, "batch", 4);
+    let sc = scenario(flags);
+    let (w, tensors) = edsr_measured_workload();
+    let topo = ClusterTopology::lassen(nodes);
+    println!(
+        "simulating {} steps of {} on {} GPUs under {}...",
+        steps,
+        w.name,
+        topo.total_gpus(),
+        sc.label()
+    );
+    let run = run_training(&topo, sc, &w, &tensors, batch, 2, steps, 2021);
+    println!("throughput : {:>10.1} img/s", run.images_per_sec);
+    println!("efficiency : {:>9.1} %", run.efficiency * 100.0);
+    println!("step time  : {:>9.1} ms", run.step_time * 1e3);
+    if run.regcache_hit_rate > 0.0 {
+        println!("reg cache  : {:>9.1} % hits", run.regcache_hit_rate * 100.0);
+    }
+    print!("{}", run.profile.render(Collective::Allreduce));
+}
+
+fn cmd_profile(flags: &HashMap<String, String>) {
+    let steps: usize = get(flags, "steps", 100);
+    let (w, tensors) = edsr_measured_workload();
+    let topo = ClusterTopology::lassen(1);
+    println!("profiling {steps} steps on 4 GPUs (default vs MPI-Opt)...");
+    let d = run_training(&topo, Scenario::MpiDefault, &w, &tensors, 4, 2, steps, 2021);
+    let o = run_training(&topo, Scenario::MpiOpt, &w, &tensors, 4, 2, steps, 2021);
+    let rows = compare(&d.profile, &o.profile, Collective::Allreduce);
+    print!("{}", render_table(&rows));
+    println!(
+        "\nthroughput: {:.1} -> {:.1} img/s",
+        d.images_per_sec, o.images_per_sec
+    );
+}
+
+fn cmd_info() {
+    let model = KernelCostModel::new(GpuSpec::v100());
+    let (edsr, tensors) = edsr_measured_workload();
+    let resnet = resnet50_workload();
+    println!("device        : {}", model.spec().name);
+    println!("EDSR workload : {}", edsr.name);
+    println!("  parameters  : {} ({} MB of gradients)", edsr.params, edsr.grad_bytes() >> 20);
+    println!("  tensors     : {}", tensors.len());
+    println!(
+        "  throughput  : {:.1} img/s at batch 4 (paper: 10.3)",
+        model.throughput(&edsr, 4, 1).unwrap()
+    );
+    println!(
+        "ResNet-50     : {:.1} img/s at batch 64 (paper: ~360)",
+        model.throughput(&resnet, 64, 1).unwrap()
+    );
+    // show the degradation pipeline works end to end
+    let spec = SyntheticImageSpec { height: 32, width: 32, ..Default::default() };
+    let hr = spec.generate(1, 0);
+    let lr = resize::bicubic_downsample(&hr, 2).unwrap();
+    println!(
+        "data pipeline : HR {:?} -> LR {:?} (bicubic x2)",
+        hr.shape().dims(),
+        lr.shape().dims()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (flags, positional) = parse_flags(&args);
+    match positional.first().map(String::as_str) {
+        Some("train") => cmd_train(&flags),
+        Some("simulate") => cmd_simulate(&flags),
+        Some("profile") => cmd_profile(&flags),
+        Some("info") => cmd_info(),
+        Some("help") | None => usage(),
+        Some(other) => die(&format!("unknown command `{other}`")),
+    }
+}

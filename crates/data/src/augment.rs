@@ -1,0 +1,183 @@
+//! Training-time augmentation: the EDSR recipe augments each patch with
+//! random horizontal/vertical flips and 90° rotations (8 dihedral
+//! variants), applied identically to the LR/HR pair so they stay aligned.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use dlsr_tensor::Tensor;
+
+use crate::dataset::PatchPair;
+
+/// One of the 8 dihedral-group transforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Augmentation {
+    /// Flip left–right.
+    pub hflip: bool,
+    /// Flip top–bottom.
+    pub vflip: bool,
+    /// Rotate 90° (after flips). Requires square patches.
+    pub rot90: bool,
+}
+
+impl Augmentation {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Augmentation { hflip: false, vflip: false, rot90: false }
+    }
+
+    /// Draw a uniform random element of the dihedral group.
+    pub fn random(rng: &mut SmallRng) -> Self {
+        Augmentation { hflip: rng.gen(), vflip: rng.gen(), rot90: rng.gen() }
+    }
+
+    /// Apply to an `[N, C, H, W]` tensor.
+    pub fn apply(&self, t: &Tensor) -> Tensor {
+        let mut out = t.clone();
+        if self.hflip {
+            out = flip_w(&out);
+        }
+        if self.vflip {
+            out = flip_h(&out);
+        }
+        if self.rot90 {
+            out = rot90(&out);
+        }
+        out
+    }
+
+    /// Apply to an aligned LR/HR pair.
+    pub fn apply_pair(&self, pair: &PatchPair) -> PatchPair {
+        PatchPair { lr: self.apply(&pair.lr), hr: self.apply(&pair.hr) }
+    }
+}
+
+/// Flip along the width axis (left–right mirror).
+pub fn flip_w(t: &Tensor) -> Tensor {
+    let (n, c, h, w) = t.shape().as_nchw().expect("rank-4");
+    let mut out = t.clone();
+    let src = t.data();
+    let dst = out.data_mut();
+    for plane in 0..n * c {
+        for y in 0..h {
+            let base = plane * h * w + y * w;
+            for x in 0..w {
+                dst[base + x] = src[base + (w - 1 - x)];
+            }
+        }
+    }
+    out
+}
+
+/// Flip along the height axis (top–bottom mirror).
+pub fn flip_h(t: &Tensor) -> Tensor {
+    let (n, c, h, w) = t.shape().as_nchw().expect("rank-4");
+    let mut out = t.clone();
+    let src = t.data();
+    let dst = out.data_mut();
+    for plane in 0..n * c {
+        let pbase = plane * h * w;
+        for y in 0..h {
+            let s = pbase + (h - 1 - y) * w;
+            let d = pbase + y * w;
+            dst[d..d + w].copy_from_slice(&src[s..s + w]);
+        }
+    }
+    out
+}
+
+/// Rotate 90° clockwise. Requires `h == w`.
+pub fn rot90(t: &Tensor) -> Tensor {
+    let (n, c, h, w) = t.shape().as_nchw().expect("rank-4");
+    assert_eq!(h, w, "rot90 requires square patches");
+    let mut out = t.clone();
+    let src = t.data();
+    let dst = out.data_mut();
+    for plane in 0..n * c {
+        let pbase = plane * h * w;
+        for y in 0..h {
+            for x in 0..w {
+                // (y, x) <- (h-1-x, y)
+                dst[pbase + y * w + x] = src[pbase + (h - 1 - x) * w + y];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn patch() -> Tensor {
+        Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn flips_are_involutions() {
+        let t = dlsr_tensor::init::uniform([1, 3, 4, 4], 0.0, 1.0, 1);
+        assert_eq!(flip_w(&flip_w(&t)), t);
+        assert_eq!(flip_h(&flip_h(&t)), t);
+    }
+
+    #[test]
+    fn rot90_has_order_four() {
+        let t = dlsr_tensor::init::uniform([1, 2, 5, 5], 0.0, 1.0, 2);
+        let r = rot90(&rot90(&rot90(&rot90(&t))));
+        assert_eq!(r, t);
+        assert_ne!(rot90(&t), t);
+    }
+
+    #[test]
+    fn known_values() {
+        // [1 2]    hflip [2 1]   vflip [3 4]   rot90cw [3 1]
+        // [3 4]          [4 3]         [1 2]           [4 2]
+        assert_eq!(flip_w(&patch()).data(), &[2.0, 1.0, 4.0, 3.0]);
+        assert_eq!(flip_h(&patch()).data(), &[3.0, 4.0, 1.0, 2.0]);
+        assert_eq!(rot90(&patch()).data(), &[3.0, 1.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn pair_stays_aligned_under_augmentation() {
+        // Downsampling the augmented HR must match augmenting the LR: both
+        // orders commute for dihedral transforms.
+        use crate::synthetic::SyntheticImageSpec;
+        use crate::Div2kSynthetic;
+        let spec = SyntheticImageSpec { height: 32, width: 32, ..Default::default() };
+        let mut ds = Div2kSynthetic::new(spec, 2, 2, 9);
+        let pair = ds.patch_for(8, 3);
+        for aug in [
+            Augmentation { hflip: true, vflip: false, rot90: false },
+            Augmentation { hflip: false, vflip: true, rot90: true },
+        ] {
+            let a = aug.apply_pair(&pair);
+            let down = dlsr_tensor::resize::bicubic_downsample(&a.hr, 2).unwrap();
+            let lr_direct = &a.lr;
+            // interior agreement (borders differ by crop-boundary taps)
+            let mut max_diff = 0.0f32;
+            for c in 0..3 {
+                for y in 1..7 {
+                    for x in 1..7 {
+                        max_diff = max_diff
+                            .max((down.at(&[0, c, y, x]) - lr_direct.at(&[0, c, y, x])).abs());
+                    }
+                }
+            }
+            assert!(max_diff < 0.2, "pair desynced: {max_diff}");
+        }
+    }
+
+    #[test]
+    fn random_augmentation_is_deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(5);
+        let mut b = SmallRng::seed_from_u64(5);
+        assert_eq!(Augmentation::random(&mut a), Augmentation::random(&mut b));
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let t = dlsr_tensor::init::uniform([2, 3, 6, 6], 0.0, 1.0, 7);
+        assert_eq!(Augmentation::identity().apply(&t), t);
+    }
+}

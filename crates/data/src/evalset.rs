@@ -1,0 +1,166 @@
+//! Benchmark-style evaluation sets, mirroring the standard SR suites the
+//! paper lists in §II-E (Set5, Set14, Urban100, DIV2K). Each is a small,
+//! deterministic collection of synthetic HR/LR pairs whose *content
+//! statistics* echo its namesake: Set5 is small and smooth, Set14 mixes
+//! content, Urban100 is dominated by rectilinear structure.
+
+use dlsr_tensor::{resize, Tensor};
+
+use crate::synthetic::SyntheticImageSpec;
+
+/// A fixed evaluation collection of HR/LR pairs.
+pub struct EvalSet {
+    name: &'static str,
+    pairs: Vec<(Tensor, Tensor)>,
+    scale: usize,
+}
+
+impl EvalSet {
+    fn build(
+        name: &'static str,
+        spec: SyntheticImageSpec,
+        n: usize,
+        scale: usize,
+        seed: u64,
+    ) -> Self {
+        let pairs = (0..n)
+            .map(|i| {
+                let hr = spec.generate(seed, i);
+                let lr = resize::bicubic_downsample(&hr, scale)
+                    .expect("spec extents divisible by scale");
+                (hr, lr)
+            })
+            .collect();
+        EvalSet { name, pairs, scale }
+    }
+
+    /// A Set5-like suite: 5 small, smooth images.
+    pub fn set5_like(scale: usize) -> Self {
+        let spec = SyntheticImageSpec {
+            height: 64,
+            width: 64,
+            octaves: 3,
+            shapes: 2,
+            texture: 0.02,
+            ..Default::default()
+        };
+        Self::build("Set5-like", spec, 5, scale, 0x5E75)
+    }
+
+    /// A Set14-like suite: 14 mixed-content images.
+    pub fn set14_like(scale: usize) -> Self {
+        let spec = SyntheticImageSpec {
+            height: 96,
+            width: 96,
+            octaves: 4,
+            shapes: 6,
+            texture: 0.05,
+            ..Default::default()
+        };
+        Self::build("Set14-like", spec, 14, scale, 0x5E14)
+    }
+
+    /// An Urban100-like suite (truncated to 20 images for test budgets):
+    /// rectilinear, edge-dominated content.
+    pub fn urban100_like(scale: usize) -> Self {
+        let spec = SyntheticImageSpec {
+            height: 96,
+            width: 96,
+            octaves: 2,
+            shapes: 18,
+            texture: 0.0,
+            ..Default::default()
+        };
+        Self::build("Urban100-like", spec, 20, scale, 0x0B100)
+    }
+
+    /// Suite name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Upscale factor.
+    pub fn scale(&self) -> usize {
+        self.scale
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The `(HR, LR)` pairs.
+    pub fn pairs(&self) -> &[(Tensor, Tensor)] {
+        &self.pairs
+    }
+
+    /// Average a per-image metric over the suite: `f(hr, lr) -> value`.
+    pub fn average<F: FnMut(&Tensor, &Tensor) -> f32>(&self, mut f: F) -> f32 {
+        let total: f32 = self.pairs.iter().map(|(hr, lr)| f(hr, lr)).sum();
+        total / self.pairs.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_expected_sizes_and_shapes() {
+        let s5 = EvalSet::set5_like(2);
+        assert_eq!(s5.len(), 5);
+        assert_eq!(s5.name(), "Set5-like");
+        let (hr, lr) = &s5.pairs()[0];
+        assert_eq!(hr.shape().dims(), &[1, 3, 64, 64]);
+        assert_eq!(lr.shape().dims(), &[1, 3, 32, 32]);
+        assert_eq!(EvalSet::set14_like(2).len(), 14);
+        assert_eq!(EvalSet::urban100_like(4).len(), 20);
+    }
+
+    #[test]
+    fn suites_are_deterministic() {
+        let a = EvalSet::set5_like(2);
+        let b = EvalSet::set5_like(2);
+        assert_eq!(a.pairs()[3].0, b.pairs()[3].0);
+    }
+
+    #[test]
+    fn average_runs_the_closure_per_image() {
+        let s = EvalSet::set5_like(2);
+        let mut count = 0;
+        let avg = s.average(|_, _| {
+            count += 1;
+            2.0
+        });
+        assert_eq!(count, 5);
+        assert_eq!(avg, 2.0);
+    }
+
+    #[test]
+    fn urban_is_edgier_than_set5() {
+        // content statistics: Urban100-like images carry more gradient
+        // energy per pixel than the smooth Set5-like suite
+        let energy = |set: &EvalSet| {
+            set.average(|hr, _| {
+                let (_, _, h, w) = hr.shape().as_nchw().unwrap();
+                let d = hr.data();
+                let mut e = 0.0f32;
+                for y in 0..h {
+                    for x in 0..w - 1 {
+                        let diff = d[y * w + x + 1] - d[y * w + x];
+                        e += diff * diff;
+                    }
+                }
+                e / (h * w) as f32
+            })
+        };
+        let urban = energy(&EvalSet::urban100_like(2));
+        let set5 = energy(&EvalSet::set5_like(2));
+        assert!(urban > set5, "urban {urban} <= set5 {set5}");
+    }
+}

@@ -1,0 +1,22 @@
+//! `dlsr-data` — training data for single-image super-resolution.
+//!
+//! The paper trains on **DIV2K** (800 2K-resolution HR training images,
+//! Agustsson & Timofte 2017). DIV2K itself is not redistributable here, so
+//! this crate generates a *synthetic DIV2K*: procedurally generated
+//! natural-image-like HR images (multi-octave smooth gradients, sharp
+//! edges, fine texture) from which LR counterparts are produced by the
+//! same bicubic degradation DIV2K uses. SR training only depends on the
+//! `LR = bicubic(HR)` relationship plus edge/texture content, which this
+//! preserves; the substitution is documented in DESIGN.md section 2.
+
+pub mod augment;
+pub mod dataset;
+pub mod evalset;
+pub mod loader;
+pub mod synthetic;
+
+pub use augment::Augmentation;
+pub use dataset::{Div2kSynthetic, PatchPair};
+pub use evalset::EvalSet;
+pub use loader::{DataLoader, ShardSpec};
+pub use synthetic::SyntheticImageSpec;

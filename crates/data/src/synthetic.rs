@@ -1,0 +1,162 @@
+//! Procedural HR image synthesis.
+//!
+//! Each image combines three kinds of content that matter for SR training:
+//! smooth multi-octave gradients (low-frequency), sharp geometric edges
+//! (the structures bicubic blurs and SR models must restore), and
+//! fine-grained texture (high-frequency detail).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dlsr_tensor::Tensor;
+
+/// Parameters of the synthetic image generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticImageSpec {
+    /// Image height in pixels.
+    pub height: usize,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Color channels (3 = RGB).
+    pub channels: usize,
+    /// Number of smooth cosine octaves.
+    pub octaves: usize,
+    /// Number of sharp-edged shapes (axis-aligned boxes / diagonal ramps).
+    pub shapes: usize,
+    /// Texture amplitude in `[0,1]`.
+    pub texture: f32,
+}
+
+impl Default for SyntheticImageSpec {
+    fn default() -> Self {
+        SyntheticImageSpec {
+            height: 128,
+            width: 128,
+            channels: 3,
+            octaves: 4,
+            shapes: 6,
+            texture: 0.08,
+        }
+    }
+}
+
+impl SyntheticImageSpec {
+    /// A "2K-class" image like DIV2K's (large, detailed). Heavy on CPU —
+    /// used only by harnesses that need realistic byte counts.
+    pub fn div2k_like() -> Self {
+        SyntheticImageSpec { height: 1080, width: 2048, ..Default::default() }
+    }
+
+    /// Generate image `index` of a deterministic virtual collection seeded
+    /// by `seed`. Pixels lie in `[0, 1]`, NCHW with N = 1.
+    pub fn generate(&self, seed: u64, index: usize) -> Tensor {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9));
+        let (h, w, c) = (self.height, self.width, self.channels);
+        let mut img = vec![0.0f32; c * h * w];
+
+        // 1. smooth multi-octave base, per channel phase-shifted
+        for ch in 0..c {
+            let plane = &mut img[ch * h * w..(ch + 1) * h * w];
+            let mut amp = 0.5f32;
+            let base_fx: f32 = rng.gen_range(0.5..2.0);
+            let base_fy: f32 = rng.gen_range(0.5..2.0);
+            let phase_c = ch as f32 * 0.7;
+            for oct in 0..self.octaves {
+                let f = (1 << oct) as f32;
+                let tau = std::f32::consts::TAU;
+                let (px, py) = (rng.gen_range(0.0..tau), rng.gen_range(0.0..tau));
+                for y in 0..h {
+                    let fy = (y as f32 / h as f32) * base_fy * f * std::f32::consts::TAU;
+                    for x in 0..w {
+                        let fx = (x as f32 / w as f32) * base_fx * f * std::f32::consts::TAU;
+                        plane[y * w + x] +=
+                            amp * 0.5 * ((fx + px + phase_c).sin() + (fy + py).cos());
+                    }
+                }
+                amp *= 0.5;
+            }
+        }
+
+        // 2. sharp shapes: constant-color boxes with hard borders
+        for _ in 0..self.shapes {
+            let bh = rng.gen_range(h / 16..h / 3 + 1);
+            let bw = rng.gen_range(w / 16..w / 3 + 1);
+            let y0 = rng.gen_range(0..h.saturating_sub(bh).max(1));
+            let x0 = rng.gen_range(0..w.saturating_sub(bw).max(1));
+            for ch in 0..c {
+                let v: f32 = rng.gen_range(-0.6..0.6);
+                let plane = &mut img[ch * h * w..(ch + 1) * h * w];
+                for y in y0..(y0 + bh).min(h) {
+                    for x in x0..(x0 + bw).min(w) {
+                        plane[y * w + x] += v;
+                    }
+                }
+            }
+        }
+
+        // 3. fine texture: per-pixel noise
+        if self.texture > 0.0 {
+            for v in img.iter_mut() {
+                *v += rng.gen_range(-self.texture..self.texture);
+            }
+        }
+
+        // normalize into [0,1]
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &v in &img {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let range = (hi - lo).max(1e-6);
+        for v in img.iter_mut() {
+            *v = (*v - lo) / range;
+        }
+        Tensor::from_vec([1, c, h, w], img).expect("buffer matches shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed_and_index() {
+        let spec = SyntheticImageSpec { height: 32, width: 32, ..Default::default() };
+        assert_eq!(spec.generate(1, 0), spec.generate(1, 0));
+        assert_ne!(spec.generate(1, 0), spec.generate(1, 1));
+        assert_ne!(spec.generate(1, 0), spec.generate(2, 0));
+    }
+
+    #[test]
+    fn pixels_are_normalized() {
+        let spec = SyntheticImageSpec { height: 24, width: 24, ..Default::default() };
+        let img = spec.generate(3, 7);
+        let lo = img.data().iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = img.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        assert!(lo >= 0.0 && hi <= 1.0);
+        assert!(hi - lo > 0.5, "image has no dynamic range");
+    }
+
+    #[test]
+    fn images_have_high_frequency_content() {
+        // The point of the generator: images must not be pure smooth
+        // gradients, or SR would be trivially solved by bicubic.
+        let spec = SyntheticImageSpec { height: 64, width: 64, ..Default::default() };
+        let img = spec.generate(5, 0);
+        let d = img.data();
+        let mut grad_energy = 0.0f32;
+        for y in 0..64 {
+            for x in 0..63 {
+                let diff = d[y * 64 + x + 1] - d[y * 64 + x];
+                grad_energy += diff * diff;
+            }
+        }
+        assert!(grad_energy > 1.0, "gradient energy {grad_energy} too low");
+    }
+
+    #[test]
+    fn shape_matches_spec() {
+        let spec = SyntheticImageSpec { height: 20, width: 30, channels: 1, ..Default::default() };
+        assert_eq!(spec.generate(1, 0).shape().dims(), &[1, 1, 20, 30]);
+    }
+}

@@ -1,0 +1,304 @@
+//! The kernel cost model: how long one training step takes on a V100.
+//!
+//! `time(step) = batch · max(t_flops, t_mem) / occupancy(batch)
+//!             + kernels·3 · launch_overhead + framework_overhead`
+//!
+//! with a roofline per-sample time and a saturating occupancy curve
+//! `occ(b) = b / (b + 1)` capturing small-batch under-utilization (Fig 9's
+//! rising-then-flat throughput).
+//!
+//! ## Calibration
+//!
+//! Absolute GPU efficiency cannot be derived from first principles for a
+//! framework stack (PyTorch kernel selection, cuDNN algorithms, Python
+//! overhead), so the model carries one *model-flop-utilization* (MFU)
+//! constant per workload class, calibrated against the paper's two
+//! single-V100 anchors (Fig 1):
+//!
+//! - EDSR (B=32, F=256, ×2, LR 48² patches, batch 4): **10.3 img/s**
+//!   → MFU ≈ 0.47 of fp32 peak,
+//! - ResNet-50 (224², batch 64): **360 img/s** → MFU ≈ 0.60 of fp32 peak.
+//!
+//! Note on the EDSR variant: §IV-C of the paper says "64 feature maps",
+//! but its own measurements contradict that — Table I shows fused
+//! allreduce messages filling the 16–64 MB bins (⇒ ≈163 MB of gradients ⇒
+//! ≈40M parameters, the F=256 NTIRE configuration; F=64 would be 10 MB
+//! total), and 10.3 img/s is implausibly slow for the 2.5M-parameter F=64
+//! model. The workspace therefore calibrates against the F=256 variant and
+//! records the discrepancy in EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+use crate::memory::MemoryError;
+use crate::spec::GpuSpec;
+
+/// Workload class, selecting the calibrated MFU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Super-resolution CNNs (EDSR, SRCNN, SRResNet).
+    SuperResolution,
+    /// Image classification CNNs (ResNet).
+    Classification,
+}
+
+impl WorkloadKind {
+    /// Calibrated model-flop-utilization of fp32 peak.
+    pub fn mfu(self) -> f64 {
+        match self {
+            WorkloadKind::SuperResolution => 0.47,
+            WorkloadKind::Classification => 0.60,
+        }
+    }
+}
+
+/// Lightweight per-sample workload description (mirrors
+/// `dlsr_models::ModelProfile`; this crate stays independent of the model
+/// zoo so the simulator can be reused for arbitrary workloads).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Identifier for reports.
+    pub name: String,
+    /// Trainable parameter count.
+    pub params: usize,
+    /// Forward FLOPs per sample.
+    pub fwd_flops: u64,
+    /// Activation elements retained per sample.
+    pub activation_elems: u64,
+    /// Kernels launched per sample forward pass.
+    pub kernels: u32,
+    /// Workload class.
+    pub kind: WorkloadKind,
+}
+
+impl WorkloadProfile {
+    /// Training FLOPs per sample (≈ 3× forward).
+    pub fn train_flops(&self) -> u64 {
+        self.fwd_flops * 3
+    }
+
+    /// Gradient payload per step in bytes (fp32).
+    pub fn grad_bytes(&self) -> usize {
+        self.params * 4
+    }
+
+    /// Persistent device bytes: params + grads + Adam moments.
+    pub fn persistent_bytes(&self) -> u64 {
+        self.params as u64 * 16
+    }
+
+    /// Activation bytes per sample: forward caches + ~50 % backward
+    /// workspace (calibrated against known V100 batch ceilings; see
+    /// `dlsr_models::ModelProfile::activation_bytes_per_sample`).
+    pub fn activation_bytes_per_sample(&self) -> u64 {
+        self.activation_elems * 6
+    }
+}
+
+/// Breakdown of one training step's device time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepCost {
+    /// Roofline compute time (seconds).
+    pub compute_s: f64,
+    /// Kernel-launch overhead (seconds).
+    pub launch_s: f64,
+    /// Fixed per-iteration framework overhead (seconds).
+    pub framework_s: f64,
+}
+
+impl StepCost {
+    /// Total step time.
+    pub fn total(&self) -> f64 {
+        self.compute_s + self.launch_s + self.framework_s
+    }
+}
+
+/// The cost model for one GPU spec.
+#[derive(Debug, Clone)]
+pub struct KernelCostModel {
+    spec: GpuSpec,
+    /// Fixed per-iteration overhead (optimizer step, Python dispatch, data
+    /// pipeline) in seconds.
+    pub framework_overhead: f64,
+    /// Memory the framework reserves on startup (allocator pools), bytes.
+    pub framework_reserved: u64,
+    /// Effective fraction of HBM bandwidth usable by training kernels.
+    pub mem_efficiency: f64,
+}
+
+impl KernelCostModel {
+    /// Cost model with the calibrated defaults for a spec.
+    pub fn new(spec: GpuSpec) -> Self {
+        KernelCostModel {
+            spec,
+            framework_overhead: 5.0e-3,
+            framework_reserved: 500 * (1 << 20),
+            mem_efficiency: 0.6,
+        }
+    }
+
+    /// The underlying device spec.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Occupancy at a per-GPU batch size: `b / (b + 1)`.
+    pub fn occupancy(batch: usize) -> f64 {
+        let b = batch as f64;
+        b / (b + 1.0)
+    }
+
+    /// Device memory one training process needs: persistent state +
+    /// per-sample activations + CUDA contexts + framework pools.
+    pub fn memory_required(
+        &self,
+        profile: &WorkloadProfile,
+        batch: usize,
+        context_count: usize,
+    ) -> u64 {
+        profile.persistent_bytes()
+            + batch as u64 * profile.activation_bytes_per_sample()
+            + context_count as u64 * self.spec.context_bytes
+            + self.framework_reserved
+    }
+
+    /// Time of one training step at a per-GPU batch, or OOM.
+    ///
+    /// `context_count` is the number of devices this process holds CUDA
+    /// contexts on (1 when pinned; `gpus_per_node` when unpinned — Fig 6a).
+    pub fn train_step_time(
+        &self,
+        profile: &WorkloadProfile,
+        batch: usize,
+        context_count: usize,
+    ) -> Result<StepCost, MemoryError> {
+        assert!(batch > 0, "batch must be positive");
+        let need = self.memory_required(profile, batch, context_count);
+        if need > self.spec.memory_bytes {
+            return Err(MemoryError {
+                requested: need,
+                free: self.spec.memory_bytes,
+                capacity: self.spec.memory_bytes,
+            });
+        }
+        let mfu = profile.kind.mfu();
+        let t_flops = profile.train_flops() as f64 / (self.spec.peak_flops * mfu);
+        // bytes moved ≈ 3 traversals of the activation working set
+        let bytes = 3.0 * profile.activation_elems as f64 * 4.0;
+        let t_mem = bytes / (self.spec.mem_bandwidth * self.mem_efficiency);
+        let per_sample = t_flops.max(t_mem);
+        let compute_s = batch as f64 * per_sample / Self::occupancy(batch);
+        let launch_s = profile.kernels as f64 * 3.0 * self.spec.launch_overhead;
+        Ok(StepCost { compute_s, launch_s, framework_s: self.framework_overhead })
+    }
+
+    /// Convenience: steady-state training throughput in images/second.
+    pub fn throughput(
+        &self,
+        profile: &WorkloadProfile,
+        batch: usize,
+        context_count: usize,
+    ) -> Result<f64, MemoryError> {
+        let cost = self.train_step_time(profile, batch, context_count)?;
+        Ok(batch as f64 / cost.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// EDSR (B32, F256, ×2) at LR 48×48 — numbers match
+    /// `dlsr_models::profile::edsr_profile(&EdsrConfig::full(), 48, 48)`
+    /// (cross-checked in the cluster crate's integration tests).
+    pub(crate) fn edsr_like() -> WorkloadProfile {
+        WorkloadProfile {
+            name: "EDSR(B32,F256,x2)@48x48".into(),
+            params: 40_729_603,
+            fwd_flops: 187_730_000_000,
+            activation_elems: 82_000_000,
+            kernels: 136,
+            kind: WorkloadKind::SuperResolution,
+        }
+    }
+
+    pub(crate) fn resnet50_like() -> WorkloadProfile {
+        WorkloadProfile {
+            name: "ResNet-50@224x224".into(),
+            params: 25_557_032,
+            fwd_flops: 8_180_000_000,
+            activation_elems: 31_000_000,
+            kernels: 158,
+            kind: WorkloadKind::Classification,
+        }
+    }
+
+    #[test]
+    fn edsr_anchor_close_to_10_3_images_per_second() {
+        let m = KernelCostModel::new(GpuSpec::v100());
+        let tput = m.throughput(&edsr_like(), 4, 1).unwrap();
+        assert!(
+            (9.2..11.4).contains(&tput),
+            "EDSR throughput {tput} img/s, expected ≈10.3 (Fig 1)"
+        );
+    }
+
+    #[test]
+    fn resnet_anchor_close_to_360_images_per_second() {
+        let m = KernelCostModel::new(GpuSpec::v100());
+        let tput = m.throughput(&resnet50_like(), 64, 1).unwrap();
+        assert!(
+            (320.0..400.0).contains(&tput),
+            "ResNet-50 throughput {tput} img/s, expected ≈360 (Fig 1)"
+        );
+    }
+
+    #[test]
+    fn throughput_rises_then_saturates_with_batch() {
+        // Fig 9 shape: bigger batches amortize overheads; gains flatten.
+        let m = KernelCostModel::new(GpuSpec::v100());
+        let p = edsr_like();
+        let t1 = m.throughput(&p, 1, 1).unwrap();
+        let t4 = m.throughput(&p, 4, 1).unwrap();
+        let t16 = m.throughput(&p, 16, 1).unwrap();
+        assert!(t4 > t1);
+        assert!(t16 > t4);
+        let early_gain = t4 / t1;
+        let late_gain = t16 / t4;
+        assert!(late_gain < early_gain, "no saturation: {early_gain} vs {late_gain}");
+    }
+
+    #[test]
+    fn large_batch_ooms() {
+        // Fig 9's ceiling: EDSR activations exhaust 16 GB.
+        let m = KernelCostModel::new(GpuSpec::v100());
+        assert!(m.train_step_time(&edsr_like(), 64, 1).is_err());
+        assert!(m.train_step_time(&edsr_like(), 16, 1).is_ok());
+    }
+
+    #[test]
+    fn extra_contexts_shrink_usable_batch() {
+        // Fig 6a: overhead kernels on all 4 devices cost ~900 MB, which can
+        // push a batch that previously fit over the edge.
+        let m = KernelCostModel::new(GpuSpec::v100());
+        let p = edsr_like();
+        let mut max_pinned = 0;
+        let mut max_unpinned = 0;
+        for b in 1..64 {
+            if m.train_step_time(&p, b, 1).is_ok() {
+                max_pinned = b;
+            }
+            if m.train_step_time(&p, b, 4).is_ok() {
+                max_unpinned = b;
+            }
+        }
+        assert!(max_unpinned <= max_pinned);
+        assert!(max_pinned >= 16, "pinned max batch {max_pinned}");
+    }
+
+    #[test]
+    fn occupancy_curve() {
+        assert!((KernelCostModel::occupancy(1) - 0.5).abs() < 1e-9);
+        assert!(KernelCostModel::occupancy(16) > 0.9);
+        assert!(KernelCostModel::occupancy(64) > KernelCostModel::occupancy(16));
+    }
+}

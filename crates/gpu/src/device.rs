@@ -1,0 +1,109 @@
+//! Simulated GPU device: identity + memory + buffer handles.
+
+use crate::memory::{MemoryError, MemoryTracker};
+use crate::spec::GpuSpec;
+
+/// Cluster-wide GPU identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GpuId {
+    /// Node index within the cluster.
+    pub node: usize,
+    /// Local device index within the node (0..gpus_per_node).
+    pub local: usize,
+}
+
+impl std::fmt::Display for GpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gpu{}:{}", self.node, self.local)
+    }
+}
+
+/// Handle to a device-memory allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceBuffer {
+    /// Owning device.
+    pub device: GpuId,
+    /// Unique id within the device.
+    pub id: u64,
+    /// Allocation size in bytes.
+    pub bytes: u64,
+}
+
+/// One simulated GPU.
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    id: GpuId,
+    spec: GpuSpec,
+    memory: MemoryTracker,
+    next_buffer: u64,
+}
+
+impl Gpu {
+    /// Create a device of the given spec.
+    pub fn new(id: GpuId, spec: GpuSpec) -> Self {
+        let memory = MemoryTracker::new(spec.memory_bytes);
+        Gpu { id, spec, memory, next_buffer: 0 }
+    }
+
+    /// Device identity.
+    pub fn id(&self) -> GpuId {
+        self.id
+    }
+
+    /// Hardware spec.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Allocate a device buffer.
+    pub fn alloc(&mut self, bytes: u64) -> Result<DeviceBuffer, MemoryError> {
+        self.memory.alloc(bytes)?;
+        let id = self.next_buffer;
+        self.next_buffer += 1;
+        Ok(DeviceBuffer { device: self.id, id, bytes })
+    }
+
+    /// Free a previously allocated buffer.
+    pub fn free(&mut self, buf: DeviceBuffer) {
+        debug_assert_eq!(buf.device, self.id, "freeing a foreign buffer");
+        self.memory.free(buf.bytes);
+    }
+
+    /// Memory tracker (read access).
+    pub fn memory(&self) -> &MemoryTracker {
+        &self.memory
+    }
+
+    /// Reserve memory without a buffer handle (context allocations,
+    /// framework reserved pools).
+    pub fn reserve(&mut self, bytes: u64) -> Result<(), MemoryError> {
+        self.memory.alloc(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_assigns_unique_ids_and_tracks_memory() {
+        let mut g = Gpu::new(GpuId { node: 0, local: 1 }, GpuSpec::v100());
+        let a = g.alloc(1 << 20).unwrap();
+        let b = g.alloc(1 << 20).unwrap();
+        assert_ne!(a.id, b.id);
+        assert_eq!(g.memory().used(), 2 << 20);
+        g.free(a);
+        assert_eq!(g.memory().used(), 1 << 20);
+    }
+
+    #[test]
+    fn oom_surfaces() {
+        let mut g = Gpu::new(GpuId { node: 0, local: 0 }, GpuSpec::v100());
+        assert!(g.alloc(17 * (1 << 30)).is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(GpuId { node: 3, local: 2 }.to_string(), "gpu3:2");
+    }
+}

@@ -1,0 +1,185 @@
+//! CUDA Inter-Process Communication, simulated at the protocol level the
+//! paper describes in §II-A:
+//!
+//! 1. the owner calls `cuIpcGetMemHandle` on a device buffer,
+//! 2. the handle travels to the peer over host channels,
+//! 3. the peer calls `cuIpcOpenMemHandle` to map the buffer locally.
+//!
+//! Step 3 is where the `CUDA_VISIBLE_DEVICES` conflict bites: opening
+//! requires both devices to be visible to the *opening library's* mask
+//! (post-CUDA-10.1 semantics — MPI's own `MV2_VISIBLE_DEVICES` mask
+//! suffices even when the framework mask hides the peer).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::device::{DeviceBuffer, GpuId};
+use crate::visibility::DeviceEnv;
+
+/// An exported IPC handle for a device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IpcHandle {
+    /// Buffer the handle refers to.
+    pub buffer: DeviceBuffer,
+}
+
+/// Why an IPC open failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IpcError {
+    /// The peer device is not visible under the opener's MPI mask — the
+    /// exact failure mode of the paper's default configuration.
+    DeviceNotVisible {
+        /// Device owning the buffer.
+        owner: GpuId,
+        /// Device trying to map it.
+        opener: GpuId,
+    },
+    /// IPC only works within one node.
+    CrossNode {
+        /// Device owning the buffer.
+        owner: GpuId,
+        /// Device trying to map it.
+        opener: GpuId,
+    },
+    /// Handle was never exported (or already closed).
+    StaleHandle,
+}
+
+impl std::fmt::Display for IpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IpcError::DeviceNotVisible { owner, opener } => write!(
+                f,
+                "cuIpcOpenMemHandle failed: {owner} not visible from {opener} (CUDA_VISIBLE_DEVICES restriction)"
+            ),
+            IpcError::CrossNode { owner, opener } => {
+                write!(f, "CUDA IPC is intra-node only ({owner} vs {opener})")
+            }
+            IpcError::StaleHandle => write!(f, "stale or unexported IPC handle"),
+        }
+    }
+}
+
+impl std::error::Error for IpcError {}
+
+/// Per-node registry of exported handles and open mappings.
+///
+/// Shared between rank threads of one simulated node.
+#[derive(Debug, Default)]
+pub struct IpcRegistry {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    exported: HashMap<(GpuId, u64), u64>, // (device, buffer id) -> bytes
+    open_count: u64,
+}
+
+impl IpcRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `cuIpcGetMemHandle`: export a buffer.
+    pub fn get_mem_handle(&self, buf: DeviceBuffer) -> IpcHandle {
+        self.inner.lock().exported.insert((buf.device, buf.id), buf.bytes);
+        IpcHandle { buffer: buf }
+    }
+
+    /// `cuIpcOpenMemHandle`: map an exported buffer into `opener`'s address
+    /// space, subject to the opener's MPI visibility mask.
+    pub fn open_mem_handle(
+        &self,
+        handle: IpcHandle,
+        opener: GpuId,
+        opener_env: &DeviceEnv,
+    ) -> Result<DeviceBuffer, IpcError> {
+        let owner = handle.buffer.device;
+        if owner.node != opener.node {
+            return Err(IpcError::CrossNode { owner, opener });
+        }
+        if !opener_env.ipc_possible(opener.local, owner.local) {
+            return Err(IpcError::DeviceNotVisible { owner, opener });
+        }
+        let mut inner = self.inner.lock();
+        if !inner.exported.contains_key(&(owner, handle.buffer.id)) {
+            return Err(IpcError::StaleHandle);
+        }
+        inner.open_count += 1;
+        Ok(handle.buffer)
+    }
+
+    /// Number of successful `open_mem_handle` calls (profiling).
+    pub fn opens(&self) -> u64 {
+        self.inner.lock().open_count
+    }
+
+    /// Unexport a buffer (owner frees it).
+    pub fn close(&self, buf: DeviceBuffer) {
+        self.inner.lock().exported.remove(&(buf.device, buf.id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(node: usize, local: usize, id: u64) -> DeviceBuffer {
+        DeviceBuffer { device: GpuId { node, local }, id, bytes: 1024 }
+    }
+
+    #[test]
+    fn open_succeeds_with_mpi_opt_env() {
+        let reg = IpcRegistry::new();
+        let h = reg.get_mem_handle(buf(0, 1, 0));
+        let opener = GpuId { node: 0, local: 0 };
+        let env = DeviceEnv::mpi_opt(0, 4);
+        assert!(reg.open_mem_handle(h, opener, &env).is_ok());
+        assert_eq!(reg.opens(), 1);
+    }
+
+    #[test]
+    fn open_fails_with_default_pinned_env() {
+        // The paper's observed failure: CUDA_VISIBLE_DEVICES=<rank> hides
+        // the peer, so MPI cannot open the handle and falls back to host.
+        let reg = IpcRegistry::new();
+        let h = reg.get_mem_handle(buf(0, 1, 0));
+        let opener = GpuId { node: 0, local: 0 };
+        let env = DeviceEnv::default_pinned(0);
+        assert_eq!(
+            reg.open_mem_handle(h, opener, &env),
+            Err(IpcError::DeviceNotVisible {
+                owner: GpuId { node: 0, local: 1 },
+                opener
+            })
+        );
+    }
+
+    #[test]
+    fn cross_node_is_rejected_regardless_of_masks() {
+        let reg = IpcRegistry::new();
+        let h = reg.get_mem_handle(buf(0, 0, 0));
+        let opener = GpuId { node: 1, local: 0 };
+        let env = DeviceEnv::mpi_opt(0, 4);
+        assert!(matches!(
+            reg.open_mem_handle(h, opener, &env),
+            Err(IpcError::CrossNode { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_handle_after_close() {
+        let reg = IpcRegistry::new();
+        let b = buf(0, 1, 3);
+        let h = reg.get_mem_handle(b);
+        reg.close(b);
+        let env = DeviceEnv::mpi_opt(0, 4);
+        assert_eq!(
+            reg.open_mem_handle(h, GpuId { node: 0, local: 0 }, &env),
+            Err(IpcError::StaleHandle)
+        );
+    }
+}

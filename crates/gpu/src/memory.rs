@@ -1,0 +1,118 @@
+//! Device memory tracking with OOM detection.
+
+/// Error returned when an allocation exceeds remaining device memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryError {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes free at the time of the request.
+    pub free: u64,
+    /// Device capacity.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CUDA out of memory: tried to allocate {} MiB ({} MiB free of {} MiB)",
+            self.requested >> 20,
+            self.free >> 20,
+            self.capacity >> 20
+        )
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// Byte-granular allocation tracker for one device.
+#[derive(Debug, Clone)]
+pub struct MemoryTracker {
+    capacity: u64,
+    used: u64,
+    peak: u64,
+}
+
+impl MemoryTracker {
+    /// Tracker for a device of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        MemoryTracker { capacity, used: 0, peak: 0 }
+    }
+
+    /// Reserve `bytes`; fails with [`MemoryError`] when capacity is exceeded.
+    pub fn alloc(&mut self, bytes: u64) -> Result<(), MemoryError> {
+        let free = self.capacity - self.used;
+        if bytes > free {
+            return Err(MemoryError { requested: bytes, free, capacity: self.capacity });
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        Ok(())
+    }
+
+    /// Release `bytes` (saturating — double frees clamp at zero).
+    pub fn free(&mut self, bytes: u64) {
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Bytes remaining.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Device capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut m = MemoryTracker::new(100);
+        m.alloc(60).unwrap();
+        assert_eq!(m.used(), 60);
+        assert_eq!(m.free_bytes(), 40);
+        m.free(20);
+        assert_eq!(m.used(), 40);
+        assert_eq!(m.peak(), 60);
+    }
+
+    #[test]
+    fn oom_reports_sizes() {
+        let mut m = MemoryTracker::new(100);
+        m.alloc(80).unwrap();
+        let err = m.alloc(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.free, 20);
+        assert_eq!(err.capacity, 100);
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut m = MemoryTracker::new(100);
+        assert!(m.alloc(100).is_ok());
+        assert!(m.alloc(1).is_err());
+    }
+
+    #[test]
+    fn over_free_saturates() {
+        let mut m = MemoryTracker::new(10);
+        m.alloc(5).unwrap();
+        m.free(50);
+        assert_eq!(m.used(), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Device specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Static hardware description of a GPU model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Device memory capacity in bytes.
+    pub memory_bytes: u64,
+    /// Peak fp32 throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// HBM bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+    /// Kernel launch overhead in seconds.
+    pub launch_overhead: f64,
+    /// CUDA context footprint a process pays on each device it touches
+    /// (the "overhead kernels" of paper Fig 6a), in bytes.
+    pub context_bytes: u64,
+}
+
+impl GpuSpec {
+    /// NVIDIA Tesla V100 (16 GB SXM2) — the GPU on Lassen and Longhorn.
+    pub fn v100() -> Self {
+        GpuSpec {
+            name: "Tesla V100-SXM2-16GB",
+            memory_bytes: 16 * (1 << 30),
+            peak_flops: 15.7e12,
+            mem_bandwidth: 900.0e9,
+            launch_overhead: 5.0e-6,
+            context_bytes: 300 * (1 << 20),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_constants() {
+        let v = GpuSpec::v100();
+        assert_eq!(v.memory_bytes, 17_179_869_184);
+        assert!(v.peak_flops > 1e13);
+        assert!(v.launch_overhead > 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! CUDA streams and events on virtual time — the concurrency semantics
+//! behind the paper's §III-C observation that IPC-less MPI transfers hurt
+//! more than their byte counts suggest.
+//!
+//! The rules modeled (matching CUDA's documented behaviour):
+//! - work within one stream executes in order;
+//! - independent streams overlap freely;
+//! - the **default stream is synchronizing**: a default-stream operation
+//!   waits for all prior work on all streams and blocks later work — and
+//!   pageable-host `cudaMemcpy` (the staging fallback's transport) is a
+//!   default-stream, synchronous operation. That is exactly why host-staged
+//!   MPI transfers stall the concurrent backward pass.
+
+/// Identifies a stream on one device. Stream 0 is the (legacy) default
+/// stream with synchronizing semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(pub usize);
+
+/// A recorded event: a point in virtual time on some stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    time: f64,
+}
+
+impl Event {
+    /// Completion time of the work recorded before this event.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+}
+
+/// Virtual-time scheduler for the streams of one device.
+#[derive(Debug, Clone)]
+pub struct StreamScheduler {
+    /// Per-stream "free at" times; index 0 is the default stream.
+    free_at: Vec<f64>,
+}
+
+impl StreamScheduler {
+    /// A device with `extra_streams` non-default streams.
+    pub fn new(extra_streams: usize) -> Self {
+        StreamScheduler { free_at: vec![0.0; extra_streams + 1] }
+    }
+
+    /// The default (synchronizing) stream.
+    pub fn default_stream(&self) -> StreamId {
+        StreamId(0)
+    }
+
+    /// Launch `duration` seconds of work on `stream`, not starting before
+    /// `earliest` (e.g. host-side launch time). Returns the completion time.
+    pub fn launch(&mut self, stream: StreamId, earliest: f64, duration: f64) -> f64 {
+        assert!(stream.0 < self.free_at.len(), "unknown stream {stream:?}");
+        assert!(duration >= 0.0);
+        if stream.0 == 0 {
+            // legacy default stream: waits for everything, blocks everything
+            let start = self
+                .free_at
+                .iter()
+                .fold(earliest, |acc, &t| acc.max(t));
+            let end = start + duration;
+            for t in self.free_at.iter_mut() {
+                *t = end;
+            }
+            end
+        } else {
+            let start = self.free_at[stream.0].max(earliest);
+            let end = start + duration;
+            self.free_at[stream.0] = end;
+            end
+        }
+    }
+
+    /// Record an event capturing the stream's current completion frontier.
+    pub fn record_event(&self, stream: StreamId) -> Event {
+        Event { time: self.free_at[stream.0] }
+    }
+
+    /// Make `stream` wait for `event` (`cudaStreamWaitEvent`).
+    pub fn wait_event(&mut self, stream: StreamId, event: Event) {
+        let t = &mut self.free_at[stream.0];
+        *t = t.max(event.time);
+    }
+
+    /// Host-side `cudaDeviceSynchronize`: time when all streams are idle.
+    pub fn synchronize(&self) -> f64 {
+        self.free_at.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_streams_overlap() {
+        let mut s = StreamScheduler::new(2);
+        let a = s.launch(StreamId(1), 0.0, 1.0);
+        let b = s.launch(StreamId(2), 0.0, 1.0);
+        assert_eq!(a, 1.0);
+        assert_eq!(b, 1.0, "streams must run concurrently");
+        assert_eq!(s.synchronize(), 1.0);
+    }
+
+    #[test]
+    fn same_stream_serializes() {
+        let mut s = StreamScheduler::new(1);
+        s.launch(StreamId(1), 0.0, 1.0);
+        let end = s.launch(StreamId(1), 0.0, 1.0);
+        assert_eq!(end, 2.0);
+    }
+
+    #[test]
+    fn default_stream_synchronizes_everything() {
+        // The §III-C mechanism: a pageable-memcpy on the default stream
+        // cannot overlap the compute running on stream 1 — total time is
+        // the sum, not the max.
+        let mut s = StreamScheduler::new(1);
+        s.launch(StreamId(1), 0.0, 1.0); // backward compute
+        let copy_end = s.launch(StreamId(0), 0.0, 0.5); // staged D2H copy
+        assert_eq!(copy_end, 1.5, "default stream must wait for stream 1");
+        // and later compute is blocked behind it
+        let next = s.launch(StreamId(1), 0.0, 1.0);
+        assert_eq!(next, 2.5);
+    }
+
+    #[test]
+    fn non_default_copy_stream_overlaps_compute() {
+        // The IPC path: P2P copies ride their own stream and overlap.
+        let mut s = StreamScheduler::new(2);
+        s.launch(StreamId(1), 0.0, 1.0); // compute
+        let copy_end = s.launch(StreamId(2), 0.0, 0.5); // NVLink P2P copy
+        assert_eq!(copy_end, 0.5, "copy overlaps compute");
+        assert_eq!(s.synchronize(), 1.0);
+    }
+
+    #[test]
+    fn events_order_cross_stream_work() {
+        let mut s = StreamScheduler::new(2);
+        s.launch(StreamId(1), 0.0, 2.0);
+        let ev = s.record_event(StreamId(1));
+        s.wait_event(StreamId(2), ev);
+        let end = s.launch(StreamId(2), 0.0, 0.5);
+        assert_eq!(end, 2.5, "stream 2 must wait for the event");
+    }
+
+    #[test]
+    fn earliest_launch_time_is_respected() {
+        let mut s = StreamScheduler::new(1);
+        let end = s.launch(StreamId(1), 5.0, 1.0);
+        assert_eq!(end, 6.0);
+    }
+}

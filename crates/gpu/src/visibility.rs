@@ -1,0 +1,152 @@
+//! Visible-device masks — the mechanism at the heart of the paper's
+//! CUDA IPC conflict (§III-C, Figs 6–7).
+//!
+//! DL frameworks pin each process to one GPU by setting
+//! `CUDA_VISIBLE_DEVICES=<local rank>`, which stops Python libraries from
+//! spraying context allocations ("overhead kernels") across every device —
+//! but it also hides the peer GPUs from the MPI library, disabling CUDA IPC.
+//! The paper's fix is a second mask, `MV2_VISIBLE_DEVICES`, consulted only
+//! by MVAPICH2-GDR.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of local GPU indices visible to some component of a process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VisibleDevices(Vec<usize>);
+
+impl VisibleDevices {
+    /// All `n` local devices visible (the default when the env var is unset).
+    pub fn all(n: usize) -> Self {
+        VisibleDevices((0..n).collect())
+    }
+
+    /// Only one device visible (the framework-pinning pattern).
+    pub fn only(local: usize) -> Self {
+        VisibleDevices(vec![local])
+    }
+
+    /// Parse an env-var style list: `"0,1,2,3"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let v: Option<Vec<usize>> =
+            s.split(',').map(|t| t.trim().parse::<usize>().ok()).collect();
+        v.map(VisibleDevices)
+    }
+
+    /// Is `local` visible?
+    pub fn contains(&self, local: usize) -> bool {
+        self.0.contains(&local)
+    }
+
+    /// The visible indices.
+    pub fn devices(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of visible devices.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no device is visible.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// The per-process device environment: what the *framework* sees
+/// (`CUDA_VISIBLE_DEVICES`) and, optionally, what the *MPI library* sees
+/// (`MV2_VISIBLE_DEVICES`, the paper's proposed variable — Fig 7).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceEnv {
+    /// What user code / the DL framework can touch.
+    pub cuda_visible: VisibleDevices,
+    /// What the MPI library can additionally see for IPC. `None` means the
+    /// variable is unset and MPI inherits `cuda_visible` (the default,
+    /// broken configuration).
+    pub mv2_visible: Option<VisibleDevices>,
+}
+
+impl DeviceEnv {
+    /// The *default* (pre-fix) environment: framework pinned to its local
+    /// rank, MPI inheriting the same single-device mask → IPC impossible.
+    pub fn default_pinned(local_rank: usize) -> Self {
+        DeviceEnv { cuda_visible: VisibleDevices::only(local_rank), mv2_visible: None }
+    }
+
+    /// The *optimized* environment of Fig 7: framework pinned, MPI granted
+    /// all `gpus_per_node` devices via `MV2_VISIBLE_DEVICES`.
+    pub fn mpi_opt(local_rank: usize, gpus_per_node: usize) -> Self {
+        DeviceEnv {
+            cuda_visible: VisibleDevices::only(local_rank),
+            mv2_visible: Some(VisibleDevices::all(gpus_per_node)),
+        }
+    }
+
+    /// The naive environment: nothing pinned — every process sees every GPU
+    /// (IPC works, but each process pays a CUDA context on every device,
+    /// Fig 6a's overhead kernels).
+    pub fn unpinned(gpus_per_node: usize) -> Self {
+        DeviceEnv { cuda_visible: VisibleDevices::all(gpus_per_node), mv2_visible: None }
+    }
+
+    /// The device mask the MPI library operates under.
+    pub fn mpi_visible(&self) -> &VisibleDevices {
+        self.mv2_visible.as_ref().unwrap_or(&self.cuda_visible)
+    }
+
+    /// Can the MPI library set up an IPC mapping between two local devices?
+    /// Requires both endpoints visible to MPI (CUDA ≥ 10.1 semantics: the
+    /// *framework* mask is irrelevant, only MPI's own mask matters).
+    pub fn ipc_possible(&self, a: usize, b: usize) -> bool {
+        let m = self.mpi_visible();
+        m.contains(a) && m.contains(b)
+    }
+
+    /// Number of devices this process pays a CUDA context on.
+    pub fn context_count(&self) -> usize {
+        self.cuda_visible.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_list() {
+        let v = VisibleDevices::parse("0, 2,3").unwrap();
+        assert_eq!(v.devices(), &[0, 2, 3]);
+        assert!(VisibleDevices::parse("0,x").is_none());
+    }
+
+    #[test]
+    fn default_pinned_blocks_ipc() {
+        // The paper's problem: rank 0 pinned to GPU 0 cannot IPC to GPU 1.
+        let env = DeviceEnv::default_pinned(0);
+        assert!(!env.ipc_possible(0, 1));
+        assert!(env.ipc_possible(0, 0));
+    }
+
+    #[test]
+    fn mpi_opt_restores_ipc_while_keeping_framework_pinned() {
+        // The paper's fix (Fig 7): MV2_VISIBLE_DEVICES=0,1,2,3 with
+        // CUDA_VISIBLE_DEVICES=<rank>.
+        let env = DeviceEnv::mpi_opt(2, 4);
+        assert!(env.ipc_possible(2, 0));
+        assert!(env.ipc_possible(1, 3));
+        assert_eq!(env.context_count(), 1, "framework still pinned to one GPU");
+    }
+
+    #[test]
+    fn unpinned_allows_ipc_but_pays_contexts() {
+        let env = DeviceEnv::unpinned(4);
+        assert!(env.ipc_possible(0, 3));
+        assert_eq!(env.context_count(), 4, "overhead kernels on every device");
+    }
+
+    #[test]
+    fn mpi_visible_falls_back_to_cuda_mask() {
+        let env = DeviceEnv::default_pinned(1);
+        assert_eq!(env.mpi_visible().devices(), &[1]);
+    }
+}

@@ -1,0 +1,93 @@
+//! The Horovod coordinator: rank 0 collects per-worker readiness reports
+//! and broadcasts the agreed reduction order each cycle. These are *real*
+//! control messages through the simulated fabric, so coordinator cost
+//! scales with world size in the virtual timings the same way it does on a
+//! real cluster.
+
+use dlsr_mpi::{Comm, Payload};
+
+/// Tag namespace for coordinator traffic (distinct from collectives and
+/// user tags).
+const COORD_TAG: u64 = 1 << 61;
+
+/// One negotiation round: every worker reports a readiness bitmask over
+/// `n_tensors` tensors; rank 0 gathers them, computes the globally-ready
+/// set (bitwise AND) and broadcasts it. Returns the agreed bitmask.
+///
+/// In this synchronous simulator all ranks are always ready for all
+/// tensors, so the *result* is trivially all-ones — the point is the
+/// *cost*: rank 0 absorbs `world − 1` receives per cycle.
+pub fn negotiate(comm: &mut Comm, n_tensors: usize, cycle: u64) -> Vec<u8> {
+    negotiate_with_cost(comm, n_tensors, cycle, 20.0e-6)
+}
+
+/// [`negotiate`] with an explicit per-report coordinator processing cost —
+/// the (Python-side) time rank 0 spends parsing each worker's readiness
+/// report. This linear-in-world term is one of Horovod's known scalability
+/// limits and contributes to the efficiency fall-off of Figs 10/13.
+pub fn negotiate_with_cost(
+    comm: &mut Comm,
+    n_tensors: usize,
+    cycle: u64,
+    report_cost: f64,
+) -> Vec<u8> {
+    let p = comm.size();
+    let bytes = n_tensors.div_ceil(8).max(1);
+    let mine = vec![0xFFu8; bytes];
+    if p == 1 {
+        return mine;
+    }
+    let tag = COORD_TAG | cycle;
+    if comm.rank() == 0 {
+        let mut agreed = mine;
+        for src in 1..p {
+            let report = comm.recv(src, tag, 0).into_bytes();
+            comm.advance(report_cost);
+            for (a, b) in agreed.iter_mut().zip(report.iter()) {
+                *a &= b;
+            }
+        }
+        for dst in 1..p {
+            comm.send(dst, tag | (1 << 60), Payload::Bytes(agreed.clone()), 0);
+        }
+        agreed
+    } else {
+        comm.send(0, tag, Payload::Bytes(mine), 0);
+        comm.recv(0, tag | (1 << 60), 0).into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlsr_mpi::{MpiConfig, MpiWorld};
+    use dlsr_net::ClusterTopology;
+
+    #[test]
+    fn all_ranks_agree_on_the_ready_set() {
+        let topo = ClusterTopology::lassen(2);
+        let res = MpiWorld::run(&topo, MpiConfig::default_mpi(), |c| {
+            negotiate(c, 20, 0)
+        });
+        let first = &res.ranks[0];
+        assert_eq!(first.len(), 3);
+        for r in &res.ranks {
+            assert_eq!(r, first);
+        }
+    }
+
+    #[test]
+    fn coordinator_cost_grows_with_world_size() {
+        let time_for = |nodes: usize| {
+            let topo = ClusterTopology::lassen(nodes);
+            MpiWorld::run(&topo, MpiConfig::default_mpi(), |c| {
+                negotiate(c, 100, 0);
+                c.now()
+            })
+            .makespan()
+        };
+        let t4 = time_for(1);
+        let t32 = time_for(8);
+        assert!(t32 > t4, "coordinator cost must grow: {t4} vs {t32}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for tensor fusion: the plans must cover every
+//! tensor exactly once, respect the threshold, and order launches sanely
+//! for arbitrary tensor populations.
+
+use proptest::prelude::*;
+
+use dlsr_horovod::{plan_dynamic, plan_fusion, readiness_from_elems, TensorSpec};
+
+fn tensors_strategy() -> impl Strategy<Value = Vec<TensorSpec>> {
+    proptest::collection::vec(1usize..200_000, 1..80).prop_map(|sizes| {
+        sizes
+            .into_iter()
+            .enumerate()
+            .map(|(i, elems)| TensorSpec { name: format!("t{i}"), elems })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Static fusion: exact cover, order preserved, threshold respected.
+    #[test]
+    fn static_plan_invariants(tensors in tensors_strategy(), threshold in 1u64..2_000_000) {
+        let groups = plan_fusion(&tensors, threshold);
+        // exact cover in order
+        let flat: Vec<usize> = groups.iter().flat_map(|g| g.indices.iter().copied()).collect();
+        prop_assert_eq!(&flat, &(0..tensors.len()).collect::<Vec<_>>());
+        for g in &groups {
+            // byte/elem bookkeeping is consistent
+            let bytes: u64 = g.indices.iter().map(|&i| tensors[i].bytes()).sum();
+            let elems: usize = g.indices.iter().map(|&i| tensors[i].elems).sum();
+            prop_assert_eq!(g.bytes, bytes);
+            prop_assert_eq!(g.elems, elems);
+            // a multi-tensor group never exceeds the threshold
+            if g.indices.len() > 1 {
+                prop_assert!(g.bytes <= threshold, "{} > {threshold}", g.bytes);
+            }
+        }
+    }
+
+    /// Dynamic fusion: exact cover, monotone launches, launches after
+    /// readiness, threshold respected for multi-tensor groups.
+    #[test]
+    fn dynamic_plan_invariants(
+        tensors in tensors_strategy(),
+        threshold in 1_000u64..4_000_000,
+        bwd_ms in 1u32..500,
+        cycle_ms in 1u32..100,
+        est_ms in 0u32..50,
+        overhead_ms in 0u32..20,
+    ) {
+        let bwd = bwd_ms as f64 * 1e-3;
+        let readiness = readiness_from_elems(&tensors, bwd);
+        let est_s = est_ms as f64 * 1e-3;
+        let plan = plan_dynamic(
+            &tensors,
+            &readiness,
+            cycle_ms as f64 * 1e-3,
+            threshold,
+            overhead_ms as f64 * 1e-3,
+            &|_| est_s,
+        );
+        let flat: Vec<usize> =
+            plan.iter().flat_map(|sg| sg.group.indices.iter().copied()).collect();
+        prop_assert_eq!(&flat, &(0..tensors.len()).collect::<Vec<_>>());
+        let mut prev = f64::NEG_INFINITY;
+        for sg in &plan {
+            prop_assert!(sg.launch_offset >= prev, "launches must be ordered");
+            prev = sg.launch_offset;
+            // a group cannot launch before its last tensor is ready
+            let last = *sg.group.indices.last().unwrap();
+            prop_assert!(
+                sg.launch_offset >= readiness[last],
+                "group launched at {} before tensor ready at {}",
+                sg.launch_offset,
+                readiness[last]
+            );
+            if sg.group.indices.len() > 1 {
+                prop_assert!(sg.group.bytes <= threshold);
+            }
+        }
+    }
+
+    /// Readiness offsets are sorted and end exactly at the backward
+    /// duration.
+    #[test]
+    fn readiness_invariants(tensors in tensors_strategy(), bwd_ms in 1u32..1000) {
+        let bwd = bwd_ms as f64 * 1e-3;
+        let r = readiness_from_elems(&tensors, bwd);
+        prop_assert_eq!(r.len(), tensors.len());
+        prop_assert!(r.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!((r.last().unwrap() - bwd).abs() < 1e-9);
+        prop_assert!(r.iter().all(|&t| t > 0.0 && t <= bwd + 1e-9));
+    }
+}

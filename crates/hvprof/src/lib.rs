@@ -1,0 +1,355 @@
+//! `dlsr-hvprof` — a reimplementation of *hvprof* (Awan et al., HotI'19),
+//! the Horovod/MPI communication profiler the paper uses to find its
+//! bottlenecks (§III-B).
+//!
+//! The profiler aggregates collective timings **by operation and message
+//! size bin** — the exact presentation of the paper's Table I and Fig 14.
+
+//! # Example
+//!
+//! ```
+//! use dlsr_hvprof::{compare, render_table, Collective, Hvprof};
+//!
+//! let mut default = Hvprof::new();
+//! let mut optimized = Hvprof::new();
+//! default.record(Collective::Allreduce, 48 << 20, 0.016);
+//! optimized.record(Collective::Allreduce, 48 << 20, 0.008);
+//! let rows = compare(&default, &optimized, Collective::Allreduce);
+//! assert!((rows.last().unwrap().improvement_pct - 50.0).abs() < 1e-6);
+//! println!("{}", render_table(&rows));
+//! ```
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+pub mod timeline;
+
+pub use timeline::{Timeline, TraceEvent};
+
+/// Which collective an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Collective {
+    /// Gradient averaging.
+    Allreduce,
+    /// Parameter distribution.
+    Bcast,
+    /// Variable-size gathers.
+    Allgather,
+    /// Synchronization.
+    Barrier,
+}
+
+impl std::fmt::Display for Collective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Collective::Allreduce => "MPI_Allreduce",
+            Collective::Bcast => "MPI_Bcast",
+            Collective::Allgather => "MPI_Allgather",
+            Collective::Barrier => "MPI_Barrier",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The paper's message-size bins (Table I).
+pub const BINS: &[(&str, u64, u64)] = &[
+    ("1-128 KB", 0, 128 << 10),
+    ("128 KB - 16 MB", 128 << 10, 16 << 20),
+    ("16 MB - 32 MB", 16 << 20, 32 << 20),
+    ("32 MB - 64 MB", 32 << 20, 64 << 20),
+    (">64 MB", 64 << 20, u64::MAX),
+];
+
+/// Index of the bin a message size falls into.
+pub fn bin_of(bytes: u64) -> usize {
+    BINS.iter()
+        .position(|&(_, lo, hi)| bytes >= lo && bytes < hi)
+        .expect("bins cover the full range")
+}
+
+/// Aggregated statistics for one (collective, bin) cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BinStats {
+    /// Number of collective invocations.
+    pub count: u64,
+    /// Total virtual seconds spent.
+    pub seconds: f64,
+    /// Total payload bytes.
+    pub bytes: u64,
+}
+
+/// A communication profile accumulated over a training run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "HvprofWire", into = "HvprofWire")]
+pub struct Hvprof {
+    cells: BTreeMap<(Collective, usize), BinStats>,
+}
+
+/// JSON-friendly wire form (tuple map keys are not valid JSON keys).
+#[derive(Serialize, Deserialize)]
+struct HvprofWire {
+    cells: Vec<(Collective, usize, BinStats)>,
+}
+
+impl From<HvprofWire> for Hvprof {
+    fn from(w: HvprofWire) -> Self {
+        Hvprof {
+            cells: w.cells.into_iter().map(|(c, b, s)| ((c, b), s)).collect(),
+        }
+    }
+}
+
+impl From<Hvprof> for HvprofWire {
+    fn from(p: Hvprof) -> Self {
+        HvprofWire {
+            cells: p.cells.into_iter().map(|((c, b), s)| (c, b, s)).collect(),
+        }
+    }
+}
+
+impl Hvprof {
+    /// Empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one collective invocation of `bytes` payload taking
+    /// `seconds` of virtual time.
+    pub fn record(&mut self, op: Collective, bytes: u64, seconds: f64) {
+        let cell = self.cells.entry((op, bin_of(bytes))).or_default();
+        cell.count += 1;
+        cell.seconds += seconds;
+        cell.bytes += bytes;
+    }
+
+    /// Merge another profile into this one (e.g. across ranks).
+    pub fn merge(&mut self, other: &Hvprof) {
+        for (&key, stats) in &other.cells {
+            let cell = self.cells.entry(key).or_default();
+            cell.count += stats.count;
+            cell.seconds += stats.seconds;
+            cell.bytes += stats.bytes;
+        }
+    }
+
+    /// Stats for one (collective, bin) cell.
+    pub fn cell(&self, op: Collective, bin: usize) -> BinStats {
+        self.cells.get(&(op, bin)).copied().unwrap_or_default()
+    }
+
+    /// Total seconds across all bins for a collective.
+    pub fn total_seconds(&self, op: Collective) -> f64 {
+        self.cells
+            .iter()
+            .filter(|((o, _), _)| *o == op)
+            .map(|(_, s)| s.seconds)
+            .sum()
+    }
+
+    /// Per-bin seconds for a collective (indexed like [`BINS`]).
+    pub fn bin_seconds(&self, op: Collective) -> Vec<f64> {
+        (0..BINS.len()).map(|b| self.cell(op, b).seconds).collect()
+    }
+
+    /// Effective bandwidth (bytes/second) achieved in one bin.
+    pub fn bandwidth(&self, op: Collective, bin: usize) -> f64 {
+        let s = self.cell(op, bin);
+        if s.seconds > 0.0 {
+            s.bytes as f64 / s.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Export every non-empty cell as CSV:
+    /// `collective,bin,calls,total_ms,total_mb,gb_per_s`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("collective,bin,calls,total_ms,total_mb,gb_per_s\n");
+        for (&(op, bin), s) in &self.cells {
+            out.push_str(&format!(
+                "{op},{},{},{:.3},{:.3},{:.3}\n",
+                BINS[bin].0,
+                s.count,
+                s.seconds * 1e3,
+                s.bytes as f64 / (1 << 20) as f64,
+                self.bandwidth(op, bin) / 1e9,
+            ));
+        }
+        out
+    }
+
+    /// Render the per-bin profile of one collective (Fig 14 style).
+    pub fn render(&self, op: Collective) -> String {
+        let mut out = format!("{op} profile by message size:\n");
+        for (b, &(name, _, _)) in BINS.iter().enumerate() {
+            let s = self.cell(op, b);
+            if s.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {name:>16}: {:>10.1} ms over {:>6} calls ({} MB total)\n",
+                s.seconds * 1e3,
+                s.count,
+                s.bytes >> 20
+            ));
+        }
+        out
+    }
+}
+
+/// Side-by-side comparison of two profiles for one collective — the
+/// presentation of Table I ("Allreduce time performance improvement").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Bin label.
+    pub bin: String,
+    /// Baseline milliseconds.
+    pub default_ms: f64,
+    /// Optimized milliseconds.
+    pub optimized_ms: f64,
+    /// Percentage improvement (positive = optimized faster).
+    pub improvement_pct: f64,
+}
+
+/// Build a Table-I-style comparison for a collective.
+pub fn compare(default: &Hvprof, optimized: &Hvprof, op: Collective) -> Vec<ComparisonRow> {
+    let mut rows = Vec::new();
+    for (b, &(name, _, _)) in BINS.iter().enumerate() {
+        let d = default.cell(op, b).seconds * 1e3;
+        let o = optimized.cell(op, b).seconds * 1e3;
+        if d == 0.0 && o == 0.0 {
+            continue;
+        }
+        let imp = if d > 0.0 { (d - o) / d * 100.0 } else { 0.0 };
+        rows.push(ComparisonRow {
+            bin: name.to_string(),
+            default_ms: d,
+            optimized_ms: o,
+            improvement_pct: imp,
+        });
+    }
+    let d_total = default.total_seconds(op) * 1e3;
+    let o_total = optimized.total_seconds(op) * 1e3;
+    rows.push(ComparisonRow {
+        bin: "Total Time".to_string(),
+        default_ms: d_total,
+        optimized_ms: o_total,
+        improvement_pct: if d_total > 0.0 { (d_total - o_total) / d_total * 100.0 } else { 0.0 },
+    });
+    rows
+}
+
+/// Render comparison rows as the paper's Table I.
+pub fn render_table(rows: &[ComparisonRow]) -> String {
+    let mut out = String::from(
+        "| Message Size         | Default (ms) | Optimized (ms) | Improvement |\n\
+         |----------------------|--------------|----------------|-------------|\n",
+    );
+    for r in rows {
+        let imp = if r.improvement_pct.abs() < 2.0 {
+            "≈ 0".to_string()
+        } else {
+            format!("{:.1}%", r.improvement_pct)
+        };
+        out.push_str(&format!(
+            "| {:<20} | {:>12.1} | {:>14.1} | {:>11} |\n",
+            r.bin, r.default_ms, r.optimized_ms, imp
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_match_the_papers_boundaries() {
+        assert_eq!(bin_of(0), 0);
+        assert_eq!(bin_of(127 << 10), 0);
+        assert_eq!(bin_of(128 << 10), 1);
+        assert_eq!(bin_of((16 << 20) - 1), 1);
+        assert_eq!(bin_of(16 << 20), 2);
+        assert_eq!(bin_of(32 << 20), 3);
+        assert_eq!(bin_of(63 << 20), 3);
+        assert_eq!(bin_of(64 << 20), 4);
+    }
+
+    #[test]
+    fn record_accumulates_cells() {
+        let mut p = Hvprof::new();
+        p.record(Collective::Allreduce, 20 << 20, 0.010);
+        p.record(Collective::Allreduce, 20 << 20, 0.015);
+        p.record(Collective::Bcast, 1 << 10, 0.001);
+        let cell = p.cell(Collective::Allreduce, 2);
+        assert_eq!(cell.count, 2);
+        assert!((cell.seconds - 0.025).abs() < 1e-12);
+        assert!((p.total_seconds(Collective::Allreduce) - 0.025).abs() < 1e-12);
+        assert!((p.total_seconds(Collective::Bcast) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_profiles() {
+        let mut a = Hvprof::new();
+        a.record(Collective::Allreduce, 1024, 0.5);
+        let mut b = Hvprof::new();
+        b.record(Collective::Allreduce, 1024, 0.25);
+        a.merge(&b);
+        assert_eq!(a.cell(Collective::Allreduce, 0).count, 2);
+        assert!((a.total_seconds(Collective::Allreduce) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_reproduces_improvement_math() {
+        // Table I total: 7179.9 → 3918.5 ms = 45.4 %
+        let mut d = Hvprof::new();
+        let mut o = Hvprof::new();
+        d.record(Collective::Allreduce, 48 << 20, 7.1799);
+        o.record(Collective::Allreduce, 48 << 20, 3.9185);
+        let rows = compare(&d, &o, Collective::Allreduce);
+        let total = rows.last().unwrap();
+        assert_eq!(total.bin, "Total Time");
+        assert!((total.improvement_pct - 45.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn render_table_marks_small_deltas_as_zero() {
+        let mut d = Hvprof::new();
+        let mut o = Hvprof::new();
+        d.record(Collective::Allreduce, 1024, 0.392);
+        o.record(Collective::Allreduce, 1024, 0.3912);
+        let table = render_table(&compare(&d, &o, Collective::Allreduce));
+        assert!(table.contains("≈ 0"), "{table}");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut p = Hvprof::new();
+        p.record(Collective::Allreduce, 5 << 20, 0.1);
+        let s = serde_json::to_string(&p).unwrap();
+        let q: Hvprof = serde_json::from_str(&s).unwrap();
+        assert_eq!(q.cell(Collective::Allreduce, 1).count, 1);
+    }
+
+    #[test]
+    fn bandwidth_and_csv() {
+        let mut p = Hvprof::new();
+        p.record(Collective::Allreduce, 1 << 30, 1.0); // 1 GiB in 1 s
+        let bw = p.bandwidth(Collective::Allreduce, bin_of(1 << 30));
+        assert!((bw - (1u64 << 30) as f64).abs() < 1.0);
+        assert_eq!(p.bandwidth(Collective::Bcast, 0), 0.0);
+        let csv = p.to_csv();
+        assert!(csv.starts_with("collective,bin,calls"));
+        assert!(csv.contains("MPI_Allreduce,>64 MB,1,1000.000,1024.000"));
+    }
+
+    #[test]
+    fn render_skips_empty_bins() {
+        let mut p = Hvprof::new();
+        p.record(Collective::Allreduce, 20 << 20, 0.01);
+        let s = p.render(Collective::Allreduce);
+        assert!(s.contains("16 MB - 32 MB"));
+        assert!(!s.contains("32 MB - 64 MB"));
+    }
+}

@@ -1,0 +1,125 @@
+//! A Horovod-timeline-style event trace (`HOROVOD_TIMELINE` produces a
+//! Chrome `chrome://tracing` JSON file; so does this).
+
+use serde::{Deserialize, Serialize};
+
+/// One complete ("X" phase) trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Event name (e.g. the fused tensor group).
+    pub name: String,
+    /// Category (e.g. "allreduce", "negotiate", "compute").
+    pub cat: String,
+    /// Start time in microseconds (virtual).
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Process id — we map the MPI rank here.
+    pub rank: usize,
+}
+
+/// An append-only event trace for one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    events: Vec<TraceEvent>,
+}
+
+impl Timeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a complete event spanning `[start_s, end_s]` (seconds).
+    pub fn record(&mut self, name: impl Into<String>, cat: impl Into<String>, rank: usize, start_s: f64, end_s: f64) {
+        debug_assert!(end_s >= start_s, "event ends before it starts");
+        self.events.push(TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            ts_us: start_s * 1e6,
+            dur_us: (end_s - start_s) * 1e6,
+            rank,
+        });
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Merge another rank's timeline.
+    pub fn merge(&mut self, other: &Timeline) {
+        self.events.extend_from_slice(&other.events);
+    }
+
+    /// Total duration attributed to a category (seconds).
+    pub fn category_seconds(&self, cat: &str) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.cat == cat)
+            .map(|e| e.dur_us / 1e6)
+            .sum()
+    }
+
+    /// Serialize to the Chrome `chrome://tracing` array format.
+    pub fn to_chrome_trace(&self) -> String {
+        let events: Vec<serde_json::Value> = self
+            .events
+            .iter()
+            .map(|e| {
+                serde_json::json!({
+                    "name": e.name,
+                    "cat": e.cat,
+                    "ph": "X",
+                    "ts": e.ts_us,
+                    "dur": e.dur_us,
+                    "pid": e.rank,
+                    "tid": 0,
+                })
+            })
+            .collect();
+        serde_json::to_string_pretty(&serde_json::Value::Array(events))
+            .expect("trace serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sums_categories() {
+        let mut t = Timeline::new();
+        t.record("group0", "allreduce", 0, 0.010, 0.025);
+        t.record("group1", "allreduce", 0, 0.030, 0.050);
+        t.record("fwd", "compute", 0, 0.0, 0.010);
+        assert_eq!(t.events().len(), 3);
+        assert!((t.category_seconds("allreduce") - 0.035).abs() < 1e-9);
+        assert!((t.category_seconds("compute") - 0.010).abs() < 1e-9);
+        assert_eq!(t.category_seconds("nothing"), 0.0);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_phase_x() {
+        let mut t = Timeline::new();
+        t.record("g", "allreduce", 3, 0.0, 0.001);
+        let json = t.to_chrome_trace();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0]["ph"], "X");
+        assert_eq!(arr[0]["pid"], 3);
+        assert!((arr[0]["dur"].as_f64().unwrap() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_combines_ranks() {
+        let mut a = Timeline::new();
+        a.record("x", "c", 0, 0.0, 1.0);
+        let mut b = Timeline::new();
+        b.record("y", "c", 1, 0.0, 2.0);
+        a.merge(&b);
+        assert_eq!(a.events().len(), 2);
+        assert!((a.category_seconds("c") - 3.0).abs() < 1e-9);
+    }
+}

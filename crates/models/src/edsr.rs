@@ -1,0 +1,348 @@
+//! EDSR — Enhanced Deep Super-Resolution network (Lim et al., CVPR-W 2017).
+//!
+//! Architecture (paper Fig 5b): MeanShift⁻ → head conv → B residual blocks
+//! (+ body conv, with a global skip from the head) → upsampler
+//! (conv + pixel-shuffle per ×2 stage) → output conv → MeanShift⁺.
+//!
+//! The scaling study trains the configuration of §IV-C: **32 residual
+//! blocks, 64 feature maps, ×2 upscaling, residual scaling 0.1**.
+
+use dlsr_nn::layers::{Conv2d, MeanShift, PixelShuffle, ResBlock};
+use dlsr_nn::module::Module;
+use dlsr_nn::param::Param;
+use dlsr_nn::{Result, Tensor, TensorError};
+use dlsr_tensor::conv::Conv2dParams;
+use dlsr_tensor::elementwise;
+
+use crate::DIV2K_RGB_MEANS;
+
+/// EDSR hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdsrConfig {
+    /// Number of residual blocks (paper: 32).
+    pub n_resblocks: usize,
+    /// Feature-map width (paper: 64; the NTIRE-winning variant uses 256).
+    pub n_feats: usize,
+    /// Upscaling factor: 2, 3 or 4 (paper trains ×2).
+    pub scale: usize,
+    /// Residual scaling (paper: 0.1).
+    pub res_scale: f32,
+    /// Color channels (3 for RGB).
+    pub colors: usize,
+    /// Apply the DIV2K MeanShift at input/output (EDSR's default). Disable
+    /// for non-RGB data or when training on residual targets (VDSR-style
+    /// `HR − bicubic↑LR`), where the output must be zero-centered.
+    pub mean_shift: bool,
+}
+
+impl EdsrConfig {
+    /// The configuration the paper trains (§IV-C).
+    pub fn paper() -> Self {
+        EdsrConfig {
+            n_resblocks: 32,
+            n_feats: 64,
+            scale: 2,
+            res_scale: 0.1,
+            colors: 3,
+            mean_shift: true,
+        }
+    }
+
+    /// The full-size NTIRE 2017 winner (B=32, F=256) — used by the Table I
+    /// harness, where fused gradient messages must reach the 16–64 MB bins.
+    pub fn full() -> Self {
+        EdsrConfig { n_feats: 256, ..Self::paper() }
+    }
+
+    /// A tiny variant that trains in milliseconds on CPU (tests/examples).
+    pub fn tiny() -> Self {
+        EdsrConfig { n_resblocks: 2, n_feats: 8, ..Self::paper() }
+    }
+
+    /// Total trainable parameter count (closed form; must agree with the
+    /// instantiated model — asserted in tests).
+    pub fn num_params(&self) -> usize {
+        let k = 3usize * 3;
+        let conv = |cin: usize, cout: usize| cin * cout * k + cout;
+        let head = conv(self.colors, self.n_feats);
+        let body = self.n_resblocks * 2 * conv(self.n_feats, self.n_feats)
+            + conv(self.n_feats, self.n_feats);
+        let up: usize = upsample_stages(self.scale)
+            .iter()
+            .map(|&r| conv(self.n_feats, self.n_feats * r * r))
+            .sum();
+        let tail = conv(self.n_feats, self.colors);
+        head + body + up + tail
+    }
+
+    /// Gradient payload in bytes (fp32), the quantity Horovod allreduces.
+    pub fn grad_bytes(&self) -> usize {
+        self.num_params() * 4
+    }
+
+    /// Per-parameter `(name, element count)` list in **forward visit
+    /// order** (identical to `Edsr::visit_params` traversal), computed in
+    /// closed form so scaling harnesses can plan tensor fusion for the
+    /// full-size model without allocating it.
+    pub fn param_shapes(&self) -> Vec<(String, usize)> {
+        const K: usize = 9;
+        let f = self.n_feats;
+        let mut out: Vec<(String, usize)> = Vec::new();
+        let conv = |out: &mut Vec<(String, usize)>, name: &str, cin: usize, cout: usize| {
+            out.push((format!("{name}.weight"), cin * cout * K));
+            out.push((format!("{name}.bias"), cout));
+        };
+        conv(&mut out, "head", self.colors, f);
+        for i in 0..self.n_resblocks {
+            conv(&mut out, &format!("body.{i}.conv1"), f, f);
+            conv(&mut out, &format!("body.{i}.conv2"), f, f);
+        }
+        conv(&mut out, "body_conv", f, f);
+        for (i, &r) in upsample_stages(self.scale).iter().enumerate() {
+            conv(&mut out, &format!("tail.{i}.conv"), f, f * r * r);
+        }
+        conv(&mut out, "out_conv", f, self.colors);
+        out
+    }
+}
+
+/// The ×2/×3/×4 upsampler is built from pixel-shuffle stages: ×4 is two ×2
+/// stages; ×2 and ×3 are single stages.
+fn upsample_stages(scale: usize) -> Vec<usize> {
+    match scale {
+        2 => vec![2],
+        3 => vec![3],
+        4 => vec![2, 2],
+        _ => panic!("EDSR supports scale 2, 3, 4 (got {scale})"),
+    }
+}
+
+/// The EDSR network.
+pub struct Edsr {
+    cfg: EdsrConfig,
+    sub_mean: MeanShift,
+    add_mean: MeanShift,
+    head: Conv2d,
+    body: Vec<ResBlock>,
+    body_conv: Conv2d,
+    tail: Vec<(Conv2d, PixelShuffle)>,
+    out_conv: Conv2d,
+    /// cached head output for the global skip connection
+    skip_cache: Option<Tensor>,
+}
+
+impl Edsr {
+    /// Build an EDSR with deterministic seeded initialization.
+    pub fn new(cfg: EdsrConfig, seed: u64) -> Self {
+        let p = Conv2dParams::same(3);
+        let f = cfg.n_feats;
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            s
+        };
+        let head = Conv2d::new("head", cfg.colors, f, 3, p, next());
+        let body = (0..cfg.n_resblocks)
+            .map(|i| ResBlock::new(&format!("body.{i}"), f, cfg.res_scale, next()))
+            .collect();
+        let body_conv = Conv2d::new("body_conv", f, f, 3, p, next());
+        let tail = upsample_stages(cfg.scale)
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                (
+                    Conv2d::new(&format!("tail.{i}.conv"), f, f * r * r, 3, p, next()),
+                    PixelShuffle::new(r),
+                )
+            })
+            .collect();
+        let out_conv = Conv2d::new("out_conv", f, cfg.colors, 3, p, next());
+        Edsr {
+            cfg,
+            sub_mean: MeanShift::subtract(&DIV2K_RGB_MEANS[..cfg.colors.min(3)]),
+            add_mean: MeanShift::add(&DIV2K_RGB_MEANS[..cfg.colors.min(3)]),
+            head,
+            body,
+            body_conv,
+            tail,
+            out_conv,
+            skip_cache: None,
+        }
+    }
+
+    /// The configuration this instance was built with.
+    pub fn config(&self) -> EdsrConfig {
+        self.cfg
+    }
+
+    /// Zero the output convolution so the freshly-initialized network is
+    /// the zero map — the standard initialization for residual SR training
+    /// (`SR = bicubic↑LR + f(LR)` starts exactly at the bicubic baseline
+    /// and can only improve from there).
+    pub fn zero_output_conv(&mut self) {
+        self.out_conv.visit_params(&mut |p| p.value.data_mut().fill(0.0));
+    }
+
+    fn run(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let (_, c, _, _) = x.shape().as_nchw()?;
+        if c != self.cfg.colors {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![self.cfg.colors],
+                got: vec![c],
+                context: "Edsr input channels",
+            });
+        }
+        let fwd = |m: &mut dyn Module, t: &Tensor| if train { m.forward(t) } else { m.predict(t) };
+        let x = if self.cfg.mean_shift { fwd(&mut self.sub_mean, x)? } else { x.clone() };
+        let head_out = fwd(&mut self.head, &x)?;
+        let mut h = head_out.clone();
+        for b in &mut self.body {
+            h = fwd(b, &h)?;
+        }
+        h = fwd(&mut self.body_conv, &h)?;
+        // global skip: body output + head output
+        h = elementwise::add(&h, &head_out)?;
+        if train {
+            self.skip_cache = Some(head_out);
+        }
+        for (conv, shuf) in &mut self.tail {
+            h = fwd(conv, &h)?;
+            h = fwd(shuf, &h)?;
+        }
+        let h = fwd(&mut self.out_conv, &h)?;
+        if self.cfg.mean_shift {
+            fwd(&mut self.add_mean, &h)
+        } else {
+            Ok(h)
+        }
+    }
+}
+
+impl Module for Edsr {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.run(x, true)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let g = self.add_mean.backward(grad_out)?;
+        let mut g = self.out_conv.backward(&g)?;
+        for (conv, shuf) in self.tail.iter_mut().rev() {
+            g = shuf.backward(&g)?;
+            g = conv.backward(&g)?;
+        }
+        // split at the global skip: gradient flows both into the body chain
+        // and directly back to the head output.
+        let skip_grad = g.clone();
+        let _ = self
+            .skip_cache
+            .take()
+            .expect("Edsr::backward called without forward");
+        let mut g = self.body_conv.backward(&g)?;
+        for b in self.body.iter_mut().rev() {
+            g = b.backward(&g)?;
+        }
+        let g = elementwise::add(&g, &skip_grad)?;
+        let g = self.head.backward(&g)?;
+        self.sub_mean.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.head.visit_params(f);
+        for b in &mut self.body {
+            b.visit_params(f);
+        }
+        self.body_conv.visit_params(f);
+        for (conv, _) in &mut self.tail {
+            conv.visit_params(f);
+        }
+        self.out_conv.visit_params(f);
+    }
+
+    fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.run(x, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlsr_nn::module::ModuleExt;
+    use dlsr_tensor::init;
+
+    #[test]
+    fn output_shape_is_upscaled() {
+        for scale in [2usize, 3, 4] {
+            let cfg = EdsrConfig { scale, ..EdsrConfig::tiny() };
+            let mut m = Edsr::new(cfg, 1);
+            let x = init::uniform([1, 3, 8, 6], 0.0, 1.0, 2);
+            let y = m.forward(&x).unwrap();
+            assert_eq!(y.shape().dims(), &[1, 3, 8 * scale, 6 * scale]);
+        }
+    }
+
+    #[test]
+    fn param_shapes_match_instance_traversal() {
+        let cfg = EdsrConfig::tiny();
+        let mut m = Edsr::new(cfg, 1);
+        let mut actual = Vec::new();
+        m.visit_params(&mut |p| actual.push((p.name.clone(), p.numel())));
+        assert_eq!(cfg.param_shapes(), actual);
+        // and for the full-size config, the totals agree with num_params
+        let full = EdsrConfig::full();
+        let total: usize = full.param_shapes().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, full.num_params());
+    }
+
+    #[test]
+    fn closed_form_param_count_matches_instance() {
+        for cfg in [EdsrConfig::tiny(), EdsrConfig { n_resblocks: 3, n_feats: 12, scale: 4, ..EdsrConfig::paper() }] {
+            let mut m = Edsr::new(cfg, 1);
+            assert_eq!(m.num_params(), cfg.num_params(), "cfg {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn paper_config_dimensions() {
+        let cfg = EdsrConfig::paper();
+        assert_eq!(cfg.n_resblocks, 32);
+        assert_eq!(cfg.n_feats, 64);
+        assert_eq!(cfg.scale, 2);
+        // ~2.5M params ≈ 10 MB of gradients
+        let params = cfg.num_params();
+        assert!((2_000_000..3_000_000).contains(&params), "params {params}");
+        // full-size variant lands in the tens of MB (Table I bins)
+        assert!(EdsrConfig::full().grad_bytes() > 100 << 20);
+    }
+
+    #[test]
+    fn backward_produces_input_gradient_of_input_shape() {
+        let mut m = Edsr::new(EdsrConfig::tiny(), 3);
+        let x = init::uniform([2, 3, 6, 6], 0.0, 1.0, 4);
+        let y = m.forward(&x).unwrap();
+        let g = m.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(g.shape().dims(), x.shape().dims());
+    }
+
+    #[test]
+    fn one_adam_step_reduces_l1_loss() {
+        use dlsr_nn::loss::l1_loss;
+        use dlsr_nn::optim::{Adam, Optimizer};
+        let mut m = Edsr::new(EdsrConfig::tiny(), 5);
+        let lr = init::uniform([1, 3, 6, 6], 0.0, 1.0, 6);
+        let hr = init::uniform([1, 3, 12, 12], 0.0, 1.0, 7);
+        let mut opt = Adam::new(1e-3);
+        let pred = m.forward(&lr).unwrap();
+        let (loss0, grad) = l1_loss(&pred, &hr).unwrap();
+        m.backward(&grad).unwrap();
+        opt.step(&mut m);
+        let pred1 = m.predict(&lr).unwrap();
+        let (loss1, _) = l1_loss(&pred1, &hr).unwrap();
+        assert!(loss1 < loss0, "loss did not decrease: {loss0} -> {loss1}");
+    }
+
+    #[test]
+    fn wrong_channel_count_is_error() {
+        let mut m = Edsr::new(EdsrConfig::tiny(), 1);
+        assert!(m.forward(&Tensor::zeros([1, 1, 8, 8])).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! SRCNN (Dong et al. 2014) — the earliest CNN super-resolution model,
+//! included as the classical DL baseline of §II-E. SRCNN operates on a
+//! bicubic-upsampled input (it refines rather than upsamples).
+
+use dlsr_nn::layers::{Conv2d, ReLU};
+use dlsr_nn::module::Module;
+use dlsr_nn::param::Param;
+use dlsr_nn::{Result, Tensor};
+use dlsr_tensor::conv::Conv2dParams;
+
+/// The standard 3-layer SRCNN (9-1-5 configuration, 64/32 features).
+pub struct Srcnn {
+    conv1: Conv2d,
+    conv2: Conv2d,
+    conv3: Conv2d,
+    relu1: ReLU,
+    relu2: ReLU,
+}
+
+impl Srcnn {
+    /// Build with seeded initialization.
+    pub fn new(colors: usize, seed: u64) -> Self {
+        Srcnn {
+            conv1: Conv2d::new("conv1", colors, 64, 9, Conv2dParams::same(9), seed),
+            conv2: Conv2d::new("conv2", 64, 32, 1, Conv2dParams::same(1), seed + 1),
+            conv3: Conv2d::new("conv3", 32, colors, 5, Conv2dParams::same(5), seed + 2),
+            relu1: ReLU::new(),
+            relu2: ReLU::new(),
+        }
+    }
+}
+
+impl Module for Srcnn {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        let h = self.relu1.forward(&self.conv1.forward(x)?)?;
+        let h = self.relu2.forward(&self.conv2.forward(&h)?)?;
+        self.conv3.forward(&h)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let g = self.conv3.backward(grad_out)?;
+        let g = self.relu2.backward(&g)?;
+        let g = self.conv2.backward(&g)?;
+        let g = self.relu1.backward(&g)?;
+        self.conv1.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.conv3.visit_params(f);
+    }
+
+    fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
+        let h = self.relu1.predict(&self.conv1.predict(x)?)?;
+        let h = self.relu2.predict(&self.conv2.predict(&h)?)?;
+        self.conv3.predict(&h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlsr_nn::module::ModuleExt;
+    use dlsr_tensor::init;
+
+    #[test]
+    fn preserves_spatial_extent() {
+        let mut m = Srcnn::new(3, 1);
+        let x = init::uniform([1, 3, 16, 16], 0.0, 1.0, 2);
+        let y = m.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), x.shape().dims());
+    }
+
+    #[test]
+    fn param_count_matches_known_srcnn() {
+        let mut m = Srcnn::new(3, 1);
+        // 9²·3·64+64 + 1²·64·32+32 + 5²·32·3+3 = 15,616 + 2,080 + 2,403
+        assert_eq!(m.num_params(), 15_616 + 2_080 + 2_403);
+    }
+
+    #[test]
+    fn trains_one_step() {
+        use dlsr_nn::loss::mse_loss;
+        use dlsr_nn::optim::{Optimizer, Sgd};
+        let mut m = Srcnn::new(1, 3);
+        let x = init::uniform([1, 1, 12, 12], 0.0, 1.0, 4);
+        let t = init::uniform([1, 1, 12, 12], 0.0, 1.0, 5);
+        let mut opt = Sgd::new(1e-3);
+        let y = m.forward(&x).unwrap();
+        let (l0, g) = mse_loss(&y, &t).unwrap();
+        m.backward(&g).unwrap();
+        opt.step(&mut m);
+        for _ in 0..4 {
+            let y = m.forward(&x).unwrap();
+            let (_, g) = mse_loss(&y, &t).unwrap();
+            m.backward(&g).unwrap();
+            opt.step(&mut m);
+        }
+        let (l1, _) = mse_loss(&m.predict(&x).unwrap(), &t).unwrap();
+        assert!(l1 < l0, "{l0} -> {l1}");
+    }
+}

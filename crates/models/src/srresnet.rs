@@ -1,0 +1,167 @@
+//! SRResNet (Ledig et al. 2017) — the residual SR network EDSR simplifies.
+//! Its residual blocks carry batch normalization (paper Fig 5a, middle
+//! column); EDSR removes BN, which both speeds training and lifts PSNR.
+//! Included so the workspace can ablate exactly that architectural choice.
+
+use dlsr_nn::layers::{BatchNorm2d, Conv2d, PixelShuffle, ReLU};
+use dlsr_nn::module::Module;
+use dlsr_nn::param::Param;
+use dlsr_nn::{Result, Tensor};
+use dlsr_tensor::conv::Conv2dParams;
+use dlsr_tensor::elementwise;
+
+/// SRResNet residual block: conv → BN → ReLU → conv → BN, plus skip.
+struct SrResBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu: ReLU,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+}
+
+impl SrResBlock {
+    fn new(name: &str, f: usize, seed: u64) -> Self {
+        let p = Conv2dParams::same(3);
+        SrResBlock {
+            conv1: Conv2d::new_no_bias(&format!("{name}.conv1"), f, f, 3, p, seed),
+            bn1: BatchNorm2d::new(&format!("{name}.bn1"), f),
+            relu: ReLU::new(),
+            conv2: Conv2d::new_no_bias(&format!("{name}.conv2"), f, f, 3, p, seed + 1),
+            bn2: BatchNorm2d::new(&format!("{name}.bn2"), f),
+        }
+    }
+}
+
+impl Module for SrResBlock {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        let h = self.bn1.forward(&self.conv1.forward(x)?)?;
+        let h = self.relu.forward(&h)?;
+        let h = self.bn2.forward(&self.conv2.forward(&h)?)?;
+        elementwise::add(x, &h)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let g = self.bn2.backward(grad_out)?;
+        let g = self.conv2.backward(&g)?;
+        let g = self.relu.backward(&g)?;
+        let g = self.bn1.backward(&g)?;
+        let g = self.conv1.backward(&g)?;
+        elementwise::add(grad_out, &g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        self.bn1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.bn2.visit_params(f);
+    }
+
+    fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
+        let h = self.bn1.predict(&self.conv1.predict(x)?)?;
+        let h = self.relu.predict(&h)?;
+        let h = self.bn2.predict(&self.conv2.predict(&h)?)?;
+        elementwise::add(x, &h)
+    }
+}
+
+/// SRResNet generator (no adversarial loss here — the paper compares
+/// architectures, not GAN training).
+pub struct SrResNet {
+    head: Conv2d,
+    relu: ReLU,
+    body: Vec<SrResBlock>,
+    tail_conv: Conv2d,
+    shuffle: PixelShuffle,
+    out_conv: Conv2d,
+}
+
+impl SrResNet {
+    /// SRResNet with `blocks` residual blocks over `feats` features, ×2.
+    pub fn new(blocks: usize, feats: usize, colors: usize, seed: u64) -> Self {
+        let p = Conv2dParams::same(3);
+        SrResNet {
+            head: Conv2d::new("head", colors, feats, 3, p, seed),
+            relu: ReLU::new(),
+            body: (0..blocks)
+                .map(|i| SrResBlock::new(&format!("body.{i}"), feats, seed + 10 + 2 * i as u64))
+                .collect(),
+            tail_conv: Conv2d::new("tail", feats, feats * 4, 3, p, seed + 1),
+            shuffle: PixelShuffle::new(2),
+            out_conv: Conv2d::new("out", feats, colors, 3, p, seed + 2),
+        }
+    }
+}
+
+impl Module for SrResNet {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        let mut h = self.relu.forward(&self.head.forward(x)?)?;
+        for b in &mut self.body {
+            h = b.forward(&h)?;
+        }
+        let h = self.tail_conv.forward(&h)?;
+        let h = self.shuffle.forward(&h)?;
+        self.out_conv.forward(&h)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let g = self.out_conv.backward(grad_out)?;
+        let g = self.shuffle.backward(&g)?;
+        let mut g = self.tail_conv.backward(&g)?;
+        for b in self.body.iter_mut().rev() {
+            g = b.backward(&g)?;
+        }
+        let g = self.relu.backward(&g)?;
+        self.head.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.head.visit_params(f);
+        for b in &mut self.body {
+            b.visit_params(f);
+        }
+        self.tail_conv.visit_params(f);
+        self.out_conv.visit_params(f);
+    }
+
+    fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
+        let mut h = self.relu.predict(&self.head.predict(x)?)?;
+        for b in &mut self.body {
+            h = b.predict(&h)?;
+        }
+        let h = self.tail_conv.predict(&h)?;
+        let h = self.shuffle.predict(&h)?;
+        self.out_conv.predict(&h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlsr_tensor::init;
+
+    #[test]
+    fn upsamples_by_two() {
+        let mut m = SrResNet::new(2, 8, 3, 1);
+        let x = init::uniform([1, 3, 6, 6], 0.0, 1.0, 2);
+        let y = m.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 3, 12, 12]);
+    }
+
+    #[test]
+    fn backward_runs_and_shapes_match() {
+        let mut m = SrResNet::new(1, 4, 3, 3);
+        let x = init::uniform([2, 3, 4, 4], 0.0, 1.0, 4);
+        let y = m.forward(&x).unwrap();
+        let g = m.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(g.shape().dims(), x.shape().dims());
+    }
+
+    #[test]
+    fn has_more_params_per_block_than_edsr_block_due_to_bn() {
+        use dlsr_nn::module::ModuleExt;
+        let mut sr_block = SrResBlock::new("b", 8, 1);
+        let mut edsr_block = dlsr_nn::layers::ResBlock::new("b", 8, 0.1, 1);
+        // BN γ/β add 4·f params; EDSR convs carry biases (2·f) instead.
+        assert!(sr_block.num_params() > edsr_block.num_params());
+    }
+}

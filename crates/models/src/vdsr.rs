@@ -1,0 +1,168 @@
+//! VDSR (Kim et al. 2016) — "Accurate Image Super-Resolution Using Very
+//! Deep Convolutional Networks". The architectural midpoint between SRCNN
+//! and EDSR in the lineage §II-E sketches: a deep plain conv stack that
+//! predicts the **residual over the bicubic-upsampled input** (the global
+//! residual learning that also powers this workspace's fast-converging
+//! training demos).
+
+use dlsr_nn::layers::{Conv2d, ReLU};
+use dlsr_nn::module::Module;
+use dlsr_nn::param::Param;
+use dlsr_nn::{Result, Tensor};
+use dlsr_tensor::conv::Conv2dParams;
+use dlsr_tensor::elementwise;
+
+/// The VDSR network. Input is the bicubic-upsampled LR image (HR extent);
+/// output is `input + residual` — the skip is part of the architecture.
+pub struct Vdsr {
+    layers: Vec<(Conv2d, ReLU)>,
+    out_conv: Conv2d,
+}
+
+impl Vdsr {
+    /// VDSR with `depth` conv layers (the paper uses 20) of `feats`
+    /// channels (paper: 64).
+    pub fn new(depth: usize, feats: usize, colors: usize, seed: u64) -> Self {
+        assert!(depth >= 2, "VDSR needs at least input + output layers");
+        let p = Conv2dParams::same(3);
+        let mut layers = Vec::with_capacity(depth - 1);
+        let mut c_in = colors;
+        for i in 0..depth - 1 {
+            layers.push((
+                Conv2d::new(&format!("layer{i}"), c_in, feats, 3, p, seed + i as u64),
+                ReLU::new(),
+            ));
+            c_in = feats;
+        }
+        let mut out_conv = Conv2d::new("out", feats, colors, 3, p, seed + depth as u64);
+        // zero-init the output conv: the network starts as the identity map
+        // over its bicubic input, which is what makes residual training
+        // stable from step one
+        out_conv.visit_params(&mut |p: &mut Param| p.value.data_mut().fill(0.0));
+        Vdsr { layers, out_conv }
+    }
+
+    /// The standard 20-layer VDSR.
+    pub fn vdsr20(colors: usize, seed: u64) -> Self {
+        Self::new(20, 64, colors, seed)
+    }
+}
+
+impl Module for Vdsr {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        let mut h = x.clone();
+        for (conv, relu) in &mut self.layers {
+            h = relu.forward(&conv.forward(&h)?)?;
+        }
+        let residual = self.out_conv.forward(&h)?;
+        elementwise::add(x, &residual)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut g = self.out_conv.backward(grad_out)?;
+        for (conv, relu) in self.layers.iter_mut().rev() {
+            g = relu.backward(&g)?;
+            g = conv.backward(&g)?;
+        }
+        // the architectural skip adds the output gradient to the input path
+        elementwise::add(&g, grad_out)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for (conv, _) in &mut self.layers {
+            conv.visit_params(f);
+        }
+        self.out_conv.visit_params(f);
+    }
+
+    fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
+        let mut h = x.clone();
+        for (conv, relu) in &mut self.layers {
+            h = relu.predict(&conv.predict(&h)?)?;
+        }
+        let residual = self.out_conv.predict(&h)?;
+        elementwise::add(x, &residual)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlsr_nn::module::ModuleExt;
+    use dlsr_tensor::init;
+
+    #[test]
+    fn starts_as_the_identity_map() {
+        let mut m = Vdsr::new(4, 8, 3, 1);
+        let x = init::uniform([1, 3, 8, 8], 0.0, 1.0, 2);
+        let y = m.predict(&x).unwrap();
+        assert_eq!(y, x, "zero-init output conv must make VDSR the identity");
+    }
+
+    #[test]
+    fn preserves_spatial_extent() {
+        let mut m = Vdsr::new(3, 6, 1, 3);
+        let x = init::uniform([2, 1, 10, 12], 0.0, 1.0, 4);
+        assert_eq!(m.forward(&x).unwrap().shape().dims(), x.shape().dims());
+    }
+
+    #[test]
+    fn vdsr20_has_the_published_depth() {
+        let mut m = Vdsr::vdsr20(3, 1);
+        // 19 hidden convs + output conv
+        let params = m.param_summary();
+        assert_eq!(params.len(), 20 * 2); // weight + bias each
+        // published VDSR: ~665k params (20 layers, 64 feats, RGB in/out)
+        let n = m.num_params();
+        assert!((600_000..700_000).contains(&n), "params {n}");
+    }
+
+    #[test]
+    fn one_step_reduces_residual_loss() {
+        use dlsr_nn::loss::l1_loss;
+        use dlsr_nn::optim::{Adam, Optimizer};
+        let mut m = Vdsr::new(3, 8, 1, 5);
+        let x = init::uniform([1, 1, 8, 8], 0.0, 1.0, 6);
+        let target = init::uniform([1, 1, 8, 8], 0.0, 1.0, 7);
+        let mut opt = Adam::new(1e-2);
+        let y = m.forward(&x).unwrap();
+        let (l0, g) = l1_loss(&y, &target).unwrap();
+        m.backward(&g).unwrap();
+        opt.step(&mut m);
+        for _ in 0..5 {
+            let y = m.forward(&x).unwrap();
+            let (_, g) = l1_loss(&y, &target).unwrap();
+            m.backward(&g).unwrap();
+            opt.step(&mut m);
+        }
+        let (l1, _) = l1_loss(&m.predict(&x).unwrap(), &target).unwrap();
+        assert!(l1 < l0, "{l0} -> {l1}");
+    }
+
+    #[test]
+    fn backward_matches_finite_differences_through_the_skip() {
+        let mut m = Vdsr::new(3, 4, 1, 9);
+        // give the output conv real weights so the residual path carries
+        // gradient as well as the skip
+        m.out_conv.visit_params(&mut |p| {
+            if p.name.contains("weight") {
+                p.value = init::uniform(p.value.shape().clone(), -0.1, 0.1, 11);
+            }
+        });
+        let x = init::uniform([1, 1, 5, 5], 0.0, 1.0, 10);
+        let y = m.forward(&x).unwrap();
+        let gy = Tensor::ones(y.shape().clone());
+        let gx = m.backward(&gy).unwrap();
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 7, 13, 24] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp: f32 = m.predict(&xp).unwrap().data().iter().sum();
+            let lm: f32 = m.predict(&xm).unwrap().data().iter().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((gx.data()[idx] - fd).abs() < 3e-2, "{} vs {fd}", gx.data()[idx]);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Ring allgather.
+
+use crate::comm::Comm;
+use crate::message::Payload;
+
+use super::coll_tag;
+
+/// Gather every rank's buffer to all ranks (ring algorithm). Buffers may
+/// have different lengths. Returns the contributions indexed by rank.
+pub fn allgather(comm: &mut Comm, mine: Vec<f32>, buf_id: u64) -> Vec<Vec<f32>> {
+    let p = comm.size();
+    let rank = comm.rank();
+    let mut out: Vec<Vec<f32>> = vec![Vec::new(); p];
+    if p == 1 {
+        out[0] = mine;
+        return out;
+    }
+    let seq = comm.next_seq();
+    let right = (rank + 1) % p;
+    let left = (rank + p - 1) % p;
+    out[rank] = mine;
+    // step s: forward the block that originated at (rank − s) mod p
+    for step in 0..p - 1 {
+        let send_origin = (rank + p - step) % p;
+        let recv_origin = (rank + p - step - 1) % p;
+        let payload = Payload::F32(out[send_origin].clone());
+        let incoming = comm
+            .sendrecv(
+                right,
+                coll_tag(seq, step as u64),
+                payload,
+                buf_id,
+                left,
+                coll_tag(seq, step as u64),
+                buf_id,
+            )
+            .into_f32();
+        out[recv_origin] = incoming;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::MpiConfig;
+    use crate::world::MpiWorld;
+    use dlsr_net::ClusterTopology;
+
+    use super::*;
+
+    #[test]
+    fn gathers_all_contributions_in_rank_order() {
+        let topo = ClusterTopology::lassen(2);
+        let res = MpiWorld::run(&topo, MpiConfig::mpi_opt(), |c| {
+            // rank r contributes [r; r+1] (variable lengths)
+            let mine = vec![c.rank() as f32; c.rank() + 1];
+            allgather(c, mine, 1)
+        });
+        for (r, gathered) in res.ranks.iter().enumerate() {
+            for (src, block) in gathered.iter().enumerate() {
+                assert_eq!(block.len(), src + 1, "rank {r} block {src}");
+                assert!(block.iter().all(|&v| v == src as f32));
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let topo = ClusterTopology { name: "one".into(), nodes: 1, gpus_per_node: 1 };
+        let res = MpiWorld::run(&topo, MpiConfig::default_mpi(), |c| {
+            allgather(c, vec![9.0], 1)
+        });
+        assert_eq!(res.ranks[0], vec![vec![9.0]]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Dissemination barrier.
+
+use crate::comm::Comm;
+use crate::message::Payload;
+
+use super::coll_tag;
+
+/// Synchronize all ranks (dissemination algorithm, ⌈log₂ p⌉ rounds).
+/// After return, every rank's clock is ≥ the time every other rank
+/// entered the barrier.
+pub fn barrier(comm: &mut Comm) {
+    let p = comm.size();
+    if p == 1 {
+        return;
+    }
+    let rank = comm.rank();
+    let seq = comm.next_seq();
+    let mut round = 0u64;
+    let mut dist = 1usize;
+    while dist < p {
+        let to = (rank + dist) % p;
+        let from = (rank + p - dist) % p;
+        comm.send(to, coll_tag(seq, round), Payload::Bytes(Vec::new()), 0);
+        let _ = comm.recv(from, coll_tag(seq, round), 0);
+        dist <<= 1;
+        round += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::MpiConfig;
+    use crate::world::MpiWorld;
+    use dlsr_net::ClusterTopology;
+
+    use super::*;
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        // Rank 3 does heavy compute before the barrier; everyone's clock
+        // after the barrier must be at least that compute time.
+        let topo = ClusterTopology::lassen(1);
+        let res = MpiWorld::run(&topo, MpiConfig::default_mpi(), |c| {
+            if c.rank() == 3 {
+                c.advance(1.0); // one virtual second of work
+            }
+            barrier(c);
+            c.now()
+        });
+        for (r, t) in res.ranks.iter().enumerate() {
+            assert!(*t >= 1.0, "rank {r} clock {t} < barrier bound");
+        }
+    }
+
+    #[test]
+    fn barrier_works_on_non_power_of_two() {
+        let topo = ClusterTopology { name: "odd".into(), nodes: 3, gpus_per_node: 1 };
+        let res = MpiWorld::run(&topo, MpiConfig::default_mpi(), |c| {
+            barrier(c);
+            c.rank()
+        });
+        assert_eq!(res.ranks, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Binomial-tree broadcast — `MPI_Bcast`, which Horovod uses to distribute
+//! the initial model parameters (§III-A step 2).
+
+use crate::comm::Comm;
+use crate::message::Payload;
+
+use super::coll_tag;
+
+/// Broadcast `buf` from `root` to every rank (binomial tree, the MPICH
+/// algorithm).
+pub fn bcast(comm: &mut Comm, buf: &mut Vec<f32>, root: usize, buf_id: u64) {
+    let p = comm.size();
+    if p == 1 {
+        return;
+    }
+    let rank = comm.rank();
+    let seq = comm.next_seq();
+    let relative = (rank + p - root) % p;
+
+    // receive phase: find the bit that connects us to our parent
+    let mut mask = 1usize;
+    while mask < p {
+        if relative & mask != 0 {
+            let src = (rank + p - mask) % p;
+            *buf = comm.recv(src, coll_tag(seq, 0), buf_id).into_f32();
+            break;
+        }
+        mask <<= 1;
+    }
+    // forward phase
+    mask >>= 1;
+    while mask > 0 {
+        if relative + mask < p {
+            let dst = (rank + mask) % p;
+            comm.send(dst, coll_tag(seq, 0), Payload::F32(buf.clone()), buf_id);
+        }
+        mask >>= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::MpiConfig;
+    use crate::world::MpiWorld;
+    use dlsr_net::ClusterTopology;
+
+    use super::*;
+
+    #[test]
+    fn all_ranks_receive_roots_buffer() {
+        for nodes in [1usize, 2] {
+            for root in [0usize, 2] {
+                let topo = ClusterTopology::lassen(nodes);
+                let res = MpiWorld::run(&topo, MpiConfig::mpi_opt(), move |c| {
+                    let mut buf = if c.rank() == root {
+                        vec![3.0, 1.0, 4.0, 1.0, 5.0]
+                    } else {
+                        vec![0.0; 5]
+                    };
+                    bcast(c, &mut buf, root, 1);
+                    buf
+                });
+                for (r, buf) in res.ranks.iter().enumerate() {
+                    assert_eq!(buf, &[3.0, 1.0, 4.0, 1.0, 5.0], "rank {r} root {root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_time_grows_logarithmically() {
+        // Binomial tree: quadrupling the world should add ~2 more hops, not
+        // 4× the time. Measure the *second* bcast so one-time registration
+        // (pinning) costs don't pollute the comparison.
+        let steady_time = |nodes: usize| {
+            let topo = ClusterTopology::lassen(nodes);
+            let res = MpiWorld::run(&topo, MpiConfig::mpi_opt(), |c| {
+                let mut buf = vec![1.0f32; 1 << 20];
+                bcast(c, &mut buf, 0, 1);
+                let warm = c.now();
+                bcast(c, &mut buf, 0, 1);
+                c.now() - warm
+            });
+            res.ranks.iter().copied().fold(0.0, f64::max)
+        };
+        let t4 = steady_time(1);
+        let t16 = steady_time(4);
+        assert!(t16 > t4, "more hops must cost more: t4={t4} t16={t16}");
+        assert!(t16 < t4 * 4.0, "t4={t4} t16={t16}");
+    }
+}

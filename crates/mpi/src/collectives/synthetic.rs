@@ -1,0 +1,261 @@
+//! Costs-only mirrors of the collective algorithms.
+//!
+//! These run the *same* communication schedules as their real counterparts
+//! in `allreduce.rs`/`bcast.rs` — same peers, same message sizes, same
+//! paths, same registration and reduce-kernel charges — but payloads carry
+//! only a byte count. They exist for the scaling harnesses (512 simulated
+//! ranks × tens of MB of gradients), where moving real buffers would
+//! exhaust host memory without changing any timing result.
+//!
+//! Equivalence with the real algorithms is asserted in tests: for the same
+//! buffer size and world, virtual times agree to floating-point noise.
+
+use crate::comm::Comm;
+use crate::message::Payload;
+
+use super::{chunk_range, coll_tag, AllreduceAlgorithm};
+
+fn synth(elems: usize) -> Payload {
+    Payload::Synthetic { bytes: (elems * 4) as u64 }
+}
+
+/// Costs-only sum-allreduce of `elems` f32 elements.
+pub fn allreduce_elems(comm: &mut Comm, elems: usize, buf_id: u64, algo: AllreduceAlgorithm) {
+    if comm.size() == 1 {
+        return;
+    }
+    match algo {
+        AllreduceAlgorithm::Ring => {
+            let seq = comm.next_seq();
+            let participants: Vec<usize> = (0..comm.size()).collect();
+            ring_elems(comm, elems, &participants, buf_id, seq);
+        }
+        AllreduceAlgorithm::RecursiveDoubling => {
+            if comm.size().is_power_of_two() {
+                recursive_doubling_elems(comm, elems, buf_id);
+            } else {
+                let seq = comm.next_seq();
+                let participants: Vec<usize> = (0..comm.size()).collect();
+                ring_elems(comm, elems, &participants, buf_id, seq);
+            }
+        }
+        AllreduceAlgorithm::TwoLevel => two_level_elems(comm, elems, buf_id),
+    }
+}
+
+fn ring_elems(comm: &mut Comm, elems: usize, participants: &[usize], buf_id: u64, seq: u64) {
+    let p = participants.len();
+    if p <= 1 {
+        return;
+    }
+    let me = participants
+        .iter()
+        .position(|&r| r == comm.rank())
+        .expect("caller participates in the ring");
+    let right = participants[(me + 1) % p];
+    let left = participants[(me + p - 1) % p];
+    for step in 0..p - 1 {
+        let send_chunk = (me + p - step) % p;
+        let recv_chunk = (me + p - step - 1) % p;
+        let send_elems = chunk_range(elems, p, send_chunk).len();
+        let recv_elems = chunk_range(elems, p, recv_chunk).len();
+        let _ = comm.sendrecv(
+            right,
+            coll_tag(seq, step as u64),
+            synth(send_elems),
+            buf_id,
+            left,
+            coll_tag(seq, step as u64),
+            buf_id,
+        );
+        comm.charge_reduce(recv_elems);
+    }
+    for step in 0..p - 1 {
+        let send_chunk = (me + 1 + p - step) % p;
+        let send_elems = chunk_range(elems, p, send_chunk).len();
+        let _ = comm.sendrecv(
+            right,
+            coll_tag(seq, (p + step) as u64),
+            synth(send_elems),
+            buf_id,
+            left,
+            coll_tag(seq, (p + step) as u64),
+            buf_id,
+        );
+    }
+}
+
+fn recursive_doubling_elems(comm: &mut Comm, elems: usize, buf_id: u64) {
+    let p = comm.size();
+    let rank = comm.rank();
+    let seq = comm.next_seq();
+    let mut mask = 1usize;
+    let mut step = 0u64;
+    while mask < p {
+        let partner = rank ^ mask;
+        let _ = comm.sendrecv(
+            partner,
+            coll_tag(seq, step),
+            synth(elems),
+            buf_id,
+            partner,
+            coll_tag(seq, step),
+            buf_id,
+        );
+        comm.charge_reduce(elems);
+        mask <<= 1;
+        step += 1;
+    }
+}
+
+fn two_level_elems(comm: &mut Comm, elems: usize, buf_id: u64) {
+    let seq = comm.next_seq();
+    let topo = comm.topology().clone();
+    let rank = comm.rank();
+    let gpn = topo.gpus_per_node;
+    let node = topo.node_of(rank);
+    let leader = node * gpn;
+    let is_leader = rank == leader;
+
+    // Phase 1: binomial intra-node reduce (mirrors allreduce::two_level).
+    if gpn > 1 {
+        let r = rank - leader;
+        let mut mask = 1usize;
+        while mask < gpn {
+            if r & mask != 0 {
+                comm.send(leader + (r - mask), coll_tag(seq, 0), synth(elems), buf_id);
+                break;
+            }
+            let src = r + mask;
+            if src < gpn {
+                let _ = comm.recv(leader + src, coll_tag(seq, 0), buf_id);
+                comm.charge_reduce(elems);
+            }
+            mask <<= 1;
+        }
+    }
+    // Phase 2: inter-node ring among leaders.
+    if topo.nodes > 1 && is_leader {
+        let leaders: Vec<usize> = (0..topo.nodes).map(|n| n * gpn).collect();
+        ring_elems(comm, elems, &leaders, buf_id.wrapping_add(1), seq);
+    }
+    // Phase 3: binomial intra-node broadcast.
+    if gpn > 1 {
+        let r = rank - leader;
+        let mut mask = 1usize;
+        while mask < gpn {
+            if r & mask != 0 {
+                let _ = comm.recv(leader + (r - mask), coll_tag(seq, 1), buf_id);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if r + mask < gpn {
+                comm.send(leader + r + mask, coll_tag(seq, 1), synth(elems), buf_id);
+            }
+            mask >>= 1;
+        }
+    }
+}
+
+/// Costs-only broadcast of `elems` f32 elements from `root` (binomial).
+pub fn bcast_elems(comm: &mut Comm, elems: usize, root: usize, buf_id: u64) {
+    let p = comm.size();
+    if p == 1 {
+        return;
+    }
+    let rank = comm.rank();
+    let seq = comm.next_seq();
+    let relative = (rank + p - root) % p;
+    let mut mask = 1usize;
+    while mask < p {
+        if relative & mask != 0 {
+            let src = (rank + p - mask) % p;
+            let _ = comm.recv(src, coll_tag(seq, 0), buf_id);
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while mask > 0 {
+        if relative + mask < p {
+            let dst = (rank + mask) % p;
+            comm.send(dst, coll_tag(seq, 0), synth(elems), buf_id);
+        }
+        mask >>= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::MpiConfig;
+    use crate::world::MpiWorld;
+    use dlsr_net::ClusterTopology;
+
+    use super::super::{allreduce_with, bcast};
+    use super::*;
+
+    /// The defining property: synthetic timing == real timing.
+    #[test]
+    fn synthetic_allreduce_times_match_real() {
+        for algo in [
+            AllreduceAlgorithm::Ring,
+            AllreduceAlgorithm::RecursiveDoubling,
+            AllreduceAlgorithm::TwoLevel,
+        ] {
+            for cfg in [MpiConfig::default_mpi(), MpiConfig::mpi_opt()] {
+                let topo = ClusterTopology::lassen(2);
+                let elems = 5_000_000usize; // 20 MB — exercises IPC threshold
+                let t_real = MpiWorld::run(&topo, cfg.clone(), move |c| {
+                    let mut buf = vec![1.0f32; elems];
+                    allreduce_with(c, &mut buf, 1, algo);
+                    c.now()
+                })
+                .makespan();
+                let t_synth = MpiWorld::run(&topo, cfg, move |c| {
+                    allreduce_elems(c, elems, 1, algo);
+                    c.now()
+                })
+                .makespan();
+                let rel = (t_real - t_synth).abs() / t_real;
+                assert!(
+                    rel < 1e-9,
+                    "{algo:?}: real {t_real} vs synthetic {t_synth} (rel {rel})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_bcast_times_match_real() {
+        let topo = ClusterTopology::lassen(2);
+        let elems = 1_000_000usize;
+        let t_real = MpiWorld::run(&topo, MpiConfig::mpi_opt(), move |c| {
+            let mut buf = vec![1.0f32; elems];
+            bcast(c, &mut buf, 0, 1);
+            c.now()
+        })
+        .makespan();
+        let t_synth = MpiWorld::run(&topo, MpiConfig::mpi_opt(), move |c| {
+            bcast_elems(c, elems, 0, 1);
+            c.now()
+        })
+        .makespan();
+        assert!(((t_real - t_synth) / t_real).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scales_to_512_synthetic_ranks() {
+        // The reason this module exists: a 512-rank allreduce of a 10 MB
+        // gradient runs in milliseconds of wall time and bytes of memory.
+        let topo = ClusterTopology::lassen(128);
+        let res = MpiWorld::run(&topo, MpiConfig::mpi_opt(), |c| {
+            allreduce_elems(c, 2_500_000, 1, AllreduceAlgorithm::TwoLevel);
+            c.now()
+        });
+        assert_eq!(res.ranks.len(), 512);
+        assert!(res.makespan() > 0.0);
+    }
+}

@@ -1,0 +1,352 @@
+//! The per-rank communicator: point-to-point messaging with CUDA-aware
+//! path selection, IPC handshakes, registration caching and virtual-time
+//! accounting.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use dlsr_gpu::{DeviceEnv, GpuId, IpcRegistry};
+use dlsr_net::{ClusterTopology, RegCacheStats, RegistrationCache, TransportPath};
+
+use crate::clock::VClock;
+use crate::config::{DeviceMode, MpiConfig};
+use crate::message::{Message, Payload};
+
+/// Per-rank communication statistics (drives Fig 11's hit-rate numbers and
+/// the transport-mix assertions in tests).
+#[derive(Debug, Clone, Default)]
+pub struct CommStats {
+    /// Bytes sent over NVLink P2P (IPC path).
+    pub nvlink_bytes: u64,
+    /// Bytes sent via host staging.
+    pub staged_bytes: u64,
+    /// Bytes sent over InfiniBand (RDMA + eager).
+    pub ib_bytes: u64,
+    /// Total virtual seconds spent pinning memory.
+    pub pin_seconds: f64,
+    /// Number of pin operations performed.
+    pub pin_count: u64,
+    /// Successful CUDA IPC mappings established.
+    pub ipc_mappings: u64,
+    /// Messages sent.
+    pub sends: u64,
+    /// Messages received.
+    pub recvs: u64,
+}
+
+/// Which library's path-selection rules a message follows.
+///
+/// MVAPICH2 honours the device masks and IPC thresholds of the paper's
+/// study. NCCL (§III-C: "NCCL and CUDA-Aware MPI libraries are able to
+/// perform IPC transfers while the Python library is restricted") manages
+/// its own IPC rings and persistent, pre-registered transport buffers — it
+/// is immune to the `CUDA_VISIBLE_DEVICES` conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PathPolicy {
+    /// MVAPICH2-GDR semantics (device masks, IPC threshold, reg cache).
+    #[default]
+    Mpi,
+    /// NCCL semantics (own IPC, own pre-registered buffers).
+    NcclLike,
+}
+
+/// MPI communicator for one rank.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    topo: ClusterTopology,
+    env: DeviceEnv,
+    cfg: Arc<MpiConfig>,
+    clock: VClock,
+    senders: Vec<Sender<Message>>,
+    rx: Receiver<Message>,
+    pending: VecDeque<Message>,
+    regcache: RegistrationCache,
+    ipc_registries: Arc<Vec<IpcRegistry>>,
+    ipc_mapped: Vec<bool>,
+    stats: CommStats,
+    pub(crate) coll_seq: u64,
+    policy: PathPolicy,
+    /// NCCL's internal registration bookkeeping (always enabled — NCCL
+    /// registers its persistent transport buffers once at init).
+    nccl_regcache: RegistrationCache,
+}
+
+impl Comm {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rank: usize,
+        topo: ClusterTopology,
+        cfg: Arc<MpiConfig>,
+        senders: Vec<Sender<Message>>,
+        rx: Receiver<Message>,
+        ipc_registries: Arc<Vec<IpcRegistry>>,
+    ) -> Self {
+        let size = topo.total_gpus();
+        let local = topo.local_of(rank);
+        let gpn = topo.gpus_per_node;
+        let env = match cfg.device_mode {
+            DeviceMode::Pinned => DeviceEnv::default_pinned(local),
+            DeviceMode::PinnedWithMv2 => DeviceEnv::mpi_opt(local, gpn),
+            DeviceMode::Unpinned => DeviceEnv::unpinned(gpn),
+        };
+        let regcache = if cfg.registration_cache {
+            RegistrationCache::new(cfg.reg_cache_capacity)
+        } else {
+            RegistrationCache::disabled()
+        };
+        Comm {
+            rank,
+            size,
+            topo,
+            env,
+            cfg,
+            clock: VClock::zero(),
+            senders,
+            rx,
+            pending: VecDeque::new(),
+            regcache,
+            ipc_registries,
+            ipc_mapped: vec![false; size],
+            stats: CommStats::default(),
+            coll_seq: 0,
+            policy: PathPolicy::Mpi,
+            nccl_regcache: RegistrationCache::new(1 << 34),
+        }
+    }
+
+    /// Switch the path-selection policy (set to `NcclLike` inside NCCL
+    /// backend collectives, restored to `Mpi` afterwards).
+    pub fn set_path_policy(&mut self, policy: PathPolicy) {
+        self.policy = policy;
+    }
+
+    /// Current path-selection policy.
+    pub fn path_policy(&self) -> PathPolicy {
+        self.policy
+    }
+
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Cluster topology.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topo
+    }
+
+    /// This rank's device environment.
+    pub fn env(&self) -> &DeviceEnv {
+        &self.env
+    }
+
+    /// Library configuration.
+    pub fn config(&self) -> &MpiConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Advance local virtual time (compute, framework overhead, ...).
+    pub fn advance(&mut self, dt: f64) {
+        self.clock.advance(dt);
+    }
+
+    /// Advance the clock to at least `t` (no-op if already past it). Used
+    /// by schedules that launch communication at planned offsets — e.g.
+    /// Horovod fusion groups launching at cycle boundaries.
+    pub fn advance_to(&mut self, t: f64) {
+        self.clock.merge(t);
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Registration cache statistics.
+    pub fn regcache_stats(&self) -> RegCacheStats {
+        self.regcache.stats()
+    }
+
+    /// The GPU this rank drives.
+    pub fn gpu(&self) -> GpuId {
+        GpuId { node: self.topo.node_of(self.rank), local: self.topo.local_of(self.rank) }
+    }
+
+    /// Which transport a message of `bytes` to `dst` takes, performing the
+    /// one-time CUDA IPC handshake (handle export + peer open) if the path
+    /// requires a mapping that does not exist yet.
+    fn resolve_path(&mut self, dst: usize, bytes: u64) -> TransportPath {
+        let same_node = self.topo.same_node(self.rank, dst);
+        let my_local = self.topo.local_of(self.rank);
+        let dst_local = self.topo.local_of(dst);
+        if self.policy == PathPolicy::NcclLike && same_node {
+            // NCCL sets up its own IPC rings at communicator init — the
+            // framework's CUDA_VISIBLE_DEVICES mask does not constrain it,
+            // and it uses the P2P path at every message size.
+            if !self.ipc_mapped[dst] {
+                self.clock.advance(self.cfg.ipc_setup_cost);
+                self.ipc_mapped[dst] = true;
+                self.stats.ipc_mappings += 1;
+            }
+            return TransportPath::NvlinkP2p;
+        }
+        let ipc_ok = same_node && self.env.ipc_possible(my_local, dst_local);
+        let path = self.cfg.transport.path(false, same_node, ipc_ok, bytes);
+        if path == TransportPath::NvlinkP2p && !self.ipc_mapped[dst] {
+            // One-time handshake: export our buffer, peer opens it. Both
+            // env masks are identical across ranks (same job config), so
+            // simulating the peer's open with our env is faithful.
+            let node = self.topo.node_of(self.rank);
+            let reg = &self.ipc_registries[node];
+            let buf = dlsr_gpu::device::DeviceBuffer {
+                device: self.gpu(),
+                id: (self.rank as u64) << 32 | dst as u64,
+                bytes,
+            };
+            let handle = reg.get_mem_handle(buf);
+            let peer = GpuId { node, local: dst_local };
+            reg.open_mem_handle(handle, peer, &self.env)
+                .expect("path selection guarantees IPC visibility");
+            self.clock.advance(self.cfg.ipc_setup_cost);
+            self.ipc_mapped[dst] = true;
+            self.stats.ipc_mappings += 1;
+        }
+        path
+    }
+
+    /// Charge registration (pinning) for a buffer if the path needs it and
+    /// the cache misses.
+    fn charge_registration(&mut self, path: TransportPath, buf_id: u64, bytes: u64) {
+        if !self.cfg.transport.needs_registration(path) {
+            return;
+        }
+        let cache = match self.policy {
+            PathPolicy::Mpi => &mut self.regcache,
+            PathPolicy::NcclLike => &mut self.nccl_regcache,
+        };
+        if !cache.lookup(buf_id, bytes) {
+            let t = self.cfg.transport.pin_time(bytes);
+            self.clock.advance(t);
+            self.stats.pin_seconds += t;
+            self.stats.pin_count += 1;
+        }
+    }
+
+    /// Non-blocking send (the wire carries the bandwidth cost; the sender
+    /// pays CPU overhead, registration and any IPC setup).
+    ///
+    /// `buf_id` identifies the application buffer for the registration
+    /// cache — pass a stable id for reused buffers (fusion buffers) and a
+    /// fresh id for transient ones.
+    pub fn send(&mut self, dst: usize, tag: u64, payload: Payload, buf_id: u64) {
+        assert!(dst < self.size, "rank {dst} out of range");
+        let bytes = payload.size_bytes();
+        let path = self.resolve_path(dst, bytes);
+        self.charge_registration(path, buf_id, bytes);
+        // NCCL launches a device kernel per transport step — higher
+        // per-message CPU+launch overhead than MPI's host-driven engine.
+        let overhead = match self.policy {
+            PathPolicy::Mpi => self.cfg.send_overhead,
+            PathPolicy::NcclLike => self.cfg.nccl_send_overhead,
+        };
+        self.clock.advance(overhead);
+        match path {
+            TransportPath::NvlinkP2p => self.stats.nvlink_bytes += bytes,
+            TransportPath::HostStaged => self.stats.staged_bytes += bytes,
+            TransportPath::IbRdma | TransportPath::IbEager => self.stats.ib_bytes += bytes,
+            TransportPath::DeviceLocal => {}
+        }
+        let mut transfer = match self.policy {
+            PathPolicy::Mpi => self.cfg.transport.transfer_time(path, bytes),
+            PathPolicy::NcclLike => self.cfg.transport.transfer_time_nccl(path, bytes),
+        };
+        if matches!(path, TransportPath::IbRdma | TransportPath::IbEager) {
+            // spine-crossing hops on the fat tree add switch latency
+            transfer += self
+                .cfg
+                .fat_tree
+                .extra_latency(self.topo.node_of(self.rank), self.topo.node_of(dst));
+        }
+        let arrival = self.clock.now() + transfer;
+        self.stats.sends += 1;
+        self.senders[dst]
+            .send(Message { src: self.rank, tag, payload, arrival })
+            .expect("receiver thread alive");
+    }
+
+    /// Blocking receive matching `(src, tag)`. `recv_buf_id` identifies the
+    /// destination buffer for receiver-side registration.
+    pub fn recv(&mut self, src: usize, tag: u64, recv_buf_id: u64) -> Payload {
+        // check the out-of-order buffer first
+        if let Some(pos) = self.pending.iter().position(|m| m.src == src && m.tag == tag) {
+            let m = self.pending.remove(pos).expect("position valid");
+            return self.complete_recv(m, recv_buf_id);
+        }
+        loop {
+            let m = self.rx.recv().expect("senders alive");
+            if m.src == src && m.tag == tag {
+                return self.complete_recv(m, recv_buf_id);
+            }
+            self.pending.push_back(m);
+        }
+    }
+
+    fn complete_recv(&mut self, m: Message, recv_buf_id: u64) -> Payload {
+        let bytes = m.payload.size_bytes();
+        // Receiver-side registration: for inter-node RDMA the receive buffer
+        // must be pinned too.
+        if !self.topo.same_node(self.rank, m.src) && bytes >= self.cfg.transport.eager_threshold
+        {
+            self.charge_registration(TransportPath::IbRdma, recv_buf_id, bytes);
+        }
+        self.clock.merge(m.arrival);
+        self.clock.advance(self.cfg.recv_overhead);
+        self.stats.recvs += 1;
+        m.payload
+    }
+
+    /// Concurrent send + receive (both directions in flight, as in ring
+    /// collectives): the send is posted first and does not serialize with
+    /// the receive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &mut self,
+        dst: usize,
+        send_tag: u64,
+        payload: Payload,
+        send_buf_id: u64,
+        src: usize,
+        recv_tag: u64,
+        recv_buf_id: u64,
+    ) -> Payload {
+        self.send(dst, send_tag, payload, send_buf_id);
+        self.recv(src, recv_tag, recv_buf_id)
+    }
+
+    /// Charge the GPU reduce kernel for combining `elems` f32 elements
+    /// (read two operands + write one ⇒ 12 bytes per element).
+    pub fn charge_reduce(&mut self, elems: usize) {
+        let t = (elems as f64 * 12.0) / self.cfg.reduce_bandwidth;
+        self.clock.advance(t);
+    }
+
+    /// Fresh collective sequence number (all ranks call collectives in the
+    /// same program order, so sequence numbers agree across ranks).
+    pub(crate) fn next_seq(&mut self) -> u64 {
+        self.coll_seq += 1;
+        self.coll_seq
+    }
+}

@@ -1,0 +1,101 @@
+//! Runtime configuration — the knobs the paper turns.
+
+use dlsr_net::{FatTree, TransportModel};
+
+use crate::collectives::AllreduceAlgorithm;
+
+/// How each rank's device environment is set up (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceMode {
+    /// `CUDA_VISIBLE_DEVICES=<local rank>`, no MPI-side mask: frameworks
+    /// behave, but MPI cannot use CUDA IPC. **The broken default.**
+    Pinned,
+    /// `CUDA_VISIBLE_DEVICES=<local rank>` *and*
+    /// `MV2_VISIBLE_DEVICES=0..gpus_per_node`: the paper's fix (Fig 7).
+    PinnedWithMv2,
+    /// No masks at all: IPC works but every process pays a CUDA context on
+    /// every local device (Fig 6a's overhead kernels).
+    Unpinned,
+}
+
+/// MPI library configuration (the `MV2_*` environment of a job).
+#[derive(Debug, Clone)]
+pub struct MpiConfig {
+    /// Device-mask setup for every rank.
+    pub device_mode: DeviceMode,
+    /// Allreduce algorithm selection.
+    pub allreduce: AllreduceAlgorithm,
+    /// Enable the InfiniBand registration cache (§III-D).
+    pub registration_cache: bool,
+    /// Registration cache capacity in bytes (per rank).
+    pub reg_cache_capacity: u64,
+    /// Transport constants.
+    pub transport: TransportModel,
+    /// Inter-node switch topology (adds spine-crossing latency).
+    pub fat_tree: FatTree,
+    /// One-time cost of establishing a CUDA IPC mapping to a peer device
+    /// (handle exchange + `cuIpcOpenMemHandle`), amortized across a run.
+    pub ipc_setup_cost: f64,
+    /// Sender-side CPU overhead per message.
+    pub send_overhead: f64,
+    /// Sender-side overhead per message under the NCCL-like policy
+    /// (per-step kernel launches).
+    pub nccl_send_overhead: f64,
+    /// Receiver-side CPU overhead per message.
+    pub recv_overhead: f64,
+    /// Effective bytes/s of the GPU vector-reduce kernel used inside
+    /// reduction collectives (bandwidth-bound: ~3 accesses/element).
+    pub reduce_bandwidth: f64,
+}
+
+impl MpiConfig {
+    /// The paper's **MPI** baseline: pinned devices, no IPC, no reg cache.
+    pub fn default_mpi() -> Self {
+        MpiConfig {
+            device_mode: DeviceMode::Pinned,
+            allreduce: AllreduceAlgorithm::TwoLevel,
+            registration_cache: false,
+            reg_cache_capacity: 1 << 32,
+            transport: TransportModel::lassen(),
+            fat_tree: FatTree::lassen(),
+            ipc_setup_cost: 100.0e-6,
+            send_overhead: 2.0e-6,
+            nccl_send_overhead: 8.0e-6,
+            recv_overhead: 2.0e-6,
+            reduce_bandwidth: 500.0e9,
+        }
+    }
+
+    /// **MPI-Reg**: default + registration cache (Fig 11).
+    pub fn mpi_reg() -> Self {
+        MpiConfig { registration_cache: true, ..Self::default_mpi() }
+    }
+
+    /// **MPI-Opt**: registration cache + `MV2_VISIBLE_DEVICES` restoring
+    /// CUDA IPC (Figs 12–14, Table I).
+    pub fn mpi_opt() -> Self {
+        MpiConfig {
+            device_mode: DeviceMode::PinnedWithMv2,
+            registration_cache: true,
+            ..Self::default_mpi()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_the_right_knobs() {
+        let mpi = MpiConfig::default_mpi();
+        let reg = MpiConfig::mpi_reg();
+        let opt = MpiConfig::mpi_opt();
+        assert_eq!(mpi.device_mode, DeviceMode::Pinned);
+        assert!(!mpi.registration_cache);
+        assert_eq!(reg.device_mode, DeviceMode::Pinned);
+        assert!(reg.registration_cache);
+        assert_eq!(opt.device_mode, DeviceMode::PinnedWithMv2);
+        assert!(opt.registration_cache);
+    }
+}

@@ -1,0 +1,92 @@
+//! Wire messages between rank threads.
+
+/// Message payload: numeric tensors (the common case) or opaque bytes
+//  (coordinator control traffic).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A dense f32 buffer (gradients, parameters).
+    F32(Vec<f32>),
+    /// Serialized control data.
+    Bytes(Vec<u8>),
+    /// A costs-only payload: carries a size but no data. Used by the
+    /// scaling harnesses (up to 512 simulated ranks) where shuttling real
+    /// gradient buffers through host memory would be prohibitive; all
+    /// timing, path-selection and registration accounting is identical to
+    /// a real payload of the same size.
+    Synthetic {
+        /// Simulated payload size.
+        bytes: u64,
+    },
+}
+
+impl Payload {
+    /// Payload size in bytes on the wire.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Payload::F32(v) => (v.len() * 4) as u64,
+            Payload::Bytes(b) => b.len() as u64,
+            Payload::Synthetic { bytes } => *bytes,
+        }
+    }
+
+    /// Unwrap an f32 payload.
+    pub fn into_f32(self) -> Vec<f32> {
+        match self {
+            Payload::F32(v) => v,
+            other => panic!("expected F32 payload, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a byte payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            Payload::Bytes(b) => b,
+            other => panic!("expected Bytes payload, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a synthetic payload's size.
+    pub fn into_synthetic(self) -> u64 {
+        match self {
+            Payload::Synthetic { bytes } => bytes,
+            other => panic!("expected Synthetic payload, got {other:?}"),
+        }
+    }
+}
+
+/// One message in flight.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// Application tag (collectives use reserved high bits).
+    pub tag: u64,
+    /// Data.
+    pub payload: Payload,
+    /// Earliest virtual time the receiver may observe this message
+    /// (sender clock at send + transport time).
+    pub arrival: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes() {
+        assert_eq!(Payload::F32(vec![0.0; 3]).size_bytes(), 12);
+        assert_eq!(Payload::Bytes(vec![0u8; 5]).size_bytes(), 5);
+    }
+
+    #[test]
+    fn unwrap_round_trip() {
+        assert_eq!(Payload::F32(vec![1.0]).into_f32(), vec![1.0]);
+        assert_eq!(Payload::Bytes(vec![7]).into_bytes(), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F32")]
+    fn wrong_unwrap_panics() {
+        let _ = Payload::Bytes(vec![]).into_f32();
+    }
+}

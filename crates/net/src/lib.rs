@@ -1,0 +1,23 @@
+//! `dlsr-net` — interconnect transport models for the simulated cluster.
+//!
+//! Models the three data paths a GPU buffer can take on a Lassen-class
+//! machine (paper Fig 8), each as an α–β (latency–bandwidth) cost model:
+//!
+//! - **NVLink peer-to-peer** (CUDA IPC mapped): the fast intra-node path
+//!   restored by `MV2_VISIBLE_DEVICES`,
+//! - **host-staged** (D2H → host → H2D): the fallback MPI takes when CUDA
+//!   IPC is unavailable — on Lassen this still rides CPU–GPU NVLink, so it
+//!   is ≈2× slower, not catastrophic (exactly the Table I ratio),
+//! - **InfiniBand EDR** between nodes, with page-pinning (memory
+//!   registration) costs and the registration cache that eliminates them
+//!   on buffer reuse (§III-D), plus a GPUDirect-RDMA path.
+
+pub mod link;
+pub mod regcache;
+pub mod topology;
+pub mod transport;
+
+pub use link::LinkModel;
+pub use regcache::{RegCacheStats, RegistrationCache};
+pub use topology::{ClusterTopology, FatTree};
+pub use transport::{TransportModel, TransportPath};

@@ -1,0 +1,209 @@
+//! InfiniBand memory-registration cache (§III-D).
+//!
+//! RDMA requires communication buffers to be registered (page-pinned), a
+//! kernel operation whose cost grows with buffer size. MVAPICH2 caches
+//! registrations so a buffer reused across iterations — exactly what
+//! Horovod's persistent fusion buffer does — pays the pin cost once.
+//! The paper measured a **93 % hit rate** and **+5.1 % training throughput**
+//! from enabling this cache for PyTorch (Fig 11).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegCacheStats {
+    /// Lookups that found a live registration.
+    pub hits: u64,
+    /// Lookups that had to register.
+    pub misses: u64,
+    /// Registrations evicted to make room.
+    pub evictions: u64,
+}
+
+impl RegCacheStats {
+    /// Fraction of lookups served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU registration cache keyed by `(buffer identity, length)`.
+#[derive(Debug)]
+pub struct RegistrationCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    tick: u64,
+    entries: HashMap<(u64, u64), Entry>,
+    stats: RegCacheStats,
+    enabled: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    bytes: u64,
+    last_use: u64,
+}
+
+impl RegistrationCache {
+    /// Cache holding at most `capacity_bytes` of registered memory.
+    pub fn new(capacity_bytes: u64) -> Self {
+        RegistrationCache {
+            capacity_bytes,
+            used_bytes: 0,
+            tick: 0,
+            entries: HashMap::new(),
+            stats: RegCacheStats::default(),
+            enabled: true,
+        }
+    }
+
+    /// A disabled cache: every lookup is a miss and nothing is retained
+    /// (the pre-fix MVAPICH2 behaviour for DL frameworks).
+    pub fn disabled() -> Self {
+        let mut c = Self::new(0);
+        c.enabled = false;
+        c
+    }
+
+    /// Whether caching is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Look up a buffer; registers it on miss (evicting LRU entries as
+    /// needed). Returns `true` on hit (no pin cost), `false` on miss (the
+    /// caller charges the pin cost).
+    pub fn lookup(&mut self, buffer_id: u64, bytes: u64) -> bool {
+        self.tick += 1;
+        if !self.enabled {
+            self.stats.misses += 1;
+            return false;
+        }
+        let key = (buffer_id, bytes);
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.last_use = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        // evict until the new registration fits
+        while self.used_bytes + bytes > self.capacity_bytes && !self.entries.is_empty() {
+            let (&victim, _) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .expect("non-empty cache");
+            let removed = self.entries.remove(&victim).expect("victim exists");
+            self.used_bytes -= removed.bytes;
+            self.stats.evictions += 1;
+        }
+        if bytes <= self.capacity_bytes {
+            self.entries.insert(key, Entry { bytes, last_use: self.tick });
+            self.used_bytes += bytes;
+        }
+        false
+    }
+
+    /// Invalidate a buffer's registration (e.g. the allocator returned the
+    /// memory — the TensorFlow conflict that historically forced the cache
+    /// off, see §III-D).
+    pub fn invalidate(&mut self, buffer_id: u64, bytes: u64) {
+        if let Some(e) = self.entries.remove(&(buffer_id, bytes)) {
+            self.used_bytes -= e.bytes;
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> RegCacheStats {
+        self.stats
+    }
+
+    /// Registered bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_hits_after_first_miss() {
+        let mut c = RegistrationCache::new(1 << 30);
+        assert!(!c.lookup(1, 1024));
+        assert!(c.lookup(1, 1024));
+        assert!(c.lookup(1, 1024));
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_length_is_a_different_registration() {
+        let mut c = RegistrationCache::new(1 << 30);
+        assert!(!c.lookup(1, 1024));
+        assert!(!c.lookup(1, 2048));
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        let mut c = RegistrationCache::new(3000);
+        c.lookup(1, 1000);
+        c.lookup(2, 1000);
+        c.lookup(3, 1000);
+        // touch 1 so 2 becomes LRU
+        assert!(c.lookup(1, 1000));
+        c.lookup(4, 1000); // evicts 2
+        assert!(c.lookup(1, 1000), "1 should survive");
+        assert!(!c.lookup(2, 1000), "2 was evicted");
+        assert!(c.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut c = RegistrationCache::disabled();
+        assert!(!c.lookup(1, 8));
+        assert!(!c.lookup(1, 8));
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn invalidate_forces_repin() {
+        let mut c = RegistrationCache::new(1 << 20);
+        c.lookup(7, 512);
+        c.invalidate(7, 512);
+        assert!(!c.lookup(7, 512));
+    }
+
+    #[test]
+    fn oversize_registration_is_not_cached() {
+        let mut c = RegistrationCache::new(100);
+        assert!(!c.lookup(1, 1000));
+        assert!(!c.lookup(1, 1000), "entry larger than capacity never caches");
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn horovod_like_reuse_pattern_reaches_90_plus_percent() {
+        // Fusion buffer reused every step + a fresh small tensor now and
+        // then → the ~93 % hit rate of Fig 11.
+        let mut c = RegistrationCache::new(1 << 30);
+        for step in 0..100u64 {
+            c.lookup(1, 64 << 20); // persistent fusion buffer
+            c.lookup(2, 4 << 20); // persistent small buffer
+            if step % 10 == 0 {
+                c.lookup(100 + step, 1 << 20); // occasional fresh allocation
+            }
+        }
+        let rate = c.stats().hit_rate();
+        assert!((0.90..0.99).contains(&rate), "hit rate {rate}");
+    }
+}

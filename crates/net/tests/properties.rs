@@ -1,0 +1,89 @@
+//! Property-based tests for the network substrate: registration-cache
+//! invariants and transport-model sanity over arbitrary inputs.
+
+use proptest::prelude::*;
+
+use dlsr_net::{LinkModel, RegistrationCache, TransportModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The cache never holds more than its capacity, never double-counts,
+    /// and a repeated lookup immediately after a successful insert hits.
+    #[test]
+    fn regcache_capacity_and_reuse(
+        capacity in 1u64..10_000,
+        ops in proptest::collection::vec((0u64..20, 1u64..4_000), 1..200),
+    ) {
+        let mut cache = RegistrationCache::new(capacity);
+        let mut lookups = 0u64;
+        for &(id, bytes) in &ops {
+            let _ = cache.lookup(id, bytes);
+            lookups += 1;
+            prop_assert!(cache.used_bytes() <= capacity,
+                "cache holds {} of {capacity}", cache.used_bytes());
+            if bytes <= capacity {
+                // the entry we just inserted (or refreshed) must now hit
+                prop_assert!(cache.lookup(id, bytes), "immediate re-lookup missed");
+                lookups += 1;
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, lookups);
+    }
+
+    /// Disabled caches never hit, regardless of access pattern.
+    #[test]
+    fn disabled_cache_never_hits(ops in proptest::collection::vec((0u64..5, 1u64..100), 1..50)) {
+        let mut cache = RegistrationCache::disabled();
+        for &(id, bytes) in &ops {
+            prop_assert!(!cache.lookup(id, bytes));
+        }
+        prop_assert_eq!(cache.stats().hits, 0);
+    }
+
+    /// Link time is monotone in message size and at least the latency.
+    #[test]
+    fn link_time_monotone(lat_us in 0u32..100, bw_mbs in 1u32..100_000, a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let link = LinkModel::new(lat_us as f64 * 1e-6, bw_mbs as f64 * 1e6);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(link.time(lo) <= link.time(hi));
+        prop_assert!(link.time(lo) >= link.latency);
+    }
+
+    /// Path selection is total and consistent: intra-node messages never
+    /// take IB, inter-node never take NVLink/staged, and the IPC threshold
+    /// gates NVLink exactly.
+    #[test]
+    fn path_selection_consistency(bytes in 0u64..(256 << 20), ipc in proptest::bool::ANY) {
+        use dlsr_net::TransportPath as P;
+        let t = TransportModel::lassen();
+        let intra = t.path(false, true, ipc, bytes);
+        prop_assert!(matches!(intra, P::NvlinkP2p | P::HostStaged));
+        prop_assert_eq!(
+            intra == P::NvlinkP2p,
+            ipc && bytes >= t.ipc_large_threshold
+        );
+        let inter = t.path(false, false, ipc, bytes);
+        prop_assert!(matches!(inter, P::IbRdma | P::IbEager));
+        prop_assert_eq!(inter == P::IbEager, bytes < t.eager_threshold);
+        // registration is required exactly on the RDMA path
+        prop_assert_eq!(t.needs_registration(inter), inter == P::IbRdma);
+        prop_assert!(!t.needs_registration(intra));
+    }
+
+    /// Transfer + pin costs are finite and non-negative everywhere.
+    #[test]
+    fn costs_are_sane(bytes in 0u64..(1 << 30)) {
+        use dlsr_net::TransportPath as P;
+        let t = TransportModel::lassen();
+        for p in [P::DeviceLocal, P::NvlinkP2p, P::HostStaged, P::IbRdma, P::IbEager] {
+            let dt = t.transfer_time(p, bytes);
+            prop_assert!(dt.is_finite() && dt >= 0.0);
+            let nccl = t.transfer_time_nccl(p, bytes);
+            prop_assert!(nccl.is_finite() && nccl >= 0.0);
+        }
+        let pin = t.pin_time(bytes);
+        prop_assert!(pin >= t.pin_base);
+    }
+}

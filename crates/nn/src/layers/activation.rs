@@ -1,0 +1,55 @@
+//! Activation layers.
+
+use dlsr_tensor::{elementwise, Result, Tensor};
+
+use crate::module::Module;
+use crate::param::Param;
+
+/// Rectified linear unit.
+#[derive(Default)]
+pub struct ReLU {
+    input_cache: Option<Tensor>,
+}
+
+impl ReLU {
+    /// New ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for ReLU {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.input_cache = Some(x.clone());
+        Ok(elementwise::relu(x))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self
+            .input_cache
+            .take()
+            .expect("ReLU::backward called without forward");
+        elementwise::relu_backward(grad_out, &input)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
+        Ok(elementwise::relu(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_and_backward_masks() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec([4], vec![-2.0, -0.5, 0.5, 2.0]).unwrap();
+        let y = r.forward(&x).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 0.5, 2.0]);
+        let g = r.backward(&Tensor::ones([4])).unwrap();
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+}

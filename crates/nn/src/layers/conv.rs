@@ -1,0 +1,163 @@
+//! Convolution layer.
+
+use dlsr_tensor::conv::{conv2d, conv2d_backward, Conv2dParams};
+use dlsr_tensor::{init, Result, Tensor};
+
+use crate::module::Module;
+use crate::param::Param;
+
+/// 2-D convolution with optional bias.
+pub struct Conv2d {
+    weight: Param,
+    bias: Option<Param>,
+    conv: Conv2dParams,
+    input_cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Kaiming-initialized convolution with bias.
+    pub fn new(
+        name: &str,
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        conv: Conv2dParams,
+        seed: u64,
+    ) -> Self {
+        Self::build(name, c_in, c_out, k, conv, seed, true)
+    }
+
+    /// Kaiming-initialized convolution without bias (for BN-followed convs).
+    pub fn new_no_bias(
+        name: &str,
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        conv: Conv2dParams,
+        seed: u64,
+    ) -> Self {
+        Self::build(name, c_in, c_out, k, conv, seed, false)
+    }
+
+    fn build(
+        name: &str,
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        conv: Conv2dParams,
+        seed: u64,
+        with_bias: bool,
+    ) -> Self {
+        let weight = Param::new(
+            format!("{name}.weight"),
+            init::kaiming_conv(c_out, c_in, k, k, seed),
+        );
+        let bias = with_bias
+            .then(|| Param::new(format!("{name}.bias"), Tensor::zeros([c_out])));
+        Conv2d { weight, bias, conv, input_cache: None }
+    }
+
+    /// The convolution hyper-parameters.
+    pub fn conv_params(&self) -> Conv2dParams {
+        self.conv
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.shape().dim(0)
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.input_cache = Some(x.clone());
+        conv2d(
+            x,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| b.value.data()),
+            self.conv,
+        )
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self
+            .input_cache
+            .take()
+            .expect("Conv2d::backward called without forward");
+        let (gi, gw, gb) = conv2d_backward(&input, &self.weight.value, grad_out, self.conv)?;
+        self.weight.accumulate_grad(&gw);
+        if let Some(bias) = &mut self.bias {
+            bias.accumulate_grad_slice(&gb);
+        }
+        Ok(gi)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
+        conv2d(
+            x,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| b.value.data()),
+            self.conv,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleExt;
+    use dlsr_tensor::reduce;
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut c = Conv2d::new("c", 3, 8, 3, Conv2dParams::same(3), 1);
+        let x = init::uniform([2, 3, 6, 6], -1.0, 1.0, 2);
+        let y = c.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 8, 6, 6]);
+        let gi = c.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(gi.shape().dims(), x.shape().dims());
+    }
+
+    #[test]
+    fn gradient_decreases_loss() {
+        // One SGD step on sum-of-squares loss must reduce it: end-to-end
+        // sanity that gradients point downhill.
+        let mut c = Conv2d::new("c", 1, 1, 3, Conv2dParams::same(3), 3);
+        let x = init::uniform([1, 1, 5, 5], -1.0, 1.0, 4);
+        let y = c.forward(&x).unwrap();
+        let loss0 = reduce::mean_sq(&y);
+        // dL/dy = 2y/n
+        let n = y.numel() as f32;
+        let gy = dlsr_tensor::elementwise::scale(&y, 2.0 / n);
+        c.backward(&gy).unwrap();
+        let lr = 0.1;
+        c.visit_params(&mut |p| {
+            let g = p.grad.clone();
+            for (v, gv) in p.value.data_mut().iter_mut().zip(g.data()) {
+                *v -= lr * gv;
+            }
+        });
+        let y1 = c.predict(&x).unwrap();
+        assert!(reduce::mean_sq(&y1) < loss0);
+    }
+
+    #[test]
+    fn no_bias_variant_has_single_param() {
+        let mut c = Conv2d::new_no_bias("c", 2, 2, 3, Conv2dParams::default(), 1);
+        assert_eq!(c.param_summary().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without forward")]
+    fn backward_without_forward_panics() {
+        let mut c = Conv2d::new("c", 1, 1, 3, Conv2dParams::default(), 1);
+        let _ = c.backward(&Tensor::zeros([1, 1, 1, 1]));
+    }
+}

@@ -1,0 +1,131 @@
+//! Fully-connected layer.
+
+use dlsr_tensor::matmul::{matmul_a_bt, matmul_at_b, matmul_into};
+use dlsr_tensor::{init, Result, Tensor};
+
+use crate::module::Module;
+use crate::param::Param;
+
+/// Affine map `y = x·Wᵀ + b` with `x: [N, in]`, `W: [out, in]`, `y: [N, out]`.
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    input_cache: Option<Tensor>,
+}
+
+impl Linear {
+    /// Kaiming-initialized linear layer.
+    pub fn new(name: &str, in_features: usize, out_features: usize, seed: u64) -> Self {
+        Linear {
+            weight: Param::new(
+                format!("{name}.weight"),
+                init::kaiming_linear(out_features, in_features, seed),
+            ),
+            bias: Param::new(format!("{name}.bias"), Tensor::zeros([out_features])),
+            input_cache: None,
+        }
+    }
+
+    fn apply(&self, x: &Tensor) -> Result<Tensor> {
+        let (n, in_f) = x.shape().as_2d()?;
+        let (out_f, in_w) = self.weight.value.shape().as_2d()?;
+        assert_eq!(in_f, in_w, "Linear input feature mismatch");
+        let mut y = Tensor::zeros([n, out_f]);
+        // y = x (N×in) · Wᵀ  — W stored row-major [out, in]
+        matmul_a_bt(x.data(), self.weight.value.data(), y.data_mut(), n, in_f, out_f);
+        for row in y.data_mut().chunks_mut(out_f) {
+            for (v, &b) in row.iter_mut().zip(self.bias.value.data()) {
+                *v += b;
+            }
+        }
+        Ok(y)
+    }
+}
+
+impl Module for Linear {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.input_cache = Some(x.clone());
+        self.apply(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .input_cache
+            .take()
+            .expect("Linear::backward called without forward");
+        let (n, in_f) = x.shape().as_2d()?;
+        let (_, out_f) = grad_out.shape().as_2d()?;
+
+        // grad_W[out, in] = gᵀ (out×N) · x (N×in)
+        let mut gw = vec![0.0f32; out_f * in_f];
+        matmul_at_b(grad_out.data(), x.data(), &mut gw, n, out_f, in_f);
+        self.weight.accumulate_grad_slice(&gw);
+
+        // grad_b[out] = column sums of g
+        let mut gb = vec![0.0f32; out_f];
+        for row in grad_out.data().chunks(out_f) {
+            for (b, &g) in gb.iter_mut().zip(row) {
+                *b += g;
+            }
+        }
+        self.bias.accumulate_grad_slice(&gb);
+
+        // grad_x (N×in) = g (N×out) · W (out×in)
+        let mut gx = Tensor::zeros([n, in_f]);
+        matmul_into(grad_out.data(), self.weight.value.data(), gx.data_mut(), n, out_f, in_f);
+        Ok(gx)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.apply(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        let mut l = Linear::new("fc", 2, 2, 1);
+        l.weight.value = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        l.bias.value = Tensor::from_vec([2], vec![0.5, -0.5]).unwrap();
+        let x = Tensor::from_vec([1, 2], vec![1.0, 1.0]).unwrap();
+        let y = l.forward(&x).unwrap();
+        // y = [1+2+0.5, 3+4-0.5]
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut l = Linear::new("fc", 3, 2, 7);
+        let x = init::uniform([2, 3], -1.0, 1.0, 8);
+        let y = l.forward(&x).unwrap();
+        let gy = Tensor::ones(y.shape().clone());
+        let gx = l.backward(&gy).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |l: &Linear, x: &Tensor| l.apply(x).unwrap().data().iter().sum::<f32>();
+        for idx in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fd = (loss(&l, &xp) - loss(&l, &xm)) / (2.0 * eps);
+            assert!((gx.data()[idx] - fd).abs() < 1e-2);
+        }
+        // weight grad finite diff on one entry
+        let widx = 4;
+        let mut lp = Linear::new("fc", 3, 2, 7);
+        lp.weight.value.data_mut()[widx] += eps;
+        let mut lm = Linear::new("fc", 3, 2, 7);
+        lm.weight.value.data_mut()[widx] -= eps;
+        let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+        assert!((l.weight.grad.data()[widx] - fd).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,59 @@
+//! EDSR's MeanShift: fixed per-channel offset layers that subtract the
+//! dataset RGB mean at the input and add it back at the output. No
+//! trainable parameters; gradient passes through unchanged.
+
+use dlsr_tensor::{elementwise, Result, Tensor};
+
+use crate::module::Module;
+use crate::param::Param;
+
+/// Fixed per-channel shift: `out[:,c] = in[:,c] + sign · mean[c]`.
+pub struct MeanShift {
+    shift: Vec<f32>,
+}
+
+impl MeanShift {
+    /// Subtract the channel means (input normalization).
+    pub fn subtract(means: &[f32]) -> Self {
+        MeanShift { shift: means.iter().map(|m| -m).collect() }
+    }
+
+    /// Add the channel means back (output de-normalization).
+    pub fn add(means: &[f32]) -> Self {
+        MeanShift { shift: means.to_vec() }
+    }
+}
+
+impl Module for MeanShift {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        elementwise::add_channel(x, &self.shift)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        Ok(grad_out.clone())
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subtract_then_add_is_identity() {
+        let means = [0.4488, 0.4371, 0.4040]; // DIV2K RGB means
+        let x = dlsr_tensor::init::uniform([1, 3, 2, 2], 0.0, 1.0, 1);
+        let mut sub = MeanShift::subtract(&means);
+        let mut add = MeanShift::add(&means);
+        let y = add.forward(&sub.forward(&x).unwrap()).unwrap();
+        assert!(y.allclose(&x, 1e-6));
+    }
+
+    #[test]
+    fn gradient_is_identity() {
+        let mut m = MeanShift::subtract(&[0.5]);
+        let g = Tensor::from_vec([1, 1, 1, 2], vec![1.0, 2.0]).unwrap();
+        assert_eq!(m.backward(&g).unwrap(), g);
+    }
+}

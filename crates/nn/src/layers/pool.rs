@@ -1,0 +1,103 @@
+//! Pooling layers for the classification comparator model.
+
+use dlsr_tensor::pool;
+use dlsr_tensor::{Result, Shape, Tensor};
+
+use crate::module::Module;
+use crate::param::Param;
+
+/// Max pooling with square window and stride.
+pub struct MaxPool2d {
+    k: usize,
+    s: usize,
+    ctx: Option<(Vec<usize>, Shape)>,
+}
+
+impl MaxPool2d {
+    /// Window `k`, stride `s`.
+    pub fn new(k: usize, s: usize) -> Self {
+        MaxPool2d { k, s, ctx: None }
+    }
+}
+
+impl Module for MaxPool2d {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        let (y, argmax) = pool::max_pool2d(x, self.k, self.s)?;
+        self.ctx = Some((argmax, x.shape().clone()));
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (argmax, shape) = self
+            .ctx
+            .take()
+            .expect("MaxPool2d::backward called without forward");
+        pool::max_pool2d_backward(grad_out, &argmax, &shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
+        Ok(pool::max_pool2d(x, self.k, self.s)?.0)
+    }
+}
+
+/// Global average pooling NCHW → [N, C].
+#[derive(Default)]
+pub struct GlobalAvgPool {
+    hw: Option<(usize, usize)>,
+}
+
+impl GlobalAvgPool {
+    /// New layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        let (_, _, h, w) = x.shape().as_nchw()?;
+        self.hw = Some((h, w));
+        pool::global_avg_pool(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (h, w) = self
+            .hw
+            .take()
+            .expect("GlobalAvgPool::backward called without forward");
+        pool::global_avg_pool_backward(grad_out, h, w)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
+        pool::global_avg_pool(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_round_trip() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 4.0, 2.0, 3.0]).unwrap();
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.data(), &[4.0]);
+        let g = p.backward(&Tensor::from_vec([1, 1, 1, 1], vec![1.0]).unwrap()).unwrap();
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gap_round_trip() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]).unwrap();
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.data(), &[3.0]);
+        let g = p.backward(&Tensor::from_vec([1, 1], vec![4.0]).unwrap()).unwrap();
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,116 @@
+//! The EDSR residual block: conv → ReLU → conv, scaled by the residual
+//! scaling factor (0.1 in the paper) and added to the skip connection.
+//! Unlike the original ResNet block there is **no batch normalization** —
+//! the paper's Fig 5a highlights exactly this simplification.
+
+use dlsr_tensor::conv::Conv2dParams;
+use dlsr_tensor::{elementwise, Result, Tensor};
+
+use crate::layers::{Conv2d, ReLU};
+use crate::module::Module;
+use crate::param::Param;
+
+/// EDSR residual block with residual scaling.
+pub struct ResBlock {
+    conv1: Conv2d,
+    conv2: Conv2d,
+    relu: ReLU,
+    res_scale: f32,
+}
+
+impl ResBlock {
+    /// Block over `features` channels with 3×3 "same" convolutions.
+    pub fn new(name: &str, features: usize, res_scale: f32, seed: u64) -> Self {
+        let p = Conv2dParams::same(3);
+        ResBlock {
+            conv1: Conv2d::new(&format!("{name}.conv1"), features, features, 3, p, seed),
+            conv2: Conv2d::new(&format!("{name}.conv2"), features, features, 3, p, seed.wrapping_add(1)),
+            relu: ReLU::new(),
+            res_scale,
+        }
+    }
+
+    /// The residual scaling factor.
+    pub fn res_scale(&self) -> f32 {
+        self.res_scale
+    }
+}
+
+impl Module for ResBlock {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        let h = self.conv1.forward(x)?;
+        let h = self.relu.forward(&h)?;
+        let h = self.conv2.forward(&h)?;
+        let scaled = elementwise::scale(&h, self.res_scale);
+        elementwise::add(x, &scaled)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        // d(x + s·f(x)) = g + s·f'(x)ᵀg
+        let g_body = elementwise::scale(grad_out, self.res_scale);
+        let g = self.conv2.backward(&g_body)?;
+        let g = self.relu.backward(&g)?;
+        let g = self.conv1.backward(&g)?;
+        elementwise::add(grad_out, &g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        self.conv2.visit_params(f);
+    }
+
+    fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
+        let h = self.conv1.predict(x)?;
+        let h = self.relu.predict(&h)?;
+        let h = self.conv2.predict(&h)?;
+        let scaled = elementwise::scale(&h, self.res_scale);
+        elementwise::add(x, &scaled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleExt;
+    use dlsr_tensor::init;
+
+    #[test]
+    fn output_stays_close_to_input_with_small_res_scale() {
+        // res_scale=0.1 keeps the block near the identity at init — the
+        // stabilization EDSR relies on for deep stacks.
+        let mut b = ResBlock::new("rb", 4, 0.1, 1);
+        let x = init::uniform([1, 4, 5, 5], -1.0, 1.0, 2);
+        let y = b.forward(&x).unwrap();
+        let diff = y.max_abs_diff(&x);
+        assert!(diff < 1.0, "residual branch dominates: {diff}");
+        assert!(diff > 0.0, "block is exactly identity — conv not applied");
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut b = ResBlock::new("rb", 2, 0.5, 3);
+        let x = init::uniform([1, 2, 3, 3], -1.0, 1.0, 4);
+        let y = b.forward(&x).unwrap();
+        let gy = Tensor::ones(y.shape().clone());
+        let gx = b.backward(&gy).unwrap();
+
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 5, 11, 17] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp: f32 = b.predict(&xp).unwrap().data().iter().sum();
+            let lm: f32 = b.predict(&xm).unwrap().data().iter().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((gx.data()[idx] - fd).abs() < 2e-2, "{} vs {fd}", gx.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut b = ResBlock::new("rb", 8, 0.1, 1);
+        // two 3×3 convs: 2 × (8·8·9 + 8)
+        assert_eq!(b.num_params(), 2 * (8 * 8 * 9 + 8));
+    }
+}

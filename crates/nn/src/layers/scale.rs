@@ -1,0 +1,50 @@
+//! Constant scaling layer (EDSR residual scaling, test fixtures).
+
+use dlsr_tensor::{elementwise, Result, Tensor};
+
+use crate::module::Module;
+use crate::param::Param;
+
+/// Multiplies its input by a fixed constant. Not trainable.
+pub struct Scale {
+    factor: f32,
+}
+
+impl Scale {
+    /// New scaling layer with factor `factor`.
+    pub fn new(factor: f32) -> Self {
+        Scale { factor }
+    }
+
+    /// The scale factor.
+    pub fn factor(&self) -> f32 {
+        self.factor
+    }
+}
+
+impl Module for Scale {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        Ok(elementwise::scale(x, self.factor))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        Ok(elementwise::scale(grad_out, self.factor))
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_forward_and_backward() {
+        let mut s = Scale::new(0.1);
+        let x = Tensor::from_vec([2], vec![1.0, 2.0]).unwrap();
+        let y = s.forward(&x).unwrap();
+        assert!((y.data()[0] - 0.1).abs() < 1e-7);
+        let g = s.backward(&Tensor::ones([2])).unwrap();
+        assert!((g.data()[1] - 0.1).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,47 @@
+//! Pixel-shuffle layer (EDSR upsampler tail).
+
+use dlsr_tensor::shuffle;
+use dlsr_tensor::{Result, Tensor};
+
+use crate::module::Module;
+use crate::param::Param;
+
+/// Sub-pixel rearrangement `[N, C·r², H, W] → [N, C, H·r, W·r]`.
+pub struct PixelShuffle {
+    r: usize,
+}
+
+impl PixelShuffle {
+    /// Upscale factor `r`.
+    pub fn new(r: usize) -> Self {
+        PixelShuffle { r }
+    }
+}
+
+impl Module for PixelShuffle {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        shuffle::pixel_shuffle(x, self.r)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        // pixel_unshuffle is the exact adjoint (see dlsr-tensor tests).
+        shuffle::pixel_unshuffle(grad_out, self.r)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut p = PixelShuffle::new(2);
+        let x = Tensor::zeros([1, 8, 3, 3]);
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2, 6, 6]);
+        let g = p.backward(&y).unwrap();
+        assert_eq!(g.shape().dims(), &[1, 8, 3, 3]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Image-quality metrics: PSNR and SSIM, the two IQA methods the paper
+//! cites for evaluating super-resolution output (§II-E).
+
+use dlsr_tensor::{Result, Tensor, TensorError};
+
+/// Peak signal-to-noise ratio in dB, for images in `[0, max_val]`.
+///
+/// `PSNR = 10 · log10(max_val² / MSE)`. Identical images yield `f32::INFINITY`.
+pub fn psnr(a: &Tensor, b: &Tensor, max_val: f32) -> Result<f32> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            expected: a.shape().dims().to_vec(),
+            got: b.shape().dims().to_vec(),
+            context: "psnr",
+        });
+    }
+    let mse = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f32>()
+        / a.numel() as f32;
+    if mse == 0.0 {
+        return Ok(f32::INFINITY);
+    }
+    Ok(10.0 * (max_val * max_val / mse).log10())
+}
+
+/// Structural similarity index over an NCHW batch using the standard
+/// 8×8 block formulation (windows averaged over all planes).
+///
+/// Constants follow Wang et al. 2004: `C1 = (0.01·L)², C2 = (0.03·L)²`.
+pub fn ssim(a: &Tensor, b: &Tensor, max_val: f32) -> Result<f32> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            expected: a.shape().dims().to_vec(),
+            got: b.shape().dims().to_vec(),
+            context: "ssim",
+        });
+    }
+    let (n, c, h, w) = a.shape().as_nchw()?;
+    const WIN: usize = 8;
+    if h < WIN || w < WIN {
+        return Err(TensorError::InvalidArgument(format!(
+            "ssim requires at least {WIN}×{WIN} images, got {h}×{w}"
+        )));
+    }
+    let c1 = (0.01 * max_val) * (0.01 * max_val);
+    let c2 = (0.03 * max_val) * (0.03 * max_val);
+    let mut total = 0.0f64;
+    let mut windows = 0u64;
+    for plane in 0..n * c {
+        let pa = &a.data()[plane * h * w..(plane + 1) * h * w];
+        let pb = &b.data()[plane * h * w..(plane + 1) * h * w];
+        for by in (0..=h - WIN).step_by(WIN) {
+            for bx in (0..=w - WIN).step_by(WIN) {
+                let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0f64, 0f64, 0f64, 0f64, 0f64);
+                for y in by..by + WIN {
+                    for x in bx..bx + WIN {
+                        let (va, vb) = (pa[y * w + x] as f64, pb[y * w + x] as f64);
+                        sa += va;
+                        sb += vb;
+                        saa += va * va;
+                        sbb += vb * vb;
+                        sab += va * vb;
+                    }
+                }
+                let np = (WIN * WIN) as f64;
+                let (ma, mb) = (sa / np, sb / np);
+                let va = saa / np - ma * ma;
+                let vb = sbb / np - mb * mb;
+                let cov = sab / np - ma * mb;
+                let s = ((2.0 * ma * mb + c1 as f64) * (2.0 * cov + c2 as f64))
+                    / ((ma * ma + mb * mb + c1 as f64) * (va + vb + c2 as f64));
+                total += s;
+                windows += 1;
+            }
+        }
+    }
+    Ok((total / windows as f64) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlsr_tensor::init;
+
+    #[test]
+    fn psnr_of_identical_images_is_infinite() {
+        let a = init::uniform([1, 1, 4, 4], 0.0, 1.0, 1);
+        assert_eq!(psnr(&a, &a, 1.0).unwrap(), f32::INFINITY);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // MSE = 0.01 → PSNR = 10·log10(1/0.01) = 20 dB
+        let a = Tensor::zeros([1, 1, 1, 4]);
+        let b = Tensor::full([1, 1, 1, 4], 0.1);
+        let p = psnr(&a, &b, 1.0).unwrap();
+        assert!((p - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let clean = init::uniform([1, 1, 8, 8], 0.0, 1.0, 2);
+        let small = dlsr_tensor::elementwise::add_scalar(&clean, 0.01);
+        let large = dlsr_tensor::elementwise::add_scalar(&clean, 0.1);
+        assert!(psnr(&clean, &small, 1.0).unwrap() > psnr(&clean, &large, 1.0).unwrap());
+    }
+
+    #[test]
+    fn ssim_identity_is_one() {
+        let a = init::uniform([1, 1, 16, 16], 0.0, 1.0, 3);
+        let s = ssim(&a, &a, 1.0).unwrap();
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ssim_penalizes_structural_noise() {
+        let a = init::uniform([1, 1, 16, 16], 0.3, 0.7, 4);
+        let noise = init::uniform([1, 1, 16, 16], -0.2, 0.2, 5);
+        let b = dlsr_tensor::elementwise::add(&a, &noise).unwrap();
+        let s = ssim(&a, &b, 1.0).unwrap();
+        assert!(s < 0.999);
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn tiny_image_is_error() {
+        let a = Tensor::zeros([1, 1, 4, 4]);
+        assert!(ssim(&a, &a, 1.0).is_err());
+    }
+}

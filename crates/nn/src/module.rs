@@ -1,0 +1,200 @@
+//! The [`Module`] trait and composite containers.
+
+use dlsr_tensor::{Result, Tensor};
+
+use crate::param::Param;
+
+/// A differentiable network component.
+///
+/// Contract:
+/// - `forward` caches whatever context `backward` needs (typically its
+///   input). Calling `backward` without a preceding `forward` is a logic
+///   error and panics.
+/// - `backward` consumes the cached context, **accumulates** gradients into
+///   its parameters, and returns the gradient with respect to its input.
+/// - `visit_params` walks parameters in a deterministic order that is stable
+///   across ranks and runs (required by gradient synchronization).
+pub trait Module: Send {
+    /// Forward pass (training mode: caches context for backward).
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor>;
+
+    /// Backward pass: returns dL/d(input), accumulates parameter grads.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// Visit every trainable parameter (deterministic order).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Forward pass without caching (inference). Default: forward.
+    fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.forward(x)
+    }
+}
+
+/// Helpers available on any module.
+pub trait ModuleExt: Module {
+    /// Collect `(name, numel)` for every parameter.
+    fn param_summary(&mut self) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p| out.push((p.name.clone(), p.numel())));
+        out
+    }
+
+    /// Total trainable scalar count.
+    fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.numel());
+        n
+    }
+
+    /// Zero every parameter gradient.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Flatten all parameter *values* into one buffer (deterministic order).
+    fn flatten_params(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p| out.extend_from_slice(p.value.data()));
+        out
+    }
+
+    /// Overwrite all parameter values from a flat buffer produced by
+    /// [`ModuleExt::flatten_params`] on a module of identical architecture.
+    fn load_flat_params(&mut self, flat: &[f32]) {
+        let mut off = 0usize;
+        self.visit_params(&mut |p| {
+            let n = p.numel();
+            p.value.data_mut().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        });
+        assert_eq!(off, flat.len(), "flat parameter buffer length mismatch");
+    }
+
+    /// Flatten all parameter *gradients* into one buffer.
+    fn flatten_grads(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p| out.extend_from_slice(p.grad.data()));
+        out
+    }
+
+    /// Overwrite all gradients from a flat buffer (after an allreduce).
+    fn load_flat_grads(&mut self, flat: &[f32]) {
+        let mut off = 0usize;
+        self.visit_params(&mut |p| {
+            let n = p.numel();
+            p.grad.data_mut().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        });
+        assert_eq!(off, flat.len(), "flat gradient buffer length mismatch");
+    }
+}
+
+impl<M: Module + ?Sized> ModuleExt for M {}
+
+/// A sequence of modules applied in order.
+pub struct Sequential {
+    mods: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// Empty sequence.
+    pub fn new() -> Self {
+        Sequential { mods: Vec::new() }
+    }
+
+    /// Append a module (builder style).
+    pub fn push(mut self, m: impl Module + 'static) -> Self {
+        self.mods.push(Box::new(m));
+        self
+    }
+
+    /// Append a boxed module.
+    pub fn push_boxed(mut self, m: Box<dyn Module>) -> Self {
+        self.mods.push(m);
+        self
+    }
+
+    /// Number of children.
+    pub fn len(&self) -> usize {
+        self.mods.len()
+    }
+
+    /// True when the sequence has no children.
+    pub fn is_empty(&self) -> bool {
+        self.mods.is_empty()
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for m in &mut self.mods {
+            cur = m.forward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut g = grad_out.clone();
+        for m in self.mods.iter_mut().rev() {
+            g = m.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for m in &mut self.mods {
+            m.visit_params(f);
+        }
+    }
+
+    fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for m in &mut self.mods {
+            cur = m.predict(&cur)?;
+        }
+        Ok(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Scale;
+
+    #[test]
+    fn sequential_composes_forward_and_backward() {
+        // y = (2x) * 3 → dy/dx = 6
+        let mut s = Sequential::new().push(Scale::new(2.0)).push(Scale::new(3.0));
+        let x = Tensor::from_vec([2], vec![1.0, -1.0]).unwrap();
+        let y = s.forward(&x).unwrap();
+        assert_eq!(y.data(), &[6.0, -6.0]);
+        let g = s.backward(&Tensor::ones([2])).unwrap();
+        assert_eq!(g.data(), &[6.0, 6.0]);
+    }
+
+    #[test]
+    fn flatten_load_round_trip() {
+        use crate::layers::Conv2d;
+        let mut a = Conv2d::new("c", 2, 3, 3, Default::default(), 1);
+        let mut b = Conv2d::new("c", 2, 3, 3, Default::default(), 2);
+        assert_ne!(a.flatten_params(), b.flatten_params());
+        let flat = a.flatten_params();
+        b.load_flat_params(&flat);
+        assert_eq!(a.flatten_params(), b.flatten_params());
+    }
+
+    #[test]
+    fn num_params_counts() {
+        use crate::layers::Conv2d;
+        let mut c = Conv2d::new("c", 2, 4, 3, Default::default(), 1);
+        // weight 4*2*3*3 + bias 4
+        assert_eq!(c.num_params(), 72 + 4);
+    }
+}

@@ -1,0 +1,221 @@
+//! Optimizers. Each operates through the parameter visitor, keyed by
+//! parameter name, so state survives across steps regardless of traversal
+//! details and works identically on every rank.
+
+use std::collections::HashMap;
+
+use dlsr_tensor::Tensor;
+
+use crate::module::Module;
+use crate::param::Param;
+
+/// Shared optimizer interface.
+pub trait Optimizer: Send {
+    /// Apply one update step using the currently-accumulated gradients,
+    /// then zero the gradients.
+    fn step(&mut self, model: &mut dyn Module);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Replace the learning rate (used for LR scaling and decay schedules).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<String, Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: HashMap::new() }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, weight_decay: 0.0, velocity: HashMap::new() }
+    }
+
+    /// Add L2 weight decay.
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    fn update(&mut self, p: &mut Param) {
+        let lr = self.lr;
+        let wd = self.weight_decay;
+        if self.momentum > 0.0 {
+            let v = self
+                .velocity
+                .entry(p.name.clone())
+                .or_insert_with(|| Tensor::zeros(p.value.shape().clone()));
+            for ((vel, val), &g) in
+                v.data_mut().iter_mut().zip(p.value.data_mut().iter_mut()).zip(p.grad.data())
+            {
+                *vel = self.momentum * *vel + g + wd * *val;
+                *val -= lr * *vel;
+            }
+        } else {
+            for (val, &g) in p.value.data_mut().iter_mut().zip(p.grad.data()) {
+                *val -= lr * (g + wd * *val);
+            }
+        }
+        p.zero_grad();
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut dyn Module) {
+        // The visitor borrows `self` mutably inside the closure, so split
+        // state access through a raw loop over collected updates instead.
+        let mut this = std::mem::replace(self, Sgd::new(0.0));
+        model.visit_params(&mut |p| this.update(p));
+        *self = this;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) — the optimizer EDSR trains with (β₁=0.9, β₂=0.999,
+/// ε=1e-8 in the reference implementation).
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: HashMap<String, Tensor>,
+    v: HashMap<String, Tensor>,
+}
+
+impl Adam {
+    /// Adam with the EDSR defaults.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+
+    fn update(&mut self, p: &mut Param, bias1: f32, bias2: f32) {
+        let m = self
+            .m
+            .entry(p.name.clone())
+            .or_insert_with(|| Tensor::zeros(p.value.shape().clone()));
+        let v = self
+            .v
+            .entry(p.name.clone())
+            .or_insert_with(|| Tensor::zeros(p.value.shape().clone()));
+        for (((mv, vv), val), &g) in m
+            .data_mut()
+            .iter_mut()
+            .zip(v.data_mut().iter_mut())
+            .zip(p.value.data_mut().iter_mut())
+            .zip(p.grad.data())
+        {
+            *mv = self.beta1 * *mv + (1.0 - self.beta1) * g;
+            *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+            let m_hat = *mv / bias1;
+            let v_hat = *vv / bias2;
+            *val -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+        p.zero_grad();
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut dyn Module) {
+        self.t += 1;
+        let bias1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bias2 = 1.0 - self.beta2.powi(self.t as i32);
+        let mut this = std::mem::replace(self, Adam::new(0.0));
+        model.visit_params(&mut |p| this.update(p, bias1, bias2));
+        *self = this;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::loss::mse_loss;
+    use dlsr_tensor::init;
+
+    fn train_quadratic(mut opt: impl Optimizer, steps: usize) -> f32 {
+        // Fit y = 2x with a 1→1 linear layer.
+        let mut model = Linear::new("fc", 1, 1, 1);
+        let x = init::uniform([8, 1], -1.0, 1.0, 2);
+        let y = dlsr_tensor::elementwise::scale(&x, 2.0);
+        let mut last = f32::MAX;
+        for _ in 0..steps {
+            let pred = model.forward(&x).unwrap();
+            let (loss, grad) = mse_loss(&pred, &y).unwrap();
+            model.backward(&grad).unwrap();
+            opt.step(&mut model);
+            last = loss;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_fit() {
+        assert!(train_quadratic(Sgd::new(0.1), 200) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        assert!(train_quadratic(Sgd::with_momentum(0.05, 0.9), 200) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_linear_fit() {
+        assert!(train_quadratic(Adam::new(0.05), 300) < 1e-3);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut model = Linear::new("fc", 2, 2, 3);
+        let x = init::uniform([4, 2], -1.0, 1.0, 4);
+        let pred = model.forward(&x).unwrap();
+        let (_, grad) = mse_loss(&pred, &Tensor::zeros(pred.shape().clone())).unwrap();
+        model.backward(&grad).unwrap();
+        let mut opt = Sgd::new(0.01);
+        opt.step(&mut model);
+        model.visit_params(&mut |p| {
+            assert!(p.grad.data().iter().all(|&g| g == 0.0));
+        });
+    }
+
+    #[test]
+    fn lr_accessors() {
+        let mut a = Adam::new(1e-4);
+        assert_eq!(a.lr(), 1e-4);
+        a.set_lr(4e-4);
+        assert_eq!(a.lr(), 4e-4);
+    }
+}

@@ -1,0 +1,156 @@
+//! Learning-rate schedules.
+//!
+//! Two schedules matter for this workspace: EDSR's **step decay** (the
+//! reference implementation halves the rate every 2×10⁵ steps), and
+//! **linear warmup**, the standard companion of Horovod's
+//! `lr ← lr · world` scaling (§III-A guideline 4) — large effective batches
+//! destabilize early training unless the scaled rate is ramped in.
+
+use crate::optim::Optimizer;
+
+/// A learning-rate schedule: maps a step index to a multiplier of the base
+/// rate.
+pub trait LrSchedule: Send {
+    /// Multiplier applied to the base learning rate at `step` (0-based).
+    fn factor(&self, step: u64) -> f32;
+}
+
+/// Constant schedule (factor 1 everywhere).
+pub struct Constant;
+
+impl LrSchedule for Constant {
+    fn factor(&self, _step: u64) -> f32 {
+        1.0
+    }
+}
+
+/// EDSR's step decay: multiply by `gamma` every `period` steps.
+pub struct StepDecay {
+    /// Steps between decays (EDSR: 200_000).
+    pub period: u64,
+    /// Decay factor (EDSR: 0.5).
+    pub gamma: f32,
+}
+
+impl StepDecay {
+    /// The EDSR reference schedule: ×0.5 every 200k steps.
+    pub fn edsr() -> Self {
+        StepDecay { period: 200_000, gamma: 0.5 }
+    }
+}
+
+impl LrSchedule for StepDecay {
+    fn factor(&self, step: u64) -> f32 {
+        self.gamma.powi((step / self.period) as i32)
+    }
+}
+
+/// Linear warmup to factor 1 over `warmup_steps`, then an inner schedule.
+pub struct Warmup<S: LrSchedule> {
+    /// Steps to ramp from `start_factor` to 1.
+    pub warmup_steps: u64,
+    /// Initial multiplier (e.g. `1/world` so warmup starts from the
+    /// single-GPU rate).
+    pub start_factor: f32,
+    /// Schedule applied after (and scaled during) warmup.
+    pub inner: S,
+}
+
+impl Warmup<Constant> {
+    /// The Goyal-style warmup used with Horovod's lr scaling: start at
+    /// `1/world` of the scaled rate and ramp linearly over `steps`.
+    pub fn for_world(world: usize, steps: u64) -> Self {
+        Warmup { warmup_steps: steps, start_factor: 1.0 / world as f32, inner: Constant }
+    }
+}
+
+impl<S: LrSchedule> LrSchedule for Warmup<S> {
+    fn factor(&self, step: u64) -> f32 {
+        let inner = self.inner.factor(step);
+        if step >= self.warmup_steps || self.warmup_steps == 0 {
+            return inner;
+        }
+        let ramp = self.start_factor
+            + (1.0 - self.start_factor) * (step as f32 / self.warmup_steps as f32);
+        ramp * inner
+    }
+}
+
+/// Drives an optimizer's learning rate from a schedule.
+pub struct Scheduler<S: LrSchedule> {
+    base_lr: f32,
+    schedule: S,
+    step: u64,
+}
+
+impl<S: LrSchedule> Scheduler<S> {
+    /// Create a scheduler around the optimizer's *current* rate.
+    pub fn new(opt: &impl Optimizer, schedule: S) -> Self {
+        Scheduler { base_lr: opt.lr(), schedule, step: 0 }
+    }
+
+    /// Apply the schedule for the next step (call once per training step,
+    /// before `Optimizer::step`).
+    pub fn apply(&mut self, opt: &mut impl Optimizer) {
+        opt.set_lr(self.base_lr * self.schedule.factor(self.step));
+        self.step += 1;
+    }
+
+    /// Steps taken so far.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = StepDecay::edsr();
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(199_999), 1.0);
+        assert_eq!(s.factor(200_000), 0.5);
+        assert_eq!(s.factor(400_000), 0.25);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly_then_holds() {
+        let w = Warmup::for_world(8, 100);
+        assert!((w.factor(0) - 0.125).abs() < 1e-6);
+        assert!((w.factor(50) - (0.125 + 0.875 * 0.5)).abs() < 1e-6);
+        assert_eq!(w.factor(100), 1.0);
+        assert_eq!(w.factor(10_000), 1.0);
+    }
+
+    #[test]
+    fn warmup_composes_with_decay() {
+        let w = Warmup { warmup_steps: 10, start_factor: 0.1, inner: StepDecay { period: 20, gamma: 0.5 } };
+        assert!((w.factor(0) - 0.1).abs() < 1e-6);
+        assert_eq!(w.factor(10), 1.0);
+        assert_eq!(w.factor(20), 0.5);
+    }
+
+    #[test]
+    fn scheduler_drives_the_optimizer() {
+        let mut opt = Sgd::new(0.4);
+        let mut sched = Scheduler::new(&opt, Warmup::for_world(4, 4));
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            sched.apply(&mut opt);
+            seen.push(opt.lr());
+        }
+        assert!((seen[0] - 0.1).abs() < 1e-6, "starts at lr/world");
+        assert!((seen[4] - 0.4).abs() < 1e-6, "reaches the scaled rate");
+        assert!(seen.windows(2).all(|w| w[1] >= w[0] - 1e-6), "monotone ramp");
+        assert_eq!(sched.step_count(), 6);
+    }
+
+    #[test]
+    fn zero_warmup_is_identity() {
+        let w = Warmup { warmup_steps: 0, start_factor: 0.5, inner: Constant };
+        assert_eq!(w.factor(0), 1.0);
+    }
+}

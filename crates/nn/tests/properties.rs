@@ -1,0 +1,163 @@
+//! Property-based tests for the NN layer: gradient correctness by finite
+//! differences on randomly-shaped layers, optimizer algebra, and loss/
+//! metric invariants.
+
+use proptest::prelude::*;
+
+use dlsr_nn::layers::{Conv2d, Linear, ResBlock};
+use dlsr_nn::loss::{l1_loss, mse_loss};
+use dlsr_nn::metrics::psnr;
+use dlsr_nn::module::{Module, ModuleExt};
+use dlsr_nn::optim::{Optimizer, Sgd};
+use dlsr_tensor::conv::Conv2dParams;
+use dlsr_tensor::{elementwise, init, Tensor};
+
+/// ⟨backward(g), δx⟩ ≈ d/dε loss(x + ε·δx): the directional-derivative
+/// check that validates an entire backward pass at once.
+fn directional_check(model: &mut dyn Module, x: &Tensor, seed: u64) -> (f32, f32) {
+    let y = model.forward(x).expect("forward");
+    // loss = Σ w·y with fixed random weights so the output gradient is
+    // non-trivial
+    let wvec = init::uniform(y.shape().clone(), -1.0, 1.0, seed);
+    let gy = wvec.clone();
+    let gx = model.backward(&gy).expect("backward");
+    let dir = init::uniform(x.shape().clone(), -1.0, 1.0, seed + 1);
+    let analytic: f32 = gx.data().iter().zip(dir.data()).map(|(a, b)| a * b).sum();
+    let eps = 1e-3f32;
+    let xp = elementwise::add(x, &elementwise::scale(&dir, eps)).unwrap();
+    let xm = elementwise::sub(x, &elementwise::scale(&dir, eps)).unwrap();
+    let lp: f32 = model
+        .predict(&xp)
+        .unwrap()
+        .data()
+        .iter()
+        .zip(wvec.data())
+        .map(|(a, b)| a * b)
+        .sum();
+    let lm: f32 = model
+        .predict(&xm)
+        .unwrap()
+        .data()
+        .iter()
+        .zip(wvec.data())
+        .map(|(a, b)| a * b)
+        .sum();
+    (analytic, (lp - lm) / (2.0 * eps))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conv2d input gradients match finite differences for random shapes.
+    #[test]
+    fn conv_gradient_directional(
+        cin in 1usize..4,
+        cout in 1usize..4,
+        hw in 3usize..7,
+        seed in 0u64..500,
+    ) {
+        let mut m = Conv2d::new("c", cin, cout, 3, Conv2dParams::same(3), seed);
+        let x = init::uniform([1, cin, hw, hw], -1.0, 1.0, seed + 7);
+        let (analytic, fd) = directional_check(&mut m, &x, seed + 13);
+        let scale = analytic.abs().max(fd.abs()).max(1.0);
+        prop_assert!(
+            (analytic - fd).abs() / scale < 2e-2,
+            "conv grad {analytic} vs fd {fd}"
+        );
+    }
+
+    /// Linear gradients match finite differences.
+    #[test]
+    fn linear_gradient_directional(
+        n in 1usize..4,
+        fin in 1usize..6,
+        fout in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let mut m = Linear::new("fc", fin, fout, seed);
+        let x = init::uniform([n, fin], -1.0, 1.0, seed + 3);
+        let (analytic, fd) = directional_check(&mut m, &x, seed + 5);
+        let scale = analytic.abs().max(fd.abs()).max(1.0);
+        prop_assert!((analytic - fd).abs() / scale < 2e-2);
+    }
+
+    /// The EDSR residual block's gradient (skip + scaled body) is correct.
+    #[test]
+    fn resblock_gradient_directional(
+        feats in 1usize..5,
+        res_scale in 0.05f32..1.0,
+        seed in 0u64..500,
+    ) {
+        let mut m = ResBlock::new("rb", feats, res_scale, seed);
+        let x = init::uniform([1, feats, 4, 4], -1.0, 1.0, seed + 9);
+        let (analytic, fd) = directional_check(&mut m, &x, seed + 11);
+        // wide tolerance: the finite-difference step can hop across the
+        // block's ReLU kinks, where the subgradient and the secant differ
+        let scale = analytic.abs().max(fd.abs()).max(1.0);
+        prop_assert!((analytic - fd).abs() / scale < 0.15, "{analytic} vs {fd}");
+    }
+
+    /// Plain SGD: one step moves every parameter by exactly −lr·grad.
+    #[test]
+    fn sgd_update_rule(lr in 1e-4f32..0.5, seed in 0u64..500) {
+        let mut m = Linear::new("fc", 3, 2, seed);
+        let before = m.flatten_params();
+        let x = init::uniform([2, 3], -1.0, 1.0, seed + 1);
+        let y = m.forward(&x).unwrap();
+        let (_, g) = mse_loss(&y, &Tensor::zeros(y.shape().clone())).unwrap();
+        m.backward(&g).unwrap();
+        let grads = m.flatten_grads();
+        let mut opt = Sgd::new(lr);
+        opt.step(&mut m);
+        let after = m.flatten_params();
+        for ((b, a), g) in before.iter().zip(after.iter()).zip(grads.iter()) {
+            prop_assert!((a - (b - lr * g)).abs() < 1e-5);
+        }
+        // and gradients were zeroed
+        prop_assert!(m.flatten_grads().iter().all(|&g| g == 0.0));
+    }
+
+    /// Losses are non-negative, zero exactly at the target, and symmetric
+    /// under argument swap.
+    #[test]
+    fn loss_invariants(data in proptest::collection::vec(-5.0f32..5.0, 1..64)) {
+        let n = data.len();
+        let p = Tensor::from_vec([n], data.clone()).unwrap();
+        let t = Tensor::from_vec([n], data.iter().map(|x| x * 0.9 + 0.1).collect::<Vec<_>>()).unwrap();
+        let (l1, _) = l1_loss(&p, &t).unwrap();
+        let (l1_swapped, _) = l1_loss(&t, &p).unwrap();
+        let (l2, _) = mse_loss(&p, &t).unwrap();
+        prop_assert!(l1 >= 0.0 && l2 >= 0.0);
+        prop_assert!((l1 - l1_swapped).abs() < 1e-6);
+        let (z, _) = l1_loss(&p, &p).unwrap();
+        prop_assert_eq!(z, 0.0);
+    }
+
+    /// L1 gradient is the (normalized) sign of the residual, so following
+    /// it must reduce the loss for a small enough step.
+    #[test]
+    fn l1_gradient_descends(data in proptest::collection::vec(-2.0f32..2.0, 4..32)) {
+        let n = data.len();
+        let p = Tensor::from_vec([n], data).unwrap();
+        let t = Tensor::zeros([n]);
+        let (l0, g) = l1_loss(&p, &t).unwrap();
+        prop_assume!(l0 > 1e-3);
+        let p2 = elementwise::sub(&p, &elementwise::scale(&g, 0.1)).unwrap();
+        let (l1v, _) = l1_loss(&p2, &t).unwrap();
+        prop_assert!(l1v <= l0 + 1e-6, "{l0} -> {l1v}");
+    }
+
+    /// PSNR strictly decreases as uniform noise amplitude grows.
+    #[test]
+    fn psnr_monotone_in_noise(seed in 0u64..500) {
+        let clean = init::uniform([1, 1, 8, 8], 0.25, 0.75, seed);
+        let mut last = f32::INFINITY;
+        for (i, amp) in [0.01f32, 0.05, 0.2].iter().enumerate() {
+            let noise = init::uniform([1, 1, 8, 8], -amp, *amp, seed + i as u64 + 1);
+            let noisy = elementwise::add(&clean, &noise).unwrap();
+            let p = psnr(&noisy, &clean, 1.0).unwrap();
+            prop_assert!(p < last, "noise {amp}: PSNR {p} !< {last}");
+            last = p;
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! 2-D convolution (im2col + GEMM) with full forward/backward kernels.
+//!
+//! Weight layout is `[C_out, C_in, K_h, K_w]`; activations are NCHW. Padding
+//! is symmetric zero-padding. A naive direct implementation is kept as the
+//! test oracle ([`conv2d_reference`]).
+
+use crate::matmul::{matmul_a_bt, matmul_at_b, matmul_into};
+use crate::{Result, Tensor, TensorError};
+
+/// Convolution hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Symmetric zero padding in both spatial dimensions.
+    pub padding: usize,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams { stride: 1, padding: 0 }
+    }
+}
+
+impl Conv2dParams {
+    /// "Same" convolution for odd kernel size `k` at stride 1.
+    pub fn same(k: usize) -> Self {
+        Conv2dParams { stride: 1, padding: k / 2 }
+    }
+
+    /// Output spatial extent for an input extent.
+    pub fn out_extent(&self, input: usize, kernel: usize) -> usize {
+        (input + 2 * self.padding).saturating_sub(kernel) / self.stride + 1
+    }
+}
+
+fn weight_dims(weight: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    weight.shape().as_nchw()
+}
+
+/// Scatter one image into its im2col matrix of shape `[C_in*K_h*K_w, H_out*W_out]`.
+fn im2col(
+    img: &[f32],
+    (c_in, h, w): (usize, usize, usize),
+    (kh, kw): (usize, usize),
+    p: Conv2dParams,
+    col: &mut [f32],
+) {
+    let h_out = p.out_extent(h, kh);
+    let w_out = p.out_extent(w, kw);
+    let hw_out = h_out * w_out;
+    debug_assert_eq!(col.len(), c_in * kh * kw * hw_out);
+    for c in 0..c_in {
+        let plane = &img[c * h * w..(c + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = ((c * kh + ky) * kw + kx) * hw_out;
+                for oy in 0..h_out {
+                    let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                    let dst = &mut col[row + oy * w_out..row + (oy + 1) * w_out];
+                    if iy < 0 || iy >= h as isize {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for (ox, d) in dst.iter_mut().enumerate() {
+                        let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                        *d = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            plane[iy * w + ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Accumulate an im2col matrix back into an image (the adjoint of [`im2col`]).
+fn col2im(
+    col: &[f32],
+    (c_in, h, w): (usize, usize, usize),
+    (kh, kw): (usize, usize),
+    p: Conv2dParams,
+    img: &mut [f32],
+) {
+    let h_out = p.out_extent(h, kh);
+    let w_out = p.out_extent(w, kw);
+    let hw_out = h_out * w_out;
+    for c in 0..c_in {
+        let plane_base = c * h * w;
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = ((c * kh + ky) * kw + kx) * hw_out;
+                for oy in 0..h_out {
+                    let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    let src = &col[row + oy * w_out..row + (oy + 1) * w_out];
+                    for (ox, &s) in src.iter().enumerate() {
+                        let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                        if ix >= 0 && ix < w as isize {
+                            img[plane_base + iy * w + ix as usize] += s;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward convolution: `out[n, co, :, :] = Σ_ci weight[co, ci] ⋆ input[n, ci] + bias[co]`.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    p: Conv2dParams,
+) -> Result<Tensor> {
+    let (n, c_in, h, w) = input.shape().as_nchw()?;
+    let (c_out, c_in_w, kh, kw) = weight_dims(weight)?;
+    if c_in != c_in_w {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![c_in],
+            got: vec![c_in_w],
+            context: "conv2d (input channels vs weight channels)",
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != c_out {
+            return Err(TensorError::InvalidArgument(format!(
+                "bias length {} does not match output channels {}",
+                b.len(),
+                c_out
+            )));
+        }
+    }
+    let h_out = p.out_extent(h, kh);
+    let w_out = p.out_extent(w, kw);
+    let hw_out = h_out * w_out;
+    let k = c_in * kh * kw;
+    let mut out = Tensor::zeros([n, c_out, h_out, w_out]);
+    let mut col = vec![0.0f32; k * hw_out];
+    for i in 0..n {
+        let img = &input.data()[i * c_in * h * w..(i + 1) * c_in * h * w];
+        im2col(img, (c_in, h, w), (kh, kw), p, &mut col);
+        let dst = &mut out.data_mut()[i * c_out * hw_out..(i + 1) * c_out * hw_out];
+        matmul_into(weight.data(), &col, dst, c_out, k, hw_out);
+        if let Some(b) = bias {
+            for (co, chunk) in dst.chunks_mut(hw_out).enumerate() {
+                let bv = b[co];
+                chunk.iter_mut().for_each(|x| *x += bv);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradients of [`conv2d`] with respect to input, weight and bias.
+///
+/// Returns `(grad_input, grad_weight, grad_bias)`.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    p: Conv2dParams,
+) -> Result<(Tensor, Tensor, Vec<f32>)> {
+    let (n, c_in, h, w) = input.shape().as_nchw()?;
+    let (c_out, _, kh, kw) = weight_dims(weight)?;
+    let (gn, gc, gh, gw) = grad_out.shape().as_nchw()?;
+    let h_out = p.out_extent(h, kh);
+    let w_out = p.out_extent(w, kw);
+    if (gn, gc, gh, gw) != (n, c_out, h_out, w_out) {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, c_out, h_out, w_out],
+            got: vec![gn, gc, gh, gw],
+            context: "conv2d_backward (grad_out shape)",
+        });
+    }
+    let hw_out = h_out * w_out;
+    let k = c_in * kh * kw;
+
+    let mut grad_input = Tensor::zeros([n, c_in, h, w]);
+    let mut grad_weight = Tensor::zeros(weight.shape().clone());
+    let mut grad_bias = vec![0.0f32; c_out];
+
+    let mut col = vec![0.0f32; k * hw_out];
+    let mut col_grad = vec![0.0f32; k * hw_out];
+    let mut gw_acc = vec![0.0f32; c_out * k];
+
+    for i in 0..n {
+        let img = &input.data()[i * c_in * h * w..(i + 1) * c_in * h * w];
+        let go = &grad_out.data()[i * c_out * hw_out..(i + 1) * c_out * hw_out];
+
+        // bias gradient: per-channel sums of grad_out
+        for (co, chunk) in go.chunks(hw_out).enumerate() {
+            grad_bias[co] += chunk.iter().sum::<f32>();
+        }
+
+        // weight gradient: grad_out (C_out×HW) · colᵀ (HW×K)
+        im2col(img, (c_in, h, w), (kh, kw), p, &mut col);
+        matmul_a_bt(go, &col, &mut gw_acc, c_out, hw_out, k);
+        for (a, &b) in grad_weight.data_mut().iter_mut().zip(gw_acc.iter()) {
+            *a += b;
+        }
+
+        // input gradient: Wᵀ (K×C_out) · grad_out (C_out×HW), then col2im
+        matmul_at_b(weight.data(), go, &mut col_grad, c_out, k, hw_out);
+        let gi = &mut grad_input.data_mut()[i * c_in * h * w..(i + 1) * c_in * h * w];
+        col2im(&col_grad, (c_in, h, w), (kh, kw), p, gi);
+    }
+    Ok((grad_input, grad_weight, grad_bias))
+}
+
+/// Direct (quadruple-loop) convolution used as the test oracle.
+pub fn conv2d_reference(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    p: Conv2dParams,
+) -> Result<Tensor> {
+    let (n, c_in, h, w) = input.shape().as_nchw()?;
+    let (c_out, _, kh, kw) = weight_dims(weight)?;
+    let h_out = p.out_extent(h, kh);
+    let w_out = p.out_extent(w, kw);
+    let mut out = Tensor::zeros([n, c_out, h_out, w_out]);
+    for i in 0..n {
+        for co in 0..c_out {
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let mut acc = bias.map(|b| b[co]).unwrap_or(0.0);
+                    for ci in 0..c_in {
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                                let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                                if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += input.at(&[i, ci, iy as usize, ix as usize])
+                                    * weight.at(&[co, ci, ky, kx]);
+                            }
+                        }
+                    }
+                    *out.at_mut(&[i, co, oy, ox]) = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+        init::uniform(shape, -1.0, 1.0, seed)
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 kernel with weight 1.0 is the identity map.
+        let x = rand_tensor(&[1, 1, 4, 4], 1);
+        let w = Tensor::ones([1, 1, 1, 1]);
+        let y = conv2d(&x, &w, None, Conv2dParams::default()).unwrap();
+        assert!(y.allclose(&x, 1e-6));
+    }
+
+    #[test]
+    fn matches_reference_with_padding_and_stride() {
+        for &(stride, padding) in &[(1, 0), (1, 1), (2, 1), (2, 0)] {
+            let p = Conv2dParams { stride, padding };
+            let x = rand_tensor(&[2, 3, 7, 6], 42);
+            let w = rand_tensor(&[4, 3, 3, 3], 43);
+            let b = vec![0.1, -0.2, 0.3, 0.0];
+            let fast = conv2d(&x, &w, Some(&b), p).unwrap();
+            let slow = conv2d_reference(&x, &w, Some(&b), p).unwrap();
+            assert!(
+                fast.allclose(&slow, 1e-4),
+                "mismatch at stride={stride} padding={padding}: {}",
+                fast.max_abs_diff(&slow)
+            );
+        }
+    }
+
+    #[test]
+    fn same_padding_preserves_extent() {
+        let x = rand_tensor(&[1, 2, 9, 9], 7);
+        let w = rand_tensor(&[2, 2, 3, 3], 8);
+        let y = conv2d(&x, &w, None, Conv2dParams::same(3)).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2, 9, 9]);
+    }
+
+    #[test]
+    fn channel_mismatch_is_error() {
+        let x = Tensor::zeros([1, 3, 4, 4]);
+        let w = Tensor::zeros([2, 4, 3, 3]);
+        assert!(conv2d(&x, &w, None, Conv2dParams::default()).is_err());
+    }
+
+    /// Finite-difference check of all three gradients on a tiny problem.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let p = Conv2dParams { stride: 1, padding: 1 };
+        let x = rand_tensor(&[1, 2, 4, 4], 10);
+        let w = rand_tensor(&[2, 2, 3, 3], 11);
+        let b = vec![0.05f32, -0.07];
+        // loss = sum(conv(x)) so dL/dout = ones
+        let out = conv2d(&x, &w, Some(&b), p).unwrap();
+        let grad_out = Tensor::ones(out.shape().clone());
+        let (gi, gw, gb) = conv2d_backward(&x, &w, &grad_out, p).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, w: &Tensor, b: &[f32]| -> f32 {
+            conv2d(x, w, Some(b), p).unwrap().data().iter().sum()
+        };
+        // input gradient, spot-check a handful of positions
+        for &idx in &[0usize, 5, 17, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fd = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
+            assert!((gi.data()[idx] - fd).abs() < 1e-2, "input grad idx {idx}: {} vs {fd}", gi.data()[idx]);
+        }
+        // weight gradient
+        for &idx in &[0usize, 9, 20] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let fd = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
+            assert!((gw.data()[idx] - fd).abs() < 1e-1, "weight grad idx {idx}: {} vs {fd}", gw.data()[idx]);
+        }
+        // bias gradient: dL/db[c] = number of output positions
+        let hw = out.shape().dim(2) * out.shape().dim(3);
+        for v in &gb {
+            assert!((v - hw as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn batch_entries_are_independent() {
+        let p = Conv2dParams::same(3);
+        let w = rand_tensor(&[2, 1, 3, 3], 3);
+        let a = rand_tensor(&[1, 1, 5, 5], 4);
+        let b = rand_tensor(&[1, 1, 5, 5], 5);
+        // Convolve separately then as a batch; results must match per-image.
+        let ya = conv2d(&a, &w, None, p).unwrap();
+        let yb = conv2d(&b, &w, None, p).unwrap();
+        let mut batch = Tensor::zeros([2, 1, 5, 5]);
+        batch.data_mut()[..25].copy_from_slice(a.data());
+        batch.data_mut()[25..].copy_from_slice(b.data());
+        let y = conv2d(&batch, &w, None, p).unwrap();
+        assert_eq!(&y.data()[..50], ya.data());
+        assert_eq!(&y.data()[50..], yb.data());
+    }
+}

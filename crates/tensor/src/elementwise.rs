@@ -1,0 +1,232 @@
+//! Elementwise algebra. Binary ops require identical shapes; broadcasting is
+//! limited to the per-channel case used by bias/batch-norm (see
+//! [`add_channel`]) to keep kernels flat and fast.
+
+use rayon::prelude::*;
+
+use crate::{Result, Tensor, TensorError};
+
+/// Minimum element count before an elementwise kernel fans out to rayon.
+/// Below this, the thread-pool dispatch costs more than the loop.
+const PAR_THRESHOLD: usize = 1 << 14;
+
+fn check_same_shape(a: &Tensor, b: &Tensor, context: &'static str) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            expected: a.shape().dims().to_vec(),
+            got: b.shape().dims().to_vec(),
+            context,
+        });
+    }
+    Ok(())
+}
+
+fn zip_map(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+    let mut out = a.clone();
+    if a.numel() >= PAR_THRESHOLD {
+        out.data_mut()
+            .par_iter_mut()
+            .zip(b.data().par_iter())
+            .for_each(|(x, &y)| *x = f(*x, y));
+    } else {
+        out.data_mut()
+            .iter_mut()
+            .zip(b.data().iter())
+            .for_each(|(x, &y)| *x = f(*x, y));
+    }
+    out
+}
+
+/// `a + b` elementwise.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same_shape(a, b, "add")?;
+    Ok(zip_map(a, b, |x, y| x + y))
+}
+
+/// `a - b` elementwise.
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same_shape(a, b, "sub")?;
+    Ok(zip_map(a, b, |x, y| x - y))
+}
+
+/// `a * b` elementwise (Hadamard product).
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same_shape(a, b, "mul")?;
+    Ok(zip_map(a, b, |x, y| x * y))
+}
+
+/// `a / b` elementwise.
+pub fn div(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same_shape(a, b, "div")?;
+    Ok(zip_map(a, b, |x, y| x / y))
+}
+
+/// In-place `a += b` (used by gradient accumulation, the hottest elementwise
+/// path in training).
+pub fn add_assign(a: &mut Tensor, b: &Tensor) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            expected: a.shape().dims().to_vec(),
+            got: b.shape().dims().to_vec(),
+            context: "add_assign",
+        });
+    }
+    if a.numel() >= PAR_THRESHOLD {
+        a.data_mut()
+            .par_iter_mut()
+            .zip(b.data().par_iter())
+            .for_each(|(x, &y)| *x += y);
+    } else {
+        a.data_mut().iter_mut().zip(b.data().iter()).for_each(|(x, &y)| *x += y);
+    }
+    Ok(())
+}
+
+/// `a * s` for scalar `s`.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    let mut out = a.clone();
+    out.data_mut().iter_mut().for_each(|x| *x *= s);
+    out
+}
+
+/// `a + s` for scalar `s`.
+pub fn add_scalar(a: &Tensor, s: f32) -> Tensor {
+    let mut out = a.clone();
+    out.data_mut().iter_mut().for_each(|x| *x += s);
+    out
+}
+
+/// Apply an arbitrary unary function.
+pub fn map(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    let mut out = a.clone();
+    if a.numel() >= PAR_THRESHOLD {
+        out.data_mut().par_iter_mut().for_each(|x| *x = f(*x));
+    } else {
+        out.data_mut().iter_mut().for_each(|x| *x = f(*x));
+    }
+    out
+}
+
+/// Rectified linear unit.
+pub fn relu(a: &Tensor) -> Tensor {
+    map(a, |x| x.max(0.0))
+}
+
+/// Gradient mask for ReLU: `grad * (input > 0)`.
+pub fn relu_backward(grad: &Tensor, input: &Tensor) -> Result<Tensor> {
+    check_same_shape(grad, input, "relu_backward")?;
+    Ok(zip_map(grad, input, |g, x| if x > 0.0 { g } else { 0.0 }))
+}
+
+/// Add a per-channel value to an NCHW tensor: `out[n,c,h,w] = a[n,c,h,w] + bias[c]`.
+pub fn add_channel(a: &Tensor, bias: &[f32]) -> Result<Tensor> {
+    let (n, c, h, w) = a.shape().as_nchw()?;
+    if bias.len() != c {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![c],
+            got: vec![bias.len()],
+            context: "add_channel (bias length vs channels)",
+        });
+    }
+    let plane = h * w;
+    let mut out = a.clone();
+    out.data_mut()
+        .par_chunks_mut(plane)
+        .enumerate()
+        .for_each(|(i, chunk)| {
+            let ch = i % c.max(1);
+            let b = bias[ch];
+            chunk.iter_mut().for_each(|x| *x += b);
+        });
+    let _ = n;
+    Ok(out)
+}
+
+/// Per-channel sums of an NCHW tensor (the bias gradient): `out[c] = Σ_{n,h,w} a[n,c,h,w]`.
+pub fn sum_channels(a: &Tensor) -> Result<Vec<f32>> {
+    let (_n, c, h, w) = a.shape().as_nchw()?;
+    let plane = h * w;
+    let mut sums = vec![0.0f32; c];
+    for (i, chunk) in a.data().chunks(plane).enumerate() {
+        let ch = i % c.max(1);
+        sums[ch] += chunk.iter().sum::<f32>();
+    }
+    Ok(sums)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec([v.len()], v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn binary_ops() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!(add(&a, &b).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(sub(&b, &a).unwrap().data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(mul(&a, &b).unwrap().data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(div(&b, &a).unwrap().data(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[1.0, 2.0, 3.0]);
+        assert!(add(&a, &b).is_err());
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = t(&[1.0, 1.0]);
+        add_assign(&mut a, &t(&[2.0, 3.0])).unwrap();
+        assert_eq!(a.data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = t(&[1.0, -2.0]);
+        assert_eq!(scale(&a, 2.0).data(), &[2.0, -4.0]);
+        assert_eq!(add_scalar(&a, 1.0).data(), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let x = t(&[-1.0, 0.0, 2.0]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+        let g = t(&[1.0, 1.0, 1.0]);
+        assert_eq!(relu_backward(&g, &x).unwrap().data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn channel_bias_and_sum() {
+        // N=1, C=2, H=1, W=2
+        let a = Tensor::from_vec([1, 2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = add_channel(&a, &[10.0, 20.0]).unwrap();
+        assert_eq!(out.data(), &[11.0, 12.0, 23.0, 24.0]);
+        assert_eq!(sum_channels(&a).unwrap(), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn channel_bias_wraps_over_batch() {
+        // N=2, C=2, H=1, W=1: planes are [n0c0, n0c1, n1c0, n1c1]
+        let a = Tensor::from_vec([2, 2, 1, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = add_channel(&a, &[0.5, 0.25]).unwrap();
+        assert_eq!(out.data(), &[1.5, 2.25, 3.5, 4.25]);
+        assert_eq!(sum_channels(&a).unwrap(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        let n = super::PAR_THRESHOLD + 17;
+        let a = Tensor::from_vec([n], (0..n).map(|i| i as f32).collect()).unwrap();
+        let b = Tensor::ones([n]);
+        let big = add(&a, &b).unwrap();
+        for i in [0usize, 1, n / 2, n - 1] {
+            assert_eq!(big.data()[i], i as f32 + 1.0);
+        }
+    }
+}

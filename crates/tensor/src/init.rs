@@ -1,0 +1,96 @@
+//! Deterministic random initializers.
+//!
+//! Every initializer takes an explicit seed: the distributed-training tests
+//! rely on all ranks constructing identical parameters before the Horovod
+//! broadcast, and on experiments being exactly reproducible run-to-run.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Shape, Tensor};
+
+/// Uniform values in `[lo, hi)`.
+pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, seed: u64) -> Tensor {
+    let shape = shape.into();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = (0..shape.numel()).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(shape, data).expect("generated buffer matches shape")
+}
+
+/// Standard-normal values scaled by `std` (Box–Muller on a seeded RNG).
+pub fn normal(shape: impl Into<Shape>, std: f32, seed: u64) -> Tensor {
+    let shape = shape.into();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = shape.numel();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(shape, data).expect("generated buffer matches shape")
+}
+
+/// Kaiming/He-uniform initialization for a conv weight `[C_out, C_in, K_h, K_w]`
+/// (the initializer used by the reference EDSR implementation).
+pub fn kaiming_conv(c_out: usize, c_in: usize, kh: usize, kw: usize, seed: u64) -> Tensor {
+    let fan_in = (c_in * kh * kw) as f32;
+    let bound = (6.0 / fan_in).sqrt();
+    uniform([c_out, c_in, kh, kw], -bound, bound, seed)
+}
+
+/// Kaiming-uniform initialization for a linear weight `[out, in]`.
+pub fn kaiming_linear(out_features: usize, in_features: usize, seed: u64) -> Tensor {
+    let bound = (6.0 / in_features as f32).sqrt();
+    uniform([out_features, in_features], -bound, bound, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_seed_deterministic() {
+        let a = uniform([16], 0.0, 1.0, 9);
+        let b = uniform([16], 0.0, 1.0, 9);
+        let c = uniform([16], 0.0, 1.0, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = uniform([1000], -0.5, 0.5, 1);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn normal_has_roughly_correct_moments() {
+        let t = normal([20000], 2.0, 3);
+        let mean = t.data().iter().sum::<f32>() / t.numel() as f32;
+        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+            / t.numel() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn kaiming_bound_shrinks_with_fan_in() {
+        let small = kaiming_conv(1, 1, 3, 3, 5);
+        let large = kaiming_conv(1, 256, 3, 3, 5);
+        let max_small = small.data().iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        let max_large = large.data().iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        assert!(max_large < max_small);
+    }
+
+    #[test]
+    fn normal_odd_length() {
+        // Box–Muller generates pairs; odd lengths must still fill exactly.
+        assert_eq!(normal([7], 1.0, 1).numel(), 7);
+    }
+}

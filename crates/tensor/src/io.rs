@@ -1,0 +1,146 @@
+//! Minimal image I/O: binary PPM (P6) export/import for 1- or 3-channel
+//! NCHW tensors, so super-resolution outputs can actually be looked at.
+//! PPM is self-describing, dependency-free and opened by every viewer.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::{Result, Tensor, TensorError};
+
+fn to_byte(v: f32) -> u8 {
+    (v.clamp(0.0, 1.0) * 255.0).round() as u8
+}
+
+/// Save the first image of an `[N, C, H, W]` tensor (`C` ∈ {1, 3}, values
+/// in `[0,1]`) as a binary PPM file.
+pub fn save_ppm(t: &Tensor, path: impl AsRef<Path>) -> Result<()> {
+    let bytes = encode_ppm(t)?;
+    std::fs::write(path, bytes)
+        .map_err(|e| TensorError::InvalidArgument(format!("ppm write failed: {e}")))
+}
+
+/// Encode the first image of an NCHW tensor as binary PPM bytes.
+pub fn encode_ppm(t: &Tensor) -> Result<Vec<u8>> {
+    let (_, c, h, w) = t.shape().as_nchw()?;
+    if c != 1 && c != 3 {
+        return Err(TensorError::InvalidArgument(format!(
+            "PPM export needs 1 or 3 channels, got {c}"
+        )));
+    }
+    let mut out = Vec::with_capacity(32 + 3 * h * w);
+    write!(out, "P6\n{w} {h}\n255\n")
+        .map_err(|e| TensorError::InvalidArgument(e.to_string()))?;
+    let d = t.data();
+    let plane = h * w;
+    for i in 0..plane {
+        if c == 3 {
+            out.push(to_byte(d[i]));
+            out.push(to_byte(d[plane + i]));
+            out.push(to_byte(d[2 * plane + i]));
+        } else {
+            let v = to_byte(d[i]);
+            out.extend_from_slice(&[v, v, v]);
+        }
+    }
+    Ok(out)
+}
+
+/// Decode a binary PPM into a `[1, 3, H, W]` tensor with values in `[0,1]`.
+pub fn decode_ppm(bytes: &[u8]) -> Result<Tensor> {
+    let mut r = bytes;
+    let mut header = Vec::new();
+    // read 3 whitespace-separated tokens after the magic
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut one = [0u8; 1];
+    while tokens.len() < 4 {
+        r.read_exact(&mut one)
+            .map_err(|_| TensorError::InvalidArgument("truncated PPM header".into()))?;
+        header.push(one[0]);
+        let ch = one[0] as char;
+        if ch.is_whitespace() {
+            if !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+        } else {
+            cur.push(ch);
+        }
+    }
+    if tokens[0] != "P6" {
+        return Err(TensorError::InvalidArgument("not a binary PPM (P6)".into()));
+    }
+    let w: usize = tokens[1].parse().map_err(|_| TensorError::InvalidArgument("bad width".into()))?;
+    let h: usize = tokens[2].parse().map_err(|_| TensorError::InvalidArgument("bad height".into()))?;
+    let maxval: f32 =
+        tokens[3].parse().map_err(|_| TensorError::InvalidArgument("bad maxval".into()))?;
+    let mut pixels = vec![0u8; 3 * w * h];
+    r.read_exact(&mut pixels)
+        .map_err(|_| TensorError::InvalidArgument("truncated PPM payload".into()))?;
+    let mut t = Tensor::zeros([1, 3, h, w]);
+    let plane = h * w;
+    for i in 0..plane {
+        for ch in 0..3 {
+            t.data_mut()[ch * plane + i] = pixels[3 * i + ch] as f32 / maxval;
+        }
+    }
+    Ok(t)
+}
+
+/// Load a binary PPM file into a `[1, 3, H, W]` tensor.
+pub fn load_ppm(path: impl AsRef<Path>) -> Result<Tensor> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| TensorError::InvalidArgument(format!("ppm read failed: {e}")))?;
+    decode_ppm(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn rgb_round_trip_within_quantization() {
+        let img = init::uniform([1, 3, 6, 5], 0.0, 1.0, 3);
+        let bytes = encode_ppm(&img).unwrap();
+        let back = decode_ppm(&bytes).unwrap();
+        assert_eq!(back.shape().dims(), &[1, 3, 6, 5]);
+        assert!(img.max_abs_diff(&back) <= 0.5 / 255.0 + 1e-6);
+    }
+
+    #[test]
+    fn grayscale_replicates_channels() {
+        let img = Tensor::from_vec([1, 1, 1, 2], vec![0.0, 1.0]).unwrap();
+        let back = decode_ppm(&encode_ppm(&img).unwrap()).unwrap();
+        for c in 0..3 {
+            assert_eq!(back.at(&[0, c, 0, 0]), 0.0);
+            assert_eq!(back.at(&[0, c, 0, 1]), 1.0);
+        }
+    }
+
+    #[test]
+    fn values_are_clamped() {
+        let img = Tensor::from_vec([1, 1, 1, 2], vec![-0.5, 1.5]).unwrap();
+        let back = decode_ppm(&encode_ppm(&img).unwrap()).unwrap();
+        assert_eq!(back.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(back.at(&[0, 0, 0, 1]), 1.0);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(encode_ppm(&Tensor::zeros([1, 2, 2, 2])).is_err());
+        assert!(decode_ppm(b"P5\n1 1\n255\n\0").is_err());
+        assert!(decode_ppm(b"P6\n4 4\n255\nxx").is_err(), "truncated payload");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("dlsr_ppm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ppm");
+        let img = init::uniform([1, 3, 4, 4], 0.0, 1.0, 9);
+        save_ppm(&img, &path).unwrap();
+        let back = load_ppm(&path).unwrap();
+        assert!(img.max_abs_diff(&back) <= 0.5 / 255.0 + 1e-6);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,185 @@
+//! Dense GEMM used by the im2col convolution path and fully-connected layers.
+//!
+//! The kernel is a straightforward cache-blocked, rayon-parallel triple loop.
+//! It parallelizes over output rows, so results are deterministic regardless
+//! of thread count.
+
+use rayon::prelude::*;
+
+use crate::{Result, Tensor, TensorError};
+
+/// `C = A(m×k) · B(k×n)`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_2d()?;
+    let (k2, n) = b.shape().as_2d()?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![k],
+            got: vec![k2],
+            context: "matmul (inner dimensions)",
+        });
+    }
+    let mut out = Tensor::zeros([m, n]);
+    matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    Ok(out)
+}
+
+/// GEMM on raw slices: `c[m×n] = a[m×k] · b[k×n]`. `c` is overwritten.
+///
+/// Exposed so the convolution kernels can reuse scratch buffers without
+/// constructing intermediate `Tensor`s.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+        crow.fill(0.0);
+        let arow = &a[i * k..(i + 1) * k];
+        // ikj ordering: the inner loop streams both B's row and C's row,
+        // which vectorizes well and avoids strided access into B.
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    });
+}
+
+/// `C = Aᵀ(k×m)ᵀ · B(k×n)` i.e. `C(m×n) = Σ_p a[p,i]·b[p,j]`, without
+/// materializing the transpose. Used by conv weight gradients.
+pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usize) {
+    assert_eq!(a.len(), k * m);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+        crow.fill(0.0);
+        for p in 0..k {
+            let av = a[p * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    });
+}
+
+/// `C = A(m×k) · Bᵀ(n×k)ᵀ` i.e. `C(m×n) = Σ_p a[i,p]·b[j,p]`, without
+/// materializing the transpose. Used by conv input gradients.
+pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(c.len(), m * n);
+    c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            *cv = arow.iter().zip(brow.iter()).map(|(&x, &y)| x * y).sum();
+        }
+    });
+}
+
+/// Transpose a 2-D tensor.
+pub fn transpose(a: &Tensor) -> Result<Tensor> {
+    let (m, n) = a.shape().as_2d()?;
+    let mut out = Tensor::zeros([n, m]);
+    let src = a.data();
+    out.data_mut().par_chunks_mut(m).enumerate().for_each(|(j, orow)| {
+        for (i, o) in orow.iter_mut().enumerate() {
+            *o = src[i * n + j];
+        }
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec([2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matches_naive_rectangular() {
+        let (m, k, n) = (7, 5, 9);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.21).cos()).collect();
+        let at = Tensor::from_vec([m, k], a.clone()).unwrap();
+        let bt = Tensor::from_vec([k, n], b.clone()).unwrap();
+        let c = matmul(&at, &bt).unwrap();
+        let reference = naive(&a, &b, m, k, n);
+        for (x, y) in c.data().iter().zip(reference.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn inner_dim_mismatch_is_error() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn at_b_equals_explicit_transpose() {
+        let (k, m, n) = (6, 4, 5);
+        let a: Vec<f32> = (0..k * m).map(|i| (i as f32 * 0.11).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.07).cos()).collect();
+        let mut c = vec![0.0; m * n];
+        matmul_at_b(&a, &b, &mut c, k, m, n);
+        // reference: transpose a then multiply
+        let at = transpose(&Tensor::from_vec([k, m], a).unwrap()).unwrap();
+        let reference =
+            matmul(&at, &Tensor::from_vec([k, n], b).unwrap()).unwrap();
+        for (x, y) in c.iter().zip(reference.data().iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn a_bt_equals_explicit_transpose() {
+        let (m, k, n) = (4, 6, 5);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.13).sin()).collect();
+        let b: Vec<f32> = (0..n * k).map(|i| (i as f32 * 0.05).cos()).collect();
+        let mut c = vec![0.0; m * n];
+        matmul_a_bt(&a, &b, &mut c, m, k, n);
+        let bt = transpose(&Tensor::from_vec([n, k], b).unwrap()).unwrap();
+        let reference =
+            matmul(&Tensor::from_vec([m, k], a).unwrap(), &bt).unwrap();
+        for (x, y) in c.iter().zip(reference.data().iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = transpose(&a).unwrap();
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        assert_eq!(t.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(transpose(&t).unwrap(), a);
+    }
+}

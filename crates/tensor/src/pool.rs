@@ -1,0 +1,173 @@
+//! Pooling kernels used by the ResNet-50 comparator model.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Max-pool an NCHW tensor with square window `k` and stride `s`.
+/// Also returns the argmax indices (flat, per output element) for backward.
+pub fn max_pool2d(input: &Tensor, k: usize, s: usize) -> Result<(Tensor, Vec<usize>)> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    if k == 0 || s == 0 {
+        return Err(TensorError::InvalidArgument("pool kernel/stride must be > 0".into()));
+    }
+    let h_out = (h - k) / s + 1;
+    let w_out = (w - k) / s + 1;
+    let mut out = Tensor::zeros([n, c, h_out, w_out]);
+    let mut argmax = vec![0usize; out.numel()];
+    let src = input.data();
+    let dst = out.data_mut();
+    let mut o = 0usize;
+    for i in 0..n {
+        for ci in 0..c {
+            let base = (i * c + ci) * h * w;
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let idx = base + (oy * s + ky) * w + (ox * s + kx);
+                            if src[idx] > best {
+                                best = src[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    dst[o] = best;
+                    argmax[o] = best_idx;
+                    o += 1;
+                }
+            }
+        }
+    }
+    Ok((out, argmax))
+}
+
+/// Backward of [`max_pool2d`]: route each output gradient to its argmax input.
+pub fn max_pool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_shape: &crate::Shape,
+) -> Result<Tensor> {
+    if grad_out.numel() != argmax.len() {
+        return Err(TensorError::InvalidArgument(
+            "grad_out and argmax length mismatch".into(),
+        ));
+    }
+    let mut grad_in = Tensor::zeros(input_shape.clone());
+    for (g, &idx) in grad_out.data().iter().zip(argmax.iter()) {
+        grad_in.data_mut()[idx] += g;
+    }
+    Ok(grad_in)
+}
+
+/// Global average pooling: NCHW → `[N, C]`.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let plane = h * w;
+    let mut out = Tensor::zeros([n, c]);
+    for (i, chunk) in input.data().chunks(plane).enumerate() {
+        out.data_mut()[i] = chunk.iter().sum::<f32>() / plane as f32;
+    }
+    Ok(out)
+}
+
+/// Backward of [`global_avg_pool`]: spread each gradient uniformly.
+pub fn global_avg_pool_backward(grad_out: &Tensor, h: usize, w: usize) -> Result<Tensor> {
+    let (n, c) = grad_out.shape().as_2d()?;
+    let plane = h * w;
+    let mut grad_in = Tensor::zeros([n, c, h, w]);
+    for (i, chunk) in grad_in.data_mut().chunks_mut(plane).enumerate() {
+        let g = grad_out.data()[i] / plane as f32;
+        chunk.fill(g);
+    }
+    Ok(grad_in)
+}
+
+/// Average-pool with square window `k`, stride `s` (no padding).
+pub fn avg_pool2d(input: &Tensor, k: usize, s: usize) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let h_out = (h - k) / s + 1;
+    let w_out = (w - k) / s + 1;
+    let norm = 1.0 / (k * k) as f32;
+    let mut out = Tensor::zeros([n, c, h_out, w_out]);
+    let src = input.data();
+    let dst = out.data_mut();
+    let mut o = 0usize;
+    for i in 0..n {
+        for ci in 0..c {
+            let base = (i * c + ci) * h * w;
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let mut acc = 0.0f32;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            acc += src[base + (oy * s + ky) * w + (ox * s + kx)];
+                        }
+                    }
+                    dst[o] = acc * norm;
+                    o += 1;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_known_values() {
+        let x = Tensor::from_vec(
+            [1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+        )
+        .unwrap();
+        let (y, arg) = max_pool2d(&x, 2, 2).unwrap();
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 3.0, 2.0, 0.0]).unwrap();
+        let (_, arg) = max_pool2d(&x, 2, 2).unwrap();
+        let g = Tensor::from_vec([1, 1, 1, 1], vec![5.0]).unwrap();
+        let gi = max_pool2d_backward(&g, &arg, x.shape()).unwrap();
+        assert_eq!(gi.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_means() {
+        let x = Tensor::from_vec([1, 2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]).unwrap();
+        let y = global_avg_pool(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2]);
+        assert_eq!(y.data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_backward_spreads() {
+        let g = Tensor::from_vec([1, 1], vec![4.0]).unwrap();
+        let gi = global_avg_pool_backward(&g, 2, 2).unwrap();
+        assert_eq!(gi.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn avg_pool_known_values() {
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = avg_pool2d(&x, 2, 2).unwrap();
+        assert_eq!(y.data(), &[2.5]);
+    }
+
+    #[test]
+    fn zero_kernel_is_error() {
+        let x = Tensor::zeros([1, 1, 2, 2]);
+        assert!(max_pool2d(&x, 0, 1).is_err());
+    }
+}

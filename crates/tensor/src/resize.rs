@@ -1,0 +1,163 @@
+//! Bicubic resampling — the degradation operator (HR → LR) and the classical
+//! upsampling baseline that EDSR is compared against (paper Fig 4).
+
+use crate::{Result, Tensor, TensorError};
+
+/// Standard bicubic convolution kernel with a = -0.5 (Catmull-Rom family),
+/// the same kernel used by common image libraries.
+fn cubic(x: f32) -> f32 {
+    const A: f32 = -0.5;
+    let x = x.abs();
+    if x <= 1.0 {
+        (A + 2.0) * x * x * x - (A + 3.0) * x * x + 1.0
+    } else if x < 2.0 {
+        A * x * x * x - 5.0 * A * x * x + 8.0 * A * x - 4.0 * A
+    } else {
+        0.0
+    }
+}
+
+/// Resample every plane of an NCHW tensor to `(out_h, out_w)` with bicubic
+/// interpolation (edge pixels clamped).
+pub fn bicubic_resize(input: &Tensor, out_h: usize, out_w: usize) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    if out_h == 0 || out_w == 0 {
+        return Err(TensorError::InvalidArgument("bicubic target size must be > 0".into()));
+    }
+    let sy = h as f32 / out_h as f32;
+    let sx = w as f32 / out_w as f32;
+    let mut out = Tensor::zeros([n, c, out_h, out_w]);
+
+    // Precompute per-output-column source taps and weights (shared by rows).
+    let xtaps: Vec<([usize; 4], [f32; 4])> = (0..out_w)
+        .map(|ox| taps(ox, sx, w))
+        .collect();
+    let ytaps: Vec<([usize; 4], [f32; 4])> = (0..out_h)
+        .map(|oy| taps(oy, sy, h))
+        .collect();
+
+    let src = input.data();
+    let dst = out.data_mut();
+    for plane in 0..n * c {
+        let sbase = plane * h * w;
+        let dbase = plane * out_h * out_w;
+        for (oy, (yi, yw)) in ytaps.iter().enumerate() {
+            for (ox, (xi, xw)) in xtaps.iter().enumerate() {
+                let mut acc = 0.0f32;
+                for (row, &wy) in yi.iter().zip(yw.iter()) {
+                    let rbase = sbase + row * w;
+                    let mut racc = 0.0f32;
+                    for (col, &wx) in xi.iter().zip(xw.iter()) {
+                        racc += src[rbase + col] * wx;
+                    }
+                    acc += racc * wy;
+                }
+                dst[dbase + oy * out_w + ox] = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The 4 clamped source indices and normalized cubic weights for output
+/// position `o` at scale `s` over an extent of `len`.
+fn taps(o: usize, s: f32, len: usize) -> ([usize; 4], [f32; 4]) {
+    // Align sample centers: source coordinate of output pixel center.
+    let center = (o as f32 + 0.5) * s - 0.5;
+    let base = center.floor() as isize;
+    let frac = center - base as f32;
+    let mut idx = [0usize; 4];
+    let mut wgt = [0f32; 4];
+    let mut total = 0.0f32;
+    for t in 0..4 {
+        let srci = base - 1 + t as isize;
+        idx[t] = srci.clamp(0, len as isize - 1) as usize;
+        let d = frac - (t as f32 - 1.0);
+        wgt[t] = cubic(d);
+        total += wgt[t];
+    }
+    // Normalize so constant images stay exactly constant at borders.
+    if total != 0.0 {
+        wgt.iter_mut().for_each(|v| *v /= total);
+    }
+    (idx, wgt)
+}
+
+/// Downsample by an integer factor (the DIV2K LR degradation).
+pub fn bicubic_downsample(input: &Tensor, factor: usize) -> Result<Tensor> {
+    let (_, _, h, w) = input.shape().as_nchw()?;
+    if factor == 0 || h % factor != 0 || w % factor != 0 {
+        return Err(TensorError::InvalidArgument(format!(
+            "downsample factor {factor} must evenly divide ({h},{w})"
+        )));
+    }
+    bicubic_resize(input, h / factor, w / factor)
+}
+
+/// Upsample by an integer factor (the classical SR baseline).
+pub fn bicubic_upsample(input: &Tensor, factor: usize) -> Result<Tensor> {
+    let (_, _, h, w) = input.shape().as_nchw()?;
+    if factor == 0 {
+        return Err(TensorError::InvalidArgument("upsample factor must be > 0".into()));
+    }
+    bicubic_resize(input, h * factor, w * factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn identity_resize_is_identity() {
+        let x = init::uniform([1, 1, 8, 8], 0.0, 1.0, 3);
+        let y = bicubic_resize(&x, 8, 8).unwrap();
+        assert!(y.allclose(&x, 1e-5), "diff {}", y.max_abs_diff(&x));
+    }
+
+    #[test]
+    fn constant_image_stays_constant() {
+        let x = Tensor::full([1, 3, 10, 10], 0.7);
+        let down = bicubic_downsample(&x, 2).unwrap();
+        assert!(down.data().iter().all(|&v| (v - 0.7).abs() < 1e-5));
+        let up = bicubic_upsample(&x, 2).unwrap();
+        assert!(up.data().iter().all(|&v| (v - 0.7).abs() < 1e-5));
+    }
+
+    #[test]
+    fn downsample_shape_and_error() {
+        let x = Tensor::zeros([1, 3, 12, 8]);
+        let y = bicubic_downsample(&x, 4).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 3, 3, 2]);
+        assert!(bicubic_downsample(&x, 5).is_err());
+    }
+
+    #[test]
+    fn up_then_down_roughly_recovers_smooth_image() {
+        // A smooth gradient survives a ×2 round trip with small error.
+        let mut x = Tensor::zeros([1, 1, 16, 16]);
+        for y in 0..16 {
+            for xx in 0..16 {
+                *x.at_mut(&[0, 0, y, xx]) = (y as f32 / 15.0 + xx as f32 / 15.0) / 2.0;
+            }
+        }
+        let up = bicubic_upsample(&x, 2).unwrap();
+        let back = bicubic_downsample(&up, 2).unwrap();
+        assert!(back.allclose(&x, 0.02), "diff {}", back.max_abs_diff(&x));
+    }
+
+    #[test]
+    fn linear_ramp_preserved_in_interior() {
+        // Bicubic reproduces affine signals exactly away from borders.
+        let mut x = Tensor::zeros([1, 1, 1, 16]);
+        for i in 0..16 {
+            *x.at_mut(&[0, 0, 0, i]) = i as f32;
+        }
+        let y = bicubic_resize(&x, 1, 32).unwrap();
+        // interior: y[0,0,0,2k] ≈ sample between (k-1,k); just check monotonic
+        let d = y.data();
+        for i in 4..28 {
+            assert!(d[i + 1] >= d[i] - 1e-4, "not monotone at {i}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Shape arithmetic for contiguous row-major tensors.
+
+use crate::{Result, TensorError};
+
+/// A tensor shape: an ordered list of dimension extents.
+///
+/// Shapes are cheap to clone (small `Vec<usize>`) and carry row-major stride
+/// computation. A scalar is represented by an empty dimension list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Build a shape from raw extents.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total element count (product of extents; 1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Extent of dimension `i`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Interpret as a 4-D NCHW shape.
+    pub fn as_nchw(&self) -> Result<(usize, usize, usize, usize)> {
+        match self.0.as_slice() {
+            &[n, c, h, w] => Ok((n, c, h, w)),
+            other => Err(TensorError::ShapeMismatch {
+                expected: vec![4],
+                got: other.to_vec(),
+                context: "as_nchw (rank-4 required)",
+            }),
+        }
+    }
+
+    /// Interpret as a 2-D (rows, cols) shape.
+    pub fn as_2d(&self) -> Result<(usize, usize)> {
+        match self.0.as_slice() {
+            &[r, c] => Ok((r, c)),
+            other => Err(TensorError::ShapeMismatch {
+                expected: vec![2],
+                got: other.to_vec(),
+                context: "as_2d (rank-2 required)",
+            }),
+        }
+    }
+
+    /// Flat row-major offset of a multi-index. Debug-checked against extents.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.0.len());
+        let strides = self.strides();
+        index
+            .iter()
+            .zip(strides.iter())
+            .zip(self.0.iter())
+            .map(|((&i, &s), &d)| {
+                debug_assert!(i < d, "index {i} out of bounds for extent {d}");
+                i * s
+            })
+            .sum()
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(Shape::new(Vec::new()).numel(), 1);
+    }
+
+    #[test]
+    fn row_major_strides() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([5]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_matches_manual_computation() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn nchw_accessor() {
+        let s = Shape::from([1, 3, 8, 8]);
+        assert_eq!(s.as_nchw().unwrap(), (1, 3, 8, 8));
+        assert!(Shape::from([2, 2]).as_nchw().is_err());
+    }
+
+    #[test]
+    fn two_d_accessor() {
+        assert_eq!(Shape::from([4, 5]).as_2d().unwrap(), (4, 5));
+        assert!(Shape::from([4, 5, 6]).as_2d().is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Pixel shuffle (sub-pixel convolution rearrangement), the upsampling
+//! primitive of EDSR's tail: `[N, C·r², H, W] → [N, C, H·r, W·r]`.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Rearrange channel blocks into spatial positions with upscale factor `r`.
+pub fn pixel_shuffle(input: &Tensor, r: usize) -> Result<Tensor> {
+    let (n, c_in, h, w) = input.shape().as_nchw()?;
+    if r == 0 || c_in % (r * r) != 0 {
+        return Err(TensorError::InvalidArgument(format!(
+            "pixel_shuffle: channels {c_in} not divisible by r²={}",
+            r * r
+        )));
+    }
+    let c_out = c_in / (r * r);
+    let mut out = Tensor::zeros([n, c_out, h * r, w * r]);
+    let src = input.data();
+    let dst = out.data_mut();
+    let (ho, wo) = (h * r, w * r);
+    for i in 0..n {
+        for co in 0..c_out {
+            for dy in 0..r {
+                for dx in 0..r {
+                    // PyTorch layout: input channel co*r² + dy*r + dx maps to
+                    // output offset (dy, dx) within each r×r block.
+                    let ci = co * r * r + dy * r + dx;
+                    let sbase = ((i * c_in) + ci) * h * w;
+                    let dbase = ((i * c_out) + co) * ho * wo;
+                    for y in 0..h {
+                        for x in 0..w {
+                            dst[dbase + (y * r + dy) * wo + (x * r + dx)] =
+                                src[sbase + y * w + x];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The exact adjoint of [`pixel_shuffle`] (used as its backward pass):
+/// `[N, C, H·r, W·r] → [N, C·r², H, W]`.
+pub fn pixel_unshuffle(input: &Tensor, r: usize) -> Result<Tensor> {
+    let (n, c, ho, wo) = input.shape().as_nchw()?;
+    if r == 0 || ho % r != 0 || wo % r != 0 {
+        return Err(TensorError::InvalidArgument(format!(
+            "pixel_unshuffle: spatial dims ({ho},{wo}) not divisible by r={r}"
+        )));
+    }
+    let (h, w) = (ho / r, wo / r);
+    let c_out = c * r * r;
+    let mut out = Tensor::zeros([n, c_out, h, w]);
+    let src = input.data();
+    let dst = out.data_mut();
+    for i in 0..n {
+        for co in 0..c {
+            for dy in 0..r {
+                for dx in 0..r {
+                    let ci = co * r * r + dy * r + dx;
+                    let dbase = ((i * c_out) + ci) * h * w;
+                    let sbase = ((i * c) + co) * ho * wo;
+                    for y in 0..h {
+                        for x in 0..w {
+                            dst[dbase + y * w + x] =
+                                src[sbase + (y * r + dy) * wo + (x * r + dx)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn shuffle_known_layout() {
+        // 4 channels, 1×1 spatial, r=2 → 1 channel 2×2
+        let x = Tensor::from_vec([1, 4, 1, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = pixel_shuffle(&x, 2).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn unshuffle_inverts_shuffle() {
+        let x = init::uniform([2, 8, 3, 5], -1.0, 1.0, 77);
+        let y = pixel_shuffle(&x, 2).unwrap();
+        let back = pixel_unshuffle(&y, 2).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn shuffle_inverts_unshuffle() {
+        let x = init::uniform([1, 3, 6, 6], -1.0, 1.0, 78);
+        let y = pixel_unshuffle(&x, 3).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 27, 2, 2]);
+        assert_eq!(pixel_shuffle(&y, 3).unwrap(), x);
+    }
+
+    #[test]
+    fn indivisible_channels_error() {
+        let x = Tensor::zeros([1, 3, 2, 2]);
+        assert!(pixel_shuffle(&x, 2).is_err());
+    }
+
+    #[test]
+    fn adjoint_property() {
+        // <shuffle(x), y> == <x, unshuffle(y)> — the defining property that
+        // makes unshuffle the valid backward of shuffle.
+        let x = init::uniform([1, 4, 2, 2], -1.0, 1.0, 79);
+        let y = init::uniform([1, 1, 4, 4], -1.0, 1.0, 80);
+        let sx = pixel_shuffle(&x, 2).unwrap();
+        let uy = pixel_unshuffle(&y, 2).unwrap();
+        let lhs: f32 = sx.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(uy.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+}

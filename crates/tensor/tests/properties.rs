@@ -1,0 +1,136 @@
+//! Property-based tests for the tensor kernels: algebraic identities that
+//! must hold for arbitrary shapes and data.
+
+use proptest::prelude::*;
+
+use dlsr_tensor::conv::{conv2d, conv2d_reference, Conv2dParams};
+use dlsr_tensor::matmul::{matmul, transpose};
+use dlsr_tensor::shuffle::{pixel_shuffle, pixel_unshuffle};
+use dlsr_tensor::{elementwise, reduce, resize, Tensor};
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// a + b == b + a, elementwise.
+    #[test]
+    fn add_commutes(data in tensor_strategy(24)) {
+        let a = Tensor::from_vec([24], data.clone()).unwrap();
+        let b = Tensor::from_vec([24], data.iter().rev().copied().collect::<Vec<_>>()).unwrap();
+        let ab = elementwise::add(&a, &b).unwrap();
+        let ba = elementwise::add(&b, &a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// (a - b) + b == a up to float rounding.
+    #[test]
+    fn sub_then_add_roundtrips(data in tensor_strategy(32)) {
+        let a = Tensor::from_vec([32], data.clone()).unwrap();
+        let b = Tensor::from_vec([32], data.iter().map(|x| x * 0.5 + 1.0).collect::<Vec<_>>()).unwrap();
+        let back = elementwise::add(&elementwise::sub(&a, &b).unwrap(), &b).unwrap();
+        prop_assert!(back.allclose(&a, 1e-4));
+    }
+
+    /// scale(a, s) sums to s * sum(a).
+    #[test]
+    fn scale_is_linear_in_sum(data in tensor_strategy(16), s in -4.0f32..4.0) {
+        let a = Tensor::from_vec([16], data).unwrap();
+        let scaled = elementwise::scale(&a, s);
+        prop_assert!((reduce::sum(&scaled) - s * reduce::sum(&a)).abs() < 1e-2);
+    }
+
+    /// ReLU is idempotent and non-negative.
+    #[test]
+    fn relu_idempotent(data in tensor_strategy(40)) {
+        let a = Tensor::from_vec([40], data).unwrap();
+        let r1 = elementwise::relu(&a);
+        let r2 = elementwise::relu(&r1);
+        prop_assert_eq!(&r1, &r2);
+        prop_assert!(r1.data().iter().all(|&x| x >= 0.0));
+    }
+
+    /// (Aᵀ)ᵀ == A for arbitrary rectangular matrices.
+    #[test]
+    fn transpose_involution(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+        let a = dlsr_tensor::init::uniform([rows, cols], -1.0, 1.0, seed);
+        let tt = transpose(&transpose(&a).unwrap()).unwrap();
+        prop_assert_eq!(tt, a);
+    }
+
+    /// Matmul with the identity matrix is the identity map.
+    #[test]
+    fn matmul_identity(n in 1usize..8, seed in 0u64..1000) {
+        let a = dlsr_tensor::init::uniform([n, n], -1.0, 1.0, seed);
+        let mut eye = Tensor::zeros([n, n]);
+        for i in 0..n {
+            *eye.at_mut(&[i, i]) = 1.0;
+        }
+        let prod = matmul(&a, &eye).unwrap();
+        prop_assert!(prod.allclose(&a, 1e-5));
+    }
+
+    /// The im2col convolution agrees with the direct reference for random
+    /// shapes, strides and paddings.
+    #[test]
+    fn conv_matches_reference(
+        n in 1usize..3,
+        cin in 1usize..4,
+        cout in 1usize..4,
+        hw in 3usize..8,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let p = Conv2dParams { stride, padding };
+        let x = dlsr_tensor::init::uniform([n, cin, hw, hw], -1.0, 1.0, seed);
+        let w = dlsr_tensor::init::uniform([cout, cin, 3, 3], -1.0, 1.0, seed + 1);
+        prop_assume!(p.out_extent(hw, 3) > 0);
+        let fast = conv2d(&x, &w, None, p).unwrap();
+        let slow = conv2d_reference(&x, &w, None, p).unwrap();
+        prop_assert!(fast.allclose(&slow, 1e-3), "diff {}", fast.max_abs_diff(&slow));
+    }
+
+    /// pixel_unshuffle inverts pixel_shuffle for any compatible shape.
+    #[test]
+    fn shuffle_roundtrip(c in 1usize..4, hw in 1usize..5, r in 2usize..4, seed in 0u64..1000) {
+        let x = dlsr_tensor::init::uniform([1, c * r * r, hw, hw], -1.0, 1.0, seed);
+        let y = pixel_shuffle(&x, r).unwrap();
+        prop_assert_eq!(pixel_unshuffle(&y, r).unwrap(), x);
+    }
+
+    /// Bicubic resize preserves constant images exactly (partition of unity).
+    #[test]
+    fn bicubic_preserves_constants(v in -2.0f32..2.0, hw in 4usize..16, out in 2usize..24) {
+        let x = Tensor::full([1, 1, hw, hw], v);
+        let y = resize::bicubic_resize(&x, out, out).unwrap();
+        prop_assert!(y.data().iter().all(|&p| (p - v).abs() < 1e-4));
+    }
+
+    /// Reductions: mean * n == sum; min <= mean <= max.
+    #[test]
+    fn reduction_relations(data in tensor_strategy(20)) {
+        let t = Tensor::from_vec([20], data).unwrap();
+        prop_assert!((reduce::mean(&t) * 20.0 - reduce::sum(&t)).abs() < 1e-3);
+        prop_assert!(reduce::min(&t) <= reduce::mean(&t) + 1e-6);
+        prop_assert!(reduce::mean(&t) <= reduce::max(&t) + 1e-6);
+    }
+
+    /// Conv linearity: conv(a + b) == conv(a) + conv(b).
+    #[test]
+    fn conv_is_linear(seed in 0u64..1000) {
+        let p = Conv2dParams::same(3);
+        let w = dlsr_tensor::init::uniform([2, 2, 3, 3], -1.0, 1.0, seed);
+        let a = dlsr_tensor::init::uniform([1, 2, 5, 5], -1.0, 1.0, seed + 1);
+        let b = dlsr_tensor::init::uniform([1, 2, 5, 5], -1.0, 1.0, seed + 2);
+        let lhs = conv2d(&elementwise::add(&a, &b).unwrap(), &w, None, p).unwrap();
+        let rhs = elementwise::add(
+            &conv2d(&a, &w, None, p).unwrap(),
+            &conv2d(&b, &w, None, p).unwrap(),
+        )
+        .unwrap();
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+}

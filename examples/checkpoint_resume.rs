@@ -1,0 +1,69 @@
+//! Checkpoint/resume: hour-scale cluster jobs (the paper's are) live by
+//! checkpoints. Train an EDSR for a while, save a binary state dict,
+//! rebuild a fresh model from disk, and verify the resumed trajectory
+//! continues where the original left off.
+//!
+//! Run: `cargo run --release --example checkpoint_resume`
+
+use dlsr::nn::checkpoint::StateDict;
+use dlsr::prelude::*;
+
+fn make_loader() -> DataLoader {
+    let spec = SyntheticImageSpec { height: 48, width: 48, ..Default::default() };
+    DataLoader::new(Div2kSynthetic::new(spec, 6, 2, 77), 12, 4, ShardSpec::single())
+        .with_augmentation(true)
+}
+
+fn train_steps(
+    model: &mut Edsr,
+    opt: &mut Adam,
+    loader: &mut DataLoader,
+    from: u64,
+    to: u64,
+) -> f32 {
+    let mut last = 0.0;
+    for step in from..to {
+        let (lr_batch, hr_batch) = loader.batch(0, step);
+        let pred = model.forward(&lr_batch).expect("forward");
+        let (loss, grad) = l1_loss(&pred, &hr_batch).expect("loss");
+        model.backward(&grad).expect("backward");
+        opt.step(model);
+        last = loss;
+    }
+    last
+}
+
+fn main() {
+    let ckpt_path = std::env::temp_dir().join("dlsr_example.ckpt");
+    println!("== checkpoint/resume round trip ==\n");
+
+    // phase 1: train 20 steps, checkpoint
+    let mut model = Edsr::new(EdsrConfig::tiny(), 5);
+    let mut opt = Adam::new(2e-3);
+    let mut loader = make_loader();
+    let loss_at_20 = train_steps(&mut model, &mut opt, &mut loader, 0, 20);
+    StateDict::from_module(&mut model).save(&ckpt_path).expect("save checkpoint");
+    println!("trained 20 steps (loss {loss_at_20:.4}), checkpointed to {}", ckpt_path.display());
+
+    // phase 2: keep training the original for 10 more steps (the reference)
+    let reference_loss = train_steps(&mut model, &mut opt, &mut loader, 20, 30);
+
+    // phase 3: resume from disk into a freshly-initialized model
+    let mut resumed = Edsr::new(EdsrConfig::tiny(), 999); // different init
+    StateDict::load(&ckpt_path)
+        .expect("load checkpoint")
+        .load_into(&mut resumed)
+        .expect("architectures match");
+    // fresh Adam: moments are not checkpointed in this example, so the
+    // trajectories agree at the restore point and then diverge slowly
+    let mut resumed_opt = Adam::new(2e-3);
+    let resumed_loss = train_steps(&mut resumed, &mut resumed_opt, &mut loader, 20, 30);
+
+    println!("continued original: loss {reference_loss:.4} after 10 more steps");
+    println!("resumed from disk : loss {resumed_loss:.4} after the same 10 steps");
+    let gap = (reference_loss - resumed_loss).abs();
+    println!("\ntrajectory gap {gap:.4} (small: parameters restored exactly;");
+    println!("nonzero: optimizer moments restart — checkpoint those too for");
+    println!("bit-exact resumes).");
+    std::fs::remove_file(&ckpt_path).ok();
+}

@@ -1,0 +1,49 @@
+//! Distributed EDSR training on a simulated 2-node × 4-GPU cluster:
+//! real gradients flow through the Horovod → MPI stack, under both the
+//! broken default configuration and the paper's MPI-Opt fix, and the
+//! virtual wall-clock shows the difference.
+//!
+//! Run with: `cargo run --release --example distributed_training`
+
+use dlsr::prelude::*;
+
+fn main() {
+    let topo = ClusterTopology::lassen(2); // 8 GPUs
+    println!(
+        "== distributed EDSR training on simulated {} ({} nodes × {} GPUs) ==\n",
+        topo.name, topo.nodes, topo.gpus_per_node
+    );
+
+    let cfg = RealTrainConfig {
+        global_batch: 8,
+        steps: 20,
+        lr: 2e-3,
+        n_images: 8,
+        seed: 11,
+        ..Default::default()
+    };
+
+    for (label, mpi) in [
+        ("default MPI (CUDA_VISIBLE_DEVICES pinned, no IPC)", MpiConfig::default_mpi()),
+        ("MPI-Opt (MV2_VISIBLE_DEVICES + registration cache)", MpiConfig::mpi_opt()),
+    ] {
+        let result = train_real(&topo, mpi, &cfg);
+        println!("-- {label} --");
+        println!(
+            "  loss: {:.4} -> {:.4} over {} steps",
+            result.losses.first().unwrap(),
+            result.losses.last().unwrap(),
+            cfg.steps
+        );
+        println!(
+            "  held-out PSNR: EDSR {:.2} dB vs bicubic {:.2} dB",
+            result.model_psnr, result.bicubic_psnr
+        );
+        println!("  virtual makespan: {:.1} ms\n", result.makespan * 1e3);
+    }
+
+    println!("note: with tiny models the gradient messages sit below the IPC");
+    println!("threshold, so both configurations stage through the host and the");
+    println!("makespans are close. The paper-scale contrast is shown by");
+    println!("`cargo run --release -p dlsr-bench --bin fig12_optimized_scaling`.");
+}

@@ -1,0 +1,40 @@
+//! hvprof in action: profile the communication of 100 simulated EDSR
+//! training steps on 4 GPUs under the default and optimized MPI
+//! configurations, and print the paper's Table I.
+//!
+//! Run with: `cargo run --release --example profile_allreduce`
+
+use dlsr::prelude::*;
+
+fn main() {
+    let (workload, tensors) = edsr_measured_workload();
+    let topo = ClusterTopology::lassen(1); // 1 node × 4 GPUs, as in §III-B
+    let steps = 100;
+
+    println!("== hvprof: {} training steps of {} on 4 GPUs ==\n", steps, workload.name);
+
+    let default_run =
+        run_training(&topo, Scenario::MpiDefault, &workload, &tensors, 4, 2, steps, 3);
+    let opt_run = run_training(&topo, Scenario::MpiOpt, &workload, &tensors, 4, 2, steps, 3);
+
+    println!("-- default MPI --");
+    print!("{}", default_run.profile.render(Collective::Allreduce));
+    println!("-- MPI-Opt --");
+    print!("{}", opt_run.profile.render(Collective::Allreduce));
+
+    println!("\n== Table I: Allreduce time performance improvement ==\n");
+    let rows = compare(&default_run.profile, &opt_run.profile, Collective::Allreduce);
+    print!("{}", render_table(&rows));
+
+    let total = rows.last().expect("total row");
+    println!(
+        "\ntotal allreduce improvement: {:.1} % (paper: 45.4 %)",
+        total.improvement_pct
+    );
+    println!(
+        "training throughput: {:.1} -> {:.1} img/s ({:+.1} %)",
+        default_run.images_per_sec,
+        opt_run.images_per_sec,
+        (opt_run.images_per_sec / default_run.images_per_sec - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,91 @@
+//! Quickstart: train a small EDSR for single-image super-resolution on
+//! synthetic DIV2K data — single process, real math — and beat classical
+//! bicubic upsampling on a held-out image (the comparison of the paper's
+//! Fig 4).
+//!
+//! Training uses global residual learning (`SR = bicubic↑LR + f(LR)`,
+//! VDSR-style): with a zero-initialized output layer the model *starts* at
+//! bicubic quality and improves from there, which makes small-scale CPU
+//! demos converge quickly.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dlsr::prelude::*;
+use dlsr::tensor::{elementwise, resize};
+
+fn main() {
+    println!("== dlsr quickstart: residual EDSR(x2) on synthetic DIV2K ==\n");
+
+    // 1. data: procedurally generated HR images + bicubic-downsampled LR
+    let spec = SyntheticImageSpec {
+        height: 64,
+        width: 64,
+        shapes: 12,
+        texture: 0.0,
+        ..Default::default()
+    };
+    let dataset = Div2kSynthetic::new(spec, 8, 2, 42);
+    let mut loader = DataLoader::new(dataset, 16, 8, ShardSpec::single());
+
+    // 2. model + optimizer (mean-shift off: the target is zero-centered)
+    let cfg = EdsrConfig {
+        n_resblocks: 3,
+        n_feats: 16,
+        mean_shift: false,
+        ..EdsrConfig::tiny()
+    };
+    let mut model = Edsr::new(cfg, 7);
+    model.zero_output_conv();
+    let mut opt = Adam::new(2e-3);
+    println!(
+        "model: EDSR B={} F={} x{} ({} parameters), residual over bicubic",
+        cfg.n_resblocks,
+        cfg.n_feats,
+        cfg.scale,
+        cfg.num_params()
+    );
+
+    // 3. training loop (L1 loss on the bicubic residual, as VDSR/EDSR-style
+    //    SR training does)
+    let steps: u64 = 300;
+    for step in 0..steps {
+        let (lr_batch, hr_batch) = loader.batch(0, step);
+        let bicubic = resize::bicubic_upsample(&lr_batch, 2).expect("bicubic");
+        let target = elementwise::sub(&hr_batch, &bicubic).expect("residual target");
+        let pred = model.forward(&lr_batch).expect("forward");
+        let (loss, grad) = l1_loss(&pred, &target).expect("loss");
+        model.backward(&grad).expect("backward");
+        opt.step(&mut model);
+        if step % 50 == 0 || step + 1 == steps {
+            println!("step {step:>3}: residual L1 loss {loss:.4}");
+        }
+    }
+
+    // 4. evaluate on a held-out image: EDSR vs plain bicubic
+    let mut eval = Div2kSynthetic::new(spec, 1, 2, 4242);
+    let (hr, lr) = eval.image(0);
+    let (hr, lr) = (hr.clone(), lr.clone());
+    let bicubic = resize::bicubic_upsample(&lr, 2).expect("bicubic");
+    let sr = elementwise::add(&bicubic, &model.predict(&lr).expect("predict")).expect("add");
+
+    let psnr_sr = psnr(&sr, &hr, 1.0).expect("psnr");
+    let psnr_bi = psnr(&bicubic, &hr, 1.0).expect("psnr");
+    let ssim_sr = ssim(&sr, &hr, 1.0).expect("ssim");
+    let ssim_bi = ssim(&bicubic, &hr, 1.0).expect("ssim");
+
+    // save the triple for visual inspection
+    std::fs::create_dir_all("results").ok();
+    dlsr::tensor::io::save_ppm(&hr, "results/quickstart_hr.ppm").expect("save HR");
+    dlsr::tensor::io::save_ppm(&bicubic, "results/quickstart_bicubic.ppm").expect("save bicubic");
+    dlsr::tensor::io::save_ppm(&sr, "results/quickstart_edsr.ppm").expect("save SR");
+    println!("\nwrote results/quickstart_{{hr,bicubic,edsr}}.ppm for inspection");
+
+    println!("\n== held-out image quality (higher is better) ==");
+    println!("  bicubic : PSNR {psnr_bi:.2} dB   SSIM {ssim_bi:.4}");
+    println!("  EDSR    : PSNR {psnr_sr:.2} dB   SSIM {ssim_sr:.4}");
+    println!(
+        "\nEDSR {} bicubic by {:.2} dB after {steps} steps (real EDSR training\nruns ~300k steps on DIV2K; the gap keeps widening).",
+        if psnr_sr > psnr_bi { "beats" } else { "trails" },
+        (psnr_sr - psnr_bi).abs()
+    );
+}

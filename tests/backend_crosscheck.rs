@@ -1,0 +1,107 @@
+//! Cross-backend numerics: every collective algorithm and both backends
+//! must produce bit-comparable reductions, and the NCCL backend must be
+//! immune to the `CUDA_VISIBLE_DEVICES` conflict that breaks default MPI.
+
+use dlsr::mpi::collectives::{allreduce_with, AllreduceAlgorithm};
+use dlsr::prelude::*;
+
+fn expected_sum(p: usize, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| (0..p).map(|r| ((r * 31 + i) % 17) as f32).sum())
+        .collect()
+}
+
+fn input(rank: usize, len: usize) -> Vec<f32> {
+    (0..len).map(|i| ((rank * 31 + i) % 17) as f32).collect()
+}
+
+#[test]
+fn all_algorithms_and_backends_agree() {
+    let topo = ClusterTopology::lassen(2); // 8 ranks
+    let len = 1031; // deliberately not divisible by the world size
+    let want = expected_sum(8, len);
+
+    for algo in [
+        AllreduceAlgorithm::Ring,
+        AllreduceAlgorithm::RecursiveDoubling,
+        AllreduceAlgorithm::TwoLevel,
+    ] {
+        let res = MpiWorld::run(&topo, MpiConfig::mpi_opt(), move |c| {
+            let mut buf = input(c.rank(), len);
+            allreduce_with(c, &mut buf, 1, algo);
+            buf
+        });
+        for (r, got) in res.ranks.iter().enumerate() {
+            assert_eq!(got, &want, "{algo:?} rank {r}");
+        }
+    }
+
+    let res = MpiWorld::run(&topo, MpiConfig::default_mpi(), move |c| {
+        let mut buf = input(c.rank(), len);
+        Nccl::all_reduce(c, &mut buf, 1);
+        buf
+    });
+    for (r, got) in res.ranks.iter().enumerate() {
+        assert_eq!(got, &want, "NCCL rank {r}");
+    }
+}
+
+#[test]
+fn nccl_uses_nvlink_under_the_broken_default_env() {
+    // §III-C: NCCL performs IPC transfers even when CUDA_VISIBLE_DEVICES
+    // restricts the process — default MPI cannot.
+    let topo = ClusterTopology::lassen(1);
+    let len = 8 << 20; // 32 MB
+    let res = MpiWorld::run(&topo, MpiConfig::default_mpi(), move |c| {
+        let mut buf = vec![1.0f32; len];
+        Nccl::all_reduce(c, &mut buf, 1);
+        let nccl_nvlink = c.stats().nvlink_bytes;
+        let mut buf2 = vec![1.0f32; len];
+        dlsr::mpi::collectives::allreduce(c, &mut buf2, 2);
+        let mpi_staged = c.stats().staged_bytes;
+        (nccl_nvlink, mpi_staged)
+    });
+    for (r, &(nvlink, staged)) in res.ranks.iter().enumerate() {
+        assert!(nvlink > 0, "rank {r}: NCCL did not use NVLink");
+        assert!(staged > 0, "rank {r}: default MPI did not stage");
+    }
+}
+
+#[test]
+fn mpi_opt_matches_default_numerically_but_is_faster_on_large_buffers() {
+    let topo = ClusterTopology::lassen(1);
+    let len = 10 << 20; // 40 MB
+    let run = |cfg: MpiConfig| {
+        MpiWorld::run(&topo, cfg, move |c| {
+            let mut buf = input(c.rank(), len);
+            dlsr::mpi::collectives::allreduce(c, &mut buf, 1);
+            (buf[12345], c.now())
+        })
+    };
+    let d = run(MpiConfig::default_mpi());
+    let o = run(MpiConfig::mpi_opt());
+    assert_eq!(d.ranks[0].0, o.ranks[0].0, "numerics must be identical");
+    assert!(
+        o.makespan() < d.makespan(),
+        "MPI-Opt {} should beat default {}",
+        o.makespan(),
+        d.makespan()
+    );
+}
+
+#[test]
+fn virtual_clocks_are_causally_consistent_across_backends() {
+    // After any allreduce, every rank's clock must be at least the compute
+    // time of the slowest rank (the reduction cannot finish before its
+    // inputs exist).
+    let topo = ClusterTopology::lassen(1);
+    let res = MpiWorld::run(&topo, MpiConfig::mpi_opt(), |c| {
+        c.advance(0.010 * (c.rank() + 1) as f64); // rank 3 is slowest: 40 ms
+        let mut buf = vec![c.rank() as f32; 1 << 20];
+        Nccl::all_reduce(c, &mut buf, 1);
+        c.now()
+    });
+    for (r, &t) in res.ranks.iter().enumerate() {
+        assert!(t >= 0.040, "rank {r} clock {t} violates causality");
+    }
+}

@@ -1,0 +1,106 @@
+//! Table I / Fig 14 shape assertions: the hvprof profile of default vs
+//! optimized training on 4 GPUs must show the paper's signature pattern —
+//! large bins improve ~2×, small bins do not move.
+
+use dlsr::prelude::*;
+
+fn profiles() -> (Hvprof, Hvprof) {
+    let (w, tensors) = edsr_measured_workload();
+    let topo = ClusterTopology::lassen(1); // 4 GPUs, as in §III-B
+    let d = run_training(&topo, Scenario::MpiDefault, &w, &tensors, 4, 2, 20, 3);
+    let o = run_training(&topo, Scenario::MpiOpt, &w, &tensors, 4, 2, 20, 3);
+    (d.profile, o.profile)
+}
+
+#[test]
+fn table1_shape() {
+    let (default, opt) = profiles();
+    let rows = compare(&default, &opt, Collective::Allreduce);
+    let total = rows.last().expect("total row");
+    assert_eq!(total.bin, "Total Time");
+    assert!(
+        (25.0..60.0).contains(&total.improvement_pct),
+        "total allreduce improvement {:.1} % (paper: 45.4 %)",
+        total.improvement_pct
+    );
+
+    let row = |name: &str| rows.iter().find(|r| r.bin == name);
+    // large bins improve by roughly half (paper: 53.1 % and 49.7 %)
+    if let Some(r) = row("16 MB - 32 MB") {
+        assert!(
+            (30.0..65.0).contains(&r.improvement_pct),
+            "16-32 MB improvement {:.1} %",
+            r.improvement_pct
+        );
+    }
+    let r = row("32 MB - 64 MB").expect("the dominant bin must exist");
+    assert!(
+        (30.0..65.0).contains(&r.improvement_pct),
+        "32-64 MB improvement {:.1} %",
+        r.improvement_pct
+    );
+    // the small bin's absolute delta is negligible (paper: 392.0 vs 391.2)
+    let small = row("1-128 KB").expect("metrics traffic populates the small bin");
+    assert!(
+        (small.default_ms - small.optimized_ms).abs() < 0.2 * small.default_ms.max(1.0),
+        "small-bin shift too large: {:.2} vs {:.2} ms",
+        small.default_ms,
+        small.optimized_ms
+    );
+    // the medium bin must not improve much either (paper: ≈0)
+    let mid = row("128 KB - 16 MB").expect("leftover groups populate the mid bin");
+    assert!(
+        mid.improvement_pct < 20.0,
+        "128KB-16MB improvement {:.1} % should be near zero",
+        mid.improvement_pct
+    );
+}
+
+#[test]
+fn fig14_bins_are_populated_like_the_paper() {
+    let (default, _) = profiles();
+    let bins = default.bin_seconds(Collective::Allreduce);
+    // every bin the paper shows carries traffic
+    assert!(bins[0] > 0.0, "1-128 KB empty");
+    assert!(bins[1] > 0.0, "128 KB-16 MB empty");
+    assert!(bins[3] > 0.0, "32-64 MB empty");
+    // and the 32-64 MB bin dominates (paper: 5145.6 of 7179.9 ms)
+    let total: f64 = bins.iter().sum();
+    assert!(
+        bins[3] / total > 0.5,
+        "32-64 MB bin should dominate: {:?}",
+        bins
+    );
+}
+
+#[test]
+fn timeline_shows_less_allreduce_busy_time_under_mpi_opt() {
+    // The HOROVOD_TIMELINE view of the same story: across all ranks, the
+    // optimized configuration spends materially less wall time inside
+    // allreduce, while compute time is invariant to the backend.
+    let (w, tensors) = edsr_measured_workload();
+    let topo = ClusterTopology::lassen(1);
+    let d = run_training(&topo, Scenario::MpiDefault, &w, &tensors, 4, 1, 5, 3);
+    let o = run_training(&topo, Scenario::MpiOpt, &w, &tensors, 4, 1, 5, 3);
+    let d_ar = d.timeline.category_seconds("allreduce");
+    let o_ar = o.timeline.category_seconds("allreduce");
+    assert!(
+        o_ar < 0.8 * d_ar,
+        "MPI-Opt allreduce busy time {o_ar:.4}s not well below default {d_ar:.4}s"
+    );
+    assert!(d.timeline.category_seconds("negotiate") > 0.0);
+    // the trace exports as valid Chrome-trace JSON
+    let json = o.timeline.to_chrome_trace();
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert!(!parsed.as_array().expect("array").is_empty());
+}
+
+#[test]
+fn rendered_table_is_well_formed() {
+    let (default, opt) = profiles();
+    let rows = compare(&default, &opt, Collective::Allreduce);
+    let table = render_table(&rows);
+    assert!(table.contains("Message Size"));
+    assert!(table.contains("Total Time"));
+    assert!(table.lines().count() >= rows.len() + 2);
+}

@@ -1,0 +1,103 @@
+//! Experiment-shape assertions: the qualitative results of the paper's
+//! evaluation must hold in the simulator at test-sized scales.
+
+use dlsr::prelude::*;
+
+fn measured() -> (WorkloadProfile, Vec<dlsr::horovod::TensorSpec>) {
+    edsr_measured_workload()
+}
+
+/// Fig 10/12 shape: aggregate throughput grows with GPUs for every backend.
+#[test]
+fn throughput_grows_with_gpu_count() {
+    let (w, tensors) = measured();
+    for scenario in [Scenario::MpiDefault, Scenario::MpiOpt, Scenario::Nccl] {
+        let pts = scaling_sweep(&[1, 2, 4], scenario, &w, &tensors, 4, 1, 4, 5);
+        assert_eq!(pts[0].gpus, 4);
+        assert_eq!(pts[2].gpus, 16);
+        assert!(
+            pts[1].images_per_sec > pts[0].images_per_sec
+                && pts[2].images_per_sec > pts[1].images_per_sec,
+            "{scenario:?} throughput not increasing: {:?}",
+            pts.iter().map(|p| p.images_per_sec).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Fig 13 shape: efficiency decreases with scale, and is bounded by 1.
+#[test]
+fn efficiency_degrades_with_scale() {
+    let (w, tensors) = measured();
+    let pts = scaling_sweep(&[1, 4, 16], Scenario::MpiDefault, &w, &tensors, 4, 1, 4, 5);
+    assert!(pts.iter().all(|p| p.efficiency <= 1.02 && p.efficiency > 0.3));
+    assert!(
+        pts[2].efficiency < pts[0].efficiency,
+        "efficiency should fall with scale: {:?}",
+        pts.iter().map(|p| p.efficiency).collect::<Vec<_>>()
+    );
+}
+
+/// Fig 12's headline at multi-node scale: MPI-Opt beats default MPI, and
+/// the registration cache alone (MPI-Reg) sits in between.
+#[test]
+fn optimization_ordering_at_multi_node_scale() {
+    let (w, tensors) = measured();
+    let topo = ClusterTopology::lassen(8); // 32 GPUs
+    let runs: Vec<TrainRun> = Scenario::all()
+        .iter()
+        .map(|&s| run_training(&topo, s, &w, &tensors, 4, 1, 5, 5))
+        .collect();
+    let by = |s: Scenario| {
+        runs.iter().find(|r| r.scenario == s).expect("scenario present").images_per_sec
+    };
+    let (default, reg, opt) = (by(Scenario::MpiDefault), by(Scenario::MpiReg), by(Scenario::MpiOpt));
+    assert!(opt > default, "MPI-Opt {opt} <= default {default}");
+    assert!(reg >= default, "MPI-Reg {reg} < default {default}");
+    assert!(opt >= reg, "MPI-Opt {opt} < MPI-Reg {reg}");
+}
+
+/// Fig 11's cache-hit claim: reused fusion buffers give >85 % hit rates
+/// (paper: 93 %).
+#[test]
+fn registration_cache_hit_rate_is_high() {
+    let (w, tensors) = measured();
+    let topo = ClusterTopology::lassen(2);
+    let run = run_training(&topo, Scenario::MpiReg, &w, &tensors, 4, 2, 8, 5);
+    assert!(
+        run.regcache_hit_rate > 0.85,
+        "hit rate {:.3}, paper reports 0.93",
+        run.regcache_hit_rate
+    );
+}
+
+/// Fig 9 shape: single-GPU throughput rises with batch size, saturates,
+/// and hits the 16 GB wall.
+#[test]
+fn batch_sweep_shape() {
+    let (w, _) = measured();
+    let sweep = batch_sweep(&w, &[1, 2, 4, 8, 16, 32, 64]);
+    let t: Vec<Option<f64>> = sweep.iter().map(|&(_, t)| t).collect();
+    assert!(t[0].unwrap() < t[2].unwrap(), "batch 4 should beat batch 1");
+    assert!(t[2].unwrap() < t[4].unwrap(), "batch 16 should beat batch 4");
+    assert!(t[6].is_none(), "batch 64 must OOM on a 16 GB V100");
+    // saturation: the 1→4 gain is larger than the 4→16 gain
+    let g1 = t[2].unwrap() / t[0].unwrap();
+    let g2 = t[4].unwrap() / t[2].unwrap();
+    assert!(g1 > g2, "no saturation: {g1} vs {g2}");
+}
+
+/// Fig 1 anchors: the calibrated simulator matches the paper's two
+/// published single-GPU throughputs.
+#[test]
+fn figure1_anchors() {
+    let model = KernelCostModel::new(GpuSpec::v100());
+    let (edsr, _) = measured();
+    let resnet = resnet50_workload();
+    let t_edsr = model.throughput(&edsr, 4, 1).expect("EDSR fits");
+    let t_resnet = model.throughput(&resnet, 64, 1).expect("ResNet fits");
+    assert!((9.2..11.4).contains(&t_edsr), "EDSR {t_edsr} img/s vs paper 10.3");
+    assert!((320.0..400.0).contains(&t_resnet), "ResNet {t_resnet} img/s vs paper 360");
+    // the headline disparity: ~35× more throughput for classification
+    let ratio = t_resnet / t_edsr;
+    assert!((25.0..45.0).contains(&ratio), "Fig 1 ratio {ratio}");
+}
