@@ -32,14 +32,9 @@ fn bench_fusion_planning(c: &mut Criterion) {
             &threshold,
             |b, &t| {
                 b.iter(|| {
-                    plan_dynamic(
-                        black_box(&tensors),
-                        &readiness,
-                        80e-3,
-                        t,
-                        1e-3,
-                        &|bytes| bytes as f64 / 12e9,
-                    )
+                    plan_dynamic(black_box(&tensors), &readiness, 80e-3, t, 1e-3, &|bytes| {
+                        bytes as f64 / 12e9
+                    })
                 })
             },
         );

@@ -34,7 +34,10 @@ fn main() {
     for &nodes in &[1usize, 4, 16, 64] {
         let topo = ClusterTopology::lassen(nodes);
         println!("-- {} GPUs --", topo.total_gpus());
-        println!("{:>10} {:>14} {:>14} {:>14}", "size", algos[0].0, algos[1].0, algos[2].0);
+        println!(
+            "{:>10} {:>14} {:>14} {:>14}",
+            "size", algos[0].0, algos[1].0, algos[2].0
+        );
         for &elems in &[4_096usize, 262_144, 12_000_000] {
             let times: Vec<f64> = algos
                 .iter()
@@ -69,5 +72,8 @@ fn main() {
     println!("per-chunk costs dominate — the regime where MPI-Opt overtakes NCCL");
     println!("in Fig 12.");
 
-    write_json("ablation_allreduce_algos.json", &serde_json::json!({ "rows": out }));
+    write_json(
+        "ablation_allreduce_algos.json",
+        &serde_json::json!({ "rows": out }),
+    );
 }

@@ -11,7 +11,10 @@ use dlsr_bench::{write_json, SEED};
 use dlsr_net::ClusterTopology;
 
 fn main() {
-    let nodes: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
     let (w, tensors) = edsr_measured_workload();
     let topo = ClusterTopology::lassen(nodes);
     println!(
@@ -33,10 +36,13 @@ fn main() {
     for &t in &thresholds {
         print!("{:>12}MB", t >> 20);
         for &c in &cycles {
-            let hcfg = HorovodConfig { fusion_threshold: t, cycle_time: c, backend: Backend::Mpi };
-            let run = run_training_tuned(
-                &topo, Scenario::MpiOpt, &w, &tensors, 4, 1, 4, SEED, hcfg,
-            );
+            let hcfg = HorovodConfig {
+                fusion_threshold: t,
+                cycle_time: c,
+                backend: Backend::Mpi,
+            };
+            let run =
+                run_training_tuned(&topo, Scenario::MpiOpt, &w, &tensors, 4, 1, 4, SEED, hcfg);
             print!("{:>12.1}", run.images_per_sec);
             if run.images_per_sec > best.0 {
                 best = (run.images_per_sec, t, c);

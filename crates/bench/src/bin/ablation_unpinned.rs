@@ -12,7 +12,9 @@ use dlsr::prelude::*;
 use dlsr_bench::write_json;
 
 fn max_batch(model: &KernelCostModel, w: &WorkloadProfile, contexts: usize) -> usize {
-    (1..=256).take_while(|&b| model.train_step_time(w, b, contexts).is_ok()).count()
+    (1..=256)
+        .take_while(|&b| model.train_step_time(w, b, contexts).is_ok())
+        .count()
 }
 
 fn main() {
@@ -22,7 +24,10 @@ fn main() {
 
     let rows = [
         ("unpinned (no masks)", DeviceEnv::unpinned(4)),
-        ("pinned (CUDA_VISIBLE_DEVICES)", DeviceEnv::default_pinned(0)),
+        (
+            "pinned (CUDA_VISIBLE_DEVICES)",
+            DeviceEnv::default_pinned(0),
+        ),
         ("pinned + MV2_VISIBLE_DEVICES", DeviceEnv::mpi_opt(0, 4)),
     ];
     println!(
@@ -57,5 +62,8 @@ fn main() {
     println!("pinning frees the memory but breaks MPI's IPC (Fig 6b) — only the");
     println!("MV2_VISIBLE_DEVICES split (Fig 7) gets both.");
 
-    write_json("ablation_unpinned.json", &serde_json::json!({ "rows": out }));
+    write_json(
+        "ablation_unpinned.json",
+        &serde_json::json!({ "rows": out }),
+    );
 }

@@ -1,0 +1,147 @@
+//! Before/after throughput of the packed, batch-parallel conv engine on a
+//! fixed tiny-EDSR training step, against the pre-engine kernels preserved
+//! in [`dlsr_bench::legacy`].
+//!
+//! Workload: batch 4 at 48×48 — a 3→64 head conv, two residual-style
+//! conv(+ReLU)/conv pairs at F=64, and a 64→3 tail conv, forward and
+//! backward. The engine path fuses the ReLU into the GEMM epilogue; the
+//! legacy path applies it as a separate elementwise pass, exactly as the
+//! seed code did. Emits `results/BENCH_conv.json` with img/sec both ways.
+
+use std::time::Instant;
+
+use dlsr_bench::legacy;
+use dlsr_tensor::conv::{conv2d_backward, conv2d_fused, Act, Conv2dParams};
+use dlsr_tensor::{elementwise, init, Tensor};
+
+const BATCH: usize = 4;
+const PATCH: usize = 48;
+const FEATS: usize = 64;
+const WARMUP: usize = 1;
+const STEPS: usize = 3;
+
+struct Layer {
+    w: Tensor,
+    b: Vec<f32>,
+    relu: bool,
+}
+
+fn build_stack() -> Vec<Layer> {
+    let layer = |c_in: usize, c_out: usize, relu: bool, seed: u64| Layer {
+        w: init::uniform([c_out, c_in, 3, 3], -0.05, 0.05, seed),
+        b: (0..c_out).map(|i| 0.01 * i as f32).collect(),
+        relu,
+    };
+    vec![
+        layer(3, FEATS, false, 1),
+        layer(FEATS, FEATS, true, 2),
+        layer(FEATS, FEATS, false, 3),
+        layer(FEATS, FEATS, true, 4),
+        layer(FEATS, FEATS, false, 5),
+        layer(FEATS, 3, false, 6),
+    ]
+}
+
+/// One forward+backward pass with the production engine (fused ReLU).
+fn step_engine(stack: &[Layer], x: &Tensor, p: Conv2dParams) -> Tensor {
+    let mut acts = vec![x.clone()];
+    for l in stack {
+        let act = if l.relu { Act::Relu } else { Act::Identity };
+        let y = conv2d_fused(acts.last().unwrap(), &l.w, Some(&l.b), act, p).unwrap();
+        acts.push(y);
+    }
+    let mut grad = Tensor::ones(acts.last().unwrap().shape().clone());
+    for (i, l) in stack.iter().enumerate().rev() {
+        if l.relu {
+            // post-activation output doubles as the mask: y > 0 ⇔ pre > 0
+            grad = elementwise::relu_backward(&grad, &acts[i + 1]).unwrap();
+        }
+        let (gi, _gw, _gb) = conv2d_backward(&acts[i], &l.w, &grad, p).unwrap();
+        grad = gi;
+    }
+    grad
+}
+
+/// The same pass with the pre-engine kernels: sequential conv, separate
+/// ReLU pass, per-call allocations.
+fn step_legacy(stack: &[Layer], x: &Tensor, p: Conv2dParams) -> Tensor {
+    let mut acts = vec![x.clone()];
+    for l in stack {
+        let mut y = legacy::conv2d(acts.last().unwrap(), &l.w, Some(&l.b), p).unwrap();
+        if l.relu {
+            y = elementwise::relu(&y);
+        }
+        acts.push(y);
+    }
+    let mut grad = Tensor::ones(acts.last().unwrap().shape().clone());
+    for (i, l) in stack.iter().enumerate().rev() {
+        if l.relu {
+            grad = elementwise::relu_backward(&grad, &acts[i + 1]).unwrap();
+        }
+        let (gi, _gw, _gb) = legacy::conv2d_backward(&acts[i], &l.w, &grad, p).unwrap();
+        grad = gi;
+    }
+    grad
+}
+
+fn time_steps<F: FnMut() -> Tensor>(mut f: F) -> (f64, Tensor) {
+    for _ in 0..WARMUP {
+        f();
+    }
+    let t0 = Instant::now();
+    let mut last = f();
+    for _ in 1..STEPS {
+        last = f();
+    }
+    (t0.elapsed().as_secs_f64() / STEPS as f64, last)
+}
+
+fn main() {
+    let p = Conv2dParams::same(3);
+    let stack = build_stack();
+    let x = init::uniform([BATCH, 3, PATCH, PATCH], -1.0, 1.0, dlsr_bench::SEED);
+
+    println!(
+        "tiny-EDSR conv step: batch {BATCH}, {PATCH}x{PATCH}, F={FEATS}, {} convs",
+        stack.len()
+    );
+
+    let (legacy_s, g_legacy) = time_steps(|| step_legacy(&stack, &x, p));
+    let (engine_s, g_engine) = time_steps(|| step_engine(&stack, &x, p));
+    assert!(
+        g_engine.allclose(&g_legacy, 1e-3),
+        "engine and legacy paths disagree: {}",
+        g_engine.max_abs_diff(&g_legacy)
+    );
+
+    let legacy_ips = BATCH as f64 / legacy_s;
+    let engine_ips = BATCH as f64 / engine_s;
+    let speedup = legacy_s / engine_s;
+    println!("legacy: {legacy_s:.4} s/step  ({legacy_ips:.2} img/s)");
+    println!("engine: {engine_s:.4} s/step  ({engine_ips:.2} img/s)");
+    println!("speedup: {speedup:.2}x");
+
+    dlsr_bench::write_json(
+        "BENCH_conv.json",
+        &serde_json::json!({
+            "workload": {
+                "batch": BATCH,
+                "patch": PATCH,
+                "features": FEATS,
+                "convs": stack.len(),
+                "pass": "forward+backward",
+                "warmup_steps": WARMUP,
+                "timed_steps": STEPS,
+            },
+            "before_legacy_kernels": {
+                "seconds_per_step": legacy_s,
+                "images_per_sec": legacy_ips,
+            },
+            "after_packed_engine": {
+                "seconds_per_step": engine_s,
+                "images_per_sec": engine_ips,
+            },
+            "speedup": speedup,
+        }),
+    );
+}

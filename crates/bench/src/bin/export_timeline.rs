@@ -10,7 +10,10 @@ use dlsr_bench::SEED;
 use dlsr_net::ClusterTopology;
 
 fn main() {
-    let nodes: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1);
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
     let (w, tensors) = edsr_measured_workload();
     let topo = ClusterTopology::lassen(nodes);
     std::fs::create_dir_all("results").expect("results dir");

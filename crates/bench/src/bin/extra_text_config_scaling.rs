@@ -28,8 +28,26 @@ fn main() {
     let mut rows = Vec::new();
     for &nodes in &[1usize, 8, 32, 128] {
         let topo = ClusterTopology::lassen(nodes);
-        let d = run_training(&topo, Scenario::MpiDefault, &w, &tensors, 4, warmup(), steps(), SEED);
-        let o = run_training(&topo, Scenario::MpiOpt, &w, &tensors, 4, warmup(), steps(), SEED);
+        let d = run_training(
+            &topo,
+            Scenario::MpiDefault,
+            &w,
+            &tensors,
+            4,
+            warmup(),
+            steps(),
+            SEED,
+        );
+        let o = run_training(
+            &topo,
+            Scenario::MpiOpt,
+            &w,
+            &tensors,
+            4,
+            warmup(),
+            steps(),
+            SEED,
+        );
         let gain = (o.images_per_sec / d.images_per_sec - 1.0) * 100.0;
         println!(
             "{:>6} {:>12.1} {:>12.1} {:>8.1}%",
@@ -50,5 +68,8 @@ fn main() {
     println!("gain is a few percent (registration cache only) — nothing like the");
     println!("paper's 26 %. The measured results require the F=256 model.");
 
-    write_json("extra_text_config.json", &serde_json::json!({ "rows": rows }));
+    write_json(
+        "extra_text_config.json",
+        &serde_json::json!({ "rows": rows }),
+    );
 }

@@ -15,7 +15,9 @@ fn main() {
     let resnet = resnet50_workload();
 
     let t_edsr = model.throughput(&edsr, 4, 1).expect("EDSR batch 4 fits");
-    let t_resnet = model.throughput(&resnet, 64, 1).expect("ResNet batch 64 fits");
+    let t_resnet = model
+        .throughput(&resnet, 64, 1)
+        .expect("ResNet batch 64 fits");
     let mem_edsr = model.memory_required(&edsr, 4, 1) as f64 / (1 << 30) as f64;
     let mem_resnet = model.memory_required(&resnet, 64, 1) as f64 / (1 << 30) as f64;
 

@@ -14,10 +14,7 @@ fn main() {
     let sweep = batch_sweep(&workload, &batches);
 
     println!("== Fig 9: EDSR single-GPU throughput vs batch size ==\n");
-    let best = sweep
-        .iter()
-        .filter_map(|&(_, t)| t)
-        .fold(0.0f64, f64::max);
+    let best = sweep.iter().filter_map(|&(_, t)| t).fold(0.0f64, f64::max);
     println!("{:>6} {:>12}", "batch", "img/s");
     let mut series = Vec::new();
     for &(b, t) in &sweep {
@@ -33,7 +30,11 @@ fn main() {
         }
     }
     println!("\nthe paper trains with batch 4 (§IV-C): throughput is already within");
-    let t4 = sweep.iter().find(|&&(b, _)| b == 4).and_then(|&(_, t)| t).unwrap();
+    let t4 = sweep
+        .iter()
+        .find(|&&(b, _)| b == 4)
+        .and_then(|&(_, t)| t)
+        .unwrap();
     println!(
         "{:.0} % of the saturated rate while keeping per-GPU batches small for",
         t4 / best * 100.0

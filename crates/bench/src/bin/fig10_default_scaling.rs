@@ -13,10 +13,32 @@ fn main() {
     let nodes = node_counts();
     println!("== Fig 10: default EDSR scaling, MVAPICH2-GDR (default) vs NCCL ==\n");
 
-    let mpi = scaling_sweep(&nodes, Scenario::MpiDefault, &w, &tensors, 4, warmup(), steps(), SEED);
-    let nccl = scaling_sweep(&nodes, Scenario::Nccl, &w, &tensors, 4, warmup(), steps(), SEED);
+    let mpi = scaling_sweep(
+        &nodes,
+        Scenario::MpiDefault,
+        &w,
+        &tensors,
+        4,
+        warmup(),
+        steps(),
+        SEED,
+    );
+    let nccl = scaling_sweep(
+        &nodes,
+        Scenario::Nccl,
+        &w,
+        &tensors,
+        4,
+        warmup(),
+        steps(),
+        SEED,
+    );
 
-    let max = nccl.iter().chain(mpi.iter()).map(|p| p.images_per_sec).fold(0.0, f64::max);
+    let max = nccl
+        .iter()
+        .chain(mpi.iter())
+        .map(|p| p.images_per_sec)
+        .fold(0.0, f64::max);
     println!("{:>6} {:>14} {:>14}", "GPUs", "MPI (img/s)", "NCCL (img/s)");
     for (m, n) in mpi.iter().zip(nccl.iter()) {
         println!(

@@ -22,8 +22,26 @@ fn main() {
     let mut rows = Vec::new();
     for &n in &nodes {
         let topo = ClusterTopology::lassen(n);
-        let base = run_training(&topo, Scenario::MpiDefault, &w, &tensors, 4, warmup(), steps(), SEED);
-        let reg = run_training(&topo, Scenario::MpiReg, &w, &tensors, 4, warmup(), steps(), SEED);
+        let base = run_training(
+            &topo,
+            Scenario::MpiDefault,
+            &w,
+            &tensors,
+            4,
+            warmup(),
+            steps(),
+            SEED,
+        );
+        let reg = run_training(
+            &topo,
+            Scenario::MpiReg,
+            &w,
+            &tensors,
+            4,
+            warmup(),
+            steps(),
+            SEED,
+        );
         let gain = (reg.images_per_sec / base.images_per_sec - 1.0) * 100.0;
         gains.push(gain);
         println!(
@@ -43,9 +61,7 @@ fn main() {
         }));
     }
     let avg = gains.iter().sum::<f64>() / gains.len() as f64;
-    println!(
-        "\naverage throughput improvement: {avg:.1} % (paper: 5.1 %); the cache",
-    );
+    println!("\naverage throughput improvement: {avg:.1} % (paper: 5.1 %); the cache",);
     println!("hit rate reflects Horovod's persistent fusion buffers (paper: 93 %).");
 
     write_json(

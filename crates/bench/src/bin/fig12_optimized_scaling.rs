@@ -13,9 +13,36 @@ fn main() {
     let nodes = node_counts();
     println!("== Fig 12: optimized EDSR scaling (MPI-Opt vs MPI vs NCCL) ==\n");
 
-    let mpi = scaling_sweep(&nodes, Scenario::MpiDefault, &w, &tensors, 4, warmup(), steps(), SEED);
-    let opt = scaling_sweep(&nodes, Scenario::MpiOpt, &w, &tensors, 4, warmup(), steps(), SEED);
-    let nccl = scaling_sweep(&nodes, Scenario::Nccl, &w, &tensors, 4, warmup(), steps(), SEED);
+    let mpi = scaling_sweep(
+        &nodes,
+        Scenario::MpiDefault,
+        &w,
+        &tensors,
+        4,
+        warmup(),
+        steps(),
+        SEED,
+    );
+    let opt = scaling_sweep(
+        &nodes,
+        Scenario::MpiOpt,
+        &w,
+        &tensors,
+        4,
+        warmup(),
+        steps(),
+        SEED,
+    );
+    let nccl = scaling_sweep(
+        &nodes,
+        Scenario::Nccl,
+        &w,
+        &tensors,
+        4,
+        warmup(),
+        steps(),
+        SEED,
+    );
 
     let max = opt.iter().map(|p| p.images_per_sec).fold(0.0, f64::max);
     println!(

@@ -13,9 +13,36 @@ fn main() {
     let nodes = node_counts();
     println!("== Fig 13: EDSR scaling efficiency ==\n");
 
-    let mpi = scaling_sweep(&nodes, Scenario::MpiDefault, &w, &tensors, 4, warmup(), steps(), SEED);
-    let opt = scaling_sweep(&nodes, Scenario::MpiOpt, &w, &tensors, 4, warmup(), steps(), SEED);
-    let nccl = scaling_sweep(&nodes, Scenario::Nccl, &w, &tensors, 4, warmup(), steps(), SEED);
+    let mpi = scaling_sweep(
+        &nodes,
+        Scenario::MpiDefault,
+        &w,
+        &tensors,
+        4,
+        warmup(),
+        steps(),
+        SEED,
+    );
+    let opt = scaling_sweep(
+        &nodes,
+        Scenario::MpiOpt,
+        &w,
+        &tensors,
+        4,
+        warmup(),
+        steps(),
+        SEED,
+    );
+    let nccl = scaling_sweep(
+        &nodes,
+        Scenario::Nccl,
+        &w,
+        &tensors,
+        4,
+        warmup(),
+        steps(),
+        SEED,
+    );
 
     println!("{:>6} {:>9} {:>9} {:>9}", "GPUs", "MPI", "MPI-Opt", "NCCL");
     for ((m, o), n) in mpi.iter().zip(opt.iter()).zip(nccl.iter()) {
@@ -39,9 +66,7 @@ fn main() {
         m_last.efficiency * 100.0,
         diff_pp
     );
-    println!(
-        "improvement (paper: +15.6 pp) and a {speedup:.2}× training speedup (paper: 1.26×)."
-    );
+    println!("improvement (paper: +15.6 pp) and a {speedup:.2}× training speedup (paper: 1.26×).");
 
     let ser = |v: &[ScalingPoint]| {
         v.iter()

@@ -26,8 +26,17 @@ fn main() {
         if db[i] == 0.0 && ob[i] == 0.0 {
             continue;
         }
-        println!("{name:>16}  default {:>8.1} ms  {}", db[i] * 1e3, bar(db[i], max, 32));
-        println!("{:>16}  MPI-Opt {:>8.1} ms  {}", "", ob[i] * 1e3, bar(ob[i], max, 32));
+        println!(
+            "{name:>16}  default {:>8.1} ms  {}",
+            db[i] * 1e3,
+            bar(db[i], max, 32)
+        );
+        println!(
+            "{:>16}  MPI-Opt {:>8.1} ms  {}",
+            "",
+            ob[i] * 1e3,
+            bar(ob[i], max, 32)
+        );
         series.push(serde_json::json!({
             "bin": name, "default_ms": db[i] * 1e3, "optimized_ms": ob[i] * 1e3
         }));

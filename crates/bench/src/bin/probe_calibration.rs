@@ -9,11 +9,17 @@ fn main() {
     let (w, tensors) = edsr_measured_workload();
     let args: Vec<String> = std::env::args().collect();
     let nodes_list: Vec<usize> = if args.len() > 1 {
-        args[1..].iter().map(|a| a.parse().expect("node count")).collect()
+        args[1..]
+            .iter()
+            .map(|a| a.parse().expect("node count"))
+            .collect()
     } else {
         vec![1, 8, 32, 128]
     };
-    println!("{:>6} {:>10} {:>12} {:>10} {:>10} {:>10}", "GPUs", "scenario", "img/s", "eff", "step(ms)", "reghit");
+    println!(
+        "{:>6} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "GPUs", "scenario", "img/s", "eff", "step(ms)", "reghit"
+    );
     for &nodes in &nodes_list {
         let topo = ClusterTopology::lassen(nodes);
         for sc in Scenario::all() {

@@ -1,0 +1,243 @@
+//! The pre-engine convolution/GEMM kernels, preserved as the benchmark
+//! baseline.
+//!
+//! These are the kernels the workspace shipped with before the packed,
+//! batch-parallel GEMM engine landed in `dlsr-tensor`: a row-parallel
+//! triple-loop matmul and a sequential per-image im2col convolution that
+//! allocates its temporaries on every call and applies bias in a second
+//! pass. They exist so `benches/conv_kernels.rs` and the `bench_conv`
+//! binary can report before/after numbers against the same workloads —
+//! do **not** use them outside benchmarks.
+
+use rayon::prelude::*;
+
+use dlsr_tensor::conv::Conv2dParams;
+use dlsr_tensor::{Tensor, TensorError};
+
+/// Naive ikj GEMM: `c[m×n] = a[m×k] · b[k×n]`, parallel over C rows.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+        crow.fill(0.0);
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    });
+}
+
+/// `c[m×n] = aᵀ · b` for `a[k×m]`, `b[k×n]`.
+pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usize) {
+    assert_eq!(a.len(), k * m);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+        crow.fill(0.0);
+        for p in 0..k {
+            let av = a[p * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    });
+}
+
+/// `c[m×n] = a · bᵀ` for `a[m×k]`, `b[n×k]`.
+pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(c.len(), m * n);
+    c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            *cv = arow.iter().zip(brow.iter()).map(|(&x, &y)| x * y).sum();
+        }
+    });
+}
+
+fn im2col(
+    img: &[f32],
+    (c_in, h, w): (usize, usize, usize),
+    (kh, kw): (usize, usize),
+    p: Conv2dParams,
+    col: &mut [f32],
+) {
+    let h_out = p.out_extent(h, kh);
+    let w_out = p.out_extent(w, kw);
+    let hw_out = h_out * w_out;
+    for c in 0..c_in {
+        let plane = &img[c * h * w..(c + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = ((c * kh + ky) * kw + kx) * hw_out;
+                for oy in 0..h_out {
+                    let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                    let dst = &mut col[row + oy * w_out..row + (oy + 1) * w_out];
+                    if iy < 0 || iy >= h as isize {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for (ox, d) in dst.iter_mut().enumerate() {
+                        let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                        *d = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            plane[iy * w + ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn col2im(
+    col: &[f32],
+    (c_in, h, w): (usize, usize, usize),
+    (kh, kw): (usize, usize),
+    p: Conv2dParams,
+    img: &mut [f32],
+) {
+    let h_out = p.out_extent(h, kh);
+    let w_out = p.out_extent(w, kw);
+    let hw_out = h_out * w_out;
+    for c in 0..c_in {
+        let plane_base = c * h * w;
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = ((c * kh + ky) * kw + kx) * hw_out;
+                for oy in 0..h_out {
+                    let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    let src = &col[row + oy * w_out..row + (oy + 1) * w_out];
+                    for (ox, &s) in src.iter().enumerate() {
+                        let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                        if ix >= 0 && ix < w as isize {
+                            img[plane_base + iy * w + ix as usize] += s;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sequential-over-batch forward conv, allocating per call, bias as a
+/// second pass over the output.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    p: Conv2dParams,
+) -> Result<Tensor, TensorError> {
+    let (n, c_in, h, w) = input.shape().as_nchw()?;
+    let (c_out, _, kh, kw) = weight.shape().as_nchw()?;
+    let h_out = p.out_extent(h, kh);
+    let w_out = p.out_extent(w, kw);
+    let hw_out = h_out * w_out;
+    let k = c_in * kh * kw;
+    let mut out = Tensor::zeros([n, c_out, h_out, w_out]);
+    let mut col = vec![0.0f32; k * hw_out];
+    for i in 0..n {
+        let img = &input.data()[i * c_in * h * w..(i + 1) * c_in * h * w];
+        im2col(img, (c_in, h, w), (kh, kw), p, &mut col);
+        let dst = &mut out.data_mut()[i * c_out * hw_out..(i + 1) * c_out * hw_out];
+        matmul_into(weight.data(), &col, dst, c_out, k, hw_out);
+        if let Some(b) = bias {
+            for (co, chunk) in dst.chunks_mut(hw_out).enumerate() {
+                let bv = b[co];
+                chunk.iter_mut().for_each(|x| *x += bv);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sequential-over-batch backward conv, allocating per call.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    p: Conv2dParams,
+) -> Result<(Tensor, Tensor, Vec<f32>), TensorError> {
+    let (n, c_in, h, w) = input.shape().as_nchw()?;
+    let (c_out, _, kh, kw) = weight.shape().as_nchw()?;
+    let h_out = p.out_extent(h, kh);
+    let w_out = p.out_extent(w, kw);
+    let hw_out = h_out * w_out;
+    let k = c_in * kh * kw;
+
+    let mut grad_input = Tensor::zeros([n, c_in, h, w]);
+    let mut grad_weight = Tensor::zeros(weight.shape().clone());
+    let mut grad_bias = vec![0.0f32; c_out];
+
+    let mut col = vec![0.0f32; k * hw_out];
+    let mut col_grad = vec![0.0f32; k * hw_out];
+    let mut gw_acc = vec![0.0f32; c_out * k];
+
+    for i in 0..n {
+        let img = &input.data()[i * c_in * h * w..(i + 1) * c_in * h * w];
+        let go = &grad_out.data()[i * c_out * hw_out..(i + 1) * c_out * hw_out];
+        for (co, chunk) in go.chunks(hw_out).enumerate() {
+            grad_bias[co] += chunk.iter().sum::<f32>();
+        }
+        im2col(img, (c_in, h, w), (kh, kw), p, &mut col);
+        matmul_a_bt(go, &col, &mut gw_acc, c_out, hw_out, k);
+        for (a, &b) in grad_weight.data_mut().iter_mut().zip(gw_acc.iter()) {
+            *a += b;
+        }
+        matmul_at_b(weight.data(), go, &mut col_grad, c_out, k, hw_out);
+        let gi = &mut grad_input.data_mut()[i * c_in * h * w..(i + 1) * c_in * h * w];
+        col2im(&col_grad, (c_in, h, w), (kh, kw), p, gi);
+    }
+    Ok((grad_input, grad_weight, grad_bias))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlsr_tensor::init;
+
+    /// The baseline must agree with the production engine, or before/after
+    /// numbers compare different math.
+    #[test]
+    fn legacy_matches_production() {
+        let p = Conv2dParams::same(3);
+        let x = init::uniform([2, 3, 8, 8], -1.0, 1.0, 1);
+        let w = init::uniform([4, 3, 3, 3], -1.0, 1.0, 2);
+        let b = vec![0.1f32, -0.2, 0.0, 0.3];
+        let old = conv2d(&x, &w, Some(&b), p).unwrap();
+        let new = dlsr_tensor::conv::conv2d(&x, &w, Some(&b), p).unwrap();
+        assert!(
+            old.allclose(&new, 1e-4),
+            "forward diff {}",
+            old.max_abs_diff(&new)
+        );
+
+        let go = init::uniform(old.shape().dims(), -1.0, 1.0, 3);
+        let (ogi, ogw, ogb) = conv2d_backward(&x, &w, &go, p).unwrap();
+        let (ngi, ngw, ngb) = dlsr_tensor::conv::conv2d_backward(&x, &w, &go, p).unwrap();
+        assert!(ogi.allclose(&ngi, 1e-3));
+        assert!(ogw.allclose(&ngw, 1e-3));
+        for (a, b) in ogb.iter().zip(ngb.iter()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+}

@@ -3,11 +3,17 @@
 //!
 //! Shared output helpers live here.
 
+pub mod legacy;
+
 use std::io::Write;
 
 /// Render a simple ASCII bar for terminal figures.
 pub fn bar(value: f64, max: f64, width: usize) -> String {
-    let n = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
+    let n = if max > 0.0 {
+        ((value / max) * width as f64).round() as usize
+    } else {
+        0
+    };
     "█".repeat(n.min(width))
 }
 
@@ -17,8 +23,12 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
     std::fs::create_dir_all("results").expect("create results dir");
     let path = format!("results/{name}");
     let mut f = std::fs::File::create(&path).expect("create results file");
-    f.write_all(serde_json::to_string_pretty(value).expect("serialize").as_bytes())
-        .expect("write results file");
+    f.write_all(
+        serde_json::to_string_pretty(value)
+            .expect("serialize")
+            .as_bytes(),
+    )
+    .expect("write results file");
     println!("[results written to {path}]");
 }
 
@@ -28,7 +38,11 @@ pub fn node_counts() -> Vec<usize> {
     match std::env::var("DLSR_NODES") {
         Ok(s) => s
             .split(',')
-            .map(|t| t.trim().parse().expect("DLSR_NODES: comma-separated node counts"))
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .expect("DLSR_NODES: comma-separated node counts")
+            })
             .collect(),
         Err(_) => vec![1, 2, 4, 8, 16, 32, 64, 128],
     }
@@ -36,7 +50,10 @@ pub fn node_counts() -> Vec<usize> {
 
 /// Measured steps per scaling point (override with `DLSR_STEPS`).
 pub fn steps() -> usize {
-    std::env::var("DLSR_STEPS").ok().and_then(|s| s.parse().ok()).unwrap_or(6)
+    std::env::var("DLSR_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6)
 }
 
 /// Warmup steps per scaling point.

@@ -38,9 +38,20 @@ pub fn single_gpu_throughput(
     batch: usize,
     seed: u64,
 ) -> f64 {
-    let topo = ClusterTopology { name: "single".into(), nodes: 1, gpus_per_node: 1 };
-    let trainer = SimTrainer::new(workload.clone(), tensors.to_vec(), batch, Scenario::MpiOpt, &topo, seed)
-        .expect("single-GPU batch must fit");
+    let topo = ClusterTopology {
+        name: "single".into(),
+        nodes: 1,
+        gpus_per_node: 1,
+    };
+    let trainer = SimTrainer::new(
+        workload.clone(),
+        tensors.to_vec(),
+        batch,
+        Scenario::MpiOpt,
+        &topo,
+        seed,
+    )
+    .expect("single-GPU batch must fit");
     let warmup = 2;
     let steps = 20;
     let res = MpiWorld::run(&topo, Scenario::MpiOpt.mpi_config(), move |c| {
@@ -62,10 +73,18 @@ pub fn run_training(
     steps: usize,
     seed: u64,
 ) -> TrainRun {
-    let trainer =
-        SimTrainer::new(workload.clone(), tensors.to_vec(), batch, scenario, topo, seed)
-            .expect("per-GPU batch must fit in device memory");
-    run_with_trainer(topo, scenario, workload, tensors, trainer, batch, warmup, steps, seed)
+    let trainer = SimTrainer::new(
+        workload.clone(),
+        tensors.to_vec(),
+        batch,
+        scenario,
+        topo,
+        seed,
+    )
+    .expect("per-GPU batch must fit in device memory");
+    run_with_trainer(
+        topo, scenario, workload, tensors, trainer, batch, warmup, steps, seed,
+    )
 }
 
 /// [`run_training`] with explicit Horovod tuning knobs (for the
@@ -92,7 +111,9 @@ pub fn run_training_tuned(
         hcfg,
     )
     .expect("per-GPU batch must fit in device memory");
-    run_with_trainer(topo, scenario, workload, tensors, trainer, batch, warmup, steps, seed)
+    run_with_trainer(
+        topo, scenario, workload, tensors, trainer, batch, warmup, steps, seed,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -160,8 +181,9 @@ pub fn scaling_sweep(
         .iter()
         .map(|&nodes| {
             let topo = ClusterTopology::lassen(nodes);
-            let run =
-                run_training(&topo, scenario, workload, tensors, batch, warmup, steps, seed);
+            let run = run_training(
+                &topo, scenario, workload, tensors, batch, warmup, steps, seed,
+            );
             ScalingPoint {
                 gpus: run.gpus,
                 images_per_sec: run.images_per_sec,
@@ -193,9 +215,17 @@ mod tests {
         let run = run_training(&topo, Scenario::MpiOpt, &w, &tensors, 4, 1, 5, 7);
         assert_eq!(run.gpus, 4);
         let t1 = single_gpu_throughput(&w, &tensors, 4, 7);
-        assert!(run.images_per_sec > 2.0 * t1, "not scaling: {} vs {t1}", run.images_per_sec);
+        assert!(
+            run.images_per_sec > 2.0 * t1,
+            "not scaling: {} vs {t1}",
+            run.images_per_sec
+        );
         assert!(run.efficiency < 1.02, "superlinear: {}", run.efficiency);
-        assert!(run.efficiency > 0.6, "efficiency collapsed: {}", run.efficiency);
+        assert!(
+            run.efficiency > 0.6,
+            "efficiency collapsed: {}",
+            run.efficiency
+        );
     }
 
     #[test]

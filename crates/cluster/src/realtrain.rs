@@ -119,15 +119,14 @@ pub fn train_real(
             dataset,
             cfg.lr_patch,
             cfg.global_batch,
-            ShardSpec { rank: comm.rank(), world },
+            ShardSpec {
+                rank: comm.rank(),
+                world,
+            },
         )
         .with_augmentation(cfg.augment);
-        let mut eval_ds = Div2kSynthetic::new(
-            image_spec(cfg.lr_patch, scale),
-            1,
-            scale,
-            cfg.seed ^ 0xEEEE,
-        );
+        let mut eval_ds =
+            Div2kSynthetic::new(image_spec(cfg.lr_patch, scale), 1, scale, cfg.seed ^ 0xEEEE);
         // DistributedOptimizer applies Horovod's lr ← lr · world scaling
         // (§III-A guideline 4). `cfg.lr` is the *effective* rate: feeding
         // lr/world keeps the trajectory identical across world sizes for a
@@ -170,7 +169,14 @@ pub fn train_real(
         let model_psnr = psnr(&sr, &hr, 1.0).expect("psnr");
         let bicubic = bicubic_upsample(&lr, scale).expect("bicubic");
         let bicubic_psnr = psnr(&bicubic, &hr, 1.0).expect("psnr");
-        (losses, model_psnr, bicubic_psnr, model.flatten_params(), psnr_curve, comm.now())
+        (
+            losses,
+            model_psnr,
+            bicubic_psnr,
+            model.flatten_params(),
+            psnr_curve,
+            comm.now(),
+        )
     });
     let makespan = res.ranks.iter().map(|r| r.5).fold(0.0, f64::max);
     let r0 = res.ranks.into_iter().next().expect("rank 0");
@@ -195,7 +201,11 @@ struct SchedulerShim<S: LrSchedule> {
 
 impl<S: LrSchedule> SchedulerShim<S> {
     fn new(base_lr: f32, schedule: S) -> Self {
-        SchedulerShim { base_lr, schedule, step: 0 }
+        SchedulerShim {
+            base_lr,
+            schedule,
+            step: 0,
+        }
     }
 
     fn apply(&mut self, opt: &mut DistributedOptimizer<Adam>) {
@@ -215,7 +225,11 @@ mod tests {
 
     #[test]
     fn distributed_training_learns() {
-        let topo = ClusterTopology { name: "mini".into(), nodes: 1, gpus_per_node: 2 };
+        let topo = ClusterTopology {
+            name: "mini".into(),
+            nodes: 1,
+            gpus_per_node: 2,
+        };
         let res = train_real(&topo, MpiConfig::mpi_opt(), &RealTrainConfig::default());
         let first: f32 = res.losses[..5].iter().sum::<f32>() / 5.0;
         let last: f32 = res.losses[res.losses.len() - 5..].iter().sum::<f32>() / 5.0;
@@ -228,10 +242,25 @@ mod tests {
         // The whole point of synchronous data parallelism: with the global
         // batch held fixed, 1-, 2- and 4-rank training follow the same
         // trajectory (up to f32 reduction-order noise).
-        let cfg = RealTrainConfig { steps: 6, ..Default::default() };
-        let t1 = ClusterTopology { name: "w1".into(), nodes: 1, gpus_per_node: 1 };
-        let t2 = ClusterTopology { name: "w2".into(), nodes: 1, gpus_per_node: 2 };
-        let t4 = ClusterTopology { name: "w4".into(), nodes: 1, gpus_per_node: 4 };
+        let cfg = RealTrainConfig {
+            steps: 6,
+            ..Default::default()
+        };
+        let t1 = ClusterTopology {
+            name: "w1".into(),
+            nodes: 1,
+            gpus_per_node: 1,
+        };
+        let t2 = ClusterTopology {
+            name: "w2".into(),
+            nodes: 1,
+            gpus_per_node: 2,
+        };
+        let t4 = ClusterTopology {
+            name: "w4".into(),
+            nodes: 1,
+            gpus_per_node: 4,
+        };
         let r1 = train_real(&t1, MpiConfig::mpi_opt(), &cfg);
         let r2 = train_real(&t2, MpiConfig::mpi_opt(), &cfg);
         let r4 = train_real(&t4, MpiConfig::mpi_opt(), &cfg);
@@ -242,12 +271,19 @@ mod tests {
     }
 
     fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
     }
 
     #[test]
     fn full_recipe_trains_with_augment_warmup_decay_and_eval() {
-        let topo = ClusterTopology { name: "mini".into(), nodes: 1, gpus_per_node: 2 };
+        let topo = ClusterTopology {
+            name: "mini".into(),
+            nodes: 1,
+            gpus_per_node: 2,
+        };
         let cfg = RealTrainConfig {
             steps: 12,
             augment: true,
@@ -262,7 +298,10 @@ mod tests {
             res.psnr_curve.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
             vec![4, 8, 12]
         );
-        assert!(res.psnr_curve.iter().all(|&(_, p)| p.is_finite() && p > 0.0));
+        assert!(res
+            .psnr_curve
+            .iter()
+            .all(|&(_, p)| p.is_finite() && p > 0.0));
         let first: f32 = res.losses[..4].iter().sum::<f32>() / 4.0;
         let last: f32 = res.losses[8..].iter().sum::<f32>() / 4.0;
         assert!(last < first, "loss did not fall: {first} -> {last}");
@@ -270,9 +309,20 @@ mod tests {
 
     #[test]
     fn warmup_changes_the_early_trajectory_only() {
-        let topo = ClusterTopology { name: "w2".into(), nodes: 1, gpus_per_node: 2 };
-        let base = RealTrainConfig { steps: 3, ..Default::default() };
-        let warm = RealTrainConfig { steps: 3, warmup_steps: 50, ..Default::default() };
+        let topo = ClusterTopology {
+            name: "w2".into(),
+            nodes: 1,
+            gpus_per_node: 2,
+        };
+        let base = RealTrainConfig {
+            steps: 3,
+            ..Default::default()
+        };
+        let warm = RealTrainConfig {
+            steps: 3,
+            warmup_steps: 50,
+            ..Default::default()
+        };
         let a = train_real(&topo, MpiConfig::mpi_opt(), &base);
         let b = train_real(&topo, MpiConfig::mpi_opt(), &warm);
         // with a long warmup the first steps use a much smaller rate, so

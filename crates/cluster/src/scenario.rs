@@ -21,7 +21,12 @@ pub enum Scenario {
 impl Scenario {
     /// Every scenario, in presentation order.
     pub fn all() -> [Scenario; 4] {
-        [Scenario::MpiDefault, Scenario::MpiReg, Scenario::MpiOpt, Scenario::Nccl]
+        [
+            Scenario::MpiDefault,
+            Scenario::MpiReg,
+            Scenario::MpiOpt,
+            Scenario::Nccl,
+        ]
     }
 
     /// The MPI library configuration for this scenario.
@@ -69,10 +74,16 @@ mod tests {
 
     #[test]
     fn scenario_configs_are_distinct() {
-        assert_eq!(Scenario::MpiDefault.mpi_config().device_mode, DeviceMode::Pinned);
+        assert_eq!(
+            Scenario::MpiDefault.mpi_config().device_mode,
+            DeviceMode::Pinned
+        );
         assert!(!Scenario::MpiDefault.mpi_config().registration_cache);
         assert!(Scenario::MpiReg.mpi_config().registration_cache);
-        assert_eq!(Scenario::MpiOpt.mpi_config().device_mode, DeviceMode::PinnedWithMv2);
+        assert_eq!(
+            Scenario::MpiOpt.mpi_config().device_mode,
+            DeviceMode::PinnedWithMv2
+        );
         assert_eq!(Scenario::Nccl.backend(), Backend::Nccl);
         assert_eq!(Scenario::MpiOpt.backend(), Backend::Mpi);
     }

@@ -90,16 +90,28 @@ pub fn estimate_allreduce(
     let b = bytes as f64;
     match backend {
         Backend::Nccl => {
-            let bw = if n > 1 { t.nccl_ib.bandwidth } else { t.nvlink.bandwidth };
+            let bw = if n > 1 {
+                t.nccl_ib.bandwidth
+            } else {
+                t.nvlink.bandwidth
+            };
             let steps = 2.0 * (p.saturating_sub(1)) as f64;
             steps / p as f64 * b / bw + steps * 10.0e-6
         }
         Backend::Mpi => {
-            let ipc = cfg.device_mode == DeviceMode::PinnedWithMv2
-                && bytes >= t.ipc_large_threshold;
-            let intra_bw = if ipc { t.nvlink.bandwidth } else { t.staged.bandwidth };
+            let ipc =
+                cfg.device_mode == DeviceMode::PinnedWithMv2 && bytes >= t.ipc_large_threshold;
+            let intra_bw = if ipc {
+                t.nvlink.bandwidth
+            } else {
+                t.staged.bandwidth
+            };
             let rounds = 2.0 * (gpn as f64).log2().ceil();
-            let intra = if gpn > 1 { rounds * (b / intra_bw + 20.0e-6) } else { 0.0 };
+            let intra = if gpn > 1 {
+                rounds * (b / intra_bw + 20.0e-6)
+            } else {
+                0.0
+            };
             let inter = if n > 1 {
                 let ring = 2.0 * (n - 1) as f64 / n as f64 * b / t.ib.bandwidth
                     + 2.0 * (n - 1) as f64 * 8.0e-6;
@@ -193,7 +205,10 @@ impl SimTrainer {
         let bwd = step.compute_s * 2.0 / 3.0;
         let tail = step.launch_s + step.framework_s;
         let world = topo.total_gpus();
-        let hcfg = HorovodConfig { backend: scenario.backend(), ..hcfg };
+        let hcfg = HorovodConfig {
+            backend: scenario.backend(),
+            ..hcfg
+        };
         let readiness = readiness_from_elems(&tensors, bwd);
         let mpi_cfg = scenario.mpi_config();
         let backend = scenario.backend();
@@ -286,7 +301,13 @@ impl SimTrainer {
             // here carries the real control messages once per step.
             let ts = comm.now();
             negotiate_with_cost(comm, self.n_tensors, step_idx, COORDINATOR_REPORT_COST);
-            tl.record(format!("negotiate[{step_idx}]"), "negotiate", rank, ts, comm.now());
+            tl.record(
+                format!("negotiate[{step_idx}]"),
+                "negotiate",
+                rank,
+                ts,
+                comm.now(),
+            );
             for (gi, sg) in self.plan.iter().enumerate() {
                 comm.advance_to(bwd_start + sg.launch_offset * jit);
                 let ts = comm.now();
@@ -323,7 +344,13 @@ impl SimTrainer {
         // transfers stall the compute stream, stretching it (Fig 6)
         let bwd_end = t0 + (self.fwd + self.bwd) * jit + self.staged_blocking;
         comm.advance_to(bwd_end);
-        tl.record(format!("bwd[{step_idx}]"), "compute", rank, bwd_start, bwd_end);
+        tl.record(
+            format!("bwd[{step_idx}]"),
+            "compute",
+            rank,
+            bwd_start,
+            bwd_end,
+        );
         if comm.size() > 1 {
             // per-step metric logging (§III-A guideline 5): tiny allreduce
             // of loss/throughput scalars — the 1–128 KB bin of Table I.
@@ -339,8 +366,18 @@ impl SimTrainer {
                 FUSION_BUF_ID_BASE - 2,
                 comm.config().allreduce,
             );
-            prof.record(Collective::Allreduce, (METRICS_ELEMS * 4) as u64, comm.now() - ts);
-            tl.record(format!("metrics[{step_idx}]"), "allreduce", rank, ts, comm.now());
+            prof.record(
+                Collective::Allreduce,
+                (METRICS_ELEMS * 4) as u64,
+                comm.now() - ts,
+            );
+            tl.record(
+                format!("metrics[{step_idx}]"),
+                "allreduce",
+                rank,
+                ts,
+                comm.now(),
+            );
         }
         comm.advance(self.tail);
     }
@@ -359,7 +396,13 @@ impl SimTrainer {
         for s in 0..steps {
             self.step(comm, (warmup + s) as u64, &mut prof, &mut timeline);
         }
-        RankRun { warm_end, end: comm.now(), prof, reg: comm.regcache_stats(), timeline }
+        RankRun {
+            warm_end,
+            end: comm.now(),
+            prof,
+            reg: comm.regcache_stats(),
+            timeline,
+        }
     }
 }
 
@@ -383,14 +426,12 @@ mod tests {
     fn estimate_prefers_ipc_for_large_messages() {
         let topo = ClusterTopology::lassen(1);
         let big = 32 << 20;
-        let t_def =
-            estimate_allreduce(&MpiConfig::default_mpi(), Backend::Mpi, &topo, big);
+        let t_def = estimate_allreduce(&MpiConfig::default_mpi(), Backend::Mpi, &topo, big);
         let t_opt = estimate_allreduce(&MpiConfig::mpi_opt(), Backend::Mpi, &topo, big);
         assert!(t_opt < t_def);
         // below the IPC threshold the estimates coincide
         let small = 1 << 20;
-        let s_def =
-            estimate_allreduce(&MpiConfig::default_mpi(), Backend::Mpi, &topo, small);
+        let s_def = estimate_allreduce(&MpiConfig::default_mpi(), Backend::Mpi, &topo, small);
         let s_opt = estimate_allreduce(&MpiConfig::mpi_opt(), Backend::Mpi, &topo, small);
         assert_eq!(s_def, s_opt);
     }
@@ -401,17 +442,28 @@ mod tests {
         // (early, lone tensors) and large (accumulated) fused messages.
         let (w, tensors) = edsr_measured_workload();
         let topo = ClusterTopology::lassen(1);
-        let trainer =
-            SimTrainer::new(w, tensors, 4, Scenario::MpiDefault, &topo, 1).unwrap();
+        let trainer = SimTrainer::new(w, tensors, 4, Scenario::MpiDefault, &topo, 1).unwrap();
         let sizes: Vec<u64> = trainer.plan().iter().map(|g| g.group.bytes).collect();
         assert!(!sizes.is_empty());
-        let mid = sizes.iter().filter(|&&b| ((128 << 10)..(16 << 20)).contains(&b)).count();
-        let bin16 = sizes.iter().filter(|&&b| ((16 << 20)..(32u64 << 20)).contains(&b)).count();
-        let bin32 = sizes.iter().filter(|&&b| ((32u64 << 20)..(64 << 20)).contains(&b)).count();
+        let mid = sizes
+            .iter()
+            .filter(|&&b| ((128 << 10)..(16 << 20)).contains(&b))
+            .count();
+        let bin16 = sizes
+            .iter()
+            .filter(|&&b| ((16 << 20)..(32u64 << 20)).contains(&b))
+            .count();
+        let bin32 = sizes
+            .iter()
+            .filter(|&&b| ((32u64 << 20)..(64 << 20)).contains(&b))
+            .count();
         assert!(mid > 0, "no 128KB-16MB messages: {sizes:?}");
         assert!(bin16 > 0, "no 16-32MB messages: {sizes:?}");
         assert!(bin32 > 0, "no 32-64MB messages: {sizes:?}");
-        assert!(bin32 >= bin16, "32-64MB should dominate as in Table I: {sizes:?}");
+        assert!(
+            bin32 >= bin16,
+            "32-64MB should dominate as in Table I: {sizes:?}"
+        );
         let total: u64 = sizes.iter().sum();
         assert_eq!(total, trainer.workload().grad_bytes() as u64);
         // the 1-128KB bin traffic comes from the per-step metrics allreduce

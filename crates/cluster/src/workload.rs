@@ -25,7 +25,10 @@ pub fn edsr_measured_workload() -> (WorkloadProfile, Vec<TensorSpec>) {
     let cfg = EdsrConfig::full();
     let profile = edsr_profile(&cfg, 48, 48);
     let tensors = tensor_specs(&cfg);
-    (to_workload(&profile, WorkloadKind::SuperResolution), tensors)
+    (
+        to_workload(&profile, WorkloadKind::SuperResolution),
+        tensors,
+    )
 }
 
 /// The EDSR configuration as §IV-C *describes* it (B=32, F=64): kept for
@@ -35,7 +38,10 @@ pub fn edsr_text_workload() -> (WorkloadProfile, Vec<TensorSpec>) {
     let cfg = EdsrConfig::paper();
     let profile = edsr_profile(&cfg, 96, 96);
     let tensors = tensor_specs(&cfg);
-    (to_workload(&profile, WorkloadKind::SuperResolution), tensors)
+    (
+        to_workload(&profile, WorkloadKind::SuperResolution),
+        tensors,
+    )
 }
 
 /// ResNet-50 at ImageNet resolution (the Fig 1 comparator).
@@ -86,9 +92,15 @@ mod tests {
         let model = KernelCostModel::new(GpuSpec::v100());
         let (edsr, _) = edsr_measured_workload();
         let t_edsr = model.throughput(&edsr, 4, 1).unwrap();
-        assert!((9.2..11.4).contains(&t_edsr), "EDSR {t_edsr} img/s (Fig 1: 10.3)");
+        assert!(
+            (9.2..11.4).contains(&t_edsr),
+            "EDSR {t_edsr} img/s (Fig 1: 10.3)"
+        );
         let rn = resnet50_workload();
         let t_rn = model.throughput(&rn, 64, 1).unwrap();
-        assert!((320.0..400.0).contains(&t_rn), "ResNet {t_rn} img/s (Fig 1: 360)");
+        assert!(
+            (320.0..400.0).contains(&t_rn),
+            "ResNet {t_rn} img/s (Fig 1: 360)"
+        );
     }
 }

@@ -48,17 +48,25 @@ fn die(msg: &str) -> ! {
 fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> T {
     match flags.get(name) {
         None => default,
-        Some(v) => v.parse().unwrap_or_else(|_| die(&format!("bad value for --{name}: {v}"))),
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| die(&format!("bad value for --{name}: {v}"))),
     }
 }
 
 fn scenario(flags: &HashMap<String, String>) -> Scenario {
-    match flags.get("scenario").map(String::as_str).unwrap_or("mpi-opt") {
+    match flags
+        .get("scenario")
+        .map(String::as_str)
+        .unwrap_or("mpi-opt")
+    {
         "mpi" => Scenario::MpiDefault,
         "mpi-reg" => Scenario::MpiReg,
         "mpi-opt" => Scenario::MpiOpt,
         "nccl" => Scenario::Nccl,
-        other => die(&format!("unknown scenario `{other}` (mpi | mpi-reg | mpi-opt | nccl)")),
+        other => die(&format!(
+            "unknown scenario `{other}` (mpi | mpi-reg | mpi-opt | nccl)"
+        )),
     }
 }
 
@@ -84,14 +92,20 @@ Scenarios: mpi (broken default) | mpi-reg | mpi-opt (the paper's fix) | nccl"
 fn cmd_train(flags: &HashMap<String, String>) {
     let nodes: usize = get(flags, "nodes", 1);
     let gpus: usize = get(flags, "gpus", 4);
-    let topo = ClusterTopology { name: format!("cli-{nodes}x{gpus}"), nodes, gpus_per_node: gpus };
+    let topo = ClusterTopology {
+        name: format!("cli-{nodes}x{gpus}"),
+        nodes,
+        gpus_per_node: gpus,
+    };
     let world = topo.total_gpus();
     let cfg = RealTrainConfig {
         steps: get(flags, "steps", 30),
         global_batch: get(flags, "batch", world.max(4)),
         augment: flags.contains_key("augment"),
         warmup_steps: get(flags, "warmup", 0),
-        eval_every: flags.get("eval-every").map(|v| v.parse().unwrap_or_else(|_| die("bad --eval-every"))),
+        eval_every: flags
+            .get("eval-every")
+            .map(|v| v.parse().unwrap_or_else(|_| die("bad --eval-every"))),
         ..Default::default()
     };
     let sc = scenario(flags);
@@ -161,7 +175,11 @@ fn cmd_info() {
     let resnet = resnet50_workload();
     println!("device        : {}", model.spec().name);
     println!("EDSR workload : {}", edsr.name);
-    println!("  parameters  : {} ({} MB of gradients)", edsr.params, edsr.grad_bytes() >> 20);
+    println!(
+        "  parameters  : {} ({} MB of gradients)",
+        edsr.params,
+        edsr.grad_bytes() >> 20
+    );
     println!("  tensors     : {}", tensors.len());
     println!(
         "  throughput  : {:.1} img/s at batch 4 (paper: 10.3)",
@@ -172,7 +190,11 @@ fn cmd_info() {
         model.throughput(&resnet, 64, 1).unwrap()
     );
     // show the degradation pipeline works end to end
-    let spec = SyntheticImageSpec { height: 32, width: 32, ..Default::default() };
+    let spec = SyntheticImageSpec {
+        height: 32,
+        width: 32,
+        ..Default::default()
+    };
     let hr = spec.generate(1, 0);
     let lr = resize::bicubic_downsample(&hr, 2).unwrap();
     println!(

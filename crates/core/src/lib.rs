@@ -65,15 +65,13 @@ pub use dlsr_tensor as tensor;
 /// The most common imports in one place.
 pub mod prelude {
     pub use dlsr_cluster::{
-        batch_sweep, edsr_measured_workload, edsr_text_workload, resnet50_workload,
-        run_training, run_training_tuned, scaling_sweep, train_real, RealTrainConfig, RealTrainResult,
+        batch_sweep, edsr_measured_workload, edsr_text_workload, resnet50_workload, run_training,
+        run_training_tuned, scaling_sweep, train_real, RealTrainConfig, RealTrainResult,
         ScalingPoint, Scenario, SimTrainer, TrainRun,
     };
     pub use dlsr_data::{DataLoader, Div2kSynthetic, EvalSet, ShardSpec, SyntheticImageSpec};
     pub use dlsr_gpu::{DeviceEnv, GpuSpec, KernelCostModel, WorkloadKind, WorkloadProfile};
-    pub use dlsr_horovod::{
-        broadcast_parameters, Backend, DistributedOptimizer, HorovodConfig,
-    };
+    pub use dlsr_horovod::{broadcast_parameters, Backend, DistributedOptimizer, HorovodConfig};
     pub use dlsr_hvprof::{compare, render_table, Collective, Hvprof};
     pub use dlsr_models::{Edsr, EdsrConfig, ResNet, ResNetConfig, SrResNet, Srcnn, Vdsr};
     pub use dlsr_mpi::{collectives, Comm, MpiConfig, MpiWorld, Payload};

@@ -23,12 +23,20 @@ pub struct Augmentation {
 impl Augmentation {
     /// The identity transform.
     pub fn identity() -> Self {
-        Augmentation { hflip: false, vflip: false, rot90: false }
+        Augmentation {
+            hflip: false,
+            vflip: false,
+            rot90: false,
+        }
     }
 
     /// Draw a uniform random element of the dihedral group.
     pub fn random(rng: &mut SmallRng) -> Self {
-        Augmentation { hflip: rng.gen(), vflip: rng.gen(), rot90: rng.gen() }
+        Augmentation {
+            hflip: rng.gen(),
+            vflip: rng.gen(),
+            rot90: rng.gen(),
+        }
     }
 
     /// Apply to an `[N, C, H, W]` tensor.
@@ -48,7 +56,10 @@ impl Augmentation {
 
     /// Apply to an aligned LR/HR pair.
     pub fn apply_pair(&self, pair: &PatchPair) -> PatchPair {
-        PatchPair { lr: self.apply(&pair.lr), hr: self.apply(&pair.hr) }
+        PatchPair {
+            lr: self.apply(&pair.lr),
+            hr: self.apply(&pair.hr),
+        }
     }
 }
 
@@ -144,12 +155,24 @@ mod tests {
         // orders commute for dihedral transforms.
         use crate::synthetic::SyntheticImageSpec;
         use crate::Div2kSynthetic;
-        let spec = SyntheticImageSpec { height: 32, width: 32, ..Default::default() };
+        let spec = SyntheticImageSpec {
+            height: 32,
+            width: 32,
+            ..Default::default()
+        };
         let mut ds = Div2kSynthetic::new(spec, 2, 2, 9);
         let pair = ds.patch_for(8, 3);
         for aug in [
-            Augmentation { hflip: true, vflip: false, rot90: false },
-            Augmentation { hflip: false, vflip: true, rot90: true },
+            Augmentation {
+                hflip: true,
+                vflip: false,
+                rot90: false,
+            },
+            Augmentation {
+                hflip: false,
+                vflip: true,
+                rot90: true,
+            },
         ] {
             let a = aug.apply_pair(&pair);
             let down = dlsr_tensor::resize::bicubic_downsample(&a.hr, 2).unwrap();

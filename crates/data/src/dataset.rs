@@ -37,7 +37,13 @@ impl Div2kSynthetic {
             spec.height.is_multiple_of(scale) && spec.width.is_multiple_of(scale),
             "image extent must be divisible by the scale"
         );
-        Div2kSynthetic { spec, n_images, scale, seed, cache: None }
+        Div2kSynthetic {
+            spec,
+            n_images,
+            scale,
+            seed,
+            cache: None,
+        }
     }
 
     /// Number of images in the collection.
@@ -82,13 +88,19 @@ impl Div2kSynthetic {
             let (_, c, lh, lw) = lr.shape().as_nchw().expect("rank-4 image");
             (c, lh, lw)
         };
-        assert!(lr_patch <= lh && lr_patch <= lw, "patch larger than LR image");
+        assert!(
+            lr_patch <= lh && lr_patch <= lw,
+            "patch larger than LR image"
+        );
         let y = rng.gen_range(0..=lh - lr_patch);
         let x = rng.gen_range(0..=lw - lr_patch);
         let (hr, lr) = self.image(index);
         let lr_crop = crop(lr, c, y, x, lr_patch, lr_patch);
         let hr_crop = crop(hr, c, y * s, x * s, lr_patch * s, lr_patch * s);
-        PatchPair { lr: lr_crop, hr: hr_crop }
+        PatchPair {
+            lr: lr_crop,
+            hr: hr_crop,
+        }
     }
 
     /// Deterministic patch sampler keyed by `(epoch, step, rank)` — used by
@@ -132,7 +144,11 @@ mod tests {
     use super::*;
 
     fn small_ds() -> Div2kSynthetic {
-        let spec = SyntheticImageSpec { height: 32, width: 32, ..Default::default() };
+        let spec = SyntheticImageSpec {
+            height: 32,
+            width: 32,
+            ..Default::default()
+        };
         Div2kSynthetic::new(spec, 4, 2, 42)
     }
 
@@ -189,7 +205,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "divisible")]
     fn indivisible_scale_panics() {
-        let spec = SyntheticImageSpec { height: 33, width: 32, ..Default::default() };
+        let spec = SyntheticImageSpec {
+            height: 33,
+            width: 32,
+            ..Default::default()
+        };
         let _ = Div2kSynthetic::new(spec, 1, 2, 1);
     }
 }

@@ -55,7 +55,13 @@ impl DataLoader {
             "global batch {global_batch} not divisible by world {}",
             shard.world
         );
-        DataLoader { dataset, lr_patch, global_batch, shard, augment: false }
+        DataLoader {
+            dataset,
+            lr_patch,
+            global_batch,
+            shard,
+            augment: false,
+        }
     }
 
     /// Enable EDSR-style patch augmentation (random flips + 90° rotations,
@@ -102,7 +108,11 @@ mod tests {
     use crate::synthetic::SyntheticImageSpec;
 
     fn ds() -> Div2kSynthetic {
-        let spec = SyntheticImageSpec { height: 32, width: 32, ..Default::default() };
+        let spec = SyntheticImageSpec {
+            height: 32,
+            width: 32,
+            ..Default::default()
+        };
         Div2kSynthetic::new(spec, 4, 2, 7)
     }
 
@@ -162,7 +172,10 @@ mod tests {
         let (a, _) = aug_a.batch(0, 0);
         let (b, _) = aug_b.batch(0, 0);
         assert_eq!(a, b, "augmentation must be deterministic");
-        assert_ne!(p, a, "8 samples with 8 dihedral variants must differ somewhere");
+        assert_ne!(
+            p, a,
+            "8 samples with 8 dihedral variants must differ somewhere"
+        );
     }
 
     #[test]

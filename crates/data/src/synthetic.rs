@@ -44,7 +44,11 @@ impl SyntheticImageSpec {
     /// A "2K-class" image like DIV2K's (large, detailed). Heavy on CPU —
     /// used only by harnesses that need realistic byte counts.
     pub fn div2k_like() -> Self {
-        SyntheticImageSpec { height: 1080, width: 2048, ..Default::default() }
+        SyntheticImageSpec {
+            height: 1080,
+            width: 2048,
+            ..Default::default()
+        }
     }
 
     /// Generate image `index` of a deterministic virtual collection seeded
@@ -121,7 +125,11 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed_and_index() {
-        let spec = SyntheticImageSpec { height: 32, width: 32, ..Default::default() };
+        let spec = SyntheticImageSpec {
+            height: 32,
+            width: 32,
+            ..Default::default()
+        };
         assert_eq!(spec.generate(1, 0), spec.generate(1, 0));
         assert_ne!(spec.generate(1, 0), spec.generate(1, 1));
         assert_ne!(spec.generate(1, 0), spec.generate(2, 0));
@@ -129,7 +137,11 @@ mod tests {
 
     #[test]
     fn pixels_are_normalized() {
-        let spec = SyntheticImageSpec { height: 24, width: 24, ..Default::default() };
+        let spec = SyntheticImageSpec {
+            height: 24,
+            width: 24,
+            ..Default::default()
+        };
         let img = spec.generate(3, 7);
         let lo = img.data().iter().copied().fold(f32::INFINITY, f32::min);
         let hi = img.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -141,7 +153,11 @@ mod tests {
     fn images_have_high_frequency_content() {
         // The point of the generator: images must not be pure smooth
         // gradients, or SR would be trivially solved by bicubic.
-        let spec = SyntheticImageSpec { height: 64, width: 64, ..Default::default() };
+        let spec = SyntheticImageSpec {
+            height: 64,
+            width: 64,
+            ..Default::default()
+        };
         let img = spec.generate(5, 0);
         let d = img.data();
         let mut grad_energy = 0.0f32;
@@ -156,7 +172,12 @@ mod tests {
 
     #[test]
     fn shape_matches_spec() {
-        let spec = SyntheticImageSpec { height: 20, width: 30, channels: 1, ..Default::default() };
+        let spec = SyntheticImageSpec {
+            height: 20,
+            width: 30,
+            channels: 1,
+            ..Default::default()
+        };
         assert_eq!(spec.generate(1, 0).shape().dims(), &[1, 1, 20, 30]);
     }
 }

@@ -188,7 +188,11 @@ impl KernelCostModel {
         let per_sample = t_flops.max(t_mem);
         let compute_s = batch as f64 * per_sample / Self::occupancy(batch);
         let launch_s = profile.kernels as f64 * 3.0 * self.spec.launch_overhead;
-        Ok(StepCost { compute_s, launch_s, framework_s: self.framework_overhead })
+        Ok(StepCost {
+            compute_s,
+            launch_s,
+            framework_s: self.framework_overhead,
+        })
     }
 
     /// Convenience: steady-state training throughput in images/second.
@@ -264,7 +268,10 @@ mod tests {
         assert!(t16 > t4);
         let early_gain = t4 / t1;
         let late_gain = t16 / t4;
-        assert!(late_gain < early_gain, "no saturation: {early_gain} vs {late_gain}");
+        assert!(
+            late_gain < early_gain,
+            "no saturation: {early_gain} vs {late_gain}"
+        );
     }
 
     #[test]

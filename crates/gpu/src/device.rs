@@ -42,7 +42,12 @@ impl Gpu {
     /// Create a device of the given spec.
     pub fn new(id: GpuId, spec: GpuSpec) -> Self {
         let memory = MemoryTracker::new(spec.memory_bytes);
-        Gpu { id, spec, memory, next_buffer: 0 }
+        Gpu {
+            id,
+            spec,
+            memory,
+            next_buffer: 0,
+        }
     }
 
     /// Device identity.
@@ -60,7 +65,11 @@ impl Gpu {
         self.memory.alloc(bytes)?;
         let id = self.next_buffer;
         self.next_buffer += 1;
-        Ok(DeviceBuffer { device: self.id, id, bytes })
+        Ok(DeviceBuffer {
+            device: self.id,
+            id,
+            bytes,
+        })
     }
 
     /// Free a previously allocated buffer.

@@ -85,7 +85,10 @@ impl IpcRegistry {
 
     /// `cuIpcGetMemHandle`: export a buffer.
     pub fn get_mem_handle(&self, buf: DeviceBuffer) -> IpcHandle {
-        self.inner.lock().exported.insert((buf.device, buf.id), buf.bytes);
+        self.inner
+            .lock()
+            .exported
+            .insert((buf.device, buf.id), buf.bytes);
         IpcHandle { buffer: buf }
     }
 
@@ -128,7 +131,11 @@ mod tests {
     use super::*;
 
     fn buf(node: usize, local: usize, id: u64) -> DeviceBuffer {
-        DeviceBuffer { device: GpuId { node, local }, id, bytes: 1024 }
+        DeviceBuffer {
+            device: GpuId { node, local },
+            id,
+            bytes: 1024,
+        }
     }
 
     #[test]

@@ -36,14 +36,22 @@ pub struct MemoryTracker {
 impl MemoryTracker {
     /// Tracker for a device of `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        MemoryTracker { capacity, used: 0, peak: 0 }
+        MemoryTracker {
+            capacity,
+            used: 0,
+            peak: 0,
+        }
     }
 
     /// Reserve `bytes`; fails with [`MemoryError`] when capacity is exceeded.
     pub fn alloc(&mut self, bytes: u64) -> Result<(), MemoryError> {
         let free = self.capacity - self.used;
         if bytes > free {
-            return Err(MemoryError { requested: bytes, free, capacity: self.capacity });
+            return Err(MemoryError {
+                requested: bytes,
+                free,
+                capacity: self.capacity,
+            });
         }
         self.used += bytes;
         self.peak = self.peak.max(self.used);

@@ -39,7 +39,9 @@ pub struct StreamScheduler {
 impl StreamScheduler {
     /// A device with `extra_streams` non-default streams.
     pub fn new(extra_streams: usize) -> Self {
-        StreamScheduler { free_at: vec![0.0; extra_streams + 1] }
+        StreamScheduler {
+            free_at: vec![0.0; extra_streams + 1],
+        }
     }
 
     /// The default (synchronizing) stream.
@@ -54,10 +56,7 @@ impl StreamScheduler {
         assert!(duration >= 0.0);
         if stream.0 == 0 {
             // legacy default stream: waits for everything, blocks everything
-            let start = self
-                .free_at
-                .iter()
-                .fold(earliest, |acc, &t| acc.max(t));
+            let start = self.free_at.iter().fold(earliest, |acc, &t| acc.max(t));
             let end = start + duration;
             for t in self.free_at.iter_mut() {
                 *t = end;
@@ -73,7 +72,9 @@ impl StreamScheduler {
 
     /// Record an event capturing the stream's current completion frontier.
     pub fn record_event(&self, stream: StreamId) -> Event {
-        Event { time: self.free_at[stream.0] }
+        Event {
+            time: self.free_at[stream.0],
+        }
     }
 
     /// Make `stream` wait for `event` (`cudaStreamWaitEvent`).

@@ -27,8 +27,10 @@ impl VisibleDevices {
 
     /// Parse an env-var style list: `"0,1,2,3"`.
     pub fn parse(s: &str) -> Option<Self> {
-        let v: Option<Vec<usize>> =
-            s.split(',').map(|t| t.trim().parse::<usize>().ok()).collect();
+        let v: Option<Vec<usize>> = s
+            .split(',')
+            .map(|t| t.trim().parse::<usize>().ok())
+            .collect();
         v.map(VisibleDevices)
     }
 
@@ -70,7 +72,10 @@ impl DeviceEnv {
     /// The *default* (pre-fix) environment: framework pinned to its local
     /// rank, MPI inheriting the same single-device mask → IPC impossible.
     pub fn default_pinned(local_rank: usize) -> Self {
-        DeviceEnv { cuda_visible: VisibleDevices::only(local_rank), mv2_visible: None }
+        DeviceEnv {
+            cuda_visible: VisibleDevices::only(local_rank),
+            mv2_visible: None,
+        }
     }
 
     /// The *optimized* environment of Fig 7: framework pinned, MPI granted
@@ -86,7 +91,10 @@ impl DeviceEnv {
     /// (IPC works, but each process pays a CUDA context on every device,
     /// Fig 6a's overhead kernels).
     pub fn unpinned(gpus_per_node: usize) -> Self {
-        DeviceEnv { cuda_visible: VisibleDevices::all(gpus_per_node), mv2_visible: None }
+        DeviceEnv {
+            cuda_visible: VisibleDevices::all(gpus_per_node),
+            mv2_visible: None,
+        }
     }
 
     /// The device mask the MPI library operates under.

@@ -40,7 +40,10 @@ impl HorovodConfig {
     /// EDSR's gradient set fits in few groups either way.
     pub fn tuned_for(world: usize) -> Self {
         let cycle_time = if world >= 64 { 1.0e-3 } else { 3.5e-3 };
-        HorovodConfig { cycle_time, ..Default::default() }
+        HorovodConfig {
+            cycle_time,
+            ..Default::default()
+        }
     }
 }
 

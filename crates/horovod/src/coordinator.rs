@@ -66,9 +66,7 @@ mod tests {
     #[test]
     fn all_ranks_agree_on_the_ready_set() {
         let topo = ClusterTopology::lassen(2);
-        let res = MpiWorld::run(&topo, MpiConfig::default_mpi(), |c| {
-            negotiate(c, 20, 0)
-        });
+        let res = MpiWorld::run(&topo, MpiConfig::default_mpi(), |c| negotiate(c, 20, 0));
         let first = &res.ranks[0];
         assert_eq!(first.len(), 3);
         for r in &res.ranks {

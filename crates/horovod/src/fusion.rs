@@ -34,13 +34,21 @@ pub struct FusionGroup {
 /// forms its own group — Horovod reduces oversize tensors unfused.
 pub fn plan_fusion(tensors: &[TensorSpec], threshold: u64) -> Vec<FusionGroup> {
     let mut groups: Vec<FusionGroup> = Vec::new();
-    let mut current = FusionGroup { indices: Vec::new(), bytes: 0, elems: 0 };
+    let mut current = FusionGroup {
+        indices: Vec::new(),
+        bytes: 0,
+        elems: 0,
+    };
     for (i, t) in tensors.iter().enumerate() {
         let b = t.bytes();
         if !current.indices.is_empty() && current.bytes + b > threshold {
             groups.push(std::mem::replace(
                 &mut current,
-                FusionGroup { indices: Vec::new(), bytes: 0, elems: 0 },
+                FusionGroup {
+                    indices: Vec::new(),
+                    bytes: 0,
+                    elems: 0,
+                },
             ));
         }
         current.indices.push(i);
@@ -49,7 +57,11 @@ pub fn plan_fusion(tensors: &[TensorSpec], threshold: u64) -> Vec<FusionGroup> {
         if current.bytes >= threshold {
             groups.push(std::mem::replace(
                 &mut current,
-                FusionGroup { indices: Vec::new(), bytes: 0, elems: 0 },
+                FusionGroup {
+                    indices: Vec::new(),
+                    bytes: 0,
+                    elems: 0,
+                },
             ));
         }
     }
@@ -79,7 +91,11 @@ pub fn readiness_from_elems(tensors: &[TensorSpec], bwd_duration: f64) -> Vec<f6
         .iter()
         .map(|t| {
             cum += t.elems;
-            if total == 0 { 0.0 } else { bwd_duration * cum as f64 / total as f64 }
+            if total == 0 {
+                0.0
+            } else {
+                bwd_duration * cum as f64 / total as f64
+            }
         })
         .collect()
 }
@@ -112,7 +128,10 @@ pub fn plan_dynamic(
     est: &dyn Fn(u64) -> f64,
 ) -> Vec<ScheduledGroup> {
     assert_eq!(tensors.len(), readiness.len());
-    assert!(readiness.windows(2).all(|w| w[0] <= w[1]), "readiness must be sorted");
+    assert!(
+        readiness.windows(2).all(|w| w[0] <= w[1]),
+        "readiness must be sorted"
+    );
     if tensors.is_empty() {
         return Vec::new();
     }
@@ -132,7 +151,10 @@ pub fn plan_dynamic(
                 elems: g.elems,
             };
             let dur = est(group.bytes);
-            out.push(ScheduledGroup { group, launch_offset: launch });
+            out.push(ScheduledGroup {
+                group,
+                launch_offset: launch,
+            });
             launch += dur;
         }
         idx = ready_end;
@@ -152,7 +174,10 @@ mod tests {
     use super::*;
 
     fn t(name: &str, elems: usize) -> TensorSpec {
-        TensorSpec { name: name.into(), elems }
+        TensorSpec {
+            name: name.into(),
+            elems,
+        }
     }
 
     #[test]
@@ -177,8 +202,9 @@ mod tests {
 
     #[test]
     fn every_tensor_is_covered_exactly_once() {
-        let tensors: Vec<TensorSpec> =
-            (0..37).map(|i| t(&format!("p{i}"), (i % 7 + 1) * 100)).collect();
+        let tensors: Vec<TensorSpec> = (0..37)
+            .map(|i| t(&format!("p{i}"), (i % 7 + 1) * 100))
+            .collect();
         let groups = plan_fusion(&tensors, 1000);
         let mut seen = vec![false; tensors.len()];
         for g in &groups {
@@ -218,8 +244,9 @@ mod tests {
 
     #[test]
     fn dynamic_plan_covers_every_tensor_once() {
-        let tensors: Vec<TensorSpec> =
-            (0..30).map(|i| t(&format!("p{i}"), 1000 + i * 100)).collect();
+        let tensors: Vec<TensorSpec> = (0..30)
+            .map(|i| t(&format!("p{i}"), 1000 + i * 100))
+            .collect();
         let readiness = readiness_from_elems(&tensors, 0.1);
         let plan = plan_dynamic(&tensors, &readiness, 1e-3, 40_000, 0.0, &|b| b as f64 / 1e9);
         let mut seen = vec![false; tensors.len()];
@@ -231,7 +258,9 @@ mod tests {
         }
         assert!(seen.iter().all(|&s| s));
         // launch offsets are non-decreasing
-        assert!(plan.windows(2).all(|w| w[0].launch_offset <= w[1].launch_offset));
+        assert!(plan
+            .windows(2)
+            .all(|w| w[0].launch_offset <= w[1].launch_offset));
     }
 
     #[test]
@@ -269,8 +298,9 @@ mod tests {
         // itself — this is what populates the paper's 1–128 KB bin.
         let mut tensors = vec![t("head", 1_000)];
         tensors.extend((0..20).map(|i| t(&format!("body{i}"), 500_000)));
-        let readiness: Vec<f64> =
-            std::iter::once(0.001).chain((0..20).map(|i| 0.05 + i as f64 * 0.01)).collect();
+        let readiness: Vec<f64> = std::iter::once(0.001)
+            .chain((0..20).map(|i| 0.05 + i as f64 * 0.01))
+            .collect();
         let plan = plan_dynamic(&tensors, &readiness, 3.5e-3, 64 << 20, 0.0, &|_| 30e-3);
         assert_eq!(plan[0].group.indices, vec![0], "head tensor not alone");
         assert!(plan[0].group.bytes < 128 << 10);

@@ -55,7 +55,10 @@ impl<O: Optimizer> DistributedOptimizer<O> {
         // Horovod fuses them in readiness order.
         let mut tensors: Vec<TensorSpec> = Vec::new();
         model.visit_params(&mut |p| {
-            tensors.push(TensorSpec { name: p.name.clone(), elems: p.numel() })
+            tensors.push(TensorSpec {
+                name: p.name.clone(),
+                elems: p.numel(),
+            })
         });
         tensors.reverse();
         let groups = plan_fusion(&tensors, cfg.fusion_threshold);
@@ -146,13 +149,17 @@ impl<O: Optimizer> DistributedOptimizer<O> {
                 Backend::Mpi => allreduce(comm, &mut fused, buf_id),
                 Backend::Nccl => Nccl::all_reduce(comm, &mut fused, buf_id),
             }
-            self.prof.record(Collective::Allreduce, group.bytes, comm.now() - t0);
+            self.prof
+                .record(Collective::Allreduce, group.bytes, comm.now() - t0);
             // average + unpack
             let mut cursor = 0usize;
             for &ti in &group.indices {
                 let off = offsets[ti];
                 let n = self.tensors[ti].elems;
-                for (dst, src) in flat[off..off + n].iter_mut().zip(&fused[cursor..cursor + n]) {
+                for (dst, src) in flat[off..off + n]
+                    .iter_mut()
+                    .zip(&fused[cursor..cursor + n])
+                {
                     *dst = *src / world;
                 }
                 cursor += n;
@@ -216,16 +223,12 @@ impl GradientSynchronizer {
                 Backend::Mpi => synthetic::allreduce_elems(comm, group.elems, buf_id, algo),
                 Backend::Nccl => {
                     comm.set_path_policy(PathPolicy::NcclLike);
-                    synthetic::allreduce_elems(
-                        comm,
-                        group.elems,
-                        buf_id,
-                        AllreduceAlgorithm::Ring,
-                    );
+                    synthetic::allreduce_elems(comm, group.elems, buf_id, AllreduceAlgorithm::Ring);
                     comm.set_path_policy(PathPolicy::Mpi);
                 }
             }
-            self.prof.record(Collective::Allreduce, group.bytes, comm.now() - t0);
+            self.prof
+                .record(Collective::Allreduce, group.bytes, comm.now() - t0);
             comm.advance(group.bytes as f64 / self.pack_bandwidth);
         }
     }
@@ -264,15 +267,19 @@ mod tests {
         let topo = ClusterTopology::lassen(1);
         let res = MpiWorld::run(&topo, MpiConfig::mpi_opt(), |c| {
             let mut model = make_model(1); // identical params
-            // install rank-dependent gradients: grad = rank + 1 everywhere
+                                           // install rank-dependent gradients: grad = rank + 1 everywhere
             let g = (c.rank() + 1) as f32;
             model.visit_params(&mut |p| {
                 let shape = p.value.shape().clone();
                 p.accumulate_grad(&dlsr_tensor::Tensor::full(shape, g));
             });
             // lr chosen so update = avg(grad) exactly; world scaling undone
-            let mut opt =
-                DistributedOptimizer::new(Sgd::new(1.0 / 4.0), &mut model, HorovodConfig::default(), 4);
+            let mut opt = DistributedOptimizer::new(
+                Sgd::new(1.0 / 4.0),
+                &mut model,
+                HorovodConfig::default(),
+                4,
+            );
             // DistributedOptimizer scaled lr to 1.0; avg grad = (1+2+3+4)/4 = 2.5
             opt.step(&mut model, c);
             model.flatten_params()
@@ -293,12 +300,8 @@ mod tests {
     #[test]
     fn lr_is_scaled_by_world_size() {
         let mut model = make_model(1);
-        let opt = DistributedOptimizer::new(
-            Sgd::new(0.01),
-            &mut model,
-            HorovodConfig::default(),
-            8,
-        );
+        let opt =
+            DistributedOptimizer::new(Sgd::new(0.01), &mut model, HorovodConfig::default(), 8);
         assert!((opt.inner().lr() - 0.08).abs() < 1e-7);
     }
 
@@ -308,7 +311,10 @@ mod tests {
         let opt = DistributedOptimizer::new(
             Sgd::new(0.01),
             &mut model,
-            HorovodConfig { fusion_threshold: 64, ..Default::default() },
+            HorovodConfig {
+                fusion_threshold: 64,
+                ..Default::default()
+            },
             1,
         );
         let total: usize = opt.fusion_groups().iter().map(|g| g.elems).sum();
@@ -321,12 +327,8 @@ mod tests {
         let topo = ClusterTopology::lassen(1);
         let res = MpiWorld::run(&topo, MpiConfig::mpi_opt(), |c| {
             let mut model = make_model(1);
-            let mut opt = DistributedOptimizer::new(
-                Sgd::new(0.01),
-                &mut model,
-                HorovodConfig::default(),
-                4,
-            );
+            let mut opt =
+                DistributedOptimizer::new(Sgd::new(0.01), &mut model, HorovodConfig::default(), 4);
             let g = dlsr_tensor::Tensor::full([4, 2, 3, 3], 1.0);
             model.visit_params(&mut |p| {
                 if p.value.shape().rank() == 4 {
@@ -344,8 +346,14 @@ mod tests {
         // Same model size, same config → same fusion plan and comparable
         // allreduce time (the real path adds only pack-time differences).
         let tensors = vec![
-            TensorSpec { name: "a".into(), elems: 100_000 },
-            TensorSpec { name: "b".into(), elems: 200_000 },
+            TensorSpec {
+                name: "a".into(),
+                elems: 100_000,
+            },
+            TensorSpec {
+                name: "b".into(),
+                elems: 200_000,
+            },
         ];
         let topo = ClusterTopology::lassen(1);
         let t_synth = MpiWorld::run(&topo, MpiConfig::mpi_opt(), {

@@ -11,7 +11,10 @@ fn tensors_strategy() -> impl Strategy<Value = Vec<TensorSpec>> {
         sizes
             .into_iter()
             .enumerate()
-            .map(|(i, elems)| TensorSpec { name: format!("t{i}"), elems })
+            .map(|(i, elems)| TensorSpec {
+                name: format!("t{i}"),
+                elems,
+            })
             .collect()
     })
 }

@@ -235,7 +235,11 @@ pub fn compare(default: &Hvprof, optimized: &Hvprof, op: Collective) -> Vec<Comp
         bin: "Total Time".to_string(),
         default_ms: d_total,
         optimized_ms: o_total,
-        improvement_pct: if d_total > 0.0 { (d_total - o_total) / d_total * 100.0 } else { 0.0 },
+        improvement_pct: if d_total > 0.0 {
+            (d_total - o_total) / d_total * 100.0
+        } else {
+            0.0
+        },
     });
     rows
 }

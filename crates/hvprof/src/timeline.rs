@@ -31,7 +31,14 @@ impl Timeline {
     }
 
     /// Record a complete event spanning `[start_s, end_s]` (seconds).
-    pub fn record(&mut self, name: impl Into<String>, cat: impl Into<String>, rank: usize, start_s: f64, end_s: f64) {
+    pub fn record(
+        &mut self,
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        rank: usize,
+        start_s: f64,
+        end_s: f64,
+    ) {
         debug_assert!(end_s >= start_s, "event ends before it starts");
         self.events.push(TraceEvent {
             name: name.into(),
@@ -78,8 +85,7 @@ impl Timeline {
                 })
             })
             .collect();
-        serde_json::to_string_pretty(&serde_json::Value::Array(events))
-            .expect("trace serializes")
+        serde_json::to_string_pretty(&serde_json::Value::Array(events)).expect("trace serializes")
     }
 }
 

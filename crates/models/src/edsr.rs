@@ -51,12 +51,19 @@ impl EdsrConfig {
     /// The full-size NTIRE 2017 winner (B=32, F=256) — used by the Table I
     /// harness, where fused gradient messages must reach the 16–64 MB bins.
     pub fn full() -> Self {
-        EdsrConfig { n_feats: 256, ..Self::paper() }
+        EdsrConfig {
+            n_feats: 256,
+            ..Self::paper()
+        }
     }
 
     /// A tiny variant that trains in milliseconds on CPU (tests/examples).
     pub fn tiny() -> Self {
-        EdsrConfig { n_resblocks: 2, n_feats: 8, ..Self::paper() }
+        EdsrConfig {
+            n_resblocks: 2,
+            n_feats: 8,
+            ..Self::paper()
+        }
     }
 
     /// Total trainable parameter count (closed form; must agree with the
@@ -180,7 +187,8 @@ impl Edsr {
     /// (`SR = bicubic↑LR + f(LR)` starts exactly at the bicubic baseline
     /// and can only improve from there).
     pub fn zero_output_conv(&mut self) {
-        self.out_conv.visit_params(&mut |p| p.value.data_mut().fill(0.0));
+        self.out_conv
+            .visit_params(&mut |p| p.value.data_mut().fill(0.0));
     }
 
     fn run(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
@@ -193,7 +201,11 @@ impl Edsr {
             });
         }
         let fwd = |m: &mut dyn Module, t: &Tensor| if train { m.forward(t) } else { m.predict(t) };
-        let x = if self.cfg.mean_shift { fwd(&mut self.sub_mean, x)? } else { x.clone() };
+        let x = if self.cfg.mean_shift {
+            fwd(&mut self.sub_mean, x)?
+        } else {
+            x.clone()
+        };
         let head_out = fwd(&mut self.head, &x)?;
         let mut h = head_out.clone();
         for b in &mut self.body {
@@ -272,7 +284,10 @@ mod tests {
     #[test]
     fn output_shape_is_upscaled() {
         for scale in [2usize, 3, 4] {
-            let cfg = EdsrConfig { scale, ..EdsrConfig::tiny() };
+            let cfg = EdsrConfig {
+                scale,
+                ..EdsrConfig::tiny()
+            };
             let mut m = Edsr::new(cfg, 1);
             let x = init::uniform([1, 3, 8, 6], 0.0, 1.0, 2);
             let y = m.forward(&x).unwrap();
@@ -295,7 +310,15 @@ mod tests {
 
     #[test]
     fn closed_form_param_count_matches_instance() {
-        for cfg in [EdsrConfig::tiny(), EdsrConfig { n_resblocks: 3, n_feats: 12, scale: 4, ..EdsrConfig::paper() }] {
+        for cfg in [
+            EdsrConfig::tiny(),
+            EdsrConfig {
+                n_resblocks: 3,
+                n_feats: 12,
+                scale: 4,
+                ..EdsrConfig::paper()
+            },
+        ] {
             let mut m = Edsr::new(cfg, 1);
             assert_eq!(m.num_params(), cfg.num_params(), "cfg {cfg:?}");
         }

@@ -70,7 +70,15 @@ struct Accounter {
 
 impl Accounter {
     fn new(c: usize, h: usize, w: usize) -> Self {
-        Accounter { params: 0, flops: 0, acts: 0, kernels: 0, h, w, c }
+        Accounter {
+            params: 0,
+            flops: 0,
+            acts: 0,
+            kernels: 0,
+            h,
+            w,
+            c,
+        }
     }
 
     fn conv(&mut self, c_out: usize, k: usize, stride: usize, padding: usize, bias: bool) {
@@ -212,7 +220,10 @@ pub fn resnet_profile(cfg: &ResNetConfig, h: usize, w: usize) -> ModelProfile {
     a.global_avg_pool();
     a.linear(cfg.classes);
     ModelProfile {
-        name: format!("ResNet(stages{:?},w{})@{}x{}", cfg.stages, cfg.base_width, h, w),
+        name: format!(
+            "ResNet(stages{:?},w{})@{}x{}",
+            cfg.stages, cfg.base_width, h, w
+        ),
         params: a.params,
         fwd_flops: a.flops,
         activation_elems: a.acts,

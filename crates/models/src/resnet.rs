@@ -25,12 +25,20 @@ pub struct ResNetConfig {
 impl ResNetConfig {
     /// The real ResNet-50.
     pub fn resnet50() -> Self {
-        ResNetConfig { stages: [3, 4, 6, 3], base_width: 64, classes: 1000 }
+        ResNetConfig {
+            stages: [3, 4, 6, 3],
+            base_width: 64,
+            classes: 1000,
+        }
     }
 
     /// A narrow/shallow variant for CPU tests.
     pub fn tiny() -> Self {
-        ResNetConfig { stages: [1, 1, 1, 1], base_width: 8, classes: 10 }
+        ResNetConfig {
+            stages: [1, 1, 1, 1],
+            base_width: 8,
+            classes: 10,
+        }
     }
 }
 
@@ -51,7 +59,10 @@ struct Bottleneck {
 
 impl Bottleneck {
     fn new(name: &str, c_in: usize, mid: usize, c_out: usize, stride: usize, seed: u64) -> Self {
-        let p1 = Conv2dParams { stride: 1, padding: 0 };
+        let p1 = Conv2dParams {
+            stride: 1,
+            padding: 0,
+        };
         let p2 = Conv2dParams { stride, padding: 1 };
         let downsample = (c_in != c_out || stride != 1).then(|| {
             (
@@ -83,8 +94,12 @@ impl Bottleneck {
 
 impl Module for Bottleneck {
     fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
-        let h = self.relu1.forward(&self.bn1.forward(&self.conv1.forward(x)?)?)?;
-        let h = self.relu2.forward(&self.bn2.forward(&self.conv2.forward(&h)?)?)?;
+        let h = self
+            .relu1
+            .forward(&self.bn1.forward(&self.conv1.forward(x)?)?)?;
+        let h = self
+            .relu2
+            .forward(&self.bn2.forward(&self.conv2.forward(&h)?)?)?;
         let h = self.bn3.forward(&self.conv3.forward(&h)?)?;
         let skip = match &mut self.downsample {
             Some((conv, bn)) => bn.forward(&conv.forward(x)?)?,
@@ -135,8 +150,12 @@ impl Module for Bottleneck {
     }
 
     fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
-        let h = self.relu1.predict(&self.bn1.predict(&self.conv1.predict(x)?)?)?;
-        let h = self.relu2.predict(&self.bn2.predict(&self.conv2.predict(&h)?)?)?;
+        let h = self
+            .relu1
+            .predict(&self.bn1.predict(&self.conv1.predict(x)?)?)?;
+        let h = self
+            .relu2
+            .predict(&self.bn2.predict(&self.conv2.predict(&h)?)?)?;
         let h = self.bn3.predict(&self.conv3.predict(&h)?)?;
         let skip = match &mut self.downsample {
             Some((conv, bn)) => bn.predict(&conv.predict(x)?)?,
@@ -167,7 +186,10 @@ impl ResNet {
             3,
             b,
             7,
-            Conv2dParams { stride: 2, padding: 3 },
+            Conv2dParams {
+                stride: 2,
+                padding: 3,
+            },
             seed,
         );
         let mut blocks = Vec::new();

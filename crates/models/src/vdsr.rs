@@ -112,7 +112,7 @@ mod tests {
         // 19 hidden convs + output conv
         let params = m.param_summary();
         assert_eq!(params.len(), 20 * 2); // weight + bias each
-        // published VDSR: ~665k params (20 layers, 64 feats, RGB in/out)
+                                          // published VDSR: ~665k params (20 layers, 64 feats, RGB in/out)
         let n = m.num_params();
         assert!((600_000..700_000).contains(&n), "params {n}");
     }
@@ -162,7 +162,11 @@ mod tests {
             let lp: f32 = m.predict(&xp).unwrap().data().iter().sum();
             let lm: f32 = m.predict(&xm).unwrap().data().iter().sum();
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((gx.data()[idx] - fd).abs() < 3e-2, "{} vs {fd}", gx.data()[idx]);
+            assert!(
+                (gx.data()[idx] - fd).abs() < 3e-2,
+                "{} vs {fd}",
+                gx.data()[idx]
+            );
         }
     }
 }

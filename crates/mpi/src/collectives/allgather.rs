@@ -66,7 +66,11 @@ mod tests {
 
     #[test]
     fn single_rank() {
-        let topo = ClusterTopology { name: "one".into(), nodes: 1, gpus_per_node: 1 };
+        let topo = ClusterTopology {
+            name: "one".into(),
+            nodes: 1,
+            gpus_per_node: 1,
+        };
         let res = MpiWorld::run(&topo, MpiConfig::default_mpi(), |c| {
             allgather(c, vec![9.0], 1)
         });

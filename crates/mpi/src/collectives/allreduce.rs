@@ -34,12 +34,7 @@ pub fn allreduce(comm: &mut Comm, buf: &mut Vec<f32>, buf_id: u64) {
 }
 
 /// In-place sum-allreduce with an explicit algorithm.
-pub fn allreduce_with(
-    comm: &mut Comm,
-    buf: &mut Vec<f32>,
-    buf_id: u64,
-    algo: AllreduceAlgorithm,
-) {
+pub fn allreduce_with(comm: &mut Comm, buf: &mut Vec<f32>, buf_id: u64, algo: AllreduceAlgorithm) {
     allreduce_op(comm, buf, buf_id, algo, ReduceOp::Sum);
 }
 
@@ -251,8 +246,7 @@ mod tests {
         let topo = ClusterTopology::lassen(nodes);
         let res = MpiWorld::run(&topo, cfg, move |c| {
             // rank-dependent input: buf[i] = rank + i
-            let mut buf: Vec<f32> =
-                (0..len).map(|i| (c.rank() + i) as f32).collect();
+            let mut buf: Vec<f32> = (0..len).map(|i| (c.rank() + i) as f32).collect();
             allreduce_with(c, &mut buf, 1, algo);
             buf
         });
@@ -301,7 +295,11 @@ mod tests {
 
     #[test]
     fn single_rank_world_is_identity() {
-        let topo = ClusterTopology { name: "one".into(), nodes: 1, gpus_per_node: 1 };
+        let topo = ClusterTopology {
+            name: "one".into(),
+            nodes: 1,
+            gpus_per_node: 1,
+        };
         let res = MpiWorld::run(&topo, MpiConfig::default_mpi(), |c| {
             let mut buf = vec![1.0, 2.0];
             allreduce(c, &mut buf, 1);
@@ -315,8 +313,12 @@ mod tests {
         // The core claim of the paper at the collective level: restoring
         // CUDA IPC makes large-message allreduce ≈2× faster on one node.
         let len = 8 << 20; // 32 MB
-        let (_, t_default) =
-            run_allreduce(1, len, MpiConfig::default_mpi(), AllreduceAlgorithm::TwoLevel);
+        let (_, t_default) = run_allreduce(
+            1,
+            len,
+            MpiConfig::default_mpi(),
+            AllreduceAlgorithm::TwoLevel,
+        );
         let (_, t_opt) = run_allreduce(1, len, MpiConfig::mpi_opt(), AllreduceAlgorithm::TwoLevel);
         let speedup = t_default / t_opt;
         assert!(
@@ -330,8 +332,12 @@ mod tests {
         // Table I rows 1–2: below the IPC threshold both configs stage
         // through the host.
         let len = 1 << 10; // 4 KB
-        let (_, t_default) =
-            run_allreduce(1, len, MpiConfig::default_mpi(), AllreduceAlgorithm::TwoLevel);
+        let (_, t_default) = run_allreduce(
+            1,
+            len,
+            MpiConfig::default_mpi(),
+            AllreduceAlgorithm::TwoLevel,
+        );
         let (_, t_opt) = run_allreduce(1, len, MpiConfig::mpi_opt(), AllreduceAlgorithm::TwoLevel);
         let ratio = t_default / t_opt;
         assert!(
@@ -344,8 +350,12 @@ mod tests {
     fn ring_beats_recursive_doubling_on_large_buffers() {
         let len = 4 << 20;
         let (_, t_ring) = run_allreduce(2, len, MpiConfig::mpi_opt(), AllreduceAlgorithm::Ring);
-        let (_, t_rd) =
-            run_allreduce(2, len, MpiConfig::mpi_opt(), AllreduceAlgorithm::RecursiveDoubling);
+        let (_, t_rd) = run_allreduce(
+            2,
+            len,
+            MpiConfig::mpi_opt(),
+            AllreduceAlgorithm::RecursiveDoubling,
+        );
         assert!(t_ring < t_rd, "ring {t_ring} vs recursive doubling {t_rd}");
     }
 }

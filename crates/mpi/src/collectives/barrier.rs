@@ -54,7 +54,11 @@ mod tests {
 
     #[test]
     fn barrier_works_on_non_power_of_two() {
-        let topo = ClusterTopology { name: "odd".into(), nodes: 3, gpus_per_node: 1 };
+        let topo = ClusterTopology {
+            name: "odd".into(),
+            nodes: 3,
+            gpus_per_node: 1,
+        };
         let res = MpiWorld::run(&topo, MpiConfig::default_mpi(), |c| {
             barrier(c);
             c.rank()

@@ -62,7 +62,6 @@ pub(crate) fn coll_tag(seq: u64, step: u64) -> u64 {
     COLL_TAG_BASE | (seq << 16) | step
 }
 
-
 /// Chunk boundaries splitting `len` elements into `parts` ranges.
 pub(crate) fn chunk_range(len: usize, parts: usize, i: usize) -> std::ops::Range<usize> {
     let start = i * len / parts;

@@ -156,8 +156,7 @@ mod tests {
     #[test]
     fn scatter_distributes_parts() {
         let res = MpiWorld::run(&topo(), MpiConfig::mpi_opt(), |c| {
-            let parts = (c.rank() == 1)
-                .then(|| (0..8).map(|r| vec![r as f32 * 10.0; 2]).collect());
+            let parts = (c.rank() == 1).then(|| (0..8).map(|r| vec![r as f32 * 10.0; 2]).collect());
             scatter(c, parts, 1, 1)
         });
         for (r, part) in res.ranks.iter().enumerate() {
@@ -168,8 +167,8 @@ mod tests {
     #[test]
     fn scatter_then_gather_roundtrips() {
         let res = MpiWorld::run(&topo(), MpiConfig::mpi_opt(), |c| {
-            let parts = (c.rank() == 0)
-                .then(|| (0..8).map(|r| vec![r as f32, r as f32 + 0.5]).collect());
+            let parts =
+                (c.rank() == 0).then(|| (0..8).map(|r| vec![r as f32, r as f32 + 0.5]).collect());
             let mine = scatter(c, parts, 0, 1);
             gather(c, mine, 0, 2)
         });

@@ -16,7 +16,9 @@ use crate::message::Payload;
 use super::{chunk_range, coll_tag, AllreduceAlgorithm};
 
 fn synth(elems: usize) -> Payload {
-    Payload::Synthetic { bytes: (elems * 4) as u64 }
+    Payload::Synthetic {
+        bytes: (elems * 4) as u64,
+    }
 }
 
 /// Costs-only sum-allreduce of `elems` f32 elements.

@@ -182,7 +182,10 @@ impl Comm {
 
     /// The GPU this rank drives.
     pub fn gpu(&self) -> GpuId {
-        GpuId { node: self.topo.node_of(self.rank), local: self.topo.local_of(self.rank) }
+        GpuId {
+            node: self.topo.node_of(self.rank),
+            local: self.topo.local_of(self.rank),
+        }
     }
 
     /// Which transport a message of `bytes` to `dst` takes, performing the
@@ -217,7 +220,10 @@ impl Comm {
                 bytes,
             };
             let handle = reg.get_mem_handle(buf);
-            let peer = GpuId { node, local: dst_local };
+            let peer = GpuId {
+                node,
+                local: dst_local,
+            };
             reg.open_mem_handle(handle, peer, &self.env)
                 .expect("path selection guarantees IPC visibility");
             self.clock.advance(self.cfg.ipc_setup_cost);
@@ -283,7 +289,12 @@ impl Comm {
         let arrival = self.clock.now() + transfer;
         self.stats.sends += 1;
         self.senders[dst]
-            .send(Message { src: self.rank, tag, payload, arrival })
+            .send(Message {
+                src: self.rank,
+                tag,
+                payload,
+                arrival,
+            })
             .expect("receiver thread alive");
     }
 
@@ -291,7 +302,11 @@ impl Comm {
     /// destination buffer for receiver-side registration.
     pub fn recv(&mut self, src: usize, tag: u64, recv_buf_id: u64) -> Payload {
         // check the out-of-order buffer first
-        if let Some(pos) = self.pending.iter().position(|m| m.src == src && m.tag == tag) {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)
+        {
             let m = self.pending.remove(pos).expect("position valid");
             return self.complete_recv(m, recv_buf_id);
         }
@@ -308,8 +323,7 @@ impl Comm {
         let bytes = m.payload.size_bytes();
         // Receiver-side registration: for inter-node RDMA the receive buffer
         // must be pinned too.
-        if !self.topo.same_node(self.rank, m.src) && bytes >= self.cfg.transport.eager_threshold
-        {
+        if !self.topo.same_node(self.rank, m.src) && bytes >= self.cfg.transport.eager_threshold {
             self.charge_registration(TransportPath::IbRdma, recv_buf_id, bytes);
         }
         self.clock.merge(m.arrival);

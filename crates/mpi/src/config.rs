@@ -68,7 +68,10 @@ impl MpiConfig {
 
     /// **MPI-Reg**: default + registration cache (Fig 11).
     pub fn mpi_reg() -> Self {
-        MpiConfig { registration_cache: true, ..Self::default_mpi() }
+        MpiConfig {
+            registration_cache: true,
+            ..Self::default_mpi()
+        }
     }
 
     /// **MPI-Opt**: registration cache + `MV2_VISIBLE_DEVICES` restoring

@@ -52,8 +52,11 @@ impl MpiWorld {
             senders.push(tx);
             receivers.push(rx);
         }
-        let ipc_registries =
-            Arc::new((0..topo.nodes).map(|_| IpcRegistry::new()).collect::<Vec<_>>());
+        let ipc_registries = Arc::new(
+            (0..topo.nodes)
+                .map(|_| IpcRegistry::new())
+                .collect::<Vec<_>>(),
+        );
 
         let mut out: Vec<Option<(R, f64)>> = (0..size).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -180,9 +183,15 @@ mod tests {
             });
             let (nv, st) = res.ranks[0];
             if expect_nvlink {
-                assert!(nv > 0 && st == 0, "expected NVLink path: nv={nv} staged={st}");
+                assert!(
+                    nv > 0 && st == 0,
+                    "expected NVLink path: nv={nv} staged={st}"
+                );
             } else {
-                assert!(nv == 0 && st > 0, "expected staged path: nv={nv} staged={st}");
+                assert!(
+                    nv == 0 && st > 0,
+                    "expected staged path: nv={nv} staged={st}"
+                );
             }
         }
     }

@@ -10,7 +10,11 @@ use dlsr_mpi::{MpiConfig, MpiWorld, Payload};
 use dlsr_net::ClusterTopology;
 
 fn topo(nodes: usize, gpn: usize) -> ClusterTopology {
-    ClusterTopology { name: format!("t{nodes}x{gpn}"), nodes, gpus_per_node: gpn }
+    ClusterTopology {
+        name: format!("t{nodes}x{gpn}"),
+        nodes,
+        gpus_per_node: gpn,
+    }
 }
 
 proptest! {

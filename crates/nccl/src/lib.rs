@@ -143,7 +143,11 @@ mod tests {
         let res = MpiWorld::run(&topo, MpiConfig::default_mpi(), move |c| {
             let mut buf = vec![1.0f32; len];
             Nccl::all_reduce(c, &mut buf, 1);
-            (c.stats().nvlink_bytes, c.stats().staged_bytes, c.stats().ib_bytes)
+            (
+                c.stats().nvlink_bytes,
+                c.stats().staged_bytes,
+                c.stats().ib_bytes,
+            )
         });
         // ring in dense rank order: ranks 3 and 7 sit at node boundaries
         let total_ib: u64 = res.ranks.iter().map(|r| r.2).sum();

@@ -105,7 +105,13 @@ impl RegistrationCache {
             self.stats.evictions += 1;
         }
         if bytes <= self.capacity_bytes {
-            self.entries.insert(key, Entry { bytes, last_use: self.tick });
+            self.entries.insert(
+                key,
+                Entry {
+                    bytes,
+                    last_use: self.tick,
+                },
+            );
             self.used_bytes += bytes;
         }
         false
@@ -187,7 +193,10 @@ mod tests {
     fn oversize_registration_is_not_cached() {
         let mut c = RegistrationCache::new(100);
         assert!(!c.lookup(1, 1000));
-        assert!(!c.lookup(1, 1000), "entry larger than capacity never caches");
+        assert!(
+            !c.lookup(1, 1000),
+            "entry larger than capacity never caches"
+        );
         assert_eq!(c.used_bytes(), 0);
     }
 

@@ -18,13 +18,21 @@ impl ClusterTopology {
     /// inter-node (Fig 8). The paper scales to 128 of its nodes.
     pub fn lassen(nodes: usize) -> Self {
         assert!(nodes <= 792, "Lassen has 792 GPU nodes");
-        ClusterTopology { name: "Lassen".into(), nodes, gpus_per_node: 4 }
+        ClusterTopology {
+            name: "Lassen".into(),
+            nodes,
+            gpus_per_node: 4,
+        }
     }
 
     /// Longhorn (TACC): 96 nodes × 4 V100.
     pub fn longhorn(nodes: usize) -> Self {
         assert!(nodes <= 96, "Longhorn has 96 nodes");
-        ClusterTopology { name: "Longhorn".into(), nodes, gpus_per_node: 4 }
+        ClusterTopology {
+            name: "Longhorn".into(),
+            nodes,
+            gpus_per_node: 4,
+        }
     }
 
     /// Total GPU count.
@@ -62,7 +70,10 @@ pub struct FatTree {
 impl FatTree {
     /// Lassen-like: 18 nodes per leaf switch (36-port EDR, half down).
     pub fn lassen() -> Self {
-        FatTree { leaf_radix: 18, hop_latency: 0.4e-6 }
+        FatTree {
+            leaf_radix: 18,
+            hop_latency: 0.4e-6,
+        }
     }
 
     /// Switch hops between two nodes: 0 intra-node, 2 within a leaf group,

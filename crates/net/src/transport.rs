@@ -106,7 +106,13 @@ impl TransportModel {
     /// `ipc_available` is the MPI library's verdict for this device pair
     /// (see `dlsr_gpu::DeviceEnv::ipc_possible` + a successful
     /// `cuIpcOpenMemHandle`).
-    pub fn path(&self, same_device: bool, same_node: bool, ipc_available: bool, bytes: u64) -> TransportPath {
+    pub fn path(
+        &self,
+        same_device: bool,
+        same_node: bool,
+        ipc_available: bool,
+        bytes: u64,
+    ) -> TransportPath {
         if same_device {
             return TransportPath::DeviceLocal;
         }
@@ -176,7 +182,10 @@ mod tests {
     fn large_intra_node_messages_need_ipc_for_nvlink() {
         let t = TransportModel::lassen();
         assert_eq!(t.path(false, true, true, 32 * MB), TransportPath::NvlinkP2p);
-        assert_eq!(t.path(false, true, false, 32 * MB), TransportPath::HostStaged);
+        assert_eq!(
+            t.path(false, true, false, 32 * MB),
+            TransportPath::HostStaged
+        );
     }
 
     #[test]
@@ -203,7 +212,10 @@ mod tests {
     #[test]
     fn same_device_short_circuits() {
         let t = TransportModel::lassen();
-        assert_eq!(t.path(true, true, false, 64 * MB), TransportPath::DeviceLocal);
+        assert_eq!(
+            t.path(true, true, false, 64 * MB),
+            TransportPath::DeviceLocal
+        );
     }
 
     #[test]

@@ -116,8 +116,8 @@ impl StateDict {
         w.write_all(MAGIC)?;
         let header: BTreeMap<&String, &Vec<usize>> =
             self.entries.iter().map(|(k, (s, _))| (k, s)).collect();
-        let header = serde_json::to_vec(&header)
-            .map_err(|e| CheckpointError::Format(e.to_string()))?;
+        let header =
+            serde_json::to_vec(&header).map_err(|e| CheckpointError::Format(e.to_string()))?;
         w.write_all(&(header.len() as u64).to_le_bytes())?;
         w.write_all(&header)?;
         for (_, values) in self.entries.values() {
@@ -139,8 +139,8 @@ impl StateDict {
         r.read_exact(&mut len)?;
         let mut header = vec![0u8; u64::from_le_bytes(len) as usize];
         r.read_exact(&mut header)?;
-        let shapes: BTreeMap<String, Vec<usize>> = serde_json::from_slice(&header)
-            .map_err(|e| CheckpointError::Format(e.to_string()))?;
+        let shapes: BTreeMap<String, Vec<usize>> =
+            serde_json::from_slice(&header).map_err(|e| CheckpointError::Format(e.to_string()))?;
         let mut entries = BTreeMap::new();
         for (name, shape) in shapes {
             let n: usize = shape.iter().product();

@@ -96,12 +96,20 @@ impl Module for BatchNorm2d {
             let (g, b) = (self.gamma.value.data()[ch], self.beta.value.data()[ch]);
             chunk.iter_mut().for_each(|v| *v = *v * g + b);
         }
-        self.ctx = Some(BnCtx { x_hat, inv_std, count });
+        self.ctx = Some(BnCtx {
+            x_hat,
+            inv_std,
+            count,
+        });
         Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let BnCtx { x_hat, inv_std, count } = self
+        let BnCtx {
+            x_hat,
+            inv_std,
+            count,
+        } = self
             .ctx
             .take()
             .expect("BatchNorm2d::backward called without forward");
@@ -181,7 +189,11 @@ mod tests {
         let loss = |x: &Tensor| {
             let mut b2 = BatchNorm2d::new("bn", 1);
             let out = b2.forward(x).unwrap();
-            out.data().iter().zip(gy.data()).map(|(&o, &g)| o * g).sum::<f32>()
+            out.data()
+                .iter()
+                .zip(gy.data())
+                .map(|(&o, &g)| o * g)
+                .sum::<f32>()
         };
         for idx in 0..x.numel() {
             let mut xp = x.clone();

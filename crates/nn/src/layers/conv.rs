@@ -1,17 +1,26 @@
 //! Convolution layer.
 
-use dlsr_tensor::conv::{conv2d, conv2d_backward, Conv2dParams};
-use dlsr_tensor::{init, Result, Tensor};
+use dlsr_tensor::conv::{conv2d_backward, conv2d_fused, Act, Conv2dParams};
+use dlsr_tensor::{elementwise, init, Result, Tensor};
 
 use crate::module::Module;
 use crate::param::Param;
 
-/// 2-D convolution with optional bias.
+/// 2-D convolution with optional bias and an optionally fused activation.
+///
+/// [`Conv2d::forward_act`] runs bias and activation inside the convolution
+/// GEMM epilogue (one pass over the output instead of three); the backward
+/// pass applies the matching activation mask before the convolution
+/// adjoints, so callers fusing an activation must *not* also run a separate
+/// activation layer.
 pub struct Conv2d {
     weight: Param,
     bias: Option<Param>,
     conv: Conv2dParams,
     input_cache: Option<Tensor>,
+    /// Post-activation output cached by a fused-ReLU forward; its sign
+    /// pattern is the backward mask (`y > 0 ⇔ pre-activation > 0`).
+    act_output: Option<Tensor>,
 }
 
 impl Conv2d {
@@ -52,9 +61,14 @@ impl Conv2d {
             format!("{name}.weight"),
             init::kaiming_conv(c_out, c_in, k, k, seed),
         );
-        let bias = with_bias
-            .then(|| Param::new(format!("{name}.bias"), Tensor::zeros([c_out])));
-        Conv2d { weight, bias, conv, input_cache: None }
+        let bias = with_bias.then(|| Param::new(format!("{name}.bias"), Tensor::zeros([c_out])));
+        Conv2d {
+            weight,
+            bias,
+            conv,
+            input_cache: None,
+            act_output: None,
+        }
     }
 
     /// The convolution hyper-parameters.
@@ -66,17 +80,40 @@ impl Conv2d {
     pub fn out_channels(&self) -> usize {
         self.weight.value.shape().dim(0)
     }
+
+    /// Forward pass with `act` fused into the convolution epilogue. The
+    /// matching mask is applied automatically in [`Module::backward`].
+    pub fn forward_act(&mut self, x: &Tensor, act: Act) -> Result<Tensor> {
+        self.input_cache = Some(x.clone());
+        let y = conv2d_fused(
+            x,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| b.value.data()),
+            act,
+            self.conv,
+        )?;
+        self.act_output = match act {
+            Act::Relu => Some(y.clone()),
+            Act::Identity => None,
+        };
+        Ok(y)
+    }
+
+    /// Inference-only forward with a fused activation (no caches).
+    pub fn predict_act(&mut self, x: &Tensor, act: Act) -> Result<Tensor> {
+        conv2d_fused(
+            x,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| b.value.data()),
+            act,
+            self.conv,
+        )
+    }
 }
 
 impl Module for Conv2d {
     fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
-        self.input_cache = Some(x.clone());
-        conv2d(
-            x,
-            &self.weight.value,
-            self.bias.as_ref().map(|b| b.value.data()),
-            self.conv,
-        )
+        self.forward_act(x, Act::Identity)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -84,6 +121,14 @@ impl Module for Conv2d {
             .input_cache
             .take()
             .expect("Conv2d::backward called without forward");
+        let masked;
+        let grad_out = match self.act_output.take() {
+            Some(y) => {
+                masked = elementwise::relu_backward(grad_out, &y)?;
+                &masked
+            }
+            None => grad_out,
+        };
         let (gi, gw, gb) = conv2d_backward(&input, &self.weight.value, grad_out, self.conv)?;
         self.weight.accumulate_grad(&gw);
         if let Some(bias) = &mut self.bias {
@@ -100,12 +145,7 @@ impl Module for Conv2d {
     }
 
     fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
-        conv2d(
-            x,
-            &self.weight.value,
-            self.bias.as_ref().map(|b| b.value.data()),
-            self.conv,
-        )
+        self.predict_act(x, Act::Identity)
     }
 }
 
@@ -159,5 +199,38 @@ mod tests {
     fn backward_without_forward_panics() {
         let mut c = Conv2d::new("c", 1, 1, 3, Conv2dParams::default(), 1);
         let _ = c.backward(&Tensor::zeros([1, 1, 1, 1]));
+    }
+
+    /// The fused conv+ReLU must behave exactly like conv followed by a
+    /// separate ReLU layer — forward and backward.
+    #[test]
+    fn fused_relu_matches_separate_layers() {
+        let x = init::uniform([2, 2, 5, 5], -1.0, 1.0, 9);
+        let gy = init::uniform([2, 3, 5, 5], -1.0, 1.0, 10);
+
+        let mut fused = Conv2d::new("c", 2, 3, 3, Conv2dParams::same(3), 7);
+        let y_fused = fused.forward_act(&x, Act::Relu).unwrap();
+        let gx_fused = fused.backward(&gy).unwrap();
+
+        let mut plain = Conv2d::new("c", 2, 3, 3, Conv2dParams::same(3), 7);
+        let mut relu = crate::layers::ReLU::new();
+        let y_plain = relu.forward(&plain.forward(&x).unwrap()).unwrap();
+        let gx_plain = plain.backward(&relu.backward(&gy).unwrap()).unwrap();
+
+        assert_eq!(y_fused.data(), y_plain.data());
+        assert_eq!(gx_fused.data(), gx_plain.data());
+        let mut fused_gw = None;
+        fused.visit_params(&mut |p| {
+            if p.name.ends_with("weight") {
+                fused_gw = Some(p.grad.clone());
+            }
+        });
+        let mut plain_gw = None;
+        plain.visit_params(&mut |p| {
+            if p.name.ends_with("weight") {
+                plain_gw = Some(p.grad.clone());
+            }
+        });
+        assert_eq!(fused_gw.unwrap().data(), plain_gw.unwrap().data());
     }
 }

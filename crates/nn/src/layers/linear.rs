@@ -32,7 +32,14 @@ impl Linear {
         assert_eq!(in_f, in_w, "Linear input feature mismatch");
         let mut y = Tensor::zeros([n, out_f]);
         // y = x (N×in) · Wᵀ  — W stored row-major [out, in]
-        matmul_a_bt(x.data(), self.weight.value.data(), y.data_mut(), n, in_f, out_f);
+        matmul_a_bt(
+            x.data(),
+            self.weight.value.data(),
+            y.data_mut(),
+            n,
+            in_f,
+            out_f,
+        );
         for row in y.data_mut().chunks_mut(out_f) {
             for (v, &b) in row.iter_mut().zip(self.bias.value.data()) {
                 *v += b;
@@ -72,7 +79,14 @@ impl Module for Linear {
 
         // grad_x (N×in) = g (N×out) · W (out×in)
         let mut gx = Tensor::zeros([n, in_f]);
-        matmul_into(grad_out.data(), self.weight.value.data(), gx.data_mut(), n, out_f, in_f);
+        matmul_into(
+            grad_out.data(),
+            self.weight.value.data(),
+            gx.data_mut(),
+            n,
+            out_f,
+            in_f,
+        );
         Ok(gx)
     }
 

@@ -15,12 +15,16 @@ pub struct MeanShift {
 impl MeanShift {
     /// Subtract the channel means (input normalization).
     pub fn subtract(means: &[f32]) -> Self {
-        MeanShift { shift: means.iter().map(|m| -m).collect() }
+        MeanShift {
+            shift: means.iter().map(|m| -m).collect(),
+        }
     }
 
     /// Add the channel means back (output de-normalization).
     pub fn add(means: &[f32]) -> Self {
-        MeanShift { shift: means.to_vec() }
+        MeanShift {
+            shift: means.to_vec(),
+        }
     }
 }
 

@@ -87,7 +87,9 @@ mod tests {
         let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 4.0, 2.0, 3.0]).unwrap();
         let y = p.forward(&x).unwrap();
         assert_eq!(y.data(), &[4.0]);
-        let g = p.backward(&Tensor::from_vec([1, 1, 1, 1], vec![1.0]).unwrap()).unwrap();
+        let g = p
+            .backward(&Tensor::from_vec([1, 1, 1, 1], vec![1.0]).unwrap())
+            .unwrap();
         assert_eq!(g.data(), &[0.0, 1.0, 0.0, 0.0]);
     }
 
@@ -97,7 +99,9 @@ mod tests {
         let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]).unwrap();
         let y = p.forward(&x).unwrap();
         assert_eq!(y.data(), &[3.0]);
-        let g = p.backward(&Tensor::from_vec([1, 1], vec![4.0]).unwrap()).unwrap();
+        let g = p
+            .backward(&Tensor::from_vec([1, 1], vec![4.0]).unwrap())
+            .unwrap();
         assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
     }
 }

@@ -2,11 +2,15 @@
 //! scaling factor (0.1 in the paper) and added to the skip connection.
 //! Unlike the original ResNet block there is **no batch normalization** —
 //! the paper's Fig 5a highlights exactly this simplification.
+//!
+//! The first convolution runs with the ReLU fused into its GEMM epilogue
+//! ([`Conv2d::forward_act`]), so the block makes no standalone activation
+//! pass; the matching backward mask is applied inside `conv1.backward`.
 
-use dlsr_tensor::conv::Conv2dParams;
+use dlsr_tensor::conv::{Act, Conv2dParams};
 use dlsr_tensor::{elementwise, Result, Tensor};
 
-use crate::layers::{Conv2d, ReLU};
+use crate::layers::Conv2d;
 use crate::module::Module;
 use crate::param::Param;
 
@@ -14,7 +18,6 @@ use crate::param::Param;
 pub struct ResBlock {
     conv1: Conv2d,
     conv2: Conv2d,
-    relu: ReLU,
     res_scale: f32,
 }
 
@@ -24,8 +27,14 @@ impl ResBlock {
         let p = Conv2dParams::same(3);
         ResBlock {
             conv1: Conv2d::new(&format!("{name}.conv1"), features, features, 3, p, seed),
-            conv2: Conv2d::new(&format!("{name}.conv2"), features, features, 3, p, seed.wrapping_add(1)),
-            relu: ReLU::new(),
+            conv2: Conv2d::new(
+                &format!("{name}.conv2"),
+                features,
+                features,
+                3,
+                p,
+                seed.wrapping_add(1),
+            ),
             res_scale,
         }
     }
@@ -38,18 +47,16 @@ impl ResBlock {
 
 impl Module for ResBlock {
     fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
-        let h = self.conv1.forward(x)?;
-        let h = self.relu.forward(&h)?;
+        let h = self.conv1.forward_act(x, Act::Relu)?;
         let h = self.conv2.forward(&h)?;
         let scaled = elementwise::scale(&h, self.res_scale);
         elementwise::add(x, &scaled)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        // d(x + s·f(x)) = g + s·f'(x)ᵀg
+        // d(x + s·f(x)) = g + s·f'(x)ᵀg; the ReLU mask lives in conv1.
         let g_body = elementwise::scale(grad_out, self.res_scale);
         let g = self.conv2.backward(&g_body)?;
-        let g = self.relu.backward(&g)?;
         let g = self.conv1.backward(&g)?;
         elementwise::add(grad_out, &g)
     }
@@ -60,8 +67,7 @@ impl Module for ResBlock {
     }
 
     fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
-        let h = self.conv1.predict(x)?;
-        let h = self.relu.predict(&h)?;
+        let h = self.conv1.predict_act(x, Act::Relu)?;
         let h = self.conv2.predict(&h)?;
         let scaled = elementwise::scale(&h, self.res_scale);
         elementwise::add(x, &scaled)
@@ -103,7 +109,11 @@ mod tests {
             let lp: f32 = b.predict(&xp).unwrap().data().iter().sum();
             let lm: f32 = b.predict(&xm).unwrap().data().iter().sum();
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((gx.data()[idx] - fd).abs() < 2e-2, "{} vs {fd}", gx.data()[idx]);
+            assert!(
+                (gx.data()[idx] - fd).abs() < 2e-2,
+                "{} vs {fd}",
+                gx.data()[idx]
+            );
         }
     }
 
@@ -112,5 +122,16 @@ mod tests {
         let mut b = ResBlock::new("rb", 8, 0.1, 1);
         // two 3×3 convs: 2 × (8·8·9 + 8)
         assert_eq!(b.num_params(), 2 * (8 * 8 * 9 + 8));
+    }
+
+    #[test]
+    fn forward_and_predict_agree() {
+        // Training-path (fused, cached) and inference-path outputs must be
+        // identical.
+        let mut b = ResBlock::new("rb", 3, 0.1, 6);
+        let x = init::uniform([2, 3, 6, 6], -1.0, 1.0, 7);
+        let y_train = b.forward(&x).unwrap();
+        let y_infer = b.predict(&x).unwrap();
+        assert_eq!(y_train.data(), y_infer.data());
     }
 }

@@ -171,7 +171,9 @@ mod tests {
     #[test]
     fn sequential_composes_forward_and_backward() {
         // y = (2x) * 3 → dy/dx = 6
-        let mut s = Sequential::new().push(Scale::new(2.0)).push(Scale::new(3.0));
+        let mut s = Sequential::new()
+            .push(Scale::new(2.0))
+            .push(Scale::new(3.0));
         let x = Tensor::from_vec([2], vec![1.0, -1.0]).unwrap();
         let y = s.forward(&x).unwrap();
         assert_eq!(y.data(), &[6.0, -6.0]);

@@ -33,12 +33,22 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: HashMap::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, weight_decay: 0.0, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay: 0.0,
+            velocity: HashMap::new(),
+        }
     }
 
     /// Add L2 weight decay.
@@ -55,8 +65,11 @@ impl Sgd {
                 .velocity
                 .entry(p.name.clone())
                 .or_insert_with(|| Tensor::zeros(p.value.shape().clone()));
-            for ((vel, val), &g) in
-                v.data_mut().iter_mut().zip(p.value.data_mut().iter_mut()).zip(p.grad.data())
+            for ((vel, val), &g) in v
+                .data_mut()
+                .iter_mut()
+                .zip(p.value.data_mut().iter_mut())
+                .zip(p.grad.data())
             {
                 *vel = self.momentum * *vel + g + wd * *val;
                 *val -= lr * *vel;

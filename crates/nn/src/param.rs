@@ -22,7 +22,11 @@ impl Param {
     /// Create a parameter with a zeroed gradient buffer.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape().clone());
-        Param { name: name.into(), value, grad }
+        Param {
+            name: name.into(),
+            value,
+            grad,
+        }
     }
 
     /// Number of scalar elements.

@@ -35,7 +35,10 @@ pub struct StepDecay {
 impl StepDecay {
     /// The EDSR reference schedule: ×0.5 every 200k steps.
     pub fn edsr() -> Self {
-        StepDecay { period: 200_000, gamma: 0.5 }
+        StepDecay {
+            period: 200_000,
+            gamma: 0.5,
+        }
     }
 }
 
@@ -60,7 +63,11 @@ impl Warmup<Constant> {
     /// The Goyal-style warmup used with Horovod's lr scaling: start at
     /// `1/world` of the scaled rate and ramp linearly over `steps`.
     pub fn for_world(world: usize, steps: u64) -> Self {
-        Warmup { warmup_steps: steps, start_factor: 1.0 / world as f32, inner: Constant }
+        Warmup {
+            warmup_steps: steps,
+            start_factor: 1.0 / world as f32,
+            inner: Constant,
+        }
     }
 }
 
@@ -86,7 +93,11 @@ pub struct Scheduler<S: LrSchedule> {
 impl<S: LrSchedule> Scheduler<S> {
     /// Create a scheduler around the optimizer's *current* rate.
     pub fn new(opt: &impl Optimizer, schedule: S) -> Self {
-        Scheduler { base_lr: opt.lr(), schedule, step: 0 }
+        Scheduler {
+            base_lr: opt.lr(),
+            schedule,
+            step: 0,
+        }
     }
 
     /// Apply the schedule for the next step (call once per training step,
@@ -127,7 +138,14 @@ mod tests {
 
     #[test]
     fn warmup_composes_with_decay() {
-        let w = Warmup { warmup_steps: 10, start_factor: 0.1, inner: StepDecay { period: 20, gamma: 0.5 } };
+        let w = Warmup {
+            warmup_steps: 10,
+            start_factor: 0.1,
+            inner: StepDecay {
+                period: 20,
+                gamma: 0.5,
+            },
+        };
         assert!((w.factor(0) - 0.1).abs() < 1e-6);
         assert_eq!(w.factor(10), 1.0);
         assert_eq!(w.factor(20), 0.5);
@@ -144,13 +162,20 @@ mod tests {
         }
         assert!((seen[0] - 0.1).abs() < 1e-6, "starts at lr/world");
         assert!((seen[4] - 0.4).abs() < 1e-6, "reaches the scaled rate");
-        assert!(seen.windows(2).all(|w| w[1] >= w[0] - 1e-6), "monotone ramp");
+        assert!(
+            seen.windows(2).all(|w| w[1] >= w[0] - 1e-6),
+            "monotone ramp"
+        );
         assert_eq!(sched.step_count(), 6);
     }
 
     #[test]
     fn zero_warmup_is_identity() {
-        let w = Warmup { warmup_steps: 0, start_factor: 0.5, inner: Constant };
+        let w = Warmup {
+            warmup_steps: 0,
+            start_factor: 0.5,
+            inner: Constant,
+        };
         assert_eq!(w.factor(0), 1.0);
     }
 }

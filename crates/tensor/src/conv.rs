@@ -1,11 +1,51 @@
 //! 2-D convolution (im2col + GEMM) with full forward/backward kernels.
 //!
 //! Weight layout is `[C_out, C_in, K_h, K_w]`; activations are NCHW. Padding
-//! is symmetric zero-padding. A naive direct implementation is kept as the
-//! test oracle ([`conv2d_reference`]).
+//! is symmetric zero-padding. Naive direct implementations are kept as the
+//! test oracles ([`conv2d_reference`], [`conv2d_backward_reference`]).
+//!
+//! # Execution model
+//!
+//! Both directions follow the same plan:
+//! 1. The operand that is constant across the batch (the weight matrix) is
+//!    packed into GEMM panel layout **once per call**.
+//! 2. The batch dimension is the parallel axis: each image's im2col, packing
+//!    and GEMM run on one rayon worker, writing to that image's disjoint
+//!    slice of the output. All per-image temporaries come from the
+//!    [`crate::scratch`] pool, so the steady-state loop does not allocate.
+//! 3. Reductions that cross the parallel axis (weight/bias gradients) are
+//!    accumulated per image into disjoint scratch, then summed sequentially
+//!    in ascending image order — results are bitwise independent of the
+//!    thread count (see the module docs of [`crate::matmul`] for the GEMM
+//!    half of that contract).
+//!
+//! The forward GEMM applies bias and activation in its epilogue
+//! ([`conv2d_fused`]), so a conv + ReLU layer makes a single pass over the
+//! output instead of three.
 
-use crate::matmul::{matmul_a_bt, matmul_at_b, matmul_into};
+use rayon::prelude::*;
+
+use crate::matmul::{
+    gemm_prepacked, gemm_prepacked_seq, pack_a, pack_a_transposed, pack_b, pack_b_transposed,
+    packed_a_len, packed_b_len, Epilogue,
+};
+use crate::scratch;
 use crate::{Result, Tensor, TensorError};
+
+/// A prepacked-GEMM entry point, chosen per call: the sequential variant
+/// inside a batch-parallel region (no nested parallelism), the
+/// auto-parallel one otherwise.
+type GemmFn = for<'a> fn(&[f32], &[f32], &mut [f32], usize, usize, usize, Epilogue<'a>);
+
+/// Activation fused into the forward GEMM epilogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Act {
+    /// No activation.
+    #[default]
+    Identity,
+    /// `max(x, 0)`.
+    Relu,
+}
 
 /// Convolution hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,14 +58,20 @@ pub struct Conv2dParams {
 
 impl Default for Conv2dParams {
     fn default() -> Self {
-        Conv2dParams { stride: 1, padding: 0 }
+        Conv2dParams {
+            stride: 1,
+            padding: 0,
+        }
     }
 }
 
 impl Conv2dParams {
     /// "Same" convolution for odd kernel size `k` at stride 1.
     pub fn same(k: usize) -> Self {
-        Conv2dParams { stride: 1, padding: k / 2 }
+        Conv2dParams {
+            stride: 1,
+            padding: k / 2,
+        }
     }
 
     /// Output spatial extent for an input extent.
@@ -119,6 +165,35 @@ pub fn conv2d(
     bias: Option<&[f32]>,
     p: Conv2dParams,
 ) -> Result<Tensor> {
+    conv2d_fused(input, weight, bias, Act::Identity, p)
+}
+
+/// [`conv2d`] with the activation fused into the GEMM epilogue.
+pub fn conv2d_fused(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    act: Act,
+    p: Conv2dParams,
+) -> Result<Tensor> {
+    let (n, _, h, w) = input.shape().as_nchw()?;
+    let (c_out, _, kh, kw) = weight_dims(weight)?;
+    let mut out = Tensor::zeros([n, c_out, p.out_extent(h, kh), p.out_extent(w, kw)]);
+    conv2d_fused_into(input, weight, bias, act, p, &mut out)?;
+    Ok(out)
+}
+
+/// [`conv2d_fused`] writing into a caller-owned output tensor, so the
+/// training loop's steady state performs no heap allocation at all (the
+/// kernel temporaries already come from the scratch pool).
+pub fn conv2d_fused_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    act: Act,
+    p: Conv2dParams,
+    out: &mut Tensor,
+) -> Result<()> {
     let (n, c_in, h, w) = input.shape().as_nchw()?;
     let (c_out, c_in_w, kh, kw) = weight_dims(weight)?;
     if c_in != c_in_w {
@@ -141,26 +216,59 @@ pub fn conv2d(
     let w_out = p.out_extent(w, kw);
     let hw_out = h_out * w_out;
     let k = c_in * kh * kw;
-    let mut out = Tensor::zeros([n, c_out, h_out, w_out]);
-    let mut col = vec![0.0f32; k * hw_out];
-    for i in 0..n {
-        let img = &input.data()[i * c_in * h * w..(i + 1) * c_in * h * w];
+    if out.shape().dims() != [n, c_out, h_out, w_out] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, c_out, h_out, w_out],
+            got: out.shape().dims().to_vec(),
+            context: "conv2d_fused_into (output shape)",
+        });
+    }
+
+    // Pack the weight matrix once; every image multiplies against it.
+    let mut wpack = scratch::take(packed_a_len(c_out, k));
+    pack_a(weight.data(), c_out, k, &mut wpack);
+    let epi = match (bias, act) {
+        (None, Act::Identity) => Epilogue::None,
+        (None, Act::Relu) => Epilogue::Relu,
+        (Some(b), Act::Identity) => Epilogue::Bias(b),
+        (Some(b), Act::Relu) => Epilogue::BiasRelu(b),
+    };
+
+    let chw_in = c_in * h * w;
+    let batch_par = n > 1 && rayon::current_num_threads() > 1;
+    let image = |i: usize, dst: &mut [f32]| {
+        let img = &input.data()[i * chw_in..(i + 1) * chw_in];
+        let mut col = scratch::take(k * hw_out);
         im2col(img, (c_in, h, w), (kh, kw), p, &mut col);
-        let dst = &mut out.data_mut()[i * c_out * hw_out..(i + 1) * c_out * hw_out];
-        matmul_into(weight.data(), &col, dst, c_out, k, hw_out);
-        if let Some(b) = bias {
-            for (co, chunk) in dst.chunks_mut(hw_out).enumerate() {
-                let bv = b[co];
-                chunk.iter_mut().for_each(|x| *x += bv);
-            }
+        let mut bpack = scratch::take(packed_b_len(k, hw_out));
+        pack_b(&col, k, hw_out, &mut bpack);
+        if batch_par {
+            // Already on a rayon worker: keep the GEMM on this thread.
+            gemm_prepacked_seq(&wpack, &bpack, dst, c_out, k, hw_out, epi);
+        } else {
+            gemm_prepacked(&wpack, &bpack, dst, c_out, k, hw_out, epi);
+        }
+    };
+    let out_chunk = c_out * hw_out;
+    if batch_par {
+        out.data_mut()
+            .par_chunks_mut(out_chunk)
+            .enumerate()
+            .for_each(|(i, dst)| image(i, dst));
+    } else {
+        for (i, dst) in out.data_mut().chunks_mut(out_chunk).enumerate() {
+            image(i, dst);
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Gradients of [`conv2d`] with respect to input, weight and bias.
 ///
-/// Returns `(grad_input, grad_weight, grad_bias)`.
+/// Returns `(grad_input, grad_weight, grad_bias)`. Per-image gradient
+/// contributions are computed in parallel into disjoint scratch and reduced
+/// sequentially in ascending image order, so results are bitwise identical
+/// at any thread count.
 pub fn conv2d_backward(
     input: &Tensor,
     weight: &Tensor,
@@ -181,35 +289,100 @@ pub fn conv2d_backward(
     }
     let hw_out = h_out * w_out;
     let k = c_in * kh * kw;
+    let chw_in = c_in * h * w;
 
     let mut grad_input = Tensor::zeros([n, c_in, h, w]);
-    let mut grad_weight = Tensor::zeros(weight.shape().clone());
-    let mut grad_bias = vec![0.0f32; c_out];
 
-    let mut col = vec![0.0f32; k * hw_out];
-    let mut col_grad = vec![0.0f32; k * hw_out];
-    let mut gw_acc = vec![0.0f32; c_out * k];
+    // Pack Wᵀ (K×C_out) once for the input-gradient GEMMs.
+    let mut wt_pack = scratch::take(packed_a_len(k, c_out));
+    pack_a_transposed(weight.data(), k, c_out, &mut wt_pack);
 
-    for i in 0..n {
-        let img = &input.data()[i * c_in * h * w..(i + 1) * c_in * h * w];
+    // Disjoint per-image accumulators for the cross-batch reductions.
+    let mut gw_all = scratch::take(n * c_out * k);
+    let mut gb_all = scratch::take(n * c_out);
+
+    let batch_par = n > 1 && rayon::current_num_threads() > 1;
+    let image = |i: usize, gi: &mut [f32], gw_i: &mut [f32], gb_i: &mut [f32]| {
+        let img = &input.data()[i * chw_in..(i + 1) * chw_in];
         let go = &grad_out.data()[i * c_out * hw_out..(i + 1) * c_out * hw_out];
 
         // bias gradient: per-channel sums of grad_out
-        for (co, chunk) in go.chunks(hw_out).enumerate() {
-            grad_bias[co] += chunk.iter().sum::<f32>();
+        for (co, chunk) in go.chunks_exact(hw_out).enumerate() {
+            gb_i[co] = chunk.iter().sum::<f32>();
         }
 
         // weight gradient: grad_out (C_out×HW) · colᵀ (HW×K)
+        let mut col = scratch::take(k * hw_out);
         im2col(img, (c_in, h, w), (kh, kw), p, &mut col);
-        matmul_a_bt(go, &col, &mut gw_acc, c_out, hw_out, k);
-        for (a, &b) in grad_weight.data_mut().iter_mut().zip(gw_acc.iter()) {
+        let mut go_apack = scratch::take(packed_a_len(c_out, hw_out));
+        pack_a(go, c_out, hw_out, &mut go_apack);
+        let mut colt_pack = scratch::take(packed_b_len(hw_out, k));
+        pack_b_transposed(&col, hw_out, k, &mut colt_pack);
+        let gemm: GemmFn = if batch_par {
+            gemm_prepacked_seq
+        } else {
+            gemm_prepacked
+        };
+        gemm(
+            &go_apack,
+            &colt_pack,
+            gw_i,
+            c_out,
+            hw_out,
+            k,
+            Epilogue::None,
+        );
+
+        // input gradient: Wᵀ (K×C_out) · grad_out (C_out×HW), then col2im.
+        // `col` has served its purpose; reuse it as the gradient matrix.
+        let mut go_bpack = scratch::take(packed_b_len(c_out, hw_out));
+        pack_b(go, c_out, hw_out, &mut go_bpack);
+        gemm(
+            &wt_pack,
+            &go_bpack,
+            &mut col,
+            k,
+            c_out,
+            hw_out,
+            Epilogue::None,
+        );
+        col2im(&col, (c_in, h, w), (kh, kw), p, gi);
+    };
+
+    let gw_len = c_out * k;
+    if batch_par {
+        grad_input
+            .data_mut()
+            .par_chunks_mut(chw_in)
+            .zip(gw_all.par_chunks_mut(gw_len))
+            .zip(gb_all.par_chunks_mut(c_out))
+            .enumerate()
+            .for_each(|(i, ((gi, gw_i), gb_i))| image(i, gi, gw_i, gb_i));
+    } else {
+        for (i, ((gi, gw_i), gb_i)) in grad_input
+            .data_mut()
+            .chunks_mut(chw_in)
+            .zip(gw_all.chunks_mut(gw_len))
+            .zip(gb_all.chunks_mut(c_out))
+            .enumerate()
+        {
+            image(i, gi, gw_i, gb_i);
+        }
+    }
+
+    // Fixed-order reduction across the batch: ascending image index,
+    // regardless of which worker produced each contribution.
+    let mut grad_weight = Tensor::zeros(weight.shape().clone());
+    for gw_i in gw_all.chunks_exact(gw_len) {
+        for (a, &b) in grad_weight.data_mut().iter_mut().zip(gw_i.iter()) {
             *a += b;
         }
-
-        // input gradient: Wᵀ (K×C_out) · grad_out (C_out×HW), then col2im
-        matmul_at_b(weight.data(), go, &mut col_grad, c_out, k, hw_out);
-        let gi = &mut grad_input.data_mut()[i * c_in * h * w..(i + 1) * c_in * h * w];
-        col2im(&col_grad, (c_in, h, w), (kh, kw), p, gi);
+    }
+    let mut grad_bias = vec![0.0f32; c_out];
+    for gb_i in gb_all.chunks_exact(c_out) {
+        for (a, &b) in grad_bias.iter_mut().zip(gb_i.iter()) {
+            *a += b;
+        }
     }
     Ok((grad_input, grad_weight, grad_bias))
 }
@@ -250,6 +423,53 @@ pub fn conv2d_reference(
         }
     }
     Ok(out)
+}
+
+/// Direct-loop gradients used as the test oracle for [`conv2d_backward`].
+///
+/// Returns `(grad_input, grad_weight, grad_bias)` computed straight from
+/// the definition of the convolution adjoints — no im2col, no GEMM.
+#[allow(clippy::needless_range_loop)]
+pub fn conv2d_backward_reference(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    p: Conv2dParams,
+) -> Result<(Tensor, Tensor, Vec<f32>)> {
+    let (n, c_in, h, w) = input.shape().as_nchw()?;
+    let (c_out, _, kh, kw) = weight_dims(weight)?;
+    let h_out = p.out_extent(h, kh);
+    let w_out = p.out_extent(w, kw);
+    let mut grad_input = Tensor::zeros([n, c_in, h, w]);
+    let mut grad_weight = Tensor::zeros(weight.shape().clone());
+    let mut grad_bias = vec![0.0f32; c_out];
+    for i in 0..n {
+        for co in 0..c_out {
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let g = grad_out.at(&[i, co, oy, ox]);
+                    grad_bias[co] += g;
+                    for ci in 0..c_in {
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                                let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                                if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let (iy, ix) = (iy as usize, ix as usize);
+                                *grad_input.at_mut(&[i, ci, iy, ix]) +=
+                                    g * weight.at(&[co, ci, ky, kx]);
+                                *grad_weight.at_mut(&[co, ci, ky, kx]) +=
+                                    g * input.at(&[i, ci, iy, ix]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((grad_input, grad_weight, grad_bias))
 }
 
 #[cfg(test)]
@@ -302,10 +522,44 @@ mod tests {
         assert!(conv2d(&x, &w, None, Conv2dParams::default()).is_err());
     }
 
+    #[test]
+    fn fused_relu_matches_unfused() {
+        let p = Conv2dParams::same(3);
+        let x = rand_tensor(&[2, 3, 6, 6], 21);
+        let w = rand_tensor(&[4, 3, 3, 3], 22);
+        let b = vec![0.1, -0.3, 0.0, 0.2];
+        let fused = conv2d_fused(&x, &w, Some(&b), Act::Relu, p).unwrap();
+        let unfused = conv2d(&x, &w, Some(&b), p).unwrap();
+        for (f, u) in fused.data().iter().zip(unfused.data().iter()) {
+            // Bitwise: the fused epilogue applies the identical bias add
+            // before clamping.
+            assert_eq!(*f, u.max(0.0));
+        }
+    }
+
+    #[test]
+    fn fused_into_rejects_wrong_output_shape() {
+        let x = rand_tensor(&[1, 1, 5, 5], 2);
+        let w = rand_tensor(&[1, 1, 3, 3], 3);
+        let mut out = Tensor::zeros([1, 1, 5, 5]); // valid conv shrinks to 3×3
+        let r = conv2d_fused_into(
+            &x,
+            &w,
+            None,
+            Act::Identity,
+            Conv2dParams::default(),
+            &mut out,
+        );
+        assert!(r.is_err());
+    }
+
     /// Finite-difference check of all three gradients on a tiny problem.
     #[test]
     fn backward_matches_finite_differences() {
-        let p = Conv2dParams { stride: 1, padding: 1 };
+        let p = Conv2dParams {
+            stride: 1,
+            padding: 1,
+        };
         let x = rand_tensor(&[1, 2, 4, 4], 10);
         let w = rand_tensor(&[2, 2, 3, 3], 11);
         let b = vec![0.05f32, -0.07];
@@ -325,7 +579,11 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
             let fd = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
-            assert!((gi.data()[idx] - fd).abs() < 1e-2, "input grad idx {idx}: {} vs {fd}", gi.data()[idx]);
+            assert!(
+                (gi.data()[idx] - fd).abs() < 1e-2,
+                "input grad idx {idx}: {} vs {fd}",
+                gi.data()[idx]
+            );
         }
         // weight gradient
         for &idx in &[0usize, 9, 20] {
@@ -334,12 +592,42 @@ mod tests {
             let mut wm = w.clone();
             wm.data_mut()[idx] -= eps;
             let fd = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
-            assert!((gw.data()[idx] - fd).abs() < 1e-1, "weight grad idx {idx}: {} vs {fd}", gw.data()[idx]);
+            assert!(
+                (gw.data()[idx] - fd).abs() < 1e-1,
+                "weight grad idx {idx}: {} vs {fd}",
+                gw.data()[idx]
+            );
         }
         // bias gradient: dL/db[c] = number of output positions
         let hw = out.shape().dim(2) * out.shape().dim(3);
         for v in &gb {
             assert!((v - hw as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn backward_matches_direct_reference() {
+        for &(stride, padding) in &[(1, 1), (2, 0)] {
+            let p = Conv2dParams { stride, padding };
+            let x = rand_tensor(&[2, 3, 6, 5], 31);
+            let w = rand_tensor(&[4, 3, 3, 3], 32);
+            let go_shape = conv2d(&x, &w, None, p).unwrap();
+            let go = rand_tensor(go_shape.shape().dims(), 33);
+            let (gi, gw, gb) = conv2d_backward(&x, &w, &go, p).unwrap();
+            let (ri, rw, rb) = conv2d_backward_reference(&x, &w, &go, p).unwrap();
+            assert!(
+                gi.allclose(&ri, 1e-3),
+                "grad_input {}",
+                gi.max_abs_diff(&ri)
+            );
+            assert!(
+                gw.allclose(&rw, 1e-3),
+                "grad_weight {}",
+                gw.max_abs_diff(&rw)
+            );
+            for (a, b) in gb.iter().zip(rb.iter()) {
+                assert!((a - b).abs() < 1e-3);
+            }
         }
     }
 
@@ -358,5 +646,39 @@ mod tests {
         let y = conv2d(&batch, &w, None, p).unwrap();
         assert_eq!(&y.data()[..50], ya.data());
         assert_eq!(&y.data()[50..], yb.data());
+    }
+
+    /// The batch-parallel backward must equal the sum of per-image calls in
+    /// ascending image order, bitwise — this is the thread-count
+    /// determinism contract for the cross-batch reductions.
+    #[test]
+    fn backward_batch_reduction_is_bitwise_deterministic() {
+        let p = Conv2dParams::same(3);
+        let n = 3;
+        let x = rand_tensor(&[n, 2, 6, 6], 51);
+        let w = rand_tensor(&[4, 2, 3, 3], 52);
+        let go = rand_tensor(&[n, 4, 6, 6], 53);
+        let (gi, gw, gb) = conv2d_backward(&x, &w, &go, p).unwrap();
+
+        let mut gw_sum = vec![0.0f32; gw.data().len()];
+        let mut gb_sum = vec![0.0f32; gb.len()];
+        let chw = 2 * 6 * 6;
+        let ghw = 4 * 6 * 6;
+        for i in 0..n {
+            let xi =
+                Tensor::from_vec([1, 2, 6, 6], x.data()[i * chw..(i + 1) * chw].to_vec()).unwrap();
+            let goi =
+                Tensor::from_vec([1, 4, 6, 6], go.data()[i * ghw..(i + 1) * ghw].to_vec()).unwrap();
+            let (gii, gwi, gbi) = conv2d_backward(&xi, &w, &goi, p).unwrap();
+            assert_eq!(&gi.data()[i * chw..(i + 1) * chw], gii.data());
+            for (a, &b) in gw_sum.iter_mut().zip(gwi.data().iter()) {
+                *a += b;
+            }
+            for (a, &b) in gb_sum.iter_mut().zip(gbi.iter()) {
+                *a += b;
+            }
+        }
+        assert_eq!(gw.data(), &gw_sum[..]);
+        assert_eq!(&gb[..], &gb_sum[..]);
     }
 }

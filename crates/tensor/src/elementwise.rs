@@ -77,7 +77,10 @@ pub fn add_assign(a: &mut Tensor, b: &Tensor) -> Result<()> {
             .zip(b.data().par_iter())
             .for_each(|(x, &y)| *x += y);
     } else {
-        a.data_mut().iter_mut().zip(b.data().iter()).for_each(|(x, &y)| *x += y);
+        a.data_mut()
+            .iter_mut()
+            .zip(b.data().iter())
+            .for_each(|(x, &y)| *x += y);
     }
     Ok(())
 }

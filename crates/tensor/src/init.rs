@@ -73,7 +73,11 @@ mod tests {
     fn normal_has_roughly_correct_moments() {
         let t = normal([20000], 2.0, 3);
         let mean = t.data().iter().sum::<f32>() / t.numel() as f32;
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / t.numel() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());

@@ -28,8 +28,7 @@ pub fn encode_ppm(t: &Tensor) -> Result<Vec<u8>> {
         )));
     }
     let mut out = Vec::with_capacity(32 + 3 * h * w);
-    write!(out, "P6\n{w} {h}\n255\n")
-        .map_err(|e| TensorError::InvalidArgument(e.to_string()))?;
+    write!(out, "P6\n{w} {h}\n255\n").map_err(|e| TensorError::InvalidArgument(e.to_string()))?;
     let d = t.data();
     let plane = h * w;
     for i in 0..plane {
@@ -69,10 +68,15 @@ pub fn decode_ppm(bytes: &[u8]) -> Result<Tensor> {
     if tokens[0] != "P6" {
         return Err(TensorError::InvalidArgument("not a binary PPM (P6)".into()));
     }
-    let w: usize = tokens[1].parse().map_err(|_| TensorError::InvalidArgument("bad width".into()))?;
-    let h: usize = tokens[2].parse().map_err(|_| TensorError::InvalidArgument("bad height".into()))?;
-    let maxval: f32 =
-        tokens[3].parse().map_err(|_| TensorError::InvalidArgument("bad maxval".into()))?;
+    let w: usize = tokens[1]
+        .parse()
+        .map_err(|_| TensorError::InvalidArgument("bad width".into()))?;
+    let h: usize = tokens[2]
+        .parse()
+        .map_err(|_| TensorError::InvalidArgument("bad height".into()))?;
+    let maxval: f32 = tokens[3]
+        .parse()
+        .map_err(|_| TensorError::InvalidArgument("bad maxval".into()))?;
     let mut pixels = vec![0u8; 3 * w * h];
     r.read_exact(&mut pixels)
         .map_err(|_| TensorError::InvalidArgument("truncated PPM payload".into()))?;
@@ -129,7 +133,10 @@ mod tests {
     fn bad_inputs_are_rejected() {
         assert!(encode_ppm(&Tensor::zeros([1, 2, 2, 2])).is_err());
         assert!(decode_ppm(b"P5\n1 1\n255\n\0").is_err());
-        assert!(decode_ppm(b"P6\n4 4\n255\nxx").is_err(), "truncated payload");
+        assert!(
+            decode_ppm(b"P6\n4 4\n255\nxx").is_err(),
+            "truncated payload"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod matmul;
 pub mod pool;
 pub mod reduce;
 pub mod resize;
+pub mod scratch;
 pub mod shape;
 pub mod shuffle;
 pub mod tensor;
@@ -34,7 +35,11 @@ pub use tensor::Tensor;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TensorError {
     /// Two shapes that were required to match did not.
-    ShapeMismatch { expected: Vec<usize>, got: Vec<usize>, context: &'static str },
+    ShapeMismatch {
+        expected: Vec<usize>,
+        got: Vec<usize>,
+        context: &'static str,
+    },
     /// An argument was structurally invalid (e.g. zero-size kernel).
     InvalidArgument(String),
 }
@@ -42,8 +47,15 @@ pub enum TensorError {
 impl std::fmt::Display for TensorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TensorError::ShapeMismatch { expected, got, context } => {
-                write!(f, "shape mismatch in {context}: expected {expected:?}, got {got:?}")
+            TensorError::ShapeMismatch {
+                expected,
+                got,
+                context,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch in {context}: expected {expected:?}, got {got:?}"
+                )
             }
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }

@@ -7,7 +7,9 @@ use crate::{Result, Tensor, TensorError};
 pub fn max_pool2d(input: &Tensor, k: usize, s: usize) -> Result<(Tensor, Vec<usize>)> {
     let (n, c, h, w) = input.shape().as_nchw()?;
     if k == 0 || s == 0 {
-        return Err(TensorError::InvalidArgument("pool kernel/stride must be > 0".into()));
+        return Err(TensorError::InvalidArgument(
+            "pool kernel/stride must be > 0".into(),
+        ));
     }
     let h_out = (h - k) / s + 1;
     let w_out = (w - k) / s + 1;

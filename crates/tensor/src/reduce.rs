@@ -37,7 +37,9 @@ pub fn mean_sq(t: &Tensor) -> f32 {
 pub fn argmax_rows(t: &Tensor) -> Result<Vec<usize>> {
     let (rows, cols) = t.shape().as_2d()?;
     if cols == 0 {
-        return Err(TensorError::InvalidArgument("argmax over zero columns".into()));
+        return Err(TensorError::InvalidArgument(
+            "argmax over zero columns".into(),
+        ));
     }
     Ok((0..rows)
         .map(|r| {

@@ -22,19 +22,17 @@ fn cubic(x: f32) -> f32 {
 pub fn bicubic_resize(input: &Tensor, out_h: usize, out_w: usize) -> Result<Tensor> {
     let (n, c, h, w) = input.shape().as_nchw()?;
     if out_h == 0 || out_w == 0 {
-        return Err(TensorError::InvalidArgument("bicubic target size must be > 0".into()));
+        return Err(TensorError::InvalidArgument(
+            "bicubic target size must be > 0".into(),
+        ));
     }
     let sy = h as f32 / out_h as f32;
     let sx = w as f32 / out_w as f32;
     let mut out = Tensor::zeros([n, c, out_h, out_w]);
 
     // Precompute per-output-column source taps and weights (shared by rows).
-    let xtaps: Vec<([usize; 4], [f32; 4])> = (0..out_w)
-        .map(|ox| taps(ox, sx, w))
-        .collect();
-    let ytaps: Vec<([usize; 4], [f32; 4])> = (0..out_h)
-        .map(|oy| taps(oy, sy, h))
-        .collect();
+    let xtaps: Vec<([usize; 4], [f32; 4])> = (0..out_w).map(|ox| taps(ox, sx, w)).collect();
+    let ytaps: Vec<([usize; 4], [f32; 4])> = (0..out_h).map(|oy| taps(oy, sy, h)).collect();
 
     let src = input.data();
     let dst = out.data_mut();
@@ -98,7 +96,9 @@ pub fn bicubic_downsample(input: &Tensor, factor: usize) -> Result<Tensor> {
 pub fn bicubic_upsample(input: &Tensor, factor: usize) -> Result<Tensor> {
     let (_, _, h, w) = input.shape().as_nchw()?;
     if factor == 0 {
-        return Err(TensorError::InvalidArgument("upsample factor must be > 0".into()));
+        return Err(TensorError::InvalidArgument(
+            "upsample factor must be > 0".into(),
+        ));
     }
     bicubic_resize(input, h * factor, w * factor)
 }

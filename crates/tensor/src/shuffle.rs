@@ -28,8 +28,7 @@ pub fn pixel_shuffle(input: &Tensor, r: usize) -> Result<Tensor> {
                     let dbase = ((i * c_out) + co) * ho * wo;
                     for y in 0..h {
                         for x in 0..w {
-                            dst[dbase + (y * r + dy) * wo + (x * r + dx)] =
-                                src[sbase + y * w + x];
+                            dst[dbase + (y * r + dy) * wo + (x * r + dx)] = src[sbase + y * w + x];
                         }
                     }
                 }
@@ -62,8 +61,7 @@ pub fn pixel_unshuffle(input: &Tensor, r: usize) -> Result<Tensor> {
                     let sbase = ((i * c) + co) * ho * wo;
                     for y in 0..h {
                         for x in 0..w {
-                            dst[dbase + y * w + x] =
-                                src[sbase + (y * r + dy) * wo + (x * r + dx)];
+                            dst[dbase + y * w + x] = src[sbase + (y * r + dy) * wo + (x * r + dx)];
                         }
                     }
                 }

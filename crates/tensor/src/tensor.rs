@@ -30,7 +30,10 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// All-ones tensor of the given shape.
@@ -42,12 +45,18 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// A scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::new(Vec::new()), data: vec![value] }
+        Tensor {
+            shape: Shape::new(Vec::new()),
+            data: vec![value],
+        }
     }
 
     /// The shape.
@@ -114,7 +123,10 @@ impl Tensor {
 
     /// Maximum absolute difference to another tensor of identical shape.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
-        assert_eq!(self.shape, other.shape, "max_abs_diff requires equal shapes");
+        assert_eq!(
+            self.shape, other.shape,
+            "max_abs_diff requires equal shapes"
+        );
         self.data
             .iter()
             .zip(other.data.iter())

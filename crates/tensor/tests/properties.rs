@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use dlsr_tensor::conv::{conv2d, conv2d_reference, Conv2dParams};
+use dlsr_tensor::conv::{
+    conv2d, conv2d_backward, conv2d_backward_reference, conv2d_reference, Conv2dParams,
+};
 use dlsr_tensor::matmul::{matmul, transpose};
 use dlsr_tensor::shuffle::{pixel_shuffle, pixel_unshuffle};
 use dlsr_tensor::{elementwise, reduce, resize, Tensor};
@@ -72,25 +74,61 @@ proptest! {
         prop_assert!(prod.allclose(&a, 1e-5));
     }
 
-    /// The im2col convolution agrees with the direct reference for random
-    /// shapes, strides and paddings.
+    /// The batch-parallel im2col+GEMM convolution agrees with the direct
+    /// reference across the full hyper-parameter grid the stack trains
+    /// with: stride ∈ {1,2}, padding ∈ {0,1,2}, kernel ∈ {1,3,5},
+    /// batch ∈ {1,3,4}.
     #[test]
     fn conv_matches_reference(
-        n in 1usize..3,
+        n_idx in 0usize..3,
         cin in 1usize..4,
         cout in 1usize..4,
-        hw in 3usize..8,
+        hw in 5usize..9,
         stride in 1usize..3,
-        padding in 0usize..2,
+        padding in 0usize..3,
+        k_idx in 0usize..3,
+        with_bias in proptest::bool::ANY,
         seed in 0u64..1000,
     ) {
+        let n = [1usize, 3, 4][n_idx];
+        let k = [1usize, 3, 5][k_idx];
         let p = Conv2dParams { stride, padding };
         let x = dlsr_tensor::init::uniform([n, cin, hw, hw], -1.0, 1.0, seed);
-        let w = dlsr_tensor::init::uniform([cout, cin, 3, 3], -1.0, 1.0, seed + 1);
-        prop_assume!(p.out_extent(hw, 3) > 0);
-        let fast = conv2d(&x, &w, None, p).unwrap();
-        let slow = conv2d_reference(&x, &w, None, p).unwrap();
+        let w = dlsr_tensor::init::uniform([cout, cin, k, k], -1.0, 1.0, seed + 1);
+        let bias: Vec<f32> = (0..cout).map(|i| 0.1 * i as f32 - 0.2).collect();
+        let b = with_bias.then_some(&bias[..]);
+        let fast = conv2d(&x, &w, b, p).unwrap();
+        let slow = conv2d_reference(&x, &w, b, p).unwrap();
         prop_assert!(fast.allclose(&slow, 1e-3), "diff {}", fast.max_abs_diff(&slow));
+    }
+
+    /// All three backward gradients agree with the direct-loop adjoint
+    /// reference over the same hyper-parameter grid as the forward test.
+    #[test]
+    fn conv_backward_matches_reference(
+        n_idx in 0usize..3,
+        cin in 1usize..3,
+        cout in 1usize..3,
+        hw in 5usize..8,
+        stride in 1usize..3,
+        padding in 0usize..3,
+        k_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let n = [1usize, 3, 4][n_idx];
+        let k = [1usize, 3, 5][k_idx];
+        let p = Conv2dParams { stride, padding };
+        let x = dlsr_tensor::init::uniform([n, cin, hw, hw], -1.0, 1.0, seed);
+        let w = dlsr_tensor::init::uniform([cout, cin, k, k], -1.0, 1.0, seed + 1);
+        let (ho, wo) = (p.out_extent(hw, k), p.out_extent(hw, k));
+        let go = dlsr_tensor::init::uniform([n, cout, ho, wo], -1.0, 1.0, seed + 2);
+        let (gi, gw, gb) = conv2d_backward(&x, &w, &go, p).unwrap();
+        let (ri, rw, rb) = conv2d_backward_reference(&x, &w, &go, p).unwrap();
+        prop_assert!(gi.allclose(&ri, 1e-3), "grad_input diff {}", gi.max_abs_diff(&ri));
+        prop_assert!(gw.allclose(&rw, 1e-3), "grad_weight diff {}", gw.max_abs_diff(&rw));
+        for (a, b) in gb.iter().zip(rb.iter()) {
+            prop_assert!((a - b).abs() < 1e-3, "grad_bias {a} vs {b}");
+        }
     }
 
     /// pixel_unshuffle inverts pixel_shuffle for any compatible shape.

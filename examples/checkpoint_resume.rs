@@ -9,9 +9,18 @@ use dlsr::nn::checkpoint::StateDict;
 use dlsr::prelude::*;
 
 fn make_loader() -> DataLoader {
-    let spec = SyntheticImageSpec { height: 48, width: 48, ..Default::default() };
-    DataLoader::new(Div2kSynthetic::new(spec, 6, 2, 77), 12, 4, ShardSpec::single())
-        .with_augmentation(true)
+    let spec = SyntheticImageSpec {
+        height: 48,
+        width: 48,
+        ..Default::default()
+    };
+    DataLoader::new(
+        Div2kSynthetic::new(spec, 6, 2, 77),
+        12,
+        4,
+        ShardSpec::single(),
+    )
+    .with_augmentation(true)
 }
 
 fn train_steps(
@@ -42,8 +51,13 @@ fn main() {
     let mut opt = Adam::new(2e-3);
     let mut loader = make_loader();
     let loss_at_20 = train_steps(&mut model, &mut opt, &mut loader, 0, 20);
-    StateDict::from_module(&mut model).save(&ckpt_path).expect("save checkpoint");
-    println!("trained 20 steps (loss {loss_at_20:.4}), checkpointed to {}", ckpt_path.display());
+    StateDict::from_module(&mut model)
+        .save(&ckpt_path)
+        .expect("save checkpoint");
+    println!(
+        "trained 20 steps (loss {loss_at_20:.4}), checkpointed to {}",
+        ckpt_path.display()
+    );
 
     // phase 2: keep training the original for 10 more steps (the reference)
     let reference_loss = train_steps(&mut model, &mut opt, &mut loader, 20, 30);

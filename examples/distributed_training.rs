@@ -24,8 +24,14 @@ fn main() {
     };
 
     for (label, mpi) in [
-        ("default MPI (CUDA_VISIBLE_DEVICES pinned, no IPC)", MpiConfig::default_mpi()),
-        ("MPI-Opt (MV2_VISIBLE_DEVICES + registration cache)", MpiConfig::mpi_opt()),
+        (
+            "default MPI (CUDA_VISIBLE_DEVICES pinned, no IPC)",
+            MpiConfig::default_mpi(),
+        ),
+        (
+            "MPI-Opt (MV2_VISIBLE_DEVICES + registration cache)",
+            MpiConfig::mpi_opt(),
+        ),
     ] {
         let result = train_real(&topo, mpi, &cfg);
         println!("-- {label} --");

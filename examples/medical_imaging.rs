@@ -39,8 +39,7 @@ fn train_and_eval(scale: usize) -> (f32, f32) {
     let mut loader = DataLoader::new(dataset, 12, 6, ShardSpec::single());
     for step in 0..250u64 {
         let (lr_batch, hr_batch) = loader.batch(0, step);
-        let bicubic =
-            dlsr::tensor::resize::bicubic_upsample(&lr_batch, scale).expect("bicubic");
+        let bicubic = dlsr::tensor::resize::bicubic_upsample(&lr_batch, scale).expect("bicubic");
         let target = dlsr::tensor::elementwise::sub(&hr_batch, &bicubic).expect("target");
         let pred = model.forward(&lr_batch).expect("forward");
         let (_, grad) = l1_loss(&pred, &target).expect("loss");

@@ -11,10 +11,21 @@ fn main() {
     let topo = ClusterTopology::lassen(1); // 1 node × 4 GPUs, as in §III-B
     let steps = 100;
 
-    println!("== hvprof: {} training steps of {} on 4 GPUs ==\n", steps, workload.name);
+    println!(
+        "== hvprof: {} training steps of {} on 4 GPUs ==\n",
+        steps, workload.name
+    );
 
-    let default_run =
-        run_training(&topo, Scenario::MpiDefault, &workload, &tensors, 4, 2, steps, 3);
+    let default_run = run_training(
+        &topo,
+        Scenario::MpiDefault,
+        &workload,
+        &tensors,
+        4,
+        2,
+        steps,
+        3,
+    );
     let opt_run = run_training(&topo, Scenario::MpiOpt, &workload, &tensors, 4, 2, steps, 3);
 
     println!("-- default MPI --");
@@ -23,7 +34,11 @@ fn main() {
     print!("{}", opt_run.profile.render(Collective::Allreduce));
 
     println!("\n== Table I: Allreduce time performance improvement ==\n");
-    let rows = compare(&default_run.profile, &opt_run.profile, Collective::Allreduce);
+    let rows = compare(
+        &default_run.profile,
+        &opt_run.profile,
+        Collective::Allreduce,
+    );
     print!("{}", render_table(&rows));
 
     let total = rows.last().expect("total row");

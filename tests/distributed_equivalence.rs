@@ -7,15 +7,25 @@
 use dlsr::prelude::*;
 
 fn cfg() -> RealTrainConfig {
-    RealTrainConfig { steps: 6, ..Default::default() }
+    RealTrainConfig {
+        steps: 6,
+        ..Default::default()
+    }
 }
 
 fn world(n: usize) -> ClusterTopology {
-    ClusterTopology { name: format!("w{n}"), nodes: 1, gpus_per_node: n }
+    ClusterTopology {
+        name: format!("w{n}"),
+        nodes: 1,
+        gpus_per_node: n,
+    }
 }
 
 fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
 }
 
 #[test]
@@ -53,7 +63,10 @@ fn parameter_broadcast_aligns_differently_seeded_ranks() {
         let mut model = Edsr::new(EdsrConfig::tiny(), 1000 + c.rank() as u64);
         let mut prof = Hvprof::new();
         broadcast_parameters(&mut model, c, 0, &mut prof);
-        (model.flatten_params(), prof.total_seconds(Collective::Bcast))
+        (
+            model.flatten_params(),
+            prof.total_seconds(Collective::Bcast),
+        )
     });
     let reference = &res.ranks[0].0;
     for (r, (params, bcast_s)) in res.ranks.iter().enumerate() {
@@ -66,7 +79,11 @@ fn parameter_broadcast_aligns_differently_seeded_ranks() {
 
 #[test]
 fn sharded_loader_partitions_the_global_batch_exactly() {
-    let spec = SyntheticImageSpec { height: 32, width: 32, ..Default::default() };
+    let spec = SyntheticImageSpec {
+        height: 32,
+        width: 32,
+        ..Default::default()
+    };
     let make = || Div2kSynthetic::new(spec, 4, 2, 7);
     let mut single = DataLoader::new(make(), 8, 8, ShardSpec::single());
     let (all_lr, all_hr) = single.batch(3, 14);
@@ -77,8 +94,16 @@ fn sharded_loader_partitions_the_global_batch_exactly() {
         let (lr, hr) = shard.batch(3, 14);
         let n_lr = lr.numel();
         let n_hr = hr.numel();
-        assert_eq!(&all_lr.data()[offset_lr..offset_lr + n_lr], lr.data(), "rank {rank} LR");
-        assert_eq!(&all_hr.data()[offset_hr..offset_hr + n_hr], hr.data(), "rank {rank} HR");
+        assert_eq!(
+            &all_lr.data()[offset_lr..offset_lr + n_lr],
+            lr.data(),
+            "rank {rank} LR"
+        );
+        assert_eq!(
+            &all_hr.data()[offset_hr..offset_hr + n_hr],
+            hr.data(),
+            "rank {rank} HR"
+        );
         offset_lr += n_lr;
         offset_hr += n_hr;
     }

@@ -30,13 +30,21 @@ fn ipc_open_fails_under_pinned_mask_with_actionable_error() {
     };
     let handle = registry.get_mem_handle(buf);
     let err = registry
-        .open_mem_handle(handle, GpuId { node: 0, local: 0 }, &DeviceEnv::default_pinned(0))
+        .open_mem_handle(
+            handle,
+            GpuId { node: 0, local: 0 },
+            &DeviceEnv::default_pinned(0),
+        )
         .unwrap_err();
     assert!(matches!(err, IpcError::DeviceNotVisible { .. }));
     assert!(err.to_string().contains("CUDA_VISIBLE_DEVICES"), "{err}");
     // the fix makes the same open succeed
     assert!(registry
-        .open_mem_handle(handle, GpuId { node: 0, local: 0 }, &DeviceEnv::mpi_opt(0, 4))
+        .open_mem_handle(
+            handle,
+            GpuId { node: 0, local: 0 },
+            &DeviceEnv::mpi_opt(0, 4)
+        )
         .is_ok());
 }
 
@@ -47,20 +55,30 @@ fn checkpoint_architecture_mismatch_is_rejected() {
     let mut small = Edsr::new(EdsrConfig::tiny(), 1);
     let dict = StateDict::from_module(&mut small);
     let mut wide = Edsr::new(
-        EdsrConfig { n_feats: 16, ..EdsrConfig::tiny() },
+        EdsrConfig {
+            n_feats: 16,
+            ..EdsrConfig::tiny()
+        },
         1,
     );
     let err = dict.load_into(&mut wide).unwrap_err();
     let msg = err.to_string();
     assert!(matches!(err, CheckpointError::Mismatch(_)));
-    assert!(msg.contains("head.weight"), "should name the first bad tensor: {msg}");
+    assert!(
+        msg.contains("head.weight"),
+        "should name the first bad tensor: {msg}"
+    );
 }
 
 /// Misconfigured sharding fails at construction, not mid-training.
 #[test]
 #[should_panic(expected = "not divisible")]
 fn indivisible_global_batch_panics_at_loader_construction() {
-    let spec = SyntheticImageSpec { height: 32, width: 32, ..Default::default() };
+    let spec = SyntheticImageSpec {
+        height: 32,
+        width: 32,
+        ..Default::default()
+    };
     let ds = Div2kSynthetic::new(spec, 2, 2, 1);
     let _ = DataLoader::new(ds, 8, 7, ShardSpec { rank: 0, world: 4 });
 }

@@ -29,7 +29,9 @@ fn throughput_grows_with_gpu_count() {
 fn efficiency_degrades_with_scale() {
     let (w, tensors) = measured();
     let pts = scaling_sweep(&[1, 4, 16], Scenario::MpiDefault, &w, &tensors, 4, 1, 4, 5);
-    assert!(pts.iter().all(|p| p.efficiency <= 1.02 && p.efficiency > 0.3));
+    assert!(pts
+        .iter()
+        .all(|p| p.efficiency <= 1.02 && p.efficiency > 0.3));
     assert!(
         pts[2].efficiency < pts[0].efficiency,
         "efficiency should fall with scale: {:?}",
@@ -48,9 +50,16 @@ fn optimization_ordering_at_multi_node_scale() {
         .map(|&s| run_training(&topo, s, &w, &tensors, 4, 1, 5, 5))
         .collect();
     let by = |s: Scenario| {
-        runs.iter().find(|r| r.scenario == s).expect("scenario present").images_per_sec
+        runs.iter()
+            .find(|r| r.scenario == s)
+            .expect("scenario present")
+            .images_per_sec
     };
-    let (default, reg, opt) = (by(Scenario::MpiDefault), by(Scenario::MpiReg), by(Scenario::MpiOpt));
+    let (default, reg, opt) = (
+        by(Scenario::MpiDefault),
+        by(Scenario::MpiReg),
+        by(Scenario::MpiOpt),
+    );
     assert!(opt > default, "MPI-Opt {opt} <= default {default}");
     assert!(reg >= default, "MPI-Reg {reg} < default {default}");
     assert!(opt >= reg, "MPI-Opt {opt} < MPI-Reg {reg}");
@@ -78,7 +87,10 @@ fn batch_sweep_shape() {
     let sweep = batch_sweep(&w, &[1, 2, 4, 8, 16, 32, 64]);
     let t: Vec<Option<f64>> = sweep.iter().map(|&(_, t)| t).collect();
     assert!(t[0].unwrap() < t[2].unwrap(), "batch 4 should beat batch 1");
-    assert!(t[2].unwrap() < t[4].unwrap(), "batch 16 should beat batch 4");
+    assert!(
+        t[2].unwrap() < t[4].unwrap(),
+        "batch 16 should beat batch 4"
+    );
     assert!(t[6].is_none(), "batch 64 must OOM on a 16 GB V100");
     // saturation: the 1→4 gain is larger than the 4→16 gain
     let g1 = t[2].unwrap() / t[0].unwrap();
@@ -95,8 +107,14 @@ fn figure1_anchors() {
     let resnet = resnet50_workload();
     let t_edsr = model.throughput(&edsr, 4, 1).expect("EDSR fits");
     let t_resnet = model.throughput(&resnet, 64, 1).expect("ResNet fits");
-    assert!((9.2..11.4).contains(&t_edsr), "EDSR {t_edsr} img/s vs paper 10.3");
-    assert!((320.0..400.0).contains(&t_resnet), "ResNet {t_resnet} img/s vs paper 360");
+    assert!(
+        (9.2..11.4).contains(&t_edsr),
+        "EDSR {t_edsr} img/s vs paper 10.3"
+    );
+    assert!(
+        (320.0..400.0).contains(&t_resnet),
+        "ResNet {t_resnet} img/s vs paper 360"
+    );
     // the headline disparity: ~35× more throughput for classification
     let ratio = t_resnet / t_edsr;
     assert!((25.0..45.0).contains(&ratio), "Fig 1 ratio {ratio}");

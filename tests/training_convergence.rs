@@ -5,7 +5,13 @@ use dlsr::prelude::*;
 use dlsr::tensor::{elementwise, resize};
 
 fn edge_spec() -> SyntheticImageSpec {
-    SyntheticImageSpec { height: 64, width: 64, shapes: 12, texture: 0.0, ..Default::default() }
+    SyntheticImageSpec {
+        height: 64,
+        width: 64,
+        shapes: 12,
+        texture: 0.0,
+        ..Default::default()
+    }
 }
 
 /// From-scratch EDSR training drives the L1 loss down by a large factor.
@@ -86,11 +92,17 @@ fn residual_edsr_beats_bicubic_on_held_out_image() {
 #[test]
 fn distributed_real_training_reduces_loss() {
     let topo = ClusterTopology::lassen(1);
-    let cfg = RealTrainConfig { steps: 25, ..Default::default() };
+    let cfg = RealTrainConfig {
+        steps: 25,
+        ..Default::default()
+    };
     let result = train_real(&topo, MpiConfig::mpi_opt(), &cfg);
     let first: f32 = result.losses[..5].iter().sum::<f32>() / 5.0;
     let last: f32 = result.losses[result.losses.len() - 5..].iter().sum::<f32>() / 5.0;
-    assert!(last < first, "distributed loss should fall: {first} -> {last}");
+    assert!(
+        last < first,
+        "distributed loss should fall: {first} -> {last}"
+    );
     // virtual time advanced and communication actually happened
     assert!(result.makespan > 0.0);
 }

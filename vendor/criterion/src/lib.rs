@@ -1,0 +1,317 @@
+//! Vendored, offline subset of the `criterion` API used by the `dlsr`
+//! workspace: `Criterion`, `benchmark_group`/`sample_size`/`bench_function`/
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is calibrated so one sample takes a
+//! few milliseconds, then `sample_size` samples are timed and the min /
+//! median / max ns-per-iteration are printed. There is no statistical
+//! regression analysis, plotting, or result persistence. `--test` (used by
+//! CI smoke runs) executes every benchmark body exactly once without
+//! timing; a bare positional argument filters benchmarks by substring,
+//! matching cargo-bench conventions.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id with only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::new(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: Some(name.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, called in a loop. In `--test` mode `f` runs once,
+    /// untimed.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Calibrate the per-sample iteration count so one sample lands
+        // near 5 ms, keeping total time bounded for slow kernels.
+        let target = Duration::from_millis(5);
+        let mut iters: u64 = 1;
+        let mut elapsed;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            elapsed = t0.elapsed();
+            if elapsed >= target || iters >= 1 << 24 {
+                break;
+            }
+            let scale = if elapsed.is_zero() {
+                16.0
+            } else {
+                (target.as_secs_f64() / elapsed.as_secs_f64()).clamp(1.5, 16.0)
+            };
+            iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+        }
+        self.samples_ns
+            .push(elapsed.as_secs_f64() * 1e9 / iters as f64);
+        for _ in 1..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+}
+
+/// Entry point mirroring criterion's `Criterion` struct.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Build from CLI arguments: `--test` enables smoke mode, the first
+    /// bare argument becomes a substring filter, other flags are ignored.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => c.test_mode = true,
+                // Flags with a value we must consume and ignore.
+                "--sample-size" | "--measurement-time" | "--warm-up-time" | "--save-baseline"
+                | "--baseline" | "--profile-time" => {
+                    args.next();
+                }
+                s if s.starts_with('-') => {}
+                s => {
+                    if c.filter.is_none() {
+                        c.filter = Some(s.to_owned());
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let name = id.into().label();
+        run_one(self, &name, 10, f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark (min 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label());
+        run_one(self.criterion, &label, self.sample_size, f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(self.criterion, &label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// End the group. Present for API parity; reporting is per-benchmark.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    criterion: &mut Criterion,
+    label: &str,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(filter) = &criterion.filter {
+        if !label.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        test_mode: criterion.test_mode,
+        sample_size,
+        samples_ns: Vec::with_capacity(sample_size),
+    };
+    f(&mut b);
+    if criterion.test_mode {
+        println!("Testing {label} ... ok");
+        return;
+    }
+    if b.samples_ns.is_empty() {
+        println!("{label}: no samples (closure never called Bencher::iter)");
+        return;
+    }
+    b.samples_ns.sort_by(|x, y| x.total_cmp(y));
+    let min = b.samples_ns[0];
+    let med = b.samples_ns[b.samples_ns.len() / 2];
+    let max = b.samples_ns[b.samples_ns.len() - 1];
+    println!(
+        "{label:<50} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(med),
+        format_ns(max)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups with CLI-derived config.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 5,
+            samples_ns: Vec::new(),
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            black_box(n)
+        });
+        assert_eq!(b.samples_ns.len(), 5);
+        assert!(b.samples_ns.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            sample_size: 10,
+            samples_ns: Vec::new(),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples_ns.is_empty());
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 64).label(), "f/64");
+        assert_eq!(BenchmarkId::from_parameter("p").label(), "p");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+    }
+}

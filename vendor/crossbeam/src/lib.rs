@@ -1,0 +1,111 @@
+//! Vendored, offline subset of the `crossbeam` API used by the `dlsr`
+//! workspace: `crossbeam::channel::{unbounded, Sender, Receiver}`.
+//!
+//! Backed by `std::sync::mpsc`; the receiver is wrapped in an
+//! `Arc<Mutex<..>>` so it is `Clone + Send + Sync` like crossbeam's MPMC
+//! receiver.
+
+/// Multi-producer channels (crossbeam-channel surface).
+pub mod channel {
+    use std::sync::{mpsc, Arc, Mutex};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message; errors only if all receivers are gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    /// Receiving half of an unbounded channel (cloneable; clones share the
+    /// queue, each message is delivered to exactly one receiver).
+    #[derive(Debug)]
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn inner(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        /// Block until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner().recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner().try_recv()
+        }
+
+        /// Receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner().recv_timeout(timeout)
+        }
+
+        /// Drain messages until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter(self)
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T>(&'a Receiver<T>);
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_in_delivery() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            drop((tx, tx2));
+            let mut got: Vec<u32> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        }
+
+        #[test]
+        fn disconnect_errors() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(tx);
+            assert!(rx.recv().is_err());
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Vendored, offline subset of the `rand` 0.8 API used by the `dlsr`
+//! workspace: `SmallRng`, `SeedableRng::seed_from_u64`, `Rng::gen` and
+//! `Rng::gen_range` over primitive ranges.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction rand 0.8's 64-bit `SmallRng` uses — so statistical quality
+//! is comparable, though exact output streams are not guaranteed to match
+//! the real crate. Nothing in this workspace depends on the concrete
+//! stream, only on per-seed determinism, which holds.
+
+/// Random number generators.
+pub mod rngs {
+    pub use crate::small::SmallRng;
+
+    /// Alias: the workspace treats the standard RNG as the small one.
+    pub type StdRng = SmallRng;
+}
+
+mod small {
+    /// xoshiro256++ — small, fast, non-cryptographic PRNG.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion, as recommended by the xoshiro
+            // authors and used by rand for seed_from_u64.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sources of randomness: the minimal core trait.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl RngCore for rngs::SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::SmallRng::from_u64(seed)
+    }
+}
+
+/// Types producible uniformly at random by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        // 24 explicit mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = <$t as Standard>::draw(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let u = <$t as Standard>::draw(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// Uniform value of an inferred [`Standard`] type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Uniform value in `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        <f64 as Standard>::draw(self) < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(0usize..=5);
+            assert!(y <= 5);
+            let f = r.gen_range(0.5f32..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut sum = 0.0f64;
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,241 @@
+//! Splittable parallel producers and the adaptors (`enumerate`, `zip`)
+//! used across the workspace.
+//!
+//! A producer knows its length, can be split at an index, and lowers to a
+//! plain sequential iterator; `for_each` cuts it into one contiguous piece
+//! per worker thread and drains the pieces on scoped threads. Partition
+//! boundaries depend only on the thread count, and every element is visited
+//! exactly once by exactly one thread.
+
+use crate::current_num_threads;
+
+/// A splittable, exactly-sized source of items that can be consumed in
+/// parallel. This plays the role of rayon's `ParallelIterator` +
+/// `IndexedParallelIterator` for the subset of chains the workspace uses.
+pub trait ParallelProducer: Sized + Send {
+    /// The item handed to `for_each`.
+    type Item: Send;
+    /// Sequential lowering of this producer.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Remaining number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the producer is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into `[0, mid)` and `[mid, len)`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+
+    /// Lower to a sequential iterator over the remaining items.
+    fn into_seq(self) -> Self::Seq;
+
+    /// Pair each item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: 0,
+            inner: self,
+        }
+    }
+
+    /// Walk two equally-long producers in lockstep.
+    fn zip<B: ParallelProducer>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Consume every item, fanning out to [`current_num_threads`] scoped
+    /// threads over contiguous disjoint splits.
+    fn for_each(self, f: impl Fn(Self::Item) + Sync + Send) {
+        let threads = current_num_threads().min(self.len()).max(1);
+        if threads <= 1 {
+            self.into_seq().for_each(f);
+            return;
+        }
+        let mut parts = Vec::with_capacity(threads);
+        let mut rest = self;
+        for i in 0..threads - 1 {
+            let remaining = rest.len();
+            let take = remaining / (threads - i);
+            let (head, tail) = rest.split_at(take);
+            parts.push(head);
+            rest = tail;
+        }
+        parts.push(rest);
+        std::thread::scope(|s| {
+            for part in parts {
+                let f = &f;
+                s.spawn(move || part.into_seq().for_each(f));
+            }
+        });
+    }
+}
+
+/// Shared-slice producer yielding `&T`.
+pub struct ParIter<'a, T: Sync>(pub(crate) &'a [T]);
+
+impl<'a, T: Sync> ParallelProducer for ParIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(mid);
+        (ParIter(a), ParIter(b))
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.0.iter()
+    }
+}
+
+/// Mutable-slice producer yielding `&mut T`.
+pub struct ParIterMut<'a, T: Send>(pub(crate) &'a mut [T]);
+
+impl<'a, T: Send> ParallelProducer for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at_mut(mid);
+        (ParIterMut(a), ParIterMut(b))
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.0.iter_mut()
+    }
+}
+
+/// Shared chunked producer yielding `&[T]`.
+pub struct ParChunks<'a, T: Sync> {
+    pub(crate) slice: &'a [T],
+    pub(crate) chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelProducer for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.chunk).min(self.slice.len());
+        let (a, b) = self.slice.split_at(at);
+        (
+            ParChunks {
+                slice: a,
+                chunk: self.chunk,
+            },
+            ParChunks {
+                slice: b,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.chunk)
+    }
+}
+
+/// Mutable chunked producer yielding `&mut [T]`.
+pub struct ParChunksMut<'a, T: Send> {
+    pub(crate) slice: &'a mut [T],
+    pub(crate) chunk: usize,
+}
+
+impl<'a, T: Send> ParallelProducer for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.chunk).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(at);
+        (
+            ParChunksMut {
+                slice: a,
+                chunk: self.chunk,
+            },
+            ParChunksMut {
+                slice: b,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
+
+/// `enumerate()` adaptor: items become `(global_index, item)`.
+pub struct Enumerate<P> {
+    base: usize,
+    inner: P,
+}
+
+impl<P: ParallelProducer> ParallelProducer for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type Seq = std::iter::Zip<std::ops::RangeFrom<usize>, P::Seq>;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(mid);
+        (
+            Enumerate {
+                base: self.base,
+                inner: a,
+            },
+            Enumerate {
+                base: self.base + mid,
+                inner: b,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        (self.base..).zip(self.inner.into_seq())
+    }
+}
+
+/// `zip()` adaptor over two lockstep-split producers.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelProducer, B: ParallelProducer> ParallelProducer for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a0, a1) = self.a.split_at(mid);
+        let (b0, b1) = self.b.split_at(mid);
+        (Zip { a: a0, b: b0 }, Zip { a: a1, b: b1 })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}

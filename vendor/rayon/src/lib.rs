@@ -1,0 +1,112 @@
+//! Vendored, offline subset of the `rayon` API used by the `dlsr` workspace.
+//!
+//! This is **not** the real rayon: the container this workspace builds in has
+//! no access to crates.io, so the workspace ships a minimal data-parallelism
+//! layer with the same call-site surface (`par_iter`, `par_iter_mut`,
+//! `par_chunks`, `par_chunks_mut`, `enumerate`, `zip`, `for_each`,
+//! `current_num_threads`). Semantics relevant to the workspace hold:
+//!
+//! - Work is partitioned into **contiguous, disjoint** index ranges, so any
+//!   kernel whose output regions are disjoint per item is race-free and
+//!   bitwise deterministic for every thread count.
+//! - The thread count honours `RAYON_NUM_THREADS` (falling back to
+//!   [`std::thread::available_parallelism`]), read once per process.
+//! - Parallelism is implemented with [`std::thread::scope`], so borrowed
+//!   data works exactly like real rayon. With one thread the closure runs
+//!   inline with zero dispatch overhead.
+
+use std::sync::OnceLock;
+
+pub mod iter;
+pub mod slice;
+
+/// Everything the workspace imports via `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::ParallelProducer;
+    pub use crate::slice::{AsParallelSlice, AsParallelSliceMut};
+}
+
+static NUM_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Number of worker threads parallel iterators fan out to.
+///
+/// Honours `RAYON_NUM_THREADS` (values `< 1` are clamped to 1), otherwise
+/// uses the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    *NUM_THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon::join worker panicked"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_mut_touches_every_element() {
+        let mut v = vec![0u64; 10_000];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u64);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn par_chunks_mut_is_disjoint_and_ordered() {
+        let mut v = vec![0u32; 1003];
+        v.par_chunks_mut(10).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i as u32;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, (i / 10) as u32);
+        }
+    }
+
+    #[test]
+    fn zip_pairs_in_lockstep() {
+        let a: Vec<u32> = (0..5000).collect();
+        let mut b = vec![0u32; 5000];
+        b.par_iter_mut()
+            .zip(a.par_iter())
+            .for_each(|(y, &x)| *y = x * 2);
+        assert!(b.iter().enumerate().all(|(i, &y)| y == 2 * i as u32));
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+}

@@ -1,0 +1,69 @@
+//! Extension traits putting `par_iter`/`par_iter_mut`/`par_chunks`/
+//! `par_chunks_mut` on slices and `Vec`, mirroring rayon's
+//! `ParallelSlice`/`ParallelSliceMut`/`IntoParallelRefIterator` surface.
+
+use crate::iter::{ParChunks, ParChunksMut, ParIter, ParIterMut};
+
+/// Parallel views over shared slices.
+pub trait AsParallelSlice<T: Sync> {
+    /// The underlying shared slice.
+    fn as_parallel_slice(&self) -> &[T];
+
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter(self.as_parallel_slice())
+    }
+
+    /// Parallel iterator over `chunk_size`-sized pieces (last may be short).
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size != 0, "chunk size must be non-zero");
+        ParChunks {
+            slice: self.as_parallel_slice(),
+            chunk: chunk_size,
+        }
+    }
+}
+
+/// Parallel views over mutable slices.
+pub trait AsParallelSliceMut<T: Send> {
+    /// The underlying mutable slice.
+    fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut(self.as_parallel_slice_mut())
+    }
+
+    /// Parallel iterator over mutable `chunk_size`-sized pieces.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size != 0, "chunk size must be non-zero");
+        ParChunksMut {
+            slice: self.as_parallel_slice_mut(),
+            chunk: chunk_size,
+        }
+    }
+}
+
+impl<T: Sync> AsParallelSlice<T> for [T] {
+    fn as_parallel_slice(&self) -> &[T] {
+        self
+    }
+}
+
+impl<T: Send> AsParallelSliceMut<T> for [T] {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+impl<T: Sync> AsParallelSlice<T> for Vec<T> {
+    fn as_parallel_slice(&self) -> &[T] {
+        self
+    }
+}
+
+impl<T: Send> AsParallelSliceMut<T> for Vec<T> {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}

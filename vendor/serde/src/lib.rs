@@ -1,0 +1,419 @@
+//! Vendored, offline subset of the `serde` API used by the `dlsr`
+//! workspace.
+//!
+//! Unlike real serde's zero-copy serializer/deserializer architecture, this
+//! stub serializes through an owned JSON-like [`Value`] tree: `Serialize`
+//! lowers to a `Value`, `Deserialize` lifts from one. `serde_json` (also
+//! vendored) renders and parses that tree. The `#[derive(Serialize,
+//! Deserialize)]` macros come from the vendored `serde_derive` and target
+//! these traits. The call-site surface used by the workspace —
+//! `#[derive(..)]`, `#[serde(from/into)]`, `serde_json::{json!, Value,
+//! to_string, to_string_pretty, to_vec, from_str, from_slice}` — behaves
+//! like the real crates for the types this workspace serializes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-like data model shared by `Serialize` and `Deserialize`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers up to 2^53 round-trip).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object (ordered map for deterministic output).
+    Object(BTreeMap<String, Value>),
+}
+
+/// The `Value` returned for absent keys/indices, so indexing chains like
+/// `v["a"][0]["b"]` behave like serde_json.
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Self as f64, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Self as u64, if a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Self as i64, if an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Self as bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Self as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Self as an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Self as an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Whether self is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.get(key),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! value_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+    )*};
+}
+
+value_eq_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lower a value into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Lift a value out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Convert from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::msg("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the string to obtain `'static` lifetime. Real serde borrows
+    /// from the input buffer instead; this stub has no buffer to borrow
+    /// from. Fine at test scale, where `&'static str` fields are rare and
+    /// deserialized a bounded number of times.
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(|s| &*Box::leak(s.to_owned().into_boxed_str()))
+            .ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    _ => Err(Error::msg(concat!("expected integer ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64().map(|n| n as $t).ok_or_else(|| Error::msg("expected number"))
+            }
+        }
+    )*};
+}
+
+serialize_float!(f32, f64);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<K: fmt::Display + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::msg("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| Error::msg("expected tuple array"))?;
+                let expected = [$(stringify!($idx)),+].len();
+                if arr.len() != expected {
+                    return Err(Error::msg(format!(
+                        "expected {expected}-tuple, got {} elements", arr.len()
+                    )));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1u64, "x".to_string(), 2.5f64);
+        assert_eq!(<(u64, String, f64)>::from_value(&t.to_value()).unwrap(), t);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&none.to_value()).unwrap(), none);
+    }
+
+    #[test]
+    fn indexing_missing_is_null() {
+        let v = Value::Object(Default::default());
+        assert!(v["nope"][3].is_null());
+    }
+}

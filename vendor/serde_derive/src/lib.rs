@@ -1,0 +1,475 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored value-tree serde
+//! stub. Hand-rolled token parsing (no `syn`/`quote` available offline).
+//!
+//! Supported shapes — the ones the `dlsr` workspace uses:
+//! - structs with named fields (serialized as JSON objects),
+//! - tuple structs (serialized as JSON arrays),
+//! - enums with unit variants (serialized as the variant-name string) and
+//!   data variants (externally tagged, `{"Variant": ...}`),
+//! - the container attribute `#[serde(from = "T", into = "T")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default)]
+struct ContainerAttrs {
+    from: Option<String>,
+    into: Option<String>,
+}
+
+#[derive(Debug)]
+enum Shape {
+    /// Named-field struct with field names.
+    Struct(Vec<String>),
+    /// Tuple struct with field count.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: (variant name, variant shape).
+    Enum(Vec<(String, VariantShape)>),
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+/// Split a token list at top-level commas. Tracks `<`/`>` depth so commas
+/// inside generic arguments (`BTreeMap<String, Vec<usize>>`) do not split —
+/// angle brackets are plain puncts, not token groups.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Drop leading `#[...]` attribute pairs and `pub`/`pub(..)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // '#' + [..] group
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+/// Field name of one named-field segment: first ident before the `:`.
+fn field_name(segment: &[TokenTree]) -> Option<String> {
+    let seg = skip_attrs_and_vis(segment);
+    match seg.first() {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Parse `#[serde(from = "T", into = "T")]` out of an attribute group body.
+fn parse_serde_attr(body: &[TokenTree], attrs: &mut ContainerAttrs) {
+    let mut i = 0;
+    while i < body.len() {
+        if let TokenTree::Ident(key) = &body[i] {
+            let key = key.to_string();
+            if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                (body.get(i + 1), body.get(i + 2))
+            {
+                if eq.as_char() == '=' {
+                    let v = lit.to_string().trim_matches('"').to_string();
+                    match key.as_str() {
+                        "from" => attrs.from = Some(v),
+                        "into" => attrs.into = Some(v),
+                        _ => {}
+                    }
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = ContainerAttrs::default();
+    let mut i = 0;
+
+    // Container attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(id)) = inner.first() {
+                        if id.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                let body: Vec<TokenTree> = args.stream().into_iter().collect();
+                                parse_serde_attr(&body, &mut attrs);
+                            }
+                        }
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type {name} is not supported by the vendored derive"
+            ));
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let fields = split_commas(&body)
+                    .iter()
+                    .filter(|seg| !seg.is_empty())
+                    .filter_map(|seg| field_name(seg))
+                    .collect::<Vec<_>>();
+                Shape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let n = split_commas(&body).iter().filter(|s| !s.is_empty()).count();
+                Shape::Tuple(n)
+            }
+            _ => Shape::Unit,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for seg in split_commas(&body) {
+                    let seg = skip_attrs_and_vis(&seg);
+                    if seg.is_empty() {
+                        continue;
+                    }
+                    let vname = match &seg[0] {
+                        TokenTree::Ident(id) => id.to_string(),
+                        other => return Err(format!("bad enum variant token {other:?}")),
+                    };
+                    let vshape = match seg.get(1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                            let n = split_commas(&body).iter().filter(|s| !s.is_empty()).count();
+                            VariantShape::Tuple(n)
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                            let fields = split_commas(&body)
+                                .iter()
+                                .filter(|s| !s.is_empty())
+                                .filter_map(|s| field_name(s))
+                                .collect::<Vec<_>>();
+                            VariantShape::Struct(fields)
+                        }
+                        _ => VariantShape::Unit,
+                    };
+                    variants.push((vname, vshape));
+                }
+                Shape::Enum(variants)
+            }
+            other => return Err(format!("expected enum body, got {other:?}")),
+        },
+        other => return Err(format!("cannot derive for {other}")),
+    };
+
+    Ok(Item { name, attrs, shape })
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    if let Some(into) = &item.attrs.into {
+        return format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                     let wire: {into} = <{name} as ::std::clone::Clone>::clone(self).into();\n\
+                     serde::Serialize::to_value(&wire)\n\
+                 }}\n\
+             }}\n"
+        );
+    }
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from("let mut m = ::std::collections::BTreeMap::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("serde::Value::Object(m)");
+            s
+        }
+        Shape::Tuple(n) => {
+            let elems = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("serde::Value::Array(vec![{elems}])")
+        }
+        Shape::Unit => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => serde::Value::String(\"{v}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binders = (0..*n)
+                            .map(|i| format!("ref __f{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let payload = if *n == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(__f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("serde::Value::Array(vec![{elems}])")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binders}) => {{\n\
+                                 let mut m = ::std::collections::BTreeMap::new();\n\
+                                 m.insert(\"{v}\".to_string(), {payload});\n\
+                                 serde::Value::Object(m)\n\
+                             }},\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders = fields
+                            .iter()
+                            .map(|f| format!("ref {f}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut inner =
+                            String::from("let mut fm = ::std::collections::BTreeMap::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(\"{f}\".to_string(), serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binders} }} => {{\n\
+                                 {inner}\
+                                 let mut m = ::std::collections::BTreeMap::new();\n\
+                                 m.insert(\"{v}\".to_string(), serde::Value::Object(fm));\n\
+                                 serde::Value::Object(m)\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    if let Some(from) = &item.attrs.from {
+        return format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                     let wire: {from} = serde::Deserialize::from_value(v)?;\n\
+                     ::std::result::Result::Ok(wire.into())\n\
+                 }}\n\
+             }}\n"
+        );
+    }
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut s = format!(
+                "let obj = v.as_object().ok_or_else(|| serde::Error::msg(\"expected object for {name}\"))?;\n\
+                 static __NULL: serde::Value = serde::Value::Null;\n"
+            );
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: serde::Deserialize::from_value(obj.get(\"{f}\").unwrap_or(&__NULL))\
+                         .map_err(|e| serde::Error::msg(format!(\"{name}.{f}: {{e}}\")))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Tuple(n) => {
+            let mut s = format!(
+                "let arr = v.as_array().ok_or_else(|| serde::Error::msg(\"expected array for {name}\"))?;\n\
+                 if arr.len() != {n} {{\n\
+                     return ::std::result::Result::Err(serde::Error::msg(format!(\n\
+                         \"expected {n} elements for {name}, got {{}}\", arr.len())));\n\
+                 }}\n"
+            );
+            let elems = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            s.push_str(&format!("::std::result::Result::Ok({name}({elems}))"));
+            s
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut string_arms = String::new();
+            let mut obj_arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => string_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{v}(serde::Deserialize::from_value(val)?))"
+                            )
+                        } else {
+                            let elems = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&arr[{i}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{{\n\
+                                     let arr = val.as_array().ok_or_else(|| serde::Error::msg(\"expected array for {name}::{v}\"))?;\n\
+                                     if arr.len() != {n} {{\n\
+                                         return ::std::result::Result::Err(serde::Error::msg(\"wrong arity for {name}::{v}\"));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{v}({elems}))\n\
+                                 }}"
+                            )
+                        };
+                        obj_arms.push_str(&format!("\"{v}\" => {build},\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inner = format!(
+                            "{{\n\
+                                 let obj = val.as_object().ok_or_else(|| serde::Error::msg(\"expected object for {name}::{v}\"))?;\n\
+                                 static __NULL: serde::Value = serde::Value::Null;\n\
+                                 ::std::result::Result::Ok({name}::{v} {{\n"
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: serde::Deserialize::from_value(obj.get(\"{f}\").unwrap_or(&__NULL))?,\n"
+                            ));
+                        }
+                        inner.push_str("})\n}");
+                        obj_arms.push_str(&format!("\"{v}\" => {inner},\n"));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     serde::Value::String(s) => match s.as_str() {{\n\
+                         {string_arms}\
+                         other => ::std::result::Result::Err(serde::Error::msg(format!(\n\
+                             \"unknown {name} variant {{other}}\"))),\n\
+                     }},\n\
+                     serde::Value::Object(m) if m.len() == 1 => {{\n\
+                         let (k, val) = m.iter().next().unwrap();\n\
+                         #[allow(unused_variables)]\n\
+                         match k.as_str() {{\n\
+                             {obj_arms}\
+                             other => ::std::result::Result::Err(serde::Error::msg(format!(\n\
+                                 \"unknown {name} variant {{other}}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(serde::Error::msg(\"bad value for enum {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Derive the vendored `serde::Serialize` (value-tree lowering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize must parse"),
+        Err(e) => format!("compile_error!(\"derive(Serialize): {e}\");")
+            .parse()
+            .unwrap(),
+    }
+}
+
+/// Derive the vendored `serde::Deserialize` (value-tree lifting).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize must parse"),
+        Err(e) => format!("compile_error!(\"derive(Deserialize): {e}\");")
+            .parse()
+            .unwrap(),
+    }
+}
