@@ -3,10 +3,14 @@
 //! <https://ui.perfetto.dev>) — the visualization real Horovod users debug
 //! overlap with.
 //!
+//! The events come from the cross-layer trace collector (negotiate,
+//! per-group allreduce, fwd/bwd compute, wire transfers), exported through
+//! the shared `dlsr_bench::traced_training_run` path.
+//!
 //! Run: `cargo run --release -p dlsr-bench --bin export_timeline [nodes]`
 
 use dlsr::prelude::*;
-use dlsr_bench::SEED;
+use dlsr_bench::{traced_training_run, SEED};
 use dlsr_net::ClusterTopology;
 
 fn main() {
@@ -14,24 +18,26 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(1);
-    let (w, tensors) = edsr_measured_workload();
     let topo = ClusterTopology::lassen(nodes);
     std::fs::create_dir_all("results").expect("results dir");
     for sc in [Scenario::MpiDefault, Scenario::MpiOpt] {
-        let run = run_training(&topo, sc, &w, &tensors, 4, 1, 3, SEED);
+        let (run, report) = traced_training_run(&topo, sc, 4, 1, 3, SEED);
+        let tl = dlsr::trace::to_timeline(&run.trace);
         let path = format!(
             "results/timeline_{}_{}gpus.json",
             sc.label().to_lowercase().replace('-', "_"),
             run.gpus
         );
-        std::fs::write(&path, run.timeline.to_chrome_trace()).expect("write trace");
+        std::fs::write(&path, tl.to_chrome_trace()).expect("write trace");
         println!(
             "{}: {} events, allreduce busy {:.1} ms, compute {:.1} ms -> {path}",
             sc.label(),
-            run.timeline.events().len(),
-            run.timeline.category_seconds("allreduce") * 1e3,
-            run.timeline.category_seconds("compute") * 1e3,
+            tl.events().len(),
+            tl.category_seconds(dlsr::trace::cat::ALLREDUCE) * 1e3,
+            tl.category_seconds(dlsr::trace::cat::COMPUTE) * 1e3,
         );
+        print!("{}", report.render());
+        println!();
     }
-    println!("\nopen the files in chrome://tracing or https://ui.perfetto.dev");
+    println!("open the files in chrome://tracing or https://ui.perfetto.dev");
 }

@@ -58,6 +58,11 @@ fn main() {
             "mpi_reg_img_s": reg.images_per_sec,
             "gain_pct": gain,
             "hit_rate": reg.regcache_hit_rate,
+            "regcache": {
+                "hits": reg.regcache.hits,
+                "misses": reg.regcache.misses,
+                "evictions": reg.regcache.evictions,
+            },
         }));
     }
     let avg = gains.iter().sum::<f64>() / gains.len() as f64;

@@ -1,16 +1,18 @@
-//! Internal probe: per-bin allreduce profile for each scenario at a scale.
+//! Internal probe: per-bin allreduce profile plus the cross-layer
+//! step-time breakdown for each scenario at a scale. All timing comes
+//! from the shared trace collector (`dlsr_bench::traced_training_run`).
 
-use dlsr_cluster::{edsr_measured_workload, run_training, Scenario};
+use dlsr_bench::traced_training_run;
+use dlsr_cluster::Scenario;
 use dlsr_hvprof::Collective;
 use dlsr_net::ClusterTopology;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let nodes: usize = args.get(1).map(|a| a.parse().unwrap()).unwrap_or(1);
-    let (w, tensors) = edsr_measured_workload();
     let topo = ClusterTopology::lassen(nodes);
     for sc in Scenario::all() {
-        let run = run_training(&topo, sc, &w, &tensors, 4, 2, 8, 99);
+        let (run, report) = traced_training_run(&topo, sc, 4, 2, 8, 99);
         println!(
             "-- {} ({} nodes): step {:.1} ms, allreduce total {:.1} ms --",
             sc.label(),
@@ -19,5 +21,7 @@ fn main() {
             run.profile.total_seconds(Collective::Allreduce) * 1e3
         );
         print!("{}", run.profile.render(Collective::Allreduce));
+        print!("{}", report.render());
+        println!();
     }
 }

@@ -7,6 +7,43 @@ pub mod legacy;
 
 use std::io::Write;
 
+use dlsr::trace::report::StepReport;
+use dlsr_cluster::{edsr_measured_workload, run_training, Scenario, TrainRun};
+use dlsr_net::ClusterTopology;
+
+/// Run one costs-only training measurement with the cross-layer trace
+/// collector on, and build the step-time breakdown from the recorded
+/// spans and counters. The shared timing path for every harness that
+/// reports per-phase times — no harness keeps its own stopwatch code.
+pub fn traced_training_run(
+    topo: &ClusterTopology,
+    scenario: Scenario,
+    batch: usize,
+    warmup: usize,
+    steps: usize,
+    seed: u64,
+) -> (TrainRun, StepReport) {
+    let (w, tensors) = edsr_measured_workload();
+    dlsr::trace::set_enabled(true);
+    dlsr::trace::reset();
+    let run = run_training(topo, scenario, &w, &tensors, batch, warmup, steps, seed);
+    dlsr::trace::set_enabled(false);
+    let counters = dlsr::trace::counters_snapshot();
+    let mut report = StepReport::build(&run.trace, &counters).with_context(
+        scenario.label(),
+        run.gpus,
+        steps,
+        run.step_time,
+    );
+    report.set_regcache(
+        run.regcache.hits,
+        run.regcache.misses,
+        run.regcache.evictions,
+    );
+    dlsr::trace::reset();
+    (run, report)
+}
+
 /// Render a simple ASCII bar for terminal figures.
 pub fn bar(value: f64, max: f64, width: usize) -> String {
     let n = if max > 0.0 {

@@ -24,10 +24,15 @@ pub struct TrainRun {
     pub step_time: f64,
     /// Rank 0's allreduce profile over the measured window.
     pub profile: Hvprof,
+    /// Registration-cache statistics of a node-leader rank (rank 0).
+    pub regcache: dlsr_net::RegCacheStats,
     /// Registration-cache hit rate of a node-leader rank.
     pub regcache_hit_rate: f64,
     /// Merged HOROVOD_TIMELINE-style trace (all ranks, measured window).
     pub timeline: dlsr_hvprof::Timeline,
+    /// Structured trace spans from every rank over the measured window
+    /// (empty unless the `dlsr-trace` collector is enabled).
+    pub trace: Vec<dlsr_trace::TraceEvent>,
 }
 
 /// Single-GPU reference throughput (images/second) including the jitter
@@ -139,8 +144,10 @@ fn run_with_trainer(
     let images_per_sec = (world * batch * steps) as f64 / elapsed;
     let t1 = single_gpu_throughput(workload, tensors, batch, seed);
     let mut timeline = dlsr_hvprof::Timeline::new();
+    let mut trace = Vec::new();
     for r in &res.ranks {
         timeline.merge(&r.timeline);
+        trace.extend(r.trace.iter().cloned());
     }
     TrainRun {
         scenario,
@@ -149,8 +156,10 @@ fn run_with_trainer(
         efficiency: images_per_sec / (world as f64 * t1),
         step_time: elapsed / steps as f64,
         profile: res.ranks[0].prof.clone(),
+        regcache: res.ranks[0].reg,
         regcache_hit_rate: res.ranks[0].reg.hit_rate(),
         timeline,
+        trace,
     }
 }
 

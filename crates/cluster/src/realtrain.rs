@@ -80,6 +80,12 @@ pub struct RealTrainResult {
     pub psnr_curve: Vec<(usize, f32)>,
     /// Virtual makespan of the job.
     pub makespan: f64,
+    /// Registration-cache statistics of rank 0.
+    pub regcache: dlsr_net::RegCacheStats,
+    /// Structured trace spans from every rank (plus rank-tagged kernel
+    /// spans from worker threads); empty unless the `dlsr-trace`
+    /// collector is enabled.
+    pub trace: Vec<dlsr_trace::TraceEvent>,
 }
 
 fn image_spec(lr_patch: usize, scale: usize) -> SyntheticImageSpec {
@@ -176,9 +182,18 @@ pub fn train_real(
             model.flatten_params(),
             psnr_curve,
             comm.now(),
+            comm.regcache_stats(),
+            dlsr_trace::take_thread_events(),
         )
     });
     let makespan = res.ranks.iter().map(|r| r.5).fold(0.0, f64::max);
+    // rank threads drained their own spans above; the global drain picks up
+    // the rank-tagged kernel spans recorded on rayon worker threads
+    let mut trace: Vec<dlsr_trace::TraceEvent> = dlsr_trace::take_events();
+    for r in &res.ranks {
+        trace.extend(r.7.iter().cloned());
+    }
+    let regcache = res.ranks[0].6;
     let r0 = res.ranks.into_iter().next().expect("rank 0");
     RealTrainResult {
         losses: r0.0,
@@ -187,6 +202,8 @@ pub fn train_real(
         final_params: r0.3,
         psnr_curve: r0.4,
         makespan,
+        regcache,
+        trace,
     }
 }
 

@@ -144,6 +144,9 @@ pub struct RankRun {
     pub reg: RegCacheStats,
     /// HOROVOD_TIMELINE-style event trace over the measured steps.
     pub timeline: Timeline,
+    /// Structured trace spans from this rank's thread over the measured
+    /// steps (empty unless the `dlsr-trace` collector is enabled).
+    pub trace: Vec<dlsr_trace::TraceEvent>,
 }
 
 /// Costs-only distributed training driver: calibrated GPU compute +
@@ -295,6 +298,12 @@ impl SimTrainer {
         let bwd_start = t0 + self.fwd * jit;
         comm.advance_to(bwd_start);
         tl.record(format!("fwd[{step_idx}]"), "compute", rank, t0, bwd_start);
+        dlsr_trace::record_span(
+            || format!("fwd[{step_idx}]"),
+            dlsr_trace::cat::COMPUTE,
+            t0,
+            bwd_start,
+        );
         if comm.size() > 1 {
             // Per-group coordination cost is embedded in the plan's launch
             // offsets (see `coordination_cost`); the executed negotiation
@@ -309,6 +318,15 @@ impl SimTrainer {
                 comm.now(),
             );
             for (gi, sg) in self.plan.iter().enumerate() {
+                dlsr_trace::counter_add(dlsr_trace::report::keys::FUSION_GROUPS, 1.0);
+                dlsr_trace::counter_add(
+                    dlsr_trace::report::keys::FUSION_PACKED_BYTES,
+                    sg.group.bytes as f64,
+                );
+                dlsr_trace::counter_add(
+                    dlsr_trace::report::keys::FUSION_CAPACITY_BYTES,
+                    sg.group.bytes.max(self.hcfg.fusion_threshold) as f64,
+                );
                 comm.advance_to(bwd_start + sg.launch_offset * jit);
                 let ts = comm.now();
                 let buf_id = FUSION_BUF_ID_BASE + gi as u64;
@@ -338,6 +356,12 @@ impl SimTrainer {
                     ts,
                     comm.now(),
                 );
+                dlsr_trace::record_span(
+                    || format!("allreduce[{step_idx}.{gi}] {}B", sg.group.bytes),
+                    dlsr_trace::cat::ALLREDUCE,
+                    ts,
+                    comm.now(),
+                );
             }
         }
         // backward must have finished before the optimizer step; staged
@@ -348,6 +372,12 @@ impl SimTrainer {
             format!("bwd[{step_idx}]"),
             "compute",
             rank,
+            bwd_start,
+            bwd_end,
+        );
+        dlsr_trace::record_span(
+            || format!("bwd[{step_idx}]"),
+            dlsr_trace::cat::COMPUTE,
             bwd_start,
             bwd_end,
         );
@@ -378,6 +408,12 @@ impl SimTrainer {
                 ts,
                 comm.now(),
             );
+            dlsr_trace::record_span(
+                || format!("metrics[{step_idx}]"),
+                dlsr_trace::cat::ALLREDUCE,
+                ts,
+                comm.now(),
+            );
         }
         comm.advance(self.tail);
     }
@@ -390,6 +426,9 @@ impl SimTrainer {
         for s in 0..warmup {
             self.step(comm, s as u64, &mut discard_prof, &mut discard_tl);
         }
+        // discard this rank thread's warmup spans so the trace covers only
+        // the measured window (mirrors prof/timeline)
+        let _ = dlsr_trace::take_thread_events();
         let warm_end = comm.now();
         let mut prof = Hvprof::new();
         let mut timeline = Timeline::new();
@@ -402,6 +441,7 @@ impl SimTrainer {
             prof,
             reg: comm.regcache_stats(),
             timeline,
+            trace: dlsr_trace::take_thread_events(),
         }
     }
 }

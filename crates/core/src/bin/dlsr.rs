@@ -21,7 +21,7 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             // boolean flags take no value; valued flags consume the next arg
-            let boolean = matches!(name, "augment" | "help");
+            let boolean = matches!(name, "augment" | "help" | "compare" | "check");
             if boolean {
                 flags.insert(name.to_string(), "true".to_string());
             } else {
@@ -80,7 +80,12 @@ USAGE:
                 real EDSR training (tiny model, real math) on a simulated cluster
   dlsr simulate [--nodes N] [--steps S] [--batch B] [--scenario NAME]
                 at-scale costs-only run of the paper-scale EDSR workload
-  dlsr profile  [--steps S]
+  dlsr profile  [--nodes N] [--steps S] [--scenario NAME] [--check]
+                cross-layer trace of a real EDSR training run: chrome-trace
+                + step-report JSON under results/, breakdown table on stdout
+                (--check validates that every instrumented layer emitted
+                spans; exits non-zero otherwise)
+  dlsr profile --compare [--steps S]
                 hvprof Table-I comparison (default vs MPI-Opt, 4 GPUs)
   dlsr info     calibration anchors and workload facts
   dlsr help     this text
@@ -155,18 +160,110 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
 }
 
 fn cmd_profile(flags: &HashMap<String, String>) {
-    let steps: usize = get(flags, "steps", 100);
-    let (w, tensors) = edsr_measured_workload();
-    let topo = ClusterTopology::lassen(1);
-    println!("profiling {steps} steps on 4 GPUs (default vs MPI-Opt)...");
-    let d = run_training(&topo, Scenario::MpiDefault, &w, &tensors, 4, 2, steps, 2021);
-    let o = run_training(&topo, Scenario::MpiOpt, &w, &tensors, 4, 2, steps, 2021);
-    let rows = compare(&d.profile, &o.profile, Collective::Allreduce);
-    print!("{}", render_table(&rows));
+    if flags.contains_key("compare") {
+        let steps: usize = get(flags, "steps", 100);
+        let (w, tensors) = edsr_measured_workload();
+        let topo = ClusterTopology::lassen(1);
+        println!("profiling {steps} steps on 4 GPUs (default vs MPI-Opt)...");
+        let d = run_training(&topo, Scenario::MpiDefault, &w, &tensors, 4, 2, steps, 2021);
+        let o = run_training(&topo, Scenario::MpiOpt, &w, &tensors, 4, 2, steps, 2021);
+        let rows = compare(&d.profile, &o.profile, Collective::Allreduce);
+        print!("{}", render_table(&rows));
+        println!(
+            "\nthroughput: {:.1} -> {:.1} img/s",
+            d.images_per_sec, o.images_per_sec
+        );
+        return;
+    }
+    if !dlsr::trace::COMPILED {
+        die("this binary was built without the `trace` feature; rebuild with default features");
+    }
+    let nodes: usize = get(flags, "nodes", 2);
+    let steps: usize = get(flags, "steps", 4);
+    let sc = scenario(flags);
+    let topo = ClusterTopology::lassen(nodes);
+    let world = topo.total_gpus();
+    let cfg = RealTrainConfig {
+        steps,
+        global_batch: world,
+        ..Default::default()
+    };
     println!(
-        "\nthroughput: {:.1} -> {:.1} img/s",
-        d.images_per_sec, o.images_per_sec
+        "tracing {steps} real EDSR(tiny) training steps on {world} simulated GPUs ({})...",
+        sc.label()
     );
+    dlsr::trace::set_enabled(true);
+    dlsr::trace::reset();
+    let res = train_real(&topo, sc.mpi_config(), &cfg);
+    dlsr::trace::set_enabled(false);
+    let counters = dlsr::trace::counters_snapshot();
+    let mut report = dlsr::trace::report::StepReport::build(&res.trace, &counters).with_context(
+        sc.label(),
+        world,
+        steps,
+        res.makespan / steps as f64,
+    );
+    report.set_regcache(
+        res.regcache.hits,
+        res.regcache.misses,
+        res.regcache.evictions,
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    let chrome = dlsr::trace::to_timeline(&res.trace).to_chrome_trace();
+    std::fs::write("results/profile_trace.json", &chrome).expect("write chrome trace");
+    std::fs::write("results/profile_report.json", report.to_json()).expect("write step report");
+    print!("{}", report.render());
+    println!("\nchrome trace : results/profile_trace.json (chrome://tracing or Perfetto)");
+    println!("step report  : results/profile_report.json");
+    if flags.contains_key("check") {
+        check_profile(&res.trace, &report);
+    }
+}
+
+/// `--check`: every instrumented layer must have produced at least one
+/// span, and the report must carry the headline counters (CI smoke).
+fn check_profile(events: &[dlsr::trace::TraceEvent], report: &dlsr::trace::report::StepReport) {
+    use dlsr::trace::cat;
+    let mut failed = false;
+    for c in [
+        cat::GEMM,
+        cat::IM2COL,
+        cat::NN_FWD,
+        cat::NN_BWD,
+        cat::NEGOTIATE,
+        cat::FUSION,
+        cat::ALLREDUCE,
+        cat::MPI,
+        cat::NET,
+    ] {
+        let n = events.iter().filter(|e| e.cat == c).count();
+        if n == 0 {
+            eprintln!("check FAILED: no `{c}` spans recorded");
+            failed = true;
+        } else {
+            println!("check: {n:>6} `{c}` spans");
+        }
+    }
+    if report.regcache.hits + report.regcache.misses == 0 {
+        eprintln!("check FAILED: no registration-cache activity in the report");
+        failed = true;
+    }
+    if report.fusion.groups == 0 {
+        eprintln!("check FAILED: no fusion groups counted");
+        failed = true;
+    }
+    if report.ranks.len() != report.world {
+        eprintln!(
+            "check FAILED: report covers {} ranks, expected {}",
+            report.ranks.len(),
+            report.world
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("check: all instrumented layers reported spans");
 }
 
 fn cmd_info() {

@@ -20,6 +20,7 @@
 //! | NCCL-like backend | [`nccl`] (`dlsr-nccl`) |
 //! | Horovod (fusion, coordinator, DistributedOptimizer) | [`horovod`] (`dlsr-horovod`) |
 //! | hvprof communication profiler | [`hvprof`] (`dlsr-hvprof`) |
+//! | cross-layer spans, counters & step report | [`trace`] (`dlsr-trace`) |
 //! | cluster assembly + training drivers | [`cluster`] (`dlsr-cluster`) |
 //!
 //! ## Quickstart
@@ -61,6 +62,7 @@ pub use dlsr_nccl as nccl;
 pub use dlsr_net as net;
 pub use dlsr_nn as nn;
 pub use dlsr_tensor as tensor;
+pub use dlsr_trace as trace;
 
 /// The most common imports in one place.
 pub mod prelude {

@@ -112,6 +112,7 @@ impl IpcRegistry {
             return Err(IpcError::StaleHandle);
         }
         inner.open_count += 1;
+        dlsr_trace::counter_add(dlsr_trace::report::keys::GPU_IPC_OPENS, 1.0);
         Ok(handle.buffer)
     }
 

@@ -37,8 +37,9 @@ pub fn negotiate_with_cost(
     if p == 1 {
         return mine;
     }
+    let t0 = comm.now();
     let tag = COORD_TAG | cycle;
-    if comm.rank() == 0 {
+    let agreed = if comm.rank() == 0 {
         let mut agreed = mine;
         for src in 1..p {
             let report = comm.recv(src, tag, 0).into_bytes();
@@ -54,7 +55,14 @@ pub fn negotiate_with_cost(
     } else {
         comm.send(0, tag, Payload::Bytes(mine), 0);
         comm.recv(0, tag | (1 << 60), 0).into_bytes()
-    }
+    };
+    dlsr_trace::record_span(
+        || format!("negotiate c{cycle} {n_tensors}t"),
+        dlsr_trace::cat::NEGOTIATE,
+        t0,
+        comm.now(),
+    );
+    agreed
 }
 
 #[cfg(test)]

@@ -16,6 +16,20 @@ use crate::fusion::{plan_fusion, FusionGroup, TensorSpec};
 /// every step → registration-cache hits, the §III-D effect).
 const FUSION_BUF_ID_BASE: u64 = 0x4655_5300; // "FUS"
 
+/// Fusion-buffer counters for the step report: group count, bytes actually
+/// packed, and the capacity each group occupies (a group can exceed the
+/// threshold when a single tensor is larger than it, so capacity is the
+/// max of the two — utilization stays ≤ 100%).
+fn record_group_counters(group: &FusionGroup, fusion_threshold: u64) {
+    use dlsr_trace::report::keys;
+    dlsr_trace::counter_add(keys::FUSION_GROUPS, 1.0);
+    dlsr_trace::counter_add(keys::FUSION_PACKED_BYTES, group.bytes as f64);
+    dlsr_trace::counter_add(
+        keys::FUSION_CAPACITY_BYTES,
+        group.bytes.max(fusion_threshold) as f64,
+    );
+}
+
 /// Broadcast model parameters from `root` so all ranks start identical
 /// (§III-A guideline 2). Records the bcast in `prof`.
 pub fn broadcast_parameters(
@@ -134,7 +148,9 @@ impl<O: Optimizer> DistributedOptimizer<O> {
             let _ = off;
         }
         for (gi, group) in self.groups.iter().enumerate() {
+            record_group_counters(group, self.cfg.fusion_threshold);
             // pack
+            let t_pack = comm.now();
             let mut fused = Vec::with_capacity(group.elems);
             for &ti in &group.indices {
                 let off = offsets[ti];
@@ -142,6 +158,12 @@ impl<O: Optimizer> DistributedOptimizer<O> {
                 fused.extend_from_slice(&flat[off..off + n]);
             }
             comm.advance(group.bytes as f64 / self.pack_bandwidth);
+            dlsr_trace::record_span(
+                || format!("pack[g{gi}] {}B", group.bytes),
+                dlsr_trace::cat::FUSION,
+                t_pack,
+                comm.now(),
+            );
             // reduce
             let buf_id = FUSION_BUF_ID_BASE + gi as u64;
             let t0 = comm.now();
@@ -151,7 +173,14 @@ impl<O: Optimizer> DistributedOptimizer<O> {
             }
             self.prof
                 .record(Collective::Allreduce, group.bytes, comm.now() - t0);
+            dlsr_trace::record_span(
+                || format!("allreduce[g{gi}] {}B", group.bytes),
+                dlsr_trace::cat::ALLREDUCE,
+                t0,
+                comm.now(),
+            );
             // average + unpack
+            let t_unpack = comm.now();
             let mut cursor = 0usize;
             for &ti in &group.indices {
                 let off = offsets[ti];
@@ -165,6 +194,12 @@ impl<O: Optimizer> DistributedOptimizer<O> {
                 cursor += n;
             }
             comm.advance(group.bytes as f64 / self.pack_bandwidth);
+            dlsr_trace::record_span(
+                || format!("unpack[g{gi}] {}B", group.bytes),
+                dlsr_trace::cat::FUSION,
+                t_unpack,
+                comm.now(),
+            );
         }
         model.load_flat_grads(&flat);
     }
@@ -216,7 +251,15 @@ impl GradientSynchronizer {
         negotiate(comm, self.n_tensors, self.cycle);
         let algo = comm.config().allreduce;
         for (gi, group) in self.groups.iter().enumerate() {
+            record_group_counters(group, self.cfg.fusion_threshold);
+            let t_pack = comm.now();
             comm.advance(group.bytes as f64 / self.pack_bandwidth);
+            dlsr_trace::record_span(
+                || format!("pack[g{gi}] {}B", group.bytes),
+                dlsr_trace::cat::FUSION,
+                t_pack,
+                comm.now(),
+            );
             let buf_id = FUSION_BUF_ID_BASE + gi as u64;
             let t0 = comm.now();
             match self.cfg.backend {
@@ -229,7 +272,20 @@ impl GradientSynchronizer {
             }
             self.prof
                 .record(Collective::Allreduce, group.bytes, comm.now() - t0);
+            dlsr_trace::record_span(
+                || format!("allreduce[g{gi}] {}B", group.bytes),
+                dlsr_trace::cat::ALLREDUCE,
+                t0,
+                comm.now(),
+            );
+            let t_unpack = comm.now();
             comm.advance(group.bytes as f64 / self.pack_bandwidth);
+            dlsr_trace::record_span(
+                || format!("unpack[g{gi}] {}B", group.bytes),
+                dlsr_trace::cat::FUSION,
+                t_unpack,
+                comm.now(),
+            );
         }
     }
 }

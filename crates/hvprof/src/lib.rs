@@ -84,18 +84,30 @@ pub struct BinStats {
 #[serde(from = "HvprofWire", into = "HvprofWire")]
 pub struct Hvprof {
     cells: BTreeMap<(Collective, usize), BinStats>,
+    /// Per-cell individual call latencies (seconds), kept so percentile
+    /// latencies survive aggregation — a mean alone hides stragglers.
+    samples: BTreeMap<(Collective, usize), Vec<f64>>,
 }
 
 /// JSON-friendly wire form (tuple map keys are not valid JSON keys).
+/// `samples` defaults to empty so profiles serialized before percentile
+/// support still deserialize.
 #[derive(Serialize, Deserialize)]
 struct HvprofWire {
     cells: Vec<(Collective, usize, BinStats)>,
+    samples: Option<Vec<(Collective, usize, Vec<f64>)>>,
 }
 
 impl From<HvprofWire> for Hvprof {
     fn from(w: HvprofWire) -> Self {
         Hvprof {
             cells: w.cells.into_iter().map(|(c, b, s)| ((c, b), s)).collect(),
+            samples: w
+                .samples
+                .unwrap_or_default()
+                .into_iter()
+                .map(|(c, b, v)| ((c, b), v))
+                .collect(),
         }
     }
 }
@@ -104,8 +116,20 @@ impl From<Hvprof> for HvprofWire {
     fn from(p: Hvprof) -> Self {
         HvprofWire {
             cells: p.cells.into_iter().map(|((c, b), s)| (c, b, s)).collect(),
+            samples: Some(p.samples.into_iter().map(|((c, b), v)| (c, b, v)).collect()),
         }
     }
+}
+
+/// Nearest-rank percentile of an unsorted sample set; `q` in `[0, 1]`.
+fn percentile_of(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 impl Hvprof {
@@ -117,10 +141,12 @@ impl Hvprof {
     /// Record one collective invocation of `bytes` payload taking
     /// `seconds` of virtual time.
     pub fn record(&mut self, op: Collective, bytes: u64, seconds: f64) {
-        let cell = self.cells.entry((op, bin_of(bytes))).or_default();
+        let key = (op, bin_of(bytes));
+        let cell = self.cells.entry(key).or_default();
         cell.count += 1;
         cell.seconds += seconds;
         cell.bytes += bytes;
+        self.samples.entry(key).or_default().push(seconds);
     }
 
     /// Merge another profile into this one (e.g. across ranks).
@@ -131,6 +157,21 @@ impl Hvprof {
             cell.seconds += stats.seconds;
             cell.bytes += stats.bytes;
         }
+        for (&key, samples) in &other.samples {
+            self.samples
+                .entry(key)
+                .or_default()
+                .extend_from_slice(samples);
+        }
+    }
+
+    /// Nearest-rank latency percentile (seconds) for one cell; `q` in
+    /// `[0, 1]` (0.5 = median). 0.0 when the cell is empty.
+    pub fn percentile(&self, op: Collective, bin: usize, q: f64) -> f64 {
+        self.samples
+            .get(&(op, bin))
+            .map(|s| percentile_of(s, q))
+            .unwrap_or(0.0)
     }
 
     /// Stats for one (collective, bin) cell.
@@ -163,15 +204,30 @@ impl Hvprof {
     }
 
     /// Export every non-empty cell as CSV:
-    /// `collective,bin,calls,total_ms,total_mb,gb_per_s`.
+    /// `collective,bin,calls,total_ms,p50_ms,p95_ms,total_mb,gb_per_s`,
+    /// preceded by a `#` comment row documenting the bin edges.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("collective,bin,calls,total_ms,total_mb,gb_per_s\n");
+        let mut out = String::from("# bins: ");
+        for (i, &(name, lo, hi)) in BINS.iter().enumerate() {
+            if i > 0 {
+                out.push_str("; ");
+            }
+            if hi == u64::MAX {
+                out.push_str(&format!("{name} = [{lo} B, inf)"));
+            } else {
+                out.push_str(&format!("{name} = [{lo} B, {hi} B)"));
+            }
+        }
+        out.push('\n');
+        out.push_str("collective,bin,calls,total_ms,p50_ms,p95_ms,total_mb,gb_per_s\n");
         for (&(op, bin), s) in &self.cells {
             out.push_str(&format!(
-                "{op},{},{},{:.3},{:.3},{:.3}\n",
+                "{op},{},{},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
                 BINS[bin].0,
                 s.count,
                 s.seconds * 1e3,
+                self.percentile(op, bin, 0.50) * 1e3,
+                self.percentile(op, bin, 0.95) * 1e3,
                 s.bytes as f64 / (1 << 20) as f64,
                 self.bandwidth(op, bin) / 1e9,
             ));
@@ -179,7 +235,8 @@ impl Hvprof {
         out
     }
 
-    /// Render the per-bin profile of one collective (Fig 14 style).
+    /// Render the per-bin profile of one collective (Fig 14 style), with
+    /// p50/p95 call latencies alongside the totals.
     pub fn render(&self, op: Collective) -> String {
         let mut out = format!("{op} profile by message size:\n");
         for (b, &(name, _, _)) in BINS.iter().enumerate() {
@@ -188,9 +245,11 @@ impl Hvprof {
                 continue;
             }
             out.push_str(&format!(
-                "  {name:>16}: {:>10.1} ms over {:>6} calls ({} MB total)\n",
+                "  {name:>16}: {:>10.1} ms over {:>6} calls (p50 {:.3} ms, p95 {:.3} ms, {} MB total)\n",
                 s.seconds * 1e3,
                 s.count,
+                self.percentile(op, b, 0.50) * 1e3,
+                self.percentile(op, b, 0.95) * 1e3,
                 s.bytes >> 20
             ));
         }
@@ -344,8 +403,53 @@ mod tests {
         assert!((bw - (1u64 << 30) as f64).abs() < 1.0);
         assert_eq!(p.bandwidth(Collective::Bcast, 0), 0.0);
         let csv = p.to_csv();
-        assert!(csv.starts_with("collective,bin,calls"));
-        assert!(csv.contains("MPI_Allreduce,>64 MB,1,1000.000,1024.000"));
+        let mut lines = csv.lines();
+        let edges = lines.next().unwrap();
+        assert!(edges.starts_with("# bins: "), "{edges}");
+        assert!(edges.contains("1-128 KB = [0 B, 131072 B)"));
+        assert!(edges.contains(">64 MB = [67108864 B, inf)"));
+        assert_eq!(
+            lines.next().unwrap(),
+            "collective,bin,calls,total_ms,p50_ms,p95_ms,total_mb,gb_per_s"
+        );
+        assert!(csv.contains("MPI_Allreduce,>64 MB,1,1000.000,1000.000,1000.000,1024.000"));
+    }
+
+    #[test]
+    fn percentiles_expose_stragglers_the_mean_hides() {
+        let mut p = Hvprof::new();
+        // 19 fast calls and one 100× straggler in the same bin.
+        for _ in 0..19 {
+            p.record(Collective::Allreduce, 20 << 20, 0.010);
+        }
+        p.record(Collective::Allreduce, 20 << 20, 1.0);
+        assert!((p.percentile(Collective::Allreduce, 2, 0.50) - 0.010).abs() < 1e-12);
+        assert!((p.percentile(Collective::Allreduce, 2, 0.95) - 0.010).abs() < 1e-12);
+        assert!((p.percentile(Collective::Allreduce, 2, 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(p.percentile(Collective::Bcast, 0, 0.5), 0.0);
+        let rendered = p.render(Collective::Allreduce);
+        assert!(rendered.contains("p50 10.000 ms"), "{rendered}");
+        assert!(rendered.contains("p95 10.000 ms"), "{rendered}");
+    }
+
+    #[test]
+    fn percentiles_survive_merge_and_serde() {
+        let mut a = Hvprof::new();
+        a.record(Collective::Allreduce, 1024, 0.001);
+        a.record(Collective::Allreduce, 1024, 0.002);
+        let mut b = Hvprof::new();
+        b.record(Collective::Allreduce, 1024, 0.100);
+        a.merge(&b);
+        assert!((a.percentile(Collective::Allreduce, 0, 0.5) - 0.002).abs() < 1e-12);
+        assert!((a.percentile(Collective::Allreduce, 0, 0.95) - 0.100).abs() < 1e-12);
+        let s = serde_json::to_string(&a).unwrap();
+        let q: Hvprof = serde_json::from_str(&s).unwrap();
+        assert!((q.percentile(Collective::Allreduce, 0, 0.95) - 0.100).abs() < 1e-12);
+        // Wire form without samples (pre-percentile profiles) still loads.
+        let legacy = r#"{"cells":[["Allreduce",0,{"count":1,"seconds":0.5,"bytes":1024}]]}"#;
+        let old: Hvprof = serde_json::from_str(legacy).unwrap();
+        assert_eq!(old.cell(Collective::Allreduce, 0).count, 1);
+        assert_eq!(old.percentile(Collective::Allreduce, 0, 0.5), 0.0);
     }
 
     #[test]

@@ -54,9 +54,13 @@ impl Timeline {
         &self.events
     }
 
-    /// Merge another rank's timeline.
+    /// Merge another rank's timeline. Events are kept globally ordered by
+    /// start time (`ts_us`, stable for ties) so a merged multi-rank trace
+    /// reads chronologically in `chrome://tracing`/Perfetto and downstream
+    /// consumers can scan it as a sorted stream.
     pub fn merge(&mut self, other: &Timeline) {
         self.events.extend_from_slice(&other.events);
+        self.events.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
     }
 
     /// Total duration attributed to a category (seconds).
@@ -127,5 +131,64 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.events().len(), 2);
         assert!((a.category_seconds("c") - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_orders_events_by_start_time() {
+        // Rank timelines arrive with interleaved timestamps; the merged
+        // trace must be sorted by ts_us regardless of merge order.
+        let mut a = Timeline::new();
+        a.record("a0", "compute", 0, 0.030, 0.040);
+        a.record("a1", "compute", 0, 0.000, 0.010);
+        let mut b = Timeline::new();
+        b.record("b0", "allreduce", 1, 0.020, 0.025);
+        b.record("b1", "allreduce", 1, 0.005, 0.015);
+        let mut merged = Timeline::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        let ts: Vec<f64> = merged.events().iter().map(|e| e.ts_us).collect();
+        assert_eq!(merged.events().len(), 4);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "unsorted: {ts:?}");
+        // Stable for ties: equal timestamps keep insertion order.
+        let mut c = Timeline::new();
+        c.record("first", "c", 0, 0.0, 1.0);
+        let mut d = Timeline::new();
+        d.record("second", "c", 1, 0.0, 2.0);
+        c.merge(&d);
+        assert_eq!(c.events()[0].name, "first");
+        assert_eq!(c.events()[1].name, "second");
+    }
+
+    #[test]
+    fn timeline_serde_round_trips() {
+        let mut t = Timeline::new();
+        t.record("g0", "allreduce", 0, 0.010, 0.025);
+        t.record("fwd", "compute", 1, 0.0, 0.010);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Timeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.events(), t.events());
+    }
+
+    #[test]
+    fn chrome_trace_schema_has_required_keys_and_sorted_ts() {
+        let mut a = Timeline::new();
+        a.record("late", "compute", 0, 0.5, 0.6);
+        a.record("early", "compute", 0, 0.1, 0.2);
+        let mut m = Timeline::new();
+        m.merge(&a);
+        let v: serde_json::Value = serde_json::from_str(&m.to_chrome_trace()).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        let mut prev = f64::NEG_INFINITY;
+        for ev in arr {
+            for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid"] {
+                assert!(ev.get(key).is_some(), "missing {key}: {ev:?}");
+            }
+            assert_eq!(ev["ph"], "X");
+            assert!(ev["ts"].as_f64().is_some() && ev["dur"].as_f64().is_some());
+            let ts = ev["ts"].as_f64().unwrap();
+            assert!(ts >= prev, "chrome events not sorted by ts");
+            prev = ts;
+        }
     }
 }

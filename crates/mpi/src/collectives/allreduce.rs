@@ -49,6 +49,8 @@ pub fn allreduce_op(
     if comm.size() == 1 {
         return;
     }
+    let bytes = buf.len() * 4;
+    let t0 = comm.now();
     match algo {
         AllreduceAlgorithm::Ring => {
             let seq = comm.next_seq();
@@ -66,6 +68,12 @@ pub fn allreduce_op(
         }
         AllreduceAlgorithm::TwoLevel => two_level(comm, buf, buf_id, op),
     }
+    dlsr_trace::record_span(
+        || format!("allreduce.{algo:?} {bytes}B"),
+        dlsr_trace::cat::MPI,
+        t0,
+        comm.now(),
+    );
 }
 
 /// Ring allreduce over an ordered participant subset (every participant

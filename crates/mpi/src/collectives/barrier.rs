@@ -15,6 +15,7 @@ pub fn barrier(comm: &mut Comm) {
     }
     let rank = comm.rank();
     let seq = comm.next_seq();
+    let t0 = comm.now();
     let mut round = 0u64;
     let mut dist = 1usize;
     while dist < p {
@@ -25,6 +26,12 @@ pub fn barrier(comm: &mut Comm) {
         dist <<= 1;
         round += 1;
     }
+    dlsr_trace::record_span(
+        || "barrier".to_string(),
+        dlsr_trace::cat::MPI,
+        t0,
+        comm.now(),
+    );
 }
 
 #[cfg(test)]

@@ -16,6 +16,8 @@ pub fn bcast(comm: &mut Comm, buf: &mut Vec<f32>, root: usize, buf_id: u64) {
     let rank = comm.rank();
     let seq = comm.next_seq();
     let relative = (rank + p - root) % p;
+    let t0 = comm.now();
+    let bytes = buf.len() * 4;
 
     // receive phase: find the bit that connects us to our parent
     let mut mask = 1usize;
@@ -36,6 +38,12 @@ pub fn bcast(comm: &mut Comm, buf: &mut Vec<f32>, root: usize, buf_id: u64) {
         }
         mask >>= 1;
     }
+    dlsr_trace::record_span(
+        || format!("bcast {bytes}B root{root}"),
+        dlsr_trace::cat::MPI,
+        t0,
+        comm.now(),
+    );
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ pub fn allreduce_elems(comm: &mut Comm, elems: usize, buf_id: u64, algo: Allredu
     if comm.size() == 1 {
         return;
     }
+    let t0 = comm.now();
     match algo {
         AllreduceAlgorithm::Ring => {
             let seq = comm.next_seq();
@@ -43,6 +44,12 @@ pub fn allreduce_elems(comm: &mut Comm, elems: usize, buf_id: u64, algo: Allredu
         }
         AllreduceAlgorithm::TwoLevel => two_level_elems(comm, elems, buf_id),
     }
+    dlsr_trace::record_span(
+        || format!("allreduce.{algo:?} {}B", elems * 4),
+        dlsr_trace::cat::MPI,
+        t0,
+        comm.now(),
+    );
 }
 
 fn ring_elems(comm: &mut Comm, elems: usize, participants: &[usize], buf_id: u64, seq: u64) {

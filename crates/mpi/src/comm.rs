@@ -269,11 +269,29 @@ impl Comm {
             PathPolicy::NcclLike => self.cfg.nccl_send_overhead,
         };
         self.clock.advance(overhead);
-        match path {
-            TransportPath::NvlinkP2p => self.stats.nvlink_bytes += bytes,
-            TransportPath::HostStaged => self.stats.staged_bytes += bytes,
-            TransportPath::IbRdma | TransportPath::IbEager => self.stats.ib_bytes += bytes,
-            TransportPath::DeviceLocal => {}
+        {
+            use dlsr_trace::report::keys;
+            match path {
+                TransportPath::NvlinkP2p => {
+                    self.stats.nvlink_bytes += bytes;
+                    dlsr_trace::counter_add(keys::NET_IPC, 1.0);
+                }
+                TransportPath::HostStaged => {
+                    self.stats.staged_bytes += bytes;
+                    dlsr_trace::counter_add(keys::NET_STAGED, 1.0);
+                }
+                TransportPath::IbRdma => {
+                    self.stats.ib_bytes += bytes;
+                    dlsr_trace::counter_add(keys::NET_RDMA, 1.0);
+                }
+                TransportPath::IbEager => {
+                    self.stats.ib_bytes += bytes;
+                    dlsr_trace::counter_add(keys::NET_EAGER, 1.0);
+                }
+                TransportPath::DeviceLocal => {
+                    dlsr_trace::counter_add(keys::NET_LOCAL, 1.0);
+                }
+            }
         }
         let mut transfer = match self.policy {
             PathPolicy::Mpi => self.cfg.transport.transfer_time(path, bytes),
@@ -287,6 +305,14 @@ impl Comm {
                 .extra_latency(self.topo.node_of(self.rank), self.topo.node_of(dst));
         }
         let arrival = self.clock.now() + transfer;
+        // The wire occupancy of this message on the sender's virtual
+        // timeline: departure at now(), delivery at arrival.
+        dlsr_trace::record_span(
+            || format!("{path:?} {bytes}B -> r{dst}"),
+            dlsr_trace::cat::NET,
+            self.clock.now(),
+            arrival,
+        );
         self.stats.sends += 1;
         self.senders[dst]
             .send(Message {

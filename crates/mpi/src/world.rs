@@ -68,6 +68,9 @@ impl MpiWorld {
                 let topo = topo.clone();
                 let f = &f;
                 handles.push(scope.spawn(move || {
+                    // Spans and counters recorded on this thread attribute
+                    // to this rank.
+                    dlsr_trace::set_thread_rank(rank);
                     let mut comm = Comm::new(rank, topo, cfg, senders, rx, registries);
                     let r = f(&mut comm);
                     (rank, r, comm.now())

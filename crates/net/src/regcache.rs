@@ -81,18 +81,22 @@ impl RegistrationCache {
     /// needed). Returns `true` on hit (no pin cost), `false` on miss (the
     /// caller charges the pin cost).
     pub fn lookup(&mut self, buffer_id: u64, bytes: u64) -> bool {
+        use dlsr_trace::report::keys;
         self.tick += 1;
         if !self.enabled {
             self.stats.misses += 1;
+            dlsr_trace::counter_add(keys::REGCACHE_MISSES, 1.0);
             return false;
         }
         let key = (buffer_id, bytes);
         if let Some(e) = self.entries.get_mut(&key) {
             e.last_use = self.tick;
             self.stats.hits += 1;
+            dlsr_trace::counter_add(keys::REGCACHE_HITS, 1.0);
             return true;
         }
         self.stats.misses += 1;
+        dlsr_trace::counter_add(keys::REGCACHE_MISSES, 1.0);
         // evict until the new registration fits
         while self.used_bytes + bytes > self.capacity_bytes && !self.entries.is_empty() {
             let (&victim, _) = self
@@ -103,6 +107,7 @@ impl RegistrationCache {
             let removed = self.entries.remove(&victim).expect("victim exists");
             self.used_bytes -= removed.bytes;
             self.stats.evictions += 1;
+            dlsr_trace::counter_add(dlsr_trace::report::keys::REGCACHE_EVICTIONS, 1.0);
         }
         if bytes <= self.capacity_bytes {
             self.entries.insert(

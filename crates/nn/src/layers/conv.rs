@@ -76,6 +76,15 @@ impl Conv2d {
         self.conv
     }
 
+    /// Layer name as passed to the constructor (parameters are named
+    /// `{layer}.weight` / `{layer}.bias`).
+    fn layer_name(&self) -> &str {
+        self.weight
+            .name
+            .strip_suffix(".weight")
+            .unwrap_or(&self.weight.name)
+    }
+
     /// Output channel count.
     pub fn out_channels(&self) -> usize {
         self.weight.value.shape().dim(0)
@@ -84,6 +93,8 @@ impl Conv2d {
     /// Forward pass with `act` fused into the convolution epilogue. The
     /// matching mask is applied automatically in [`Module::backward`].
     pub fn forward_act(&mut self, x: &Tensor, act: Act) -> Result<Tensor> {
+        let _span =
+            dlsr_trace::span_with(|| self.layer_name().to_string(), dlsr_trace::cat::NN_FWD);
         self.input_cache = Some(x.clone());
         let y = conv2d_fused(
             x,
@@ -117,6 +128,8 @@ impl Module for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let _span =
+            dlsr_trace::span_with(|| self.layer_name().to_string(), dlsr_trace::cat::NN_BWD);
         let input = self
             .input_cache
             .take()

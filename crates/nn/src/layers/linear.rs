@@ -51,11 +51,31 @@ impl Linear {
 
 impl Module for Linear {
     fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        let _span = dlsr_trace::span_with(
+            || {
+                self.weight
+                    .name
+                    .strip_suffix(".weight")
+                    .unwrap_or(&self.weight.name)
+                    .to_string()
+            },
+            dlsr_trace::cat::NN_FWD,
+        );
         self.input_cache = Some(x.clone());
         self.apply(x)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let _span = dlsr_trace::span_with(
+            || {
+                self.weight
+                    .name
+                    .strip_suffix(".weight")
+                    .unwrap_or(&self.weight.name)
+                    .to_string()
+            },
+            dlsr_trace::cat::NN_BWD,
+        );
         let x = self
             .input_cache
             .take()

@@ -236,18 +236,37 @@ pub fn conv2d_fused_into(
 
     let chw_in = c_in * h * w;
     let batch_par = n > 1 && rayon::current_num_threads() > 1;
+    // Spans from rayon workers are tagged with the dispatching rank so the
+    // trace attributes kernel time to the rank that owns this layer call.
+    let rank = dlsr_trace::thread_rank();
     let image = |i: usize, dst: &mut [f32]| {
         let img = &input.data()[i * chw_in..(i + 1) * chw_in];
         let mut col = scratch::take(k * hw_out);
+        let t0 = dlsr_trace::now_wall_s();
         im2col(img, (c_in, h, w), (kh, kw), p, &mut col);
+        dlsr_trace::record_wall_span(
+            || format!("im2col {c_in}x{h}x{w} k{kh}x{kw}"),
+            dlsr_trace::cat::IM2COL,
+            rank,
+            t0,
+            dlsr_trace::now_wall_s(),
+        );
         let mut bpack = scratch::take(packed_b_len(k, hw_out));
         pack_b(&col, k, hw_out, &mut bpack);
+        let t1 = dlsr_trace::now_wall_s();
         if batch_par {
             // Already on a rayon worker: keep the GEMM on this thread.
             gemm_prepacked_seq(&wpack, &bpack, dst, c_out, k, hw_out, epi);
         } else {
             gemm_prepacked(&wpack, &bpack, dst, c_out, k, hw_out, epi);
         }
+        dlsr_trace::record_wall_span(
+            || format!("conv gemm {c_out}x{k}x{hw_out}"),
+            dlsr_trace::cat::GEMM,
+            rank,
+            t1,
+            dlsr_trace::now_wall_s(),
+        );
     };
     let out_chunk = c_out * hw_out;
     if batch_par {
@@ -302,7 +321,9 @@ pub fn conv2d_backward(
     let mut gb_all = scratch::take(n * c_out);
 
     let batch_par = n > 1 && rayon::current_num_threads() > 1;
+    let rank = dlsr_trace::thread_rank();
     let image = |i: usize, gi: &mut [f32], gw_i: &mut [f32], gb_i: &mut [f32]| {
+        let t0 = dlsr_trace::now_wall_s();
         let img = &input.data()[i * chw_in..(i + 1) * chw_in];
         let go = &grad_out.data()[i * c_out * hw_out..(i + 1) * c_out * hw_out];
 
@@ -347,6 +368,13 @@ pub fn conv2d_backward(
             Epilogue::None,
         );
         col2im(&col, (c_in, h, w), (kh, kw), p, gi);
+        dlsr_trace::record_wall_span(
+            || format!("conv bwd gemm {c_out}x{hw_out}x{k}"),
+            dlsr_trace::cat::GEMM,
+            rank,
+            t0,
+            dlsr_trace::now_wall_s(),
+        );
     };
 
     let gw_len = c_out * k;

@@ -89,6 +89,7 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), k * n);
     assert_eq!(c.len(), m * n);
+    let _span = dlsr_trace::span_with(|| format!("gemm {m}x{k}x{n}"), dlsr_trace::cat::GEMM);
     let mut apack = scratch::take(packed_a_len(m, k));
     let mut bpack = scratch::take(packed_b_len(k, n));
     pack_a(a, m, k, &mut apack);

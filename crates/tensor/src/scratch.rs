@@ -67,6 +67,7 @@ impl Drop for ScratchBuf {
 /// call concurrently from rayon workers — each call returns a distinct
 /// buffer.
 pub fn take(len: usize) -> ScratchBuf {
+    dlsr_trace::counter_add(dlsr_trace::report::keys::SCRATCH_TAKES, 1.0);
     let candidate = {
         let mut pool = POOL.lock();
         // Prefer the smallest pooled buffer that already fits, so one
@@ -85,6 +86,7 @@ pub fn take(len: usize) -> ScratchBuf {
     let mut buf = candidate.unwrap_or_default();
     if buf.capacity() < len {
         ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        dlsr_trace::counter_add(dlsr_trace::report::keys::SCRATCH_ALLOCS, 1.0);
         buf.reserve_exact(len - buf.len());
     }
     // Adjust logical length without zeroing reused storage: `resize` only

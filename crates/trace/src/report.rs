@@ -1,0 +1,572 @@
+//! Step-time breakdown aggregation over recorded spans and counters.
+//!
+//! [`StepReport`] renders the paper-style decomposition of a training step:
+//! compute / negotiate / communication / *exposed* communication per rank,
+//! with min/mean/max skew across ranks, a per-layer rollup, and the counter
+//! summaries (regcache hit rate, fusion-buffer utilization, transfer-path
+//! mix, scratch-pool reuse) that PAPER.md §IV–V's optimizations are judged
+//! by.
+//!
+//! Durations are computed by **interval union** per category set, so nested
+//! spans (an `mpi` algorithm span inside a `horovod` allreduce span, a GEMM
+//! inside a layer forward) are not double-counted. Overlap between compute
+//! and communication is only measured between spans of the same [`Clock`]
+//! domain; mixing virtual and wall timestamps would be meaningless.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{cat, Clock, TraceEvent};
+
+/// Counter keys shared between instrumentation sites and this report.
+pub mod keys {
+    pub const REGCACHE_HITS: &str = "regcache.hits";
+    pub const REGCACHE_MISSES: &str = "regcache.misses";
+    pub const REGCACHE_EVICTIONS: &str = "regcache.evictions";
+    pub const FUSION_GROUPS: &str = "fusion.groups";
+    pub const FUSION_PACKED_BYTES: &str = "fusion.packed_bytes";
+    pub const FUSION_CAPACITY_BYTES: &str = "fusion.capacity_bytes";
+    pub const NET_IPC: &str = "net.ipc_transfers";
+    pub const NET_STAGED: &str = "net.staged_transfers";
+    pub const NET_RDMA: &str = "net.rdma_transfers";
+    pub const NET_EAGER: &str = "net.eager_transfers";
+    pub const NET_LOCAL: &str = "net.local_transfers";
+    pub const SCRATCH_TAKES: &str = "scratch.takes";
+    pub const SCRATCH_ALLOCS: &str = "scratch.alloc_events";
+    pub const GPU_IPC_OPENS: &str = "gpu.ipc_opens";
+    pub const GPU_IPC_CACHED: &str = "gpu.ipc_cached";
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MinMeanMax {
+    pub min: f64,
+    pub mean: f64,
+    pub max: f64,
+}
+
+impl MinMeanMax {
+    pub fn of(xs: impl IntoIterator<Item = f64>) -> Self {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for x in xs {
+            min = min.min(x);
+            max = max.max(x);
+            sum += x;
+            n += 1;
+        }
+        if n == 0 {
+            return Self::default();
+        }
+        Self {
+            min,
+            mean: sum / n as f64,
+            max,
+        }
+    }
+}
+
+/// Time decomposition for one rank, seconds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RankBreakdown {
+    pub rank: usize,
+    /// Union of compute-category spans (`compute`, `tensor.*`, `nn.*`).
+    pub compute_s: f64,
+    /// Union of `negotiate` spans.
+    pub negotiate_s: f64,
+    /// Union of communication-category spans (`allreduce`, `mpi`, `net`,
+    /// `horovod.fusion`).
+    pub comm_s: f64,
+    /// Communication time hidden under compute (same-clock overlap).
+    pub overlap_s: f64,
+    /// Communication time *not* hidden under compute: `comm_s - overlap_s`.
+    pub exposed_comm_s: f64,
+    /// Number of spans recorded by this rank.
+    pub spans: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CategoryStat {
+    pub calls: usize,
+    /// Sum of span durations (not a union — nested calls accumulate).
+    pub seconds: f64,
+}
+
+/// Per-layer forward/backward rollup from `nn.forward` / `nn.backward`
+/// spans, all ranks combined.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LayerStat {
+    pub name: String,
+    pub forward_s: f64,
+    pub backward_s: f64,
+    pub calls: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegcacheSummary {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub hit_rate: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FusionSummary {
+    pub groups: u64,
+    pub packed_bytes: u64,
+    /// `groups × fusion threshold`: the bytes the fusion buffers could have
+    /// carried.
+    pub capacity_bytes: u64,
+    /// `packed_bytes / capacity_bytes` (0 when no groups were packed).
+    pub utilization: f64,
+}
+
+/// How many point-to-point transfers took each transport path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TransferMix {
+    pub ipc: u64,
+    pub staged: u64,
+    pub rdma: u64,
+    pub eager: u64,
+    pub local: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScratchSummary {
+    pub takes: u64,
+    pub alloc_events: u64,
+    /// Fraction of takes served without touching the allocator.
+    pub reuse_rate: f64,
+}
+
+/// Min/mean/max across ranks for the headline columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepSkew {
+    pub compute: MinMeanMax,
+    pub comm: MinMeanMax,
+    pub exposed_comm: MinMeanMax,
+}
+
+/// Aggregated step-time breakdown report. Build with [`StepReport::build`],
+/// export with [`StepReport::to_json`], print with [`StepReport::render`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepReport {
+    pub scenario: String,
+    pub world: usize,
+    pub steps: usize,
+    /// Mean measured (virtual) step time supplied by the harness, seconds.
+    pub step_time_s: f64,
+    pub ranks: Vec<RankBreakdown>,
+    pub skew: StepSkew,
+    pub layers: Vec<LayerStat>,
+    pub categories: BTreeMap<String, CategoryStat>,
+    pub regcache: RegcacheSummary,
+    pub fusion: FusionSummary,
+    pub transfers: TransferMix,
+    pub scratch: ScratchSummary,
+    /// Raw counter/gauge snapshot the summaries were derived from.
+    pub counters: BTreeMap<String, f64>,
+}
+
+/// Merge possibly-overlapping `(start, end)` intervals into a disjoint,
+/// sorted list.
+fn union_intervals(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.retain(|(s, e)| e > s);
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+fn union_len(iv: &[(f64, f64)]) -> f64 {
+    iv.iter().map(|(s, e)| e - s).sum()
+}
+
+/// Total length of the intersection of two disjoint sorted interval lists.
+fn intersect_len(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j) = (0, 0);
+    let mut total = 0.0;
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+fn counter_u64(counters: &BTreeMap<String, f64>, key: &str) -> u64 {
+    counters.get(key).copied().unwrap_or(0.0).max(0.0) as u64
+}
+
+impl StepReport {
+    /// Aggregate spans and a counter snapshot into a report. Contextual
+    /// fields (`scenario`, `steps`, `step_time_s`) are filled via
+    /// [`StepReport::with_context`]; `world` defaults to the number of
+    /// distinct ranks seen.
+    pub fn build(events: &[TraceEvent], counters: &BTreeMap<String, f64>) -> Self {
+        let ranks_seen: BTreeSet<usize> = events.iter().map(|e| e.rank).collect();
+        let mut ranks = Vec::with_capacity(ranks_seen.len());
+        for &rank in &ranks_seen {
+            let mut compute_s = 0.0;
+            let mut negotiate_s = 0.0;
+            let mut comm_s = 0.0;
+            let mut overlap_s = 0.0;
+            let mut spans = 0usize;
+            for clock in [Clock::Virtual, Clock::Wall] {
+                let of = |set: &[&str]| -> Vec<(f64, f64)> {
+                    union_intervals(
+                        events
+                            .iter()
+                            .filter(|e| {
+                                e.rank == rank && e.clock == clock && set.contains(&e.cat.as_str())
+                            })
+                            .map(|e| (e.start_s, e.end_s))
+                            .collect(),
+                    )
+                };
+                let compute = of(cat::COMPUTE_SET);
+                let comm = of(cat::COMM_SET);
+                compute_s += union_len(&compute);
+                comm_s += union_len(&comm);
+                overlap_s += intersect_len(&compute, &comm);
+                negotiate_s += union_len(&of(&[cat::NEGOTIATE]));
+            }
+            spans += events.iter().filter(|e| e.rank == rank).count();
+            ranks.push(RankBreakdown {
+                rank,
+                compute_s,
+                negotiate_s,
+                comm_s,
+                overlap_s,
+                exposed_comm_s: (comm_s - overlap_s).max(0.0),
+                spans,
+            });
+        }
+
+        let skew = StepSkew {
+            compute: MinMeanMax::of(ranks.iter().map(|r| r.compute_s)),
+            comm: MinMeanMax::of(ranks.iter().map(|r| r.comm_s)),
+            exposed_comm: MinMeanMax::of(ranks.iter().map(|r| r.exposed_comm_s)),
+        };
+
+        let mut categories: BTreeMap<String, CategoryStat> = BTreeMap::new();
+        for e in events {
+            let c = categories.entry(e.cat.clone()).or_default();
+            c.calls += 1;
+            c.seconds += e.dur_s();
+        }
+
+        let mut layer_map: BTreeMap<String, LayerStat> = BTreeMap::new();
+        for e in events {
+            let fwd = e.cat == cat::NN_FWD;
+            if !fwd && e.cat != cat::NN_BWD {
+                continue;
+            }
+            let l = layer_map
+                .entry(e.name.clone())
+                .or_insert_with(|| LayerStat {
+                    name: e.name.clone(),
+                    ..Default::default()
+                });
+            if fwd {
+                l.forward_s += e.dur_s();
+            } else {
+                l.backward_s += e.dur_s();
+            }
+            l.calls += 1;
+        }
+
+        let hits = counter_u64(counters, keys::REGCACHE_HITS);
+        let misses = counter_u64(counters, keys::REGCACHE_MISSES);
+        let regcache = RegcacheSummary {
+            hits,
+            misses,
+            evictions: counter_u64(counters, keys::REGCACHE_EVICTIONS),
+            hit_rate: if hits + misses > 0 {
+                hits as f64 / (hits + misses) as f64
+            } else {
+                0.0
+            },
+        };
+
+        let packed = counter_u64(counters, keys::FUSION_PACKED_BYTES);
+        let capacity = counter_u64(counters, keys::FUSION_CAPACITY_BYTES);
+        let fusion = FusionSummary {
+            groups: counter_u64(counters, keys::FUSION_GROUPS),
+            packed_bytes: packed,
+            capacity_bytes: capacity,
+            utilization: if capacity > 0 {
+                packed as f64 / capacity as f64
+            } else {
+                0.0
+            },
+        };
+
+        let transfers = TransferMix {
+            ipc: counter_u64(counters, keys::NET_IPC),
+            staged: counter_u64(counters, keys::NET_STAGED),
+            rdma: counter_u64(counters, keys::NET_RDMA),
+            eager: counter_u64(counters, keys::NET_EAGER),
+            local: counter_u64(counters, keys::NET_LOCAL),
+        };
+
+        let takes = counter_u64(counters, keys::SCRATCH_TAKES);
+        let allocs = counter_u64(counters, keys::SCRATCH_ALLOCS);
+        let scratch = ScratchSummary {
+            takes,
+            alloc_events: allocs,
+            reuse_rate: if takes > 0 {
+                1.0 - (allocs.min(takes) as f64 / takes as f64)
+            } else {
+                0.0
+            },
+        };
+
+        StepReport {
+            scenario: String::new(),
+            world: ranks.len(),
+            steps: 0,
+            step_time_s: 0.0,
+            ranks,
+            skew,
+            layers: layer_map.into_values().collect(),
+            categories,
+            regcache,
+            fusion,
+            transfers,
+            scratch,
+            counters: counters.clone(),
+        }
+    }
+
+    pub fn with_context(
+        mut self,
+        scenario: &str,
+        world: usize,
+        steps: usize,
+        step_time_s: f64,
+    ) -> Self {
+        self.scenario = scenario.to_string();
+        self.world = world;
+        self.steps = steps;
+        self.step_time_s = step_time_s;
+        self
+    }
+
+    /// Override the regcache summary with authoritative per-`Comm` stats
+    /// (counter-derived values can undercount when tracing was off for part
+    /// of the run).
+    pub fn set_regcache(&mut self, hits: u64, misses: u64, evictions: u64) {
+        self.regcache = RegcacheSummary {
+            hits,
+            misses,
+            evictions,
+            hit_rate: if hits + misses > 0 {
+                hits as f64 / (hits + misses) as f64
+            } else {
+                0.0
+            },
+        };
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("StepReport serializes")
+    }
+
+    /// Paper-style text rendering of the breakdown.
+    pub fn render(&self) -> String {
+        let ms = |s: f64| s * 1e3;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "step breakdown · scenario={} world={} steps={} step_time={:.3} ms\n",
+            if self.scenario.is_empty() {
+                "?"
+            } else {
+                &self.scenario
+            },
+            self.world,
+            self.steps,
+            ms(self.step_time_s),
+        ));
+        out.push_str(
+            "rank |  compute ms | negotiate ms |    comm ms | overlap ms | exposed ms | spans\n",
+        );
+        for r in &self.ranks {
+            out.push_str(&format!(
+                "{:>4} | {:>11.3} | {:>12.3} | {:>10.3} | {:>10.3} | {:>10.3} | {:>5}\n",
+                r.rank,
+                ms(r.compute_s),
+                ms(r.negotiate_s),
+                ms(r.comm_s),
+                ms(r.overlap_s),
+                ms(r.exposed_comm_s),
+                r.spans,
+            ));
+        }
+        out.push_str(&format!(
+            "skew | compute {:.3}/{:.3}/{:.3} ms | comm {:.3}/{:.3}/{:.3} ms | exposed {:.3}/{:.3}/{:.3} ms (min/mean/max)\n",
+            ms(self.skew.compute.min),
+            ms(self.skew.compute.mean),
+            ms(self.skew.compute.max),
+            ms(self.skew.comm.min),
+            ms(self.skew.comm.mean),
+            ms(self.skew.comm.max),
+            ms(self.skew.exposed_comm.min),
+            ms(self.skew.exposed_comm.mean),
+            ms(self.skew.exposed_comm.max),
+        ));
+        if !self.layers.is_empty() {
+            out.push_str("layer                        | forward ms | backward ms | calls\n");
+            let mut layers: Vec<&LayerStat> = self.layers.iter().collect();
+            layers.sort_by(|a, b| {
+                (b.forward_s + b.backward_s).total_cmp(&(a.forward_s + a.backward_s))
+            });
+            for l in layers {
+                out.push_str(&format!(
+                    "{:<28} | {:>10.3} | {:>11.3} | {:>5}\n",
+                    l.name,
+                    ms(l.forward_s),
+                    ms(l.backward_s),
+                    l.calls,
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "regcache: {} hits / {} misses / {} evictions (hit rate {:.1}%)\n",
+            self.regcache.hits,
+            self.regcache.misses,
+            self.regcache.evictions,
+            self.regcache.hit_rate * 100.0,
+        ));
+        out.push_str(&format!(
+            "fusion: {} groups, {:.2} MB packed, utilization {:.1}%\n",
+            self.fusion.groups,
+            self.fusion.packed_bytes as f64 / 1e6,
+            self.fusion.utilization * 100.0,
+        ));
+        out.push_str(&format!(
+            "transfers: ipc={} staged={} rdma={} eager={} local={}\n",
+            self.transfers.ipc,
+            self.transfers.staged,
+            self.transfers.rdma,
+            self.transfers.eager,
+            self.transfers.local,
+        ));
+        out.push_str(&format!(
+            "scratch: {} takes, {} alloc events (reuse {:.1}%)\n",
+            self.scratch.takes,
+            self.scratch.alloc_events,
+            self.scratch.reuse_rate * 100.0,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, cat_: &str, rank: usize, s: f64, e: f64, clock: Clock) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: cat_.into(),
+            rank,
+            start_s: s,
+            end_s: e,
+            clock,
+        }
+    }
+
+    #[test]
+    fn interval_union_merges_nested_and_adjacent() {
+        let u = union_intervals(vec![(0.0, 2.0), (1.0, 1.5), (2.0, 3.0), (5.0, 6.0)]);
+        assert_eq!(u, vec![(0.0, 3.0), (5.0, 6.0)]);
+        assert!((union_len(&u) - 4.0).abs() < 1e-12);
+        let a = union_intervals(vec![(0.0, 4.0)]);
+        let b = union_intervals(vec![(1.0, 2.0), (3.0, 5.0)]);
+        assert!((intersect_len(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_does_not_double_count_nested_spans() {
+        // Compute 0..10; an allreduce 4..8 with a nested mpi span 4..8 and a
+        // net span 5..7: comm union must be 4 s, fully overlapped.
+        let events = vec![
+            ev("fwd", cat::COMPUTE, 0, 0.0, 10.0, Clock::Virtual),
+            ev("ar[0]", cat::ALLREDUCE, 0, 4.0, 8.0, Clock::Virtual),
+            ev("ring", cat::MPI, 0, 4.0, 8.0, Clock::Virtual),
+            ev("wire", cat::NET, 0, 5.0, 7.0, Clock::Virtual),
+            ev("tail", cat::ALLREDUCE, 0, 10.0, 11.0, Clock::Virtual),
+        ];
+        let rep = StepReport::build(&events, &BTreeMap::new());
+        let r = &rep.ranks[0];
+        assert!((r.compute_s - 10.0).abs() < 1e-9);
+        assert!((r.comm_s - 5.0).abs() < 1e-9);
+        assert!((r.overlap_s - 4.0).abs() < 1e-9);
+        assert!((r.exposed_comm_s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_and_virtual_domains_never_overlap() {
+        // A wall-clock layer span and a virtual comm span occupying the
+        // "same" numeric range must not count as hidden communication.
+        let events = vec![
+            ev("conv1", cat::NN_FWD, 0, 0.0, 10.0, Clock::Wall),
+            ev("ar[0]", cat::ALLREDUCE, 0, 2.0, 6.0, Clock::Virtual),
+        ];
+        let rep = StepReport::build(&events, &BTreeMap::new());
+        let r = &rep.ranks[0];
+        assert!((r.compute_s - 10.0).abs() < 1e-9);
+        assert!((r.comm_s - 4.0).abs() < 1e-9);
+        assert_eq!(r.overlap_s, 0.0);
+        assert!((r.exposed_comm_s - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_summaries_and_json_round_trip() {
+        let mut counters = BTreeMap::new();
+        counters.insert(keys::REGCACHE_HITS.to_string(), 90.0);
+        counters.insert(keys::REGCACHE_MISSES.to_string(), 10.0);
+        counters.insert(keys::FUSION_GROUPS.to_string(), 2.0);
+        counters.insert(keys::FUSION_PACKED_BYTES.to_string(), 32e6);
+        counters.insert(keys::FUSION_CAPACITY_BYTES.to_string(), 128e6);
+        counters.insert(keys::NET_IPC.to_string(), 7.0);
+        counters.insert(keys::NET_STAGED.to_string(), 3.0);
+        counters.insert(keys::SCRATCH_TAKES.to_string(), 100.0);
+        counters.insert(keys::SCRATCH_ALLOCS.to_string(), 25.0);
+        let events = vec![
+            ev("conv1", cat::NN_FWD, 0, 0.0, 1.0, Clock::Wall),
+            ev("conv1", cat::NN_BWD, 0, 1.0, 3.0, Clock::Wall),
+            ev("conv1", cat::NN_FWD, 1, 0.0, 1.5, Clock::Wall),
+        ];
+        let rep = StepReport::build(&events, &counters).with_context("edsr", 2, 4, 0.25);
+        assert_eq!(rep.world, 2);
+        assert!((rep.regcache.hit_rate - 0.9).abs() < 1e-12);
+        assert!((rep.fusion.utilization - 0.25).abs() < 1e-12);
+        assert_eq!(rep.transfers.ipc, 7);
+        assert!((rep.scratch.reuse_rate - 0.75).abs() < 1e-12);
+        assert_eq!(rep.layers.len(), 1);
+        assert_eq!(rep.layers[0].calls, 3);
+        assert!((rep.skew.compute.max - 2.0 - 1.0).abs() < 1e-9);
+
+        let back: StepReport = serde_json::from_str(&rep.to_json()).unwrap();
+        assert_eq!(back, rep);
+        let text = rep.render();
+        assert!(text.contains("hit rate 90.0%"));
+        assert!(text.contains("utilization 25.0%"));
+    }
+}
