@@ -44,6 +44,17 @@ pub struct RealTrainConfig {
     pub lr_decay: Option<(u64, f32)>,
     /// Evaluate held-out PSNR every `n` steps (recorded in `psnr_curve`).
     pub eval_every: Option<usize>,
+    /// Overlap backward compute with gradient allreduce (the cycle-driven
+    /// engine, [`DistributedOptimizer::backward_and_step`]); `false` runs
+    /// the classic backward-then-allreduce sequential path.
+    pub overlap: bool,
+    /// Horovod fusion threshold in bytes. The default is sized so a tiny
+    /// EDSR's ~23 KB gradient set splits into a handful of groups —
+    /// overlap needs more than one group to have anything to pipeline.
+    pub fusion_threshold: u64,
+    /// Horovod cycle time in seconds; also paces overlapped group
+    /// launches (expected phase lag `cycle_time / 2`).
+    pub cycle_time: f64,
 }
 
 impl Default for RealTrainConfig {
@@ -60,9 +71,21 @@ impl Default for RealTrainConfig {
             warmup_steps: 0,
             lr_decay: None,
             eval_every: None,
+            overlap: true,
+            fusion_threshold: 8 << 10,
+            cycle_time: 0.35e-3,
         }
     }
 }
+
+/// Virtual-clock compute cost per multiply-accumulate, calibrated against
+/// the CPU reference kernels the real path actually runs: the deterministic
+/// charge keeps every rank's compute identical (no wall-clock noise in the
+/// simulated timeline) while staying in the same regime as the measured
+/// kernels, so exposed-vs-hidden communication in the step report is
+/// meaningful. Backward costs 2× forward (grad-input + grad-weight GEMMs).
+const FWD_SECONDS_PER_MAC: f64 = 2.5e-9;
+const BWD_SECONDS_PER_MAC: f64 = 5.0e-9;
 
 /// Outcome of a real training run.
 #[derive(Debug, Clone)]
@@ -86,6 +109,9 @@ pub struct RealTrainResult {
     /// spans from worker threads); empty unless the `dlsr-trace`
     /// collector is enabled.
     pub trace: Vec<dlsr_trace::TraceEvent>,
+    /// Analytic-vs-measured gradient-readiness reconciliation from rank
+    /// 0's last overlapped backward; `None` on the sequential path.
+    pub readiness: Option<dlsr_horovod::ReadinessReconciliation>,
 }
 
 fn image_spec(lr_patch: usize, scale: usize) -> SyntheticImageSpec {
@@ -140,9 +166,21 @@ pub fn train_real(
         let mut opt = DistributedOptimizer::new(
             Adam::new(cfg.lr / world as f32),
             &mut model,
-            HorovodConfig::default(),
+            HorovodConfig {
+                fusion_threshold: cfg.fusion_threshold,
+                cycle_time: cfg.cycle_time,
+                ..Default::default()
+            },
             world,
         );
+        // Deterministic virtual compute charge per step: identical in the
+        // sequential and overlapped modes (required for their bitwise
+        // equivalence) and on every rank (no wall-clock noise).
+        let local_batch = cfg.global_batch / world;
+        let macs =
+            model.num_params() as f64 * (cfg.lr_patch * cfg.lr_patch) as f64 * local_batch as f64;
+        let fwd_virtual = macs * FWD_SECONDS_PER_MAC;
+        let bwd_virtual = macs * BWD_SECONDS_PER_MAC;
         // LR schedule: warmup (for the world-scaled rate) + optional decay
         let (period, gamma) = cfg.lr_decay.unwrap_or((u64::MAX, 1.0));
         let schedule = Warmup {
@@ -158,10 +196,33 @@ pub fn train_real(
         for step in 0..cfg.steps {
             sched.apply(&mut opt);
             let (lr_batch, hr_batch) = loader.batch(0, step as u64);
+            let t_fwd = comm.now();
             let pred = model.forward(&lr_batch).expect("forward");
+            comm.advance(fwd_virtual);
+            dlsr_trace::record_span(
+                || format!("fwd b{local_batch}"),
+                dlsr_trace::cat::COMPUTE,
+                t_fwd,
+                comm.now(),
+            );
             let (loss, grad) = l1_loss(&pred, &hr_batch).expect("loss");
-            model.backward(&grad).expect("backward");
-            opt.step(&mut model, comm);
+            if cfg.overlap {
+                // Cycle-driven engine: fusion groups launch their
+                // allreduces from inside backward, as gradients finalize.
+                opt.backward_and_step(&mut model, &grad, comm, bwd_virtual)
+                    .expect("backward");
+            } else {
+                let t_bwd = comm.now();
+                model.backward(&grad).expect("backward");
+                comm.advance(bwd_virtual);
+                dlsr_trace::record_span(
+                    || format!("bwd b{local_batch}"),
+                    dlsr_trace::cat::COMPUTE,
+                    t_bwd,
+                    comm.now(),
+                );
+                opt.step(&mut model, comm);
+            }
             losses.push(loss);
             if let Some(every) = cfg.eval_every {
                 if every > 0 && (step + 1) % every == 0 {
@@ -184,6 +245,7 @@ pub fn train_real(
             comm.now(),
             comm.regcache_stats(),
             dlsr_trace::take_thread_events(),
+            opt.readiness_reconciliation().cloned(),
         )
     });
     let makespan = res.ranks.iter().map(|r| r.5).fold(0.0, f64::max);
@@ -204,6 +266,7 @@ pub fn train_real(
         makespan,
         regcache,
         trace,
+        readiness: r0.8,
     }
 }
 

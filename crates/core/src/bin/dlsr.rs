@@ -21,7 +21,10 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             // boolean flags take no value; valued flags consume the next arg
-            let boolean = matches!(name, "augment" | "help" | "compare" | "check");
+            let boolean = matches!(
+                name,
+                "augment" | "help" | "compare" | "check" | "sequential"
+            );
             if boolean {
                 flags.insert(name.to_string(), "true".to_string());
             } else {
@@ -80,11 +83,16 @@ USAGE:
                 real EDSR training (tiny model, real math) on a simulated cluster
   dlsr simulate [--nodes N] [--steps S] [--batch B] [--scenario NAME]
                 at-scale costs-only run of the paper-scale EDSR workload
-  dlsr profile  [--nodes N] [--steps S] [--scenario NAME] [--check]
+  dlsr profile  [--nodes N] [--steps S] [--scenario NAME] [--sequential] [--check]
                 cross-layer trace of a real EDSR training run: chrome-trace
-                + step-report JSON under results/, breakdown table on stdout
-                (--check validates that every instrumented layer emitted
-                spans; exits non-zero otherwise)
+                + step-report JSON under results/, breakdown table on stdout.
+                Default mode overlaps backward with allreduce (see the
+                Overlap column); --sequential runs the classic
+                backward-then-allreduce path for comparison. --check
+                validates that every instrumented layer emitted spans and,
+                in overlap mode, that allreduce launches interleave with
+                backward in the wall-clock timeline; exits non-zero
+                otherwise
   dlsr profile --compare [--steps S]
                 hvprof Table-I comparison (default vs MPI-Opt, 4 GPUs)
   dlsr info     calibration anchors and workload facts
@@ -183,14 +191,17 @@ fn cmd_profile(flags: &HashMap<String, String>) {
     let sc = scenario(flags);
     let topo = ClusterTopology::lassen(nodes);
     let world = topo.total_gpus();
+    let overlap = !flags.contains_key("sequential");
     let cfg = RealTrainConfig {
         steps,
         global_batch: world,
+        overlap,
         ..Default::default()
     };
     println!(
-        "tracing {steps} real EDSR(tiny) training steps on {world} simulated GPUs ({})...",
-        sc.label()
+        "tracing {steps} real EDSR(tiny) training steps on {world} simulated GPUs ({}, {})...",
+        sc.label(),
+        if overlap { "overlapped" } else { "sequential" }
     );
     dlsr::trace::set_enabled(true);
     dlsr::trace::reset();
@@ -217,7 +228,50 @@ fn cmd_profile(flags: &HashMap<String, String>) {
     println!("step report  : results/profile_report.json");
     if flags.contains_key("check") {
         check_profile(&res.trace, &report);
+        check_overlap_markers(&res.trace, report.world, overlap);
     }
+}
+
+/// `--check`, overlap part: in overlap mode every rank's wall-clock
+/// timeline must show allreduce launches *interleaved* with backward —
+/// some `nn.backward` span ends before a launch starts and another starts
+/// after it ends. The sequential path must record no launch markers.
+fn check_overlap_markers(events: &[dlsr::trace::TraceEvent], world: usize, overlap: bool) {
+    use dlsr::trace::cat;
+    let launches: Vec<_> = events.iter().filter(|e| e.cat == cat::AR_LAUNCH).collect();
+    if !overlap {
+        if !launches.is_empty() {
+            eprintln!(
+                "check FAILED: sequential run recorded {} allreduce.launch markers",
+                launches.len()
+            );
+            std::process::exit(1);
+        }
+        println!("check: sequential run recorded no launch markers (as expected)");
+        return;
+    }
+    let mut failed = false;
+    for rank in 0..world {
+        let bwd: Vec<_> = events
+            .iter()
+            .filter(|e| e.rank == rank && e.cat == cat::NN_BWD)
+            .collect();
+        let interleaved = launches.iter().any(|l| {
+            l.rank == rank
+                && bwd.iter().any(|b| b.end_s <= l.start_s)
+                && bwd.iter().any(|b| b.start_s >= l.end_s)
+        });
+        if !interleaved {
+            eprintln!(
+                "check FAILED: rank {rank} has no allreduce launch interleaved with backward"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("check: allreduce launches interleave with backward on all {world} ranks");
 }
 
 /// `--check`: every instrumented layer must have produced at least one

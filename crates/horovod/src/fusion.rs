@@ -100,6 +100,63 @@ pub fn readiness_from_elems(tensors: &[TensorSpec], bwd_duration: f64) -> Vec<f6
         .collect()
 }
 
+/// How well the analytical readiness schedule ([`readiness_from_elems`])
+/// tracks readiness *measured* on the real training path (wall-clock hook
+/// timestamps from `backward_with_hook`). Both schedules are normalized to
+/// fractions of their final value before comparison, so a uniform speed
+/// difference between the model and the machine does not count as error —
+/// only a different *shape* does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadinessReconciliation {
+    /// Analytic readiness, normalized to \[0, 1\] of its final value.
+    pub analytic: Vec<f64>,
+    /// Measured readiness, normalized to \[0, 1\] of its final value.
+    pub measured: Vec<f64>,
+    /// Largest per-tensor deviation between the two normalized schedules.
+    pub max_abs_dev: f64,
+    /// Mean per-tensor deviation.
+    pub mean_abs_dev: f64,
+    /// Whether the measured schedule is non-decreasing (it must be — hooks
+    /// fire in backward order).
+    pub measured_monotone: bool,
+}
+
+/// Reconcile the analytical readiness schedule against measured readiness.
+/// Inputs are offsets from the start of backward, one per tensor in
+/// reduction order; lengths must match.
+pub fn reconcile_readiness(analytic: &[f64], measured: &[f64]) -> ReadinessReconciliation {
+    assert_eq!(
+        analytic.len(),
+        measured.len(),
+        "schedules describe different tensor sets"
+    );
+    fn normalize(xs: &[f64]) -> Vec<f64> {
+        let last = xs.last().copied().unwrap_or(0.0);
+        if last > 0.0 {
+            xs.iter().map(|&x| x / last).collect()
+        } else {
+            vec![0.0; xs.len()]
+        }
+    }
+    let a = normalize(analytic);
+    let m = normalize(measured);
+    let devs: Vec<f64> = a.iter().zip(&m).map(|(x, y)| (x - y).abs()).collect();
+    let max_abs_dev = devs.iter().cloned().fold(0.0, f64::max);
+    let mean_abs_dev = if devs.is_empty() {
+        0.0
+    } else {
+        devs.iter().sum::<f64>() / devs.len() as f64
+    };
+    let measured_monotone = measured.windows(2).all(|w| w[0] <= w[1]);
+    ReadinessReconciliation {
+        analytic: a,
+        measured: m,
+        max_abs_dev,
+        mean_abs_dev,
+        measured_monotone,
+    }
+}
+
 /// Plan fusion the way Horovod's background engine actually behaves
 /// (§II-D): the engine wakes every `cycle_time`; at each tick it fuses the
 /// tensors that became ready since the last processed batch (at most
@@ -240,6 +297,39 @@ mod tests {
         assert!(r.windows(2).all(|w| w[0] < w[1]));
         assert!((r[2] - 1.0).abs() < 1e-9);
         assert!((r[0] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconcile_reports_zero_deviation_for_matching_shapes() {
+        // Measured is 3× slower but the *shape* matches exactly.
+        let analytic = vec![0.1, 0.4, 1.0];
+        let measured = vec![0.3, 1.2, 3.0];
+        let r = reconcile_readiness(&analytic, &measured);
+        assert!(r.max_abs_dev < 1e-12, "dev {}", r.max_abs_dev);
+        assert!(r.measured_monotone);
+        assert!((r.analytic[2] - 1.0).abs() < 1e-12);
+        assert!((r.measured[0] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconcile_flags_shape_mismatch() {
+        // Analytic says readiness is front-loaded; measured is back-loaded.
+        let analytic = vec![0.8, 0.9, 1.0];
+        let measured = vec![0.1, 0.2, 1.0];
+        let r = reconcile_readiness(&analytic, &measured);
+        assert!(r.max_abs_dev > 0.5, "dev {}", r.max_abs_dev);
+        assert!(r.mean_abs_dev > 0.3);
+        assert!(r.mean_abs_dev <= r.max_abs_dev);
+    }
+
+    #[test]
+    fn reconcile_handles_degenerate_inputs() {
+        let r = reconcile_readiness(&[], &[]);
+        assert_eq!(r.max_abs_dev, 0.0);
+        assert!(r.measured_monotone);
+        // all-zero measured (instant backward) must not divide by zero
+        let r = reconcile_readiness(&[0.5, 1.0], &[0.0, 0.0]);
+        assert!(r.max_abs_dev.is_finite());
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod optimizer;
 pub use config::{Backend, HorovodConfig};
 pub use coordinator::{negotiate, negotiate_with_cost};
 pub use fusion::{
-    plan_dynamic, plan_fusion, readiness_from_elems, FusionGroup, ScheduledGroup, TensorSpec,
+    plan_dynamic, plan_fusion, readiness_from_elems, reconcile_readiness, FusionGroup,
+    ReadinessReconciliation, ScheduledGroup, TensorSpec,
 };
 pub use optimizer::{broadcast_parameters, DistributedOptimizer, GradientSynchronizer};

@@ -2,15 +2,19 @@
 //! code changes that "Horovod-ize" a single-GPU model (§III-A).
 
 use dlsr_hvprof::{Collective, Hvprof};
-use dlsr_mpi::collectives::{allreduce, bcast, synthetic, AllreduceAlgorithm};
+use dlsr_mpi::collectives::{allreduce_auto_labeled, bcast, synthetic, AllreduceAlgorithm};
 use dlsr_mpi::{Comm, PathPolicy};
 use dlsr_nccl::Nccl;
 use dlsr_nn::module::{Module, ModuleExt};
 use dlsr_nn::optim::Optimizer;
+use dlsr_tensor::{Result, Tensor};
 
 use crate::config::{Backend, HorovodConfig};
 use crate::coordinator::negotiate;
-use crate::fusion::{plan_fusion, FusionGroup, TensorSpec};
+use crate::fusion::{
+    plan_fusion, readiness_from_elems, reconcile_readiness, FusionGroup, ReadinessReconciliation,
+    TensorSpec,
+};
 
 /// Stable buffer-id namespace for the persistent fusion buffers (reused
 /// every step → registration-cache hits, the §III-D effect).
@@ -56,6 +60,25 @@ pub struct DistributedOptimizer<O: Optimizer> {
     cycle: u64,
     /// d2d pack/unpack bandwidth (fusion-buffer copies), bytes/s.
     pack_bandwidth: f64,
+    /// Offset of each tensor (reduction order) in the reduction-order flat
+    /// gradient buffer; groups tile this buffer contiguously.
+    rev_offsets: Vec<usize>,
+    /// Total gradient element count.
+    total_elems: usize,
+    /// Persistent double-buffered fusion buffers for the overlapped path:
+    /// group k packs into buffer k % 2 while group k−1 is on the wire.
+    /// Capacity persists across steps → registration-cache hits.
+    fuse_bufs: [Vec<f32>; 2],
+    /// Averaged gradients staged in reduction order until backward returns
+    /// (frees the parity buffer for group k+2 before write-back).
+    avg_flat: Vec<f32>,
+    /// Wall-clock readiness offsets (seconds from backward start) measured
+    /// during the last overlapped backward, one per tensor in reduction
+    /// order.
+    measured_readiness: Vec<f64>,
+    /// Analytic-vs-measured readiness comparison from the last overlapped
+    /// backward.
+    reconciliation: Option<ReadinessReconciliation>,
 }
 
 impl<O: Optimizer> DistributedOptimizer<O> {
@@ -77,6 +100,12 @@ impl<O: Optimizer> DistributedOptimizer<O> {
         tensors.reverse();
         let groups = plan_fusion(&tensors, cfg.fusion_threshold);
         inner.set_lr(inner.lr() * world as f32);
+        let mut rev_offsets = Vec::with_capacity(tensors.len());
+        let mut off = 0usize;
+        for t in &tensors {
+            rev_offsets.push(off);
+            off += t.elems;
+        }
         DistributedOptimizer {
             inner,
             cfg,
@@ -85,6 +114,12 @@ impl<O: Optimizer> DistributedOptimizer<O> {
             prof: Hvprof::new(),
             cycle: 0,
             pack_bandwidth: 700.0e9,
+            rev_offsets,
+            total_elems: off,
+            fuse_bufs: [Vec::new(), Vec::new()],
+            avg_flat: Vec::new(),
+            measured_readiness: Vec::new(),
+            reconciliation: None,
         }
     }
 
@@ -112,6 +147,193 @@ impl<O: Optimizer> DistributedOptimizer<O> {
     /// drive the already-world-scaled rate through this).
     pub fn set_inner_lr(&mut self, lr: f32) {
         self.inner.set_lr(lr);
+    }
+
+    /// Wall-clock readiness offsets measured during the last overlapped
+    /// backward (empty until [`DistributedOptimizer::backward_and_step`]
+    /// has run), one per tensor in reduction order.
+    pub fn measured_readiness(&self) -> &[f64] {
+        &self.measured_readiness
+    }
+
+    /// Analytic-vs-measured readiness comparison from the last overlapped
+    /// backward.
+    pub fn readiness_reconciliation(&self) -> Option<&ReadinessReconciliation> {
+        self.reconciliation.as_ref()
+    }
+
+    /// Overlapped backward + distributed step — the cycle-driven engine.
+    ///
+    /// Runs `model`'s backward with a gradient-readiness hook; the moment
+    /// the last tensor of a fusion group has its final gradient, that
+    /// group is packed and its allreduce launched *while backward is still
+    /// producing gradients for earlier layers*. Two persistent parity
+    /// buffers double-buffer the packing: group k+1 packs into buffer
+    /// `(k+1) % 2` while group k's buffer is on the wire (groups launch
+    /// strictly in plan order, so at most one group is ever partially
+    /// packed).
+    ///
+    /// `bwd_virtual` is the virtual-clock duration of the whole backward
+    /// pass. Group launch times inside it follow the *analytical*
+    /// readiness schedule ([`readiness_from_elems`] plus the engine's
+    /// `cycle_time / 2` expected phase lag) — a pure function of the model
+    /// shape, so every rank launches the same groups in the same order at
+    /// the same virtual times. Wall-clock readiness is recorded per tensor
+    /// for [`DistributedOptimizer::readiness_reconciliation`].
+    ///
+    /// Gradients, parameter updates and the returned input-gradient are
+    /// bitwise identical to `model.backward(grad_out)` followed by
+    /// [`DistributedOptimizer::step`]: the hook observes final gradient
+    /// values, groups pack the same byte ranges, the same size-binned
+    /// algorithm reduces them in the same order, and averaging uses the
+    /// same `/ world` division.
+    pub fn backward_and_step(
+        &mut self,
+        model: &mut dyn Module,
+        grad_out: &Tensor,
+        comm: &mut Comm,
+        bwd_virtual: f64,
+    ) -> Result<Tensor> {
+        let world = comm.size();
+        let world_f = world as f32;
+        let n = self.tensors.len();
+        let readiness = readiness_from_elems(&self.tensors, bwd_virtual);
+        let bwd_start_v = comm.now();
+        let wall0 = std::time::Instant::now();
+        if world > 1 {
+            self.cycle += 1;
+        }
+        let cycle = self.cycle;
+        self.measured_readiness.clear();
+        self.avg_flat.resize(self.total_elems, 0.0);
+
+        // Split borrows: the hook drives comm and the profiler while the
+        // model is exclusively inside backward_with_hook.
+        let groups = &self.groups;
+        let tensors = &self.tensors;
+        let cfg = &self.cfg;
+        let pack_bandwidth = self.pack_bandwidth;
+        let prof = &mut self.prof;
+        let fuse_bufs = &mut self.fuse_bufs;
+        let avg_flat = &mut self.avg_flat;
+        let measured = &mut self.measured_readiness;
+
+        let mut next_tensor = 0usize;
+        let mut cur_group = 0usize;
+        let mut filled = 0usize; // elems packed into the current group
+        let mut group_off = 0usize; // start of cur_group in reduction order
+
+        let g_in = model.backward_with_hook(grad_out, &mut |p| {
+            measured.push(wall0.elapsed().as_secs_f64());
+            debug_assert_eq!(
+                p.name, tensors[next_tensor].name,
+                "hook order diverged from the fusion plan"
+            );
+            next_tensor += 1;
+            if world <= 1 {
+                return; // nothing to reduce — readiness capture only
+            }
+            let group = &groups[cur_group];
+            let buf = &mut fuse_bufs[cur_group % 2];
+            if filled == 0 {
+                buf.clear(); // capacity persists across steps and groups
+            }
+            buf.extend_from_slice(p.grad.data());
+            filled += p.numel();
+            if filled < group.elems {
+                return;
+            }
+            // Group complete: launch its allreduce now, while backward
+            // continues on the remaining layers.
+            let gi = cur_group;
+            let last = *group.indices.last().unwrap();
+            comm.advance_to(bwd_start_v + readiness[last] + cfg.cycle_time * 0.5);
+            if gi == 0 {
+                negotiate(comm, tensors.len(), cycle);
+            }
+            record_group_counters(group, cfg.fusion_threshold);
+            let t_pack = comm.now();
+            comm.advance(group.bytes as f64 / pack_bandwidth);
+            dlsr_trace::record_span(
+                || format!("pack[g{gi}] {}B", group.bytes),
+                dlsr_trace::cat::FUSION,
+                t_pack,
+                comm.now(),
+            );
+            let w0 = dlsr_trace::now_wall_s();
+            let t0 = comm.now();
+            match cfg.backend {
+                Backend::Mpi => {
+                    allreduce_auto_labeled(comm, buf, FUSION_BUF_ID_BASE + gi as u64, Some(gi));
+                }
+                Backend::Nccl => Nccl::all_reduce(comm, buf, FUSION_BUF_ID_BASE + gi as u64),
+            }
+            prof.record(Collective::Allreduce, group.bytes, comm.now() - t0);
+            dlsr_trace::record_span(
+                || format!("allreduce[g{gi}] {}B", group.bytes),
+                dlsr_trace::cat::ALLREDUCE,
+                t0,
+                comm.now(),
+            );
+            // Wall-clock marker proving the launch happened mid-backward;
+            // the cost is carried by the virtual spans above.
+            dlsr_trace::record_wall_span(
+                || format!("allreduce.launch[g{gi}] {}B", group.bytes),
+                dlsr_trace::cat::AR_LAUNCH,
+                comm.rank(),
+                w0,
+                dlsr_trace::now_wall_s(),
+            );
+            // Average into the staging buffer; the parity buffer frees for
+            // group gi + 2.
+            let t_unpack = comm.now();
+            for (dst, src) in avg_flat[group_off..group_off + group.elems]
+                .iter_mut()
+                .zip(buf.iter())
+            {
+                *dst = *src / world_f;
+            }
+            comm.advance(group.bytes as f64 / pack_bandwidth);
+            dlsr_trace::record_span(
+                || format!("unpack[g{gi}] {}B", group.bytes),
+                dlsr_trace::cat::FUSION,
+                t_unpack,
+                comm.now(),
+            );
+            group_off += group.elems;
+            filled = 0;
+            cur_group += 1;
+        })?;
+
+        assert_eq!(next_tensor, n, "backward did not fire every parameter hook");
+        if world > 1 {
+            assert_eq!(cur_group, groups.len(), "not every fusion group launched");
+        }
+        // Backward compute ends `bwd_virtual` after it started; if some
+        // group's reduction ran past that, the clock is already later.
+        comm.advance_to(bwd_start_v + bwd_virtual);
+        dlsr_trace::record_span(
+            || format!("bwd {n}t"),
+            dlsr_trace::cat::COMPUTE,
+            bwd_start_v,
+            bwd_start_v + bwd_virtual,
+        );
+        self.reconciliation = Some(reconcile_readiness(&readiness, &self.measured_readiness));
+        if world > 1 {
+            // Write the averaged gradients back in visit order.
+            let rev_offsets = &self.rev_offsets;
+            let avg_flat = &self.avg_flat;
+            let mut v = 0usize;
+            model.visit_params(&mut |p| {
+                let ti = n - 1 - v;
+                let off = rev_offsets[ti];
+                let nel = p.numel();
+                p.grad.data_mut().copy_from_slice(&avg_flat[off..off + nel]);
+                v += 1;
+            });
+        }
+        self.inner.step(model);
+        Ok(g_in)
     }
 
     /// One distributed training step: negotiate, fuse, allreduce, average,
@@ -168,7 +390,12 @@ impl<O: Optimizer> DistributedOptimizer<O> {
             let buf_id = FUSION_BUF_ID_BASE + gi as u64;
             let t0 = comm.now();
             match self.cfg.backend {
-                Backend::Mpi => allreduce(comm, &mut fused, buf_id),
+                // Size-binned algorithm selection — the same pure function
+                // of the group's byte count as the overlapped path, so
+                // both paths reduce in bitwise-identical order.
+                Backend::Mpi => {
+                    allreduce_auto_labeled(comm, &mut fused, buf_id, Some(gi));
+                }
                 Backend::Nccl => Nccl::all_reduce(comm, &mut fused, buf_id),
             }
             self.prof
@@ -395,6 +622,123 @@ mod tests {
             opt.profiler().total_seconds(Collective::Allreduce)
         });
         assert!(res.ranks.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn overlapped_step_is_bitwise_identical_to_sequential() {
+        use dlsr_nn::module::Sequential;
+        use dlsr_tensor::init;
+        // Small threshold → two fusion groups from a two-conv model,
+        // so the double-buffered launch path is actually exercised.
+        let cfg = HorovodConfig {
+            fusion_threshold: 256,
+            cycle_time: 1e-4,
+            ..Default::default()
+        };
+        let build = || {
+            let p = dlsr_tensor::conv::Conv2dParams::same(3);
+            Sequential::new()
+                .push(Conv2d::new("a", 2, 3, 3, p, 7))
+                .push(Conv2d::new("b", 3, 2, 3, p, 8))
+        };
+        for topo in [
+            ClusterTopology {
+                name: "w1".into(),
+                nodes: 1,
+                gpus_per_node: 1,
+            },
+            ClusterTopology {
+                name: "w2".into(),
+                nodes: 1,
+                gpus_per_node: 2,
+            },
+            ClusterTopology::lassen(1), // 4 ranks
+        ] {
+            let world = topo.total_gpus();
+            let res = MpiWorld::run(&topo, MpiConfig::mpi_opt(), move |c| {
+                // rank-dependent data → rank-dependent local gradients
+                let x = init::uniform([1, 2, 6, 6], -1.0, 1.0, 100 + c.rank() as u64);
+                // sequential reference: backward, then step
+                let mut m1 = build();
+                let y = m1.forward(&x).unwrap();
+                let gy = dlsr_tensor::Tensor::ones(y.shape().clone());
+                let mut o1 = DistributedOptimizer::new(Sgd::new(0.05), &mut m1, cfg, c.size());
+                let g1 = m1.backward(&gy).unwrap();
+                o1.step(&mut m1, c);
+                // overlapped: hooks launch groups mid-backward
+                let mut m2 = build();
+                m2.forward(&x).unwrap();
+                let mut o2 = DistributedOptimizer::new(Sgd::new(0.05), &mut m2, cfg, c.size());
+                let g2 = o2.backward_and_step(&mut m2, &gy, c, 2e-3).unwrap();
+                assert!(o2.fusion_groups().len() > 1, "want multiple groups");
+                // readiness was measured for every tensor, monotonically
+                let meas = o2.measured_readiness();
+                assert_eq!(meas.len(), o2.tensors().len());
+                assert!(meas.windows(2).all(|w| w[0] <= w[1]));
+                let rec = o2.readiness_reconciliation().unwrap();
+                assert!(rec.measured_monotone);
+                (
+                    m1.flatten_params(),
+                    m2.flatten_params(),
+                    g1.data().to_vec(),
+                    g2.data().to_vec(),
+                )
+            });
+            for r in 0..world {
+                let (seq, ovl, g1, g2) = &res.ranks[r];
+                assert_eq!(seq, ovl, "world {world} rank {r}: params diverged");
+                assert_eq!(g1, g2, "world {world} rank {r}: input grads diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_hides_communication_inside_backward() {
+        use dlsr_nn::module::Sequential;
+        use dlsr_tensor::init;
+        let cfg = HorovodConfig {
+            fusion_threshold: 256,
+            cycle_time: 1e-4,
+            ..Default::default()
+        };
+        let build = || {
+            let p = dlsr_tensor::conv::Conv2dParams::same(3);
+            Sequential::new()
+                .push(Conv2d::new("a", 2, 3, 3, p, 7))
+                .push(Conv2d::new("b", 3, 2, 3, p, 8))
+        };
+        let bwd = 50e-3; // long backward: every group but the last hides
+        let topo = ClusterTopology::lassen(1);
+        let res = MpiWorld::run(&topo, MpiConfig::mpi_opt(), move |c| {
+            let x = init::uniform([1, 2, 6, 6], -1.0, 1.0, 3);
+            let gy_of = |m: &mut Sequential, x: &dlsr_tensor::Tensor| {
+                let y = m.forward(x).unwrap();
+                dlsr_tensor::Tensor::ones(y.shape().clone())
+            };
+            // sequential: backward compute, then comm strictly after
+            let mut m1 = build();
+            let gy = gy_of(&mut m1, &x);
+            let mut o1 = DistributedOptimizer::new(Sgd::new(0.05), &mut m1, cfg, c.size());
+            let t0 = c.now();
+            m1.backward(&gy).unwrap();
+            c.advance(bwd);
+            o1.step(&mut m1, c);
+            let seq_elapsed = c.now() - t0;
+            // overlapped: launches ride inside the backward window
+            let mut m2 = build();
+            let gy = gy_of(&mut m2, &x);
+            let mut o2 = DistributedOptimizer::new(Sgd::new(0.05), &mut m2, cfg, c.size());
+            let t1 = c.now();
+            o2.backward_and_step(&mut m2, &gy, c, bwd).unwrap();
+            let ovl_elapsed = c.now() - t1;
+            (seq_elapsed, ovl_elapsed)
+        });
+        for (r, &(seq, ovl)) in res.ranks.iter().enumerate() {
+            assert!(
+                ovl < seq,
+                "rank {r}: overlapped step {ovl}s not faster than sequential {seq}s"
+            );
+        }
     }
 
     #[test]

@@ -170,6 +170,45 @@ mod tests {
     }
 
     #[test]
+    fn overlap_labels_round_trip_on_their_rank_track() {
+        // The overlap engine tags spans with a fusion-group index and the
+        // pipelined ring adds step + chunk indices; those labels must
+        // survive serde and the chrome-trace export verbatim, on the
+        // originating rank's track (pid).
+        let labels = [
+            "allreduce.pr[g2] rs1.c3 4096B",
+            "allreduce.pr[g0] ag0.c0 52B",
+            "allreduce.PipelinedRing[g1] 8388608B",
+            "pack[g3] 16384B",
+            "allreduce.launch[g0] 236B",
+        ];
+        let mut t = Timeline::new();
+        for (i, l) in labels.iter().enumerate() {
+            t.record(
+                *l,
+                "allreduce",
+                i,
+                i as f64 * 0.001,
+                i as f64 * 0.001 + 0.0005,
+            );
+        }
+        // serde round trip preserves names exactly
+        let back: Timeline = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+        assert_eq!(back.events(), t.events());
+        // chrome export keeps name and rank→pid pairing
+        let v: serde_json::Value = serde_json::from_str(&t.to_chrome_trace()).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), labels.len());
+        for (i, l) in labels.iter().enumerate() {
+            let ev = arr
+                .iter()
+                .find(|e| e["name"] == *l)
+                .unwrap_or_else(|| panic!("label `{l}` lost in chrome export"));
+            assert_eq!(ev["pid"], i, "label `{l}` on the wrong rank track");
+        }
+    }
+
+    #[test]
     fn chrome_trace_schema_has_required_keys_and_sorted_ts() {
         let mut a = Timeline::new();
         a.record("late", "compute", 0, 0.5, 0.6);

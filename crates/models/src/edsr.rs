@@ -258,6 +258,33 @@ impl Module for Edsr {
         self.sub_mean.backward(&g)
     }
 
+    fn backward_with_hook(
+        &mut self,
+        grad_out: &Tensor,
+        hook: &mut dyn FnMut(&mut Param),
+    ) -> Result<Tensor> {
+        // Mirror of `backward` with readiness hooks on every param-bearing
+        // child: hooks fire in exact reverse `visit_params` order.
+        let g = self.add_mean.backward(grad_out)?;
+        let mut g = self.out_conv.backward_with_hook(&g, hook)?;
+        for (conv, shuf) in self.tail.iter_mut().rev() {
+            g = shuf.backward(&g)?;
+            g = conv.backward_with_hook(&g, hook)?;
+        }
+        let skip_grad = g.clone();
+        let _ = self
+            .skip_cache
+            .take()
+            .expect("Edsr::backward called without forward");
+        let mut g = self.body_conv.backward_with_hook(&g, hook)?;
+        for b in self.body.iter_mut().rev() {
+            g = b.backward_with_hook(&g, hook)?;
+        }
+        let g = elementwise::add(&g, &skip_grad)?;
+        let g = self.head.backward_with_hook(&g, hook)?;
+        self.sub_mean.backward(&g)
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.head.visit_params(f);
         for b in &mut self.body {
@@ -367,5 +394,30 @@ mod tests {
     fn wrong_channel_count_is_error() {
         let mut m = Edsr::new(EdsrConfig::tiny(), 1);
         assert!(m.forward(&Tensor::zeros([1, 1, 8, 8])).is_err());
+    }
+
+    #[test]
+    fn backward_with_hook_matches_backward_bitwise_and_fires_all_params() {
+        let x = init::uniform([1, 3, 6, 6], 0.0, 1.0, 8);
+        let mut plain = Edsr::new(EdsrConfig::tiny(), 9);
+        let y = plain.forward(&x).unwrap();
+        let gy = init::uniform(y.shape().clone(), -1.0, 1.0, 10);
+        let g_plain = plain.backward(&gy).unwrap();
+        let plain_grads = plain.flatten_grads();
+
+        let mut hooked = Edsr::new(EdsrConfig::tiny(), 9);
+        hooked.forward(&x).unwrap();
+        let mut fired = Vec::new();
+        let g_hooked = hooked
+            .backward_with_hook(&gy, &mut |p| fired.push(p.name.clone()))
+            .unwrap();
+        assert_eq!(g_plain.data(), g_hooked.data());
+        assert_eq!(hooked.flatten_grads(), plain_grads);
+
+        // hooks fire once per param, in exact reverse visit order
+        let mut visit = Vec::new();
+        hooked.visit_params(&mut |p| visit.push(p.name.clone()));
+        visit.reverse();
+        assert_eq!(fired, visit);
     }
 }

@@ -1,5 +1,5 @@
 //! `MPI_Allreduce` — the collective that dominates data-parallel DNN
-//! training (gradient averaging, §II-C). Three algorithms:
+//! training (gradient averaging, §II-C). Four algorithms:
 //!
 //! - **Ring** (reduce-scatter + allgather): bandwidth-optimal,
 //!   `2·(p−1)/p·n` bytes per rank,
@@ -9,6 +9,15 @@
 //!   reduce to a node leader over NVLink/staged paths, ring allreduce among
 //!   leaders over InfiniBand, intra-node broadcast. This is the algorithm
 //!   whose intra-node phases the paper's CUDA IPC fix accelerates.
+//! - **Pipelined ring**: the ring schedule with every block streamed in
+//!   `pipeline_chunk`-byte sub-chunks over nonblocking p2p, so the GPU
+//!   reduce of sub-chunk *i* overlaps the wire transfer of sub-chunk *i+1*
+//!   and only one sub-chunk reduction per step stays exposed. Bitwise
+//!   identical to **Ring** (same per-element combine order).
+//!
+//! [`allreduce_auto`] picks between them by message size
+//! ([`crate::MpiConfig::select_allreduce`]), mirroring the paper's
+//! size-binned tuning.
 
 use crate::comm::Comm;
 use crate::message::Payload;
@@ -24,6 +33,9 @@ pub enum AllreduceAlgorithm {
     RecursiveDoubling,
     /// Hierarchical: intra-node flat reduce + inter-node ring + bcast.
     TwoLevel,
+    /// Ring with chunked, pipelined blocks (nonblocking p2p; reduce of one
+    /// sub-chunk overlaps the transfer of the next).
+    PipelinedRing,
 }
 
 /// In-place sum-allreduce of `buf` across all ranks using the configured
@@ -38,6 +50,28 @@ pub fn allreduce_with(comm: &mut Comm, buf: &mut Vec<f32>, buf_id: u64, algo: Al
     allreduce_op(comm, buf, buf_id, algo, ReduceOp::Sum);
 }
 
+/// In-place sum-allreduce with the algorithm chosen by message size
+/// (`MpiConfig::select_allreduce`). Returns the algorithm used, which is a
+/// pure function of the buffer size — every rank, and both the sequential
+/// and overlapped optimizer paths, make the same choice.
+pub fn allreduce_auto(comm: &mut Comm, buf: &mut Vec<f32>, buf_id: u64) -> AllreduceAlgorithm {
+    allreduce_auto_labeled(comm, buf, buf_id, None)
+}
+
+/// [`allreduce_auto`] with an optional fusion-group index carried into the
+/// trace span names, so overlapped per-group (and per-chunk) spans can be
+/// told apart in the chrome timeline.
+pub fn allreduce_auto_labeled(
+    comm: &mut Comm,
+    buf: &mut Vec<f32>,
+    buf_id: u64,
+    group: Option<usize>,
+) -> AllreduceAlgorithm {
+    let algo = comm.config().select_allreduce((buf.len() * 4) as u64);
+    allreduce_grouped(comm, buf, buf_id, algo, ReduceOp::Sum, group);
+    algo
+}
+
 /// In-place allreduce with an explicit algorithm and reduction operator.
 pub fn allreduce_op(
     comm: &mut Comm,
@@ -45,6 +79,17 @@ pub fn allreduce_op(
     buf_id: u64,
     algo: AllreduceAlgorithm,
     op: ReduceOp,
+) {
+    allreduce_grouped(comm, buf, buf_id, algo, op, None);
+}
+
+fn allreduce_grouped(
+    comm: &mut Comm,
+    buf: &mut Vec<f32>,
+    buf_id: u64,
+    algo: AllreduceAlgorithm,
+    op: ReduceOp,
+    group: Option<usize>,
 ) {
     if comm.size() == 1 {
         return;
@@ -67,9 +112,27 @@ pub fn allreduce_op(
             }
         }
         AllreduceAlgorithm::TwoLevel => two_level(comm, buf, buf_id, op),
+        AllreduceAlgorithm::PipelinedRing => {
+            let seq = comm.next_seq();
+            let participants: Vec<usize> = (0..comm.size()).collect();
+            let chunk_elems = (comm.config().pipeline_chunk as usize / 4).max(1);
+            pipelined_ring_allreduce(
+                comm,
+                buf,
+                &participants,
+                buf_id,
+                seq,
+                op,
+                chunk_elems,
+                group,
+            );
+        }
     }
     dlsr_trace::record_span(
-        || format!("allreduce.{algo:?} {bytes}B"),
+        || match group {
+            Some(g) => format!("allreduce.{algo:?}[g{g}] {bytes}B"),
+            None => format!("allreduce.{algo:?} {bytes}B"),
+        },
         dlsr_trace::cat::MPI,
         t0,
         comm.now(),
@@ -138,6 +201,136 @@ fn ring_allreduce(
             .into_f32();
         let r = chunk_range(len, p, recv_chunk);
         buf[r].copy_from_slice(&incoming);
+    }
+}
+
+/// Number of `chunk_elems`-sized sub-chunks covering a block of `len`
+/// elements (0 for an empty block).
+fn sub_count(len: usize, chunk_elems: usize) -> usize {
+    len.div_ceil(chunk_elems)
+}
+
+/// The `i`-th sub-chunk of `block`.
+fn sub_range(
+    block: &std::ops::Range<usize>,
+    chunk_elems: usize,
+    i: usize,
+) -> std::ops::Range<usize> {
+    let start = block.start + i * chunk_elems;
+    let end = (start + chunk_elems).min(block.end);
+    start..end
+}
+
+/// Tag-step encoding for pipelined ring traffic: phase step in the high
+/// bits, sub-chunk index in the low 20.
+fn pipeline_tag_step(phase_step: usize, chunk: usize) -> u64 {
+    debug_assert!(chunk < (1 << 20));
+    ((phase_step as u64) << 20) | chunk as u64
+}
+
+/// Chunked, pipelined ring allreduce: the exact ring schedule, but each
+/// block moves as `chunk_elems`-sized sub-chunks over `isend`/`irecv` +
+/// `wait`. The combine of sub-chunk *i* runs while the neighbour is already
+/// transmitting sub-chunk *i+1*, so per ring step only one sub-chunk
+/// reduction is on the virtual-clock critical path instead of the whole
+/// block's.
+///
+/// Per-element combine order is identical to [`ring_allreduce`] —
+/// sub-chunking only splits *which slice* a combine covers, never the rank
+/// order in which a given element accumulates — so results are bitwise
+/// equal to the plain ring for every `ReduceOp`.
+#[allow(clippy::too_many_arguments)]
+fn pipelined_ring_allreduce(
+    comm: &mut Comm,
+    buf: &mut [f32],
+    participants: &[usize],
+    buf_id: u64,
+    seq: u64,
+    op: ReduceOp,
+    chunk_elems: usize,
+    group: Option<usize>,
+) {
+    let p = participants.len();
+    if p <= 1 {
+        return;
+    }
+    let me = participants
+        .iter()
+        .position(|&r| r == comm.rank())
+        .expect("caller participates in the ring");
+    let right = participants[(me + 1) % p];
+    let left = participants[(me + p - 1) % p];
+    let len = buf.len();
+
+    // reduce-scatter, then allgather — same block rotation as the plain
+    // ring, each step streamed sub-chunk by sub-chunk.
+    for phase in 0..2usize {
+        for step in 0..p - 1 {
+            let (send_block, recv_block) = if phase == 0 {
+                (
+                    chunk_range(len, p, (me + p - step) % p),
+                    chunk_range(len, p, (me + p - step - 1) % p),
+                )
+            } else {
+                (
+                    chunk_range(len, p, (me + 1 + p - step) % p),
+                    chunk_range(len, p, (me + p - step) % p),
+                )
+            };
+            let phase_step = phase * p + step;
+            let n_send = sub_count(send_block.len(), chunk_elems);
+            let n_recv = sub_count(recv_block.len(), chunk_elems);
+            // The send block is never written by this step's receives, so
+            // sub-send i+1 can be posted the moment sub-recv i arrives —
+            // *before* its reduce — putting the next transfer on the wire
+            // while the reduce kernel runs. Consecutive sends stay at least
+            // one sub-cycle apart, so wire occupancy is still serialized.
+            let mut next_send = 0;
+            let post_send = |comm: &mut Comm, buf: &[f32], next_send: &mut usize| {
+                if *next_send < n_send {
+                    let r = sub_range(&send_block, chunk_elems, *next_send);
+                    comm.isend(
+                        right,
+                        coll_tag(seq, pipeline_tag_step(phase_step, *next_send)),
+                        Payload::F32(buf[r].to_vec()),
+                        buf_id,
+                    );
+                    *next_send += 1;
+                }
+            };
+            post_send(comm, buf, &mut next_send); // prime the pipeline
+            for i in 0..n_recv {
+                let t0 = comm.now();
+                let req = comm.irecv(
+                    left,
+                    coll_tag(seq, pipeline_tag_step(phase_step, i)),
+                    buf_id,
+                );
+                let incoming = comm.wait(req).into_f32();
+                post_send(comm, buf, &mut next_send);
+                let r = sub_range(&recv_block, chunk_elems, i);
+                let sub_bytes = incoming.len() * 4;
+                if phase == 0 {
+                    comm.charge_reduce(incoming.len());
+                    op.combine(&mut buf[r], &incoming);
+                } else {
+                    buf[r].copy_from_slice(&incoming);
+                }
+                let label = if phase == 0 { "rs" } else { "ag" };
+                dlsr_trace::record_span(
+                    || match group {
+                        Some(g) => format!("allreduce.pr[g{g}] {label}{step}.c{i} {sub_bytes}B"),
+                        None => format!("allreduce.pr {label}{step}.c{i} {sub_bytes}B"),
+                    },
+                    dlsr_trace::cat::MPI,
+                    t0,
+                    comm.now(),
+                );
+            }
+            while next_send < n_send {
+                post_send(comm, buf, &mut next_send);
+            }
+        }
     }
 }
 
@@ -365,5 +558,125 @@ mod tests {
             AllreduceAlgorithm::RecursiveDoubling,
         );
         assert!(t_ring < t_rd, "ring {t_ring} vs recursive doubling {t_rd}");
+    }
+
+    /// Run an op-allreduce on a `1×gpus` world with awkward float inputs
+    /// (`(rank·31 + i) · 0.1 − 1.7`: sums accumulate rounding error, so
+    /// fold order is observable bitwise).
+    fn run_op(
+        gpus: usize,
+        len: usize,
+        cfg: MpiConfig,
+        algo: AllreduceAlgorithm,
+        op: ReduceOp,
+    ) -> Vec<Vec<f32>> {
+        let topo = ClusterTopology {
+            name: format!("pr-{gpus}"),
+            nodes: 1,
+            gpus_per_node: gpus,
+        };
+        MpiWorld::run(&topo, cfg, move |c| {
+            let mut buf: Vec<f32> = (0..len)
+                .map(|i| (c.rank() * 31 + i) as f32 * 0.1 - 1.7)
+                .collect();
+            allreduce_op(c, &mut buf, 1, algo, op);
+            buf
+        })
+        .ranks
+    }
+
+    /// Bitwise reference for the ring family: element `j` of block `b`
+    /// accumulates as a fold starting at rank `b`'s value, combining rank
+    /// `b+1, b+2, …` in ring order (the order `ring_allreduce` combines).
+    fn ring_fold_reference(p: usize, len: usize, op: ReduceOp) -> Vec<f32> {
+        let input = |rank: usize, i: usize| (rank * 31 + i) as f32 * 0.1 - 1.7;
+        let mut out = vec![0.0f32; len];
+        for b in 0..p {
+            for j in chunk_range(len, p, b) {
+                let mut acc = input(b, j);
+                for k in 1..p {
+                    let mut v = [acc];
+                    op.combine(&mut v, &[input((b + k) % p, j)]);
+                    acc = v[0];
+                }
+                out[j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Property grid for the chunked pipelined ring: non-divisible buffer
+    /// lengths, chunk sizes larger than the buffer, single-element chunks,
+    /// 1-rank worlds and every `ReduceOp` must all reproduce the plain
+    /// ring — and the sequential fold reference — bitwise.
+    #[test]
+    fn pipelined_ring_matches_plain_ring_bitwise() {
+        for &gpus in &[1usize, 2, 3, 4] {
+            for &len in &[0usize, 1, 5, 37, 1000] {
+                for &chunk_bytes in &[4u64, 52, 4096, 1 << 30] {
+                    for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min] {
+                        let mut cfg = MpiConfig::mpi_opt();
+                        cfg.pipeline_chunk = chunk_bytes;
+                        let plain = run_op(gpus, len, cfg.clone(), AllreduceAlgorithm::Ring, op);
+                        let piped = run_op(gpus, len, cfg, AllreduceAlgorithm::PipelinedRing, op);
+                        let want = if gpus == 1 {
+                            (0..len).map(|i| i as f32 * 0.1 - 1.7).collect()
+                        } else {
+                            ring_fold_reference(gpus, len, op)
+                        };
+                        for r in 0..gpus {
+                            assert_eq!(
+                                piped[r], plain[r],
+                                "pipelined != ring: p={gpus} len={len} chunk={chunk_bytes} {op:?} rank {r}"
+                            );
+                            assert_eq!(
+                                piped[r].as_slice(),
+                                want.as_slice(),
+                                "pipelined != fold reference: p={gpus} len={len} chunk={chunk_bytes} {op:?} rank {r}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The point of pipelining: with blocks much larger than the chunk and
+    /// a reduce kernel slow enough to matter, streaming sub-chunks hides
+    /// most of the reduce time behind the next transfer.
+    #[test]
+    fn pipelined_ring_beats_plain_ring_when_reduce_is_exposed() {
+        let len = 4 << 20; // 16 MB ⇒ 4 MB blocks on 4 ranks
+        let mut cfg = MpiConfig::mpi_opt();
+        cfg.pipeline_chunk = 1 << 20;
+        cfg.reduce_bandwidth = 50.0e9;
+        let (_, t_ring) = run_allreduce(1, len, cfg.clone(), AllreduceAlgorithm::Ring);
+        let (_, t_piped) = run_allreduce(1, len, cfg, AllreduceAlgorithm::PipelinedRing);
+        assert!(
+            t_piped < t_ring,
+            "pipelined {t_piped} should beat plain ring {t_ring}"
+        );
+    }
+
+    #[test]
+    fn auto_selection_follows_the_size_bins() {
+        let topo = ClusterTopology::lassen(1);
+        let chosen = MpiWorld::run(&topo, MpiConfig::mpi_opt(), |c| {
+            let mut small = vec![1.0f32; 64];
+            let a_small = allreduce_auto(c, &mut small, 1);
+            let mut mid = vec![1.0f32; 1 << 18]; // 1 MB
+            let a_mid = allreduce_auto(c, &mut mid, 2);
+            let mut big = vec![0.5f32; 4 << 20]; // 16 MB
+            let a_big = allreduce_auto(c, &mut big, 3);
+            assert_eq!(small, vec![4.0f32; 64]);
+            assert_eq!(big, vec![2.0f32; 4 << 20]);
+            (a_small, a_mid, a_big)
+        })
+        .ranks;
+        for (s, m, b) in chosen {
+            assert_eq!(s, AllreduceAlgorithm::RecursiveDoubling);
+            assert_eq!(m, MpiConfig::mpi_opt().allreduce);
+            assert_eq!(b, AllreduceAlgorithm::PipelinedRing);
+        }
     }
 }

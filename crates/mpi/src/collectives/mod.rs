@@ -12,7 +12,10 @@ mod rooted;
 pub mod synthetic;
 
 pub use allgather::allgather;
-pub use allreduce::{allreduce, allreduce_op, allreduce_with, AllreduceAlgorithm};
+pub use allreduce::{
+    allreduce, allreduce_auto, allreduce_auto_labeled, allreduce_op, allreduce_with,
+    AllreduceAlgorithm,
+};
 pub use barrier::barrier;
 pub use bcast::bcast;
 pub use rooted::{gather, reduce, scatter};
@@ -58,8 +61,12 @@ impl ReduceOp {
 pub(crate) const COLL_TAG_BASE: u64 = 1 << 62;
 
 /// Compose a unique tag from a collective sequence number and a step index.
+///
+/// The step field is 32 bits wide so pipelined collectives can encode a
+/// (phase step, chunk index) pair without colliding across sequence numbers.
 pub(crate) fn coll_tag(seq: u64, step: u64) -> u64 {
-    COLL_TAG_BASE | (seq << 16) | step
+    debug_assert!(step < (1 << 32));
+    COLL_TAG_BASE | (seq << 32) | step
 }
 
 /// Chunk boundaries splitting `len` elements into `parts` ranges.

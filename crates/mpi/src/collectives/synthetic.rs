@@ -43,6 +43,12 @@ pub fn allreduce_elems(comm: &mut Comm, elems: usize, buf_id: u64, algo: Allredu
             }
         }
         AllreduceAlgorithm::TwoLevel => two_level_elems(comm, elems, buf_id),
+        AllreduceAlgorithm::PipelinedRing => {
+            let seq = comm.next_seq();
+            let participants: Vec<usize> = (0..comm.size()).collect();
+            let chunk_elems = (comm.config().pipeline_chunk as usize / 4).max(1);
+            pipelined_ring_elems(comm, elems, &participants, buf_id, seq, chunk_elems);
+        }
     }
     dlsr_trace::record_span(
         || format!("allreduce.{algo:?} {}B", elems * 4),
@@ -91,6 +97,77 @@ fn ring_elems(comm: &mut Comm, elems: usize, participants: &[usize], buf_id: u64
             coll_tag(seq, (p + step) as u64),
             buf_id,
         );
+    }
+}
+
+/// Costs-only mirror of `allreduce::pipelined_ring_allreduce`: the same
+/// sub-chunk sends, waits and reduce-kernel charges in the same order.
+fn pipelined_ring_elems(
+    comm: &mut Comm,
+    elems: usize,
+    participants: &[usize],
+    buf_id: u64,
+    seq: u64,
+    chunk_elems: usize,
+) {
+    let p = participants.len();
+    if p <= 1 {
+        return;
+    }
+    let me = participants
+        .iter()
+        .position(|&r| r == comm.rank())
+        .expect("caller participates in the ring");
+    let right = participants[(me + 1) % p];
+    let left = participants[(me + p - 1) % p];
+    let sub_count = |len: usize| len.div_ceil(chunk_elems);
+    let sub_len = |block: &std::ops::Range<usize>, i: usize| {
+        let start = block.start + i * chunk_elems;
+        (start + chunk_elems).min(block.end) - start
+    };
+    for phase in 0..2usize {
+        for step in 0..p - 1 {
+            let (send_block, recv_block) = if phase == 0 {
+                (
+                    chunk_range(elems, p, (me + p - step) % p),
+                    chunk_range(elems, p, (me + p - step - 1) % p),
+                )
+            } else {
+                (
+                    chunk_range(elems, p, (me + 1 + p - step) % p),
+                    chunk_range(elems, p, (me + p - step) % p),
+                )
+            };
+            let phase_step = ((phase * p + step) as u64) << 20;
+            let n_send = sub_count(send_block.len());
+            let n_recv = sub_count(recv_block.len());
+            // Same schedule as the real path: sub-send i+1 is posted the
+            // moment sub-recv i arrives, before its reduce charge.
+            let mut next_send = 0;
+            let post_send = |comm: &mut Comm, next_send: &mut usize| {
+                if *next_send < n_send {
+                    comm.isend(
+                        right,
+                        coll_tag(seq, phase_step | *next_send as u64),
+                        synth(sub_len(&send_block, *next_send)),
+                        buf_id,
+                    );
+                    *next_send += 1;
+                }
+            };
+            post_send(comm, &mut next_send);
+            for i in 0..n_recv {
+                let req = comm.irecv(left, coll_tag(seq, phase_step | i as u64), buf_id);
+                let _ = comm.wait(req);
+                post_send(comm, &mut next_send);
+                if phase == 0 {
+                    comm.charge_reduce(sub_len(&recv_block, i));
+                }
+            }
+            while next_send < n_send {
+                post_send(comm, &mut next_send);
+            }
+        }
     }
 }
 
@@ -209,12 +286,21 @@ mod tests {
     /// The defining property: synthetic timing == real timing.
     #[test]
     fn synthetic_allreduce_times_match_real() {
+        // pipeline_chunk 1 MB ⇒ the 20 MB buffer's ring blocks split into
+        // multiple sub-chunks, exercising the pipelined schedule fully
+        let mut opt_chunked = MpiConfig::mpi_opt();
+        opt_chunked.pipeline_chunk = 1 << 20;
         for algo in [
             AllreduceAlgorithm::Ring,
             AllreduceAlgorithm::RecursiveDoubling,
             AllreduceAlgorithm::TwoLevel,
+            AllreduceAlgorithm::PipelinedRing,
         ] {
-            for cfg in [MpiConfig::default_mpi(), MpiConfig::mpi_opt()] {
+            for cfg in [
+                MpiConfig::default_mpi(),
+                MpiConfig::mpi_opt(),
+                opt_chunked.clone(),
+            ] {
                 let topo = ClusterTopology::lassen(2);
                 let elems = 5_000_000usize; // 20 MB — exercises IPC threshold
                 let t_real = MpiWorld::run(&topo, cfg.clone(), move |c| {

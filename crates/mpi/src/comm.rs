@@ -52,6 +52,17 @@ pub enum PathPolicy {
     NcclLike,
 }
 
+/// Handle for a posted nonblocking receive ([`Comm::irecv`]), redeemed by
+/// [`Comm::wait`]. Dropping a request without waiting leaves the message in
+/// the out-of-order buffer, exactly like an unmatched `MPI_Irecv`.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "an irecv completes only when waited on"]
+pub struct RecvRequest {
+    src: usize,
+    tag: u64,
+    recv_buf_id: u64,
+}
+
 /// MPI communicator for one rank.
 pub struct Comm {
     rank: usize,
@@ -374,6 +385,38 @@ impl Comm {
     ) -> Payload {
         self.send(dst, send_tag, payload, send_buf_id);
         self.recv(src, recv_tag, recv_buf_id)
+    }
+
+    /// Nonblocking send (`MPI_Isend`). On the virtual-clock fabric
+    /// [`Comm::send`] is already asynchronous — the sender pays only its
+    /// local overheads and the wire carries the transfer cost to the
+    /// receiver's clock — so `isend` completes immediately and needs no
+    /// request handle. It exists so pipelined collectives read like their
+    /// MPI counterparts.
+    pub fn isend(&mut self, dst: usize, tag: u64, payload: Payload, buf_id: u64) {
+        self.send(dst, tag, payload, buf_id);
+    }
+
+    /// Post a nonblocking receive (`MPI_Irecv`) matching `(src, tag)`.
+    ///
+    /// Posting costs nothing on the virtual clock: the returned
+    /// [`RecvRequest`] only records the match criteria. All timing — merging
+    /// the message's arrival stamp and the receive overhead — is charged at
+    /// [`Comm::wait`], so local work issued between `irecv` and `wait`
+    /// overlaps the transfer and only the *exposed* remainder of the wire
+    /// time advances this rank's clock.
+    pub fn irecv(&mut self, src: usize, tag: u64, recv_buf_id: u64) -> RecvRequest {
+        RecvRequest {
+            src,
+            tag,
+            recv_buf_id,
+        }
+    }
+
+    /// Complete a posted receive (`MPI_Wait`), blocking the OS thread until
+    /// the message exists and merging its arrival into the virtual clock.
+    pub fn wait(&mut self, req: RecvRequest) -> Payload {
+        self.recv(req.src, req.tag, req.recv_buf_id)
     }
 
     /// Charge the GPU reduce kernel for combining `elems` f32 elements

@@ -46,6 +46,16 @@ pub struct MpiConfig {
     /// Effective bytes/s of the GPU vector-reduce kernel used inside
     /// reduction collectives (bandwidth-bound: ~3 accesses/element).
     pub reduce_bandwidth: f64,
+    /// Slice size in bytes of the pipelined ring allreduce: each ring step
+    /// streams its block in `pipeline_chunk`-byte sub-chunks so only one
+    /// sub-chunk reduction is ever on the critical path.
+    pub pipeline_chunk: u64,
+    /// Messages at or above this many bytes use the pipelined ring when the
+    /// algorithm is selected by size ([`MpiConfig::select_allreduce`]).
+    pub pipeline_threshold: u64,
+    /// Messages at or below this many bytes use recursive doubling (latency
+    /// bound regime) when the algorithm is selected by size.
+    pub rd_threshold: u64,
 }
 
 impl MpiConfig {
@@ -63,6 +73,26 @@ impl MpiConfig {
             nccl_send_overhead: 8.0e-6,
             recv_overhead: 2.0e-6,
             reduce_bandwidth: 500.0e9,
+            pipeline_chunk: 4 << 20,
+            pipeline_threshold: 8 << 20,
+            rd_threshold: 128 << 10,
+        }
+    }
+
+    /// Size-binned allreduce algorithm selection, mirroring the paper's
+    /// message-size tuning: latency-bound small messages take recursive
+    /// doubling (fewest rounds), huge messages take the chunked pipelined
+    /// ring (bandwidth-optimal with sub-chunk overlap), and the middle band
+    /// keeps the configured default. Deterministic in the buffer size only,
+    /// so every rank — and the sequential and overlapped optimizer paths —
+    /// pick the same algorithm for the same tensor.
+    pub fn select_allreduce(&self, bytes: u64) -> AllreduceAlgorithm {
+        if bytes <= self.rd_threshold {
+            AllreduceAlgorithm::RecursiveDoubling
+        } else if bytes >= self.pipeline_threshold {
+            AllreduceAlgorithm::PipelinedRing
+        } else {
+            self.allreduce
         }
     }
 
@@ -100,5 +130,27 @@ mod tests {
         assert!(reg.registration_cache);
         assert_eq!(opt.device_mode, DeviceMode::PinnedWithMv2);
         assert!(opt.registration_cache);
+    }
+
+    #[test]
+    fn size_binned_selection_matches_the_paper_regimes() {
+        let cfg = MpiConfig::mpi_opt();
+        assert_eq!(
+            cfg.select_allreduce(1 << 10),
+            AllreduceAlgorithm::RecursiveDoubling
+        );
+        assert_eq!(
+            cfg.select_allreduce(cfg.rd_threshold),
+            AllreduceAlgorithm::RecursiveDoubling
+        );
+        assert_eq!(cfg.select_allreduce(1 << 20), cfg.allreduce);
+        assert_eq!(
+            cfg.select_allreduce(cfg.pipeline_threshold),
+            AllreduceAlgorithm::PipelinedRing
+        );
+        assert_eq!(
+            cfg.select_allreduce(64 << 20),
+            AllreduceAlgorithm::PipelinedRing
+        );
     }
 }

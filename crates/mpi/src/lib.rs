@@ -46,7 +46,7 @@ pub mod world;
 
 pub use clock::VClock;
 pub use collectives::AllreduceAlgorithm;
-pub use comm::{Comm, CommStats, PathPolicy};
+pub use comm::{Comm, CommStats, PathPolicy, RecvRequest};
 pub use config::MpiConfig;
 pub use message::{Message, Payload};
 pub use world::MpiWorld;

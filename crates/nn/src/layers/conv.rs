@@ -150,6 +150,21 @@ impl Module for Conv2d {
         Ok(gi)
     }
 
+    fn backward_with_hook(
+        &mut self,
+        grad_out: &Tensor,
+        hook: &mut dyn FnMut(&mut Param),
+    ) -> Result<Tensor> {
+        let g = self.backward(grad_out)?;
+        // reverse visit order: bias finalizes conceptually with the weight,
+        // but readiness fires output-side-first
+        if let Some(b) = &mut self.bias {
+            hook(b);
+        }
+        hook(&mut self.weight);
+        Ok(g)
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.weight);
         if let Some(b) = &mut self.bias {

@@ -61,6 +61,17 @@ impl Module for ResBlock {
         elementwise::add(grad_out, &g)
     }
 
+    fn backward_with_hook(
+        &mut self,
+        grad_out: &Tensor,
+        hook: &mut dyn FnMut(&mut Param),
+    ) -> Result<Tensor> {
+        let g_body = elementwise::scale(grad_out, self.res_scale);
+        let g = self.conv2.backward_with_hook(&g_body, hook)?;
+        let g = self.conv1.backward_with_hook(&g, hook)?;
+        elementwise::add(grad_out, &g)
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.conv1.visit_params(f);
         self.conv2.visit_params(f);

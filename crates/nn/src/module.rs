@@ -21,6 +21,39 @@ pub trait Module: Send {
     /// Backward pass: returns dL/d(input), accumulates parameter grads.
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
 
+    /// Backward pass with a gradient-readiness hook: `hook` fires once per
+    /// parameter, as soon as that parameter's gradient has reached its
+    /// final value for this step, in **reverse [`Module::visit_params`]
+    /// order** (output layers first — the order backward finalizes them).
+    /// This is what lets a distributed optimizer launch fused allreduces
+    /// while backward is still running on earlier layers.
+    ///
+    /// Gradients and the returned input-gradient are identical to
+    /// [`Module::backward`]; the default implementation literally runs
+    /// `backward` and then fires the hook for every parameter. Composite
+    /// modules override it to fire hooks incrementally between children.
+    fn backward_with_hook(
+        &mut self,
+        grad_out: &Tensor,
+        hook: &mut dyn FnMut(&mut Param),
+    ) -> Result<Tensor> {
+        let g = self.backward(grad_out)?;
+        let mut n = 0usize;
+        self.visit_params(&mut |_| n += 1);
+        // fire in reverse visit order (quadratic walk, but leaf modules
+        // hold one or two params)
+        for target in (0..n).rev() {
+            let mut i = 0usize;
+            self.visit_params(&mut |p| {
+                if i == target {
+                    hook(p);
+                }
+                i += 1;
+            });
+        }
+        Ok(g)
+    }
+
     /// Visit every trainable parameter (deterministic order).
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
 
@@ -148,6 +181,18 @@ impl Module for Sequential {
         Ok(g)
     }
 
+    fn backward_with_hook(
+        &mut self,
+        grad_out: &Tensor,
+        hook: &mut dyn FnMut(&mut Param),
+    ) -> Result<Tensor> {
+        let mut g = grad_out.clone();
+        for m in self.mods.iter_mut().rev() {
+            g = m.backward_with_hook(&g, hook)?;
+        }
+        Ok(g)
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         for m in &mut self.mods {
             m.visit_params(f);
@@ -198,5 +243,61 @@ mod tests {
         let mut c = Conv2d::new("c", 2, 4, 3, Default::default(), 1);
         // weight 4*2*3*3 + bias 4
         assert_eq!(c.num_params(), 72 + 4);
+    }
+
+    #[test]
+    fn backward_with_hook_fires_reverse_visit_order_with_final_grads() {
+        use crate::layers::Conv2d;
+        use dlsr_tensor::init;
+        let build = |seed: u64| {
+            Sequential::new()
+                .push(Conv2d::new("a", 2, 3, 3, Default::default(), seed))
+                .push(Conv2d::new("b", 3, 2, 3, Default::default(), seed + 1))
+        };
+        let x = init::uniform([1, 2, 7, 7], -1.0, 1.0, 5);
+
+        let mut plain = build(9);
+        let y = plain.forward(&x).unwrap();
+        let gy = Tensor::ones(y.shape().clone());
+        let g_plain = plain.backward(&gy).unwrap();
+        let mut final_grads = Vec::new();
+        plain.visit_params(&mut |p| final_grads.push((p.name.clone(), p.grad.data().to_vec())));
+
+        let mut hooked = build(9);
+        hooked.forward(&x).unwrap();
+        let mut fired = Vec::new();
+        let g_hooked = hooked
+            .backward_with_hook(&gy, &mut |p| {
+                fired.push((p.name.clone(), p.grad.data().to_vec()))
+            })
+            .unwrap();
+
+        // input gradient identical to the plain path
+        assert_eq!(g_plain.data(), g_hooked.data());
+        // one hook per param, in exact reverse visit order
+        let visit_names: Vec<String> = final_grads.iter().map(|(n, _)| n.clone()).collect();
+        let fired_names: Vec<String> = fired.iter().map(|(n, _)| n.clone()).collect();
+        let mut want = visit_names.clone();
+        want.reverse();
+        assert_eq!(fired_names, want);
+        // gradients observed at fire time are the final values
+        for (name, grad_at_fire) in &fired {
+            let (_, final_grad) = final_grads.iter().find(|(n, _)| n == name).unwrap();
+            assert_eq!(grad_at_fire, final_grad, "{name} grad not final at hook");
+        }
+    }
+
+    #[test]
+    fn default_hook_impl_covers_unoverridden_modules() {
+        use crate::layers::Linear;
+        use dlsr_tensor::init;
+        let mut lin = Linear::new("l", 4, 3, 11);
+        let x = init::uniform([2, 4], -1.0, 1.0, 12);
+        lin.forward(&x).unwrap();
+        let mut names = Vec::new();
+        lin.backward_with_hook(&Tensor::ones([2, 3]), &mut |p| names.push(p.name.clone()))
+            .unwrap();
+        // Linear visits weight then bias ⇒ hooks fire bias then weight
+        assert_eq!(names, vec!["l.bias".to_string(), "l.weight".to_string()]);
     }
 }

@@ -89,6 +89,13 @@ pub mod cat {
     pub const MPI: &str = "mpi";
     /// Point-to-point wire transfers in the transport model (virtual clock).
     pub const NET: &str = "net";
+    /// Wall-clock launch points of overlapped fused allreduces, recorded on
+    /// the rank's host timeline while backward is still running.
+    /// Deliberately in *neither* [`COMPUTE_SET`] nor [`COMM_SET`]: these
+    /// markers prove interleaving in wall time; the communication cost
+    /// itself is accounted by the virtual-clock `allreduce`/`mpi`/`net`
+    /// spans.
+    pub const AR_LAUNCH: &str = "allreduce.launch";
 
     /// Categories whose union per rank counts as compute time.
     pub const COMPUTE_SET: &[&str] = &[COMPUTE, GEMM, IM2COL, NN_FWD, NN_BWD];

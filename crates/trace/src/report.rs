@@ -83,6 +83,10 @@ pub struct RankBreakdown {
     pub overlap_s: f64,
     /// Communication time *not* hidden under compute: `comm_s - overlap_s`.
     pub exposed_comm_s: f64,
+    /// `exposed_comm_s / comm_s` — 0.0 means fully hidden communication,
+    /// 1.0 means fully exposed (and 0.0 when there was no communication).
+    #[serde(default)]
+    pub exposed_frac: f64,
     /// Number of spans recorded by this rank.
     pub spans: usize,
 }
@@ -246,13 +250,19 @@ impl StepReport {
                 negotiate_s += union_len(&of(&[cat::NEGOTIATE]));
             }
             spans += events.iter().filter(|e| e.rank == rank).count();
+            let exposed_comm_s = (comm_s - overlap_s).max(0.0);
             ranks.push(RankBreakdown {
                 rank,
                 compute_s,
                 negotiate_s,
                 comm_s,
                 overlap_s,
-                exposed_comm_s: (comm_s - overlap_s).max(0.0),
+                exposed_comm_s,
+                exposed_frac: if comm_s > 0.0 {
+                    exposed_comm_s / comm_s
+                } else {
+                    0.0
+                },
                 spans,
             });
         }
@@ -403,17 +413,18 @@ impl StepReport {
             ms(self.step_time_s),
         ));
         out.push_str(
-            "rank |  compute ms | negotiate ms |    comm ms | overlap ms | exposed ms | spans\n",
+            "rank |  compute ms | negotiate ms |    comm ms | overlap ms | exposed ms | exposed % | spans\n",
         );
         for r in &self.ranks {
             out.push_str(&format!(
-                "{:>4} | {:>11.3} | {:>12.3} | {:>10.3} | {:>10.3} | {:>10.3} | {:>5}\n",
+                "{:>4} | {:>11.3} | {:>12.3} | {:>10.3} | {:>10.3} | {:>10.3} | {:>9.1} | {:>5}\n",
                 r.rank,
                 ms(r.compute_s),
                 ms(r.negotiate_s),
                 ms(r.comm_s),
                 ms(r.overlap_s),
                 ms(r.exposed_comm_s),
+                r.exposed_frac * 100.0,
                 r.spans,
             ));
         }
@@ -518,6 +529,23 @@ mod tests {
         assert!((r.comm_s - 5.0).abs() < 1e-9);
         assert!((r.overlap_s - 4.0).abs() < 1e-9);
         assert!((r.exposed_comm_s - 1.0).abs() < 1e-9);
+        assert!((r.exposed_frac - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn launch_markers_do_not_count_as_communication() {
+        // An allreduce.launch wall span marks where the overlapped engine
+        // fired a group; it must not inflate comm or compute time.
+        let events = vec![
+            ev("bwd", cat::NN_BWD, 0, 0.0, 10.0, Clock::Wall),
+            ev("launch[g0]", cat::AR_LAUNCH, 0, 3.0, 3.1, Clock::Wall),
+            ev("ar[g0]", cat::ALLREDUCE, 0, 1.0, 2.0, Clock::Virtual),
+        ];
+        let rep = StepReport::build(&events, &BTreeMap::new());
+        let r = &rep.ranks[0];
+        assert!((r.compute_s - 10.0).abs() < 1e-9);
+        assert!((r.comm_s - 1.0).abs() < 1e-9);
+        assert!((r.exposed_frac - 1.0).abs() < 1e-9);
     }
 
     #[test]
