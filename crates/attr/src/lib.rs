@@ -1,0 +1,38 @@
+//! Marker attributes consumed by `dlsr-lint`.
+//!
+//! The attributes expand to exactly their input — they change nothing about
+//! the compiled code. Their only purpose is to be visible in the source text
+//! so the lint pass (which scans tokens, not the expanded AST) can attach
+//! rules to the annotated items.
+//!
+//! Use sites alias this crate so the annotation reads as a dlsr-domain
+//! marker rather than a crate name:
+//!
+//! ```ignore
+//! use dlsr_attr as dlsr;
+//!
+//! #[dlsr::hot]
+//! fn microkernel(...) { ... }
+//! ```
+//!
+//! `#[dlsr::hot]` marks a function as steady-state hot: `dlsr-lint` rejects
+//! any allocating call (`Vec::new`, `vec!`, `to_vec`, `collect`, `clone`,
+//! `Box::new`, `with_capacity`, `format!`, `to_string`, `to_owned`) inside
+//! its body. The GEMM microkernel and im2col/col2im loops carry it; scratch
+//! must come in from the caller (see the scratch pool in `dlsr-tensor`).
+
+// This crate is the one place in the workspace that cannot carry
+// `#![forbid(unsafe_code)]` *conditionally*: proc-macro crates run at
+// compile time only and contain no unsafe either way.
+#![forbid(unsafe_code)]
+
+use proc_macro::TokenStream;
+
+/// Marks a function as allocation-free steady-state hot code.
+///
+/// Expands to the unmodified item. Enforced by the `hot-alloc` rule in
+/// `dlsr-lint`, not by the compiler.
+#[proc_macro_attribute]
+pub fn hot(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}

@@ -4,6 +4,7 @@
 //!
 //! Run: `cargo run --release -p dlsr-bench --bin ablation_allreduce_algos`
 
+#![forbid(unsafe_code)]
 use dlsr::mpi::collectives::{synthetic, AllreduceAlgorithm};
 use dlsr::prelude::*;
 use dlsr_bench::write_json;

@@ -6,6 +6,7 @@
 //!
 //! Run: `cargo run --release -p dlsr-bench --bin ablation_fusion_tuning [nodes]`
 
+#![forbid(unsafe_code)]
 use dlsr::prelude::*;
 use dlsr_bench::{write_json, SEED};
 use dlsr_net::ClusterTopology;

@@ -7,6 +7,7 @@
 //!
 //! Run: `cargo run --release -p dlsr-bench --bin ablation_unpinned`
 
+#![forbid(unsafe_code)]
 use dlsr::gpu::DeviceEnv;
 use dlsr::prelude::*;
 use dlsr_bench::write_json;

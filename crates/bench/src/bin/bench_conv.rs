@@ -8,6 +8,7 @@
 //! legacy path applies it as a separate elementwise pass, exactly as the
 //! seed code did. Emits `results/BENCH_conv.json` with img/sec both ways.
 
+#![forbid(unsafe_code)]
 use std::time::Instant;
 
 use dlsr_bench::legacy;

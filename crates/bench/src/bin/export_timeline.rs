@@ -9,6 +9,7 @@
 //!
 //! Run: `cargo run --release -p dlsr-bench --bin export_timeline [nodes]`
 
+#![forbid(unsafe_code)]
 use dlsr::prelude::*;
 use dlsr_bench::{traced_training_run, SEED};
 use dlsr_net::ClusterTopology;

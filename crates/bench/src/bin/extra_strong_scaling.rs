@@ -7,6 +7,7 @@
 //!
 //! Run: `cargo run --release -p dlsr-bench --bin extra_strong_scaling`
 
+#![forbid(unsafe_code)]
 use dlsr::prelude::*;
 use dlsr_bench::{bar, steps, warmup, write_json, SEED};
 use dlsr_net::ClusterTopology;

@@ -8,6 +8,7 @@
 //!
 //! Run: `cargo run --release -p dlsr-bench --bin extra_text_config_scaling`
 
+#![forbid(unsafe_code)]
 use dlsr::prelude::*;
 use dlsr_bench::{steps, warmup, write_json, SEED};
 use dlsr_net::ClusterTopology;

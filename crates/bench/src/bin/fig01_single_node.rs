@@ -6,6 +6,7 @@
 //!
 //! Run: `cargo run --release -p dlsr-bench --bin fig01_single_node`
 
+#![forbid(unsafe_code)]
 use dlsr::prelude::*;
 use dlsr_bench::{bar, write_json};
 

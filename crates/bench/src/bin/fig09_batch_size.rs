@@ -5,6 +5,7 @@
 //!
 //! Run: `cargo run --release -p dlsr-bench --bin fig09_batch_size`
 
+#![forbid(unsafe_code)]
 use dlsr::prelude::*;
 use dlsr_bench::{bar, write_json};
 

@@ -5,6 +5,7 @@
 //! Run: `cargo run --release -p dlsr-bench --bin fig10_default_scaling`
 //! (set `DLSR_NODES="1,2,4"` for a quick pass)
 
+#![forbid(unsafe_code)]
 use dlsr::prelude::*;
 use dlsr_bench::{bar, node_counts, steps, warmup, write_json, SEED};
 

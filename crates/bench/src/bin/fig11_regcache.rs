@@ -4,6 +4,7 @@
 //!
 //! Run: `cargo run --release -p dlsr-bench --bin fig11_regcache`
 
+#![forbid(unsafe_code)]
 use dlsr::prelude::*;
 use dlsr_bench::{node_counts, steps, warmup, write_json, SEED};
 use dlsr_net::ClusterTopology;

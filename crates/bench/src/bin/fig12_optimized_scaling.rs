@@ -5,6 +5,7 @@
 //!
 //! Run: `cargo run --release -p dlsr-bench --bin fig12_optimized_scaling`
 
+#![forbid(unsafe_code)]
 use dlsr::prelude::*;
 use dlsr_bench::{bar, node_counts, steps, warmup, write_json, SEED};
 

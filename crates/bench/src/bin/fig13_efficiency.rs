@@ -5,6 +5,7 @@
 //!
 //! Run: `cargo run --release -p dlsr-bench --bin fig13_efficiency`
 
+#![forbid(unsafe_code)]
 use dlsr::prelude::*;
 use dlsr_bench::{bar, node_counts, steps, warmup, write_json, SEED};
 

@@ -3,6 +3,7 @@
 //!
 //! Run: `cargo run --release -p dlsr-bench --bin fig14_hvprof`
 
+#![forbid(unsafe_code)]
 use dlsr::prelude::*;
 use dlsr_bench::{bar, write_json, SEED};
 use dlsr_hvprof::BINS;

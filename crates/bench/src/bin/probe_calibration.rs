@@ -2,6 +2,7 @@
 //! figures hinge on, at a few scales, for every scenario. Not one of the
 //! figure harnesses — used to verify/tune simulator constants.
 
+#![forbid(unsafe_code)]
 use dlsr_cluster::{edsr_measured_workload, run_training, Scenario};
 use dlsr_net::ClusterTopology;
 

@@ -1,5 +1,6 @@
 //! Internal probe: prints the fusion schedule for a scenario at a scale.
 
+#![forbid(unsafe_code)]
 use dlsr_cluster::{edsr_measured_workload, Scenario, SimTrainer};
 use dlsr_net::ClusterTopology;
 

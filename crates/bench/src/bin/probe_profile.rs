@@ -2,6 +2,7 @@
 //! step-time breakdown for each scenario at a scale. All timing comes
 //! from the shared trace collector (`dlsr_bench::traced_training_run`).
 
+#![forbid(unsafe_code)]
 use dlsr_bench::traced_training_run;
 use dlsr_cluster::Scenario;
 use dlsr_hvprof::Collective;

@@ -8,6 +8,7 @@
 //!
 //! Run: `cargo run --release -p dlsr-bench --bin table1_allreduce`
 
+#![forbid(unsafe_code)]
 use dlsr::prelude::*;
 use dlsr_bench::{write_json, SEED};
 use dlsr_net::ClusterTopology;

@@ -3,6 +3,7 @@
 //!
 //! Shared output helpers live here.
 
+#![forbid(unsafe_code)]
 pub mod legacy;
 
 use std::io::Write;

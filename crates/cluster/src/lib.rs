@@ -14,6 +14,7 @@
 //!   correctness (distributed ≡ single-rank) and produce actual PSNR
 //!   improvements on synthetic DIV2K.
 
+#![forbid(unsafe_code)]
 pub mod experiment;
 pub mod realtrain;
 pub mod scenario;

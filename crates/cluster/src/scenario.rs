@@ -90,7 +90,7 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<_> =
+        let labels: std::collections::BTreeSet<_> =
             Scenario::all().iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), 4);
     }

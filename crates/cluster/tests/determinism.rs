@@ -1,0 +1,119 @@
+//! Determinism regression tests for the real training path.
+//!
+//! Two guarantees, both bitwise:
+//!
+//! 1. **Same seed ⇒ same run.** Two identical 2-rank `train_real` calls in
+//!    the same process produce identical final parameters.
+//! 2. **Thread-count invariance.** The rayon pool size is a performance
+//!    knob, not a numerics knob: the kernel engine splits work on fixed
+//!    batch/row boundaries, so 1 worker thread and 4 worker threads must
+//!    produce the same bits. Rayon reads `RAYON_NUM_THREADS` once at pool
+//!    initialization, so each pool size needs its own process: the test
+//!    re-executes its own binary with the env var pinned and compares the
+//!    digests the children print.
+
+#![forbid(unsafe_code)]
+
+use std::process::Command;
+
+use dlsr_cluster::realtrain::{train_real, RealTrainConfig};
+use dlsr_mpi::MpiConfig;
+use dlsr_net::ClusterTopology;
+
+const CHILD_ENV: &str = "DLSR_DETERMINISM_DIGEST_CHILD";
+
+fn topo() -> ClusterTopology {
+    ClusterTopology {
+        name: "det".into(),
+        nodes: 1,
+        gpus_per_node: 2,
+    }
+}
+
+fn cfg() -> RealTrainConfig {
+    RealTrainConfig {
+        steps: 4,
+        seed: 0x000D_5EED,
+        ..Default::default()
+    }
+}
+
+/// FNV-1a over the exact bit patterns of the parameters: any single-ULP
+/// drift changes the digest.
+fn digest(params: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in params {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn train_digest() -> u64 {
+    let res = train_real(&topo(), MpiConfig::mpi_opt(), &cfg());
+    digest(&res.final_params)
+}
+
+#[test]
+fn same_seed_twice_is_bitwise_identical() {
+    let a = train_real(&topo(), MpiConfig::mpi_opt(), &cfg());
+    let b = train_real(&topo(), MpiConfig::mpi_opt(), &cfg());
+    assert_eq!(
+        a.final_params,
+        b.final_params,
+        "same-seed runs diverged (digests {:#x} vs {:#x})",
+        digest(&a.final_params),
+        digest(&b.final_params)
+    );
+}
+
+/// Run in a child process (see below): print the digest on a parseable
+/// line and nothing else of consequence.
+#[test]
+fn thread_count_does_not_change_parameters() {
+    if std::env::var_os(CHILD_ENV).is_some() {
+        // Child mode: the pool size was pinned by the parent via
+        // RAYON_NUM_THREADS before this process started.
+        println!("DIGEST={:#018x}", train_digest());
+        return;
+    }
+    let d1 = digest_from_child("1");
+    let d4 = digest_from_child("4");
+    assert_eq!(
+        d1, d4,
+        "1 vs 4 rayon threads changed the trained parameters"
+    );
+}
+
+fn digest_from_child(rayon_threads: &str) -> u64 {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = Command::new(exe)
+        .args([
+            "thread_count_does_not_change_parameters",
+            "--exact",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env(CHILD_ENV, "1")
+        .env("RAYON_NUM_THREADS", rayon_threads)
+        .output()
+        .expect("spawn digest child");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "digest child ({rayon_threads} threads) failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // With --nocapture the harness may interleave its own status text on
+    // the same line, so locate the marker anywhere in the output.
+    let at = stdout
+        .find("DIGEST=0x")
+        .unwrap_or_else(|| panic!("no DIGEST marker in child output:\n{stdout}"));
+    let hex: String = stdout[at + "DIGEST=0x".len()..]
+        .chars()
+        .take_while(char::is_ascii_hexdigit)
+        .collect();
+    u64::from_str_radix(&hex, 16).expect("digest parses")
+}

@@ -8,6 +8,7 @@
 //! dlsr info
 //! ```
 
+#![forbid(unsafe_code)]
 use std::collections::HashMap;
 
 use dlsr::prelude::*;
@@ -95,6 +96,12 @@ USAGE:
                 otherwise
   dlsr profile --compare [--steps S]
                 hvprof Table-I comparison (default vs MPI-Opt, 4 GPUs)
+  dlsr verify   [--nodes N] [--gpus G] [--steps S] [--scenario NAME]
+                run real training under the collective-matching verifier:
+                every collective's per-rank signature is cross-checked at
+                each rendezvous, fusion launch order is audited against
+                the analytic schedule, and crossed nonblocking p2p is
+                flagged as deadlock. Requires a `--features verify` build
   dlsr info     calibration anchors and workload facts
   dlsr help     this text
 
@@ -355,6 +362,47 @@ fn cmd_info() {
     );
 }
 
+fn cmd_verify(flags: &HashMap<String, String>) {
+    if !dlsr_mpi::verify::COMPILED {
+        eprintln!(
+            "dlsr verify: the collective-matching verifier is compiled out of \
+             this binary.\nRebuild with:  cargo run -p dlsr --features verify -- verify"
+        );
+        std::process::exit(2);
+    }
+    let nodes: usize = get(flags, "nodes", 1);
+    let gpus: usize = get(flags, "gpus", 2);
+    let topo = ClusterTopology {
+        name: format!("verify-{nodes}x{gpus}"),
+        nodes,
+        gpus_per_node: gpus,
+    };
+    let world = topo.total_gpus();
+    let cfg = RealTrainConfig {
+        steps: get(flags, "steps", 6),
+        global_batch: world.max(4),
+        ..Default::default()
+    };
+    let sc = scenario(flags);
+    println!(
+        "verifying EDSR(tiny) training on {world} simulated GPUs ({}) for {} steps...",
+        sc.label(),
+        cfg.steps
+    );
+    // Any mismatch panics the world with the violation recorded; reaching
+    // the summary line below means every rendezvous checked out.
+    let res = train_real(&topo, sc.mpi_config(), &cfg);
+    let summary = dlsr_mpi::verify::last_summary().expect("verified run stores a summary");
+    println!(
+        "ok: {} collectives and {} fusion launches cross-checked over {} ranks \
+         (final loss {:.4})",
+        summary.collectives_checked,
+        summary.launches_checked,
+        summary.ranks,
+        res.losses.last().copied().unwrap_or(f32::NAN),
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (flags, positional) = parse_flags(&args);
@@ -362,6 +410,7 @@ fn main() {
         Some("train") => cmd_train(&flags),
         Some("simulate") => cmd_simulate(&flags),
         Some("profile") => cmd_profile(&flags),
+        Some("verify") => cmd_verify(&flags),
         Some("info") => cmd_info(),
         Some("help") | None => usage(),
         Some(other) => die(&format!("unknown command `{other}`")),

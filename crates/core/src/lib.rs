@@ -51,6 +51,7 @@
 //! Every figure and table of the paper has a dedicated harness in
 //! `crates/bench/src/bin/` — see EXPERIMENTS.md for the index.
 
+#![forbid(unsafe_code)]
 pub use dlsr_cluster as cluster;
 pub use dlsr_data as data;
 pub use dlsr_gpu as gpu;

@@ -9,6 +9,7 @@
 //! `LR = bicubic(HR)` relationship plus edge/texture content, which this
 //! preserves; the substitution is documented in DESIGN.md section 2.
 
+#![forbid(unsafe_code)]
 pub mod augment;
 pub mod dataset;
 pub mod evalset;

@@ -36,6 +36,7 @@
 //! assert!(t8 > t4); // larger batches amortize overheads (Fig 9)
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod cost;
 pub mod device;
 pub mod ipc;

@@ -37,6 +37,9 @@ pub fn negotiate_with_cost(
     if p == 1 {
         return mine;
     }
+    // Negotiation rounds must line up across ranks: same cycle, same
+    // tensor count, or the agreed bitmap below is garbage.
+    comm.verify_checkpoint("negotiate", cycle << 32 | n_tensors as u64);
     let t0 = comm.now();
     let tag = COORD_TAG | cycle;
     let agreed = if comm.rank() == 0 {

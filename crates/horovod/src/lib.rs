@@ -44,6 +44,7 @@
 //! assert_eq!(result.ranks[0], result.ranks[3]); // ranks stay in sync
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod config;
 pub mod coordinator;
 pub mod fusion;

@@ -199,6 +199,9 @@ impl<O: Optimizer> DistributedOptimizer<O> {
         let n = self.tensors.len();
         let readiness = readiness_from_elems(&self.tensors, bwd_virtual);
         let bwd_start_v = comm.now();
+        // dlsr-lint: allow(wall-clock) -- measured readiness is wall-domain
+        // by design: it is diagnostic only (reconcile_readiness), never fed
+        // into launch order, tags or any rank-visible decision.
         let wall0 = std::time::Instant::now();
         if world > 1 {
             self.cycle += 1;
@@ -262,6 +265,7 @@ impl<O: Optimizer> DistributedOptimizer<O> {
             );
             let w0 = dlsr_trace::now_wall_s();
             let t0 = comm.now();
+            comm.verify_launch(gi);
             match cfg.backend {
                 Backend::Mpi => {
                     allreduce_auto_labeled(comm, buf, FUSION_BUF_ID_BASE + gi as u64, Some(gi));

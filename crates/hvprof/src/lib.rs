@@ -19,6 +19,7 @@
 //! println!("{}", render_table(&rows));
 //! ```
 
+#![forbid(unsafe_code)]
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};

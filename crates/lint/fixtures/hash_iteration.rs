@@ -1,0 +1,18 @@
+//~ crate: mpi
+//~ expect: hash-collections
+//! Seeded fixture: hash collections in a rank-deterministic crate must
+//! trip `hash-collections`. Pretends to live in dlsr-mpi: iterating a
+//! HashMap there would give each rank its own order and diverge the
+//! collective schedule.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn gradient_order(grads: &HashMap<String, f64>) -> Vec<f64> {
+    // Iteration order here is process-random: rank 0 and rank 1 would
+    // launch allreduces for different tensors at the same step.
+    grads.values().copied().collect()
+}
+
+pub fn seen_tags() -> HashSet<u64> {
+    HashSet::default()
+}

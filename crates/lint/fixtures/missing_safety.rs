@@ -1,0 +1,8 @@
+//~ crate: tensor
+//~ expect: undocumented-unsafe
+//! Seeded fixture: an `unsafe` block with no `// SAFETY:` comment directly
+//! above it must trip `undocumented-unsafe`.
+
+pub fn read_first(xs: &[f32]) -> f32 {
+    unsafe { *xs.as_ptr() }
+}

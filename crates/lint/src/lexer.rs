@@ -1,0 +1,410 @@
+//! A minimal Rust lexer: good enough to tell identifiers, punctuation and
+//! literals apart, and to attribute comments to source lines.
+//!
+//! The vendored dependency set has no `syn`, so the lint rules work on this
+//! token stream instead of an AST. The lexer therefore has one job above all
+//! others: never mistake the *contents* of a string literal or comment for
+//! code. Rules match identifier tokens (`Instant`, `HashMap`, `unsafe`) and
+//! short token sequences (`Vec :: new`, `# [ dlsr :: hot ]`), so a lexer
+//! that gets string/comment/lifetime boundaries right is sufficient.
+
+/// Kind of a lexed token. Punctuation is emitted one character at a time;
+/// rules that need `::` match two consecutive `:` tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `Instant`, ...).
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String, char, byte or numeric literal (text is not preserved).
+    Literal,
+}
+
+/// One token with its starting line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+/// One comment (line or block) with its line span and full text.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// First line of the comment (1-based).
+    pub line: usize,
+    /// Last line of the comment (equal to `line` for `//` comments).
+    pub end_line: usize,
+    /// Raw comment text including the `//` / `/* */` markers.
+    pub text: String,
+    /// True when a token precedes the comment on its starting line
+    /// (a trailing comment like `let x = 1; // note`).
+    pub trailing: bool,
+}
+
+/// Lexer output: the token stream plus the comment list.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Sorted, deduplicated list of lines that carry at least one token.
+    pub fn token_lines(&self) -> Vec<usize> {
+        let mut lines: Vec<usize> = self.toks.iter().map(|t| t.line).collect();
+        lines.dedup();
+        lines
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comments. Never panics on malformed input:
+/// unterminated strings/comments simply run to end of file.
+pub fn lex(src: &str) -> Lexed {
+    let cs: Vec<char> = src.chars().collect();
+    let n = cs.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut last_tok_line = 0usize;
+
+    while i < n {
+        let c = cs[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < n && cs[i + 1] == '/' {
+            let start = i;
+            while i < n && cs[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: line,
+                text: cs[start..i].iter().collect(),
+                trailing: last_tok_line == line,
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < n && cs[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            i += 2;
+            let mut depth = 1usize;
+            while i < n && depth > 0 {
+                if cs[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if cs[i] == '/' && i + 1 < n && cs[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if cs[i] == '*' && i + 1 < n && cs[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text: cs[start..i].iter().collect(),
+                trailing: last_tok_line == start_line,
+            });
+            continue;
+        }
+
+        // Raw strings / raw identifiers / byte strings: r"..", r#".."#,
+        // br#".."#, b"..", b'x', and the raw identifier form r#ident.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            if c == 'b' && j < n && cs[j] == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while j < n && cs[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            let rawish = j > i + 1 || (j < n && cs[j] == '"');
+            if rawish && j < n && cs[j] == '"' {
+                // Raw (byte) string: scan to `"` followed by `hashes` hashes.
+                let tok_line = line;
+                i = j + 1;
+                loop {
+                    if i >= n {
+                        break;
+                    }
+                    if cs[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                        continue;
+                    }
+                    if cs[i] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && i + 1 + k < n && cs[i + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            i += 1 + hashes;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::from("\"raw\""),
+                    line: tok_line,
+                });
+                last_tok_line = tok_line;
+                continue;
+            }
+            if c == 'r' && hashes == 1 && j < n && is_ident_start(cs[j]) {
+                // Raw identifier r#ident: emit the bare identifier.
+                let start = j;
+                let mut k = j;
+                while k < n && is_ident_continue(cs[k]) {
+                    k += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: cs[start..k].iter().collect(),
+                    line,
+                });
+                last_tok_line = line;
+                i = k;
+                continue;
+            }
+            if c == 'b' && i + 1 < n && (cs[i + 1] == '"' || cs[i + 1] == '\'') {
+                // Byte string / byte char: delegate to the quoted scanners.
+                let quote = cs[i + 1];
+                let tok_line = line;
+                i += 1; // position on the quote
+                i = scan_quoted(&cs, i, quote, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: if quote == '"' {
+                        String::from("\"bytes\"")
+                    } else {
+                        String::from("'b'")
+                    },
+                    line: tok_line,
+                });
+                last_tok_line = tok_line;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+
+        if c == '"' {
+            let tok_line = line;
+            i = scan_quoted(&cs, i, '"', &mut line);
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::from("\"str\""),
+                line: tok_line,
+            });
+            last_tok_line = tok_line;
+            continue;
+        }
+
+        if c == '\'' {
+            // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+            let is_lifetime = i + 1 < n
+                && is_ident_start(cs[i + 1])
+                && cs[i + 1] != '\\'
+                && !(i + 2 < n && cs[i + 2] == '\'');
+            if is_lifetime {
+                let mut k = i + 1;
+                while k < n && is_ident_continue(cs[k]) {
+                    k += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: cs[i..k].iter().collect(),
+                    line,
+                });
+                last_tok_line = line;
+                i = k;
+                continue;
+            }
+            let tok_line = line;
+            i = scan_quoted(&cs, i, '\'', &mut line);
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::from("'c'"),
+                line: tok_line,
+            });
+            last_tok_line = tok_line;
+            continue;
+        }
+
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(cs[i]) {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: cs[start..i].iter().collect(),
+                line,
+            });
+            last_tok_line = line;
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            // Numbers, loosely: digits, `_`, type suffixes, and a decimal
+            // point only when followed by a digit (so `0..n` stays a range).
+            let start = i;
+            while i < n {
+                let d = cs[i];
+                let part_of_number = d.is_ascii_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && i + 1 < n && cs[i + 1].is_ascii_digit())
+                    || ((d == '+' || d == '-')
+                        && i > start
+                        && (cs[i - 1] == 'e' || cs[i - 1] == 'E'));
+                if !part_of_number {
+                    break;
+                }
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: cs[start..i].iter().collect(),
+                line,
+            });
+            last_tok_line = line;
+            continue;
+        }
+
+        // Everything else: one punctuation character.
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        last_tok_line = line;
+        i += 1;
+    }
+
+    out
+}
+
+/// Scan a `'`- or `"`-delimited literal starting at the opening quote
+/// index; returns the index just past the closing quote. Handles `\`
+/// escapes and counts newlines into `line`.
+fn scan_quoted(cs: &[char], open: usize, quote: char, line: &mut usize) -> usize {
+    let n = cs.len();
+    let mut i = open + 1;
+    while i < n {
+        match cs[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            c if c == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // Instant in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "Instant::now()";
+            let r = r#"SystemTime"#;
+            let b = b"HashMap";
+            let real = Instant;
+        "##;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|t| *t == "Instant").count(),
+            1,
+            "only the real identifier counts: {ids:?}"
+        );
+        assert!(!ids.contains(&String::from("HashMap")));
+        assert!(!ids.contains(&String::from("SystemTime")));
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let ids = idents(src);
+        assert!(ids.contains(&String::from("str")));
+        assert!(ids.contains(&String::from("x")));
+    }
+
+    #[test]
+    fn char_literals_and_ranges() {
+        let src = "let c = 'z'; let q = '\\''; for i in 0..10 { let f = 1.5e-3; }";
+        let lexed = lex(src);
+        let ids: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"for"));
+        assert!(!ids.contains(&"z"));
+        // `0..10` must lex as literal, dot, dot, literal — not `0.` `.10`.
+        let texts: Vec<_> = lexed.toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.windows(4).any(|w| w == ["0", ".", ".", "10"]));
+    }
+
+    #[test]
+    fn raw_identifiers_are_plain_idents() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&String::from("type")));
+    }
+
+    #[test]
+    fn trailing_comment_flag() {
+        let lexed = lex("let x = 1; // note\n// own line\n");
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"two\nlines\";\nlet after = 1;";
+        let lexed = lex(src);
+        let after = lexed.toks.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 3);
+    }
+}

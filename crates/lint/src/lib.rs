@@ -1,0 +1,235 @@
+//! `dlsr-lint` — the workspace invariant lint pass.
+//!
+//! Run as `cargo run -p dlsr-lint` from the workspace root. Walks every
+//! `crates/*/src` tree, lexes each `.rs` file ([`lexer`]) and applies the
+//! invariant rules ([`rules`]): wall-clock reads outside the wall domain,
+//! hash collections in rank-deterministic crates, allocating calls inside
+//! `#[dlsr::hot]` functions, and undocumented `unsafe`.
+//!
+//! `cargo run -p dlsr-lint -- --self-test` runs the true-positive check:
+//! every fixture under `crates/lint/fixtures/` must trip exactly the rule
+//! it was seeded for. The same checks run as ordinary `cargo test` tests,
+//! so tier-1 CI enforces both "fixtures trip" and "workspace is clean".
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::Finding;
+
+/// Recursively collect `.rs` files under `dir`, sorted for deterministic
+/// output.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            rs_files(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Scan every `crates/*/src` tree under `root` (the workspace root).
+/// Returns all findings, sorted by path then line.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut findings = Vec::new();
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rs_files(&src, &mut files)?;
+        for file in files {
+            let text = fs::read_to_string(&file)?;
+            let rel = rel_path(root, &file);
+            let lexed = lexer::lex(&text);
+            findings.extend(rules::scan_file(&rel, &crate_name, &lexed));
+        }
+    }
+    findings.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    Ok(findings)
+}
+
+/// Repo-relative path with `/` separators (for stable report output and
+/// allowlist matching on every platform).
+fn rel_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Outcome of checking one fixture.
+#[derive(Debug)]
+pub struct FixtureResult {
+    pub file: String,
+    pub expected: String,
+    pub findings: Vec<Finding>,
+    pub ok: bool,
+    pub detail: String,
+}
+
+/// Run the true-positive self-test over `crates/lint/fixtures/*.rs`.
+///
+/// Each fixture declares, in `//~` directives, the crate it pretends to
+/// live in and the single rule it must trip:
+///
+/// ```text
+/// //~ crate: mpi
+/// //~ expect: hash-collections
+/// ```
+///
+/// `//~ expect: none` asserts a clean scan. A fixture passes when it
+/// produces at least one finding, all of the expected rule (or zero
+/// findings for `none`).
+pub fn self_test(root: &Path) -> io::Result<Vec<FixtureResult>> {
+    let fixtures_dir = root.join("crates/lint/fixtures");
+    let mut files = Vec::new();
+    rs_files(&fixtures_dir, &mut files)?;
+    let mut results = Vec::new();
+    for file in files {
+        let text = fs::read_to_string(&file)?;
+        let name = file
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("fixture.rs")
+            .to_string();
+        let mut crate_name = String::from("fixturecrate");
+        let mut expected = String::new();
+        for line in text.lines() {
+            if let Some(v) = line.strip_prefix("//~ crate:") {
+                crate_name = v.trim().to_string();
+            } else if let Some(v) = line.strip_prefix("//~ expect:") {
+                expected = v.trim().to_string();
+            }
+        }
+        if expected.is_empty() {
+            results.push(FixtureResult {
+                file: name.clone(),
+                expected,
+                findings: Vec::new(),
+                ok: false,
+                detail: String::from("fixture is missing an `//~ expect:` directive"),
+            });
+            continue;
+        }
+        // Scan under a pseudo-path inside the declared crate so path-based
+        // allowlists behave exactly as they would in the real tree.
+        let pseudo = format!("crates/{crate_name}/src/{name}");
+        let findings = rules::scan_file(&pseudo, &crate_name, &lexer::lex(&text));
+        let (ok, detail) = if expected == "none" {
+            if findings.is_empty() {
+                (true, String::from("clean, as expected"))
+            } else {
+                (
+                    false,
+                    format!("expected clean, got {} findings", findings.len()),
+                )
+            }
+        } else if findings.is_empty() {
+            (false, format!("expected `{expected}` to trip, got nothing"))
+        } else if findings.iter().all(|f| f.rule == expected) {
+            (true, format!("tripped {} × `{expected}`", findings.len()))
+        } else {
+            let stray: Vec<&str> = findings
+                .iter()
+                .map(|f| f.rule)
+                .filter(|r| *r != expected)
+                .collect();
+            (false, format!("unexpected rules fired: {stray:?}"))
+        };
+        results.push(FixtureResult {
+            file: name,
+            expected,
+            findings,
+            ok,
+            detail,
+        });
+    }
+    Ok(results)
+}
+
+/// Locate the workspace root: walk up from `start` to the first directory
+/// containing both `Cargo.toml` and `crates/`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> PathBuf {
+        find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+    }
+
+    /// Every seeded fixture must trip exactly its rule (true-positive
+    /// self-test), and the clean fixture must stay clean.
+    #[test]
+    fn fixtures_trip_their_rules() {
+        let results = self_test(&root()).expect("fixtures readable");
+        assert!(
+            results.len() >= 5,
+            "expected one fixture per rule plus a clean one, got {}",
+            results.len()
+        );
+        for r in &results {
+            assert!(r.ok, "{}: {}", r.file, r.detail);
+        }
+        for rule in rules::ALL_RULES {
+            assert!(
+                results.iter().any(|r| r.expected == rule),
+                "no fixture covers rule `{rule}`"
+            );
+        }
+    }
+
+    /// The workspace itself must pass every rule. This is the tier-1
+    /// enforcement point: a wall-clock leak or a hot-path allocation
+    /// anywhere in `crates/*/src` fails `cargo test`.
+    #[test]
+    fn workspace_is_clean() {
+        let findings = scan_workspace(&root()).expect("workspace readable");
+        let report: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+        assert!(
+            findings.is_empty(),
+            "workspace lint violations:\n{}",
+            report.join("\n")
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! CLI entry point: `cargo run -p dlsr-lint [-- --self-test]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> Option<PathBuf> {
+    // Under `cargo run` the manifest dir is exported; fall back to cwd so
+    // the binary also works when invoked directly from the repo root.
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())?;
+    dlsr_lint::find_root(&start)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut self_test = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--self-test" => self_test = true,
+            "--root" => match it.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "dlsr-lint: workspace invariant lint pass\n\
+                     \n\
+                     usage: dlsr-lint [--self-test] [--root <workspace>]\n\
+                     \n\
+                     rules: {}\n\
+                     waiver: `// dlsr-lint: allow(<rule>) -- <reason>` on the line above",
+                    dlsr_lint::rules::ALL_RULES.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let Some(root) = root_arg.or_else(workspace_root) else {
+        eprintln!("could not locate the workspace root (pass --root)");
+        return ExitCode::from(2);
+    };
+
+    if self_test {
+        let results = match dlsr_lint::self_test(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("self-test failed to read fixtures: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut failed = false;
+        for r in &results {
+            let mark = if r.ok { "ok " } else { "FAIL" };
+            println!(
+                "{mark}  {:<28} expect {:<20} {}",
+                r.file, r.expected, r.detail
+            );
+            failed |= !r.ok;
+        }
+        if failed {
+            eprintln!("self-test: a seeded fixture did not trip its rule");
+            return ExitCode::FAILURE;
+        }
+        println!("self-test: {} fixtures, all rules trip", results.len());
+        return ExitCode::SUCCESS;
+    }
+
+    match dlsr_lint::scan_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!(
+                "dlsr-lint: workspace clean ({} rules)",
+                dlsr_lint::rules::ALL_RULES.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("dlsr-lint: {} violation(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("dlsr-lint: scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

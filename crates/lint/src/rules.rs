@@ -1,0 +1,459 @@
+//! The invariant rules enforced over the lexed token stream.
+//!
+//! Four rules, each guarding one of the simulator's load-bearing
+//! assumptions (see docs/CORRECTNESS.md for the full catalogue):
+//!
+//! - `wall-clock` — no `Instant` / `SystemTime` outside the allowlisted
+//!   wall-clock modules (the dlsr-trace wall domain and the bench mains).
+//!   Virtual time must come from `Comm::now()` / `VClock`; a wall-clock
+//!   read feeding rank-visible state breaks cross-rank determinism.
+//! - `hash-collections` — no `HashMap` / `HashSet` in rank-deterministic
+//!   crates (mpi, horovod, cluster, nccl). Their iteration order is
+//!   randomized per process, so any use risks rank-divergent schedules;
+//!   `BTreeMap` / `BTreeSet` / `Vec` are the deterministic replacements.
+//! - `hot-alloc` — no allocating calls inside functions annotated
+//!   `#[dlsr::hot]` (the GEMM/im2col steady-state paths). Scratch must be
+//!   passed in by the caller.
+//! - `undocumented-unsafe` — every `unsafe` token needs a `// SAFETY:`
+//!   comment immediately above it (or trailing on the same line).
+//!
+//! Waivers: a comment `dlsr-lint: allow(<rule>) -- <reason>` suppresses
+//! that rule on the next source line (or its own line when trailing). The
+//! reason is mandatory; a waiver without one is itself a violation.
+
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+pub const RULE_WALL_CLOCK: &str = "wall-clock";
+pub const RULE_HASH: &str = "hash-collections";
+pub const RULE_HOT_ALLOC: &str = "hot-alloc";
+pub const RULE_UNSAFE: &str = "undocumented-unsafe";
+pub const RULE_WAIVER: &str = "waiver";
+
+pub const ALL_RULES: [&str; 4] = [RULE_WALL_CLOCK, RULE_HASH, RULE_HOT_ALLOC, RULE_UNSAFE];
+
+/// Files (path prefixes, `/`-separated, relative to the repo root) where
+/// wall-clock reads are legitimate: the trace crate owns the wall domain,
+/// and bench mains measure real elapsed time by definition.
+const WALL_CLOCK_ALLOWLIST: [&str; 2] = ["crates/trace/src/", "crates/bench/src/bin/"];
+
+/// Crates whose code runs identically on every rank; hash-order
+/// nondeterminism there can diverge schedules.
+const RANK_DETERMINISTIC_CRATES: [&str; 4] = ["mpi", "horovod", "cluster", "nccl"];
+
+/// Identifiers banned inside `#[dlsr::hot]` bodies regardless of receiver.
+const HOT_BANNED_IDENTS: [&str; 6] = [
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "collect",
+    "clone",
+    "with_capacity",
+];
+
+/// `Type :: new`-style paths banned inside `#[dlsr::hot]` bodies.
+const HOT_BANNED_PATHS: [(&str, &str); 2] = [("Vec", "new"), ("Box", "new")];
+
+/// Macros banned inside `#[dlsr::hot]` bodies.
+const HOT_BANNED_MACROS: [&str; 2] = ["vec", "format"];
+
+/// A waiver parsed from a `dlsr-lint: allow(<rule>)` comment.
+struct Waiver {
+    rule: String,
+    /// Source line the waiver applies to.
+    target_line: usize,
+}
+
+/// Run every rule over one lexed file. `path` is the repo-relative path
+/// with `/` separators; `crate_name` is the `crates/<name>` directory name.
+pub fn scan_file(path: &str, crate_name: &str, lexed: &Lexed) -> Vec<Finding> {
+    let token_lines = lexed.token_lines();
+    let (waivers, mut findings) = collect_waivers(path, lexed, &token_lines);
+
+    let waived = |rule: &str, line: usize| {
+        waivers
+            .iter()
+            .any(|w| w.rule == rule && w.target_line == line)
+    };
+
+    rule_wall_clock(path, lexed, &waived, &mut findings);
+    rule_hash_collections(path, crate_name, lexed, &waived, &mut findings);
+    rule_hot_alloc(path, lexed, &waived, &mut findings);
+    rule_undocumented_unsafe(path, lexed, &token_lines, &waived, &mut findings);
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Parse waiver comments. A waiver with no `-- reason` text is reported
+/// as a violation of the `waiver` rule. Waivers naming an unknown rule are
+/// reported too, so a typo cannot silently disable nothing.
+fn collect_waivers(
+    path: &str,
+    lexed: &Lexed,
+    token_lines: &[usize],
+) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for c in &lexed.comments {
+        // A waiver must be the comment's first content (after the `//`,
+        // `//!`, `/*` markers) — prose that merely mentions the syntax,
+        // like this crate's own docs, is not a waiver.
+        let content = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = content.strip_prefix("dlsr-lint: allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: c.line,
+                rule: RULE_WAIVER,
+                msg: String::from("malformed waiver: missing `)`"),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !ALL_RULES.contains(&rule.as_str()) {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: c.line,
+                rule: RULE_WAIVER,
+                msg: format!("waiver names unknown rule `{rule}`"),
+            });
+            continue;
+        }
+        let after = &rest[close + 1..];
+        let reason = after
+            .trim_start()
+            .strip_prefix("--")
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: c.line,
+                rule: RULE_WAIVER,
+                msg: format!("waiver for `{rule}` has no `-- <reason>`"),
+            });
+            continue;
+        }
+        let target_line = if c.trailing {
+            c.line
+        } else {
+            token_lines
+                .iter()
+                .copied()
+                .find(|&l| l > c.end_line)
+                .unwrap_or(c.end_line + 1)
+        };
+        waivers.push(Waiver { rule, target_line });
+    }
+    (waivers, findings)
+}
+
+fn rule_wall_clock(
+    path: &str,
+    lexed: &Lexed,
+    waived: &dyn Fn(&str, usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    if WALL_CLOCK_ALLOWLIST.iter().any(|p| path.starts_with(p)) {
+        return;
+    }
+    for t in &lexed.toks {
+        if t.kind == TokKind::Ident
+            && (t.text == "Instant" || t.text == "SystemTime")
+            && !waived(RULE_WALL_CLOCK, t.line)
+        {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: t.line,
+                rule: RULE_WALL_CLOCK,
+                msg: format!(
+                    "`{}` outside the wall-clock allowlist; virtual time must come \
+                     from the simulator clock (Comm::now / VClock)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn rule_hash_collections(
+    path: &str,
+    crate_name: &str,
+    lexed: &Lexed,
+    waived: &dyn Fn(&str, usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    if !RANK_DETERMINISTIC_CRATES.contains(&crate_name) {
+        return;
+    }
+    for t in &lexed.toks {
+        if t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !waived(RULE_HASH, t.line)
+        {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: t.line,
+                rule: RULE_HASH,
+                msg: format!(
+                    "`{}` in rank-deterministic crate `{}`; iteration order is \
+                     process-random — use BTreeMap/BTreeSet/Vec",
+                    t.text, crate_name
+                ),
+            });
+        }
+    }
+}
+
+fn rule_hot_alloc(
+    path: &str,
+    lexed: &Lexed,
+    waived: &dyn Fn(&str, usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &lexed.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_hot_attr(toks, i) {
+            i += 1;
+            continue;
+        }
+        // Find the fn this attribute annotates, then its body.
+        let Some(body) = hot_fn_body(toks, i + 7) else {
+            i += 7;
+            continue;
+        };
+        let (name, lo, hi) = body;
+        for j in lo..hi {
+            let t = &toks[j];
+            if t.kind != TokKind::Ident || waived(RULE_HOT_ALLOC, t.line) {
+                continue;
+            }
+            let banned: Option<String> = if HOT_BANNED_IDENTS.contains(&t.text.as_str()) {
+                Some(t.text.clone())
+            } else if HOT_BANNED_MACROS.contains(&t.text.as_str())
+                && toks.get(j + 1).is_some_and(|n| n.text == "!")
+            {
+                Some(format!("{}!", t.text))
+            } else if HOT_BANNED_PATHS.iter().any(|(ty, m)| {
+                t.text == *ty
+                    && toks.get(j + 1).is_some_and(|a| a.text == ":")
+                    && toks.get(j + 2).is_some_and(|b| b.text == ":")
+                    && toks.get(j + 3).is_some_and(|c| c.text == *m)
+            }) {
+                Some(format!("{}::new", t.text))
+            } else {
+                None
+            };
+            if let Some(what) = banned {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: t.line,
+                    rule: RULE_HOT_ALLOC,
+                    msg: format!(
+                        "allocating call `{what}` inside `#[dlsr::hot]` fn `{name}`; \
+                         hot paths must take scratch from the caller"
+                    ),
+                });
+            }
+        }
+        i = hi;
+    }
+}
+
+/// Does the token sequence at `i` spell `# [ dlsr :: hot ]`?
+fn is_hot_attr(toks: &[Tok], i: usize) -> bool {
+    let want = ["#", "[", "dlsr", ":", ":", "hot", "]"];
+    toks.len() >= i + want.len() && want.iter().enumerate().all(|(k, w)| toks[i + k].text == *w)
+}
+
+/// From just past a `#[dlsr::hot]` attribute, locate the annotated fn's
+/// name and body token range `(name, body_start, body_end_exclusive)`.
+/// Tolerates further attributes and visibility/qualifier keywords between
+/// the attribute and `fn`; gives up at `;` or end of stream.
+fn hot_fn_body(toks: &[Tok], mut i: usize) -> Option<(String, usize, usize)> {
+    while i < toks.len() && toks[i].text != "fn" {
+        if toks[i].text == ";" || toks[i].text == "}" {
+            return None;
+        }
+        i += 1;
+    }
+    let name = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident)?;
+    let mut j = i + 2;
+    while j < toks.len() && toks[j].text != "{" {
+        if toks[j].text == ";" {
+            return None; // trait method signature, no body
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let lo = j + 1;
+    let mut depth = 1usize;
+    let mut k = lo;
+    while k < toks.len() && depth > 0 {
+        match toks[k].text.as_str() {
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            _ => {}
+        }
+        k += 1;
+    }
+    Some((name.text.clone(), lo, k.saturating_sub(1)))
+}
+
+fn rule_undocumented_unsafe(
+    path: &str,
+    lexed: &Lexed,
+    token_lines: &[usize],
+    waived: &dyn Fn(&str, usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    for t in &lexed.toks {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        if has_safety_comment(lexed, token_lines, t.line) || waived(RULE_UNSAFE, t.line) {
+            continue;
+        }
+        findings.push(Finding {
+            path: path.to_string(),
+            line: t.line,
+            rule: RULE_UNSAFE,
+            msg: String::from("`unsafe` without a `// SAFETY:` comment directly above"),
+        });
+    }
+}
+
+/// A `SAFETY:` comment counts when it trails the same line, or ends on a
+/// line whose next token line is exactly the `unsafe` line (i.e. nothing
+/// but blank/comment lines in between).
+fn has_safety_comment(lexed: &Lexed, token_lines: &[usize], line: usize) -> bool {
+    let covers = |c: &Comment| {
+        if !c.text.contains("SAFETY:") {
+            return false;
+        }
+        if c.trailing && c.line == line {
+            return true;
+        }
+        c.end_line < line
+            && token_lines
+                .iter()
+                .copied()
+                .find(|&l| l > c.end_line)
+                .is_some_and(|next| next == line)
+    };
+    lexed.comments.iter().any(covers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(path: &str, crate_name: &str, src: &str) -> Vec<Finding> {
+        scan_file(path, crate_name, &lex(src))
+    }
+
+    #[test]
+    fn wall_clock_trips_and_allowlists() {
+        let src = "let t0 = std::time::Instant::now();";
+        assert_eq!(run("crates/mpi/src/x.rs", "mpi", src).len(), 1);
+        assert!(run("crates/trace/src/lib.rs", "trace", src).is_empty());
+        assert!(run("crates/bench/src/bin/b.rs", "bench", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_waiver_needs_reason() {
+        let waived = "// dlsr-lint: allow(wall-clock) -- measured readiness is wall-domain\n\
+                      let t0 = Instant::now();";
+        assert!(run("crates/mpi/src/x.rs", "mpi", waived).is_empty());
+
+        let bare = "// dlsr-lint: allow(wall-clock)\nlet t0 = Instant::now();";
+        let f = run("crates/mpi/src/x.rs", "mpi", bare);
+        assert!(f.iter().any(|f| f.rule == RULE_WAIVER));
+        assert!(f.iter().any(|f| f.rule == RULE_WALL_CLOCK));
+    }
+
+    #[test]
+    fn trailing_waiver_applies_to_its_own_line() {
+        let src = "let t = Instant::now(); // dlsr-lint: allow(wall-clock) -- bench-only path";
+        assert!(run("crates/mpi/src/x.rs", "mpi", src).is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_waiver_is_flagged() {
+        let src = "// dlsr-lint: allow(wallclock) -- typo\nlet x = 1;";
+        let f = run("crates/mpi/src/x.rs", "mpi", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RULE_WAIVER);
+    }
+
+    #[test]
+    fn hash_rule_only_in_rank_deterministic_crates() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(run("crates/horovod/src/x.rs", "horovod", src).len(), 1);
+        assert!(run("crates/nn/src/x.rs", "nn", src).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_scopes_to_annotated_fn_only() {
+        let src = "
+            #[dlsr::hot]
+            fn hot_one(dst: &mut [f32]) { let v = Vec::new(); let s = vec![1]; }
+            fn cold(xs: &[f32]) -> Vec<f32> { xs.to_vec() }
+        ";
+        let f = run("crates/tensor/src/x.rs", "tensor", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == RULE_HOT_ALLOC));
+        assert!(f.iter().all(|f| f.msg.contains("hot_one")));
+    }
+
+    #[test]
+    fn hot_alloc_sees_method_calls() {
+        let src =
+            "#[dlsr::hot]\nfn h(xs: &[f32]) { let _ = xs.iter().map(|x| x).collect::<Vec<_>>(); }";
+        let f = run("crates/tensor/src/x.rs", "tensor", src);
+        assert!(f.iter().any(|f| f.msg.contains("collect")));
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() { unsafe { core::hint::unreachable_unchecked() } }";
+        assert_eq!(run("crates/tensor/src/x.rs", "tensor", bad).len(), 1);
+
+        let good = "fn f() {\n    // SAFETY: the caller proved the index is in bounds.\n    unsafe { core::hint::unreachable_unchecked() }\n}";
+        assert!(run("crates/tensor/src/x.rs", "tensor", good).is_empty());
+
+        let trailing = "fn f() { unsafe { x() } } // SAFETY: trivially in bounds";
+        assert!(run("crates/tensor/src/x.rs", "tensor", trailing).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_string_is_not_flagged() {
+        let src = "fn f() { let s = \"unsafe\"; }";
+        assert!(run("crates/tensor/src/x.rs", "tensor", src).is_empty());
+    }
+}

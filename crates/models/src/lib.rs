@@ -10,6 +10,7 @@
 //!   drives the simulated-GPU cost model without instantiating full-size
 //!   models.
 
+#![forbid(unsafe_code)]
 pub mod edsr;
 pub mod profile;
 pub mod resnet;

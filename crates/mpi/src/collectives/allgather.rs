@@ -15,6 +15,9 @@ pub fn allgather(comm: &mut Comm, mine: Vec<f32>, buf_id: u64) -> Vec<Vec<f32>> 
         out[0] = mine;
         return out;
     }
+    // Contribution lengths may legitimately differ per rank, so the
+    // signature carries no element count.
+    comm.verify_coll("allgather", "-", "f32", 0, "ring", None, 0);
     let seq = comm.next_seq();
     let right = (rank + 1) % p;
     let left = (rank + p - 1) % p;

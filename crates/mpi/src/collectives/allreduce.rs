@@ -94,6 +94,15 @@ fn allreduce_grouped(
     if comm.size() == 1 {
         return;
     }
+    comm.verify_coll(
+        "allreduce",
+        crate::verify::op_name(op),
+        "f32",
+        buf.len(),
+        crate::verify::algo_name(algo),
+        group,
+        0,
+    );
     let bytes = buf.len() * 4;
     let t0 = comm.now();
     match algo {

@@ -13,6 +13,7 @@ pub fn barrier(comm: &mut Comm) {
     if p == 1 {
         return;
     }
+    comm.verify_coll("barrier", "-", "-", 0, "dissemination", None, 0);
     let rank = comm.rank();
     let seq = comm.next_seq();
     let t0 = comm.now();

@@ -13,6 +13,9 @@ pub fn bcast(comm: &mut Comm, buf: &mut Vec<f32>, root: usize, buf_id: u64) {
     if p == 1 {
         return;
     }
+    // Element count deliberately not in the signature: non-root buffers
+    // are replaced wholesale, so their pre-call lengths may differ.
+    comm.verify_coll("bcast", "-", "f32", 0, "binomial", None, root);
     let rank = comm.rank();
     let seq = comm.next_seq();
     let relative = (rank + p - root) % p;

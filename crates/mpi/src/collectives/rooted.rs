@@ -16,6 +16,15 @@ pub fn reduce(comm: &mut Comm, buf: &mut [f32], root: usize, buf_id: u64, op: Re
     if p == 1 {
         return;
     }
+    comm.verify_coll(
+        "reduce",
+        crate::verify::op_name(op),
+        "f32",
+        buf.len(),
+        "binomial",
+        None,
+        root,
+    );
     let rank = comm.rank();
     let seq = comm.next_seq();
     let relative = (rank + p - root) % p;
@@ -49,6 +58,7 @@ pub fn gather(comm: &mut Comm, mine: Vec<f32>, root: usize, buf_id: u64) -> Vec<
     if p == 1 {
         return vec![mine];
     }
+    comm.verify_coll("gather", "-", "f32", 0, "linear", None, root);
     let seq = comm.next_seq();
     if rank == root {
         let mut out: Vec<Vec<f32>> = vec![Vec::new(); p];
@@ -78,6 +88,7 @@ pub fn scatter(
         assert_eq!(parts.len(), 1, "one part per rank");
         return parts.pop().expect("one part");
     }
+    comm.verify_coll("scatter", "-", "f32", 0, "linear", None, root);
     let seq = comm.next_seq();
     if rank == root {
         let parts = parts.expect("root provides parts");

@@ -26,6 +26,15 @@ pub fn allreduce_elems(comm: &mut Comm, elems: usize, buf_id: u64, algo: Allredu
     if comm.size() == 1 {
         return;
     }
+    comm.verify_coll(
+        "allreduce",
+        "sum",
+        "synth",
+        elems,
+        crate::verify::algo_name(algo),
+        None,
+        0,
+    );
     let t0 = comm.now();
     match algo {
         AllreduceAlgorithm::Ring => {
@@ -252,6 +261,7 @@ pub fn bcast_elems(comm: &mut Comm, elems: usize, root: usize, buf_id: u64) {
     if p == 1 {
         return;
     }
+    comm.verify_coll("bcast", "-", "synth", 0, "binomial", None, root);
     let rank = comm.rank();
     let seq = comm.next_seq();
     let relative = (rank + p - root) % p;

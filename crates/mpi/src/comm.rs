@@ -83,10 +83,14 @@ pub struct Comm {
     /// NCCL's internal registration bookkeeping (always enabled — NCCL
     /// registers its persistent transport buffers once at init).
     nccl_regcache: RegistrationCache,
+    /// Cross-rank verifier for this world (debug builds only; without the
+    /// `verify` feature the field does not exist and every hook below
+    /// compiles to nothing).
+    #[cfg(feature = "verify")]
+    verify: Option<Arc<crate::verify::VerifyCtx>>,
 }
 
 impl Comm {
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: usize,
         topo: ClusterTopology,
@@ -125,6 +129,71 @@ impl Comm {
             coll_seq: 0,
             policy: PathPolicy::Mpi,
             nccl_regcache: RegistrationCache::new(1 << 34),
+            #[cfg(feature = "verify")]
+            verify: None,
+        }
+    }
+
+    /// Attach the world's cross-rank verifier (set by [`crate::MpiWorld`]
+    /// right after construction, before the rank closure runs).
+    #[cfg(feature = "verify")]
+    pub(crate) fn attach_verify(&mut self, ctx: Arc<crate::verify::VerifyCtx>) {
+        self.verify = Some(ctx);
+    }
+
+    /// Record + cross-check one collective signature (no-op unless the
+    /// `verify` feature is on). Called at every top-level collective entry
+    /// point, before any of the collective's messages move.
+    #[inline]
+    #[allow(unused_variables)]
+    // one parameter per `CollSig` field: the arg list *is* the signature
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn verify_coll(
+        &mut self,
+        kind: &'static str,
+        op: &'static str,
+        dtype: &'static str,
+        elems: usize,
+        algo: &'static str,
+        group: Option<usize>,
+        root: usize,
+    ) {
+        #[cfg(feature = "verify")]
+        if let Some(ctx) = self.verify.clone() {
+            ctx.record_collective(
+                self.rank,
+                crate::verify::CollSig {
+                    kind,
+                    op,
+                    dtype,
+                    elems,
+                    seq: self.coll_seq,
+                    algo,
+                    group,
+                    root,
+                },
+            );
+        }
+    }
+
+    /// Cross-rank checkpoint: all ranks must call this with the same label
+    /// and marker, in the same program order (no-op unless `verify` is on).
+    /// `dlsr-horovod` calls it at every negotiation round.
+    #[inline]
+    #[allow(unused_variables)]
+    pub fn verify_checkpoint(&mut self, label: &'static str, marker: u64) {
+        self.verify_coll("checkpoint", "-", "-", marker as usize, label, None, 0);
+    }
+
+    /// Record one fusion-group launch for launch-order verification
+    /// (no-op unless `verify` is on). The overlapped optimizer calls this
+    /// right before launching each group's allreduce.
+    #[inline]
+    #[allow(unused_variables)]
+    pub fn verify_launch(&mut self, group: usize) {
+        #[cfg(feature = "verify")]
+        if let Some(ctx) = self.verify.clone() {
+            ctx.record_launch(self.rank, group);
         }
     }
 
@@ -347,12 +416,57 @@ impl Comm {
             let m = self.pending.remove(pos).expect("position valid");
             return self.complete_recv(m, recv_buf_id);
         }
+        #[cfg(not(feature = "verify"))]
         loop {
             let m = self.rx.recv().expect("senders alive");
             if m.src == src && m.tag == tag {
                 return self.complete_recv(m, recv_buf_id);
             }
             self.pending.push_back(m);
+        }
+        #[cfg(feature = "verify")]
+        self.recv_watched(src, tag, recv_buf_id)
+    }
+
+    /// Verified blocking receive: identical matching semantics, but waits
+    /// in short polls so this rank can (a) register itself as blocked in
+    /// the wait-for graph, (b) run the deadlock cycle check, and (c) bail
+    /// out promptly when another rank flags a violation.
+    #[cfg(feature = "verify")]
+    fn recv_watched(&mut self, src: usize, tag: u64, recv_buf_id: u64) -> Payload {
+        use crossbeam::channel::RecvTimeoutError;
+        let ctx = self.verify.clone();
+        let mut noted = false;
+        loop {
+            match self.rx.recv_timeout(crate::verify::POLL) {
+                Ok(m) => {
+                    if m.src == src && m.tag == tag {
+                        if noted {
+                            if let Some(c) = &ctx {
+                                c.note_unblocked(self.rank);
+                            }
+                        }
+                        return self.complete_recv(m, recv_buf_id);
+                    }
+                    self.pending.push_back(m);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(c) = &ctx {
+                        c.note_blocked(self.rank, src, tag);
+                        noted = true;
+                        // Panics on a confirmed stable cycle, or when a
+                        // violation was flagged elsewhere.
+                        c.check_deadlock(self.rank);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!(
+                        "dlsr-mpi verify: peers exited while rank {} waits for (src {src}, \
+                         tag {tag:#x})",
+                        self.rank
+                    );
+                }
+            }
         }
     }
 

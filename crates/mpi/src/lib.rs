@@ -37,11 +37,13 @@
 //! assert!(result.makespan() > 0.0); // virtual time passed
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod clock;
 pub mod collectives;
 pub mod comm;
 pub mod config;
 pub mod message;
+pub mod verify;
 pub mod world;
 
 pub use clock::VClock;

@@ -58,6 +58,9 @@ impl MpiWorld {
                 .collect::<Vec<_>>(),
         );
 
+        #[cfg(feature = "verify")]
+        let verify_ctx = crate::verify::VerifyCtx::new(size);
+
         let mut out: Vec<Option<(R, f64)>> = (0..size).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(size);
@@ -67,11 +70,15 @@ impl MpiWorld {
                 let registries = Arc::clone(&ipc_registries);
                 let topo = topo.clone();
                 let f = &f;
+                #[cfg(feature = "verify")]
+                let verify_ctx = Arc::clone(&verify_ctx);
                 handles.push(scope.spawn(move || {
                     // Spans and counters recorded on this thread attribute
                     // to this rank.
                     dlsr_trace::set_thread_rank(rank);
                     let mut comm = Comm::new(rank, topo, cfg, senders, rx, registries);
+                    #[cfg(feature = "verify")]
+                    comm.attach_verify(verify_ctx);
                     let r = f(&mut comm);
                     (rank, r, comm.now())
                 }));
@@ -81,6 +88,11 @@ impl MpiWorld {
                 out[rank] = Some((r, clock));
             }
         });
+
+        // All ranks completed: run the end-of-run cross-rank checks
+        // (launch-order equality) and publish the verification summary.
+        #[cfg(feature = "verify")]
+        verify_ctx.final_check();
         let mut ranks = Vec::with_capacity(size);
         let mut clocks = Vec::with_capacity(size);
         for slot in out {

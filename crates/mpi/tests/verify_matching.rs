@@ -1,0 +1,168 @@
+//! Tests for the debug-mode collective-matching verifier (the `verify`
+//! feature — this target only builds with it, see Cargo.toml).
+//!
+//! The injected-failure tests prove the checker actually fires: a skewed
+//! collective on rank 1 (wrong count / wrong tag via an extra collective /
+//! wrong algorithm bin) and a crossed `irecv` deadlock must each abort the
+//! world with a recorded violation, instead of hanging on a tag that never
+//! matches.
+
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use dlsr_mpi::collectives::{allreduce, allreduce_with, barrier, AllreduceAlgorithm};
+use dlsr_mpi::verify::{self, ViolationKind};
+use dlsr_mpi::{MpiConfig, MpiWorld};
+use dlsr_net::ClusterTopology;
+
+/// The violation list and summary are process-global; serialize the tests
+/// so one test's wreckage never leaks into another's assertions.
+static WORLD_LOCK: Mutex<()> = Mutex::new(());
+
+fn topo() -> ClusterTopology {
+    ClusterTopology::lassen(1) // 1 node × 4 GPUs
+}
+
+/// Run `f` expecting the world to panic, with the default panic printer
+/// silenced (every rank of a failed world panics by design — the test log
+/// should not look like a crime scene). Returns the recorded violations.
+fn run_expecting_abort<F>(f: F) -> Vec<verify::Violation>
+where
+    F: Fn(&mut dlsr_mpi::Comm) -> usize + Send + Sync,
+{
+    let _ = verify::take_violations();
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        MpiWorld::run(&topo(), MpiConfig::mpi_opt(), f)
+    }));
+    std::panic::set_hook(prev);
+    assert!(result.is_err(), "the skewed world must abort");
+    verify::take_violations()
+}
+
+#[test]
+fn clean_world_passes_and_reports_a_summary() {
+    let _g = WORLD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = verify::take_violations();
+    let res = MpiWorld::run(&topo(), MpiConfig::mpi_opt(), |c| {
+        let mut grads = vec![c.rank() as f32; 64];
+        allreduce(c, &mut grads, 1);
+        barrier(c);
+        c.verify_checkpoint("negotiate", 1);
+        let mut more = vec![1.0f32; 8];
+        allreduce_with(c, &mut more, 2, AllreduceAlgorithm::Ring);
+        grads[0]
+    });
+    assert!(res.ranks.iter().all(|&v| v == 6.0));
+    assert!(verify::take_violations().is_empty());
+    let summary = verify::last_summary().expect("verified run stores a summary");
+    assert_eq!(summary.ranks, 4);
+    assert!(
+        summary.collectives_checked >= 4,
+        "allreduce + barrier + checkpoint + allreduce: {summary:?}"
+    );
+}
+
+#[test]
+fn skewed_element_count_on_rank_1_is_detected() {
+    let _g = WORLD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let violations = run_expecting_abort(|c| {
+        // Rank 1 contributes 9 elements where everyone else sends 8.
+        let elems = if c.rank() == 1 { 9 } else { 8 };
+        let mut grads = vec![1.0f32; elems];
+        allreduce(c, &mut grads, 1);
+        grads.len()
+    });
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].kind, ViolationKind::CollectiveMismatch);
+    assert!(
+        violations[0].detail.contains("elems=8") && violations[0].detail.contains("elems=9"),
+        "detail names both counts: {}",
+        violations[0].detail
+    );
+}
+
+#[test]
+fn skewed_tag_via_extra_collective_is_detected() {
+    let _g = WORLD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let violations = run_expecting_abort(|c| {
+        // Rank 1 sneaks in an extra barrier, so its next collective runs
+        // one sequence number (= tag base) ahead of everyone else's.
+        if c.rank() == 1 {
+            barrier(c);
+        }
+        let mut grads = vec![1.0f32; 16];
+        allreduce(c, &mut grads, 1);
+        barrier(c);
+        0
+    });
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].kind, ViolationKind::CollectiveMismatch);
+}
+
+#[test]
+fn skewed_algorithm_bin_is_detected() {
+    let _g = WORLD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let violations = run_expecting_abort(|c| {
+        let algo = if c.rank() == 1 {
+            AllreduceAlgorithm::RecursiveDoubling
+        } else {
+            AllreduceAlgorithm::Ring
+        };
+        let mut grads = vec![1.0f32; 32];
+        allreduce_with(c, &mut grads, 1, algo);
+        0
+    });
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].kind, ViolationKind::CollectiveMismatch);
+    assert!(
+        violations[0].detail.contains("ring") && violations[0].detail.contains("rd"),
+        "detail names both algorithm bins: {}",
+        violations[0].detail
+    );
+}
+
+#[test]
+fn crossed_irecv_deadlock_is_detected() {
+    let _g = WORLD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let violations = run_expecting_abort(|c| {
+        // Ranks 0 and 1 each post an irecv for a tag the other never
+        // sends, then block in wait: a classic crossed nonblocking pair.
+        match c.rank() {
+            0 => {
+                let req = c.irecv(1, 0xA, 1);
+                let _ = c.wait(req);
+            }
+            1 => {
+                let req = c.irecv(0, 0xB, 2);
+                let _ = c.wait(req);
+            }
+            _ => {}
+        }
+        0
+    });
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].kind, ViolationKind::Deadlock);
+    assert!(
+        violations[0].detail.contains("wait-for cycle"),
+        "detail describes the cycle: {}",
+        violations[0].detail
+    );
+}
+
+#[test]
+fn out_of_order_fusion_launch_is_detected() {
+    let _g = WORLD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let violations = run_expecting_abort(|c| {
+        // The analytic schedule launches groups 0, 1, 2, ...; jumping
+        // straight to group 2 after group 0 breaks it.
+        c.verify_launch(0);
+        c.verify_launch(2);
+        0
+    });
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].kind, ViolationKind::LaunchOrder);
+}

@@ -20,6 +20,7 @@
 //! the ring is automatically topology-aware (3 NVLink hops per node, one IB
 //! hop between nodes).
 
+#![forbid(unsafe_code)]
 use dlsr_mpi::collectives::{allreduce_with, AllreduceAlgorithm};
 use dlsr_mpi::{Comm, PathPolicy};
 

@@ -12,6 +12,7 @@
 //!   registration) costs and the registration cache that eliminates them
 //!   on buffer reuse (§III-D), plus a GPUDirect-RDMA path.
 
+#![forbid(unsafe_code)]
 pub mod link;
 pub mod regcache;
 pub mod topology;

@@ -19,6 +19,7 @@
 //! - [`checkpoint`]: named state dicts with file round-trips,
 //! - [`metrics`]: PSNR and SSIM image-quality metrics.
 
+#![forbid(unsafe_code)]
 pub mod checkpoint;
 pub mod layers;
 pub mod loss;

@@ -23,6 +23,7 @@
 //! ([`conv2d_fused`]), so a conv + ReLU layer makes a single pass over the
 //! output instead of three.
 
+use dlsr_attr as dlsr;
 use rayon::prelude::*;
 
 use crate::matmul::{
@@ -85,6 +86,7 @@ fn weight_dims(weight: &Tensor) -> Result<(usize, usize, usize, usize)> {
 }
 
 /// Scatter one image into its im2col matrix of shape `[C_in*K_h*K_w, H_out*W_out]`.
+#[dlsr::hot]
 fn im2col(
     img: &[f32],
     (c_in, h, w): (usize, usize, usize),
@@ -124,6 +126,7 @@ fn im2col(
 }
 
 /// Accumulate an im2col matrix back into an image (the adjoint of [`im2col`]).
+#[dlsr::hot]
 fn col2im(
     col: &[f32],
     (c_in, h, w): (usize, usize, usize),

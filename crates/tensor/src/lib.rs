@@ -13,7 +13,17 @@
 //!   disjoint output regions so results do not depend on thread count.
 //!   This matters for the distributed-equivalence tests in the workspace
 //!   (single-rank training must match data-parallel training).
-//! - There is no `unsafe` in this crate.
+//! - There is no `unsafe` in this crate (audited; `#![deny(unsafe_code)]`
+//!   below keeps it that way, and dlsr-lint's `undocumented-unsafe` rule
+//!   plus `clippy::undocumented_unsafe_blocks` gate any future exception
+//!   behind a `// SAFETY:` comment).
+
+// `deny` rather than `forbid`: the one sanctioned escape hatch for a
+// future SIMD microkernel, which would carry a module-level
+// `#[allow(unsafe_code)]` plus per-block `// SAFETY:` comments
+// (enforced by dlsr-lint and clippy::undocumented_unsafe_blocks).
+// Today the crate contains zero unsafe blocks.
+#![deny(unsafe_code)]
 
 pub mod conv;
 pub mod elementwise;

@@ -26,6 +26,7 @@
 //! `RAYON_NUM_THREADS=1`; see `row_partition_is_bitwise_deterministic` in
 //! the tests for the invariant exercised directly.
 
+use dlsr_attr as dlsr;
 use rayon::prelude::*;
 
 use crate::scratch;
@@ -145,6 +146,7 @@ pub fn pack_a_transposed(a: &[f32], m: usize, k: usize, out: &mut [f32]) {
     pack_a_impl(a, m, k, true, out);
 }
 
+#[dlsr::hot]
 fn pack_a_impl(a: &[f32], m: usize, k: usize, trans: bool, out: &mut [f32]) {
     assert_eq!(a.len(), m * k);
     assert_eq!(out.len(), packed_a_len(m, k));
@@ -185,6 +187,7 @@ pub fn pack_b_transposed(b: &[f32], k: usize, n: usize, out: &mut [f32]) {
     pack_b_impl(b, k, n, true, out);
 }
 
+#[dlsr::hot]
 fn pack_b_impl(b: &[f32], k: usize, n: usize, trans: bool, out: &mut [f32]) {
     assert_eq!(b.len(), k * n);
     assert_eq!(out.len(), packed_b_len(k, n));
@@ -222,6 +225,7 @@ fn pack_b_impl(b: &[f32], k: usize, n: usize, trans: bool, out: &mut [f32]) {
 /// stream sequentially, so the loop compiles to broadcast + FMA with no
 /// bounds checks (the `chunks_exact` zip erases them).
 #[inline]
+#[dlsr::hot]
 fn microkernel(apan: &[f32], bpan: &[f32], acc: &mut [[f32; NR]; MR]) {
     for (arow, brow) in apan.chunks_exact(MR).zip(bpan.chunks_exact(NR)) {
         let ar: &[f32; MR] = arow.try_into().expect("chunks_exact yields MR");
@@ -240,6 +244,7 @@ fn microkernel(apan: &[f32], bpan: &[f32], acc: &mut [[f32; NR]; MR]) {
 /// epilogue once the final k block has been summed.
 #[inline]
 #[allow(clippy::too_many_arguments)]
+#[dlsr::hot]
 fn store_tile(
     acc: &[[f32; NR]; MR],
     crows: &mut [f32],
@@ -282,6 +287,7 @@ fn store_tile(
 /// Blocked driver for one row-panel chunk of `C` (`chunk_idx`-th group of
 /// `MR` rows). Sequential; parallel callers hand disjoint chunks to it.
 #[allow(clippy::too_many_arguments)]
+#[dlsr::hot]
 fn gemm_rows(
     apack: &[f32],
     bpack: &[f32],
@@ -359,6 +365,7 @@ pub fn gemm_prepacked(
 /// Single-threaded [`gemm_prepacked`]. For callers that already hold a
 /// rayon worker — the batch loop in `conv` parallelizes over images and
 /// must not fan out again per image.
+#[dlsr::hot]
 pub fn gemm_prepacked_seq(
     apack: &[f32],
     bpack: &[f32],

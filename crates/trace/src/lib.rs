@@ -28,6 +28,7 @@
 //! recording behind one relaxed atomic load, which is what the < 3%
 //! overhead test in `dlsr-cluster` measures.
 
+#![forbid(unsafe_code)]
 pub mod report;
 
 use std::collections::BTreeMap;
