@@ -19,12 +19,11 @@ const NODES: usize = 2; // 8 ranks
 const STEPS: usize = 3;
 
 fn cfg(overlap: bool) -> RealTrainConfig {
-    RealTrainConfig {
-        steps: STEPS,
-        global_batch: 8,
-        overlap,
-        ..Default::default()
-    }
+    RealTrainConfig::builder()
+        .steps(STEPS)
+        .global_batch(8)
+        .overlap(overlap)
+        .build()
 }
 
 fn bench_overlap(c: &mut Criterion) {

@@ -37,11 +37,11 @@ fn main() {
     for &t in &thresholds {
         print!("{:>12}MB", t >> 20);
         for &c in &cycles {
-            let hcfg = HorovodConfig {
-                fusion_threshold: t,
-                cycle_time: c,
-                backend: Backend::Mpi,
-            };
+            let hcfg = HorovodConfig::builder()
+                .fusion_threshold(t)
+                .cycle_time(c)
+                .backend(Backend::Mpi)
+                .build();
             let run =
                 run_training_tuned(&topo, Scenario::MpiOpt, &w, &tensors, 4, 1, 4, SEED, hcfg);
             print!("{:>12.1}", run.images_per_sec);

@@ -23,7 +23,7 @@ fn main() {
     );
     for &nodes in &nodes_list {
         let topo = ClusterTopology::lassen(nodes);
-        for sc in Scenario::all() {
+        for sc in Scenario::ALL {
             let run = run_training(&topo, sc, &w, &tensors, 4, 2, 8, 99);
             println!(
                 "{:>6} {:>10} {:>12.1} {:>10.3} {:>10.1} {:>10.2}",

@@ -9,7 +9,7 @@ fn main() {
     let nodes: usize = args.get(1).map(|a| a.parse().unwrap()).unwrap_or(1);
     let (w, tensors) = edsr_measured_workload();
     let topo = ClusterTopology::lassen(nodes);
-    for sc in Scenario::all() {
+    for sc in Scenario::ALL {
         let tr = SimTrainer::new(w.clone(), tensors.clone(), 4, sc, &topo, 1).unwrap();
         println!("-- {} ({} nodes) --", sc.label(), nodes);
         for sg in tr.plan() {

@@ -12,7 +12,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let nodes: usize = args.get(1).map(|a| a.parse().unwrap()).unwrap_or(1);
     let topo = ClusterTopology::lassen(nodes);
-    for sc in Scenario::all() {
+    for sc in Scenario::ALL {
         let (run, report) = traced_training_run(&topo, sc, 4, 2, 8, 99);
         println!(
             "-- {} ({} nodes): step {:.1} ms, allreduce total {:.1} ms --",

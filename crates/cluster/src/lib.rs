@@ -24,7 +24,7 @@ pub mod workload;
 pub use experiment::{
     batch_sweep, run_training, run_training_tuned, scaling_sweep, ScalingPoint, TrainRun,
 };
-pub use realtrain::{train_real, RealTrainConfig, RealTrainResult};
+pub use realtrain::{train_real, RealTrainConfig, RealTrainConfigBuilder, RealTrainResult};
 pub use scenario::Scenario;
 pub use sim::{estimate_allreduce, SimTrainer};
 pub use workload::{edsr_measured_workload, edsr_text_workload, resnet50_workload, to_workload};

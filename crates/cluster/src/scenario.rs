@@ -1,5 +1,8 @@
 //! The four evaluated configurations of the paper.
 
+use std::fmt;
+use std::str::FromStr;
+
 use dlsr_horovod::Backend;
 use dlsr_mpi::MpiConfig;
 
@@ -20,14 +23,12 @@ pub enum Scenario {
 
 impl Scenario {
     /// Every scenario, in presentation order.
-    pub fn all() -> [Scenario; 4] {
-        [
-            Scenario::MpiDefault,
-            Scenario::MpiReg,
-            Scenario::MpiOpt,
-            Scenario::Nccl,
-        ]
-    }
+    pub const ALL: [Scenario; 4] = [
+        Scenario::MpiDefault,
+        Scenario::MpiReg,
+        Scenario::MpiOpt,
+        Scenario::Nccl,
+    ];
 
     /// The MPI library configuration for this scenario.
     pub fn mpi_config(self) -> MpiConfig {
@@ -67,6 +68,32 @@ impl Scenario {
     }
 }
 
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Scenario {
+    type Err = String;
+
+    /// Parses the plot label, case-insensitively — so the `dlsr profile`
+    /// and `dlsr chaos` subcommands accept the same names the reports
+    /// print (`MPI`, `MPI-Reg`, `MPI-Opt`, `NCCL`, or any casing thereof).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Scenario::ALL
+            .iter()
+            .copied()
+            .find(|sc| sc.label().eq_ignore_ascii_case(s))
+            .ok_or_else(|| {
+                format!(
+                    "unknown scenario `{s}` (expected one of: {})",
+                    Scenario::ALL.map(|sc| sc.label()).join(" | ")
+                )
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,7 +118,17 @@ mod tests {
     #[test]
     fn labels_are_unique() {
         let labels: std::collections::BTreeSet<_> =
-            Scenario::all().iter().map(|s| s.label()).collect();
+            Scenario::ALL.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn labels_parse_back_case_insensitively() {
+        for s in Scenario::ALL {
+            assert_eq!(s.label().parse::<Scenario>(), Ok(s));
+            assert_eq!(s.label().to_lowercase().parse::<Scenario>(), Ok(s));
+            assert_eq!(s.to_string(), s.label());
+        }
+        assert!("infiniband".parse::<Scenario>().is_err());
     }
 }

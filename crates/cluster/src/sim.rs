@@ -178,11 +178,11 @@ impl SimTrainer {
         topo: &ClusterTopology,
         seed: u64,
     ) -> Result<Self, MemoryError> {
-        let hcfg = HorovodConfig {
-            backend: scenario.backend(),
-            cycle_time: TUNED_CYCLE_TIME,
-            fusion_threshold: TUNED_FUSION_THRESHOLD,
-        };
+        let hcfg = HorovodConfig::builder()
+            .backend(scenario.backend())
+            .cycle_time(TUNED_CYCLE_TIME)
+            .fusion_threshold(TUNED_FUSION_THRESHOLD)
+            .build();
         Self::with_horovod_config(workload, tensors, batch, scenario, topo, seed, hcfg)
     }
 
@@ -208,10 +208,7 @@ impl SimTrainer {
         let bwd = step.compute_s * 2.0 / 3.0;
         let tail = step.launch_s + step.framework_s;
         let world = topo.total_gpus();
-        let hcfg = HorovodConfig {
-            backend: scenario.backend(),
-            ..hcfg
-        };
+        let hcfg = hcfg.to_builder().backend(scenario.backend()).build();
         let readiness = readiness_from_elems(&tensors, bwd);
         let mpi_cfg = scenario.mpi_config();
         let backend = scenario.backend();
@@ -295,6 +292,16 @@ impl SimTrainer {
         let rank = comm.rank();
         let t0 = comm.now();
         let jit = jitter_factor(self.seed, rank, step_idx, self.jitter_sigma);
+        // A straggler rank from the fault plan runs all its compute slower
+        // by a fixed multiplier, on top of the per-step jitter.
+        #[cfg(feature = "faults")]
+        let jit = jit
+            * comm
+                .config()
+                .fault_plan
+                .as_ref()
+                .map(|p| p.compute_multiplier(rank))
+                .unwrap_or(1.0);
         let bwd_start = t0 + self.fwd * jit;
         comm.advance_to(bwd_start);
         tl.record(format!("fwd[{step_idx}]"), "compute", rank, t0, bwd_start);

@@ -31,11 +31,10 @@ fn topo() -> ClusterTopology {
 }
 
 fn cfg() -> RealTrainConfig {
-    RealTrainConfig {
-        steps: 4,
-        seed: 0x000D_5EED,
-        ..Default::default()
-    }
+    RealTrainConfig::builder()
+        .steps(4)
+        .seed(0x000D_5EED)
+        .build()
 }
 
 /// FNV-1a over the exact bit patterns of the parameters: any single-ULP

@@ -28,15 +28,8 @@ fn overlapped_training_is_bitwise_identical_to_sequential() {
     let _g = LOCK.lock();
     for gpus in [1usize, 2, 4] {
         let t = topo(gpus);
-        let sequential = RealTrainConfig {
-            steps: 20,
-            overlap: false,
-            ..Default::default()
-        };
-        let overlapped = RealTrainConfig {
-            overlap: true,
-            ..sequential.clone()
-        };
+        let sequential = RealTrainConfig::builder().steps(20).overlap(false).build();
+        let overlapped = sequential.clone().to_builder().overlap(true).build();
         let a = train_real(&t, MpiConfig::mpi_opt(), &sequential);
         let b = train_real(&t, MpiConfig::mpi_opt(), &overlapped);
         assert_eq!(
@@ -53,10 +46,7 @@ fn overlapped_training_is_bitwise_identical_to_sequential() {
 #[test]
 fn measured_readiness_reconciles_with_the_analytic_schedule() {
     let _g = LOCK.lock();
-    let cfg = RealTrainConfig {
-        steps: 5,
-        ..Default::default()
-    };
+    let cfg = RealTrainConfig::builder().steps(5).build();
     let res = train_real(&topo(2), MpiConfig::mpi_opt(), &cfg);
     let rec = res
         .readiness
@@ -80,11 +70,7 @@ fn measured_readiness_reconciles_with_the_analytic_schedule() {
     let seq = train_real(
         &topo(2),
         MpiConfig::mpi_opt(),
-        &RealTrainConfig {
-            overlap: false,
-            steps: 2,
-            ..Default::default()
-        },
+        &RealTrainConfig::builder().overlap(false).steps(2).build(),
     );
     assert!(seq.readiness.is_none());
 }
@@ -95,12 +81,11 @@ fn overlap_shrinks_exposed_communication() {
     let run = |overlap: bool| {
         dlsr_trace::set_enabled(true);
         dlsr_trace::reset();
-        let cfg = RealTrainConfig {
-            steps: 3,
-            global_batch: 8,
-            overlap,
-            ..Default::default()
-        };
+        let cfg = RealTrainConfig::builder()
+            .steps(3)
+            .global_batch(8)
+            .overlap(overlap)
+            .build();
         let res = train_real(&ClusterTopology::lassen(2), MpiConfig::mpi_opt(), &cfg);
         dlsr_trace::set_enabled(false);
         let counters = dlsr_trace::counters_snapshot();

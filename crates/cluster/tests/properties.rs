@@ -48,9 +48,9 @@ proptest! {
     /// Scenario presets are internally consistent with their labels.
     #[test]
     fn scenario_roundtrip(i in 0usize..4) {
-        let s = Scenario::all()[i];
+        let s = Scenario::ALL[i];
         // label is unique and stable
-        prop_assert_eq!(Scenario::all().iter().filter(|x| x.label() == s.label()).count(), 1);
+        prop_assert_eq!(Scenario::ALL.iter().filter(|x| x.label() == s.label()).count(), 1);
         // every scenario's config is constructible and self-consistent
         let cfg = s.mpi_config();
         prop_assert!(cfg.transport.nvlink.bandwidth > cfg.transport.staged.bandwidth);

@@ -21,10 +21,7 @@ fn real_training_passes_the_verifier() {
         nodes: 1,
         gpus_per_node: 2,
     };
-    let cfg = RealTrainConfig {
-        steps: 6,
-        ..Default::default()
-    };
+    let cfg = RealTrainConfig::builder().steps(6).build();
     // Overlapped engine: fusion groups launch mid-backward, which is
     // exactly the path whose launch order the verifier audits.
     let res = train_real(&topo, MpiConfig::mpi_opt(), &cfg);
@@ -45,11 +42,7 @@ fn real_training_passes_the_verifier() {
     );
 
     // Sequential engine covers the backward-then-allreduce path too.
-    let cfg = RealTrainConfig {
-        steps: 3,
-        overlap: false,
-        ..Default::default()
-    };
+    let cfg = RealTrainConfig::builder().steps(3).overlap(false).build();
     let res = train_real(&topo, MpiConfig::mpi_opt(), &cfg);
     assert!(res.losses.len() == 3);
     assert!(verify::take_violations().is_empty());

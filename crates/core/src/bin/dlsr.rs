@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! dlsr train    [--nodes N] [--gpus G] [--steps S] [--batch B] [--scenario NAME]
-//!               [--augment] [--warmup W] [--eval-every E]
+//!               [--augment] [--warmup W] [--eval-every E] [--digest]
 //! dlsr simulate [--nodes N] [--steps S] [--batch B] [--scenario NAME]
 //! dlsr profile  [--steps S]
+//! dlsr chaos    [--fault NAME] [--nodes N] [--gpus G] [--steps S] [--seed X]
 //! dlsr info
 //! ```
 
@@ -24,7 +25,7 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
             // boolean flags take no value; valued flags consume the next arg
             let boolean = matches!(
                 name,
-                "augment" | "help" | "compare" | "check" | "sequential"
+                "augment" | "help" | "compare" | "check" | "sequential" | "digest"
             );
             if boolean {
                 flags.insert(name.to_string(), "true".to_string());
@@ -59,19 +60,14 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, defaul
 }
 
 fn scenario(flags: &HashMap<String, String>) -> Scenario {
-    match flags
+    // `Scenario`'s FromStr parses the same case-insensitive labels the
+    // reports print, so every subcommand accepts the same names. Keep the
+    // historical lowercase short form `mpi` for the default scenario.
+    let s = flags
         .get("scenario")
         .map(String::as_str)
-        .unwrap_or("mpi-opt")
-    {
-        "mpi" => Scenario::MpiDefault,
-        "mpi-reg" => Scenario::MpiReg,
-        "mpi-opt" => Scenario::MpiOpt,
-        "nccl" => Scenario::Nccl,
-        other => die(&format!(
-            "unknown scenario `{other}` (mpi | mpi-reg | mpi-opt | nccl)"
-        )),
-    }
+        .unwrap_or("mpi-opt");
+    s.parse().unwrap_or_else(|e: String| die(&e))
 }
 
 fn usage() {
@@ -80,8 +76,12 @@ fn usage() {
 
 USAGE:
   dlsr train    [--nodes N] [--gpus G] [--steps S] [--batch B] [--scenario NAME]
-                [--augment] [--warmup W] [--eval-every E]
-                real EDSR training (tiny model, real math) on a simulated cluster
+                [--augment] [--warmup W] [--eval-every E] [--digest]
+                real EDSR training (tiny model, real math) on a simulated
+                cluster. --digest prints an FNV-1a digest of the exact loss
+                and parameter bits — two builds that print the same digest
+                ran bitwise-identical training (the CI chaos job compares
+                default vs `--features faults` builds this way)
   dlsr simulate [--nodes N] [--steps S] [--batch B] [--scenario NAME]
                 at-scale costs-only run of the paper-scale EDSR workload
   dlsr profile  [--nodes N] [--steps S] [--scenario NAME] [--sequential] [--check]
@@ -102,6 +102,15 @@ USAGE:
                 each rendezvous, fusion launch order is audited against
                 the analytic schedule, and crossed nonblocking p2p is
                 flagged as deadlock. Requires a `--features verify` build
+  dlsr chaos    [--fault NAME] [--nodes N] [--gpus G] [--steps S] [--seed X]
+                [--scenario NAME] [--checkpoint-every K]
+                run the injected-fault suite (see docs/ROBUSTNESS.md): each
+                fault class against a clean baseline, reporting retries,
+                backoff, degraded time, checkpoint/restore cost and the
+                timeline overhead — and verifying the training math stayed
+                bitwise identical. Requires a `--features faults` build.
+                Faults: degraded-link | lossy | straggler | rank-failure
+                (default: all four)
   dlsr info     calibration anchors and workload facts
   dlsr help     this text
 
@@ -118,16 +127,17 @@ fn cmd_train(flags: &HashMap<String, String>) {
         gpus_per_node: gpus,
     };
     let world = topo.total_gpus();
-    let cfg = RealTrainConfig {
-        steps: get(flags, "steps", 30),
-        global_batch: get(flags, "batch", world.max(4)),
-        augment: flags.contains_key("augment"),
-        warmup_steps: get(flags, "warmup", 0),
-        eval_every: flags
-            .get("eval-every")
-            .map(|v| v.parse().unwrap_or_else(|_| die("bad --eval-every"))),
-        ..Default::default()
-    };
+    let cfg = RealTrainConfig::builder()
+        .steps(get(flags, "steps", 30))
+        .global_batch(get(flags, "batch", world.max(4)))
+        .augment(flags.contains_key("augment"))
+        .warmup_steps(get(flags, "warmup", 0))
+        .eval_every(
+            flags
+                .get("eval-every")
+                .map(|v| v.parse().unwrap_or_else(|_| die("bad --eval-every"))),
+        )
+        .build();
     let sc = scenario(flags);
     println!(
         "training EDSR(tiny) on {world} simulated GPUs ({}) for {} steps...",
@@ -148,6 +158,28 @@ fn cmd_train(flags: &HashMap<String, String>) {
         res.model_psnr, res.bicubic_psnr
     );
     println!("virtual makespan: {:.1} ms", res.makespan * 1e3);
+    if flags.contains_key("digest") {
+        println!("digest: {:016x}", train_digest(&res));
+    }
+}
+
+/// FNV-1a over the exact bit patterns of the per-step losses and final
+/// parameters: any single-ULP drift in the training math changes it.
+fn train_digest(res: &RealTrainResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bits: u32| {
+        for b in bits.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for l in &res.losses {
+        eat(l.to_bits());
+    }
+    for p in &res.final_params {
+        eat(p.to_bits());
+    }
+    h
 }
 
 fn cmd_simulate(flags: &HashMap<String, String>) {
@@ -199,12 +231,11 @@ fn cmd_profile(flags: &HashMap<String, String>) {
     let topo = ClusterTopology::lassen(nodes);
     let world = topo.total_gpus();
     let overlap = !flags.contains_key("sequential");
-    let cfg = RealTrainConfig {
-        steps,
-        global_batch: world,
-        overlap,
-        ..Default::default()
-    };
+    let cfg = RealTrainConfig::builder()
+        .steps(steps)
+        .global_batch(world)
+        .overlap(overlap)
+        .build();
     println!(
         "tracing {steps} real EDSR(tiny) training steps on {world} simulated GPUs ({}, {})...",
         sc.label(),
@@ -378,11 +409,10 @@ fn cmd_verify(flags: &HashMap<String, String>) {
         gpus_per_node: gpus,
     };
     let world = topo.total_gpus();
-    let cfg = RealTrainConfig {
-        steps: get(flags, "steps", 6),
-        global_batch: world.max(4),
-        ..Default::default()
-    };
+    let cfg = RealTrainConfig::builder()
+        .steps(get(flags, "steps", 6))
+        .global_batch(world.max(4))
+        .build();
     let sc = scenario(flags);
     println!(
         "verifying EDSR(tiny) training on {world} simulated GPUs ({}) for {} steps...",
@@ -403,6 +433,105 @@ fn cmd_verify(flags: &HashMap<String, String>) {
     );
 }
 
+#[cfg(not(feature = "faults"))]
+fn cmd_chaos(_flags: &HashMap<String, String>) {
+    eprintln!(
+        "dlsr chaos: deterministic fault injection is compiled out of this \
+         binary.\nRebuild with:  cargo run -p dlsr --features faults -- chaos"
+    );
+    std::process::exit(2);
+}
+
+/// The injected-fault suite: run each chaos scenario against a clean
+/// baseline and report what the fault cost — while proving it cost only
+/// virtual time, never accuracy.
+#[cfg(feature = "faults")]
+fn cmd_chaos(flags: &HashMap<String, String>) {
+    use std::sync::Arc;
+
+    use dlsr::faults::ChaosScenario;
+
+    let nodes: usize = get(flags, "nodes", 2);
+    let gpus: usize = get(flags, "gpus", 2);
+    let steps: usize = get(flags, "steps", 10);
+    let seed: u64 = get(flags, "seed", 42);
+    let topo = ClusterTopology {
+        name: format!("chaos-{nodes}x{gpus}"),
+        nodes,
+        gpus_per_node: gpus,
+    };
+    let world = topo.total_gpus();
+    let sc = scenario(flags);
+    let faults: Vec<ChaosScenario> = match flags.get("fault") {
+        None => ChaosScenario::ALL.to_vec(),
+        Some(name) => vec![name.parse().unwrap_or_else(|e: String| die(&e))],
+    };
+    let cfg = RealTrainConfig::builder()
+        .steps(steps)
+        .global_batch(world.max(4))
+        .checkpoint_every(get(flags, "checkpoint-every", 3))
+        .build();
+    println!(
+        "chaos suite: EDSR(tiny), {world} simulated GPUs ({}), {steps} steps, \
+         checkpoint every {} steps, plan seed {seed}\n",
+        sc.label(),
+        cfg.checkpoint_every
+    );
+    let clean = train_real(&topo, sc.mpi_config(), &cfg);
+    println!(
+        "{:>15} {:>12} {:>10} {:>9} {:>12} {:>12} {:>6}",
+        "fault", "makespan", "overhead", "retries", "backoff", "degraded", "math"
+    );
+    println!(
+        "{:>15} {:>12} {:>10} {:>9} {:>12} {:>12} {:>6}",
+        "(baseline)",
+        format!("{:.1} ms", clean.makespan * 1e3),
+        "-",
+        clean.comm_stats.retries,
+        "-",
+        "-",
+        "-"
+    );
+    let mut failed = false;
+    for f in faults {
+        let plan = f.plan(seed, world, steps);
+        let mpi = sc
+            .mpi_config()
+            .to_builder()
+            .fault_plan(Some(Arc::new(plan)))
+            .build();
+        let res = train_real(&topo, mpi, &cfg);
+        let same_math = res.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>()
+            == clean.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>()
+            && res
+                .final_params
+                .iter()
+                .map(|p| p.to_bits())
+                .collect::<Vec<_>>()
+                == clean
+                    .final_params
+                    .iter()
+                    .map(|p| p.to_bits())
+                    .collect::<Vec<_>>();
+        println!(
+            "{:>15} {:>12} {:>9.1}% {:>9} {:>12} {:>12} {:>6}",
+            f.label(),
+            format!("{:.1} ms", res.makespan * 1e3),
+            (res.makespan / clean.makespan - 1.0) * 100.0,
+            res.comm_stats.retries,
+            format!("{:.2} ms", res.comm_stats.backoff_seconds * 1e3),
+            format!("{:.2} ms", res.comm_stats.degraded_seconds * 1e3),
+            if same_math { "exact" } else { "DRIFT" }
+        );
+        failed |= !same_math;
+    }
+    if failed {
+        eprintln!("\nchaos FAILED: an injected fault changed the training math");
+        std::process::exit(1);
+    }
+    println!("\nok: every fault class cost only virtual time; the math is bitwise intact");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (flags, positional) = parse_flags(&args);
@@ -411,6 +540,7 @@ fn main() {
         Some("simulate") => cmd_simulate(&flags),
         Some("profile") => cmd_profile(&flags),
         Some("verify") => cmd_verify(&flags),
+        Some("chaos") => cmd_chaos(&flags),
         Some("info") => cmd_info(),
         Some("help") | None => usage(),
         Some(other) => die(&format!("unknown command `{other}`")),

@@ -32,7 +32,7 @@
 //! use dlsr::prelude::*;
 //!
 //! let topo = ClusterTopology::lassen(1); // one node, 4 V100s
-//! let cfg = RealTrainConfig { steps: 8, ..Default::default() };
+//! let cfg = RealTrainConfig::builder().steps(8).build();
 //! let result = train_real(&topo, MpiConfig::mpi_opt(), &cfg);
 //! assert!(result.losses.last().unwrap() < result.losses.first().unwrap());
 //! ```
@@ -54,6 +54,8 @@
 #![forbid(unsafe_code)]
 pub use dlsr_cluster as cluster;
 pub use dlsr_data as data;
+#[cfg(feature = "faults")]
+pub use dlsr_faults as faults;
 pub use dlsr_gpu as gpu;
 pub use dlsr_horovod as horovod;
 pub use dlsr_hvprof as hvprof;
@@ -69,8 +71,8 @@ pub use dlsr_trace as trace;
 pub mod prelude {
     pub use dlsr_cluster::{
         batch_sweep, edsr_measured_workload, edsr_text_workload, resnet50_workload, run_training,
-        run_training_tuned, scaling_sweep, train_real, RealTrainConfig, RealTrainResult,
-        ScalingPoint, Scenario, SimTrainer, TrainRun,
+        run_training_tuned, scaling_sweep, train_real, RealTrainConfig, RealTrainConfigBuilder,
+        RealTrainResult, ScalingPoint, Scenario, SimTrainer, TrainRun,
     };
     pub use dlsr_data::{DataLoader, Div2kSynthetic, EvalSet, ShardSpec, SyntheticImageSpec};
     pub use dlsr_gpu::{DeviceEnv, GpuSpec, KernelCostModel, WorkloadKind, WorkloadProfile};

@@ -50,7 +50,7 @@ pub mod coordinator;
 pub mod fusion;
 pub mod optimizer;
 
-pub use config::{Backend, HorovodConfig};
+pub use config::{Backend, ConfigError, HorovodConfig, HorovodConfigBuilder};
 pub use coordinator::{negotiate, negotiate_with_cost};
 pub use fusion::{
     plan_dynamic, plan_fusion, readiness_from_elems, reconcile_readiness, FusionGroup,

@@ -143,6 +143,12 @@ impl<O: Optimizer> DistributedOptimizer<O> {
         &self.inner
     }
 
+    /// Mutable access to the wrapped optimizer (checkpoint restore loads
+    /// optimizer state back through this).
+    pub fn inner_mut(&mut self) -> &mut O {
+        &mut self.inner
+    }
+
     /// Set the wrapped optimizer's learning rate directly (LR schedules
     /// drive the already-world-scaled rate through this).
     pub fn set_inner_lr(&mut self, lr: f32) {
@@ -598,10 +604,7 @@ mod tests {
         let opt = DistributedOptimizer::new(
             Sgd::new(0.01),
             &mut model,
-            HorovodConfig {
-                fusion_threshold: 64,
-                ..Default::default()
-            },
+            HorovodConfig::builder().fusion_threshold(64).build(),
             1,
         );
         let total: usize = opt.fusion_groups().iter().map(|g| g.elems).sum();
@@ -634,11 +637,10 @@ mod tests {
         use dlsr_tensor::init;
         // Small threshold → two fusion groups from a two-conv model,
         // so the double-buffered launch path is actually exercised.
-        let cfg = HorovodConfig {
-            fusion_threshold: 256,
-            cycle_time: 1e-4,
-            ..Default::default()
-        };
+        let cfg = HorovodConfig::builder()
+            .fusion_threshold(256)
+            .cycle_time(1e-4)
+            .build();
         let build = || {
             let p = dlsr_tensor::conv::Conv2dParams::same(3);
             Sequential::new()
@@ -700,11 +702,10 @@ mod tests {
     fn overlap_hides_communication_inside_backward() {
         use dlsr_nn::module::Sequential;
         use dlsr_tensor::init;
-        let cfg = HorovodConfig {
-            fusion_threshold: 256,
-            cycle_time: 1e-4,
-            ..Default::default()
-        };
+        let cfg = HorovodConfig::builder()
+            .fusion_threshold(256)
+            .cycle_time(1e-4)
+            .build();
         let build = || {
             let p = dlsr_tensor::conv::Conv2dParams::same(3);
             Sequential::new()

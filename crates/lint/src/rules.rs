@@ -57,7 +57,7 @@ const WALL_CLOCK_ALLOWLIST: [&str; 2] = ["crates/trace/src/", "crates/bench/src/
 
 /// Crates whose code runs identically on every rank; hash-order
 /// nondeterminism there can diverge schedules.
-const RANK_DETERMINISTIC_CRATES: [&str; 4] = ["mpi", "horovod", "cluster", "nccl"];
+const RANK_DETERMINISTIC_CRATES: [&str; 5] = ["mpi", "horovod", "cluster", "nccl", "faults"];
 
 /// Identifiers banned inside `#[dlsr::hot]` bodies regardless of receiver.
 const HOT_BANNED_IDENTS: [&str; 6] = [

@@ -12,6 +12,7 @@ use dlsr_net::{ClusterTopology, RegCacheStats, RegistrationCache, TransportPath}
 
 use crate::clock::VClock;
 use crate::config::{DeviceMode, MpiConfig};
+use crate::error::CommError;
 use crate::message::{Message, Payload};
 
 /// Per-rank communication statistics (drives Fig 11's hit-rate numbers and
@@ -34,6 +35,13 @@ pub struct CommStats {
     pub sends: u64,
     /// Messages received.
     pub recvs: u64,
+    /// Retransmissions after injected loss/corruption (0 without faults).
+    pub retries: u64,
+    /// Virtual seconds spent in retry timeouts/backoff (0 without faults).
+    pub backoff_seconds: f64,
+    /// Extra virtual seconds charged by degraded-link windows (0 without
+    /// faults).
+    pub degraded_seconds: f64,
 }
 
 /// Which library's path-selection rules a message follows.
@@ -83,6 +91,11 @@ pub struct Comm {
     /// NCCL's internal registration bookkeeping (always enabled — NCCL
     /// registers its persistent transport buffers once at init).
     nccl_regcache: RegistrationCache,
+    /// Per-destination message sequence numbers feeding the deterministic
+    /// fault plan (without the `faults` feature the field does not exist
+    /// and the send path is byte-identical to the pre-fault build).
+    #[cfg(feature = "faults")]
+    send_seq: Vec<u64>,
     /// Cross-rank verifier for this world (debug builds only; without the
     /// `verify` feature the field does not exist and every hook below
     /// compiles to nothing).
@@ -129,6 +142,8 @@ impl Comm {
             coll_seq: 0,
             policy: PathPolicy::Mpi,
             nccl_regcache: RegistrationCache::new(1 << 34),
+            #[cfg(feature = "faults")]
+            send_seq: vec![0; size],
             #[cfg(feature = "verify")]
             verify: None,
         }
@@ -271,7 +286,7 @@ impl Comm {
     /// Which transport a message of `bytes` to `dst` takes, performing the
     /// one-time CUDA IPC handshake (handle export + peer open) if the path
     /// requires a mapping that does not exist yet.
-    fn resolve_path(&mut self, dst: usize, bytes: u64) -> TransportPath {
+    fn resolve_path(&mut self, dst: usize, bytes: u64) -> Result<TransportPath, CommError> {
         let same_node = self.topo.same_node(self.rank, dst);
         let my_local = self.topo.local_of(self.rank);
         let dst_local = self.topo.local_of(dst);
@@ -284,7 +299,7 @@ impl Comm {
                 self.ipc_mapped[dst] = true;
                 self.stats.ipc_mappings += 1;
             }
-            return TransportPath::NvlinkP2p;
+            return Ok(TransportPath::NvlinkP2p);
         }
         let ipc_ok = same_node && self.env.ipc_possible(my_local, dst_local);
         let path = self.cfg.transport.path(false, same_node, ipc_ok, bytes);
@@ -305,12 +320,12 @@ impl Comm {
                 local: dst_local,
             };
             reg.open_mem_handle(handle, peer, &self.env)
-                .expect("path selection guarantees IPC visibility");
+                .map_err(|e| CommError::Ipc(e.to_string()))?;
             self.clock.advance(self.cfg.ipc_setup_cost);
             self.ipc_mapped[dst] = true;
             self.stats.ipc_mappings += 1;
         }
-        path
+        Ok(path)
     }
 
     /// Charge registration (pinning) for a buffer if the path needs it and
@@ -331,16 +346,109 @@ impl Comm {
         }
     }
 
+    /// Extra wire time and retry charges from the fault plan, if any: link
+    /// degradation stretches `transfer`, and loss/corruption verdicts are
+    /// answered with the config's retry/timeout/backoff policy. The fault
+    /// verdict is a pure function of (plan seed, src, dst, per-destination
+    /// sequence number, attempt), so it is deterministic under the virtual
+    /// clock, independent of OS thread scheduling. Only the *sender's*
+    /// timeline is perturbed — failed attempts never reach the channel, so
+    /// the receive path stays byte-identical and payloads stay exact.
+    #[cfg(feature = "faults")]
+    fn faulted_transfer(&mut self, dst: usize, transfer: f64) -> Result<f64, CommError> {
+        use dlsr_trace::report::keys;
+        let Some(plan) = self.cfg.fault_plan.clone() else {
+            return Ok(transfer);
+        };
+        let mut transfer = transfer;
+        let now = self.clock.now();
+        let node_a = self.topo.node_of(self.rank);
+        let node_b = self.topo.node_of(dst);
+        if let Some(p) = plan.link_penalty(node_a, node_b, now) {
+            let degraded = transfer * p.bandwidth_factor + p.extra_latency_s;
+            let extra = degraded - transfer;
+            self.stats.degraded_seconds += extra;
+            dlsr_trace::counter_add(keys::FAULT_DEGRADED_SECONDS, extra);
+            transfer = degraded;
+        }
+        let seq = self.send_seq[dst];
+        self.send_seq[dst] += 1;
+        let retry = self.cfg.retry;
+        for attempt in 1..=retry.max_attempts {
+            let Some(kind) = plan.attempt_fault(self.rank, dst, seq, attempt, self.clock.now())
+            else {
+                return Ok(transfer);
+            };
+            let err = match kind {
+                dlsr_faults::FaultKind::Lost => dlsr_net::TransportError::Lost {
+                    src: self.rank,
+                    dst,
+                    attempt,
+                },
+                dlsr_faults::FaultKind::Corrupted => dlsr_net::TransportError::Corrupted {
+                    src: self.rank,
+                    dst,
+                    attempt,
+                },
+            };
+            if attempt == retry.max_attempts {
+                return Err(CommError::RetriesExhausted {
+                    src: self.rank,
+                    dst,
+                    attempts: retry.max_attempts,
+                    last: err,
+                });
+            }
+            // Failed attempt: the timeout fires after timeout·backoff^(k−1)
+            // virtual seconds, then we retransmit.
+            let wait = retry.timeout * retry.backoff.powi(attempt as i32 - 1);
+            self.clock.advance(wait);
+            self.stats.retries += 1;
+            self.stats.backoff_seconds += wait;
+            dlsr_trace::counter_add(keys::FAULT_RETRIES, 1.0);
+            dlsr_trace::counter_add(keys::FAULT_BACKOFF_SECONDS, wait);
+            match kind {
+                dlsr_faults::FaultKind::Lost => dlsr_trace::counter_add(keys::FAULT_LOST, 1.0),
+                dlsr_faults::FaultKind::Corrupted => {
+                    dlsr_trace::counter_add(keys::FAULT_CORRUPT, 1.0)
+                }
+            }
+        }
+        Ok(transfer)
+    }
+
     /// Non-blocking send (the wire carries the bandwidth cost; the sender
     /// pays CPU overhead, registration and any IPC setup).
+    ///
+    /// Panics on terminal errors ([`Comm::try_send`] returns them as
+    /// values): one rank panicking tears down its channels and the whole
+    /// world aborts together through `std::thread::scope`.
     ///
     /// `buf_id` identifies the application buffer for the registration
     /// cache — pass a stable id for reused buffers (fusion buffers) and a
     /// fresh id for transient ones.
     pub fn send(&mut self, dst: usize, tag: u64, payload: Payload, buf_id: u64) {
-        assert!(dst < self.size, "rank {dst} out of range");
+        if let Err(e) = self.try_send(dst, tag, payload, buf_id) {
+            panic!("dlsr-mpi: rank {}: send failed: {e}", self.rank);
+        }
+    }
+
+    /// [`Comm::send`], returning terminal failures instead of panicking.
+    pub fn try_send(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        payload: Payload,
+        buf_id: u64,
+    ) -> Result<(), CommError> {
+        if dst >= self.size {
+            return Err(CommError::InvalidRank {
+                rank: dst,
+                size: self.size,
+            });
+        }
         let bytes = payload.size_bytes();
-        let path = self.resolve_path(dst, bytes);
+        let path = self.resolve_path(dst, bytes)?;
         self.charge_registration(path, buf_id, bytes);
         // NCCL launches a device kernel per transport step — higher
         // per-message CPU+launch overhead than MPI's host-driven engine.
@@ -384,6 +492,8 @@ impl Comm {
                 .fat_tree
                 .extra_latency(self.topo.node_of(self.rank), self.topo.node_of(dst));
         }
+        #[cfg(feature = "faults")]
+        let transfer = self.faulted_transfer(dst, transfer)?;
         let arrival = self.clock.now() + transfer;
         // The wire occupancy of this message on the sender's virtual
         // timeline: departure at now(), delivery at arrival.
@@ -401,12 +511,35 @@ impl Comm {
                 payload,
                 arrival,
             })
-            .expect("receiver thread alive");
+            .map_err(|_| CommError::WorldTornDown { rank: self.rank })?;
+        Ok(())
     }
 
     /// Blocking receive matching `(src, tag)`. `recv_buf_id` identifies the
     /// destination buffer for receiver-side registration.
+    ///
+    /// Panics on terminal errors ([`Comm::try_recv`] returns them as
+    /// values), preserving the abort-all-ranks-together convention.
     pub fn recv(&mut self, src: usize, tag: u64, recv_buf_id: u64) -> Payload {
+        match self.try_recv(src, tag, recv_buf_id) {
+            Ok(p) => p,
+            Err(e) => panic!("dlsr-mpi: rank {}: recv failed: {e}", self.rank),
+        }
+    }
+
+    /// [`Comm::recv`], returning terminal failures instead of panicking.
+    pub fn try_recv(
+        &mut self,
+        src: usize,
+        tag: u64,
+        recv_buf_id: u64,
+    ) -> Result<Payload, CommError> {
+        if src >= self.size {
+            return Err(CommError::InvalidRank {
+                rank: src,
+                size: self.size,
+            });
+        }
         // check the out-of-order buffer first
         if let Some(pos) = self
             .pending
@@ -414,13 +547,16 @@ impl Comm {
             .position(|m| m.src == src && m.tag == tag)
         {
             let m = self.pending.remove(pos).expect("position valid");
-            return self.complete_recv(m, recv_buf_id);
+            return Ok(self.complete_recv(m, recv_buf_id));
         }
         #[cfg(not(feature = "verify"))]
         loop {
-            let m = self.rx.recv().expect("senders alive");
+            let m = self
+                .rx
+                .recv()
+                .map_err(|_| CommError::WorldTornDown { rank: self.rank })?;
             if m.src == src && m.tag == tag {
-                return self.complete_recv(m, recv_buf_id);
+                return Ok(self.complete_recv(m, recv_buf_id));
             }
             self.pending.push_back(m);
         }
@@ -433,7 +569,12 @@ impl Comm {
     /// the wait-for graph, (b) run the deadlock cycle check, and (c) bail
     /// out promptly when another rank flags a violation.
     #[cfg(feature = "verify")]
-    fn recv_watched(&mut self, src: usize, tag: u64, recv_buf_id: u64) -> Payload {
+    fn recv_watched(
+        &mut self,
+        src: usize,
+        tag: u64,
+        recv_buf_id: u64,
+    ) -> Result<Payload, CommError> {
         use crossbeam::channel::RecvTimeoutError;
         let ctx = self.verify.clone();
         let mut noted = false;
@@ -446,7 +587,7 @@ impl Comm {
                                 c.note_unblocked(self.rank);
                             }
                         }
-                        return self.complete_recv(m, recv_buf_id);
+                        return Ok(self.complete_recv(m, recv_buf_id));
                     }
                     self.pending.push_back(m);
                 }
@@ -460,11 +601,7 @@ impl Comm {
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    panic!(
-                        "dlsr-mpi verify: peers exited while rank {} waits for (src {src}, \
-                         tag {tag:#x})",
-                        self.rank
-                    );
+                    return Err(CommError::WorldTornDown { rank: self.rank });
                 }
             }
         }
@@ -531,6 +668,11 @@ impl Comm {
     /// the message exists and merging its arrival into the virtual clock.
     pub fn wait(&mut self, req: RecvRequest) -> Payload {
         self.recv(req.src, req.tag, req.recv_buf_id)
+    }
+
+    /// [`Comm::wait`], returning terminal failures instead of panicking.
+    pub fn try_wait(&mut self, req: RecvRequest) -> Result<Payload, CommError> {
+        self.try_recv(req.src, req.tag, req.recv_buf_id)
     }
 
     /// Charge the GPU reduce kernel for combining `elems` f32 elements

@@ -1,4 +1,12 @@
 //! Runtime configuration — the knobs the paper turns.
+//!
+//! [`MpiConfig`] is `#[non_exhaustive]`: construct it through the presets
+//! ([`MpiConfig::default_mpi`] / [`MpiConfig::mpi_reg`] /
+//! [`MpiConfig::mpi_opt`]) or the validated [`MpiConfig::builder`], never
+//! a struct literal — so every future knob (like this PR's fault plan and
+//! retry policy) lands additively instead of breaking ten call sites.
+
+use std::fmt;
 
 use dlsr_net::{FatTree, TransportModel};
 
@@ -18,8 +26,46 @@ pub enum DeviceMode {
     Unpinned,
 }
 
+/// How the transport answers transient message loss/corruption: up to
+/// `max_attempts` transmissions, waiting `timeout · backoff^(k−1)` virtual
+/// seconds after the k-th failure before retrying. Exhausting the attempts
+/// is terminal ([`crate::CommError::RetriesExhausted`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Transmission attempts per message (≥ 1; 1 means no retries).
+    pub max_attempts: u32,
+    /// Virtual seconds until the first failed attempt is detected
+    /// (ack timeout / checksum round-trip).
+    pub timeout: f64,
+    /// Exponential backoff base between successive attempts (≥ 1.0).
+    pub backoff: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            timeout: 200.0e-6,
+            backoff: 2.0,
+        }
+    }
+}
+
+/// An [`MpiConfigBuilder`] rejected its knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub(crate) String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MpiConfig: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// MPI library configuration (the `MV2_*` environment of a job).
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct MpiConfig {
     /// Device-mask setup for every rank.
     pub device_mode: DeviceMode,
@@ -56,6 +102,13 @@ pub struct MpiConfig {
     /// Messages at or below this many bytes use recursive doubling (latency
     /// bound regime) when the algorithm is selected by size.
     pub rd_threshold: u64,
+    /// Retry/timeout/backoff policy answering transient transport faults.
+    pub retry: RetryPolicy,
+    /// Scheduled faults for this job (shared by every rank). `None` — the
+    /// default — injects nothing; without the `faults` feature the field
+    /// does not exist and the injection hooks compile to nothing.
+    #[cfg(feature = "faults")]
+    pub fault_plan: Option<std::sync::Arc<dlsr_faults::FaultPlan>>,
 }
 
 impl MpiConfig {
@@ -76,6 +129,9 @@ impl MpiConfig {
             pipeline_chunk: 4 << 20,
             pipeline_threshold: 8 << 20,
             rd_threshold: 128 << 10,
+            retry: RetryPolicy::default(),
+            #[cfg(feature = "faults")]
+            fault_plan: None,
         }
     }
 
@@ -112,6 +168,182 @@ impl MpiConfig {
             registration_cache: true,
             ..Self::default_mpi()
         }
+    }
+
+    /// Chainable, validated construction starting from
+    /// [`MpiConfig::default_mpi`].
+    pub fn builder() -> MpiConfigBuilder {
+        MpiConfigBuilder {
+            cfg: Self::default_mpi(),
+        }
+    }
+
+    /// Reopen any config (usually a preset) for further tweaking.
+    pub fn to_builder(self) -> MpiConfigBuilder {
+        MpiConfigBuilder { cfg: self }
+    }
+}
+
+/// Builder for [`MpiConfig`]: defaults-based, chainable, validated at
+/// [`MpiConfigBuilder::try_build`].
+#[derive(Debug, Clone)]
+#[must_use = "a builder does nothing until built"]
+pub struct MpiConfigBuilder {
+    cfg: MpiConfig,
+}
+
+impl MpiConfigBuilder {
+    /// Device-mask setup for every rank.
+    pub fn device_mode(mut self, mode: DeviceMode) -> Self {
+        self.cfg.device_mode = mode;
+        self
+    }
+
+    /// Default allreduce algorithm for mid-sized messages.
+    pub fn allreduce(mut self, algo: AllreduceAlgorithm) -> Self {
+        self.cfg.allreduce = algo;
+        self
+    }
+
+    /// Enable/disable the InfiniBand registration cache.
+    pub fn registration_cache(mut self, on: bool) -> Self {
+        self.cfg.registration_cache = on;
+        self
+    }
+
+    /// Registration cache capacity in bytes.
+    pub fn reg_cache_capacity(mut self, bytes: u64) -> Self {
+        self.cfg.reg_cache_capacity = bytes;
+        self
+    }
+
+    /// Transport constants.
+    pub fn transport(mut self, t: TransportModel) -> Self {
+        self.cfg.transport = t;
+        self
+    }
+
+    /// Inter-node switch topology.
+    pub fn fat_tree(mut self, ft: FatTree) -> Self {
+        self.cfg.fat_tree = ft;
+        self
+    }
+
+    /// One-time CUDA IPC mapping cost, seconds.
+    pub fn ipc_setup_cost(mut self, s: f64) -> Self {
+        self.cfg.ipc_setup_cost = s;
+        self
+    }
+
+    /// Sender-side CPU overhead per message, seconds.
+    pub fn send_overhead(mut self, s: f64) -> Self {
+        self.cfg.send_overhead = s;
+        self
+    }
+
+    /// NCCL-policy sender-side overhead per message, seconds.
+    pub fn nccl_send_overhead(mut self, s: f64) -> Self {
+        self.cfg.nccl_send_overhead = s;
+        self
+    }
+
+    /// Receiver-side CPU overhead per message, seconds.
+    pub fn recv_overhead(mut self, s: f64) -> Self {
+        self.cfg.recv_overhead = s;
+        self
+    }
+
+    /// GPU reduce-kernel bandwidth, bytes/s.
+    pub fn reduce_bandwidth(mut self, bps: f64) -> Self {
+        self.cfg.reduce_bandwidth = bps;
+        self
+    }
+
+    /// Pipelined-ring sub-chunk size, bytes.
+    pub fn pipeline_chunk(mut self, bytes: u64) -> Self {
+        self.cfg.pipeline_chunk = bytes;
+        self
+    }
+
+    /// Size floor for pipelined-ring selection, bytes.
+    pub fn pipeline_threshold(mut self, bytes: u64) -> Self {
+        self.cfg.pipeline_threshold = bytes;
+        self
+    }
+
+    /// Size ceiling for recursive-doubling selection, bytes.
+    pub fn rd_threshold(mut self, bytes: u64) -> Self {
+        self.cfg.rd_threshold = bytes;
+        self
+    }
+
+    /// Retry/timeout/backoff policy for transient transport faults.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.cfg.retry = policy;
+        self
+    }
+
+    /// Attach a fault plan (see `dlsr-faults`). Only exists with the
+    /// `faults` feature; default builds carry no injection code at all.
+    #[cfg(feature = "faults")]
+    pub fn fault_plan(mut self, plan: Option<std::sync::Arc<dlsr_faults::FaultPlan>>) -> Self {
+        self.cfg.fault_plan = plan;
+        self
+    }
+
+    /// Validate and build.
+    pub fn try_build(self) -> Result<MpiConfig, ConfigError> {
+        let c = &self.cfg;
+        if c.rd_threshold >= c.pipeline_threshold {
+            return Err(ConfigError(format!(
+                "rd_threshold ({}) must lie below pipeline_threshold ({})",
+                c.rd_threshold, c.pipeline_threshold
+            )));
+        }
+        if c.pipeline_chunk == 0 {
+            return Err(ConfigError("pipeline_chunk must be positive".into()));
+        }
+        if !(c.reduce_bandwidth.is_finite() && c.reduce_bandwidth > 0.0) {
+            return Err(ConfigError(format!(
+                "reduce_bandwidth ({}) must be finite and positive",
+                c.reduce_bandwidth
+            )));
+        }
+        for (name, v) in [
+            ("ipc_setup_cost", c.ipc_setup_cost),
+            ("send_overhead", c.send_overhead),
+            ("nccl_send_overhead", c.nccl_send_overhead),
+            ("recv_overhead", c.recv_overhead),
+        ] {
+            if !(v >= 0.0 && v.is_finite()) {
+                return Err(ConfigError(format!("{name} ({v}) must be finite and ≥ 0")));
+            }
+        }
+        if c.retry.max_attempts == 0 {
+            return Err(ConfigError(
+                "retry.max_attempts must be ≥ 1 (1 means no retries)".into(),
+            ));
+        }
+        if !(c.retry.timeout > 0.0 && c.retry.timeout.is_finite()) {
+            return Err(ConfigError(format!(
+                "retry.timeout ({}) must be a positive duration",
+                c.retry.timeout
+            )));
+        }
+        if !(c.retry.backoff >= 1.0 && c.retry.backoff.is_finite()) {
+            return Err(ConfigError(format!(
+                "retry.backoff ({}) must be ≥ 1",
+                c.retry.backoff
+            )));
+        }
+        Ok(self.cfg)
+    }
+
+    /// [`MpiConfigBuilder::try_build`], panicking on invalid knobs — for
+    /// call sites whose configs are static.
+    pub fn build(self) -> MpiConfig {
+        self.try_build()
+            .unwrap_or_else(|e| panic!("MpiConfigBuilder::build: {e}"))
     }
 }
 
@@ -152,5 +384,56 @@ mod tests {
             cfg.select_allreduce(64 << 20),
             AllreduceAlgorithm::PipelinedRing
         );
+    }
+
+    #[test]
+    fn builder_round_trips_presets_and_chains() {
+        let cfg = MpiConfig::mpi_opt()
+            .to_builder()
+            .registration_cache(false)
+            .send_overhead(5.0e-6)
+            .retry(RetryPolicy {
+                max_attempts: 3,
+                timeout: 1.0e-4,
+                backoff: 1.5,
+            })
+            .build();
+        assert_eq!(cfg.device_mode, DeviceMode::PinnedWithMv2);
+        assert!(!cfg.registration_cache);
+        assert_eq!(cfg.retry.max_attempts, 3);
+        let d = MpiConfig::builder().build();
+        assert_eq!(d.device_mode, MpiConfig::default_mpi().device_mode);
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_knobs() {
+        assert!(MpiConfig::builder()
+            .rd_threshold(16 << 20)
+            .pipeline_threshold(8 << 20)
+            .try_build()
+            .is_err());
+        assert!(MpiConfig::builder().pipeline_chunk(0).try_build().is_err());
+        assert!(MpiConfig::builder()
+            .reduce_bandwidth(-1.0)
+            .try_build()
+            .is_err());
+        assert!(MpiConfig::builder()
+            .retry(RetryPolicy {
+                max_attempts: 0,
+                ..Default::default()
+            })
+            .try_build()
+            .is_err());
+        assert!(MpiConfig::builder()
+            .retry(RetryPolicy {
+                backoff: 0.5,
+                ..Default::default()
+            })
+            .try_build()
+            .is_err());
+        assert!(MpiConfig::builder()
+            .send_overhead(f64::NAN)
+            .try_build()
+            .is_err());
     }
 }

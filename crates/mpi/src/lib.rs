@@ -42,6 +42,7 @@ pub mod clock;
 pub mod collectives;
 pub mod comm;
 pub mod config;
+pub mod error;
 pub mod message;
 pub mod verify;
 pub mod world;
@@ -49,6 +50,7 @@ pub mod world;
 pub use clock::VClock;
 pub use collectives::AllreduceAlgorithm;
 pub use comm::{Comm, CommStats, PathPolicy, RecvRequest};
-pub use config::MpiConfig;
+pub use config::{ConfigError, MpiConfig, MpiConfigBuilder, RetryPolicy};
+pub use error::CommError;
 pub use message::{Message, Payload};
 pub use world::MpiWorld;

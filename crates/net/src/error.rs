@@ -1,0 +1,78 @@
+//! Typed transport-layer errors.
+//!
+//! The simulated wire can now fail (message loss, corruption — see
+//! `dlsr-faults`), and failures must be *values* the layer above can
+//! answer with a retry/timeout/backoff policy, not panics. A
+//! [`TransportError`] describes one failed transmission attempt;
+//! `dlsr_mpi::CommError` wraps it with communicator context and decides
+//! whether to retry or abort the world.
+
+use std::fmt;
+
+/// One failed transmission attempt on the simulated wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportError {
+    /// The message was dropped in flight; the sender's timeout fired.
+    Lost {
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Which transmission attempt this was (1-based).
+        attempt: u32,
+    },
+    /// The message arrived but failed its integrity check; the receiver
+    /// discards it and the sender retransmits.
+    Corrupted {
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Which transmission attempt this was (1-based).
+        attempt: u32,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Lost { src, dst, attempt } => {
+                write!(
+                    f,
+                    "message {src} -> {dst} lost in flight (attempt {attempt})"
+                )
+            }
+            TransportError::Corrupted { src, dst, attempt } => {
+                write!(
+                    f,
+                    "message {src} -> {dst} failed integrity check (attempt {attempt})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let lost = TransportError::Lost {
+            src: 2,
+            dst: 5,
+            attempt: 3,
+        };
+        assert!(lost.to_string().contains("2 -> 5"));
+        assert!(lost.to_string().contains("attempt 3"));
+        let bad = TransportError::Corrupted {
+            src: 0,
+            dst: 1,
+            attempt: 1,
+        };
+        assert!(bad.to_string().contains("integrity"));
+    }
+}

@@ -13,11 +13,13 @@
 //!   on buffer reuse (§III-D), plus a GPUDirect-RDMA path.
 
 #![forbid(unsafe_code)]
+pub mod error;
 pub mod link;
 pub mod regcache;
 pub mod topology;
 pub mod transport;
 
+pub use error::TransportError;
 pub use link::LinkModel;
 pub use regcache::{RegCacheStats, RegistrationCache};
 pub use topology::{ClusterTopology, FatTree};

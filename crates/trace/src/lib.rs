@@ -97,6 +97,12 @@ pub mod cat {
     /// itself is accounted by the virtual-clock `allreduce`/`mpi`/`net`
     /// spans.
     pub const AR_LAUNCH: &str = "allreduce.launch";
+    /// Fault-handling activity: checkpoint snapshots, restore-and-continue
+    /// recoveries (virtual clock). In *neither* [`COMPUTE_SET`] nor
+    /// [`COMM_SET`] — robustness overhead is its own budget, reported via
+    /// the `faults.*` counters and the report's fault summary, and must not
+    /// distort the paper's compute/communication decomposition.
+    pub const FAULT: &str = "faults";
 
     /// Categories whose union per rank counts as compute time.
     pub const COMPUTE_SET: &[&str] = &[COMPUTE, GEMM, IM2COL, NN_FWD, NN_BWD];

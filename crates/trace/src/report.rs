@@ -36,6 +36,14 @@ pub mod keys {
     pub const SCRATCH_ALLOCS: &str = "scratch.alloc_events";
     pub const GPU_IPC_OPENS: &str = "gpu.ipc_opens";
     pub const GPU_IPC_CACHED: &str = "gpu.ipc_cached";
+    pub const FAULT_RETRIES: &str = "faults.retries";
+    pub const FAULT_LOST: &str = "faults.lost_messages";
+    pub const FAULT_CORRUPT: &str = "faults.corrupt_messages";
+    pub const FAULT_BACKOFF_SECONDS: &str = "faults.backoff_seconds";
+    pub const FAULT_DEGRADED_SECONDS: &str = "faults.degraded_seconds";
+    pub const FAULT_CHECKPOINTS: &str = "faults.checkpoints";
+    pub const FAULT_CHECKPOINT_SECONDS: &str = "faults.checkpoint_seconds";
+    pub const FAULT_RESTORES: &str = "faults.restores";
 }
 
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -145,6 +153,54 @@ pub struct ScratchSummary {
     pub reuse_rate: f64,
 }
 
+/// Fault-injection and graceful-degradation activity (all zeros — and the
+/// render line suppressed — on fault-free runs and builds without the
+/// `faults` feature).
+///
+/// `Deserialize` is hand-written so reports recorded before this summary
+/// existed (no `faults` key → `Null`) lift to the all-zero default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct FaultSummary {
+    /// Retransmissions after injected loss/corruption.
+    pub retries: u64,
+    /// Attempts dropped in flight.
+    pub lost: u64,
+    /// Attempts that failed their integrity check.
+    pub corrupt: u64,
+    /// Virtual seconds spent in retry timeouts/backoff.
+    pub backoff_s: f64,
+    /// Extra virtual seconds charged inside degraded-link windows.
+    pub degraded_s: f64,
+    /// Parameter/optimizer snapshots taken.
+    pub checkpoints: u64,
+    /// Virtual seconds charged for taking snapshots.
+    pub checkpoint_s: f64,
+    /// Restore-and-continue recoveries performed.
+    pub restores: u64,
+}
+
+impl Deserialize for FaultSummary {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if v.is_null() {
+            return Ok(Self::default());
+        }
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::msg("expected object for FaultSummary"))?;
+        let num = |k: &str| obj.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0);
+        Ok(FaultSummary {
+            retries: num("retries") as u64,
+            lost: num("lost") as u64,
+            corrupt: num("corrupt") as u64,
+            backoff_s: num("backoff_s"),
+            degraded_s: num("degraded_s"),
+            checkpoints: num("checkpoints") as u64,
+            checkpoint_s: num("checkpoint_s"),
+            restores: num("restores") as u64,
+        })
+    }
+}
+
 /// Min/mean/max across ranks for the headline columns.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct StepSkew {
@@ -170,6 +226,9 @@ pub struct StepReport {
     pub fusion: FusionSummary,
     pub transfers: TransferMix,
     pub scratch: ScratchSummary,
+    /// Fault-injection activity (reports written before this field existed
+    /// deserialize with all zeros — see [`FaultSummary`]'s `Deserialize`).
+    pub faults: FaultSummary,
     /// Raw counter/gauge snapshot the summaries were derived from.
     pub counters: BTreeMap<String, f64>,
 }
@@ -346,6 +405,18 @@ impl StepReport {
             },
         };
 
+        let fsec = |key: &str| counters.get(key).copied().unwrap_or(0.0).max(0.0);
+        let faults = FaultSummary {
+            retries: counter_u64(counters, keys::FAULT_RETRIES),
+            lost: counter_u64(counters, keys::FAULT_LOST),
+            corrupt: counter_u64(counters, keys::FAULT_CORRUPT),
+            backoff_s: fsec(keys::FAULT_BACKOFF_SECONDS),
+            degraded_s: fsec(keys::FAULT_DEGRADED_SECONDS),
+            checkpoints: counter_u64(counters, keys::FAULT_CHECKPOINTS),
+            checkpoint_s: fsec(keys::FAULT_CHECKPOINT_SECONDS),
+            restores: counter_u64(counters, keys::FAULT_RESTORES),
+        };
+
         StepReport {
             scenario: String::new(),
             world: ranks.len(),
@@ -359,6 +430,7 @@ impl StepReport {
             fusion,
             transfers,
             scratch,
+            faults,
             counters: counters.clone(),
         }
     }
@@ -483,6 +555,20 @@ impl StepReport {
             self.scratch.alloc_events,
             self.scratch.reuse_rate * 100.0,
         ));
+        if self.faults != FaultSummary::default() {
+            out.push_str(&format!(
+                "faults: {} retries ({} lost, {} corrupt), backoff {:.3} ms, degraded {:.3} ms, \
+                 {} checkpoints ({:.3} ms), {} restores\n",
+                self.faults.retries,
+                self.faults.lost,
+                self.faults.corrupt,
+                ms(self.faults.backoff_s),
+                ms(self.faults.degraded_s),
+                self.faults.checkpoints,
+                ms(self.faults.checkpoint_s),
+                self.faults.restores,
+            ));
+        }
         out
     }
 }
@@ -596,5 +682,55 @@ mod tests {
         let text = rep.render();
         assert!(text.contains("hit rate 90.0%"));
         assert!(text.contains("utilization 25.0%"));
+        // fault-free run: the faults line is suppressed entirely
+        assert!(!text.contains("faults:"));
+    }
+
+    #[test]
+    fn fault_summary_follows_counters_and_renders() {
+        let mut counters = BTreeMap::new();
+        counters.insert(keys::FAULT_RETRIES.to_string(), 7.0);
+        counters.insert(keys::FAULT_LOST.to_string(), 5.0);
+        counters.insert(keys::FAULT_CORRUPT.to_string(), 2.0);
+        counters.insert(keys::FAULT_BACKOFF_SECONDS.to_string(), 0.004);
+        counters.insert(keys::FAULT_DEGRADED_SECONDS.to_string(), 0.010);
+        counters.insert(keys::FAULT_CHECKPOINTS.to_string(), 3.0);
+        counters.insert(keys::FAULT_CHECKPOINT_SECONDS.to_string(), 0.002);
+        counters.insert(keys::FAULT_RESTORES.to_string(), 1.0);
+        let rep = StepReport::build(&[], &counters);
+        assert_eq!(rep.faults.retries, 7);
+        assert_eq!(rep.faults.lost, 5);
+        assert_eq!(rep.faults.corrupt, 2);
+        assert!((rep.faults.backoff_s - 0.004).abs() < 1e-12);
+        assert!((rep.faults.degraded_s - 0.010).abs() < 1e-12);
+        assert_eq!(rep.faults.checkpoints, 3);
+        assert_eq!(rep.faults.restores, 1);
+        let text = rep.render();
+        assert!(text.contains("faults: 7 retries (5 lost, 2 corrupt)"));
+        assert!(text.contains("1 restores"));
+        // Pre-faults reports (no `faults` field) still deserialize: strip
+        // the key from the compact encoding and round-trip.
+        let compact = serde_json::to_string(&rep).unwrap();
+        let start = compact.find("\"faults\":").unwrap();
+        let obj_start = start + compact[start..].find('{').unwrap();
+        let mut depth = 0usize;
+        let mut end = obj_start;
+        for (i, c) in compact[obj_start..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = obj_start + i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let rest = compact[end..].strip_prefix(',').unwrap_or(&compact[end..]);
+        let stripped = format!("{}{}", &compact[..start], rest);
+        let old: StepReport = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old.faults, FaultSummary::default());
     }
 }

@@ -18,7 +18,7 @@ fn main() {
         "config", "time (ms)", "NVLink (MB)", "staged (MB)", "correct"
     );
 
-    for sc in Scenario::all() {
+    for sc in Scenario::ALL {
         let res = MpiWorld::run(&topo, sc.mpi_config(), move |c| {
             let mut buf: Vec<f32> = (0..elems).map(|i| (c.rank() + i % 7) as f32).collect();
             let t0 = c.now();

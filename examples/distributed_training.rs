@@ -14,14 +14,13 @@ fn main() {
         topo.name, topo.nodes, topo.gpus_per_node
     );
 
-    let cfg = RealTrainConfig {
-        global_batch: 8,
-        steps: 20,
-        lr: 2e-3,
-        n_images: 8,
-        seed: 11,
-        ..Default::default()
-    };
+    let cfg = RealTrainConfig::builder()
+        .global_batch(8)
+        .steps(20)
+        .lr(2e-3)
+        .n_images(8)
+        .seed(11)
+        .build();
 
     for (label, mpi) in [
         (

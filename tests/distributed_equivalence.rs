@@ -7,10 +7,7 @@
 use dlsr::prelude::*;
 
 fn cfg() -> RealTrainConfig {
-    RealTrainConfig {
-        steps: 6,
-        ..Default::default()
-    }
+    RealTrainConfig::builder().steps(6).build()
 }
 
 fn world(n: usize) -> ClusterTopology {

@@ -45,7 +45,7 @@ fn efficiency_degrades_with_scale() {
 fn optimization_ordering_at_multi_node_scale() {
     let (w, tensors) = measured();
     let topo = ClusterTopology::lassen(8); // 32 GPUs
-    let runs: Vec<TrainRun> = Scenario::all()
+    let runs: Vec<TrainRun> = Scenario::ALL
         .iter()
         .map(|&s| run_training(&topo, s, &w, &tensors, 4, 1, 5, 5))
         .collect();

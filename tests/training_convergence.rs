@@ -92,10 +92,7 @@ fn residual_edsr_beats_bicubic_on_held_out_image() {
 #[test]
 fn distributed_real_training_reduces_loss() {
     let topo = ClusterTopology::lassen(1);
-    let cfg = RealTrainConfig {
-        steps: 25,
-        ..Default::default()
-    };
+    let cfg = RealTrainConfig::builder().steps(25).build();
     let result = train_real(&topo, MpiConfig::mpi_opt(), &cfg);
     let first: f32 = result.losses[..5].iter().sum::<f32>() / 5.0;
     let last: f32 = result.losses[result.losses.len() - 5..].iter().sum::<f32>() / 5.0;
