@@ -1,0 +1,94 @@
+//! Criterion shape sweep over the SIMD GEMM engine.
+//!
+//! Drives `dlsr_tensor::matmul::gemm` exactly as the conv path does (pack
+//! A once, stream B) across the EDSR training shapes and a square ladder,
+//! plus the forward-conv body shape through the virtual im2col source.
+//! CI runs this as a smoke test (`--test`) so a kernel or selector
+//! regression that breaks the bench harness is caught by the suite even
+//! when no timing run happens.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dlsr_tensor::matmul::{self, BSrc, Epilogue, Im2colView};
+use dlsr_tensor::{init, scratch, tune};
+
+/// The subset of EDSR shapes worth tracking continuously (head, body and
+/// the two body gradients), plus squares bracketing the cache hierarchy.
+const SHAPES: [(usize, usize, usize); 6] = [
+    (64, 27, 2304),
+    (64, 576, 2304),
+    (64, 2304, 576),
+    (576, 64, 2304),
+    (128, 128, 128),
+    (512, 512, 512),
+];
+
+fn bench_gemm_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_shapes");
+    group.sample_size(10);
+    for &(m, k, n) in &SHAPES {
+        let a = init::uniform([m, k], -1.0, 1.0, 1);
+        let b_mat = init::uniform([k, n], -1.0, 1.0, 2);
+        let mut out = vec![0.0f32; m * n];
+        let bp = tune::select(m, k, n);
+        let mut apack = scratch::take(matmul::packed_a_len(&bp, m, k));
+        matmul::pack_a(&bp, a.data(), m, k, &mut apack);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(),
+            |bch, ()| {
+                bch.iter(|| {
+                    matmul::gemm(
+                        &bp,
+                        black_box(&apack),
+                        BSrc::Rows(black_box(b_mat.data())),
+                        &mut out,
+                        m,
+                        k,
+                        n,
+                        Epilogue::None,
+                        false,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Forward conv body GEMM through the virtual im2col packer — tracks the
+/// implicit-GEMM overhead relative to the plain-rows numbers above.
+fn bench_implicit_im2col(c: &mut Criterion) {
+    let (c_in, h, w) = (64usize, 48usize, 48usize);
+    let (m, kdim, n) = (64usize, c_in * 9, h * w);
+    let img = init::uniform([c_in, h, w], -1.0, 1.0, 3);
+    let wmat = init::uniform([m, kdim], -1.0, 1.0, 4);
+    let bp = tune::select(m, kdim, n);
+    let mut apack = scratch::take(matmul::packed_a_len(&bp, m, kdim));
+    matmul::pack_a(&bp, wmat.data(), m, kdim, &mut apack);
+    let mut out = vec![0.0f32; m * n];
+
+    let mut group = c.benchmark_group("gemm_implicit_im2col");
+    group.sample_size(10);
+    group.bench_function("64x576x2304_conv_body", |bch| {
+        bch.iter(|| {
+            let view = Im2colView::new(black_box(img.data()), (c_in, h, w), (3, 3), 1, 1);
+            matmul::gemm(
+                &bp,
+                &apack,
+                BSrc::Im2col(view),
+                &mut out,
+                m,
+                kdim,
+                n,
+                Epilogue::None,
+                false,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm_shapes, bench_implicit_im2col);
+criterion_main!(benches);

@@ -1,17 +1,22 @@
-//! Before/after throughput of the packed, batch-parallel conv engine on a
-//! fixed tiny-EDSR training step, against the pre-engine kernels preserved
-//! in [`dlsr_bench::legacy`].
+//! Three-tier throughput history of the conv engine on a fixed tiny-EDSR
+//! training step:
+//!
+//! - `before_legacy_kernels` — the seed's direct conv loops, preserved in
+//!   [`dlsr_bench::legacy`];
+//! - `after_packed_engine` — the first engine rewrite (materialized im2col
+//!   + packed 4×16 GEMM), preserved verbatim in [`dlsr_bench::packed`];
+//! - `after_simd_engine` — the production path: SIMD microkernels behind
+//!   runtime dispatch, shape-keyed blueprints, implicit-GEMM conv.
 //!
 //! Workload: batch 4 at 48×48 — a 3→64 head conv, two residual-style
 //! conv(+ReLU)/conv pairs at F=64, and a 64→3 tail conv, forward and
-//! backward. The engine path fuses the ReLU into the GEMM epilogue; the
-//! legacy path applies it as a separate elementwise pass, exactly as the
-//! seed code did. Emits `results/BENCH_conv.json` with img/sec both ways.
+//! backward. Emits `results/BENCH_conv.json` with img/sec for all tiers
+//! and the tier-over-tier speedups.
 
 #![forbid(unsafe_code)]
 use std::time::Instant;
 
-use dlsr_bench::legacy;
+use dlsr_bench::{legacy, packed};
 use dlsr_tensor::conv::{conv2d_backward, conv2d_fused, Act, Conv2dParams};
 use dlsr_tensor::{elementwise, init, Tensor};
 
@@ -43,12 +48,23 @@ fn build_stack() -> Vec<Layer> {
     ]
 }
 
-/// One forward+backward pass with the production engine (fused ReLU).
-fn step_engine(stack: &[Layer], x: &Tensor, p: Conv2dParams) -> Tensor {
+type FusedFn =
+    fn(&Tensor, &Tensor, Option<&[f32]>, Act, Conv2dParams) -> dlsr_tensor::Result<Tensor>;
+type BackwardFn =
+    fn(&Tensor, &Tensor, &Tensor, Conv2dParams) -> dlsr_tensor::Result<(Tensor, Tensor, Vec<f32>)>;
+
+/// One forward+backward pass through `fused`/`backward` (fused-ReLU tiers).
+fn step_fused(
+    stack: &[Layer],
+    x: &Tensor,
+    p: Conv2dParams,
+    fused: FusedFn,
+    backward: BackwardFn,
+) -> Tensor {
     let mut acts = vec![x.clone()];
     for l in stack {
         let act = if l.relu { Act::Relu } else { Act::Identity };
-        let y = conv2d_fused(acts.last().unwrap(), &l.w, Some(&l.b), act, p).unwrap();
+        let y = fused(acts.last().unwrap(), &l.w, Some(&l.b), act, p).unwrap();
         acts.push(y);
     }
     let mut grad = Tensor::ones(acts.last().unwrap().shape().clone());
@@ -57,7 +73,7 @@ fn step_engine(stack: &[Layer], x: &Tensor, p: Conv2dParams) -> Tensor {
             // post-activation output doubles as the mask: y > 0 ⇔ pre > 0
             grad = elementwise::relu_backward(&grad, &acts[i + 1]).unwrap();
         }
-        let (gi, _gw, _gb) = conv2d_backward(&acts[i], &l.w, &grad, p).unwrap();
+        let (gi, _gw, _gb) = backward(&acts[i], &l.w, &grad, p).unwrap();
         grad = gi;
     }
     grad
@@ -108,19 +124,32 @@ fn main() {
     );
 
     let (legacy_s, g_legacy) = time_steps(|| step_legacy(&stack, &x, p));
-    let (engine_s, g_engine) = time_steps(|| step_engine(&stack, &x, p));
+    let (packed_s, g_packed) =
+        time_steps(|| step_fused(&stack, &x, p, packed::conv2d_fused, packed::conv2d_backward));
+    let (simd_s, g_simd) = time_steps(|| step_fused(&stack, &x, p, conv2d_fused, conv2d_backward));
     assert!(
-        g_engine.allclose(&g_legacy, 1e-3),
-        "engine and legacy paths disagree: {}",
-        g_engine.max_abs_diff(&g_legacy)
+        g_packed.allclose(&g_legacy, 1e-3),
+        "packed and legacy paths disagree: {}",
+        g_packed.max_abs_diff(&g_legacy)
+    );
+    assert!(
+        g_simd.allclose(&g_legacy, 1e-3),
+        "simd and legacy paths disagree: {}",
+        g_simd.max_abs_diff(&g_legacy)
     );
 
-    let legacy_ips = BATCH as f64 / legacy_s;
-    let engine_ips = BATCH as f64 / engine_s;
-    let speedup = legacy_s / engine_s;
-    println!("legacy: {legacy_s:.4} s/step  ({legacy_ips:.2} img/s)");
-    println!("engine: {engine_s:.4} s/step  ({engine_ips:.2} img/s)");
-    println!("speedup: {speedup:.2}x");
+    let ips = |s: f64| BATCH as f64 / s;
+    let speedup_packed = legacy_s / packed_s;
+    let speedup_simd = packed_s / simd_s;
+    println!("legacy: {legacy_s:.4} s/step  ({:.2} img/s)", ips(legacy_s));
+    println!(
+        "packed: {packed_s:.4} s/step  ({:.2} img/s)  [{speedup_packed:.2}x vs legacy]",
+        ips(packed_s)
+    );
+    println!(
+        "simd:   {simd_s:.4} s/step  ({:.2} img/s)  [{speedup_simd:.2}x vs packed]",
+        ips(simd_s)
+    );
 
     dlsr_bench::write_json(
         "BENCH_conv.json",
@@ -136,13 +165,19 @@ fn main() {
             },
             "before_legacy_kernels": {
                 "seconds_per_step": legacy_s,
-                "images_per_sec": legacy_ips,
+                "images_per_sec": ips(legacy_s),
             },
             "after_packed_engine": {
-                "seconds_per_step": engine_s,
-                "images_per_sec": engine_ips,
+                "seconds_per_step": packed_s,
+                "images_per_sec": ips(packed_s),
             },
-            "speedup": speedup,
+            "after_simd_engine": {
+                "seconds_per_step": simd_s,
+                "images_per_sec": ips(simd_s),
+            },
+            "speedup_packed_vs_legacy": speedup_packed,
+            "speedup_simd_vs_packed": speedup_simd,
+            "speedup_simd_vs_legacy": legacy_s / simd_s,
         }),
     );
 }

@@ -5,6 +5,7 @@
 
 #![forbid(unsafe_code)]
 pub mod legacy;
+pub mod packed;
 
 use std::io::Write;
 

@@ -1,0 +1,532 @@
+//! Snapshot of the PR-1 *packed* conv/GEMM engine, preserved verbatim
+//! (minus tracing) as the `after_packed_engine` benchmark tier.
+//!
+//! The production engine in `dlsr-tensor` has since been rebuilt around
+//! explicit SIMD microkernels, shape-keyed blueprints and implicit-GEMM
+//! convolution (see `docs/KERNELS.md`). This module keeps the previous
+//! tier — autovectorized `MR×NR = 4×16` microkernel, whole-operand
+//! packing, materialized im2col — runnable so `bench_conv` can report
+//! `before_legacy_kernels` → `after_packed_engine` → `after_simd_engine`
+//! from one binary. Like [`crate::legacy`], it is **not** production code;
+//! it shares the scratch pool with the production engine but nothing else.
+
+use rayon::prelude::*;
+
+use dlsr_tensor::conv::{Act, Conv2dParams};
+use dlsr_tensor::{scratch, Result, Tensor, TensorError};
+
+const MR: usize = 4;
+const NR: usize = 16;
+const KC: usize = 256;
+const NC: usize = 256;
+const PAR_FLOP_THRESHOLD: usize = 1 << 21;
+
+#[derive(Debug, Clone, Copy)]
+enum Epilogue<'a> {
+    None,
+    Bias(&'a [f32]),
+    Relu,
+    BiasRelu(&'a [f32]),
+}
+
+type GemmFn = for<'a> fn(&[f32], &[f32], &mut [f32], usize, usize, usize, Epilogue<'a>);
+
+fn packed_a_len(m: usize, k: usize) -> usize {
+    k * m.div_ceil(MR) * MR
+}
+
+fn packed_b_len(k: usize, n: usize) -> usize {
+    k * n.div_ceil(NR) * NR
+}
+
+fn pack_a(a: &[f32], m: usize, k: usize, out: &mut [f32]) {
+    pack_a_impl(a, m, k, false, out);
+}
+
+fn pack_a_transposed(a: &[f32], m: usize, k: usize, out: &mut [f32]) {
+    pack_a_impl(a, m, k, true, out);
+}
+
+fn pack_a_impl(a: &[f32], m: usize, k: usize, trans: bool, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(out.len(), packed_a_len(m, k));
+    let mr_pad = m.div_ceil(MR) * MR;
+    for kb in (0..k).step_by(KC) {
+        let kc = KC.min(k - kb);
+        for ip in 0..mr_pad / MR {
+            let base = kb * mr_pad + ip * (MR * kc);
+            let dst = &mut out[base..base + MR * kc];
+            for (p, drow) in dst.chunks_exact_mut(MR).enumerate() {
+                for (i, d) in drow.iter_mut().enumerate() {
+                    let row = ip * MR + i;
+                    *d = if row < m {
+                        let col = kb + p;
+                        if trans {
+                            a[col * m + row]
+                        } else {
+                            a[row * k + col]
+                        }
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}
+
+fn pack_b(b: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    pack_b_impl(b, k, n, false, out);
+}
+
+fn pack_b_transposed(b: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    pack_b_impl(b, k, n, true, out);
+}
+
+fn pack_b_impl(b: &[f32], k: usize, n: usize, trans: bool, out: &mut [f32]) {
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), packed_b_len(k, n));
+    for jc in (0..n).step_by(NC) {
+        let ncb = NC.min(n - jc).div_ceil(NR) * NR;
+        let block = k * jc;
+        for kb in (0..k).step_by(KC) {
+            let kc = KC.min(k - kb);
+            for jp in 0..ncb / NR {
+                let base = block + kb * ncb + jp * (NR * kc);
+                let dst = &mut out[base..base + NR * kc];
+                for (p, drow) in dst.chunks_exact_mut(NR).enumerate() {
+                    for (j, d) in drow.iter_mut().enumerate() {
+                        let col = jc + jp * NR + j;
+                        *d = if col < n {
+                            let row = kb + p;
+                            if trans {
+                                b[col * k + row]
+                            } else {
+                                b[row * n + col]
+                            }
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn microkernel(apan: &[f32], bpan: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (arow, brow) in apan.chunks_exact(MR).zip(bpan.chunks_exact(NR)) {
+        let ar: &[f32; MR] = arow.try_into().expect("chunks_exact yields MR");
+        let br: &[f32; NR] = brow.try_into().expect("chunks_exact yields NR");
+        for i in 0..MR {
+            let av = ar[i];
+            let acc_i = &mut acc[i];
+            for j in 0..NR {
+                acc_i[j] += av * br[j];
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn store_tile(
+    acc: &[[f32; NR]; MR],
+    crows: &mut [f32],
+    n: usize,
+    rows: usize,
+    j0: usize,
+    cols: usize,
+    accumulate: bool,
+    finalize: Option<(Epilogue<'_>, usize)>,
+) {
+    for (i, acc_i) in acc.iter().enumerate().take(rows) {
+        let dst = &mut crows[i * n + j0..i * n + j0 + cols];
+        let src = &acc_i[..cols];
+        if accumulate {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        } else {
+            dst.copy_from_slice(src);
+        }
+        if let Some((epi, row0)) = finalize {
+            match epi {
+                Epilogue::None => {}
+                Epilogue::Bias(bias) => {
+                    let bv = bias[row0 + i];
+                    dst.iter_mut().for_each(|d| *d += bv);
+                }
+                Epilogue::Relu => {
+                    dst.iter_mut().for_each(|d| *d = d.max(0.0));
+                }
+                Epilogue::BiasRelu(bias) => {
+                    let bv = bias[row0 + i];
+                    dst.iter_mut().for_each(|d| *d = (*d + bv).max(0.0));
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows(
+    apack: &[f32],
+    bpack: &[f32],
+    crows: &mut [f32],
+    chunk_idx: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    epi: Epilogue<'_>,
+) {
+    let rows = crows.len() / n;
+    let row0 = chunk_idx * MR;
+    if k == 0 {
+        for (i, row) in crows.chunks_exact_mut(n).enumerate() {
+            match epi {
+                Epilogue::None | Epilogue::Relu => row.fill(0.0),
+                Epilogue::Bias(bias) => row.fill(bias[row0 + i]),
+                Epilogue::BiasRelu(bias) => row.fill(bias[row0 + i].max(0.0)),
+            }
+        }
+        return;
+    }
+    let mr_pad = m.div_ceil(MR) * MR;
+    let kb_last = (k - 1) / KC * KC;
+    for jc in (0..n).step_by(NC) {
+        let ncb = NC.min(n - jc).div_ceil(NR) * NR;
+        let block = k * jc;
+        for kb in (0..k).step_by(KC) {
+            let kc = KC.min(k - kb);
+            let a_off = kb * mr_pad + chunk_idx * (MR * kc);
+            let apan = &apack[a_off..a_off + MR * kc];
+            let finalize = (kb == kb_last).then_some((epi, row0));
+            for jp in 0..ncb / NR {
+                let j0 = jc + jp * NR;
+                let cols = NR.min(n - j0);
+                let b_off = block + kb * ncb + jp * (NR * kc);
+                let mut acc = [[0.0f32; NR]; MR];
+                microkernel(apan, &bpack[b_off..b_off + NR * kc], &mut acc);
+                store_tile(&acc, crows, n, rows, j0, cols, kb != 0, finalize);
+            }
+        }
+    }
+}
+
+fn gemm_prepacked(
+    apack: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    epi: Epilogue<'_>,
+) {
+    assert_eq!(apack.len(), packed_a_len(m, k));
+    assert_eq!(bpack.len(), packed_b_len(k, n));
+    assert_eq!(c.len(), m * n);
+    if n == 0 {
+        return;
+    }
+    if 2 * m * k * n >= PAR_FLOP_THRESHOLD && rayon::current_num_threads() > 1 {
+        c.par_chunks_mut(MR * n).enumerate().for_each(|(ip, rows)| {
+            gemm_rows(apack, bpack, rows, ip, m, k, n, epi);
+        });
+    } else {
+        gemm_prepacked_seq(apack, bpack, c, m, k, n, epi);
+    }
+}
+
+fn gemm_prepacked_seq(
+    apack: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    epi: Epilogue<'_>,
+) {
+    assert_eq!(apack.len(), packed_a_len(m, k));
+    assert_eq!(bpack.len(), packed_b_len(k, n));
+    assert_eq!(c.len(), m * n);
+    if n == 0 {
+        return;
+    }
+    for (ip, rows) in c.chunks_mut(MR * n).enumerate() {
+        gemm_rows(apack, bpack, rows, ip, m, k, n, epi);
+    }
+}
+
+fn im2col(
+    img: &[f32],
+    (c_in, h, w): (usize, usize, usize),
+    (kh, kw): (usize, usize),
+    p: Conv2dParams,
+    col: &mut [f32],
+) {
+    let h_out = p.out_extent(h, kh);
+    let w_out = p.out_extent(w, kw);
+    let hw_out = h_out * w_out;
+    debug_assert_eq!(col.len(), c_in * kh * kw * hw_out);
+    for c in 0..c_in {
+        let plane = &img[c * h * w..(c + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = ((c * kh + ky) * kw + kx) * hw_out;
+                for oy in 0..h_out {
+                    let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                    let dst = &mut col[row + oy * w_out..row + (oy + 1) * w_out];
+                    if iy < 0 || iy >= h as isize {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for (ox, d) in dst.iter_mut().enumerate() {
+                        let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                        *d = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            plane[iy * w + ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn col2im(
+    col: &[f32],
+    (c_in, h, w): (usize, usize, usize),
+    (kh, kw): (usize, usize),
+    p: Conv2dParams,
+    img: &mut [f32],
+) {
+    let h_out = p.out_extent(h, kh);
+    let w_out = p.out_extent(w, kw);
+    let hw_out = h_out * w_out;
+    for c in 0..c_in {
+        let plane_base = c * h * w;
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = ((c * kh + ky) * kw + kx) * hw_out;
+                for oy in 0..h_out {
+                    let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    let src = &col[row + oy * w_out..row + (oy + 1) * w_out];
+                    for (ox, &s) in src.iter().enumerate() {
+                        let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                        if ix >= 0 && ix < w as isize {
+                            img[plane_base + iy * w + ix as usize] += s;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward convolution of the packed tier (materialized im2col + packed
+/// GEMM, fused bias/activation epilogue).
+pub fn conv2d_fused(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    act: Act,
+    p: Conv2dParams,
+) -> Result<Tensor> {
+    let (n, c_in, h, w) = input.shape().as_nchw()?;
+    let (c_out, c_in_w, kh, kw) = weight.shape().as_nchw()?;
+    if c_in != c_in_w {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![c_in],
+            got: vec![c_in_w],
+            context: "packed conv2d (input channels vs weight channels)",
+        });
+    }
+    let h_out = p.out_extent(h, kh);
+    let w_out = p.out_extent(w, kw);
+    let hw_out = h_out * w_out;
+    let k = c_in * kh * kw;
+    let mut out = Tensor::zeros([n, c_out, h_out, w_out]);
+
+    let mut wpack = scratch::take(packed_a_len(c_out, k));
+    pack_a(weight.data(), c_out, k, &mut wpack);
+    let epi = match (bias, act) {
+        (None, Act::Identity) => Epilogue::None,
+        (None, Act::Relu) => Epilogue::Relu,
+        (Some(b), Act::Identity) => Epilogue::Bias(b),
+        (Some(b), Act::Relu) => Epilogue::BiasRelu(b),
+    };
+
+    let chw_in = c_in * h * w;
+    let batch_par = n > 1 && rayon::current_num_threads() > 1;
+    let image = |i: usize, dst: &mut [f32]| {
+        let img = &input.data()[i * chw_in..(i + 1) * chw_in];
+        let mut col = scratch::take(k * hw_out);
+        im2col(img, (c_in, h, w), (kh, kw), p, &mut col);
+        let mut bpack = scratch::take(packed_b_len(k, hw_out));
+        pack_b(&col, k, hw_out, &mut bpack);
+        if batch_par {
+            gemm_prepacked_seq(&wpack, &bpack, dst, c_out, k, hw_out, epi);
+        } else {
+            gemm_prepacked(&wpack, &bpack, dst, c_out, k, hw_out, epi);
+        }
+    };
+    let out_chunk = c_out * hw_out;
+    if batch_par {
+        out.data_mut()
+            .par_chunks_mut(out_chunk)
+            .enumerate()
+            .for_each(|(i, dst)| image(i, dst));
+    } else {
+        for (i, dst) in out.data_mut().chunks_mut(out_chunk).enumerate() {
+            image(i, dst);
+        }
+    }
+    Ok(out)
+}
+
+/// Gradients of the packed tier (materialized im2col + packed GEMMs,
+/// fixed-order cross-batch reduction).
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    p: Conv2dParams,
+) -> Result<(Tensor, Tensor, Vec<f32>)> {
+    let (n, c_in, h, w) = input.shape().as_nchw()?;
+    let (c_out, _, kh, kw) = weight.shape().as_nchw()?;
+    let (gn, gc, gh, gw) = grad_out.shape().as_nchw()?;
+    let h_out = p.out_extent(h, kh);
+    let w_out = p.out_extent(w, kw);
+    if (gn, gc, gh, gw) != (n, c_out, h_out, w_out) {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, c_out, h_out, w_out],
+            got: vec![gn, gc, gh, gw],
+            context: "packed conv2d_backward (grad_out shape)",
+        });
+    }
+    let hw_out = h_out * w_out;
+    let k = c_in * kh * kw;
+    let chw_in = c_in * h * w;
+
+    let mut grad_input = Tensor::zeros([n, c_in, h, w]);
+
+    let mut wt_pack = scratch::take(packed_a_len(k, c_out));
+    pack_a_transposed(weight.data(), k, c_out, &mut wt_pack);
+
+    let mut gw_all = scratch::take(n * c_out * k);
+    let mut gb_all = scratch::take(n * c_out);
+
+    let batch_par = n > 1 && rayon::current_num_threads() > 1;
+    let image = |i: usize, gi: &mut [f32], gw_i: &mut [f32], gb_i: &mut [f32]| {
+        let img = &input.data()[i * chw_in..(i + 1) * chw_in];
+        let go = &grad_out.data()[i * c_out * hw_out..(i + 1) * c_out * hw_out];
+
+        for (co, chunk) in go.chunks_exact(hw_out).enumerate() {
+            gb_i[co] = chunk.iter().sum::<f32>();
+        }
+
+        let mut col = scratch::take(k * hw_out);
+        im2col(img, (c_in, h, w), (kh, kw), p, &mut col);
+        let mut go_apack = scratch::take(packed_a_len(c_out, hw_out));
+        pack_a(go, c_out, hw_out, &mut go_apack);
+        let mut colt_pack = scratch::take(packed_b_len(hw_out, k));
+        pack_b_transposed(&col, hw_out, k, &mut colt_pack);
+        let gemm: GemmFn = if batch_par {
+            gemm_prepacked_seq
+        } else {
+            gemm_prepacked
+        };
+        gemm(
+            &go_apack,
+            &colt_pack,
+            gw_i,
+            c_out,
+            hw_out,
+            k,
+            Epilogue::None,
+        );
+
+        let mut go_bpack = scratch::take(packed_b_len(c_out, hw_out));
+        pack_b(go, c_out, hw_out, &mut go_bpack);
+        gemm(
+            &wt_pack,
+            &go_bpack,
+            &mut col,
+            k,
+            c_out,
+            hw_out,
+            Epilogue::None,
+        );
+        col2im(&col, (c_in, h, w), (kh, kw), p, gi);
+    };
+
+    let gw_len = c_out * k;
+    if batch_par {
+        grad_input
+            .data_mut()
+            .par_chunks_mut(chw_in)
+            .zip(gw_all.par_chunks_mut(gw_len))
+            .zip(gb_all.par_chunks_mut(c_out))
+            .enumerate()
+            .for_each(|(i, ((gi, gw_i), gb_i))| image(i, gi, gw_i, gb_i));
+    } else {
+        for (i, ((gi, gw_i), gb_i)) in grad_input
+            .data_mut()
+            .chunks_mut(chw_in)
+            .zip(gw_all.chunks_mut(gw_len))
+            .zip(gb_all.chunks_mut(c_out))
+            .enumerate()
+        {
+            image(i, gi, gw_i, gb_i);
+        }
+    }
+
+    let mut grad_weight = Tensor::zeros(weight.shape().clone());
+    for gw_i in gw_all.chunks_exact(gw_len) {
+        for (a, &b) in grad_weight.data_mut().iter_mut().zip(gw_i.iter()) {
+            *a += b;
+        }
+    }
+    let mut grad_bias = vec![0.0f32; c_out];
+    for gb_i in gb_all.chunks_exact(c_out) {
+        for (a, &b) in grad_bias.iter_mut().zip(gb_i.iter()) {
+            *a += b;
+        }
+    }
+    Ok((grad_input, grad_weight, grad_bias))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlsr_tensor::init;
+
+    /// The snapshot must agree with the production engine (within
+    /// accumulation-order tolerance — the production engine fuses
+    /// multiply-add, this tier does not).
+    #[test]
+    fn packed_tier_matches_production_engine() {
+        let p = Conv2dParams::same(3);
+        let x = init::uniform([2, 3, 8, 8], -1.0, 1.0, 91);
+        let w = init::uniform([4, 3, 3, 3], -1.0, 1.0, 92);
+        let b = vec![0.1f32, -0.2, 0.3, 0.0];
+        let old = conv2d_fused(&x, &w, Some(&b), Act::Relu, p).unwrap();
+        let new = dlsr_tensor::conv::conv2d_fused(&x, &w, Some(&b), Act::Relu, p).unwrap();
+        assert!(old.allclose(&new, 1e-4), "{}", old.max_abs_diff(&new));
+
+        let go = init::uniform(old.shape().dims(), -1.0, 1.0, 93);
+        let (gi, gw, gb) = conv2d_backward(&x, &w, &go, p).unwrap();
+        let (ni, nw, nb) = dlsr_tensor::conv::conv2d_backward(&x, &w, &go, p).unwrap();
+        assert!(gi.allclose(&ni, 1e-3), "{}", gi.max_abs_diff(&ni));
+        assert!(gw.allclose(&nw, 1e-3), "{}", gw.max_abs_diff(&nw));
+        for (a, b) in gb.iter().zip(nb.iter()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+}

@@ -78,27 +78,81 @@ fn thread_count_does_not_change_parameters() {
         println!("DIGEST={:#018x}", train_digest());
         return;
     }
-    let d1 = digest_from_child("1");
-    let d4 = digest_from_child("4");
+    let d1 = digest_from_child("1", &[]);
+    let d4 = digest_from_child("4", &[]);
     assert_eq!(
         d1, d4,
         "1 vs 4 rayon threads changed the trained parameters"
     );
 }
 
-fn digest_from_child(rayon_threads: &str) -> u64 {
+/// The SIMD kernel engine's digest contract: *same binary + same tune
+/// cache + same seed ⇒ same digest on any thread count and any ISA.*
+/// Every cell of the {1, 4 threads} × {SIMD, forced-scalar} ×
+/// {no cache, cold cache, warm cache} matrix must produce the bits of the
+/// plain single-threaded run. The warm cache deliberately overrides the
+/// kernel variant / `nc` / parallel hint for the EDSR body shapes (keeping
+/// `kc`, the only bit-affecting field) — proving tuning can change speed
+/// but never results.
+#[test]
+fn simd_isa_and_tune_cache_do_not_change_parameters() {
+    if std::env::var_os(CHILD_ENV).is_some() {
+        println!("DIGEST={:#018x}", train_digest());
+        return;
+    }
+    let base = digest_from_child("1", &[]);
+
+    for threads in ["1", "4"] {
+        let d = digest_from_child(threads, &[("DLSR_FORCE_SCALAR", "1")]);
+        assert_eq!(
+            base, d,
+            "forced-scalar kernels changed the digest ({threads} threads)"
+        );
+    }
+
+    let dir = std::env::temp_dir().join(format!("dlsr-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tune-cache dir");
+    let cold = dir.join("cold.tune");
+    let warm = dir.join("warm.tune");
+    // Warm cache: same kc as the heuristic (576→256, 64→64), everything
+    // else perturbed away from what the selector would pick on its own.
+    std::fs::write(
+        &warm,
+        "# digest-preserving overrides: kc untouched\n\
+         64 576 2304 scalar 6 8 256 64 seq\n\
+         576 64 2304 avx2_4x16 4 16 64 128 rows\n",
+    )
+    .expect("write warm tune cache");
+    for (label, path) in [("cold", &cold), ("warm", &warm)] {
+        for threads in ["1", "4"] {
+            let d = digest_from_child(
+                threads,
+                &[("DLSR_TUNE_CACHE", path.to_str().expect("utf-8 tmp path"))],
+            );
+            assert_eq!(
+                base, d,
+                "{label} tune cache changed the digest ({threads} threads)"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn digest_from_child(rayon_threads: &str, extra_env: &[(&str, &str)]) -> u64 {
     let exe = std::env::current_exe().expect("test binary path");
-    let out = Command::new(exe)
-        .args([
-            "thread_count_does_not_change_parameters",
-            "--exact",
-            "--nocapture",
-            "--test-threads=1",
-        ])
-        .env(CHILD_ENV, "1")
-        .env("RAYON_NUM_THREADS", rayon_threads)
-        .output()
-        .expect("spawn digest child");
+    let mut cmd = Command::new(exe);
+    cmd.args([
+        "thread_count_does_not_change_parameters",
+        "--exact",
+        "--nocapture",
+        "--test-threads=1",
+    ])
+    .env(CHILD_ENV, "1")
+    .env("RAYON_NUM_THREADS", rayon_threads);
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn digest child");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
         out.status.success(),

@@ -16,6 +16,10 @@
 //!   passed in by the caller.
 //! - `undocumented-unsafe` — every `unsafe` token needs a `// SAFETY:`
 //!   comment immediately above it (or trailing on the same line).
+//! - `hot-markers` — in `crates/tensor/src`, functions following the hot
+//!   kernel naming convention (`microkernel_*`, `pack_*`) must carry
+//!   `#[dlsr::hot]`, so the `hot-alloc` rule actually covers them; an
+//!   unmarked kernel silently escapes the allocation scan.
 //!
 //! Waivers: a comment `dlsr-lint: allow(<rule>) -- <reason>` suppresses
 //! that rule on the next source line (or its own line when trailing). The
@@ -46,9 +50,16 @@ pub const RULE_WALL_CLOCK: &str = "wall-clock";
 pub const RULE_HASH: &str = "hash-collections";
 pub const RULE_HOT_ALLOC: &str = "hot-alloc";
 pub const RULE_UNSAFE: &str = "undocumented-unsafe";
+pub const RULE_HOT_MARKERS: &str = "hot-markers";
 pub const RULE_WAIVER: &str = "waiver";
 
-pub const ALL_RULES: [&str; 4] = [RULE_WALL_CLOCK, RULE_HASH, RULE_HOT_ALLOC, RULE_UNSAFE];
+pub const ALL_RULES: [&str; 5] = [
+    RULE_WALL_CLOCK,
+    RULE_HASH,
+    RULE_HOT_ALLOC,
+    RULE_UNSAFE,
+    RULE_HOT_MARKERS,
+];
 
 /// Files (path prefixes, `/`-separated, relative to the repo root) where
 /// wall-clock reads are legitimate: the trace crate owns the wall domain,
@@ -75,6 +86,11 @@ const HOT_BANNED_PATHS: [(&str, &str); 2] = [("Vec", "new"), ("Box", "new")];
 /// Macros banned inside `#[dlsr::hot]` bodies.
 const HOT_BANNED_MACROS: [&str; 2] = ["vec", "format"];
 
+/// Path prefix where the hot-kernel naming convention is enforced, and the
+/// fn-name prefixes that convention covers.
+const HOT_MARKER_PATH: &str = "crates/tensor/src/";
+const HOT_MARKER_FN_PREFIXES: [&str; 2] = ["microkernel_", "pack_"];
+
 /// A waiver parsed from a `dlsr-lint: allow(<rule>)` comment.
 struct Waiver {
     rule: String,
@@ -98,6 +114,7 @@ pub fn scan_file(path: &str, crate_name: &str, lexed: &Lexed) -> Vec<Finding> {
     rule_hash_collections(path, crate_name, lexed, &waived, &mut findings);
     rule_hot_alloc(path, lexed, &waived, &mut findings);
     rule_undocumented_unsafe(path, lexed, &token_lines, &waived, &mut findings);
+    rule_hot_markers(path, lexed, &waived, &mut findings);
 
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
@@ -324,6 +341,67 @@ fn hot_fn_body(toks: &[Tok], mut i: usize) -> Option<(String, usize, usize)> {
     Some((name.text.clone(), lo, k.saturating_sub(1)))
 }
 
+/// `hot-markers`: inside `crates/tensor/src`, any fn whose name follows
+/// the kernel naming convention must be annotated `#[dlsr::hot]` —
+/// otherwise the `hot-alloc` scan never sees its body.
+fn rule_hot_markers(
+    path: &str,
+    lexed: &Lexed,
+    waived: &dyn Fn(&str, usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    if !path.starts_with(HOT_MARKER_PATH) {
+        return;
+    }
+    let toks = &lexed.toks;
+    // Indices of `fn` keywords reached by walking forward from a
+    // `#[dlsr::hot]` attribute (skipping any further attributes and
+    // qualifier keywords in between).
+    let mut hot_fns = Vec::new();
+    for i in 0..toks.len() {
+        if !is_hot_attr(toks, i) {
+            continue;
+        }
+        let mut j = i + 7;
+        while j < toks.len() && toks[j].text != "fn" {
+            if toks[j].text == ";" || toks[j].text == "}" {
+                break;
+            }
+            j += 1;
+        }
+        if j < toks.len() && toks[j].text == "fn" {
+            hot_fns.push(j);
+        }
+    }
+    for (j, t) in toks.iter().enumerate() {
+        if t.text != "fn" {
+            continue;
+        }
+        let Some(name) = toks.get(j + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        if !HOT_MARKER_FN_PREFIXES
+            .iter()
+            .any(|p| name.text.starts_with(p))
+        {
+            continue;
+        }
+        if hot_fns.contains(&j) || waived(RULE_HOT_MARKERS, name.line) {
+            continue;
+        }
+        findings.push(Finding {
+            path: path.to_string(),
+            line: name.line,
+            rule: RULE_HOT_MARKERS,
+            msg: format!(
+                "kernel-convention fn `{}` lacks `#[dlsr::hot]`; unmarked kernels \
+                 escape the hot-alloc scan",
+                name.text
+            ),
+        });
+    }
+}
+
 fn rule_undocumented_unsafe(
     path: &str,
     lexed: &Lexed,
@@ -437,6 +515,27 @@ mod tests {
             "#[dlsr::hot]\nfn h(xs: &[f32]) { let _ = xs.iter().map(|x| x).collect::<Vec<_>>(); }";
         let f = run("crates/tensor/src/x.rs", "tensor", src);
         assert!(f.iter().any(|f| f.msg.contains("collect")));
+    }
+
+    #[test]
+    fn hot_markers_enforced_in_tensor_only() {
+        let src = "fn pack_b_block(dst: &mut [f32]) {}";
+        let f = run("crates/tensor/src/x.rs", "tensor", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_HOT_MARKERS);
+        // outside crates/tensor/src the convention is not enforced
+        assert!(run("crates/bench/src/x.rs", "bench", src).is_empty());
+
+        let marked = "#[dlsr::hot]\nfn microkernel_scalar(acc: &mut [f32]) {}";
+        assert!(run("crates/tensor/src/x.rs", "tensor", marked).is_empty());
+
+        // other attributes between #[dlsr::hot] and the fn are tolerated
+        let stacked = "#[dlsr::hot]\n#[inline]\nfn pack_a(dst: &mut [f32]) {}";
+        assert!(run("crates/tensor/src/x.rs", "tensor", stacked).is_empty());
+
+        let waivered = "// dlsr-lint: allow(hot-markers) -- setup-only packer\n\
+                        fn pack_setup_table(dst: &mut [f32]) {}";
+        assert!(run("crates/tensor/src/x.rs", "tensor", waivered).is_empty());
     }
 
     #[test]

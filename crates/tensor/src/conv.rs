@@ -1,4 +1,4 @@
-//! 2-D convolution (im2col + GEMM) with full forward/backward kernels.
+//! 2-D convolution as **implicit GEMM** with full forward/backward kernels.
 //!
 //! Weight layout is `[C_out, C_in, K_h, K_w]`; activations are NCHW. Padding
 //! is symmetric zero-padding. Naive direct implementations are kept as the
@@ -6,14 +6,24 @@
 //!
 //! # Execution model
 //!
-//! Both directions follow the same plan:
+//! Both directions resolve their GEMM shapes through the
+//! [`crate::tune`] selector and run the blueprint engine in
+//! [`crate::matmul`]:
 //! 1. The operand that is constant across the batch (the weight matrix) is
 //!    packed into GEMM panel layout **once per call**.
-//! 2. The batch dimension is the parallel axis: each image's im2col, packing
-//!    and GEMM run on one rayon worker, writing to that image's disjoint
-//!    slice of the output. All per-image temporaries come from the
-//!    [`crate::scratch`] pool, so the steady-state loop does not allocate.
-//! 3. Reductions that cross the parallel axis (weight/bias gradients) are
+//! 2. The batch dimension is the parallel axis: each image's GEMMs run on
+//!    one rayon worker, writing to that image's disjoint slice of the
+//!    output. All per-image temporaries come from the [`crate::scratch`]
+//!    pool, so the steady-state loop does not allocate.
+//! 3. The forward and weight-gradient GEMMs read the image through a
+//!    *virtual im2col view* ([`matmul::BSrc::Im2col`] /
+//!    [`matmul::BSrc::Im2colT`]): the column matrix is never materialized —
+//!    the packing routines gather patch elements straight from the image,
+//!    which removes a `C_in·K²·H_out·W_out` scratch buffer and a full
+//!    write+read pass per image per direction. Only the input gradient
+//!    still materializes a column matrix, because there it is the GEMM
+//!    *output* that [`col2im`] scatters back onto the image.
+//! 4. Reductions that cross the parallel axis (weight/bias gradients) are
 //!    accumulated per image into disjoint scratch, then summed sequentially
 //!    in ascending image order — results are bitwise independent of the
 //!    thread count (see the module docs of [`crate::matmul`] for the GEMM
@@ -22,21 +32,19 @@
 //! The forward GEMM applies bias and activation in its epilogue
 //! ([`conv2d_fused`]), so a conv + ReLU layer makes a single pass over the
 //! output instead of three.
+//!
+//! With the `bf16` feature enabled and the runtime flag on
+//! (`crate::tune::set_bf16` / `DLSR_BF16=1`), packed panels store bf16 and
+//! accumulation stays f32 — see `docs/KERNELS.md` for the (non-bitwise)
+//! accuracy contract.
 
 use dlsr_attr as dlsr;
 use rayon::prelude::*;
 
-use crate::matmul::{
-    gemm_prepacked, gemm_prepacked_seq, pack_a, pack_a_transposed, pack_b, pack_b_transposed,
-    packed_a_len, packed_b_len, Epilogue,
-};
+use crate::matmul::{self, BSrc, Epilogue, Im2colView};
 use crate::scratch;
+use crate::tune::{self, Blueprint};
 use crate::{Result, Tensor, TensorError};
-
-/// A prepacked-GEMM entry point, chosen per call: the sequential variant
-/// inside a batch-parallel region (no nested parallelism), the
-/// auto-parallel one otherwise.
-type GemmFn = for<'a> fn(&[f32], &[f32], &mut [f32], usize, usize, usize, Epilogue<'a>);
 
 /// Activation fused into the forward GEMM epilogue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -85,47 +93,55 @@ fn weight_dims(weight: &Tensor) -> Result<(usize, usize, usize, usize)> {
     weight.shape().as_nchw()
 }
 
-/// Scatter one image into its im2col matrix of shape `[C_in*K_h*K_w, H_out*W_out]`.
-#[dlsr::hot]
-fn im2col(
-    img: &[f32],
-    (c_in, h, w): (usize, usize, usize),
-    (kh, kw): (usize, usize),
-    p: Conv2dParams,
-    col: &mut [f32],
-) {
-    let h_out = p.out_extent(h, kh);
-    let w_out = p.out_extent(w, kw);
-    let hw_out = h_out * w_out;
-    debug_assert_eq!(col.len(), c_in * kh * kw * hw_out);
-    for c in 0..c_in {
-        let plane = &img[c * h * w..(c + 1) * h * w];
-        for ky in 0..kh {
-            for kx in 0..kw {
-                let row = ((c * kh + ky) * kw + kx) * hw_out;
-                for oy in 0..h_out {
-                    let iy = (oy * p.stride + ky) as isize - p.padding as isize;
-                    let dst = &mut col[row + oy * w_out..row + (oy + 1) * w_out];
-                    if iy < 0 || iy >= h as isize {
-                        dst.fill(0.0);
-                        continue;
-                    }
-                    let iy = iy as usize;
-                    for (ox, d) in dst.iter_mut().enumerate() {
-                        let ix = (ox * p.stride + kx) as isize - p.padding as isize;
-                        *d = if ix < 0 || ix >= w as isize {
-                            0.0
-                        } else {
-                            plane[iy * w + ix as usize]
-                        };
-                    }
-                }
-            }
+/// A left operand packed once and reused across the batch — f32 panels, or
+/// bf16 panels when the reduced-precision storage path is active. One enum
+/// so every GEMM call site stays precision-agnostic.
+enum PackedA {
+    F32(scratch::ScratchBuf),
+    #[cfg(feature = "bf16")]
+    Bf16(scratch::ScratchBufU16),
+}
+
+impl PackedA {
+    /// Pack `a[m×k]` (or `Aᵀ` stored `[k×m]` when `trans`) under `bp`,
+    /// choosing the element type from the runtime bf16 flag.
+    fn pack(bp: &Blueprint, a: &[f32], m: usize, k: usize, trans: bool) -> PackedA {
+        #[cfg(feature = "bf16")]
+        if tune::bf16_enabled() {
+            let mut buf = scratch::take_u16(matmul::packed_a_len(bp, m, k));
+            matmul::pack_a_bf16(bp, a, m, k, trans, &mut buf);
+            return PackedA::Bf16(buf);
+        }
+        let mut buf = scratch::take(matmul::packed_a_len(bp, m, k));
+        if trans {
+            matmul::pack_a_transposed(bp, a, m, k, &mut buf);
+        } else {
+            matmul::pack_a(bp, a, m, k, &mut buf);
+        }
+        PackedA::F32(buf)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gemm(
+        &self,
+        bp: &Blueprint,
+        bsrc: BSrc<'_>,
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        epi: Epilogue<'_>,
+        force_seq: bool,
+    ) {
+        match self {
+            PackedA::F32(buf) => matmul::gemm(bp, buf, bsrc, c, m, k, n, epi, force_seq),
+            #[cfg(feature = "bf16")]
+            PackedA::Bf16(buf) => matmul::gemm_bf16(bp, buf, bsrc, c, m, k, n, epi, force_seq),
         }
     }
 }
 
-/// Accumulate an im2col matrix back into an image (the adjoint of [`im2col`]).
+/// Accumulate a column matrix back into an image (the adjoint of im2col).
 #[dlsr::hot]
 fn col2im(
     col: &[f32],
@@ -227,9 +243,11 @@ pub fn conv2d_fused_into(
         });
     }
 
+    // Resolve the blueprint once per layer call; every image shares it.
+    let bp = tune::select(c_out, k, hw_out);
+    let variant = bp.kernel.executes_as().as_str();
     // Pack the weight matrix once; every image multiplies against it.
-    let mut wpack = scratch::take(packed_a_len(c_out, k));
-    pack_a(weight.data(), c_out, k, &mut wpack);
+    let wpack = PackedA::pack(&bp, weight.data(), c_out, k, false);
     let epi = match (bias, act) {
         (None, Act::Identity) => Epilogue::None,
         (None, Act::Relu) => Epilogue::Relu,
@@ -244,30 +262,25 @@ pub fn conv2d_fused_into(
     let rank = dlsr_trace::thread_rank();
     let image = |i: usize, dst: &mut [f32]| {
         let img = &input.data()[i * chw_in..(i + 1) * chw_in];
-        let mut col = scratch::take(k * hw_out);
+        // Implicit GEMM: the im2col matrix is a view the packer reads
+        // through, never a buffer.
+        let view = Im2colView::new(img, (c_in, h, w), (kh, kw), p.stride, p.padding);
         let t0 = dlsr_trace::now_wall_s();
-        im2col(img, (c_in, h, w), (kh, kw), p, &mut col);
-        dlsr_trace::record_wall_span(
-            || format!("im2col {c_in}x{h}x{w} k{kh}x{kw}"),
-            dlsr_trace::cat::IM2COL,
-            rank,
-            t0,
-            dlsr_trace::now_wall_s(),
+        wpack.gemm(
+            &bp,
+            BSrc::Im2col(view),
+            dst,
+            c_out,
+            k,
+            hw_out,
+            epi,
+            batch_par,
         );
-        let mut bpack = scratch::take(packed_b_len(k, hw_out));
-        pack_b(&col, k, hw_out, &mut bpack);
-        let t1 = dlsr_trace::now_wall_s();
-        if batch_par {
-            // Already on a rayon worker: keep the GEMM on this thread.
-            gemm_prepacked_seq(&wpack, &bpack, dst, c_out, k, hw_out, epi);
-        } else {
-            gemm_prepacked(&wpack, &bpack, dst, c_out, k, hw_out, epi);
-        }
         dlsr_trace::record_wall_span(
-            || format!("conv gemm {c_out}x{k}x{hw_out}"),
+            || format!("conv gemm {c_out}x{k}x{hw_out} {variant} kc{}", bp.kc),
             dlsr_trace::cat::GEMM,
             rank,
-            t1,
+            t0,
             dlsr_trace::now_wall_s(),
         );
     };
@@ -315,9 +328,16 @@ pub fn conv2d_backward(
 
     let mut grad_input = Tensor::zeros([n, c_in, h, w]);
 
+    // Weight gradient per image: grad_out (C_out×HW) · colᵀ (HW×K),
+    // with colᵀ read through the transposed virtual im2col view.
+    let bp_w = tune::select(c_out, hw_out, k);
+    // Input gradient per image: Wᵀ (K×C_out) · grad_out (C_out×HW) — the
+    // output of this GEMM is the column matrix col2im scatters back.
+    let bp_i = tune::select(k, c_out, hw_out);
+    let variant = bp_w.kernel.executes_as().as_str();
+
     // Pack Wᵀ (K×C_out) once for the input-gradient GEMMs.
-    let mut wt_pack = scratch::take(packed_a_len(k, c_out));
-    pack_a_transposed(weight.data(), k, c_out, &mut wt_pack);
+    let wt_pack = PackedA::pack(&bp_i, weight.data(), k, c_out, true);
 
     // Disjoint per-image accumulators for the cross-batch reductions.
     let mut gw_all = scratch::take(n * c_out * k);
@@ -329,53 +349,53 @@ pub fn conv2d_backward(
         let t0 = dlsr_trace::now_wall_s();
         let img = &input.data()[i * chw_in..(i + 1) * chw_in];
         let go = &grad_out.data()[i * c_out * hw_out..(i + 1) * c_out * hw_out];
+        let view = Im2colView::new(img, (c_in, h, w), (kh, kw), p.stride, p.padding);
 
         // bias gradient: per-channel sums of grad_out
         for (co, chunk) in go.chunks_exact(hw_out).enumerate() {
             gb_i[co] = chunk.iter().sum::<f32>();
         }
 
-        // weight gradient: grad_out (C_out×HW) · colᵀ (HW×K)
-        let mut col = scratch::take(k * hw_out);
-        im2col(img, (c_in, h, w), (kh, kw), p, &mut col);
-        let mut go_apack = scratch::take(packed_a_len(c_out, hw_out));
-        pack_a(go, c_out, hw_out, &mut go_apack);
-        let mut colt_pack = scratch::take(packed_b_len(hw_out, k));
-        pack_b_transposed(&col, hw_out, k, &mut colt_pack);
-        let gemm: GemmFn = if batch_par {
-            gemm_prepacked_seq
-        } else {
-            gemm_prepacked
-        };
-        gemm(
-            &go_apack,
-            &colt_pack,
+        // weight gradient: implicit GEMM against the transposed view
+        let go_pack = PackedA::pack(&bp_w, go, c_out, hw_out, false);
+        go_pack.gemm(
+            &bp_w,
+            BSrc::Im2colT(view),
             gw_i,
             c_out,
             hw_out,
             k,
             Epilogue::None,
+            batch_par,
         );
 
-        // input gradient: Wᵀ (K×C_out) · grad_out (C_out×HW), then col2im.
-        // `col` has served its purpose; reuse it as the gradient matrix.
-        let mut go_bpack = scratch::take(packed_b_len(c_out, hw_out));
-        pack_b(go, c_out, hw_out, &mut go_bpack);
-        gemm(
-            &wt_pack,
-            &go_bpack,
+        // input gradient: Wᵀ·grad_out produces the column matrix...
+        let mut col = scratch::take(k * hw_out);
+        wt_pack.gemm(
+            &bp_i,
+            BSrc::Rows(go),
             &mut col,
             k,
             c_out,
             hw_out,
             Epilogue::None,
+            batch_par,
         );
-        col2im(&col, (c_in, h, w), (kh, kw), p, gi);
+        let t1 = dlsr_trace::now_wall_s();
         dlsr_trace::record_wall_span(
-            || format!("conv bwd gemm {c_out}x{hw_out}x{k}"),
+            || format!("conv bwd gemm {c_out}x{hw_out}x{k} {variant} kc{}", bp_w.kc),
             dlsr_trace::cat::GEMM,
             rank,
             t0,
+            t1,
+        );
+        // ...which col2im scatters back onto the image.
+        col2im(&col, (c_in, h, w), (kh, kw), p, gi);
+        dlsr_trace::record_wall_span(
+            || format!("col2im {c_in}x{h}x{w} k{kh}x{kw}"),
+            dlsr_trace::cat::IM2COL,
+            rank,
+            t1,
             dlsr_trace::now_wall_s(),
         );
     };
@@ -521,9 +541,11 @@ mod tests {
         assert!(y.allclose(&x, 1e-6));
     }
 
+    /// Stride/padding grid against the direct-loop oracle — exercises the
+    /// virtual im2col packer across every boundary-condition family.
     #[test]
     fn matches_reference_with_padding_and_stride() {
-        for &(stride, padding) in &[(1, 0), (1, 1), (2, 1), (2, 0)] {
+        for &(stride, padding) in &[(1, 0), (1, 1), (1, 2), (2, 1), (2, 0), (2, 2), (3, 1)] {
             let p = Conv2dParams { stride, padding };
             let x = rand_tensor(&[2, 3, 7, 6], 42);
             let w = rand_tensor(&[4, 3, 3, 3], 43);
@@ -536,6 +558,20 @@ mod tests {
                 fast.max_abs_diff(&slow)
             );
         }
+    }
+
+    /// Non-square kernels through the virtual-im2col path.
+    #[test]
+    fn non_square_kernel_matches_reference() {
+        let p = Conv2dParams {
+            stride: 1,
+            padding: 1,
+        };
+        let x = rand_tensor(&[1, 2, 6, 8], 61);
+        let w = rand_tensor(&[3, 2, 1, 3], 62);
+        let fast = conv2d(&x, &w, None, p).unwrap();
+        let slow = conv2d_reference(&x, &w, None, p).unwrap();
+        assert!(fast.allclose(&slow, 1e-4), "{}", fast.max_abs_diff(&slow));
     }
 
     #[test]
@@ -638,7 +674,7 @@ mod tests {
 
     #[test]
     fn backward_matches_direct_reference() {
-        for &(stride, padding) in &[(1, 1), (2, 0)] {
+        for &(stride, padding) in &[(1, 1), (2, 0), (2, 2), (3, 1)] {
             let p = Conv2dParams { stride, padding };
             let x = rand_tensor(&[2, 3, 6, 5], 31);
             let w = rand_tensor(&[4, 3, 3, 3], 32);
@@ -711,5 +747,22 @@ mod tests {
         }
         assert_eq!(gw.data(), &gw_sum[..]);
         assert_eq!(&gb[..], &gb_sum[..]);
+    }
+
+    /// With bf16 storage active, forward/backward still track the f32
+    /// oracle within bf16 precision (no bitwise claim).
+    #[cfg(feature = "bf16")]
+    #[test]
+    fn bf16_conv_tracks_reference() {
+        tune::set_bf16(true);
+        let p = Conv2dParams::same(3);
+        let x = rand_tensor(&[2, 3, 6, 6], 71);
+        let w = rand_tensor(&[4, 3, 3, 3], 72);
+        let b = vec![0.1, -0.2, 0.3, 0.0];
+        let fast = conv2d(&x, &w, Some(&b), p);
+        tune::set_bf16(false);
+        let fast = fast.unwrap();
+        let slow = conv2d_reference(&x, &w, Some(&b), p).unwrap();
+        assert!(fast.allclose(&slow, 0.15), "{}", fast.max_abs_diff(&slow));
     }
 }

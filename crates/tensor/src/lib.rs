@@ -13,22 +13,24 @@
 //!   disjoint output regions so results do not depend on thread count.
 //!   This matters for the distributed-equivalence tests in the workspace
 //!   (single-rank training must match data-parallel training).
-//! - There is no `unsafe` in this crate (audited; `#![deny(unsafe_code)]`
-//!   below keeps it that way, and dlsr-lint's `undocumented-unsafe` rule
-//!   plus `clippy::undocumented_unsafe_blocks` gate any future exception
-//!   behind a `// SAFETY:` comment).
+//! - `unsafe` is confined to the SIMD microkernels in [`kernels`]
+//!   (`#![deny(unsafe_code)]` below, with a module-level
+//!   `#[allow(unsafe_code)]` escape there; every block carries a
+//!   `// SAFETY:` comment, enforced by dlsr-lint's `undocumented-unsafe`
+//!   rule plus `clippy::undocumented_unsafe_blocks`).
 
-// `deny` rather than `forbid`: the one sanctioned escape hatch for a
-// future SIMD microkernel, which would carry a module-level
+// `deny` rather than `forbid`: the one sanctioned escape hatch is the
+// SIMD microkernel module `kernels`, which carries a module-level
 // `#[allow(unsafe_code)]` plus per-block `// SAFETY:` comments
 // (enforced by dlsr-lint and clippy::undocumented_unsafe_blocks).
-// Today the crate contains zero unsafe blocks.
+// Every other module in the crate contains zero unsafe blocks.
 #![deny(unsafe_code)]
 
 pub mod conv;
 pub mod elementwise;
 pub mod init;
 pub mod io;
+pub mod kernels;
 pub mod matmul;
 pub mod pool;
 pub mod reduce;
@@ -37,6 +39,7 @@ pub mod scratch;
 pub mod shape;
 pub mod shuffle;
 pub mod tensor;
+pub mod tune;
 
 pub use shape::Shape;
 pub use tensor::Tensor;

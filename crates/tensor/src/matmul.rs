@@ -1,55 +1,53 @@
-//! Dense GEMM used by the im2col convolution path and fully-connected layers.
+//! Dense GEMM: blueprint-driven drivers over the SIMD microkernels.
 //!
-//! # Kernel structure
+//! # Pipeline
 //!
-//! The engine is a packed, register-blocked GEMM in the BLIS style:
-//! operands are first repacked into panel layouts ([`pack_a`]/[`pack_b`] and
-//! their transposed variants), then [`gemm_prepacked`] drives an
-//! `MR×NR = 4×16` microkernel that keeps a full accumulator tile in SIMD
-//! registers. Loops are cache-blocked: `KC`-deep slices of the packed panels
-//! keep the working set of one microkernel pass inside L1, and `NC`-wide
-//! column blocks keep the B panels of one middle-loop pass inside L2.
-//! Packing also zero-pads edge panels, so the microkernel runs without
-//! bounds checks or remainder branches.
+//! The engine is a packed, register-blocked GEMM in the BLIS style, split
+//! across three modules:
+//! - [`crate::kernels`] — the `MR×NR` register-tile microkernels (AVX2/FMA,
+//!   AVX-512F, scalar fallback) behind one-time runtime dispatch;
+//! - [`crate::tune`] — the shape-keyed selector that resolves every
+//!   `(m, k, n)` to a [`Blueprint`] (kernel variant, `MR/NR/KC/NC`
+//!   blocking, rayon split), seeded for the EDSR shapes and persistable to
+//!   a tune-cache file;
+//! - this module — operand packing and the blocked drivers.
 //!
-//! The split between packing and driving is public because callers with an
-//! operand that is constant across many multiplies (the convolution weight
-//! matrix across a batch) pack it once and amortize the cost.
+//! A is packed whole ([`pack_a`]): `KC`-deep blocks of `MR`-row panels,
+//! edge panels zero-padded so the microkernel never branches. B is packed
+//! **on the fly in `KC×NC` staged blocks** with ordered double buffering:
+//! while the microkernels consume the current staged block, the next `KC`
+//! panel is packed into the other half of the staging buffer
+//! (`rayon::join`). B is described by a [`BSrc`], which the packing
+//! routines read through directly — including the *virtual im2col views*
+//! ([`BSrc::Im2col`]/[`BSrc::Im2colT`]) that let convolution run as
+//! implicit GEMM without ever materializing a column matrix.
 //!
 //! # Determinism contract
 //!
-//! Every kernel in this module computes each output element by accumulating
-//! products in a **fixed ascending k order** (`kb` blocks ascending, `p`
-//! ascending within a block), and parallel execution partitions only the
-//! output space (disjoint row panels of `C`). Consequently results are
-//! **bitwise identical** for any thread count, including
-//! `RAYON_NUM_THREADS=1`; see `row_partition_is_bitwise_deterministic` in
-//! the tests for the invariant exercised directly.
+//! Each output element is an ascending-`k` chain of fused multiply-adds
+//! (one FMA per product, inside the microkernel), with one plain partial-sum
+//! add into `C` per `KC` block boundary. Therefore:
+//! - **`kc` is the only blueprint field that can change result bits.** The
+//!   selector derives it from the shape alone.
+//! - Kernel variant (scalar/AVX2/AVX-512), tile geometry, `nc`, and the
+//!   parallel split only partition the output space — results are bitwise
+//!   identical across all of them, and across any thread count.
+//!
+//! `all_variants_bitwise_equal` and `row_partition_is_bitwise_deterministic`
+//! in the tests pin both halves of the contract; `docs/KERNELS.md` states it
+//! end to end (tune cache included).
 
 use dlsr_attr as dlsr;
 use rayon::prelude::*;
 
+use crate::kernels::{self, KernelId, MAX_NR};
 use crate::scratch;
+use crate::tune::{self, Blueprint, ParHint};
 use crate::{Result, Tensor, TensorError};
 
-/// Microkernel rows: C register-tile height.
-pub const MR: usize = 4;
-/// Microkernel columns: C register-tile width (two AVX2 lanes of f32).
-pub const NR: usize = 16;
-/// K-blocking depth: one `MR×KC` A panel (4 KiB) plus one `KC×NR` B panel
-/// (16 KiB) fit in a 32 KiB L1d.
-const KC: usize = 256;
-/// N-blocking width: one `KC×NC` packed B block (256 KiB) stays L2-resident
-/// across the row panels of the middle loop. Must be a multiple of `NR`.
-const NC: usize = 256;
-
-/// Minimum `2·m·k·n` FLOP count before a GEMM fans out to rayon; below
-/// this, thread dispatch costs more than the multiply.
-const PAR_FLOP_THRESHOLD: usize = 1 << 21;
-
-/// What [`gemm_prepacked`] does to each output element after the dot
-/// product is complete. Fusing this into the GEMM store phase saves a full
-/// second pass over `C` (the convolution bias/activation pass).
+/// What the GEMM does to each output element after the dot product is
+/// complete. Fusing this into the store phase saves a full second pass over
+/// `C` (the convolution bias/activation pass).
 ///
 /// `bias` is indexed by **output row** — for the convolution forward GEMM,
 /// rows are output channels.
@@ -65,101 +63,189 @@ pub enum Epilogue<'a> {
     BiasRelu(&'a [f32]),
 }
 
-/// `C = A(m×k) · B(k×n)`.
-pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (m, k) = a.shape().as_2d()?;
-    let (k2, n) = b.shape().as_2d()?;
-    if k != k2 {
-        return Err(TensorError::ShapeMismatch {
-            expected: vec![k],
-            got: vec![k2],
-            context: "matmul (inner dimensions)",
-        });
+/// Packed-panel element type: `f32`, or bf16 bits behind the `bf16`
+/// feature. Accumulation is always `f32`; only panel storage changes.
+pub(crate) trait Elem: Copy + Send + Sync + 'static {
+    /// Pooled scratch buffer type for this element.
+    type Buf: std::ops::Deref<Target = [Self]> + std::ops::DerefMut<Target = [Self]> + Send;
+
+    fn take_scratch(len: usize) -> Self::Buf;
+    fn pack(x: f32) -> Self;
+    /// One microkernel tile: `acc = Apanel · Bpanel` (see [`kernels`]).
+    fn tile(
+        kernel: KernelId,
+        apan: &[Self],
+        bpan: &[Self],
+        kc: usize,
+        mr: usize,
+        nr: usize,
+        acc: &mut [f32],
+    );
+}
+
+impl Elem for f32 {
+    type Buf = scratch::ScratchBuf;
+
+    fn take_scratch(len: usize) -> scratch::ScratchBuf {
+        scratch::take(len)
     }
-    let mut out = Tensor::zeros([m, n]);
-    matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
-    Ok(out)
+
+    fn pack(x: f32) -> f32 {
+        x
+    }
+
+    #[inline]
+    fn tile(
+        kernel: KernelId,
+        apan: &[f32],
+        bpan: &[f32],
+        kc: usize,
+        mr: usize,
+        nr: usize,
+        acc: &mut [f32],
+    ) {
+        kernels::run_tile(kernel, apan, bpan, kc, mr, nr, acc);
+    }
 }
 
-/// GEMM on raw slices: `c[m×n] = a[m×k] · b[k×n]`. `c` is overwritten.
-///
-/// Exposed so the convolution kernels can reuse scratch buffers without
-/// constructing intermediate `Tensor`s. Packs both operands into pooled
-/// scratch, then runs the blocked microkernel driver.
-pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(a.len(), m * k);
-    assert_eq!(b.len(), k * n);
-    assert_eq!(c.len(), m * n);
-    let _span = dlsr_trace::span_with(|| format!("gemm {m}x{k}x{n}"), dlsr_trace::cat::GEMM);
-    let mut apack = scratch::take(packed_a_len(m, k));
-    let mut bpack = scratch::take(packed_b_len(k, n));
-    pack_a(a, m, k, &mut apack);
-    pack_b(b, k, n, &mut bpack);
-    gemm_prepacked(&apack, &bpack, c, m, k, n, Epilogue::None);
+#[cfg(feature = "bf16")]
+impl Elem for u16 {
+    type Buf = scratch::ScratchBufU16;
+
+    fn take_scratch(len: usize) -> scratch::ScratchBufU16 {
+        scratch::take_u16(len)
+    }
+
+    fn pack(x: f32) -> u16 {
+        kernels::f32_to_bf16(x)
+    }
+
+    #[inline]
+    fn tile(
+        kernel: KernelId,
+        apan: &[u16],
+        bpan: &[u16],
+        kc: usize,
+        mr: usize,
+        nr: usize,
+        acc: &mut [f32],
+    ) {
+        kernels::run_tile_bf16(kernel, apan, bpan, kc, mr, nr, acc);
+    }
 }
 
-/// `C = Aᵀ(k×m)ᵀ · B(k×n)` i.e. `C(m×n) = Σ_p a[p,i]·b[p,j]`, without
-/// materializing the transpose. Used by conv weight gradients.
-pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usize) {
-    assert_eq!(a.len(), k * m);
-    assert_eq!(b.len(), k * n);
-    assert_eq!(c.len(), m * n);
-    let mut apack = scratch::take(packed_a_len(m, k));
-    let mut bpack = scratch::take(packed_b_len(k, n));
-    pack_a_transposed(a, m, k, &mut apack);
-    pack_b(b, k, n, &mut bpack);
-    gemm_prepacked(&apack, &bpack, c, m, k, n, Epilogue::None);
+/// A virtual im2col matrix over one NCHW image: element `(row, col)` of the
+/// `[C_in·K_h·K_w, H_out·W_out]` column matrix, computed on the fly by the
+/// packing routines. This is what makes the conv path *implicit* GEMM — no
+/// column buffer is ever materialized.
+#[derive(Debug, Clone, Copy)]
+pub struct Im2colView<'a> {
+    img: &'a [f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    padding: usize,
+    h_out: usize,
+    w_out: usize,
 }
 
-/// `C = A(m×k) · Bᵀ(n×k)ᵀ` i.e. `C(m×n) = Σ_p a[i,p]·b[j,p]`, without
-/// materializing the transpose. Used by conv input gradients.
-pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(a.len(), m * k);
-    assert_eq!(b.len(), n * k);
-    assert_eq!(c.len(), m * n);
-    let mut apack = scratch::take(packed_a_len(m, k));
-    let mut bpack = scratch::take(packed_b_len(k, n));
-    pack_a(a, m, k, &mut apack);
-    pack_b_transposed(b, k, n, &mut bpack);
-    gemm_prepacked(&apack, &bpack, c, m, k, n, Epilogue::None);
+impl<'a> Im2colView<'a> {
+    /// View over one image plane-major `[C_in, H, W]` slice.
+    pub fn new(
+        img: &'a [f32],
+        (c_in, h, w): (usize, usize, usize),
+        (kh, kw): (usize, usize),
+        stride: usize,
+        padding: usize,
+    ) -> Im2colView<'a> {
+        debug_assert_eq!(img.len(), c_in * h * w);
+        let h_out = (h + 2 * padding).saturating_sub(kh) / stride + 1;
+        let w_out = (w + 2 * padding).saturating_sub(kw) / stride + 1;
+        Im2colView {
+            img,
+            c_in,
+            h,
+            w,
+            kh,
+            kw,
+            stride,
+            padding,
+            h_out,
+            w_out,
+        }
+    }
+
+    /// Rows of the column matrix: `C_in·K_h·K_w`.
+    pub fn rows(&self) -> usize {
+        self.c_in * self.kh * self.kw
+    }
+
+    /// Columns of the column matrix: `H_out·W_out`.
+    pub fn cols(&self) -> usize {
+        self.h_out * self.w_out
+    }
 }
 
-/// Length of the packed-A buffer for an `m×k` left operand.
-pub fn packed_a_len(m: usize, k: usize) -> usize {
-    k * m.div_ceil(MR) * MR
+/// Where the right-hand operand's panels come from. The packing routines
+/// read each source directly, so transposes and im2col layouts are
+/// *virtualized* — nothing is materialized before packing.
+#[derive(Debug, Clone, Copy)]
+pub enum BSrc<'a> {
+    /// `B` row-major `[k, n]`.
+    Rows(&'a [f32]),
+    /// `Bᵀ` row-major `[n, k]` (i.e. `B[p, j] = b[j·k + p]`).
+    Cols(&'a [f32]),
+    /// The im2col matrix of an image: `B[p, j] = col[p, j]`.
+    Im2col(Im2colView<'a>),
+    /// The transposed im2col matrix: `B[p, j] = col[j, p]`.
+    Im2colT(Im2colView<'a>),
 }
 
-/// Length of the packed-B buffer for a `k×n` right operand.
-pub fn packed_b_len(k: usize, n: usize) -> usize {
-    k * n.div_ceil(NR) * NR
+/// Length of the packed-A buffer for an `m×k` left operand under `bp`.
+pub fn packed_a_len(bp: &Blueprint, m: usize, k: usize) -> usize {
+    k * m.div_ceil(bp.mr) * bp.mr
 }
 
-/// Pack row-major `a[m×k]` into MR-row panels (see module docs). Rows past
-/// `m` in the final panel are zero-filled.
-pub fn pack_a(a: &[f32], m: usize, k: usize, out: &mut [f32]) {
-    pack_a_impl(a, m, k, false, out);
+/// Pack row-major `a[m×k]` into `bp.mr`-row panels in `bp.kc`-deep blocks
+/// (layout `[kb][panel][p][i]`). Rows past `m` in the final panel are
+/// zero-filled so the microkernel runs without remainder branches.
+#[dlsr::hot]
+pub fn pack_a(bp: &Blueprint, a: &[f32], m: usize, k: usize, out: &mut [f32]) {
+    pack_a_impl::<f32>(bp, a, m, k, false, out);
 }
 
-/// Pack `a` holding `Aᵀ` row-major (`a[k×m]`, so `A[i,p] = a[p*m + i]`)
+/// Pack `a` holding `Aᵀ` row-major (`a[k×m]`, so `A[i,p] = a[p·m + i]`)
 /// into the same panel layout as [`pack_a`].
-pub fn pack_a_transposed(a: &[f32], m: usize, k: usize, out: &mut [f32]) {
-    pack_a_impl(a, m, k, true, out);
+#[dlsr::hot]
+pub fn pack_a_transposed(bp: &Blueprint, a: &[f32], m: usize, k: usize, out: &mut [f32]) {
+    pack_a_impl::<f32>(bp, a, m, k, true, out);
+}
+
+/// bf16 twin of [`pack_a`] / [`pack_a_transposed`].
+#[cfg(feature = "bf16")]
+#[dlsr::hot]
+pub fn pack_a_bf16(bp: &Blueprint, a: &[f32], m: usize, k: usize, trans: bool, out: &mut [u16]) {
+    pack_a_impl::<u16>(bp, a, m, k, trans, out);
 }
 
 #[dlsr::hot]
-fn pack_a_impl(a: &[f32], m: usize, k: usize, trans: bool, out: &mut [f32]) {
+fn pack_a_impl<E: Elem>(bp: &Blueprint, a: &[f32], m: usize, k: usize, trans: bool, out: &mut [E]) {
     assert_eq!(a.len(), m * k);
-    assert_eq!(out.len(), packed_a_len(m, k));
-    let mr_pad = m.div_ceil(MR) * MR;
-    for kb in (0..k).step_by(KC) {
-        let kc = KC.min(k - kb);
-        for ip in 0..mr_pad / MR {
-            let base = kb * mr_pad + ip * (MR * kc);
-            let dst = &mut out[base..base + MR * kc];
-            for (p, drow) in dst.chunks_exact_mut(MR).enumerate() {
+    assert_eq!(out.len(), packed_a_len(bp, m, k));
+    let mr = bp.mr;
+    let mr_pad = m.div_ceil(mr) * mr;
+    for kb in (0..k).step_by(bp.kc) {
+        let kc = bp.kc.min(k - kb);
+        for ip in 0..mr_pad / mr {
+            let base = kb * mr_pad + ip * (mr * kc);
+            let dst = &mut out[base..base + mr * kc];
+            for (p, drow) in dst.chunks_exact_mut(mr).enumerate() {
                 for (i, d) in drow.iter_mut().enumerate() {
-                    let row = ip * MR + i;
-                    *d = if row < m {
+                    let row = ip * mr + i;
+                    let v = if row < m {
                         let col = kb + p;
                         if trans {
                             a[col * m + row]
@@ -169,84 +255,272 @@ fn pack_a_impl(a: &[f32], m: usize, k: usize, trans: bool, out: &mut [f32]) {
                     } else {
                         0.0
                     };
+                    *d = E::pack(v);
                 }
             }
         }
     }
 }
 
-/// Pack row-major `b[k×n]` into NR-column panels (see module docs). Columns
-/// past `n` in the final panel are zero-filled.
-pub fn pack_b(b: &[f32], k: usize, n: usize, out: &mut [f32]) {
-    pack_b_impl(b, k, n, false, out);
-}
-
-/// Pack `b` holding `Bᵀ` row-major (`b[n×k]`, so `B[p,j] = b[j*k + p]`)
-/// into the same panel layout as [`pack_b`].
-pub fn pack_b_transposed(b: &[f32], k: usize, n: usize, out: &mut [f32]) {
-    pack_b_impl(b, k, n, true, out);
-}
-
+/// Pack one `kc × ncb` staged block of B (`kc` rows starting at `kb`,
+/// `ncb` columns starting at `jc`) into `nr`-column panels
+/// (`dst[jp][p][j]`, length `ncb·kc`). Columns past `n` are zero-filled.
+#[allow(clippy::too_many_arguments)]
 #[dlsr::hot]
-fn pack_b_impl(b: &[f32], k: usize, n: usize, trans: bool, out: &mut [f32]) {
-    assert_eq!(b.len(), k * n);
-    assert_eq!(out.len(), packed_b_len(k, n));
-    for jc in (0..n).step_by(NC) {
-        let ncb = NC.min(n - jc).div_ceil(NR) * NR;
-        let block = k * jc;
-        for kb in (0..k).step_by(KC) {
-            let kc = KC.min(k - kb);
-            for jp in 0..ncb / NR {
-                let base = block + kb * ncb + jp * (NR * kc);
-                let dst = &mut out[base..base + NR * kc];
-                for (p, drow) in dst.chunks_exact_mut(NR).enumerate() {
-                    for (j, d) in drow.iter_mut().enumerate() {
-                        let col = jc + jp * NR + j;
-                        *d = if col < n {
-                            let row = kb + p;
-                            if trans {
-                                b[col * k + row]
-                            } else {
-                                b[row * n + col]
-                            }
+fn pack_b_block<E: Elem>(
+    bp: &Blueprint,
+    src: BSrc<'_>,
+    k: usize,
+    n: usize,
+    jc: usize,
+    ncb: usize,
+    kb: usize,
+    kc: usize,
+    dst: &mut [E],
+) {
+    debug_assert!(kb + kc <= k);
+    debug_assert!(dst.len() >= ncb * kc);
+    match src {
+        BSrc::Rows(b) => pack_block_rows::<E>(bp.nr, b, n, jc, ncb, kb, kc, dst),
+        BSrc::Cols(b) => pack_block_cols::<E>(bp.nr, b, k, n, jc, ncb, kb, kc, dst),
+        BSrc::Im2col(v) => pack_block_im2col::<E>(bp.nr, &v, n, jc, ncb, kb, kc, dst),
+        BSrc::Im2colT(v) => pack_block_im2col_t::<E>(bp.nr, &v, n, jc, ncb, kb, kc, dst),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[dlsr::hot]
+fn pack_block_rows<E: Elem>(
+    nr: usize,
+    b: &[f32],
+    n: usize,
+    jc: usize,
+    ncb: usize,
+    kb: usize,
+    kc: usize,
+    dst: &mut [E],
+) {
+    for jp in 0..ncb / nr {
+        let j0 = jc + jp * nr;
+        let cols = nr.min(n.saturating_sub(j0));
+        let panel = &mut dst[jp * (nr * kc)..(jp + 1) * (nr * kc)];
+        for (p, drow) in panel.chunks_exact_mut(nr).enumerate() {
+            let src = &b[(kb + p) * n + j0..(kb + p) * n + j0 + cols];
+            // Branch-free split: a straight converting copy for the live
+            // columns, one fill for the zero-padded tail — both vectorize.
+            let (live, pad) = drow.split_at_mut(cols);
+            for (d, &s) in live.iter_mut().zip(src) {
+                *d = E::pack(s);
+            }
+            pad.fill(E::pack(0.0));
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[dlsr::hot]
+fn pack_block_cols<E: Elem>(
+    nr: usize,
+    b: &[f32],
+    k: usize,
+    n: usize,
+    jc: usize,
+    ncb: usize,
+    kb: usize,
+    kc: usize,
+    dst: &mut [E],
+) {
+    for jp in 0..ncb / nr {
+        let j0 = jc + jp * nr;
+        let cols = nr.min(n.saturating_sub(j0));
+        let panel = &mut dst[jp * (nr * kc)..(jp + 1) * (nr * kc)];
+        for (p, drow) in panel.chunks_exact_mut(nr).enumerate() {
+            let row = kb + p;
+            let (live, pad) = drow.split_at_mut(cols);
+            for (j, d) in live.iter_mut().enumerate() {
+                *d = E::pack(b[(j0 + j) * k + row]);
+            }
+            pad.fill(E::pack(0.0));
+        }
+    }
+}
+
+/// Pack a staged block straight out of the image: `B[p, j] = col[p, j]`
+/// where `p` decodes to a (channel, ky, kx) patch row and `j` to an output
+/// pixel. The per-panel spatial bases are hoisted to stack arrays, so the
+/// inner loop is an add, two bounds tests, and one image load — the im2col
+/// gather fused into packing.
+#[allow(clippy::too_many_arguments)]
+#[dlsr::hot]
+fn pack_block_im2col<E: Elem>(
+    nr: usize,
+    v: &Im2colView<'_>,
+    n: usize,
+    jc: usize,
+    ncb: usize,
+    kb: usize,
+    kc: usize,
+    dst: &mut [E],
+) {
+    let khw = v.kh * v.kw;
+    let (hs, ws) = (v.h as isize, v.w as isize);
+    for jp in 0..ncb / nr {
+        let j0 = jc + jp * nr;
+        let fast = v.stride == 1;
+        let mut iy0 = [0isize; MAX_NR];
+        let mut ix0 = [0isize; MAX_NR];
+        let mut live = [false; MAX_NR];
+        if !fast {
+            for j in 0..nr {
+                let col = j0 + j;
+                if col < n {
+                    let (oy, ox) = (col / v.w_out, col % v.w_out);
+                    iy0[j] = (oy * v.stride) as isize - v.padding as isize;
+                    ix0[j] = (ox * v.stride) as isize - v.padding as isize;
+                    live[j] = true;
+                }
+            }
+        }
+        let panel = &mut dst[jp * (nr * kc)..(jp + 1) * (nr * kc)];
+        let cols = nr.min(n.saturating_sub(j0));
+        for (p, drow) in panel.chunks_exact_mut(nr).enumerate() {
+            let row = kb + p;
+            let (c, rem) = (row / khw, row % khw);
+            let (ky, kx) = ((rem / v.kw) as isize, (rem % v.kw) as isize);
+            let plane = &v.img[c * v.h * v.w..(c + 1) * v.h * v.w];
+            if fast && cols > 0 {
+                // Stride-1 fast path: consecutive columns of this panel are
+                // consecutive output pixels, so for a fixed patch row the
+                // sources form contiguous image runs — one per output row
+                // the panel crosses. Each run is a converting copy with
+                // zero-filled out-of-image edges instead of a per-element
+                // bounds test.
+                let (fill, pad) = drow.split_at_mut(cols);
+                pad.fill(E::pack(0.0));
+                let mut j = 0usize;
+                while j < cols {
+                    let col = j0 + j;
+                    let (oy, ox) = (col / v.w_out, col % v.w_out);
+                    let seg = (cols - j).min(v.w_out - ox);
+                    let drun = &mut fill[j..j + seg];
+                    let iy = oy as isize + ky - v.padding as isize;
+                    if iy < 0 || iy >= hs {
+                        drun.fill(E::pack(0.0));
+                    } else {
+                        // source x for element t of the run: ox+t+kx-pad
+                        let x0 = ox as isize + kx - v.padding as isize;
+                        let lead = (-x0).clamp(0, seg as isize) as usize;
+                        let trail = (x0 + seg as isize - ws).clamp(0, seg as isize) as usize;
+                        if lead + trail >= seg {
+                            // run entirely off-image on the x axis
+                            drun.fill(E::pack(0.0));
                         } else {
-                            0.0
-                        };
+                            drun[..lead].fill(E::pack(0.0));
+                            drun[seg - trail..].fill(E::pack(0.0));
+                            let src0 = iy as usize * v.w + (x0 + lead as isize) as usize;
+                            let srun = &plane[src0..src0 + seg - lead - trail];
+                            for (d, &s) in drun[lead..seg - trail].iter_mut().zip(srun) {
+                                *d = E::pack(s);
+                            }
+                        }
                     }
+                    j += seg;
                 }
+                continue;
+            }
+            for (j, d) in drow.iter_mut().enumerate() {
+                let val = if live[j] {
+                    let (iy, ix) = (iy0[j] + ky, ix0[j] + kx);
+                    if iy >= 0 && iy < hs && ix >= 0 && ix < ws {
+                        plane[iy as usize * v.w + ix as usize]
+                    } else {
+                        0.0
+                    }
+                } else {
+                    0.0
+                };
+                *d = E::pack(val);
             }
         }
     }
 }
 
-/// The register microkernel: `acc += Apanel(kc×MR) · Bpanel(kc×NR)`.
-///
-/// `acc` is a full `MR×NR` f32 tile — 8 AVX2 registers — and both panels
-/// stream sequentially, so the loop compiles to broadcast + FMA with no
-/// bounds checks (the `chunks_exact` zip erases them).
-#[inline]
+/// Transposed twin of [`pack_block_im2col`]: `B[p, j] = col[j, p]` — rows
+/// are output pixels, columns are patch rows (the weight-gradient GEMM).
+#[allow(clippy::too_many_arguments)]
 #[dlsr::hot]
-fn microkernel(apan: &[f32], bpan: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for (arow, brow) in apan.chunks_exact(MR).zip(bpan.chunks_exact(NR)) {
-        let ar: &[f32; MR] = arow.try_into().expect("chunks_exact yields MR");
-        let br: &[f32; NR] = brow.try_into().expect("chunks_exact yields NR");
-        for i in 0..MR {
-            let av = ar[i];
-            let acc_i = &mut acc[i];
-            for j in 0..NR {
-                acc_i[j] += av * br[j];
+fn pack_block_im2col_t<E: Elem>(
+    nr: usize,
+    v: &Im2colView<'_>,
+    n: usize,
+    jc: usize,
+    ncb: usize,
+    kb: usize,
+    kc: usize,
+    dst: &mut [E],
+) {
+    let khw = v.kh * v.kw;
+    let (hs, ws) = (v.h as isize, v.w as isize);
+    for jp in 0..ncb / nr {
+        let j0 = jc + jp * nr;
+        let cols = nr.min(n.saturating_sub(j0));
+        // Per-column constants for this panel: linearized patch-row offset
+        // into the image (`soff = c·h·w + ky·w + kx`) plus the (ky, kx)
+        // displacements for the boundary test.
+        let mut soff = [0isize; MAX_NR];
+        let mut kya = [0isize; MAX_NR];
+        let mut kxa = [0isize; MAX_NR];
+        for j in 0..cols {
+            let (c, rem) = ((j0 + j) / khw, (j0 + j) % khw);
+            let (ky, kx) = (rem / v.kw, rem % v.kw);
+            soff[j] = (c * v.h * v.w + ky * v.w + kx) as isize;
+            kya[j] = ky as isize;
+            kxa[j] = kx as isize;
+        }
+        let panel = &mut dst[jp * (nr * kc)..(jp + 1) * (nr * kc)];
+        for (p, drow) in panel.chunks_exact_mut(nr).enumerate() {
+            let pix = kb + p;
+            let (oy, ox) = (pix / v.w_out, pix % v.w_out);
+            let iy0 = (oy * v.stride) as isize - v.padding as isize;
+            let ix0 = (ox * v.stride) as isize - v.padding as isize;
+            let base = iy0 * ws + ix0;
+            let (fill, pad) = drow.split_at_mut(cols);
+            pad.fill(E::pack(0.0));
+            // Interior fast path: when the whole receptive field sits
+            // inside the image, every column is a plain gather at
+            // `soff[j] + base` — no per-element bounds tests.
+            let interior = iy0 >= 0
+                && iy0 + (v.kh as isize - 1) < hs
+                && ix0 >= 0
+                && ix0 + (v.kw as isize - 1) < ws;
+            if interior {
+                for (j, d) in fill.iter_mut().enumerate() {
+                    *d = E::pack(v.img[(soff[j] + base) as usize]);
+                }
+            } else {
+                for (j, d) in fill.iter_mut().enumerate() {
+                    let (iy, ix) = (iy0 + kya[j], ix0 + kxa[j]);
+                    let val = if iy >= 0 && iy < hs && ix >= 0 && ix < ws {
+                        v.img[(soff[j] + base) as usize]
+                    } else {
+                        0.0
+                    };
+                    *d = E::pack(val);
+                }
             }
         }
     }
 }
 
 /// Write (or accumulate) a microkernel tile into `C`, applying the
-/// epilogue once the final k block has been summed.
+/// epilogue once the final k block has been summed. `acc` is row-major
+/// with stride `nr`.
 #[inline]
 #[allow(clippy::too_many_arguments)]
 #[dlsr::hot]
 fn store_tile(
-    acc: &[[f32; NR]; MR],
+    acc: &[f32],
+    nr: usize,
     crows: &mut [f32],
     n: usize,
     rows: usize,
@@ -255,9 +529,9 @@ fn store_tile(
     accumulate: bool,
     finalize: Option<(Epilogue<'_>, usize)>,
 ) {
-    for (i, acc_i) in acc.iter().enumerate().take(rows) {
+    for i in 0..rows {
         let dst = &mut crows[i * n + j0..i * n + j0 + cols];
-        let src = &acc_i[..cols];
+        let src = &acc[i * nr..i * nr + cols];
         if accumulate {
             for (d, &s) in dst.iter_mut().zip(src) {
                 *d += s;
@@ -284,106 +558,382 @@ fn store_tile(
     }
 }
 
-/// Blocked driver for one row-panel chunk of `C` (`chunk_idx`-th group of
-/// `MR` rows). Sequential; parallel callers hand disjoint chunks to it.
+/// Consume one staged `kc × ncb` B block: run the microkernel over every
+/// (row panel × column panel) tile it covers and store the partial sums.
+/// `c` holds the row range starting at global panel `row_panel0`.
 #[allow(clippy::too_many_arguments)]
 #[dlsr::hot]
-fn gemm_rows(
-    apack: &[f32],
-    bpack: &[f32],
-    crows: &mut [f32],
-    chunk_idx: usize,
+fn compute_block<E: Elem>(
+    kernel: KernelId,
+    bp: &Blueprint,
+    apack: &[E],
+    bblock: &[E],
+    c: &mut [f32],
+    row_panel0: usize,
+    m: usize,
+    n: usize,
+    jc: usize,
+    ncb: usize,
+    kb: usize,
+    kc: usize,
+    epi: Epilogue<'_>,
+    last_kb: bool,
+) {
+    let (mr, nr) = (bp.mr, bp.nr);
+    let mr_pad = m.div_ceil(mr) * mr;
+    let rows_total = c.len() / n;
+    let mut acc = [0.0f32; kernels::MAX_MR * MAX_NR];
+    for ipl in 0..rows_total.div_ceil(mr) {
+        let ip = row_panel0 + ipl;
+        let a_off = kb * mr_pad + ip * (mr * kc);
+        let apan = &apack[a_off..a_off + mr * kc];
+        let rows = mr.min(rows_total - ipl * mr);
+        let row0 = ip * mr;
+        let finalize = last_kb.then_some((epi, row0));
+        let crows = &mut c[ipl * mr * n..];
+        for jp in 0..ncb / nr {
+            let j0 = jc + jp * nr;
+            if j0 >= n {
+                break;
+            }
+            let cols = nr.min(n - j0);
+            let b_off = jp * (nr * kc);
+            E::tile(
+                kernel,
+                apan,
+                &bblock[b_off..b_off + nr * kc],
+                kc,
+                mr,
+                nr,
+                &mut acc,
+            );
+            store_tile(&acc, nr, crows, n, rows, j0, cols, kb != 0, finalize);
+        }
+    }
+}
+
+/// Sequential driver with ordered double-buffered packing: per `NC` column
+/// block, the staging buffer is split in two and ping-ponged — while the
+/// microkernels consume the current `KC` panel, `rayon::join` packs the
+/// next one into the other half. Packing is pure data movement, so the
+/// overlap cannot change bits.
+#[allow(clippy::too_many_arguments)]
+fn gemm_seq<E: Elem>(
+    bp: &Blueprint,
+    kernel: KernelId,
+    apack: &[E],
+    bsrc: BSrc<'_>,
+    c: &mut [f32],
     m: usize,
     k: usize,
     n: usize,
     epi: Epilogue<'_>,
 ) {
-    let rows = crows.len() / n;
-    let row0 = chunk_idx * MR;
+    let (nr, kc_full, nc) = (bp.nr, bp.kc, bp.nc);
+    let mut stage = E::take_scratch(2 * nc * kc_full);
+    let (mut cur, mut nxt) = stage.split_at_mut(nc * kc_full);
+    let kb_last = (k - 1) / kc_full * kc_full;
+    for jc in (0..n).step_by(nc) {
+        let ncb = nc.min(n - jc).div_ceil(nr) * nr;
+        pack_b_block::<E>(bp, bsrc, k, n, jc, ncb, 0, kc_full.min(k), cur);
+        let mut kb = 0;
+        while kb < k {
+            let kc = kc_full.min(k - kb);
+            let next_kb = kb + kc;
+            if next_kb < k {
+                let next_kc = kc_full.min(k - next_kb);
+                let curv: &[E] = cur;
+                let cref = &mut *c;
+                let nref = &mut *nxt;
+                rayon::join(
+                    || {
+                        compute_block::<E>(
+                            kernel,
+                            bp,
+                            apack,
+                            curv,
+                            cref,
+                            0,
+                            m,
+                            n,
+                            jc,
+                            ncb,
+                            kb,
+                            kc,
+                            epi,
+                            kb == kb_last,
+                        );
+                    },
+                    || {
+                        pack_b_block::<E>(bp, bsrc, k, n, jc, ncb, next_kb, next_kc, nref);
+                    },
+                );
+            } else {
+                compute_block::<E>(
+                    kernel,
+                    bp,
+                    apack,
+                    cur,
+                    c,
+                    0,
+                    m,
+                    n,
+                    jc,
+                    ncb,
+                    kb,
+                    kc,
+                    epi,
+                    kb == kb_last,
+                );
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+            kb = next_kb;
+        }
+    }
+}
+
+/// Packed length of a full B prepack under `bp` (the row-parallel path).
+fn packed_b_len_for(bp: &Blueprint, k: usize, n: usize) -> usize {
+    let full = n / bp.nc * bp.nc;
+    let cols = full + (n - full).div_ceil(bp.nr) * bp.nr;
+    k * cols
+}
+
+/// Row-parallel driver: prepack all of B once (parallel over column
+/// blocks), then fan the row panels of `C` out across rayon. Per output
+/// element the k-order is identical to [`gemm_seq`], so the two drivers
+/// are bitwise interchangeable.
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows_par<E: Elem>(
+    bp: &Blueprint,
+    kernel: KernelId,
+    apack: &[E],
+    bsrc: BSrc<'_>,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    epi: Epilogue<'_>,
+) {
+    let (mr, nr, kc_full, nc) = (bp.mr, bp.nr, bp.kc, bp.nc);
+    let mut bfull = E::take_scratch(packed_b_len_for(bp, k, n));
+    // Carve one disjoint slice per column block so packing can fan out.
+    let mut blocks: Vec<(usize, usize, &mut [E])> = Vec::new();
+    let mut rest: &mut [E] = &mut bfull;
+    for jc in (0..n).step_by(nc) {
+        let ncb = nc.min(n - jc).div_ceil(nr) * nr;
+        let (head, tail) = rest.split_at_mut(k * ncb);
+        blocks.push((jc, ncb, head));
+        rest = tail;
+    }
+    blocks.par_iter_mut().for_each(|(jc, ncb, dst)| {
+        let mut off = 0;
+        for kb in (0..k).step_by(kc_full) {
+            let kc = kc_full.min(k - kb);
+            pack_b_block::<E>(bp, bsrc, k, n, *jc, *ncb, kb, kc, &mut dst[off..]);
+            off += *ncb * kc;
+        }
+    });
+    let kb_last = (k - 1) / kc_full * kc_full;
+    let blocks = &blocks;
+    c.par_chunks_mut(mr * n).enumerate().for_each(|(ip, rows)| {
+        for (jc, ncb, bblk) in blocks.iter() {
+            let mut off = 0;
+            for kb in (0..k).step_by(kc_full) {
+                let kc = kc_full.min(k - kb);
+                compute_block::<E>(
+                    kernel,
+                    bp,
+                    apack,
+                    &bblk[off..off + ncb * kc],
+                    rows,
+                    ip,
+                    m,
+                    n,
+                    *jc,
+                    *ncb,
+                    kb,
+                    kc,
+                    epi,
+                    kb == kb_last,
+                );
+                off += ncb * kc;
+            }
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_generic<E: Elem>(
+    bp: &Blueprint,
+    apack: &[E],
+    bsrc: BSrc<'_>,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    epi: Epilogue<'_>,
+    force_seq: bool,
+) {
+    assert_eq!(c.len(), m * n);
+    assert_eq!(apack.len(), packed_a_len(bp, m, k));
+    match bsrc {
+        BSrc::Rows(b) => assert_eq!(b.len(), k * n),
+        BSrc::Cols(b) => assert_eq!(b.len(), n * k),
+        BSrc::Im2col(v) => debug_assert_eq!((v.rows(), v.cols()), (k, n)),
+        BSrc::Im2colT(v) => debug_assert_eq!((v.cols(), v.rows()), (k, n)),
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
     if k == 0 {
         // Empty dot products: C is the epilogue applied to zero.
-        for (i, row) in crows.chunks_exact_mut(n).enumerate() {
+        for (i, row) in c.chunks_exact_mut(n).enumerate() {
             match epi {
                 Epilogue::None | Epilogue::Relu => row.fill(0.0),
-                Epilogue::Bias(bias) => row.fill(bias[row0 + i]),
-                Epilogue::BiasRelu(bias) => row.fill(bias[row0 + i].max(0.0)),
+                Epilogue::Bias(bias) => row.fill(bias[i]),
+                Epilogue::BiasRelu(bias) => row.fill(bias[i].max(0.0)),
             }
         }
         return;
     }
-    let mr_pad = m.div_ceil(MR) * MR;
-    let kb_last = (k - 1) / KC * KC;
-    for jc in (0..n).step_by(NC) {
-        let ncb = NC.min(n - jc).div_ceil(NR) * NR;
-        let block = k * jc;
-        for kb in (0..k).step_by(KC) {
-            let kc = KC.min(k - kb);
-            let a_off = kb * mr_pad + chunk_idx * (MR * kc);
-            let apan = &apack[a_off..a_off + MR * kc];
-            let finalize = (kb == kb_last).then_some((epi, row0));
-            for jp in 0..ncb / NR {
-                let j0 = jc + jp * NR;
-                let cols = NR.min(n - j0);
-                let b_off = block + kb * ncb + jp * (NR * kc);
-                let mut acc = [[0.0f32; NR]; MR];
-                microkernel(apan, &bpack[b_off..b_off + NR * kc], &mut acc);
-                store_tile(&acc, crows, n, rows, j0, cols, kb != 0, finalize);
-            }
-        }
-    }
-}
-
-/// Multiply pre-packed operands: `c[m×n] = unpack(apack) · unpack(bpack)`,
-/// then apply `epi`. `c` is overwritten.
-///
-/// Parallelizes over disjoint `MR`-row panels of `C` when the problem is
-/// large enough; see the module-level determinism contract.
-pub fn gemm_prepacked(
-    apack: &[f32],
-    bpack: &[f32],
-    c: &mut [f32],
-    m: usize,
-    k: usize,
-    n: usize,
-    epi: Epilogue<'_>,
-) {
-    assert_eq!(apack.len(), packed_a_len(m, k));
-    assert_eq!(bpack.len(), packed_b_len(k, n));
-    assert_eq!(c.len(), m * n);
-    if n == 0 {
-        return;
-    }
-    if 2 * m * k * n >= PAR_FLOP_THRESHOLD && rayon::current_num_threads() > 1 {
-        c.par_chunks_mut(MR * n).enumerate().for_each(|(ip, rows)| {
-            gemm_rows(apack, bpack, rows, ip, m, k, n, epi);
-        });
+    let kernel = bp.kernel.executes_as();
+    let tiles = m.div_ceil(bp.mr) * n.div_ceil(bp.nr) * k.div_ceil(bp.kc);
+    dlsr_trace::counter_add(kernel.counter_key(), tiles as f64);
+    if !force_seq && bp.par == ParHint::Rows && rayon::current_num_threads() > 1 {
+        gemm_rows_par::<E>(bp, kernel, apack, bsrc, c, m, k, n, epi);
     } else {
-        gemm_prepacked_seq(apack, bpack, c, m, k, n, epi);
+        gemm_seq::<E>(bp, kernel, apack, bsrc, c, m, k, n, epi);
     }
 }
 
-/// Single-threaded [`gemm_prepacked`]. For callers that already hold a
-/// rayon worker — the batch loop in `conv` parallelizes over images and
-/// must not fan out again per image.
-#[dlsr::hot]
-pub fn gemm_prepacked_seq(
+/// Multiply a prepacked A against any B source: `c[m×n] = A·B`, then apply
+/// `epi`. `c` is overwritten.
+///
+/// `force_seq` pins the sequential driver — callers already inside a
+/// batch-parallel region must not fan out again. Either way the result is
+/// bitwise identical (see module docs).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    bp: &Blueprint,
     apack: &[f32],
-    bpack: &[f32],
+    bsrc: BSrc<'_>,
     c: &mut [f32],
     m: usize,
     k: usize,
     n: usize,
     epi: Epilogue<'_>,
+    force_seq: bool,
 ) {
-    assert_eq!(apack.len(), packed_a_len(m, k));
-    assert_eq!(bpack.len(), packed_b_len(k, n));
+    gemm_generic::<f32>(bp, apack, bsrc, c, m, k, n, epi, force_seq);
+}
+
+/// bf16-storage twin of [`gemm`]: packed panels hold bf16, accumulation is
+/// f32. Not bitwise-comparable to the f32 path — the convergence test is
+/// the contract.
+#[cfg(feature = "bf16")]
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_bf16(
+    bp: &Blueprint,
+    apack: &[u16],
+    bsrc: BSrc<'_>,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    epi: Epilogue<'_>,
+    force_seq: bool,
+) {
+    gemm_generic::<u16>(bp, apack, bsrc, c, m, k, n, epi, force_seq);
+}
+
+/// `C = A(m×k) · B(k×n)`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_2d()?;
+    let (k2, n) = b.shape().as_2d()?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![k],
+            got: vec![k2],
+            context: "matmul (inner dimensions)",
+        });
+    }
+    let mut out = Tensor::zeros([m, n]);
+    matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    Ok(out)
+}
+
+/// GEMM on raw slices: `c[m×n] = a[m×k] · b[k×n]`. `c` is overwritten.
+///
+/// Exposed so layers can reuse scratch buffers without constructing
+/// intermediate `Tensor`s. Resolves the blueprint for the shape, packs A
+/// into pooled scratch, and drives the staged-B engine.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
     assert_eq!(c.len(), m * n);
-    if n == 0 {
-        return;
-    }
-    for (ip, rows) in c.chunks_mut(MR * n).enumerate() {
-        gemm_rows(apack, bpack, rows, ip, m, k, n, epi);
-    }
+    let bp = tune::select(m, k, n);
+    let _span = dlsr_trace::span_with(
+        || format!("gemm {m}x{k}x{n} {}", bp.kernel.executes_as().as_str()),
+        dlsr_trace::cat::GEMM,
+    );
+    let mut apack = scratch::take(packed_a_len(&bp, m, k));
+    pack_a(&bp, a, m, k, &mut apack);
+    gemm(
+        &bp,
+        &apack,
+        BSrc::Rows(b),
+        c,
+        m,
+        k,
+        n,
+        Epilogue::None,
+        false,
+    );
+}
+
+/// `C = Aᵀ(k×m)ᵀ · B(k×n)` i.e. `C(m×n) = Σ_p a[p,i]·b[p,j]`, without
+/// materializing the transpose. Used by linear-layer weight gradients.
+pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usize) {
+    assert_eq!(a.len(), k * m);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    let bp = tune::select(m, k, n);
+    let mut apack = scratch::take(packed_a_len(&bp, m, k));
+    pack_a_transposed(&bp, a, m, k, &mut apack);
+    gemm(
+        &bp,
+        &apack,
+        BSrc::Rows(b),
+        c,
+        m,
+        k,
+        n,
+        Epilogue::None,
+        false,
+    );
+}
+
+/// `C = A(m×k) · Bᵀ(n×k)ᵀ` i.e. `C(m×n) = Σ_p a[i,p]·b[j,p]`, without
+/// materializing the transpose. Used by linear-layer input gradients.
+pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(c.len(), m * n);
+    let bp = tune::select(m, k, n);
+    let mut apack = scratch::take(packed_a_len(&bp, m, k));
+    pack_a(&bp, a, m, k, &mut apack);
+    gemm(
+        &bp,
+        &apack,
+        BSrc::Cols(b),
+        c,
+        m,
+        k,
+        n,
+        Epilogue::None,
+        false,
+    );
 }
 
 /// Transpose a 2-D tensor.
@@ -405,6 +955,7 @@ pub fn transpose(a: &Tensor) -> Result<Tensor> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::ALL_KERNELS;
 
     fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
         let mut c = vec![0.0; m * n];
@@ -420,6 +971,36 @@ mod tests {
 
     fn seq(len: usize, step: f32) -> Vec<f32> {
         (0..len).map(|i| (i as f32 * step).sin()).collect()
+    }
+
+    /// Run a GEMM under an explicit blueprint (bypassing the tune table).
+    fn run_with(bp: &Blueprint, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut apack = vec![0.0; packed_a_len(bp, m, k)];
+        pack_a(bp, a, m, k, &mut apack);
+        let mut c = vec![0.0; m * n];
+        gemm(
+            bp,
+            &apack,
+            BSrc::Rows(b),
+            &mut c,
+            m,
+            k,
+            n,
+            Epilogue::None,
+            false,
+        );
+        c
+    }
+
+    fn scalar_bp(mr: usize, nr: usize, kc: usize, nc: usize) -> Blueprint {
+        Blueprint {
+            kernel: KernelId::Scalar,
+            mr,
+            nr,
+            kc,
+            nc,
+            par: ParHint::Seq,
+        }
     }
 
     #[test]
@@ -451,11 +1032,11 @@ mod tests {
         for &(m, k, n) in &[
             (1usize, 1usize, 1usize),
             (3, 7, 2),
-            (MR, KC, NR),
-            (MR + 1, KC + 3, NR + 1),
-            (5, 2 * KC + 11, 33),
-            (9, 40, NC + NR + 5),
-            (2 * MR + 3, 19, 2 * NC + 1),
+            (4, 256, 16),
+            (5, 259, 17),
+            (5, 523, 33),
+            (9, 40, 277),
+            (11, 19, 513),
         ] {
             let a = seq(m * k, 0.013);
             let b = seq(k * n, 0.007);
@@ -471,20 +1052,86 @@ mod tests {
         }
     }
 
+    /// The core contract: every executable kernel variant, at its own
+    /// geometry, produces bitwise identical results to the geometry-free
+    /// scalar oracle — given the same `kc`.
+    #[test]
+    fn all_variants_bitwise_equal() {
+        for &(m, k, n) in &[(13usize, 300usize, 47usize), (64, 27, 130), (3, 576, 65)] {
+            let a = seq(m * k, 0.019);
+            let b = seq(k * n, 0.027);
+            let kc = k.min(256);
+            let oracle = run_with(&scalar_bp(4, 16, kc, 256), &a, &b, m, k, n);
+            let oracle_bits: Vec<u32> = oracle.iter().map(|x| x.to_bits()).collect();
+            for kid in ALL_KERNELS {
+                if kid.executes_as() != kid {
+                    continue;
+                }
+                let (mr, nr) = kid.geometry().unwrap_or((7, 16));
+                let bp = Blueprint {
+                    kernel: kid,
+                    mr,
+                    nr,
+                    kc,
+                    nc: (256 / nr).max(1) * nr,
+                    par: ParHint::Seq,
+                };
+                let got = run_with(&bp, &a, &b, m, k, n);
+                let bits: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(bits, oracle_bits, "{kid:?} diverged on ({m},{k},{n})");
+            }
+        }
+    }
+
+    /// The row-parallel driver and the sequential double-buffered driver
+    /// must agree bitwise — thread-count determinism.
+    #[test]
+    fn rows_driver_matches_seq_bitwise() {
+        let (m, k, n) = (23, 300, 290);
+        let a = seq(m * k, 0.023);
+        let b = seq(k * n, 0.011);
+        let bp = scalar_bp(4, 16, 256, 256);
+        let mut apack = vec![0.0; packed_a_len(&bp, m, k)];
+        pack_a(&bp, &a, m, k, &mut apack);
+        let mut c_seq = vec![0.0; m * n];
+        gemm_seq::<f32>(
+            &bp,
+            KernelId::Scalar,
+            &apack,
+            BSrc::Rows(&b),
+            &mut c_seq,
+            m,
+            k,
+            n,
+            Epilogue::None,
+        );
+        let mut c_par = vec![0.0; m * n];
+        gemm_rows_par::<f32>(
+            &bp,
+            KernelId::Scalar,
+            &apack,
+            BSrc::Rows(&b),
+            &mut c_par,
+            m,
+            k,
+            n,
+            Epilogue::None,
+        );
+        assert_eq!(c_seq, c_par);
+    }
+
     /// The parallel decomposition is a row partition; computing any row
     /// subset independently must reproduce the full result bit for bit.
-    /// This is the determinism contract: thread count only changes which
-    /// worker owns a partition, never the arithmetic inside it.
+    /// Sub-shapes select different blueprints (different m), so this also
+    /// pins geometry-invariance end to end through the tune table.
     #[test]
     fn row_partition_is_bitwise_deterministic() {
-        let (m, k, n) = (11, KC + 9, NC + 21);
+        let (m, k, n) = (11, 265, 277);
         let a = seq(m * k, 0.023);
         let b = seq(k * n, 0.011);
         let mut full = vec![0.0; m * n];
         matmul_into(&a, &b, &mut full, m, k, n);
-        // Split A after the second MR panel and compute the halves as
-        // independent GEMMs.
-        let m_top = 2 * MR;
+        let m_top = 8;
         let mut top = vec![0.0; m_top * n];
         let mut bottom = vec![0.0; (m - m_top) * n];
         matmul_into(&a[..m_top * k], &b, &mut top, m_top, k, n);
@@ -495,19 +1142,27 @@ mod tests {
 
     #[test]
     fn epilogues_apply_after_full_sum() {
-        let (m, k, n) = (6, KC + 5, 10);
+        let (m, k, n) = (6, 261, 10);
         let a = seq(m * k, 0.017);
         let b = seq(k * n, 0.029);
         let bias: Vec<f32> = (0..m).map(|i| i as f32 - 2.5).collect();
         let plain = naive(&a, &b, m, k, n);
-
-        let mut apack = vec![0.0; packed_a_len(m, k)];
-        let mut bpack = vec![0.0; packed_b_len(k, n)];
-        pack_a(&a, m, k, &mut apack);
-        pack_b(&b, k, n, &mut bpack);
+        let bp = tune::select(m, k, n);
+        let mut apack = vec![0.0; packed_a_len(&bp, m, k)];
+        pack_a(&bp, &a, m, k, &mut apack);
 
         let mut c = vec![0.0; m * n];
-        gemm_prepacked(&apack, &bpack, &mut c, m, k, n, Epilogue::Bias(&bias));
+        gemm(
+            &bp,
+            &apack,
+            BSrc::Rows(&b),
+            &mut c,
+            m,
+            k,
+            n,
+            Epilogue::Bias(&bias),
+            false,
+        );
         for i in 0..m {
             for j in 0..n {
                 let want = plain[i * n + j] + bias[i];
@@ -515,7 +1170,17 @@ mod tests {
             }
         }
 
-        gemm_prepacked(&apack, &bpack, &mut c, m, k, n, Epilogue::BiasRelu(&bias));
+        gemm(
+            &bp,
+            &apack,
+            BSrc::Rows(&b),
+            &mut c,
+            m,
+            k,
+            n,
+            Epilogue::BiasRelu(&bias),
+            false,
+        );
         for i in 0..m {
             for j in 0..n {
                 let want = (plain[i * n + j] + bias[i]).max(0.0);
@@ -524,26 +1189,131 @@ mod tests {
             }
         }
 
-        gemm_prepacked(&apack, &bpack, &mut c, m, k, n, Epilogue::Relu);
+        gemm(
+            &bp,
+            &apack,
+            BSrc::Rows(&b),
+            &mut c,
+            m,
+            k,
+            n,
+            Epilogue::Relu,
+            false,
+        );
         assert!(c.iter().all(|&x| x >= 0.0));
     }
 
     #[test]
-    fn prepacked_weight_reuse_matches_fresh_pack() {
-        // The conv pattern: one packed A against several different Bs.
-        let (m, k, n) = (8, 30, 25);
-        let a = seq(m * k, 0.019);
-        let mut apack = vec![0.0; packed_a_len(m, k)];
-        pack_a(&a, m, k, &mut apack);
-        for round in 0..3 {
-            let b = seq(k * n, 0.003 * (round + 1) as f32);
-            let mut via_pack = vec![0.0; m * n];
-            let mut bpack = vec![0.0; packed_b_len(k, n)];
-            pack_b(&b, k, n, &mut bpack);
-            gemm_prepacked(&apack, &bpack, &mut via_pack, m, k, n, Epilogue::None);
-            let mut direct = vec![0.0; m * n];
-            matmul_into(&a, &b, &mut direct, m, k, n);
-            assert_eq!(via_pack, direct);
+    fn zero_k_applies_epilogue_to_zero() {
+        let bp = scalar_bp(4, 16, 1, 256);
+        let bias = [1.5f32, -2.0];
+        let mut c = vec![9.0; 2 * 3];
+        gemm(
+            &bp,
+            &[],
+            BSrc::Rows(&[]),
+            &mut c,
+            2,
+            0,
+            3,
+            Epilogue::BiasRelu(&bias),
+            false,
+        );
+        assert_eq!(c, vec![1.5, 1.5, 1.5, 0.0, 0.0, 0.0]);
+    }
+
+    /// Materialize an im2col matrix the naive way (test oracle for the
+    /// virtual views).
+    fn naive_im2col(v: &Im2colView<'_>) -> Vec<f32> {
+        let (k, n) = (v.rows(), v.cols());
+        let mut col = vec![0.0; k * n];
+        let khw = v.kh * v.kw;
+        for row in 0..k {
+            let (c, rem) = (row / khw, row % khw);
+            let (ky, kx) = (rem / v.kw, rem % v.kw);
+            for j in 0..n {
+                let (oy, ox) = (j / v.w_out, j % v.w_out);
+                let iy = (oy * v.stride + ky) as isize - v.padding as isize;
+                let ix = (ox * v.stride + kx) as isize - v.padding as isize;
+                if iy >= 0 && iy < v.h as isize && ix >= 0 && ix < v.w as isize {
+                    col[row * n + j] = v.img[(c * v.h + iy as usize) * v.w + ix as usize];
+                }
+            }
+        }
+        col
+    }
+
+    /// The virtual im2col source must pack to exactly what packing the
+    /// materialized column matrix would produce — bitwise.
+    #[test]
+    fn virtual_im2col_matches_materialized() {
+        for &(stride, padding) in &[(1usize, 0usize), (1, 1), (2, 1), (3, 2)] {
+            let (c_in, h, w, kh, kw) = (3, 9, 8, 3, 3);
+            let img = seq(c_in * h * w, 0.05);
+            let v = Im2colView::new(&img, (c_in, h, w), (kh, kw), stride, padding);
+            let (k, n) = (v.rows(), v.cols());
+            let col = naive_im2col(&v);
+            let (m_a, a) = (5usize, seq(5 * k, 0.031));
+            let bp = scalar_bp(4, 16, k.min(256), 64);
+            let mut apack = vec![0.0; packed_a_len(&bp, m_a, k)];
+            pack_a(&bp, &a, m_a, k, &mut apack);
+            let mut c_virtual = vec![0.0; m_a * n];
+            gemm(
+                &bp,
+                &apack,
+                BSrc::Im2col(v),
+                &mut c_virtual,
+                m_a,
+                k,
+                n,
+                Epilogue::None,
+                false,
+            );
+            let mut c_mat = vec![0.0; m_a * n];
+            gemm(
+                &bp,
+                &apack,
+                BSrc::Rows(&col),
+                &mut c_mat,
+                m_a,
+                k,
+                n,
+                Epilogue::None,
+                false,
+            );
+            assert_eq!(c_virtual, c_mat, "stride={stride} padding={padding}");
+
+            // Transposed view vs Cols over the same materialized matrix:
+            // B = colᵀ (hw_out × k patch rows).
+            let bp_t = scalar_bp(4, 16, n.min(256), 64);
+            let (m_t, at) = (4usize, seq(4 * n, 0.043));
+            let mut apack_t = vec![0.0; packed_a_len(&bp_t, m_t, n)];
+            pack_a(&bp_t, &at, m_t, n, &mut apack_t);
+            let mut c_tv = vec![0.0; m_t * k];
+            gemm(
+                &bp_t,
+                &apack_t,
+                BSrc::Im2colT(v),
+                &mut c_tv,
+                m_t,
+                n,
+                k,
+                Epilogue::None,
+                false,
+            );
+            let mut c_tc = vec![0.0; m_t * k];
+            gemm(
+                &bp_t,
+                &apack_t,
+                BSrc::Cols(&col),
+                &mut c_tc,
+                m_t,
+                n,
+                k,
+                Epilogue::None,
+                false,
+            );
+            assert_eq!(c_tv, c_tc, "transposed stride={stride} padding={padding}");
         }
     }
 
@@ -556,12 +1326,11 @@ mod tests {
 
     #[test]
     fn at_b_equals_explicit_transpose() {
-        let (k, m, n) = (KC + 6, 4, 5);
+        let (k, m, n) = (262, 4, 5);
         let a = seq(k * m, 0.11);
         let b = seq(k * n, 0.07);
         let mut c = vec![0.0; m * n];
         matmul_at_b(&a, &b, &mut c, k, m, n);
-        // reference: transpose a then multiply
         let at = transpose(&Tensor::from_vec([k, m], a).unwrap()).unwrap();
         let reference = matmul(&at, &Tensor::from_vec([k, n], b).unwrap()).unwrap();
         for (x, y) in c.iter().zip(reference.data().iter()) {
@@ -571,7 +1340,7 @@ mod tests {
 
     #[test]
     fn a_bt_equals_explicit_transpose() {
-        let (m, k, n) = (4, KC + 6, 5);
+        let (m, k, n) = (4, 262, 5);
         let a = seq(m * k, 0.13);
         let b = seq(n * k, 0.05);
         let mut c = vec![0.0; m * n];
@@ -590,5 +1359,35 @@ mod tests {
         assert_eq!(t.shape().dims(), &[3, 2]);
         assert_eq!(t.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
         assert_eq!(transpose(&t).unwrap(), a);
+    }
+
+    /// bf16 storage loses precision but must stay close on tame inputs,
+    /// and be identical between B-source kinds.
+    #[cfg(feature = "bf16")]
+    #[test]
+    fn bf16_gemm_tracks_f32() {
+        let (m, k, n) = (6, 70, 40);
+        let a = seq(m * k, 0.021);
+        let b = seq(k * n, 0.033);
+        let bp = scalar_bp(6, 16, 70, 256);
+        let mut apack = vec![0u16; packed_a_len(&bp, m, k)];
+        pack_a_bf16(&bp, &a, m, k, false, &mut apack);
+        let mut c = vec![0.0; m * n];
+        gemm_bf16(
+            &bp,
+            &apack,
+            BSrc::Rows(&b),
+            &mut c,
+            m,
+            k,
+            n,
+            Epilogue::None,
+            false,
+        );
+        let reference = naive(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(reference.iter()) {
+            // ~2^-8 relative per product, accumulated over k=70 terms.
+            assert!((x - y).abs() < 0.15, "{x} vs {y}");
+        }
     }
 }

@@ -113,6 +113,77 @@ pub fn alloc_events() -> u64 {
     ALLOC_EVENTS.load(Ordering::Relaxed)
 }
 
+/// `u16` twin of the f32 pool, backing bf16 packed panels. Kept separate so
+/// the two element types never trade storage (a cast-based scheme would need
+/// `unsafe`). Feature-gated: without `bf16` nothing takes u16 scratch.
+#[cfg(feature = "bf16")]
+static POOL_U16: Mutex<Vec<Vec<u16>>> = Mutex::new(Vec::new());
+
+/// A pooled `u16` scratch buffer; see [`ScratchBuf`].
+#[cfg(feature = "bf16")]
+pub struct ScratchBufU16 {
+    buf: Vec<u16>,
+}
+
+#[cfg(feature = "bf16")]
+impl std::ops::Deref for ScratchBufU16 {
+    type Target = [u16];
+
+    fn deref(&self) -> &[u16] {
+        &self.buf
+    }
+}
+
+#[cfg(feature = "bf16")]
+impl std::ops::DerefMut for ScratchBufU16 {
+    fn deref_mut(&mut self) -> &mut [u16] {
+        &mut self.buf
+    }
+}
+
+#[cfg(feature = "bf16")]
+impl Drop for ScratchBufU16 {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        let mut pool = POOL_U16.lock();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    }
+}
+
+/// Acquire a `u16` scratch buffer of length `len` with unspecified contents
+/// (bf16 packed-panel storage). Same pooling discipline as [`take`].
+#[cfg(feature = "bf16")]
+pub fn take_u16(len: usize) -> ScratchBufU16 {
+    dlsr_trace::counter_add(dlsr_trace::report::keys::SCRATCH_TAKES, 1.0);
+    let candidate = {
+        let mut pool = POOL_U16.lock();
+        let best = pool
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= len)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => Some(pool.swap_remove(i)),
+            None => pool.pop(),
+        }
+    };
+    let mut buf = candidate.unwrap_or_default();
+    if buf.capacity() < len {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        dlsr_trace::counter_add(dlsr_trace::report::keys::SCRATCH_ALLOCS, 1.0);
+        buf.reserve_exact(len - buf.len());
+    }
+    if buf.len() < len {
+        buf.resize(len, 0);
+    } else {
+        buf.truncate(len);
+    }
+    ScratchBufU16 { buf }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

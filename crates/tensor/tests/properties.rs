@@ -6,9 +6,33 @@ use proptest::prelude::*;
 use dlsr_tensor::conv::{
     conv2d, conv2d_backward, conv2d_backward_reference, conv2d_reference, Conv2dParams,
 };
-use dlsr_tensor::matmul::{matmul, transpose};
+use dlsr_tensor::kernels::KernelId;
+use dlsr_tensor::matmul::{self, matmul, transpose, BSrc, Epilogue, Im2colView};
 use dlsr_tensor::shuffle::{pixel_shuffle, pixel_unshuffle};
-use dlsr_tensor::{elementwise, reduce, resize, Tensor};
+use dlsr_tensor::tune::{self, Blueprint, ParHint};
+use dlsr_tensor::{elementwise, reduce, resize, scratch, Tensor};
+
+/// Drive the blueprint GEMM engine the way the conv path does.
+fn run_gemm(bp: &Blueprint, a: &Tensor, bsrc: BSrc<'_>, m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut apack = scratch::take(matmul::packed_a_len(bp, m, k));
+    matmul::pack_a(bp, a.data(), m, k, &mut apack);
+    let mut c = vec![0.0f32; m * n];
+    matmul::gemm(bp, &apack, bsrc, &mut c, m, k, n, Epilogue::None, false);
+    c
+}
+
+/// The scalar-oracle blueprint: same `kc` (the only bit-affecting field),
+/// everything else deliberately different from the selected blueprint.
+fn scalar_oracle(kc: usize) -> Blueprint {
+    Blueprint {
+        kernel: KernelId::Scalar,
+        mr: 6,
+        nr: 8,
+        kc,
+        nc: 64,
+        par: ParHint::Seq,
+    }
+}
 
 fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-10.0f32..10.0, len)
@@ -129,6 +153,69 @@ proptest! {
         for (a, b) in gb.iter().zip(rb.iter()) {
             prop_assert!((a - b).abs() < 1e-3, "grad_bias {a} vs {b}");
         }
+    }
+
+    /// The SIMD microkernel path is **bitwise** identical to the scalar
+    /// oracle for arbitrary shapes — including odd m/k/n tails that
+    /// exercise the zero-padded edge panels. Only `kc` is shared between
+    /// the two blueprints; kernel variant, tile geometry, `nc` and the
+    /// parallel hint all differ, so this also pins the invariant that
+    /// those fields never change result bits.
+    #[test]
+    fn gemm_simd_matches_scalar_bitwise(
+        m in 1usize..40,
+        k in 1usize..70,
+        n in 1usize..80,
+        seed in 0u64..1000,
+    ) {
+        let a = dlsr_tensor::init::uniform([m, k], -1.0, 1.0, seed);
+        let b = dlsr_tensor::init::uniform([k, n], -1.0, 1.0, seed + 1);
+        let bp = tune::heuristic(m, k, n);
+        let fast = run_gemm(&bp, &a, BSrc::Rows(b.data()), m, k, n);
+        let oracle = run_gemm(&scalar_oracle(bp.kc), &a, BSrc::Rows(b.data()), m, k, n);
+        prop_assert_eq!(fast, oracle);
+    }
+
+    /// The virtual im2col packer (implicit-GEMM conv) is bitwise identical
+    /// to a GEMM against the materialized column matrix, across the
+    /// stride/padding/kernel grid — this is the property guarding the
+    /// stride-1 row-run fast path's boundary arithmetic.
+    #[test]
+    fn implicit_im2col_matches_materialized_bitwise(
+        c_in in 1usize..4,
+        hw in 4usize..9,
+        k_idx in 0usize..3,
+        stride in 1usize..3,
+        padding in 0usize..3,
+        m in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let kk = [1usize, 3, 5][k_idx];
+        let img = dlsr_tensor::init::uniform([c_in, hw, hw], -1.0, 1.0, seed);
+        let view = Im2colView::new(img.data(), (c_in, hw, hw), (kk, kk), stride, padding);
+        let (kdim, n) = (view.rows(), view.cols());
+        prop_assume!(n > 0);
+        // materialize the column matrix by the im2col definition
+        let p = Conv2dParams { stride, padding };
+        let w_out = p.out_extent(hw, kk);
+        let mut col = vec![0.0f32; kdim * n];
+        for r in 0..kdim {
+            let (c, rem) = (r / (kk * kk), r % (kk * kk));
+            let (ky, kx) = (rem / kk, rem % kk);
+            for j in 0..n {
+                let (oy, ox) = (j / w_out, j % w_out);
+                let iy = (oy * stride + ky) as isize - padding as isize;
+                let ix = (ox * stride + kx) as isize - padding as isize;
+                if iy >= 0 && iy < hw as isize && ix >= 0 && ix < hw as isize {
+                    col[r * n + j] = img.data()[(c * hw + iy as usize) * hw + ix as usize];
+                }
+            }
+        }
+        let a = dlsr_tensor::init::uniform([m, kdim], -1.0, 1.0, seed + 1);
+        let bp = tune::heuristic(m, kdim, n);
+        let implicit = run_gemm(&bp, &a, BSrc::Im2col(view), m, kdim, n);
+        let materialized = run_gemm(&bp, &a, BSrc::Rows(&col), m, kdim, n);
+        prop_assert_eq!(implicit, materialized);
     }
 
     /// pixel_unshuffle inverts pixel_shuffle for any compatible shape.

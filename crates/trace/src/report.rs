@@ -44,6 +44,10 @@ pub mod keys {
     pub const FAULT_CHECKPOINTS: &str = "faults.checkpoints";
     pub const FAULT_CHECKPOINT_SECONDS: &str = "faults.checkpoint_seconds";
     pub const FAULT_RESTORES: &str = "faults.restores";
+    /// Prefix of the per-microkernel tile counters the GEMM engine emits
+    /// (`gemm.variant.<kernel>` — e.g. `gemm.variant.avx512_8x32`); the
+    /// suffix is the kernel name the shape-keyed selector resolved to.
+    pub const GEMM_VARIANT_PREFIX: &str = "gemm.variant.";
 }
 
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -229,6 +233,11 @@ pub struct StepReport {
     /// Fault-injection activity (reports written before this field existed
     /// deserialize with all zeros — see [`FaultSummary`]'s `Deserialize`).
     pub faults: FaultSummary,
+    /// Microkernel-variant tile counts from the `gemm.variant.*` counters:
+    /// which SIMD kernel served how many register tiles this run. Empty for
+    /// reports written before the SIMD engine existed.
+    #[serde(default)]
+    pub gemm_variants: BTreeMap<String, u64>,
     /// Raw counter/gauge snapshot the summaries were derived from.
     pub counters: BTreeMap<String, f64>,
 }
@@ -405,6 +414,14 @@ impl StepReport {
             },
         };
 
+        let gemm_variants: BTreeMap<String, u64> = counters
+            .iter()
+            .filter_map(|(key, &v)| {
+                key.strip_prefix(keys::GEMM_VARIANT_PREFIX)
+                    .map(|kernel| (kernel.to_string(), v.max(0.0) as u64))
+            })
+            .collect();
+
         let fsec = |key: &str| counters.get(key).copied().unwrap_or(0.0).max(0.0);
         let faults = FaultSummary {
             retries: counter_u64(counters, keys::FAULT_RETRIES),
@@ -431,6 +448,7 @@ impl StepReport {
             transfers,
             scratch,
             faults,
+            gemm_variants,
             counters: counters.clone(),
         }
     }
@@ -555,6 +573,25 @@ impl StepReport {
             self.scratch.alloc_events,
             self.scratch.reuse_rate * 100.0,
         ));
+        if !self.gemm_variants.is_empty() {
+            let total: u64 = self.gemm_variants.values().sum();
+            let mix = self
+                .gemm_variants
+                .iter()
+                .map(|(kernel, &tiles)| {
+                    format!(
+                        "{kernel}={tiles} ({:.1}%)",
+                        if total > 0 {
+                            tiles as f64 / total as f64 * 100.0
+                        } else {
+                            0.0
+                        }
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!("gemm kernels (register tiles): {mix}\n"));
+        }
         if self.faults != FaultSummary::default() {
             out.push_str(&format!(
                 "faults: {} retries ({} lost, {} corrupt), backoff {:.3} ms, degraded {:.3} ms, \
@@ -662,6 +699,8 @@ mod tests {
         counters.insert(keys::NET_STAGED.to_string(), 3.0);
         counters.insert(keys::SCRATCH_TAKES.to_string(), 100.0);
         counters.insert(keys::SCRATCH_ALLOCS.to_string(), 25.0);
+        counters.insert(format!("{}avx512_8x32", keys::GEMM_VARIANT_PREFIX), 300.0);
+        counters.insert(format!("{}scalar", keys::GEMM_VARIANT_PREFIX), 100.0);
         let events = vec![
             ev("conv1", cat::NN_FWD, 0, 0.0, 1.0, Clock::Wall),
             ev("conv1", cat::NN_BWD, 0, 1.0, 3.0, Clock::Wall),
@@ -677,11 +716,15 @@ mod tests {
         assert_eq!(rep.layers[0].calls, 3);
         assert!((rep.skew.compute.max - 2.0 - 1.0).abs() < 1e-9);
 
+        assert_eq!(rep.gemm_variants.get("avx512_8x32"), Some(&300));
+        assert_eq!(rep.gemm_variants.get("scalar"), Some(&100));
+
         let back: StepReport = serde_json::from_str(&rep.to_json()).unwrap();
         assert_eq!(back, rep);
         let text = rep.render();
         assert!(text.contains("hit rate 90.0%"));
         assert!(text.contains("utilization 25.0%"));
+        assert!(text.contains("avx512_8x32=300 (75.0%)"));
         // fault-free run: the faults line is suppressed entirely
         assert!(!text.contains("faults:"));
     }
