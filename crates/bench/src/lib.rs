@@ -42,6 +42,7 @@ pub fn traced_training_run(
         run.regcache.misses,
         run.regcache.evictions,
     );
+    report.attach_critical_path(dlsr::trace::analyze::critical_path(&run.trace, steps));
     dlsr::trace::reset();
     (run, report)
 }

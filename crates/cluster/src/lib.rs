@@ -15,12 +15,17 @@
 //!   improvements on synthetic DIV2K.
 
 #![forbid(unsafe_code)]
+pub mod analysis;
 pub mod experiment;
 pub mod realtrain;
 pub mod scenario;
 pub mod sim;
 pub mod workload;
 
+pub use analysis::{
+    fit_model, gate, project, traced_real_run, validate, AnalysisReport, CostModel, GroupCost,
+    ProjectionPoint, TracedRun, ValidationPoint,
+};
 pub use experiment::{
     batch_sweep, run_training, run_training_tuned, scaling_sweep, ScalingPoint, TrainRun,
 };

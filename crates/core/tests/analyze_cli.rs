@@ -1,0 +1,118 @@
+//! End-to-end liveness of the `dlsr analyze` regression gate: the gate
+//! must actually fail the process when step time regresses, and must pass
+//! a bit-identical rerun. Runs the real binary (`CARGO_BIN_EXE_dlsr`)
+//! against a small 1-node trace to stay fast.
+
+use std::process::Command;
+
+fn dlsr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dlsr"))
+}
+
+fn analyze_args(out: &std::path::Path) -> Vec<String> {
+    [
+        "analyze",
+        "--nodes",
+        "1",
+        "--steps",
+        "2",
+        "--no-validate",
+        "--out",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain([out.display().to_string()])
+    .collect()
+}
+
+#[test]
+fn gate_trips_on_a_slowed_trace_and_passes_a_clean_rerun() {
+    let dir = std::env::temp_dir().join(format!("dlsr-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("baseline.json");
+    let rerun = dir.join("rerun.json");
+
+    // 1. Record the baseline.
+    let st = dlsr()
+        .args(analyze_args(&baseline))
+        .status()
+        .expect("spawn dlsr analyze (baseline)");
+    assert!(st.success(), "baseline analyze failed: {st}");
+    let base_text = std::fs::read_to_string(&baseline).unwrap();
+    assert!(
+        base_text.contains("projection"),
+        "baseline lacks projection"
+    );
+
+    // 2. A clean rerun passes the gate — and, because the analysis is
+    //    virtual-clock only, reproduces the baseline byte for byte.
+    let st = dlsr()
+        .args(analyze_args(&rerun))
+        .args([
+            "--baseline",
+            &baseline.display().to_string(),
+            "--gate",
+            "10",
+        ])
+        .status()
+        .expect("spawn dlsr analyze (clean rerun)");
+    assert!(st.success(), "clean rerun tripped the gate: {st}");
+    assert_eq!(
+        std::fs::read_to_string(&rerun).unwrap(),
+        base_text,
+        "analysis JSON is not deterministic"
+    );
+
+    // 3. A synthetically slowed trace (50% stretch vs a 10% tolerance)
+    //    must exit nonzero and name the regression.
+    let out = dlsr()
+        .args(analyze_args(&dir.join("slow.json")))
+        .args([
+            "--slowdown",
+            "1.5",
+            "--baseline",
+            &baseline.display().to_string(),
+            "--gate",
+            "10",
+        ])
+        .output()
+        .expect("spawn dlsr analyze (slowed)");
+    assert!(
+        !out.status.success(),
+        "gate did not trip on a 1.5x slowdown"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("step time regressed"),
+        "gate tripped without naming the regression: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_check_validates_the_attribution() {
+    let dir = std::env::temp_dir().join(format!("dlsr-check-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dlsr()
+        .args(analyze_args(&dir.join("check.json")))
+        .arg("--check")
+        .output()
+        .expect("spawn dlsr analyze --check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "analyze --check failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("bounded by"), "no critical-path headline");
+    assert!(
+        stdout.contains("categories sum to the measured step time"),
+        "missing 1% sum check: {stdout}"
+    );
+    assert!(
+        stdout.contains("exposed comm agrees with the step report"),
+        "missing exposed-comm agreement check: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

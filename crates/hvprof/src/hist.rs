@@ -1,0 +1,321 @@
+//! Deterministic fixed-bucket log2 histogram.
+//!
+//! Percentile latencies are what expose stragglers (a mean hides them),
+//! but keeping every raw sample makes reports grow linearly with step
+//! count and makes merged profiles allocation-heavy. This sketch buckets
+//! positive values by the *bit pattern* of their `f64` representation —
+//! the 11 exponent bits concatenated with the top [`SUB_BITS`] mantissa
+//! bits — so bucketing is integer-exact, identical on every platform,
+//! and insensitive to insertion order. Each octave is split into
+//! 2^[`SUB_BITS`] sub-buckets, bounding the relative width of a bucket
+//! (and therefore the worst-case percentile error) to
+//! `2^(1/16) - 1 ≈ 4.4%`.
+//!
+//! Exact `count`, `sum`, `min` and `max` ride along, and percentile
+//! queries clamp the bucket representative into `[min, max]` — so a
+//! single-sample cell reports its percentiles *exactly*, and p0/p100
+//! are always the true extremes.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Mantissa bits kept per octave: 2^4 = 16 sub-buckets per power of two.
+pub const SUB_BITS: u32 = 4;
+
+const SHIFT: u32 = 52 - SUB_BITS;
+
+/// A deterministic log2 latency sketch. See the module docs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Log2Histogram {
+    /// Sparse bucket index → occupancy. The index is monotonic in the
+    /// recorded value, so an in-order walk is an in-order walk of time.
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: f64,
+    /// Valid only when `count > 0`.
+    min: f64,
+    /// Valid only when `count > 0`.
+    max: f64,
+}
+
+/// Bucket index of a value: exponent + top mantissa bits for positive
+/// finite values; bucket 0 collects zeros, negatives and NaN.
+fn bucket_of(v: f64) -> u32 {
+    if v > 0.0 && v.is_finite() {
+        (v.to_bits() >> SHIFT) as u32
+    } else {
+        0
+    }
+}
+
+/// Midpoint value represented by a bucket: the bucket's bit prefix with
+/// the discarded mantissa bits set to their halfway point.
+fn representative(idx: u32) -> f64 {
+    if idx == 0 {
+        return 0.0;
+    }
+    f64::from_bits(((idx as u64) << SHIFT) | (1u64 << (SHIFT - 1)))
+}
+
+impl Log2Histogram {
+    /// Empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value (seconds, bytes — any nonnegative magnitude).
+    pub fn record(&mut self, v: f64) {
+        *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Merge another sketch into this one (e.g. across ranks). Exact:
+    /// bucket occupancies add and extremes combine losslessly.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum; 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Nearest-rank percentile, `q` in `[0, 1]` (0.5 = median); 0.0 when
+    /// empty. Returns the bucket midpoint clamped into `[min, max]`, so
+    /// the answer is within one bucket width (≈4.4% relative) of the
+    /// true order statistic and exact at the extremes.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&idx, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return representative(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl Serialize for Log2Histogram {
+    fn to_value(&self) -> Value {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("count".to_string(), Value::Number(self.count as f64));
+        obj.insert("sum".to_string(), Value::Number(self.sum));
+        obj.insert("min".to_string(), Value::Number(self.min()));
+        obj.insert("max".to_string(), Value::Number(self.max()));
+        obj.insert(
+            "buckets".to_string(),
+            Value::Array(
+                self.buckets
+                    .iter()
+                    .map(|(&idx, &n)| {
+                        Value::Array(vec![Value::Number(idx as f64), Value::Number(n as f64)])
+                    })
+                    .collect(),
+            ),
+        );
+        Value::Object(obj)
+    }
+}
+
+impl Deserialize for Log2Histogram {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        // Tolerate absent fields so reports written before the sketch
+        // existed still load (absent keys deserialize from `Null`).
+        if v.is_null() {
+            return Ok(Self::default());
+        }
+        let count = v["count"].as_u64().unwrap_or(0);
+        let mut h = Log2Histogram {
+            buckets: BTreeMap::new(),
+            count,
+            sum: v["sum"].as_f64().unwrap_or(0.0),
+            min: v["min"].as_f64().unwrap_or(0.0),
+            max: v["max"].as_f64().unwrap_or(0.0),
+        };
+        if let Some(pairs) = v["buckets"].as_array() {
+            for p in pairs {
+                let idx = p[0]
+                    .as_u64()
+                    .ok_or_else(|| serde::Error::msg("histogram bucket index"))?;
+                let n = p[1]
+                    .as_u64()
+                    .ok_or_else(|| serde::Error::msg("histogram bucket count"))?;
+                h.buckets.insert(idx as u32, n);
+            }
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        let mut h = Log2Histogram::new();
+        h.record(1.0);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 1.0, "q={q}");
+        }
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 1.0);
+        assert_eq!(h.mean(), 1.0);
+    }
+
+    #[test]
+    fn percentile_error_is_bounded_by_one_bucket() {
+        let mut h = Log2Histogram::new();
+        // Deterministic pseudo-uniform spread over three decades.
+        let mut x = 1u64;
+        let mut vals = Vec::new();
+        for _ in 0..500 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = 1e-4 * (1.0 + (x >> 11) as f64 / (1u64 << 53) as f64 * 999.0);
+            vals.push(v);
+            h.record(v);
+        }
+        vals.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let exact = vals[rank - 1];
+            let approx = h.percentile(q);
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.045, "q={q} exact={exact} approx={approx} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn merge_is_exact_on_buckets_and_extremes() {
+        let (mut a, mut b, mut whole) = (
+            Log2Histogram::new(),
+            Log2Histogram::new(),
+            Log2Histogram::new(),
+        );
+        for i in 1..=40 {
+            let v = i as f64 * 2.5e-4;
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        // Summation order differs between the split and whole runs, so
+        // the sums agree only to rounding; buckets must agree exactly.
+        assert!((a.sum() - whole.sum()).abs() < 1e-12 * whole.sum());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.percentile(q), whole.percentile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let mut fwd = Log2Histogram::new();
+        let mut rev = Log2Histogram::new();
+        let vals = [0.25, 3.0, 0.001, 0.999, 7.5e-5, 0.25];
+        for v in vals {
+            fwd.record(v);
+        }
+        for v in vals.iter().rev() {
+            rev.record(*v);
+        }
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn zeros_and_degenerates_go_to_bucket_zero() {
+        let mut h = Log2Histogram::new();
+        h.record(0.0);
+        h.record(-1.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(0.5), 0.0_f64.clamp(h.min(), h.max()).max(-1.0));
+        // Representative of bucket 0 is 0.0; clamped into [min,max].
+        assert!(h.percentile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_the_sketch() {
+        let mut h = Log2Histogram::new();
+        for v in [0.010, 0.011, 0.5, 2.0] {
+            h.record(v);
+        }
+        let s = serde_json::to_string(&h).unwrap();
+        let back: Log2Histogram = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, h);
+        // Null (absent field in an old report) loads as empty.
+        let empty = Log2Histogram::from_value(&Value::Null).unwrap();
+        assert!(empty.is_empty());
+    }
+}

@@ -24,8 +24,10 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+pub mod hist;
 pub mod timeline;
 
+pub use hist::Log2Histogram;
 pub use timeline::{Timeline, TraceEvent};
 
 /// Which collective an event belongs to.
@@ -85,30 +87,41 @@ pub struct BinStats {
 #[serde(from = "HvprofWire", into = "HvprofWire")]
 pub struct Hvprof {
     cells: BTreeMap<(Collective, usize), BinStats>,
-    /// Per-cell individual call latencies (seconds), kept so percentile
-    /// latencies survive aggregation — a mean alone hides stragglers.
-    samples: BTreeMap<(Collective, usize), Vec<f64>>,
+    /// Per-cell latency sketches (seconds), kept so percentile latencies
+    /// survive aggregation — a mean alone hides stragglers. A
+    /// [`Log2Histogram`] instead of raw samples bounds profile size and
+    /// keeps merges allocation-free.
+    sketches: BTreeMap<(Collective, usize), Log2Histogram>,
 }
 
 /// JSON-friendly wire form (tuple map keys are not valid JSON keys).
-/// `samples` defaults to empty so profiles serialized before percentile
-/// support still deserialize.
+/// `sketches` is today's format; `samples` is the raw-sample form older
+/// profiles carried — both default to empty and raw samples are replayed
+/// into sketches on load, so every historical profile still deserializes.
 #[derive(Serialize, Deserialize)]
 struct HvprofWire {
     cells: Vec<(Collective, usize, BinStats)>,
     samples: Option<Vec<(Collective, usize, Vec<f64>)>>,
+    sketches: Option<Vec<(Collective, usize, Log2Histogram)>>,
 }
 
 impl From<HvprofWire> for Hvprof {
     fn from(w: HvprofWire) -> Self {
+        let mut sketches: BTreeMap<(Collective, usize), Log2Histogram> = w
+            .sketches
+            .unwrap_or_default()
+            .into_iter()
+            .map(|(c, b, h)| ((c, b), h))
+            .collect();
+        for (c, b, vals) in w.samples.unwrap_or_default() {
+            let h = sketches.entry((c, b)).or_default();
+            for v in vals {
+                h.record(v);
+            }
+        }
         Hvprof {
             cells: w.cells.into_iter().map(|(c, b, s)| ((c, b), s)).collect(),
-            samples: w
-                .samples
-                .unwrap_or_default()
-                .into_iter()
-                .map(|(c, b, v)| ((c, b), v))
-                .collect(),
+            sketches,
         }
     }
 }
@@ -117,20 +130,15 @@ impl From<Hvprof> for HvprofWire {
     fn from(p: Hvprof) -> Self {
         HvprofWire {
             cells: p.cells.into_iter().map(|((c, b), s)| (c, b, s)).collect(),
-            samples: Some(p.samples.into_iter().map(|((c, b), v)| (c, b, v)).collect()),
+            samples: None,
+            sketches: Some(
+                p.sketches
+                    .into_iter()
+                    .map(|((c, b), h)| (c, b, h))
+                    .collect(),
+            ),
         }
     }
-}
-
-/// Nearest-rank percentile of an unsorted sample set; `q` in `[0, 1]`.
-fn percentile_of(samples: &[f64], q: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 impl Hvprof {
@@ -147,7 +155,7 @@ impl Hvprof {
         cell.count += 1;
         cell.seconds += seconds;
         cell.bytes += bytes;
-        self.samples.entry(key).or_default().push(seconds);
+        self.sketches.entry(key).or_default().record(seconds);
     }
 
     /// Merge another profile into this one (e.g. across ranks).
@@ -158,21 +166,26 @@ impl Hvprof {
             cell.seconds += stats.seconds;
             cell.bytes += stats.bytes;
         }
-        for (&key, samples) in &other.samples {
-            self.samples
-                .entry(key)
-                .or_default()
-                .extend_from_slice(samples);
+        for (&key, sketch) in &other.sketches {
+            self.sketches.entry(key).or_default().merge(sketch);
         }
     }
 
     /// Nearest-rank latency percentile (seconds) for one cell; `q` in
-    /// `[0, 1]` (0.5 = median). 0.0 when the cell is empty.
+    /// `[0, 1]` (0.5 = median). 0.0 when the cell is empty. Answered
+    /// from the cell's [`Log2Histogram`], so the result is within one
+    /// log2 sub-bucket (≈4.4% relative) of the exact order statistic
+    /// and exact for single-sample cells and at the extremes.
     pub fn percentile(&self, op: Collective, bin: usize, q: f64) -> f64 {
-        self.samples
+        self.sketches
             .get(&(op, bin))
-            .map(|s| percentile_of(s, q))
+            .map(|h| h.percentile(q))
             .unwrap_or(0.0)
+    }
+
+    /// The latency sketch backing one cell, if any calls were recorded.
+    pub fn sketch(&self, op: Collective, bin: usize) -> Option<&Log2Histogram> {
+        self.sketches.get(&(op, bin))
     }
 
     /// Stats for one (collective, bin) cell.
@@ -424,13 +437,17 @@ mod tests {
             p.record(Collective::Allreduce, 20 << 20, 0.010);
         }
         p.record(Collective::Allreduce, 20 << 20, 1.0);
-        assert!((p.percentile(Collective::Allreduce, 2, 0.50) - 0.010).abs() < 1e-12);
-        assert!((p.percentile(Collective::Allreduce, 2, 0.95) - 0.010).abs() < 1e-12);
+        // Sketch-backed percentiles: within one log2 sub-bucket (≈4.4%).
+        let p50 = p.percentile(Collective::Allreduce, 2, 0.50);
+        let p95 = p.percentile(Collective::Allreduce, 2, 0.95);
+        assert!((p50 - 0.010).abs() / 0.010 < 0.045, "{p50}");
+        assert!((p95 - 0.010).abs() / 0.010 < 0.045, "{p95}");
+        // The extremes are exact by construction.
         assert!((p.percentile(Collective::Allreduce, 2, 1.0) - 1.0).abs() < 1e-12);
         assert_eq!(p.percentile(Collective::Bcast, 0, 0.5), 0.0);
         let rendered = p.render(Collective::Allreduce);
-        assert!(rendered.contains("p50 10.000 ms"), "{rendered}");
-        assert!(rendered.contains("p95 10.000 ms"), "{rendered}");
+        assert!(rendered.contains("p50 10.0"), "{rendered}");
+        assert!(rendered.contains("p95 10.0"), "{rendered}");
     }
 
     #[test]
@@ -441,16 +458,24 @@ mod tests {
         let mut b = Hvprof::new();
         b.record(Collective::Allreduce, 1024, 0.100);
         a.merge(&b);
-        assert!((a.percentile(Collective::Allreduce, 0, 0.5) - 0.002).abs() < 1e-12);
-        assert!((a.percentile(Collective::Allreduce, 0, 0.95) - 0.100).abs() < 1e-12);
+        let p50 = a.percentile(Collective::Allreduce, 0, 0.5);
+        let p95 = a.percentile(Collective::Allreduce, 0, 0.95);
+        assert!((p50 - 0.002).abs() / 0.002 < 0.045, "{p50}");
+        assert!((p95 - 0.100).abs() / 0.100 < 0.045, "{p95}");
         let s = serde_json::to_string(&a).unwrap();
         let q: Hvprof = serde_json::from_str(&s).unwrap();
-        assert!((q.percentile(Collective::Allreduce, 0, 0.95) - 0.100).abs() < 1e-12);
+        let p95 = q.percentile(Collective::Allreduce, 0, 0.95);
+        assert!((p95 - 0.100).abs() / 0.100 < 0.045, "{p95}");
         // Wire form without samples (pre-percentile profiles) still loads.
         let legacy = r#"{"cells":[["Allreduce",0,{"count":1,"seconds":0.5,"bytes":1024}]]}"#;
         let old: Hvprof = serde_json::from_str(legacy).unwrap();
         assert_eq!(old.cell(Collective::Allreduce, 0).count, 1);
         assert_eq!(old.percentile(Collective::Allreduce, 0, 0.5), 0.0);
+        // Raw-sample wire form (the pre-sketch format) is replayed into
+        // sketches on load; single samples stay exact.
+        let raw = r#"{"cells":[["Allreduce",0,{"count":1,"seconds":0.5,"bytes":1024}]],"samples":[["Allreduce",0,[0.5]]]}"#;
+        let old: Hvprof = serde_json::from_str(raw).unwrap();
+        assert!((old.percentile(Collective::Allreduce, 0, 0.5) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -146,6 +146,7 @@ fn allreduce_grouped(
         t0,
         comm.now(),
     );
+    dlsr_trace::counter_add(dlsr_trace::report::keys::MPI_COLLECTIVES, 1.0);
 }
 
 /// Ring allreduce over an ordered participant subset (every participant

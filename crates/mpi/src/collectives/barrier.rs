@@ -33,6 +33,7 @@ pub fn barrier(comm: &mut Comm) {
         t0,
         comm.now(),
     );
+    dlsr_trace::counter_add(dlsr_trace::report::keys::MPI_COLLECTIVES, 1.0);
 }
 
 #[cfg(test)]

@@ -47,6 +47,7 @@ pub fn bcast(comm: &mut Comm, buf: &mut Vec<f32>, root: usize, buf_id: u64) {
         t0,
         comm.now(),
     );
+    dlsr_trace::counter_add(dlsr_trace::report::keys::MPI_COLLECTIVES, 1.0);
 }
 
 #[cfg(test)]

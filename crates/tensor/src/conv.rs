@@ -22,7 +22,7 @@
 //!    which removes a `C_in·K²·H_out·W_out` scratch buffer and a full
 //!    write+read pass per image per direction. Only the input gradient
 //!    still materializes a column matrix, because there it is the GEMM
-//!    *output* that [`col2im`] scatters back onto the image.
+//!    *output* that `col2im` scatters back onto the image.
 //! 4. Reductions that cross the parallel axis (weight/bias gradients) are
 //!    accumulated per image into disjoint scratch, then summed sequentially
 //!    in ascending image order — results are bitwise independent of the

@@ -19,7 +19,7 @@
 //! adds into `C` happen at `KC` block boundaries; see `docs/KERNELS.md`).
 //! The heuristic therefore derives `kc` from the shape alone —
 //! independent of ISA, thread count, and cache state — and
-//! [`load_line`] accepts whatever `kc` a cache file carries, making the
+//! the cache loader accepts whatever `kc` a cache file carries, making the
 //! file part of the digest contract: *same binary + same tune cache + same
 //! seed ⇒ same digest on any machine and any thread count.* Kernel
 //! variant, `mr/nr/nc`, and the parallel hint only partition work and are

@@ -29,7 +29,13 @@
 //! overhead test in `dlsr-cluster` measures.
 
 #![forbid(unsafe_code)]
+pub mod analyze;
 pub mod report;
+
+/// Deterministic log2 latency sketch (lives in `dlsr-hvprof`, re-exported
+/// here as part of the tracing API: [`report::StepReport`] percentile
+/// rows are answered from it).
+pub use dlsr_hvprof::Log2Histogram;
 
 use std::collections::BTreeMap;
 

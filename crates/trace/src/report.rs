@@ -15,6 +15,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use dlsr_hvprof::Log2Histogram;
 use serde::{Deserialize, Serialize};
 
 use crate::{cat, Clock, TraceEvent};
@@ -44,6 +45,10 @@ pub mod keys {
     pub const FAULT_CHECKPOINTS: &str = "faults.checkpoints";
     pub const FAULT_CHECKPOINT_SECONDS: &str = "faults.checkpoint_seconds";
     pub const FAULT_RESTORES: &str = "faults.restores";
+    /// Completed MPI-level collective operations (allreduce, bcast,
+    /// barrier) — the denominator `dlsr analyze` sanity-checks its
+    /// happens-before edge count against.
+    pub const MPI_COLLECTIVES: &str = "mpi.collectives";
     /// Prefix of the per-microkernel tile counters the GEMM engine emits
     /// (`gemm.variant.<kernel>` — e.g. `gemm.variant.avx512_8x32`); the
     /// suffix is the kernel name the shape-keyed selector resolved to.
@@ -213,6 +218,79 @@ pub struct StepSkew {
     pub exposed_comm: MinMeanMax,
 }
 
+/// Span-duration percentiles for one category, answered from a
+/// [`Log2Histogram`] built over every span of that category at report
+/// time — the sketch itself never sits on the recording hot path, so the
+/// zero-cost contract is untouched.
+///
+/// `Deserialize` is hand-written (the derive ignores field defaults) so
+/// reports written before the sketch existed lift from `Null` to zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct DurationStats {
+    /// Spans aggregated.
+    pub count: u64,
+    /// Median span duration, seconds.
+    pub p50_s: f64,
+    /// 95th-percentile span duration, seconds.
+    pub p95_s: f64,
+    /// 99th-percentile span duration, seconds.
+    pub p99_s: f64,
+    /// Exact longest span, seconds.
+    pub max_s: f64,
+}
+
+impl Deserialize for DurationStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if v.is_null() {
+            return Ok(Self::default());
+        }
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::msg("expected object for DurationStats"))?;
+        let num = |k: &str| obj.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0);
+        Ok(DurationStats {
+            count: num("count") as u64,
+            p50_s: num("p50_s"),
+            p95_s: num("p95_s"),
+            p99_s: num("p99_s"),
+            max_s: num("max_s"),
+        })
+    }
+}
+
+impl DurationStats {
+    /// Summarize a sketch into the report row.
+    pub fn from_hist(h: &Log2Histogram) -> Self {
+        DurationStats {
+            count: h.count(),
+            p50_s: h.percentile(0.50),
+            p95_s: h.percentile(0.95),
+            p99_s: h.percentile(0.99),
+            max_s: h.max(),
+        }
+    }
+}
+
+/// Per-category [`DurationStats`], keyed by span category. A newtype so
+/// the whole map can lift from `Null` (reports written before PR 7).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Percentiles(pub BTreeMap<String, DurationStats>);
+
+impl Serialize for Percentiles {
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for Percentiles {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if v.is_null() {
+            return Ok(Self::default());
+        }
+        Ok(Percentiles(BTreeMap::from_value(v)?))
+    }
+}
+
 /// Aggregated step-time breakdown report. Build with [`StepReport::build`],
 /// export with [`StepReport::to_json`], print with [`StepReport::render`].
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -238,6 +316,15 @@ pub struct StepReport {
     /// reports written before the SIMD engine existed.
     #[serde(default)]
     pub gemm_variants: BTreeMap<String, u64>,
+    /// p50/p95/p99 span durations per category, answered from
+    /// deterministic [`Log2Histogram`] sketches built at report time.
+    /// Empty for reports written before PR 7 (`Null` lifts to empty).
+    pub percentiles: Percentiles,
+    /// Cross-rank critical-path attribution, when an analysis pass ran
+    /// (`dlsr analyze`, or any harness calling
+    /// [`StepReport::attach_critical_path`]). `None` for plain profiles
+    /// and for reports written before PR 7.
+    pub critical_path: Option<crate::analyze::CritPath>,
     /// Raw counter/gauge snapshot the summaries were derived from.
     pub counters: BTreeMap<String, f64>,
 }
@@ -422,6 +509,17 @@ impl StepReport {
             })
             .collect();
 
+        let mut hists: BTreeMap<String, Log2Histogram> = BTreeMap::new();
+        for e in events {
+            hists.entry(e.cat.clone()).or_default().record(e.dur_s());
+        }
+        let percentiles = Percentiles(
+            hists
+                .iter()
+                .map(|(c, h)| (c.clone(), DurationStats::from_hist(h)))
+                .collect(),
+        );
+
         let fsec = |key: &str| counters.get(key).copied().unwrap_or(0.0).max(0.0);
         let faults = FaultSummary {
             retries: counter_u64(counters, keys::FAULT_RETRIES),
@@ -449,8 +547,16 @@ impl StepReport {
             scratch,
             faults,
             gemm_variants,
+            percentiles,
+            critical_path: None,
             counters: counters.clone(),
         }
+    }
+
+    /// Attach a critical-path analysis computed over the same trace (see
+    /// [`crate::analyze::critical_path`]).
+    pub fn attach_critical_path(&mut self, cp: crate::analyze::CritPath) {
+        self.critical_path = Some(cp);
     }
 
     pub fn with_context(
@@ -575,14 +681,19 @@ impl StepReport {
         ));
         if !self.gemm_variants.is_empty() {
             let total: u64 = self.gemm_variants.values().sum();
-            let mix = self
-                .gemm_variants
+            // Deterministic presentation for golden-file diffing: busiest
+            // kernel first, ties broken by name, and a fixed one-decimal
+            // percentage of the (printed) tile total.
+            let mut variants: Vec<(&String, u64)> =
+                self.gemm_variants.iter().map(|(k, &t)| (k, t)).collect();
+            variants.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+            let mix = variants
                 .iter()
-                .map(|(kernel, &tiles)| {
+                .map(|(kernel, tiles)| {
                     format!(
                         "{kernel}={tiles} ({:.1}%)",
                         if total > 0 {
-                            tiles as f64 / total as f64 * 100.0
+                            *tiles as f64 / total as f64 * 100.0
                         } else {
                             0.0
                         }
@@ -590,7 +701,23 @@ impl StepReport {
                 })
                 .collect::<Vec<_>>()
                 .join(" ");
-            out.push_str(&format!("gemm kernels (register tiles): {mix}\n"));
+            out.push_str(&format!("gemm kernels ({total} register tiles): {mix}\n"));
+        }
+        if !self.percentiles.0.is_empty() {
+            out.push_str(
+                "category latency     |  calls |   p50 ms |   p95 ms |   p99 ms |   max ms\n",
+            );
+            for (c, d) in &self.percentiles.0 {
+                out.push_str(&format!(
+                    "{:<20} | {:>6} | {:>8.3} | {:>8.3} | {:>8.3} | {:>8.3}\n",
+                    c,
+                    d.count,
+                    ms(d.p50_s),
+                    ms(d.p95_s),
+                    ms(d.p99_s),
+                    ms(d.max_s),
+                ));
+            }
         }
         if self.faults != FaultSummary::default() {
             out.push_str(&format!(
@@ -701,6 +828,7 @@ mod tests {
         counters.insert(keys::SCRATCH_ALLOCS.to_string(), 25.0);
         counters.insert(format!("{}avx512_8x32", keys::GEMM_VARIANT_PREFIX), 300.0);
         counters.insert(format!("{}scalar", keys::GEMM_VARIANT_PREFIX), 100.0);
+        counters.insert(format!("{}zmm_tail", keys::GEMM_VARIANT_PREFIX), 600.0);
         let events = vec![
             ev("conv1", cat::NN_FWD, 0, 0.0, 1.0, Clock::Wall),
             ev("conv1", cat::NN_BWD, 0, 1.0, 3.0, Clock::Wall),
@@ -724,7 +852,21 @@ mod tests {
         let text = rep.render();
         assert!(text.contains("hit rate 90.0%"));
         assert!(text.contains("utilization 25.0%"));
-        assert!(text.contains("avx512_8x32=300 (75.0%)"));
+        // Deterministic kernel-mix line: busiest kernel first regardless
+        // of its (alphabetically last) name, with the tile total printed.
+        assert!(
+            text.contains(
+                "gemm kernels (1000 register tiles): zmm_tail=600 (60.0%) \
+                 avx512_8x32=300 (30.0%) scalar=100 (10.0%)"
+            ),
+            "{text}"
+        );
+        // Per-category span-duration percentiles are derived at build
+        // time; nn.forward saw spans of 1.0 s / 1.5 s → max is exact.
+        let fwd = rep.percentiles.0.get(cat::NN_FWD).unwrap();
+        assert_eq!(fwd.count, 2);
+        assert!((fwd.max_s - 1.5).abs() < 1e-12);
+        assert!(text.contains("category latency"), "{text}");
         // fault-free run: the faults line is suppressed entirely
         assert!(!text.contains("faults:"));
     }
