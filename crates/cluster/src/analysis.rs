@@ -293,6 +293,126 @@ pub fn project(model: &CostModel, worlds: &[usize]) -> Vec<ProjectionPoint> {
         .collect()
 }
 
+/// Run the costs-only simulator (paper-scale EDSR workload, event core)
+/// on `topo` with tracing enabled and package the measured window as a
+/// [`TracedRun`], so the same [`fit_model`] machinery that fits real
+/// training traces can fit simulated ones. Resets the global trace state.
+pub fn traced_sim_run(
+    topo: &ClusterTopology,
+    sc: Scenario,
+    batch: usize,
+    warmup: usize,
+    steps: usize,
+    seed: u64,
+) -> TracedRun {
+    let (w, tensors) = crate::workload::edsr_measured_workload();
+    let trainer = crate::sim::SimTrainer::new(w, tensors, batch, sc, topo, seed)
+        .expect("per-GPU batch must fit");
+    dlsr_trace::set_enabled(true);
+    dlsr_trace::reset();
+    let res = crate::experiment::run_world(topo, sc.mpi_config(), &trainer, warmup, steps);
+    dlsr_trace::set_enabled(false);
+    let counters = dlsr_trace::counters_snapshot();
+    let warm_end = res.ranks.iter().map(|r| r.warm_end).fold(0.0, f64::max);
+    let end = res.ranks.iter().map(|r| r.end).fold(0.0, f64::max);
+    let mut trace = Vec::new();
+    for r in &res.ranks {
+        trace.extend(r.trace.iter().cloned());
+    }
+    TracedRun {
+        world: topo.total_gpus(),
+        steps,
+        makespan: end - warm_end,
+        trace,
+        counters,
+    }
+}
+
+/// Projection vs. discrete-event simulation at one world size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimCheckPoint {
+    pub world: usize,
+    /// Step time the analytic model predicts, seconds.
+    pub predicted_step_s: f64,
+    /// Step time the event-driven simulator measured, seconds.
+    pub simulated_step_s: f64,
+    /// `|predicted − simulated| / simulated`.
+    pub step_rel_err: f64,
+    /// Model-projected weak-scaling efficiency.
+    pub predicted_eff: f64,
+    /// Simulated weak-scaling efficiency (vs. the single-rank step).
+    pub simulated_eff: f64,
+    /// `|predicted_eff − simulated_eff|`, in efficiency points.
+    pub eff_abs_err: f64,
+}
+
+/// Cross-validation of the analytic projection against the event-driven
+/// simulator at world sizes real training cannot reach: the model is
+/// fitted from a *simulated* trace at `fit_world` ranks and its
+/// extrapolation compared against actual driven-engine runs at 64–512.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimCheck {
+    /// Ranks of the simulated fit trace.
+    pub fit_world: usize,
+    pub points: Vec<SimCheckPoint>,
+}
+
+/// Fit the cost model on a small simulated world and validate its
+/// projection against full event-driven simulations at `worlds` (ranks;
+/// multiples of 4 — Lassen nodes hold 4 GPUs).
+pub fn sim_check(
+    sc: Scenario,
+    batch: usize,
+    warmup: usize,
+    steps: usize,
+    fit_nodes: usize,
+    worlds: &[usize],
+    seed: u64,
+) -> SimCheck {
+    let fit_topo = ClusterTopology::lassen(fit_nodes);
+    let fit_run = traced_sim_run(&fit_topo, sc, batch, warmup, steps, seed);
+    let (model, _) = fit_model(&fit_run, sc);
+    let t1 = crate::simscale::single_rank_step_s(sc, batch, warmup, steps, seed);
+    let points = worlds
+        .iter()
+        .map(|&w| {
+            assert_eq!(w % 4, 0, "worlds are whole Lassen nodes (4 GPUs each)");
+            let p = crate::simscale::measure_point(
+                w / 4,
+                sc,
+                batch,
+                warmup,
+                steps,
+                seed,
+                dlsr_mpi::SimCore::Event,
+                t1,
+                1,
+            );
+            let predicted_step_s = model.predict_step_s(w);
+            let simulated_step_s = p.virtual_step_s;
+            let predicted_eff = model.predict_efficiency(w);
+            let simulated_eff = p.efficiency;
+            SimCheckPoint {
+                world: w,
+                predicted_step_s,
+                simulated_step_s,
+                step_rel_err: if simulated_step_s > 0.0 {
+                    (predicted_step_s - simulated_step_s).abs() / simulated_step_s
+                } else {
+                    0.0
+                },
+                predicted_eff,
+                simulated_eff,
+                eff_abs_err: (predicted_eff - simulated_eff).abs(),
+            }
+        })
+        .collect();
+    SimCheck {
+        fit_world: fit_topo.total_gpus(),
+        points,
+    }
+}
+
 /// Everything `dlsr analyze` exports to `results/BENCH_analysis.json`.
 /// Virtual-clock quantities only, so the file is identical across
 /// machines and usable as a committed regression baseline.
@@ -309,6 +429,10 @@ pub struct AnalysisReport {
     pub model: CostModel,
     pub validation: Vec<ValidationPoint>,
     pub projection: Vec<ProjectionPoint>,
+    /// Projection-vs-simulation cross-validation at 64–512 ranks
+    /// (`None` when skipped; absent in pre-simscale baselines).
+    #[serde(default)]
+    pub sim_check: Option<SimCheck>,
 }
 
 impl AnalysisReport {
@@ -355,6 +479,24 @@ pub fn gate(current: &AnalysisReport, baseline: &AnalysisReport, tol_pct: f64) -
                     cur_p.efficiency * 100.0,
                     base_p.efficiency * 100.0,
                 ));
+            }
+        }
+    }
+    // Projection-vs-simulation agreement may not decay: the error at each
+    // world may grow by at most `tol_pct` efficiency *points* over the
+    // baseline (gated only when both reports carry the cross-validation).
+    if let (Some(cur), Some(base)) = (&current.sim_check, &baseline.sim_check) {
+        for bp in &base.points {
+            if let Some(cp) = cur.points.iter().find(|p| p.world == bp.world) {
+                if cp.eff_abs_err > bp.eff_abs_err + tol {
+                    violations.push(format!(
+                        "projection-vs-simulation efficiency error at {} ranks grew: \
+                         {:.1} pts vs baseline {:.1} pts (tol {tol_pct} pts)",
+                        bp.world,
+                        cp.eff_abs_err * 100.0,
+                        bp.eff_abs_err * 100.0,
+                    ));
+                }
             }
         }
     }
@@ -434,6 +576,7 @@ mod tests {
                 images_per_sec: 512.0 / step_s,
                 efficiency: eff512,
             }],
+            sim_check: None,
         };
         let base = run(1.0e-3, 0.70);
         // Identical → pass; faster → pass; 20% slower at 10% tol → trip.
@@ -452,6 +595,72 @@ mod tests {
         let s = base.to_json();
         let back = AnalysisReport::from_json(&s).unwrap();
         assert_eq!(back, base);
+    }
+
+    #[test]
+    fn gate_trips_when_projection_sim_agreement_decays() {
+        let report = |err: f64| AnalysisReport {
+            scenario: "mpi-opt".into(),
+            world: 8,
+            steps: 4,
+            measured_step_s: 1.0e-3,
+            attribution_per_step: Attribution::default(),
+            model: toy_model(),
+            validation: Vec::new(),
+            projection: Vec::new(),
+            sim_check: Some(SimCheck {
+                fit_world: 16,
+                points: vec![SimCheckPoint {
+                    world: 256,
+                    predicted_step_s: 1.0e-3,
+                    simulated_step_s: 1.0e-3,
+                    step_rel_err: err,
+                    predicted_eff: 0.8,
+                    simulated_eff: 0.8 - err,
+                    eff_abs_err: err,
+                }],
+            }),
+        };
+        let base = report(0.02);
+        // Same error, or error within tol points → pass.
+        assert!(gate(&report(0.02), &base, 10.0).is_empty());
+        assert!(gate(&report(0.08), &base, 10.0).is_empty());
+        // Error grew by more than 10 points → trip.
+        let v = gate(&report(0.15), &base, 10.0);
+        assert!(
+            v.iter().any(|m| m.contains("projection-vs-simulation")),
+            "{v:?}"
+        );
+        // Baselines without the section never trip the new rule.
+        let mut old = base.clone();
+        old.sim_check = None;
+        assert!(gate(&report(0.5), &old, 10.0).is_empty());
+        // And pre-simscale JSON (no sim_check key) still parses.
+        let stripped = base.to_json().replace("\"sim_check\"", "\"ignored\"");
+        let parsed = AnalysisReport::from_json(&stripped);
+        assert!(parsed.is_err() || parsed.unwrap().sim_check.is_none());
+    }
+
+    #[test]
+    fn sim_check_model_tracks_the_simulator() {
+        // Fit at 8 simulated ranks, then hold the projection against
+        // actual driven-engine runs at 16 and 32 ranks: the analytic
+        // scaling laws must track the discrete-event simulation.
+        let chk = sim_check(Scenario::MpiOpt, 4, 1, 3, 2, &[16, 32], 7);
+        assert_eq!(chk.fit_world, 8);
+        assert_eq!(chk.points.len(), 2);
+        for p in &chk.points {
+            assert!(p.simulated_step_s > 0.0);
+            assert!(p.simulated_eff > 0.3 && p.simulated_eff <= 1.001, "{p:?}");
+            assert!(
+                p.step_rel_err < 0.10,
+                "model off by {:.1}% at {} ranks: predicted {:.3} ms vs simulated {:.3} ms",
+                p.step_rel_err * 100.0,
+                p.world,
+                p.predicted_step_s * 1e3,
+                p.simulated_step_s * 1e3,
+            );
+        }
     }
 
     #[test]

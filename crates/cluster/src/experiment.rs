@@ -3,11 +3,36 @@
 use dlsr_gpu::{GpuSpec, KernelCostModel, WorkloadProfile};
 use dlsr_horovod::TensorSpec;
 use dlsr_hvprof::Hvprof;
-use dlsr_mpi::MpiWorld;
+use dlsr_mpi::{MpiConfig, MpiWorld, SimCore, WorldResult};
 use dlsr_net::ClusterTopology;
 
 use crate::scenario::Scenario;
-use crate::sim::SimTrainer;
+use crate::sim::{RankRun, SimTrainer};
+
+/// Run a trainer on every rank of `topo` on the core `cfg.sim_core`
+/// selects: the zero-thread driven engine for [`SimCore::Event`] (the
+/// default — one thread, no locks, scales to 4096 ranks), or the legacy
+/// thread-per-rank world for [`SimCore::Threaded`]. Results are
+/// bitwise-identical (asserted by the equivalence suites).
+pub fn run_world(
+    topo: &ClusterTopology,
+    cfg: MpiConfig,
+    trainer: &SimTrainer,
+    warmup: usize,
+    steps: usize,
+) -> WorldResult<RankRun> {
+    match cfg.sim_core {
+        // Verify builds keep ranks on the event *context* core so the
+        // cross-rank checker (whose rendezvous needs concurrent ranks)
+        // stays attached; the equivalence suite pins the driven engine
+        // bitwise to it, so what gets verified is what gets driven.
+        #[cfg(feature = "verify")]
+        SimCore::Event => MpiWorld::run(topo, cfg, move |c| trainer.run(c, warmup, steps)),
+        #[cfg(not(feature = "verify"))]
+        SimCore::Event => MpiWorld::run_driven(topo, cfg, |_| trainer.program(warmup, steps)),
+        SimCore::Threaded => MpiWorld::run(topo, cfg, move |c| trainer.run(c, warmup, steps)),
+    }
+}
 
 /// Result of one distributed training measurement.
 #[derive(Debug, Clone)]
@@ -59,9 +84,13 @@ pub fn single_gpu_throughput(
     .expect("single-GPU batch must fit");
     let warmup = 2;
     let steps = 20;
-    let res = MpiWorld::run(&topo, Scenario::MpiOpt.mpi_config(), move |c| {
-        trainer.run(c, warmup, steps)
-    });
+    let res = run_world(
+        &topo,
+        Scenario::MpiOpt.mpi_config(),
+        &trainer,
+        warmup,
+        steps,
+    );
     let r = &res.ranks[0];
     batch as f64 * steps as f64 / (r.end - r.warm_end)
 }
@@ -78,6 +107,34 @@ pub fn run_training(
     steps: usize,
     seed: u64,
 ) -> TrainRun {
+    run_training_core(
+        topo,
+        scenario,
+        workload,
+        tensors,
+        batch,
+        warmup,
+        steps,
+        seed,
+        scenario.mpi_config().sim_core,
+    )
+}
+
+/// [`run_training`] on an explicit execution core (the `--core` flag of
+/// `dlsr simulate`; the equivalence suites compare the two cores through
+/// this entry point).
+#[allow(clippy::too_many_arguments)]
+pub fn run_training_core(
+    topo: &ClusterTopology,
+    scenario: Scenario,
+    workload: &WorkloadProfile,
+    tensors: &[TensorSpec],
+    batch: usize,
+    warmup: usize,
+    steps: usize,
+    seed: u64,
+    core: SimCore,
+) -> TrainRun {
     let trainer = SimTrainer::new(
         workload.clone(),
         tensors.to_vec(),
@@ -87,8 +144,9 @@ pub fn run_training(
         seed,
     )
     .expect("per-GPU batch must fit in device memory");
+    let cfg = scenario.mpi_config().to_builder().sim_core(core).build();
     run_with_trainer(
-        topo, scenario, workload, tensors, trainer, batch, warmup, steps, seed,
+        topo, scenario, cfg, workload, tensors, trainer, batch, warmup, steps, seed,
     )
 }
 
@@ -117,7 +175,16 @@ pub fn run_training_tuned(
     )
     .expect("per-GPU batch must fit in device memory");
     run_with_trainer(
-        topo, scenario, workload, tensors, trainer, batch, warmup, steps, seed,
+        topo,
+        scenario,
+        scenario.mpi_config(),
+        workload,
+        tensors,
+        trainer,
+        batch,
+        warmup,
+        steps,
+        seed,
     )
 }
 
@@ -125,6 +192,7 @@ pub fn run_training_tuned(
 fn run_with_trainer(
     topo: &ClusterTopology,
     scenario: Scenario,
+    cfg: MpiConfig,
     workload: &WorkloadProfile,
     tensors: &[TensorSpec],
     trainer: SimTrainer,
@@ -134,9 +202,7 @@ fn run_with_trainer(
     seed: u64,
 ) -> TrainRun {
     let world = topo.total_gpus();
-    let res = MpiWorld::run(topo, scenario.mpi_config(), move |c| {
-        trainer.run(c, warmup, steps)
-    });
+    let res = run_world(topo, cfg, &trainer, warmup, steps);
     // Measured window: slowest rank bounds both edges (synchronous SGD).
     let warm_end = res.ranks.iter().map(|r| r.warm_end).fold(0.0, f64::max);
     let end = res.ranks.iter().map(|r| r.end).fold(0.0, f64::max);

@@ -20,16 +20,19 @@ pub mod experiment;
 pub mod realtrain;
 pub mod scenario;
 pub mod sim;
+pub mod simscale;
 pub mod workload;
 
 pub use analysis::{
-    fit_model, gate, project, traced_real_run, validate, AnalysisReport, CostModel, GroupCost,
-    ProjectionPoint, TracedRun, ValidationPoint,
+    fit_model, gate, project, sim_check, traced_real_run, validate, AnalysisReport, CostModel,
+    GroupCost, ProjectionPoint, SimCheck, SimCheckPoint, TracedRun, ValidationPoint,
 };
 pub use experiment::{
-    batch_sweep, run_training, run_training_tuned, scaling_sweep, ScalingPoint, TrainRun,
+    batch_sweep, run_training, run_training_core, run_training_tuned, run_world, scaling_sweep,
+    ScalingPoint, TrainRun,
 };
 pub use realtrain::{train_real, RealTrainConfig, RealTrainConfigBuilder, RealTrainResult};
 pub use scenario::Scenario;
-pub use sim::{estimate_allreduce, SimTrainer};
+pub use sim::{estimate_allreduce, SimProgram, SimTrainer};
+pub use simscale::{SimScalePoint, SimScaleReport};
 pub use workload::{edsr_measured_workload, edsr_text_workload, resnet50_workload, to_workload};

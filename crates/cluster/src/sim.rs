@@ -2,13 +2,14 @@
 
 use dlsr_gpu::{GpuSpec, KernelCostModel, MemoryError, WorkloadProfile};
 use dlsr_horovod::{
-    negotiate_with_cost, plan_dynamic, readiness_from_elems, Backend, HorovodConfig,
-    ScheduledGroup, TensorSpec,
+    plan_dynamic, readiness_from_elems, Backend, HorovodConfig, NegotiateTask, ScheduledGroup,
+    TensorSpec,
 };
 use dlsr_hvprof::{Collective, Hvprof, Timeline};
-use dlsr_mpi::collectives::{synthetic, AllreduceAlgorithm};
+use dlsr_mpi::collectives::tasks::{AllreduceElemsTask, BarrierTask};
+use dlsr_mpi::collectives::AllreduceAlgorithm;
 use dlsr_mpi::config::DeviceMode;
-use dlsr_mpi::{Comm, MpiConfig, PathPolicy};
+use dlsr_mpi::{drive_program, Comm, MpiConfig, PathPolicy, RankProgram, Step, Task};
 use dlsr_net::{ClusterTopology, RegCacheStats};
 
 use crate::scenario::Scenario;
@@ -165,6 +166,12 @@ pub struct SimTrainer {
     staged_blocking: f64,
     jitter_sigma: f64,
     seed: u64,
+    /// Collect the per-step diagnostic artifacts (Hvprof profile,
+    /// HOROVOD_TIMELINE events). On by default; the simulator-scaling
+    /// benchmark turns it off — at 4096 ranks those strings are O(ranks ×
+    /// steps) host memory and allocator traffic that measure nothing. The
+    /// virtual clocks are identical either way.
+    artifacts: bool,
 }
 
 impl SimTrainer {
@@ -258,12 +265,21 @@ impl SimTrainer {
             staged_blocking,
             jitter_sigma: 0.02,
             seed,
+            artifacts: true,
         })
     }
 
     /// Override the straggler-jitter amplitude (default 2 %).
     pub fn with_jitter(mut self, sigma: f64) -> Self {
         self.jitter_sigma = sigma;
+        self
+    }
+
+    /// Turn per-step diagnostic artifacts (profile + timeline) on or off.
+    /// Timing — virtual and, at large worlds, mostly host wall too — is
+    /// unaffected; the returned [`RankRun`]s just carry empty artifacts.
+    pub fn with_artifacts(mut self, on: bool) -> Self {
+        self.artifacts = on;
         self
     }
 
@@ -287,168 +303,295 @@ impl SimTrainer {
         &self.workload
     }
 
-    /// Execute one training step on this rank.
-    fn step(&self, comm: &mut Comm, step_idx: u64, prof: &mut Hvprof, tl: &mut Timeline) {
-        let rank = comm.rank();
-        let t0 = comm.now();
-        let jit = jitter_factor(self.seed, rank, step_idx, self.jitter_sigma);
-        // A straggler rank from the fault plan runs all its compute slower
-        // by a fixed multiplier, on top of the per-step jitter.
-        #[cfg(feature = "faults")]
-        let jit = jit
-            * comm
-                .config()
-                .fault_plan
-                .as_ref()
-                .map(|p| p.compute_multiplier(rank))
-                .unwrap_or(1.0);
-        let bwd_start = t0 + self.fwd * jit;
-        comm.advance_to(bwd_start);
-        tl.record(format!("fwd[{step_idx}]"), "compute", rank, t0, bwd_start);
-        dlsr_trace::record_span(
-            || format!("fwd[{step_idx}]"),
-            dlsr_trace::cat::COMPUTE,
-            t0,
-            bwd_start,
-        );
-        if comm.size() > 1 {
-            // Per-group coordination cost is embedded in the plan's launch
-            // offsets (see `coordination_cost`); the executed negotiation
-            // here carries the real control messages once per step.
-            let ts = comm.now();
-            negotiate_with_cost(comm, self.n_tensors, step_idx, COORDINATOR_REPORT_COST);
-            tl.record(
-                format!("negotiate[{step_idx}]"),
-                "negotiate",
-                rank,
-                ts,
-                comm.now(),
-            );
-            for (gi, sg) in self.plan.iter().enumerate() {
-                dlsr_trace::counter_add(dlsr_trace::report::keys::FUSION_GROUPS, 1.0);
-                dlsr_trace::counter_add(
-                    dlsr_trace::report::keys::FUSION_PACKED_BYTES,
-                    sg.group.bytes as f64,
-                );
-                dlsr_trace::counter_add(
-                    dlsr_trace::report::keys::FUSION_CAPACITY_BYTES,
-                    sg.group.bytes.max(self.hcfg.fusion_threshold) as f64,
-                );
-                comm.advance_to(bwd_start + sg.launch_offset * jit);
-                let ts = comm.now();
-                let buf_id = FUSION_BUF_ID_BASE + gi as u64;
-                match self.hcfg.backend {
-                    Backend::Mpi => synthetic::allreduce_elems(
-                        comm,
-                        sg.group.elems,
-                        buf_id,
-                        comm.config().allreduce,
-                    ),
-                    Backend::Nccl => {
-                        comm.set_path_policy(PathPolicy::NcclLike);
-                        synthetic::allreduce_elems(
-                            comm,
-                            sg.group.elems,
-                            buf_id,
-                            AllreduceAlgorithm::Ring,
-                        );
-                        comm.set_path_policy(PathPolicy::Mpi);
-                    }
-                }
-                prof.record(Collective::Allreduce, sg.group.bytes, comm.now() - ts);
-                tl.record(
-                    format!("allreduce[{step_idx}.{gi}] {}MB", sg.group.bytes >> 20),
-                    "allreduce",
-                    rank,
-                    ts,
-                    comm.now(),
-                );
-                dlsr_trace::record_span(
-                    || format!("allreduce[{step_idx}.{gi}] {}B", sg.group.bytes),
-                    dlsr_trace::cat::ALLREDUCE,
-                    ts,
-                    comm.now(),
-                );
-            }
-        }
-        // backward must have finished before the optimizer step; staged
-        // transfers stall the compute stream, stretching it (Fig 6)
-        let bwd_end = t0 + (self.fwd + self.bwd) * jit + self.staged_blocking;
-        comm.advance_to(bwd_end);
-        tl.record(
-            format!("bwd[{step_idx}]"),
-            "compute",
-            rank,
-            bwd_start,
-            bwd_end,
-        );
-        dlsr_trace::record_span(
-            || format!("bwd[{step_idx}]"),
-            dlsr_trace::cat::COMPUTE,
-            bwd_start,
-            bwd_end,
-        );
-        if comm.size() > 1 {
-            // per-step metric logging (§III-A guideline 5): tiny allreduce
-            // of loss/throughput scalars — the 1–128 KB bin of Table I.
-            // Logging happens at a synchronized point (after the optimizer
-            // step), so the straggler wait lands in the barrier and the
-            // recorded allreduce time is pure transport — which is why this
-            // bin shows no IPC benefit (Table I row 1).
-            dlsr_mpi::collectives::barrier(comm);
-            let ts = comm.now();
-            synthetic::allreduce_elems(
-                comm,
-                METRICS_ELEMS,
-                FUSION_BUF_ID_BASE - 2,
-                comm.config().allreduce,
-            );
-            prof.record(
-                Collective::Allreduce,
-                (METRICS_ELEMS * 4) as u64,
-                comm.now() - ts,
-            );
-            tl.record(
-                format!("metrics[{step_idx}]"),
-                "allreduce",
-                rank,
-                ts,
-                comm.now(),
-            );
-            dlsr_trace::record_span(
-                || format!("metrics[{step_idx}]"),
-                dlsr_trace::cat::ALLREDUCE,
-                ts,
-                comm.now(),
-            );
-        }
-        comm.advance(self.tail);
+    /// Run `warmup + steps` training steps; the profile and timeline cover
+    /// only the measured window. Blocking form of [`SimTrainer::program`],
+    /// driven in place — context cores and the driven engine execute the
+    /// identical state machine.
+    pub fn run(&self, comm: &mut Comm, warmup: usize, steps: usize) -> RankRun {
+        drive_program(comm, self.program(warmup, steps))
     }
 
-    /// Run `warmup + steps` training steps; the profile and timeline cover
-    /// only the measured window.
-    pub fn run(&self, comm: &mut Comm, warmup: usize, steps: usize) -> RankRun {
-        let mut discard_prof = Hvprof::new();
-        let mut discard_tl = Timeline::new();
-        for s in 0..warmup {
-            self.step(comm, s as u64, &mut discard_prof, &mut discard_tl);
+    /// This rank's run as a resumable [`RankProgram`] for
+    /// [`dlsr_mpi::MpiWorld::run_driven`].
+    pub fn program(&self, warmup: usize, steps: usize) -> SimProgram<'_> {
+        SimProgram {
+            trainer: self,
+            warmup,
+            steps,
+            step_idx: 0,
+            phase: SimPhase::StepStart,
+            warm_marked: false,
+            warm_end: 0.0,
+            prof: Hvprof::new(),
+            tl: Timeline::new(),
+            t0: 0.0,
+            jit: 1.0,
+            bwd_start: 0.0,
+            ts: 0.0,
+            gi: 0,
         }
-        // discard this rank thread's warmup spans so the trace covers only
-        // the measured window (mirrors prof/timeline)
-        let _ = dlsr_trace::take_thread_events();
-        let warm_end = comm.now();
-        let mut prof = Hvprof::new();
-        let mut timeline = Timeline::new();
-        for s in 0..steps {
-            self.step(comm, (warmup + s) as u64, &mut prof, &mut timeline);
+    }
+}
+
+/// Resume point within one training step.
+enum SimPhase {
+    StepStart,
+    AfterNegotiate,
+    GroupLaunch,
+    AfterGroup,
+    Backward,
+    AfterBarrier,
+    AfterMetrics,
+    StepTail,
+}
+
+/// One rank's training run as a resumable [`RankProgram`]: synchronous
+/// compute segments happen in `next`, every communication round is yielded
+/// as a task the engine can park mid-flight. [`SimTrainer::run`] drives
+/// this same machine on the context cores, so the two paths cannot drift.
+pub struct SimProgram<'a> {
+    trainer: &'a SimTrainer,
+    warmup: usize,
+    steps: usize,
+    step_idx: u64,
+    phase: SimPhase,
+    warm_marked: bool,
+    warm_end: f64,
+    prof: Hvprof,
+    tl: Timeline,
+    t0: f64,
+    jit: f64,
+    bwd_start: f64,
+    ts: f64,
+    gi: usize,
+}
+
+impl RankProgram for SimProgram<'_> {
+    type Out = RankRun;
+
+    fn next(&mut self, comm: &mut Comm) -> Step {
+        let tr = self.trainer;
+        loop {
+            match self.phase {
+                SimPhase::StepStart => {
+                    if !self.warm_marked && self.step_idx as usize == self.warmup {
+                        // Warmup boundary: drop warmup spans so the trace
+                        // covers only the measured window (mirrors the
+                        // prof/timeline reset).
+                        self.warm_marked = true;
+                        self.warm_end = comm.now();
+                        self.prof = Hvprof::new();
+                        self.tl = Timeline::new();
+                        return Step::DiscardTrace;
+                    }
+                    if self.step_idx as usize == self.warmup + self.steps {
+                        return Step::Done;
+                    }
+                    let rank = comm.rank();
+                    let step_idx = self.step_idx;
+                    self.t0 = comm.now();
+                    let jit = jitter_factor(tr.seed, rank, step_idx, tr.jitter_sigma);
+                    // A straggler rank from the fault plan runs all its
+                    // compute slower by a fixed multiplier, on top of the
+                    // per-step jitter.
+                    #[cfg(feature = "faults")]
+                    let jit = jit
+                        * comm
+                            .config()
+                            .fault_plan
+                            .as_ref()
+                            .map(|p| p.compute_multiplier(rank))
+                            .unwrap_or(1.0);
+                    self.jit = jit;
+                    self.bwd_start = self.t0 + tr.fwd * jit;
+                    comm.advance_to(self.bwd_start);
+                    if tr.artifacts {
+                        self.tl.record(
+                            format!("fwd[{step_idx}]"),
+                            "compute",
+                            rank,
+                            self.t0,
+                            self.bwd_start,
+                        );
+                    }
+                    dlsr_trace::record_span(
+                        move || format!("fwd[{step_idx}]"),
+                        dlsr_trace::cat::COMPUTE,
+                        self.t0,
+                        self.bwd_start,
+                    );
+                    if comm.size() > 1 {
+                        // Per-group coordination cost is embedded in the
+                        // plan's launch offsets (see `coordination_cost`);
+                        // the executed negotiation here carries the real
+                        // control messages once per step.
+                        self.ts = comm.now();
+                        self.phase = SimPhase::AfterNegotiate;
+                        return Step::Task(Task::custom(NegotiateTask::new(
+                            tr.n_tensors,
+                            step_idx,
+                            COORDINATOR_REPORT_COST,
+                        )));
+                    }
+                    self.phase = SimPhase::Backward;
+                }
+                SimPhase::AfterNegotiate => {
+                    if tr.artifacts {
+                        self.tl.record(
+                            format!("negotiate[{}]", self.step_idx),
+                            "negotiate",
+                            comm.rank(),
+                            self.ts,
+                            comm.now(),
+                        );
+                    }
+                    self.gi = 0;
+                    self.phase = SimPhase::GroupLaunch;
+                }
+                SimPhase::GroupLaunch => {
+                    let Some(sg) = tr.plan.get(self.gi) else {
+                        self.phase = SimPhase::Backward;
+                        continue;
+                    };
+                    dlsr_trace::counter_add(dlsr_trace::report::keys::FUSION_GROUPS, 1.0);
+                    dlsr_trace::counter_add(
+                        dlsr_trace::report::keys::FUSION_PACKED_BYTES,
+                        sg.group.bytes as f64,
+                    );
+                    dlsr_trace::counter_add(
+                        dlsr_trace::report::keys::FUSION_CAPACITY_BYTES,
+                        sg.group.bytes.max(tr.hcfg.fusion_threshold) as f64,
+                    );
+                    comm.advance_to(self.bwd_start + sg.launch_offset * self.jit);
+                    self.ts = comm.now();
+                    let buf_id = FUSION_BUF_ID_BASE + self.gi as u64;
+                    let algo = match tr.hcfg.backend {
+                        Backend::Mpi => comm.config().allreduce,
+                        Backend::Nccl => {
+                            comm.set_path_policy(PathPolicy::NcclLike);
+                            AllreduceAlgorithm::Ring
+                        }
+                    };
+                    self.phase = SimPhase::AfterGroup;
+                    return Step::Task(
+                        AllreduceElemsTask::new(sg.group.elems, buf_id, algo).into(),
+                    );
+                }
+                SimPhase::AfterGroup => {
+                    if tr.hcfg.backend == Backend::Nccl {
+                        comm.set_path_policy(PathPolicy::Mpi);
+                    }
+                    let sg = &tr.plan[self.gi];
+                    let (step_idx, gi, bytes) = (self.step_idx, self.gi, sg.group.bytes);
+                    if tr.artifacts {
+                        self.prof
+                            .record(Collective::Allreduce, bytes, comm.now() - self.ts);
+                        self.tl.record(
+                            format!("allreduce[{step_idx}.{gi}] {}MB", bytes >> 20),
+                            "allreduce",
+                            comm.rank(),
+                            self.ts,
+                            comm.now(),
+                        );
+                    }
+                    dlsr_trace::record_span(
+                        move || format!("allreduce[{step_idx}.{gi}] {bytes}B"),
+                        dlsr_trace::cat::ALLREDUCE,
+                        self.ts,
+                        comm.now(),
+                    );
+                    self.gi += 1;
+                    self.phase = SimPhase::GroupLaunch;
+                }
+                SimPhase::Backward => {
+                    // backward must have finished before the optimizer
+                    // step; staged transfers stall the compute stream,
+                    // stretching it (Fig 6)
+                    let step_idx = self.step_idx;
+                    let bwd_end = self.t0 + (tr.fwd + tr.bwd) * self.jit + tr.staged_blocking;
+                    comm.advance_to(bwd_end);
+                    if tr.artifacts {
+                        self.tl.record(
+                            format!("bwd[{step_idx}]"),
+                            "compute",
+                            comm.rank(),
+                            self.bwd_start,
+                            bwd_end,
+                        );
+                    }
+                    dlsr_trace::record_span(
+                        move || format!("bwd[{step_idx}]"),
+                        dlsr_trace::cat::COMPUTE,
+                        self.bwd_start,
+                        bwd_end,
+                    );
+                    if comm.size() > 1 {
+                        // per-step metric logging (§III-A guideline 5):
+                        // tiny allreduce of loss/throughput scalars — the
+                        // 1–128 KB bin of Table I. Logging happens at a
+                        // synchronized point (after the optimizer step), so
+                        // the straggler wait lands in the barrier and the
+                        // recorded allreduce time is pure transport — which
+                        // is why this bin shows no IPC benefit (Table I
+                        // row 1).
+                        self.phase = SimPhase::AfterBarrier;
+                        return Step::Task(BarrierTask::new().into());
+                    }
+                    self.phase = SimPhase::StepTail;
+                }
+                SimPhase::AfterBarrier => {
+                    self.ts = comm.now();
+                    self.phase = SimPhase::AfterMetrics;
+                    return Step::Task(
+                        AllreduceElemsTask::new(
+                            METRICS_ELEMS,
+                            FUSION_BUF_ID_BASE - 2,
+                            comm.config().allreduce,
+                        )
+                        .into(),
+                    );
+                }
+                SimPhase::AfterMetrics => {
+                    let step_idx = self.step_idx;
+                    if tr.artifacts {
+                        self.prof.record(
+                            Collective::Allreduce,
+                            (METRICS_ELEMS * 4) as u64,
+                            comm.now() - self.ts,
+                        );
+                        self.tl.record(
+                            format!("metrics[{step_idx}]"),
+                            "allreduce",
+                            comm.rank(),
+                            self.ts,
+                            comm.now(),
+                        );
+                    }
+                    dlsr_trace::record_span(
+                        move || format!("metrics[{step_idx}]"),
+                        dlsr_trace::cat::ALLREDUCE,
+                        self.ts,
+                        comm.now(),
+                    );
+                    self.phase = SimPhase::StepTail;
+                }
+                SimPhase::StepTail => {
+                    comm.advance(tr.tail);
+                    self.step_idx += 1;
+                    self.phase = SimPhase::StepStart;
+                }
+            }
         }
+    }
+
+    fn finish(&mut self, comm: &mut Comm, trace: Vec<dlsr_trace::TraceEvent>) -> RankRun {
         RankRun {
-            warm_end,
+            warm_end: self.warm_end,
             end: comm.now(),
-            prof,
+            prof: std::mem::replace(&mut self.prof, Hvprof::new()),
             reg: comm.regcache_stats(),
-            timeline,
-            trace: dlsr_trace::take_thread_events(),
+            timeline: std::mem::replace(&mut self.tl, Timeline::new()),
+            trace,
         }
     }
 }

@@ -1,0 +1,92 @@
+//! The cross-core contract of the event-driven rewrite (`docs/SIMCORE.md`):
+//! the zero-thread driven engine and the thread-per-rank context core run
+//! the *same* task state machines, so a training run must be bitwise
+//! identical across cores — same per-step losses, same final parameters,
+//! same virtual makespan — at every world size, with and without
+//! communication overlap, and under an injected fault plan. Any
+//! divergence means a core has private semantics, which is exactly what
+//! the single-implementation task design exists to forbid.
+
+use dlsr_cluster::{train_real, RealTrainConfig, RealTrainResult};
+use dlsr_mpi::{MpiConfig, SimCore};
+use dlsr_net::ClusterTopology;
+use parking_lot::Mutex;
+
+/// Serializes the tests in this binary: the trace collector is a process
+/// global, so a traced run must not interleave with other runs.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn topo(gpus: usize) -> ClusterTopology {
+    ClusterTopology {
+        name: format!("eq{gpus}"),
+        nodes: 1,
+        gpus_per_node: gpus,
+    }
+}
+
+fn on_core(core: SimCore) -> MpiConfig {
+    MpiConfig::mpi_opt().to_builder().sim_core(core).build()
+}
+
+/// Everything the cores must agree on, as exact bit patterns.
+fn bits(r: &RealTrainResult) -> (Vec<u32>, Vec<u32>, u64) {
+    (
+        r.losses.iter().map(|l| l.to_bits()).collect(),
+        r.final_params.iter().map(|p| p.to_bits()).collect(),
+        r.makespan.to_bits(),
+    )
+}
+
+#[test]
+fn cores_agree_bitwise_across_world_sizes_and_overlap_modes() {
+    let _g = LOCK.lock();
+    for gpus in [1usize, 2, 4, 8] {
+        let t = topo(gpus);
+        for overlap in [true, false] {
+            // global batch 8 divides every world size under test
+            let cfg = RealTrainConfig::builder()
+                .steps(6)
+                .global_batch(8)
+                .overlap(overlap)
+                .build();
+            let ev = train_real(&t, on_core(SimCore::Event), &cfg);
+            let th = train_real(&t, on_core(SimCore::Threaded), &cfg);
+            let mode = if overlap { "overlapped" } else { "sequential" };
+            assert_eq!(
+                bits(&ev),
+                bits(&th),
+                "{gpus} ranks, {mode}: event and threaded cores diverged"
+            );
+        }
+    }
+}
+
+/// Fault injection must not open a gap between cores either: the plan is
+/// applied by the shared communicator layer, beneath the executor.
+#[cfg(feature = "faults")]
+#[test]
+fn cores_agree_bitwise_under_an_injected_fault_plan() {
+    use std::sync::Arc;
+
+    use dlsr_faults::ChaosScenario;
+
+    let _g = LOCK.lock();
+    let t = topo(4);
+    let cfg = RealTrainConfig::builder().steps(6).build();
+    for scenario in [ChaosScenario::Lossy, ChaosScenario::DegradedLink] {
+        let run = |core: SimCore| {
+            let mpi = on_core(core)
+                .to_builder()
+                .fault_plan(Some(Arc::new(scenario.plan(7, 4, 6))))
+                .build();
+            train_real(&t, mpi, &cfg)
+        };
+        let ev = run(SimCore::Event);
+        let th = run(SimCore::Threaded);
+        assert_eq!(
+            bits(&ev),
+            bits(&th),
+            "{scenario:?}: event and threaded cores diverged under faults"
+        );
+    }
+}

@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! dlsr train    [--nodes N] [--gpus G] [--steps S] [--batch B] [--scenario NAME]
-//!               [--augment] [--warmup W] [--eval-every E] [--digest]
-//! dlsr simulate [--nodes N] [--steps S] [--batch B] [--scenario NAME]
+//!               [--augment] [--warmup W] [--eval-every E] [--digest] [--core C]
+//! dlsr simulate [--nodes N] [--steps S] [--batch B] [--scenario NAME] [--core C]
+//! dlsr simscale [--nodes N,N,...] [--steps S] [--smoke] [--check]
+//!               [--baseline FILE] [--gate PCT]
 //! dlsr profile  [--steps S]
 //! dlsr analyze  [--nodes N] [--steps S] [--baseline FILE] [--gate PCT]
 //! dlsr chaos    [--fault NAME] [--nodes N] [--gpus G] [--steps S] [--seed X]
@@ -26,7 +28,15 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
             // boolean flags take no value; valued flags consume the next arg
             let boolean = matches!(
                 name,
-                "augment" | "help" | "compare" | "check" | "sequential" | "digest" | "no-validate"
+                "augment"
+                    | "help"
+                    | "compare"
+                    | "check"
+                    | "sequential"
+                    | "digest"
+                    | "no-validate"
+                    | "no-sim-check"
+                    | "smoke"
             );
             if boolean {
                 flags.insert(name.to_string(), "true".to_string());
@@ -60,6 +70,25 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, defaul
     }
 }
 
+/// `--core event|threaded` — which execution core runs the world. The
+/// default (`event`) is the discrete-event core; `threaded` keeps the
+/// legacy thread-per-rank core, preserved as the equivalence baseline
+/// (the two must produce bitwise-identical results and digests).
+fn sim_core(flags: &HashMap<String, String>) -> dlsr_mpi::SimCore {
+    match flags.get("core").map(String::as_str) {
+        None | Some("event") => dlsr_mpi::SimCore::Event,
+        Some("threaded") => dlsr_mpi::SimCore::Threaded,
+        Some(other) => die(&format!(
+            "bad value for --core: {other} (expected event | threaded)"
+        )),
+    }
+}
+
+/// Apply the `--core` selection to an MPI configuration.
+fn with_core(cfg: MpiConfig, flags: &HashMap<String, String>) -> MpiConfig {
+    cfg.to_builder().sim_core(sim_core(flags)).build()
+}
+
 fn scenario(flags: &HashMap<String, String>) -> Scenario {
     // `Scenario`'s FromStr parses the same case-insensitive labels the
     // reports print, so every subcommand accepts the same names. Keep the
@@ -78,13 +107,28 @@ fn usage() {
 USAGE:
   dlsr train    [--nodes N] [--gpus G] [--steps S] [--batch B] [--scenario NAME]
                 [--augment] [--warmup W] [--eval-every E] [--digest]
+                [--core event|threaded] [--sequential]
                 real EDSR training (tiny model, real math) on a simulated
                 cluster. --digest prints an FNV-1a digest of the exact loss
                 and parameter bits — two builds that print the same digest
                 ran bitwise-identical training (the CI chaos job compares
-                default vs `--features faults` builds this way)
+                default vs `--features faults` builds this way, and the
+                simscale job compares --core event vs threaded).
+                --sequential disables backward/allreduce overlap
   dlsr simulate [--nodes N] [--steps S] [--batch B] [--scenario NAME]
+                [--core event|threaded]
                 at-scale costs-only run of the paper-scale EDSR workload
+  dlsr simscale [--nodes N,N,...] [--steps S] [--batch B] [--warmup W]
+                [--scenario NAME] [--smoke] [--check] [--out FILE]
+                [--baseline FILE] [--gate PCT]
+                benchmark the simulator itself: wall-clock cost of the
+                event-driven core across 64-512 virtual ranks (default
+                nodes 16,32,64,128) plus a thread-per-rank baseline at the
+                smallest world, written to results/BENCH_simscale.json.
+                --smoke adds a 4096-rank sanity point. --check asserts the
+                absolute criteria (512 ranks under 60 s wall, driven core
+                >= 10x threaded). --baseline gates the machine-independent
+                virtual quantities against a committed report
   dlsr profile  [--nodes N] [--steps S] [--scenario NAME] [--sequential] [--check]
                 [--checkpoint-every K] [--trace-sample N]
                 cross-layer trace of a real EDSR training run: chrome-trace
@@ -118,7 +162,10 @@ USAGE:
                 attribution sums to the measured step time within 1% and
                 agrees with the step report's exposed-comm accounting.
                 --slowdown F stretches the measured trace by F (gate
-                liveness testing)
+                liveness testing). Unless --no-sim-check, the projection is
+                also cross-validated against full event-driven simulations
+                at 64-512 ranks and the agreement recorded in the report
+                (gated against the baseline in efficiency points)
   dlsr verify   [--nodes N] [--gpus G] [--steps S] [--scenario NAME]
                 run real training under the collective-matching verifier:
                 every collective's per-rank signature is cross-checked at
@@ -155,6 +202,7 @@ fn cmd_train(flags: &HashMap<String, String>) {
         .global_batch(get(flags, "batch", world.max(4)))
         .augment(flags.contains_key("augment"))
         .warmup_steps(get(flags, "warmup", 0))
+        .overlap(!flags.contains_key("sequential"))
         .eval_every(
             flags
                 .get("eval-every")
@@ -167,7 +215,7 @@ fn cmd_train(flags: &HashMap<String, String>) {
         sc.label(),
         cfg.steps
     );
-    let res = train_real(&topo, sc.mpi_config(), &cfg);
+    let res = train_real(&topo, with_core(sc.mpi_config(), flags), &cfg);
     println!(
         "loss: {:.4} -> {:.4}",
         res.losses.first().unwrap(),
@@ -219,7 +267,17 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
         topo.total_gpus(),
         sc.label()
     );
-    let run = run_training(&topo, sc, &w, &tensors, batch, 2, steps, 2021);
+    let run = dlsr::cluster::run_training_core(
+        &topo,
+        sc,
+        &w,
+        &tensors,
+        batch,
+        2,
+        steps,
+        2021,
+        sim_core(flags),
+    );
     println!("throughput : {:>10.1} img/s", run.images_per_sec);
     println!("efficiency : {:>9.1} %", run.efficiency * 100.0);
     println!("step time  : {:>9.1} ms", run.step_time * 1e3);
@@ -227,6 +285,181 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
         println!("reg cache  : {:>9.1} % hits", run.regcache_hit_rate * 100.0);
     }
     print!("{}", run.profile.render(Collective::Allreduce));
+}
+
+/// `dlsr simscale`: benchmark the simulator itself — wall-clock cost of
+/// pushing the paper-scale workload through 64–4096 virtual ranks on the
+/// event-driven core, against the thread-per-rank baseline.
+fn cmd_simscale(flags: &HashMap<String, String>) {
+    use dlsr::cluster::simscale;
+
+    let sc = scenario(flags);
+    let steps: usize = get(flags, "steps", 4);
+    let warmup: usize = get(flags, "warmup", 1);
+    let batch: usize = get(flags, "batch", 4);
+    let seed: u64 = get(flags, "seed", 2021);
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_simscale.json".to_string());
+    let nodes: Vec<usize> = match flags.get("nodes") {
+        None => simscale::DEFAULT_NODES.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("bad --nodes entry: {s}")))
+            })
+            .collect(),
+    };
+    if nodes.is_empty() {
+        die("--nodes needs at least one node count");
+    }
+    println!(
+        "simulator scaling: {} steps (+{warmup} warmup) of the paper-scale EDSR \
+         workload under {}, worlds {:?} ranks",
+        steps,
+        sc.label(),
+        nodes.iter().map(|n| n * 4).collect::<Vec<_>>(),
+    );
+    let t1 = simscale::single_rank_step_s(sc, batch, warmup, steps, seed);
+    let point_line = |label: &str, p: &dlsr::cluster::SimScalePoint| {
+        println!(
+            "  {label:>8} {:>5} ranks: virtual step {:>8.1} ms, eff {:>5.1} %, \
+             wall {:>7.2} s, {:>9.0} rank-steps/s",
+            p.world,
+            p.virtual_step_s * 1e3,
+            p.efficiency * 100.0,
+            p.wall_s,
+            p.rank_steps_per_s,
+        );
+    };
+    // The smallest sweep world doubles as the speedup criterion of the
+    // event-driven rewrite, so its driven and threaded walls are measured
+    // as an interleaved best-of-N pair (noise-robust ratio); the rest of
+    // the sweep only needs its own best-of-N.
+    let (base_point, threaded) =
+        simscale::measure_speedup_pair(nodes[0], sc, batch, warmup, steps, seed, t1, 5);
+    let mut event = vec![base_point];
+    point_line("event", &event[0]);
+    for &n in &nodes[1..] {
+        let p = simscale::measure_point(
+            n,
+            sc,
+            batch,
+            warmup,
+            steps,
+            seed,
+            dlsr_mpi::SimCore::Event,
+            t1,
+            3,
+        );
+        point_line("event", &p);
+        event.push(p);
+    }
+    point_line("threaded", &threaded);
+    let speedup = event[0].rank_steps_per_s / threaded.rank_steps_per_s.max(1e-9);
+    println!(
+        "  driven vs threaded at {} ranks: {speedup:.1}x",
+        threaded.world
+    );
+    if event[0].virtual_step_s.to_bits() != threaded.virtual_step_s.to_bits() {
+        eprintln!(
+            "simscale FAILED: cores disagree on the virtual step at {} ranks: \
+             {} vs {}",
+            threaded.world, event[0].virtual_step_s, threaded.virtual_step_s
+        );
+        std::process::exit(1);
+    }
+    let smoke = flags.contains_key("smoke").then(|| {
+        // 4096-rank sanity: one warmup-free step through the full stack.
+        let p =
+            simscale::measure_point(1024, sc, batch, 0, 1, seed, dlsr_mpi::SimCore::Event, t1, 1);
+        point_line("smoke", &p);
+        p
+    });
+    let report = dlsr::cluster::SimScaleReport {
+        scenario: sc.label().to_string(),
+        batch,
+        warmup,
+        steps,
+        event,
+        threaded: Some(threaded),
+        speedup_vs_threaded: Some(speedup),
+        smoke,
+    };
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out, report.to_json()).expect("write simscale JSON");
+    println!("simscale     : {out}");
+
+    if flags.contains_key("check") {
+        check_simscale(&report);
+    }
+    if let Some(basefile) = flags.get("baseline") {
+        let tol: f64 = get(flags, "gate", 10.0);
+        let text = std::fs::read_to_string(basefile)
+            .unwrap_or_else(|e| die(&format!("cannot read --baseline {basefile}: {e}")));
+        let base = dlsr::cluster::SimScaleReport::from_json(&text).unwrap_or_else(|e| die(&e));
+        let violations = simscale::gate(&report, &base, tol);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("gate FAILED: {v}");
+            }
+            std::process::exit(1);
+        }
+        println!("gate: within {tol}% of {basefile}");
+    }
+}
+
+/// `simscale --check`: the absolute acceptance criteria, on this machine.
+fn check_simscale(report: &dlsr::cluster::SimScaleReport) {
+    let mut failed = false;
+    // 512-rank Fig 12/13 reproduction must complete in under a minute.
+    if let Some(p512) = report.event.iter().find(|p| p.world == 512) {
+        if p512.wall_s < 60.0 {
+            println!(
+                "check: 512-rank run took {:.2} s wall (< 60 s)",
+                p512.wall_s
+            );
+        } else {
+            eprintln!(
+                "check FAILED: 512-rank run took {:.2} s wall (>= 60 s)",
+                p512.wall_s
+            );
+            failed = true;
+        }
+    } else {
+        eprintln!("check FAILED: no 512-rank point in the sweep");
+        failed = true;
+    }
+    // The event-driven core must beat thread-per-rank by >= 10x.
+    match report.speedup_vs_threaded {
+        Some(s) if s >= 10.0 => {
+            println!("check: driven core is {s:.1}x the threaded baseline (>= 10x)")
+        }
+        Some(s) => {
+            eprintln!("check FAILED: driven core is only {s:.1}x the threaded baseline (< 10x)");
+            failed = true;
+        }
+        None => {
+            eprintln!("check FAILED: no threaded baseline measured");
+            failed = true;
+        }
+    }
+    if let Some(smoke) = &report.smoke {
+        println!(
+            "check: {}-rank smoke completed in {:.2} s wall",
+            smoke.world, smoke.wall_s
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }
 
 fn cmd_profile(flags: &HashMap<String, String>) {
@@ -504,6 +737,34 @@ fn cmd_analyze(flags: &HashMap<String, String>) {
         );
     }
 
+    // Cross-validate the projection machinery against the event-driven
+    // simulator at the worlds real training cannot reach: fit the same
+    // model from a *simulated* 16-rank trace and hold its extrapolation
+    // against actual driven-engine runs at 64-512 ranks.
+    let sim = if flags.contains_key("no-sim-check") {
+        None
+    } else {
+        let chk = analysis::sim_check(sc, 4, 1, steps, 4, &[64, 128, 256, 512], 2021);
+        println!(
+            "projection vs simulation (model fit on a {}-rank simulated trace):",
+            chk.fit_world
+        );
+        for p in &chk.points {
+            println!(
+                "  {:>3} ranks: predicted {:>8.1} ms vs simulated {:>8.1} ms \
+                 ({:+.1}% step error, efficiency {:>5.1}% vs {:>5.1}%, d {:.1} pts)",
+                p.world,
+                p.predicted_step_s * 1e3,
+                p.simulated_step_s * 1e3,
+                (p.predicted_step_s / p.simulated_step_s - 1.0) * 100.0,
+                p.predicted_eff * 100.0,
+                p.simulated_eff * 100.0,
+                p.eff_abs_err * 100.0,
+            );
+        }
+        Some(chk)
+    };
+
     let areport = analysis::AnalysisReport {
         scenario: sc.label().to_string(),
         world,
@@ -513,6 +774,7 @@ fn cmd_analyze(flags: &HashMap<String, String>) {
         model,
         validation,
         projection,
+        sim_check: sim,
     };
     if let Some(dir) = std::path::Path::new(&out).parent() {
         if !dir.as_os_str().is_empty() {
@@ -608,6 +870,27 @@ fn check_analysis(
             "check: projection validated within 10% at {} world sizes",
             areport.validation.len()
         );
+    }
+    // Projection-vs-simulation: the analytic model must track the
+    // event-driven simulator within 10% up to 256 ranks (512 is recorded
+    // but unenforced — the extrapolation frontier).
+    if let Some(chk) = &areport.sim_check {
+        let mut ok = 0;
+        for p in chk.points.iter().filter(|p| p.world <= 256) {
+            if p.step_rel_err > 0.10 {
+                eprintln!(
+                    "check FAILED: projection off the simulation by {:.1}% at {} ranks (>10%)",
+                    p.step_rel_err * 100.0,
+                    p.world
+                );
+                failed = true;
+            } else {
+                ok += 1;
+            }
+        }
+        if !failed {
+            println!("check: projection tracks the simulator within 10% at {ok} world sizes");
+        }
     }
     if failed {
         std::process::exit(1);
@@ -794,6 +1077,7 @@ fn main() {
     match positional.first().map(String::as_str) {
         Some("train") => cmd_train(&flags),
         Some("simulate") => cmd_simulate(&flags),
+        Some("simscale") => cmd_simscale(&flags),
         Some("profile") => cmd_profile(&flags),
         Some("analyze") => cmd_analyze(&flags),
         Some("verify") => cmd_verify(&flags),

@@ -4,7 +4,7 @@
 //! scales with world size in the virtual timings the same way it does on a
 //! real cluster.
 
-use dlsr_mpi::{Comm, Payload};
+use dlsr_mpi::{drive_task, Comm, EventTask, Payload, Poll};
 
 /// Tag namespace for coordinator traffic (distinct from collectives and
 /// user tags).
@@ -31,41 +31,100 @@ pub fn negotiate_with_cost(
     cycle: u64,
     report_cost: f64,
 ) -> Vec<u8> {
-    let p = comm.size();
-    let bytes = n_tensors.div_ceil(8).max(1);
-    let mine = vec![0xFFu8; bytes];
-    if p == 1 {
-        return mine;
+    let mut task = NegotiateTask::new(n_tensors, cycle, report_cost);
+    drive_task(comm, &mut task);
+    task.agreed
+}
+
+/// One negotiation round as a resumable [`EventTask`] (the schedule behind
+/// [`negotiate_with_cost`], which drives it in place). On the driven
+/// engine rank 0 parks per outstanding worker report instead of blocking
+/// an OS thread on each receive.
+pub struct NegotiateTask {
+    n_tensors: usize,
+    cycle: u64,
+    report_cost: f64,
+    started: bool,
+    t0: f64,
+    /// Next worker whose report rank 0 still awaits.
+    src_idx: usize,
+    /// Report sent (worker) / replies broadcast (rank 0).
+    sent: bool,
+    /// This rank's readiness bitmask, AND-folded into the agreement.
+    agreed: Vec<u8>,
+}
+
+impl NegotiateTask {
+    /// Build the task; nothing happens until the first `poll`.
+    pub fn new(n_tensors: usize, cycle: u64, report_cost: f64) -> NegotiateTask {
+        let bytes = n_tensors.div_ceil(8).max(1);
+        NegotiateTask {
+            n_tensors,
+            cycle,
+            report_cost,
+            started: false,
+            t0: 0.0,
+            src_idx: 1,
+            sent: false,
+            agreed: vec![0xFFu8; bytes],
+        }
     }
-    // Negotiation rounds must line up across ranks: same cycle, same
-    // tensor count, or the agreed bitmap below is garbage.
-    comm.verify_checkpoint("negotiate", cycle << 32 | n_tensors as u64);
-    let t0 = comm.now();
-    let tag = COORD_TAG | cycle;
-    let agreed = if comm.rank() == 0 {
-        let mut agreed = mine;
-        for src in 1..p {
-            let report = comm.recv(src, tag, 0).into_bytes();
-            comm.advance(report_cost);
-            for (a, b) in agreed.iter_mut().zip(report.iter()) {
-                *a &= b;
+}
+
+impl EventTask for NegotiateTask {
+    fn poll(&mut self, comm: &mut Comm) -> Poll {
+        let p = comm.size();
+        if p == 1 {
+            return Poll::Ready;
+        }
+        if !self.started {
+            // Negotiation rounds must line up across ranks: same cycle,
+            // same tensor count, or the agreed bitmap below is garbage.
+            comm.verify_checkpoint("negotiate", self.cycle << 32 | self.n_tensors as u64);
+            self.t0 = comm.now();
+            self.started = true;
+        }
+        let tag = COORD_TAG | self.cycle;
+        if comm.rank() == 0 {
+            while self.src_idx < p {
+                let Some(report) = comm.try_recv_buffered(self.src_idx, tag, 0) else {
+                    return Poll::Pending {
+                        src: self.src_idx,
+                        tag,
+                    };
+                };
+                comm.advance(self.report_cost);
+                for (a, b) in self.agreed.iter_mut().zip(report.into_bytes().iter()) {
+                    *a &= b;
+                }
+                self.src_idx += 1;
             }
+            if !self.sent {
+                for dst in 1..p {
+                    comm.send(dst, tag | (1 << 60), Payload::Bytes(self.agreed.clone()), 0);
+                }
+                self.sent = true;
+            }
+        } else {
+            if !self.sent {
+                comm.send(0, tag, Payload::Bytes(self.agreed.clone()), 0);
+                self.sent = true;
+            }
+            let reply = tag | (1 << 60);
+            let Some(payload) = comm.try_recv_buffered(0, reply, 0) else {
+                return Poll::Pending { src: 0, tag: reply };
+            };
+            self.agreed = payload.into_bytes();
         }
-        for dst in 1..p {
-            comm.send(dst, tag | (1 << 60), Payload::Bytes(agreed.clone()), 0);
-        }
-        agreed
-    } else {
-        comm.send(0, tag, Payload::Bytes(mine), 0);
-        comm.recv(0, tag | (1 << 60), 0).into_bytes()
-    };
-    dlsr_trace::record_span(
-        || format!("negotiate c{cycle} {n_tensors}t"),
-        dlsr_trace::cat::NEGOTIATE,
-        t0,
-        comm.now(),
-    );
-    agreed
+        let (cycle, n_tensors) = (self.cycle, self.n_tensors);
+        dlsr_trace::record_span(
+            move || format!("negotiate c{cycle} {n_tensors}t"),
+            dlsr_trace::cat::NEGOTIATE,
+            self.t0,
+            comm.now(),
+        );
+        Poll::Ready
+    }
 }
 
 #[cfg(test)]

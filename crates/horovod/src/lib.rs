@@ -51,7 +51,7 @@ pub mod fusion;
 pub mod optimizer;
 
 pub use config::{Backend, ConfigError, HorovodConfig, HorovodConfigBuilder};
-pub use coordinator::{negotiate, negotiate_with_cost};
+pub use coordinator::{negotiate, negotiate_with_cost, NegotiateTask};
 pub use fusion::{
     plan_dynamic, plan_fusion, readiness_from_elems, reconcile_readiness, FusionGroup,
     ReadinessReconciliation, ScheduledGroup, TensorSpec,

@@ -1,0 +1,19 @@
+//~ crate: mpi
+//~ expect: thread-spawn
+//! Seeded fixture: OS-thread creation outside the sanctioned executor
+//! module must trip `thread-spawn`. Pretends to live in dlsr-mpi (but not
+//! under `crates/mpi/src/executor/`, the one allowlisted module).
+
+use std::thread::JoinHandle;
+
+pub fn sneak_a_worker() -> JoinHandle<()> {
+    std::thread::spawn(|| {})
+}
+
+pub fn sneak_a_scope(ranks: usize) {
+    std::thread::scope(|s| {
+        for _ in 0..ranks {
+            s.spawn(|| {});
+        }
+    });
+}

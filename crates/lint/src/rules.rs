@@ -1,6 +1,6 @@
 //! The invariant rules enforced over the lexed token stream.
 //!
-//! Four rules, each guarding one of the simulator's load-bearing
+//! Six rules, each guarding one of the simulator's load-bearing
 //! assumptions (see docs/CORRECTNESS.md for the full catalogue):
 //!
 //! - `wall-clock` — no `Instant` / `SystemTime` outside the allowlisted
@@ -20,6 +20,11 @@
 //!   kernel naming convention (`microkernel_*`, `pack_*`) must carry
 //!   `#[dlsr::hot]`, so the `hot-alloc` rule actually covers them; an
 //!   unmarked kernel silently escapes the allocation scan.
+//! - `thread-spawn` — in the rank-execution crates (mpi, cluster), no
+//!   `thread::spawn` / `thread::scope` / `JoinHandle` outside the
+//!   sanctioned executor module (`crates/mpi/src/executor/`). All rank
+//!   parallelism flows through the execution cores; anything else breaks
+//!   the driven engine's zero-thread guarantee.
 //!
 //! Waivers: a comment `dlsr-lint: allow(<rule>) -- <reason>` suppresses
 //! that rule on the next source line (or its own line when trailing). The
@@ -51,14 +56,16 @@ pub const RULE_HASH: &str = "hash-collections";
 pub const RULE_HOT_ALLOC: &str = "hot-alloc";
 pub const RULE_UNSAFE: &str = "undocumented-unsafe";
 pub const RULE_HOT_MARKERS: &str = "hot-markers";
+pub const RULE_THREAD: &str = "thread-spawn";
 pub const RULE_WAIVER: &str = "waiver";
 
-pub const ALL_RULES: [&str; 5] = [
+pub const ALL_RULES: [&str; 6] = [
     RULE_WALL_CLOCK,
     RULE_HASH,
     RULE_HOT_ALLOC,
     RULE_UNSAFE,
     RULE_HOT_MARKERS,
+    RULE_THREAD,
 ];
 
 /// Files (path prefixes, `/`-separated, relative to the repo root) where
@@ -91,6 +98,16 @@ const HOT_BANNED_MACROS: [&str; 2] = ["vec", "format"];
 const HOT_MARKER_PATH: &str = "crates/tensor/src/";
 const HOT_MARKER_FN_PREFIXES: [&str; 2] = ["microkernel_", "pack_"];
 
+/// Crates where rank execution is the executor's exclusive business:
+/// spawning OS threads anywhere else would bypass the execution-core
+/// contract (one sanctioned module owns all parallelism, so the driven
+/// engine's zero-thread guarantee is auditable).
+const THREAD_CRATES: [&str; 2] = ["mpi", "cluster"];
+
+/// The one module allowed to create rank threads: the executor that
+/// implements the threaded/context cores.
+const THREAD_ALLOWLIST: [&str; 1] = ["crates/mpi/src/executor/"];
+
 /// A waiver parsed from a `dlsr-lint: allow(<rule>)` comment.
 struct Waiver {
     rule: String,
@@ -115,6 +132,7 @@ pub fn scan_file(path: &str, crate_name: &str, lexed: &Lexed) -> Vec<Finding> {
     rule_hot_alloc(path, lexed, &waived, &mut findings);
     rule_undocumented_unsafe(path, lexed, &token_lines, &waived, &mut findings);
     rule_hot_markers(path, lexed, &waived, &mut findings);
+    rule_thread_spawn(path, crate_name, lexed, &waived, &mut findings);
 
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
@@ -402,6 +420,60 @@ fn rule_hot_markers(
     }
 }
 
+/// `thread-spawn`: in the rank-execution crates, OS threads may only be
+/// created by the sanctioned executor module. `thread::spawn`,
+/// `thread::scope` and `JoinHandle` anywhere else are violations — a rank
+/// path that quietly spawns its own thread breaks the driven core's
+/// zero-thread guarantee and reintroduces scheduling nondeterminism the
+/// execution cores exist to contain.
+fn rule_thread_spawn(
+    path: &str,
+    crate_name: &str,
+    lexed: &Lexed,
+    waived: &dyn Fn(&str, usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    if !THREAD_CRATES.contains(&crate_name) {
+        return;
+    }
+    if THREAD_ALLOWLIST.iter().any(|p| path.starts_with(p)) {
+        return;
+    }
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || waived(RULE_THREAD, t.line) {
+            continue;
+        }
+        let what = if t.text == "JoinHandle" {
+            Some("JoinHandle")
+        } else if (t.text == "spawn" || t.text == "scope")
+            && i >= 3
+            && toks[i - 1].text == ":"
+            && toks[i - 2].text == ":"
+            && toks[i - 3].text == "thread"
+        {
+            Some(if t.text == "spawn" {
+                "thread::spawn"
+            } else {
+                "thread::scope"
+            })
+        } else {
+            None
+        };
+        if let Some(what) = what {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: t.line,
+                rule: RULE_THREAD,
+                msg: format!(
+                    "`{what}` outside the sanctioned executor module; rank \
+                     parallelism belongs to crates/mpi/src/executor/ only"
+                ),
+            });
+        }
+    }
+}
+
 fn rule_undocumented_unsafe(
     path: &str,
     lexed: &Lexed,
@@ -536,6 +608,31 @@ mod tests {
         let waivered = "// dlsr-lint: allow(hot-markers) -- setup-only packer\n\
                         fn pack_setup_table(dst: &mut [f32]) {}";
         assert!(run("crates/tensor/src/x.rs", "tensor", waivered).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_scoped_to_executor_module() {
+        let spawn = "let h = std::thread::spawn(|| {});";
+        let handle = "fn park(h: std::thread::JoinHandle<()>) {}";
+        let scope = "std::thread::scope(|s| {});";
+        for src in [spawn, handle, scope] {
+            let f = run("crates/mpi/src/comm.rs", "mpi", src);
+            assert_eq!(f.len(), 1, "{src}: {f:?}");
+            assert_eq!(f[0].rule, RULE_THREAD);
+            // the executor module owns rank parallelism
+            assert!(
+                run("crates/mpi/src/executor/context.rs", "mpi", src).is_empty(),
+                "{src}"
+            );
+        }
+        // only rank-execution crates are in scope
+        assert!(run("crates/bench/src/x.rs", "bench", spawn).is_empty());
+        // thread::sleep and similar non-spawning calls are fine
+        assert!(run("crates/mpi/src/verify.rs", "mpi", "std::thread::sleep(d);").is_empty());
+        // waivers work like everywhere else
+        let waived = "// dlsr-lint: allow(thread-spawn) -- test-only stress harness\n\
+                      let h = std::thread::spawn(|| {});";
+        assert!(run("crates/mpi/src/x.rs", "mpi", waived).is_empty());
     }
 
     #[test]

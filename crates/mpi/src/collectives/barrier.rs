@@ -1,39 +1,15 @@
 //! Dissemination barrier.
 
 use crate::comm::Comm;
-use crate::message::Payload;
 
-use super::coll_tag;
+use super::tasks::drive_barrier;
 
 /// Synchronize all ranks (dissemination algorithm, ⌈log₂ p⌉ rounds).
 /// After return, every rank's clock is ≥ the time every other rank
-/// entered the barrier.
+/// entered the barrier. The schedule is [`super::tasks::BarrierTask`],
+/// driven in place.
 pub fn barrier(comm: &mut Comm) {
-    let p = comm.size();
-    if p == 1 {
-        return;
-    }
-    comm.verify_coll("barrier", "-", "-", 0, "dissemination", None, 0);
-    let rank = comm.rank();
-    let seq = comm.next_seq();
-    let t0 = comm.now();
-    let mut round = 0u64;
-    let mut dist = 1usize;
-    while dist < p {
-        let to = (rank + dist) % p;
-        let from = (rank + p - dist) % p;
-        comm.send(to, coll_tag(seq, round), Payload::Bytes(Vec::new()), 0);
-        let _ = comm.recv(from, coll_tag(seq, round), 0);
-        dist <<= 1;
-        round += 1;
-    }
-    dlsr_trace::record_span(
-        || "barrier".to_string(),
-        dlsr_trace::cat::MPI,
-        t0,
-        comm.now(),
-    );
-    dlsr_trace::counter_add(dlsr_trace::report::keys::MPI_COLLECTIVES, 1.0);
+    drive_barrier(comm);
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ mod barrier;
 mod bcast;
 mod rooted;
 pub mod synthetic;
+pub mod tasks;
 
 pub use allgather::allgather;
 pub use allreduce::{

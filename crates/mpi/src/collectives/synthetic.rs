@@ -9,13 +9,19 @@
 //!
 //! Equivalence with the real algorithms is asserted in tests: for the same
 //! buffer size and world, virtual times agree to floating-point noise.
+//!
+//! The schedules themselves live in [`super::tasks`] as resumable
+//! [`EventTask`](crate::executor::EventTask) state machines (so the driven
+//! engine can park a rank mid-collective); the functions here block by
+//! driving those tasks in place.
 
 use crate::comm::Comm;
 use crate::message::Payload;
 
-use super::{chunk_range, coll_tag, AllreduceAlgorithm};
+use super::tasks::drive_allreduce_elems;
+use super::{coll_tag, AllreduceAlgorithm};
 
-fn synth(elems: usize) -> Payload {
+pub(crate) fn synth(elems: usize) -> Payload {
     Payload::Synthetic {
         bytes: (elems * 4) as u64,
     }
@@ -23,236 +29,7 @@ fn synth(elems: usize) -> Payload {
 
 /// Costs-only sum-allreduce of `elems` f32 elements.
 pub fn allreduce_elems(comm: &mut Comm, elems: usize, buf_id: u64, algo: AllreduceAlgorithm) {
-    if comm.size() == 1 {
-        return;
-    }
-    comm.verify_coll(
-        "allreduce",
-        "sum",
-        "synth",
-        elems,
-        crate::verify::algo_name(algo),
-        None,
-        0,
-    );
-    let t0 = comm.now();
-    match algo {
-        AllreduceAlgorithm::Ring => {
-            let seq = comm.next_seq();
-            let participants: Vec<usize> = (0..comm.size()).collect();
-            ring_elems(comm, elems, &participants, buf_id, seq);
-        }
-        AllreduceAlgorithm::RecursiveDoubling => {
-            if comm.size().is_power_of_two() {
-                recursive_doubling_elems(comm, elems, buf_id);
-            } else {
-                let seq = comm.next_seq();
-                let participants: Vec<usize> = (0..comm.size()).collect();
-                ring_elems(comm, elems, &participants, buf_id, seq);
-            }
-        }
-        AllreduceAlgorithm::TwoLevel => two_level_elems(comm, elems, buf_id),
-        AllreduceAlgorithm::PipelinedRing => {
-            let seq = comm.next_seq();
-            let participants: Vec<usize> = (0..comm.size()).collect();
-            let chunk_elems = (comm.config().pipeline_chunk as usize / 4).max(1);
-            pipelined_ring_elems(comm, elems, &participants, buf_id, seq, chunk_elems);
-        }
-    }
-    dlsr_trace::record_span(
-        || format!("allreduce.{algo:?} {}B", elems * 4),
-        dlsr_trace::cat::MPI,
-        t0,
-        comm.now(),
-    );
-}
-
-fn ring_elems(comm: &mut Comm, elems: usize, participants: &[usize], buf_id: u64, seq: u64) {
-    let p = participants.len();
-    if p <= 1 {
-        return;
-    }
-    let me = participants
-        .iter()
-        .position(|&r| r == comm.rank())
-        .expect("caller participates in the ring");
-    let right = participants[(me + 1) % p];
-    let left = participants[(me + p - 1) % p];
-    for step in 0..p - 1 {
-        let send_chunk = (me + p - step) % p;
-        let recv_chunk = (me + p - step - 1) % p;
-        let send_elems = chunk_range(elems, p, send_chunk).len();
-        let recv_elems = chunk_range(elems, p, recv_chunk).len();
-        let _ = comm.sendrecv(
-            right,
-            coll_tag(seq, step as u64),
-            synth(send_elems),
-            buf_id,
-            left,
-            coll_tag(seq, step as u64),
-            buf_id,
-        );
-        comm.charge_reduce(recv_elems);
-    }
-    for step in 0..p - 1 {
-        let send_chunk = (me + 1 + p - step) % p;
-        let send_elems = chunk_range(elems, p, send_chunk).len();
-        let _ = comm.sendrecv(
-            right,
-            coll_tag(seq, (p + step) as u64),
-            synth(send_elems),
-            buf_id,
-            left,
-            coll_tag(seq, (p + step) as u64),
-            buf_id,
-        );
-    }
-}
-
-/// Costs-only mirror of `allreduce::pipelined_ring_allreduce`: the same
-/// sub-chunk sends, waits and reduce-kernel charges in the same order.
-fn pipelined_ring_elems(
-    comm: &mut Comm,
-    elems: usize,
-    participants: &[usize],
-    buf_id: u64,
-    seq: u64,
-    chunk_elems: usize,
-) {
-    let p = participants.len();
-    if p <= 1 {
-        return;
-    }
-    let me = participants
-        .iter()
-        .position(|&r| r == comm.rank())
-        .expect("caller participates in the ring");
-    let right = participants[(me + 1) % p];
-    let left = participants[(me + p - 1) % p];
-    let sub_count = |len: usize| len.div_ceil(chunk_elems);
-    let sub_len = |block: &std::ops::Range<usize>, i: usize| {
-        let start = block.start + i * chunk_elems;
-        (start + chunk_elems).min(block.end) - start
-    };
-    for phase in 0..2usize {
-        for step in 0..p - 1 {
-            let (send_block, recv_block) = if phase == 0 {
-                (
-                    chunk_range(elems, p, (me + p - step) % p),
-                    chunk_range(elems, p, (me + p - step - 1) % p),
-                )
-            } else {
-                (
-                    chunk_range(elems, p, (me + 1 + p - step) % p),
-                    chunk_range(elems, p, (me + p - step) % p),
-                )
-            };
-            let phase_step = ((phase * p + step) as u64) << 20;
-            let n_send = sub_count(send_block.len());
-            let n_recv = sub_count(recv_block.len());
-            // Same schedule as the real path: sub-send i+1 is posted the
-            // moment sub-recv i arrives, before its reduce charge.
-            let mut next_send = 0;
-            let post_send = |comm: &mut Comm, next_send: &mut usize| {
-                if *next_send < n_send {
-                    comm.isend(
-                        right,
-                        coll_tag(seq, phase_step | *next_send as u64),
-                        synth(sub_len(&send_block, *next_send)),
-                        buf_id,
-                    );
-                    *next_send += 1;
-                }
-            };
-            post_send(comm, &mut next_send);
-            for i in 0..n_recv {
-                let req = comm.irecv(left, coll_tag(seq, phase_step | i as u64), buf_id);
-                let _ = comm.wait(req);
-                post_send(comm, &mut next_send);
-                if phase == 0 {
-                    comm.charge_reduce(sub_len(&recv_block, i));
-                }
-            }
-            while next_send < n_send {
-                post_send(comm, &mut next_send);
-            }
-        }
-    }
-}
-
-fn recursive_doubling_elems(comm: &mut Comm, elems: usize, buf_id: u64) {
-    let p = comm.size();
-    let rank = comm.rank();
-    let seq = comm.next_seq();
-    let mut mask = 1usize;
-    let mut step = 0u64;
-    while mask < p {
-        let partner = rank ^ mask;
-        let _ = comm.sendrecv(
-            partner,
-            coll_tag(seq, step),
-            synth(elems),
-            buf_id,
-            partner,
-            coll_tag(seq, step),
-            buf_id,
-        );
-        comm.charge_reduce(elems);
-        mask <<= 1;
-        step += 1;
-    }
-}
-
-fn two_level_elems(comm: &mut Comm, elems: usize, buf_id: u64) {
-    let seq = comm.next_seq();
-    let topo = comm.topology().clone();
-    let rank = comm.rank();
-    let gpn = topo.gpus_per_node;
-    let node = topo.node_of(rank);
-    let leader = node * gpn;
-    let is_leader = rank == leader;
-
-    // Phase 1: binomial intra-node reduce (mirrors allreduce::two_level).
-    if gpn > 1 {
-        let r = rank - leader;
-        let mut mask = 1usize;
-        while mask < gpn {
-            if r & mask != 0 {
-                comm.send(leader + (r - mask), coll_tag(seq, 0), synth(elems), buf_id);
-                break;
-            }
-            let src = r + mask;
-            if src < gpn {
-                let _ = comm.recv(leader + src, coll_tag(seq, 0), buf_id);
-                comm.charge_reduce(elems);
-            }
-            mask <<= 1;
-        }
-    }
-    // Phase 2: inter-node ring among leaders.
-    if topo.nodes > 1 && is_leader {
-        let leaders: Vec<usize> = (0..topo.nodes).map(|n| n * gpn).collect();
-        ring_elems(comm, elems, &leaders, buf_id.wrapping_add(1), seq);
-    }
-    // Phase 3: binomial intra-node broadcast.
-    if gpn > 1 {
-        let r = rank - leader;
-        let mut mask = 1usize;
-        while mask < gpn {
-            if r & mask != 0 {
-                let _ = comm.recv(leader + (r - mask), coll_tag(seq, 1), buf_id);
-                break;
-            }
-            mask <<= 1;
-        }
-        mask >>= 1;
-        while mask > 0 {
-            if r + mask < gpn {
-                comm.send(leader + r + mask, coll_tag(seq, 1), synth(elems), buf_id);
-            }
-            mask >>= 1;
-        }
-    }
+    drive_allreduce_elems(comm, elems, buf_id, algo);
 }
 
 /// Costs-only broadcast of `elems` f32 elements from `root` (binomial).

@@ -1,0 +1,663 @@
+//! Resumable ([`EventTask`]) forms of the costs-only collectives.
+//!
+//! Each state machine runs the *same* communication schedule as the
+//! blocking entry points in [`super::synthetic`] and [`super::barrier`] —
+//! in fact those entry points are thin [`drive_task`] wrappers around
+//! these, so every schedule has exactly one implementation. On the driven
+//! engine a blocked receive returns [`Poll::Pending`] instead of parking
+//! an OS thread; on the context cores [`drive_task`] blocks in place.
+//!
+//! The re-poll contract: every `poll` records all side effects (sends
+//! posted, reduce charges) in task state *before* returning `Pending`, so
+//! resuming retries only the blocked [`Comm::try_recv_buffered`] and never
+//! replays a send.
+
+use crate::comm::Comm;
+use crate::executor::{drive_task, EventTask, Poll};
+use crate::message::Payload;
+
+use super::synthetic::synth;
+use super::{chunk_range, coll_tag, AllreduceAlgorithm};
+
+/// Ring allreduce (reduce-scatter + allgather) over the strided
+/// participant set `{0, stride, 2·stride, …, (p−1)·stride}` — all ranks
+/// (`stride` 1) or the node leaders (`stride` = GPUs per node). The set is
+/// stored as `(p, stride)` rather than a `Vec`: these machines are built
+/// once per fusion group per step, and the allocation was visible in the
+/// driven-engine profile.
+struct RingSm {
+    elems: usize,
+    p: usize,
+    buf_id: u64,
+    seq: u64,
+    me: usize,
+    right: usize,
+    left: usize,
+    phase: usize,
+    step: usize,
+    sent: bool,
+}
+
+impl RingSm {
+    fn new(comm: &Comm, elems: usize, p: usize, stride: usize, buf_id: u64, seq: u64) -> RingSm {
+        debug_assert_eq!(
+            comm.rank() % stride,
+            0,
+            "caller participates in the strided ring"
+        );
+        let me = comm.rank() / stride;
+        debug_assert!(me < p, "caller participates in the ring");
+        RingSm {
+            elems,
+            p,
+            buf_id,
+            seq,
+            me,
+            right: ((me + 1) % p) * stride,
+            left: ((me + p - 1) % p) * stride,
+            phase: 0,
+            step: 0,
+            sent: false,
+        }
+    }
+
+    fn poll(&mut self, comm: &mut Comm) -> Poll {
+        let p = self.p;
+        if p <= 1 {
+            return Poll::Ready;
+        }
+        while self.phase < 2 {
+            while self.step < p - 1 {
+                let step = self.step;
+                let (tag, send_chunk) = if self.phase == 0 {
+                    (coll_tag(self.seq, step as u64), (self.me + p - step) % p)
+                } else {
+                    (
+                        coll_tag(self.seq, (p + step) as u64),
+                        (self.me + 1 + p - step) % p,
+                    )
+                };
+                if !self.sent {
+                    let send_elems = chunk_range(self.elems, p, send_chunk).len();
+                    comm.isend(self.right, tag, synth(send_elems), self.buf_id);
+                    self.sent = true;
+                }
+                if comm
+                    .try_recv_buffered(self.left, tag, self.buf_id)
+                    .is_none()
+                {
+                    return Poll::Pending {
+                        src: self.left,
+                        tag,
+                    };
+                }
+                if self.phase == 0 {
+                    let recv_chunk = (self.me + p - step - 1) % p;
+                    comm.charge_reduce(chunk_range(self.elems, p, recv_chunk).len());
+                }
+                self.sent = false;
+                self.step += 1;
+            }
+            self.phase += 1;
+            self.step = 0;
+        }
+        Poll::Ready
+    }
+}
+
+/// Pipelined ring: ring blocks split into `chunk_elems` sub-chunks,
+/// sub-send `i+1` posted the moment sub-recv `i` lands.
+struct PipeSm {
+    elems: usize,
+    p: usize,
+    buf_id: u64,
+    seq: u64,
+    chunk_elems: usize,
+    me: usize,
+    right: usize,
+    left: usize,
+    phase: usize,
+    step: usize,
+    next_send: usize,
+    recv_i: usize,
+    primed: bool,
+}
+
+impl PipeSm {
+    fn new(
+        comm: &Comm,
+        elems: usize,
+        p: usize,
+        buf_id: u64,
+        seq: u64,
+        chunk_elems: usize,
+    ) -> PipeSm {
+        // Pipelined rings always span all ranks (stride 1).
+        let me = comm.rank();
+        debug_assert!(me < p, "caller participates in the ring");
+        PipeSm {
+            elems,
+            p,
+            buf_id,
+            seq,
+            chunk_elems,
+            me,
+            right: (me + 1) % p,
+            left: (me + p - 1) % p,
+            phase: 0,
+            step: 0,
+            next_send: 0,
+            recv_i: 0,
+            primed: false,
+        }
+    }
+
+    fn poll(&mut self, comm: &mut Comm) -> Poll {
+        let p = self.p;
+        if p <= 1 {
+            return Poll::Ready;
+        }
+        let ce = self.chunk_elems;
+        let sub_len = |block: &std::ops::Range<usize>, i: usize| {
+            let start = block.start + i * ce;
+            (start + ce).min(block.end) - start
+        };
+        while self.phase < 2 {
+            while self.step < p - 1 {
+                let (send_block, recv_block) = if self.phase == 0 {
+                    (
+                        chunk_range(self.elems, p, (self.me + p - self.step) % p),
+                        chunk_range(self.elems, p, (self.me + p - self.step - 1) % p),
+                    )
+                } else {
+                    (
+                        chunk_range(self.elems, p, (self.me + 1 + p - self.step) % p),
+                        chunk_range(self.elems, p, (self.me + p - self.step) % p),
+                    )
+                };
+                let phase_step = ((self.phase * p + self.step) as u64) << 20;
+                let n_send = send_block.len().div_ceil(ce);
+                let n_recv = recv_block.len().div_ceil(ce);
+                if !self.primed {
+                    if n_send > 0 {
+                        comm.isend(
+                            self.right,
+                            coll_tag(self.seq, phase_step),
+                            synth(sub_len(&send_block, 0)),
+                            self.buf_id,
+                        );
+                        self.next_send = 1;
+                    }
+                    self.primed = true;
+                }
+                while self.recv_i < n_recv {
+                    let tag = coll_tag(self.seq, phase_step | self.recv_i as u64);
+                    if comm
+                        .try_recv_buffered(self.left, tag, self.buf_id)
+                        .is_none()
+                    {
+                        return Poll::Pending {
+                            src: self.left,
+                            tag,
+                        };
+                    }
+                    if self.next_send < n_send {
+                        comm.isend(
+                            self.right,
+                            coll_tag(self.seq, phase_step | self.next_send as u64),
+                            synth(sub_len(&send_block, self.next_send)),
+                            self.buf_id,
+                        );
+                        self.next_send += 1;
+                    }
+                    if self.phase == 0 {
+                        comm.charge_reduce(sub_len(&recv_block, self.recv_i));
+                    }
+                    self.recv_i += 1;
+                }
+                while self.next_send < n_send {
+                    comm.isend(
+                        self.right,
+                        coll_tag(self.seq, phase_step | self.next_send as u64),
+                        synth(sub_len(&send_block, self.next_send)),
+                        self.buf_id,
+                    );
+                    self.next_send += 1;
+                }
+                self.step += 1;
+                self.next_send = 0;
+                self.recv_i = 0;
+                self.primed = false;
+            }
+            self.phase += 1;
+            self.step = 0;
+        }
+        Poll::Ready
+    }
+}
+
+/// Recursive doubling: log₂ p pairwise exchanges (power-of-two worlds).
+struct RdSm {
+    elems: usize,
+    buf_id: u64,
+    seq: u64,
+    mask: usize,
+    step: u64,
+    sent: bool,
+}
+
+impl RdSm {
+    fn poll(&mut self, comm: &mut Comm) -> Poll {
+        let p = comm.size();
+        let rank = comm.rank();
+        while self.mask < p {
+            let partner = rank ^ self.mask;
+            let tag = coll_tag(self.seq, self.step);
+            if !self.sent {
+                comm.isend(partner, tag, synth(self.elems), self.buf_id);
+                self.sent = true;
+            }
+            if comm.try_recv_buffered(partner, tag, self.buf_id).is_none() {
+                return Poll::Pending { src: partner, tag };
+            }
+            comm.charge_reduce(self.elems);
+            self.sent = false;
+            self.mask <<= 1;
+            self.step += 1;
+        }
+        Poll::Ready
+    }
+}
+
+/// Two-level: binomial intra-node reduce → leader ring → binomial bcast.
+enum TwoLevelState {
+    IntraReduce { mask: usize },
+    Ring(RingSm),
+    Bcast,
+    Done,
+}
+
+struct TwoLevelSm {
+    elems: usize,
+    buf_id: u64,
+    seq: u64,
+    state: TwoLevelState,
+}
+
+impl TwoLevelSm {
+    fn poll(&mut self, comm: &mut Comm) -> Poll {
+        // Copy the two scalars out instead of cloning the topology — this
+        // poll is the engine's hottest path and the clone's heap traffic
+        // (the name `String`) showed up in the simscale profile.
+        let (gpn, nodes) = {
+            let t = comm.topology();
+            (t.gpus_per_node, t.nodes)
+        };
+        let rank = comm.rank();
+        let leader = (rank / gpn) * gpn;
+        let r = rank - leader;
+        loop {
+            match &mut self.state {
+                TwoLevelState::IntraReduce { mask } => {
+                    if gpn > 1 {
+                        while *mask < gpn {
+                            if r & *mask != 0 {
+                                comm.send(
+                                    leader + (r - *mask),
+                                    coll_tag(self.seq, 0),
+                                    synth(self.elems),
+                                    self.buf_id,
+                                );
+                                break;
+                            }
+                            let src = r + *mask;
+                            if src < gpn {
+                                let tag = coll_tag(self.seq, 0);
+                                if comm
+                                    .try_recv_buffered(leader + src, tag, self.buf_id)
+                                    .is_none()
+                                {
+                                    return Poll::Pending {
+                                        src: leader + src,
+                                        tag,
+                                    };
+                                }
+                                comm.charge_reduce(self.elems);
+                            }
+                            *mask <<= 1;
+                        }
+                    }
+                    self.state = if nodes > 1 && rank == leader {
+                        // leader ring: ranks {0, gpn, 2·gpn, …}
+                        TwoLevelState::Ring(RingSm::new(
+                            comm,
+                            self.elems,
+                            nodes,
+                            gpn,
+                            self.buf_id.wrapping_add(1),
+                            self.seq,
+                        ))
+                    } else {
+                        TwoLevelState::Bcast
+                    };
+                }
+                TwoLevelState::Ring(ring) => match ring.poll(comm) {
+                    Poll::Ready => self.state = TwoLevelState::Bcast,
+                    pending => return pending,
+                },
+                TwoLevelState::Bcast => {
+                    if gpn > 1 {
+                        // Parent is the lowest set bit of r (none for the
+                        // leader); the fan-out below is pure sends, so the
+                        // only park point is that one receive.
+                        let mut mask = 1usize;
+                        let mut recv_mask = 0usize;
+                        while mask < gpn {
+                            if r & mask != 0 {
+                                recv_mask = mask;
+                                break;
+                            }
+                            mask <<= 1;
+                        }
+                        if recv_mask != 0 {
+                            let tag = coll_tag(self.seq, 1);
+                            let src = leader + (r - recv_mask);
+                            if comm.try_recv_buffered(src, tag, self.buf_id).is_none() {
+                                return Poll::Pending { src, tag };
+                            }
+                            mask = recv_mask;
+                        }
+                        mask >>= 1;
+                        while mask > 0 {
+                            if r + mask < gpn {
+                                comm.send(
+                                    leader + r + mask,
+                                    coll_tag(self.seq, 1),
+                                    synth(self.elems),
+                                    self.buf_id,
+                                );
+                            }
+                            mask >>= 1;
+                        }
+                    }
+                    self.state = TwoLevelState::Done;
+                }
+                TwoLevelState::Done => return Poll::Ready,
+            }
+        }
+    }
+}
+
+enum AllreduceInner {
+    Ring(RingSm),
+    Rd(RdSm),
+    TwoLevel(TwoLevelSm),
+    Pipe(PipeSm),
+}
+
+/// Costs-only sum-allreduce of `elems` f32 elements as a resumable task —
+/// the state-machine twin of [`super::synthetic::allreduce_elems`] (which
+/// now drives this).
+pub struct AllreduceElemsTask {
+    elems: usize,
+    buf_id: u64,
+    algo: AllreduceAlgorithm,
+    t0: f64,
+    inner: Option<AllreduceInner>,
+}
+
+impl AllreduceElemsTask {
+    /// Build the task; nothing happens until the first `poll`.
+    pub fn new(elems: usize, buf_id: u64, algo: AllreduceAlgorithm) -> AllreduceElemsTask {
+        AllreduceElemsTask {
+            elems,
+            buf_id,
+            algo,
+            t0: 0.0,
+            inner: None,
+        }
+    }
+}
+
+impl EventTask for AllreduceElemsTask {
+    fn poll(&mut self, comm: &mut Comm) -> Poll {
+        if comm.size() == 1 {
+            return Poll::Ready;
+        }
+        if self.inner.is_none() {
+            comm.verify_coll(
+                "allreduce",
+                "sum",
+                "synth",
+                self.elems,
+                crate::verify::algo_name(self.algo),
+                None,
+                0,
+            );
+            self.t0 = comm.now();
+            let size = comm.size();
+            let inner = match self.algo {
+                AllreduceAlgorithm::Ring => {
+                    let seq = comm.next_seq();
+                    AllreduceInner::Ring(RingSm::new(comm, self.elems, size, 1, self.buf_id, seq))
+                }
+                AllreduceAlgorithm::RecursiveDoubling => {
+                    if comm.size().is_power_of_two() {
+                        AllreduceInner::Rd(RdSm {
+                            elems: self.elems,
+                            buf_id: self.buf_id,
+                            seq: comm.next_seq(),
+                            mask: 1,
+                            step: 0,
+                            sent: false,
+                        })
+                    } else {
+                        let seq = comm.next_seq();
+                        AllreduceInner::Ring(RingSm::new(
+                            comm,
+                            self.elems,
+                            size,
+                            1,
+                            self.buf_id,
+                            seq,
+                        ))
+                    }
+                }
+                AllreduceAlgorithm::TwoLevel => AllreduceInner::TwoLevel(TwoLevelSm {
+                    elems: self.elems,
+                    buf_id: self.buf_id,
+                    seq: comm.next_seq(),
+                    state: TwoLevelState::IntraReduce { mask: 1 },
+                }),
+                AllreduceAlgorithm::PipelinedRing => {
+                    let seq = comm.next_seq();
+                    let chunk_elems = (comm.config().pipeline_chunk as usize / 4).max(1);
+                    AllreduceInner::Pipe(PipeSm::new(
+                        comm,
+                        self.elems,
+                        size,
+                        self.buf_id,
+                        seq,
+                        chunk_elems,
+                    ))
+                }
+            };
+            self.inner = Some(inner);
+        }
+        let done = match self.inner.as_mut().expect("initialized above") {
+            AllreduceInner::Ring(sm) => sm.poll(comm),
+            AllreduceInner::Rd(sm) => sm.poll(comm),
+            AllreduceInner::TwoLevel(sm) => sm.poll(comm),
+            AllreduceInner::Pipe(sm) => sm.poll(comm),
+        };
+        if let Poll::Ready = done {
+            let (algo, bytes) = (self.algo, self.elems * 4);
+            dlsr_trace::record_span(
+                move || format!("allreduce.{algo:?} {bytes}B"),
+                dlsr_trace::cat::MPI,
+                self.t0,
+                comm.now(),
+            );
+        }
+        done
+    }
+}
+
+/// Dissemination barrier as a resumable task — the state-machine twin of
+/// [`super::barrier`] (which now drives this).
+#[derive(Default)]
+pub struct BarrierTask {
+    started: bool,
+    seq: u64,
+    t0: f64,
+    dist: usize,
+    round: u64,
+    sent: bool,
+}
+
+impl BarrierTask {
+    /// Build the task; nothing happens until the first `poll`.
+    pub fn new() -> BarrierTask {
+        BarrierTask::default()
+    }
+}
+
+impl EventTask for BarrierTask {
+    fn poll(&mut self, comm: &mut Comm) -> Poll {
+        let p = comm.size();
+        if p == 1 {
+            return Poll::Ready;
+        }
+        if !self.started {
+            comm.verify_coll("barrier", "-", "-", 0, "dissemination", None, 0);
+            self.seq = comm.next_seq();
+            self.t0 = comm.now();
+            self.dist = 1;
+            self.started = true;
+        }
+        let rank = comm.rank();
+        while self.dist < p {
+            let tag = coll_tag(self.seq, self.round);
+            if !self.sent {
+                comm.send((rank + self.dist) % p, tag, Payload::Bytes(Vec::new()), 0);
+                self.sent = true;
+            }
+            let from = (rank + p - self.dist) % p;
+            if comm.try_recv_buffered(from, tag, 0).is_none() {
+                return Poll::Pending { src: from, tag };
+            }
+            self.sent = false;
+            self.dist <<= 1;
+            self.round += 1;
+        }
+        dlsr_trace::record_span(
+            || "barrier".to_string(),
+            dlsr_trace::cat::MPI,
+            self.t0,
+            comm.now(),
+        );
+        dlsr_trace::counter_add(dlsr_trace::report::keys::MPI_COLLECTIVES, 1.0);
+        Poll::Ready
+    }
+}
+
+/// Blocking entry used by [`super::synthetic::allreduce_elems`].
+pub(crate) fn drive_allreduce_elems(
+    comm: &mut Comm,
+    elems: usize,
+    buf_id: u64,
+    algo: AllreduceAlgorithm,
+) {
+    let mut task = AllreduceElemsTask::new(elems, buf_id, algo);
+    drive_task(comm, &mut task);
+}
+
+/// Blocking entry used by [`super::barrier`].
+pub(crate) fn drive_barrier(comm: &mut Comm) {
+    let mut task = BarrierTask::new();
+    drive_task(comm, &mut task);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::MpiConfig;
+    use crate::executor::{drive_program, RankProgram, Step};
+    use crate::world::MpiWorld;
+    use dlsr_net::ClusterTopology;
+
+    use super::*;
+
+    /// A small rank program with per-rank clock skew between collectives,
+    /// so scheduling mistakes would show up as clock divergence.
+    struct Prog {
+        algo: AllreduceAlgorithm,
+        left: usize,
+    }
+
+    impl Prog {
+        fn new(algo: AllreduceAlgorithm) -> Prog {
+            Prog { algo, left: 3 }
+        }
+    }
+
+    impl RankProgram for Prog {
+        type Out = f64;
+        fn next(&mut self, comm: &mut Comm) -> Step {
+            if self.left == 0 {
+                return Step::Done;
+            }
+            self.left -= 1;
+            comm.advance(1.0e-5 * (comm.rank() as f64 + 1.0));
+            if self.left == 1 {
+                Step::Task(BarrierTask::new().into())
+            } else {
+                Step::Task(AllreduceElemsTask::new(123_457, 1, self.algo).into())
+            }
+        }
+        fn finish(&mut self, comm: &mut Comm, _trace: Vec<dlsr_trace::TraceEvent>) -> f64 {
+            comm.now()
+        }
+    }
+
+    /// The tentpole's correctness bar: the driven engine, the event
+    /// context core (at several worker counts) and the legacy threaded
+    /// core produce *bit-identical* per-rank clocks.
+    #[test]
+    fn all_cores_agree_bitwise() {
+        let topo = ClusterTopology::lassen(2); // 8 ranks
+        for algo in [
+            AllreduceAlgorithm::Ring,
+            AllreduceAlgorithm::RecursiveDoubling,
+            AllreduceAlgorithm::TwoLevel,
+            AllreduceAlgorithm::PipelinedRing,
+        ] {
+            let driven =
+                MpiWorld::run_driven(&topo, MpiConfig::mpi_opt(), |_| Prog::new(algo)).clocks;
+            let threaded = MpiWorld::run_threaded(&topo, MpiConfig::mpi_opt(), move |c| {
+                drive_program(c, Prog::new(algo))
+            })
+            .clocks;
+            assert_eq!(
+                bits(&driven),
+                bits(&threaded),
+                "{algo:?}: driven vs threaded"
+            );
+            for workers in [1usize, 4, 8] {
+                let mut cfg = MpiConfig::mpi_opt();
+                cfg.sim_workers = workers;
+                let event =
+                    MpiWorld::run_event(&topo, cfg, move |c| drive_program(c, Prog::new(algo)))
+                        .clocks;
+                assert_eq!(
+                    bits(&driven),
+                    bits(&event),
+                    "{algo:?}: driven vs event(workers={workers})"
+                );
+            }
+        }
+    }
+
+    fn bits(clocks: &[f64]) -> Vec<u64> {
+        clocks.iter().map(|c| c.to_bits()).collect()
+    }
+}

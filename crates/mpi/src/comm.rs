@@ -13,6 +13,8 @@ use dlsr_net::{ClusterTopology, RegCacheStats, RegistrationCache, TransportPath}
 use crate::clock::VClock;
 use crate::config::{DeviceMode, MpiConfig};
 use crate::error::CommError;
+use crate::executor::budget::FlightBudget;
+use crate::executor::fabric::EventFabric;
 use crate::message::{Message, Payload};
 
 /// Per-rank communication statistics (drives Fig 11's hit-rate numbers and
@@ -71,16 +73,41 @@ pub struct RecvRequest {
     recv_buf_id: u64,
 }
 
+/// The message fabric behind one rank's communicator.
+///
+/// The variant never changes payloads or virtual-time arithmetic — both
+/// are computed rank-locally in [`Comm`] before a message touches the
+/// wire — so results are identical across wires by construction (the
+/// equivalence suite asserts it).
+pub(crate) enum Wire {
+    /// Legacy threaded core: one crossbeam channel per rank.
+    Channels {
+        senders: Vec<Sender<Message>>,
+        rx: Receiver<Message>,
+    },
+    /// Event context core: shared mailbox fabric with run-token scheduling.
+    Event { fabric: Arc<EventFabric> },
+    /// Driven core: sends accumulate locally and the single-threaded engine
+    /// routes them between program segments. Blocking recv is forbidden —
+    /// tasks poll with [`Comm::try_recv_buffered`].
+    Driven { outbox: Vec<(usize, Message)> },
+}
+
 /// MPI communicator for one rank.
 pub struct Comm {
     rank: usize,
     size: usize,
     topo: ClusterTopology,
+    /// `topo.node_of(rank)`, cached: the send path resolves locality per
+    /// message and the integer divisions showed up in the engine profile.
+    my_node: usize,
+    /// `topo.local_of(rank)`, cached (same reason).
+    my_local: usize,
     env: DeviceEnv,
     cfg: Arc<MpiConfig>,
     clock: VClock,
-    senders: Vec<Sender<Message>>,
-    rx: Receiver<Message>,
+    wire: Wire,
+    budget: Option<Arc<FlightBudget>>,
     pending: VecDeque<Message>,
     regcache: RegistrationCache,
     ipc_registries: Arc<Vec<IpcRegistry>>,
@@ -108,8 +135,8 @@ impl Comm {
         rank: usize,
         topo: ClusterTopology,
         cfg: Arc<MpiConfig>,
-        senders: Vec<Sender<Message>>,
-        rx: Receiver<Message>,
+        wire: Wire,
+        budget: Option<Arc<FlightBudget>>,
         ipc_registries: Arc<Vec<IpcRegistry>>,
     ) -> Self {
         let size = topo.total_gpus();
@@ -128,12 +155,14 @@ impl Comm {
         Comm {
             rank,
             size,
+            my_node: topo.node_of(rank),
+            my_local: local,
             topo,
             env,
             cfg,
             clock: VClock::zero(),
-            senders,
-            rx,
+            wire,
+            budget,
             pending: VecDeque::new(),
             regcache,
             ipc_registries,
@@ -287,9 +316,11 @@ impl Comm {
     /// one-time CUDA IPC handshake (handle export + peer open) if the path
     /// requires a mapping that does not exist yet.
     fn resolve_path(&mut self, dst: usize, bytes: u64) -> Result<TransportPath, CommError> {
-        let same_node = self.topo.same_node(self.rank, dst);
-        let my_local = self.topo.local_of(self.rank);
-        let dst_local = self.topo.local_of(dst);
+        let gpn = self.topo.gpus_per_node;
+        let dst_node = dst / gpn;
+        let same_node = dst_node == self.my_node;
+        let my_local = self.my_local;
+        let dst_local = dst - dst_node * gpn;
         if self.policy == PathPolicy::NcclLike && same_node {
             // NCCL sets up its own IPC rings at communicator init — the
             // framework's CUDA_VISIBLE_DEVICES mask does not constrain it,
@@ -307,7 +338,7 @@ impl Comm {
             // One-time handshake: export our buffer, peer opens it. Both
             // env masks are identical across ranks (same job config), so
             // simulating the peer's open with our env is faithful.
-            let node = self.topo.node_of(self.rank);
+            let node = self.my_node;
             let reg = &self.ipc_registries[node];
             let buf = dlsr_gpu::device::DeviceBuffer {
                 device: self.gpu(),
@@ -490,7 +521,7 @@ impl Comm {
             transfer += self
                 .cfg
                 .fat_tree
-                .extra_latency(self.topo.node_of(self.rank), self.topo.node_of(dst));
+                .extra_latency(self.my_node, dst / self.topo.gpus_per_node);
         }
         #[cfg(feature = "faults")]
         let transfer = self.faulted_transfer(dst, transfer)?;
@@ -504,15 +535,43 @@ impl Comm {
             arrival,
         );
         self.stats.sends += 1;
-        self.senders[dst]
-            .send(Message {
+        self.deliver(
+            dst,
+            Message {
                 src: self.rank,
                 tag,
                 payload,
                 arrival,
-            })
-            .map_err(|_| CommError::WorldTornDown { rank: self.rank })?;
-        Ok(())
+            },
+        )
+    }
+
+    /// Hand a finished message to the wire, charging the in-flight budget
+    /// first. The charge is timing-neutral and uniform across wires, so
+    /// the bounded-mailbox guarantee — and any overflow error — is
+    /// core-independent.
+    fn deliver(&mut self, dst: usize, msg: Message) -> Result<(), CommError> {
+        if let Some(b) = &self.budget {
+            if let Err(in_flight) = b.charge(&msg) {
+                return Err(CommError::MailboxBudget {
+                    rank: self.rank,
+                    in_flight,
+                    budget: b.limit(),
+                });
+            }
+        }
+        match &mut self.wire {
+            Wire::Channels { senders, .. } => senders[dst]
+                .send(msg)
+                .map_err(|_| CommError::WorldTornDown { rank: self.rank }),
+            Wire::Event { fabric } => fabric
+                .deliver(dst, msg)
+                .map_err(|()| CommError::WorldTornDown { rank: self.rank }),
+            Wire::Driven { outbox } => {
+                outbox.push((dst, msg));
+                Ok(())
+            }
+        }
     }
 
     /// Blocking receive matching `(src, tag)`. `recv_buf_id` identifies the
@@ -549,37 +608,60 @@ impl Comm {
             let m = self.pending.remove(pos).expect("position valid");
             return Ok(self.complete_recv(m, recv_buf_id));
         }
-        #[cfg(not(feature = "verify"))]
+        let m = self.wire_recv_matching(src, tag)?;
+        Ok(self.complete_recv(m, recv_buf_id))
+    }
+
+    /// Pull messages off the wire until one matches `(src, tag)`,
+    /// buffering strays. Blocks — parking this rank on the event core —
+    /// until the match exists.
+    fn wire_recv_matching(&mut self, src: usize, tag: u64) -> Result<Message, CommError> {
+        match &self.wire {
+            Wire::Channels { .. } => self.channel_recv_matching(src, tag),
+            Wire::Event { fabric } => {
+                let fabric = Arc::clone(fabric);
+                self.event_recv_matching(&fabric, src, tag)
+            }
+            Wire::Driven { .. } => panic!(
+                "dlsr-mpi: rank {}: blocking recv on the driven core; event tasks must poll \
+                 with try_recv_buffered",
+                self.rank
+            ),
+        }
+    }
+
+    /// Threaded-core matching loop.
+    #[cfg(not(feature = "verify"))]
+    fn channel_recv_matching(&mut self, src: usize, tag: u64) -> Result<Message, CommError> {
         loop {
-            let m = self
-                .rx
+            let Wire::Channels { rx, .. } = &self.wire else {
+                unreachable!("caller checked the wire variant")
+            };
+            let m = rx
                 .recv()
                 .map_err(|_| CommError::WorldTornDown { rank: self.rank })?;
             if m.src == src && m.tag == tag {
-                return Ok(self.complete_recv(m, recv_buf_id));
+                return Ok(m);
             }
             self.pending.push_back(m);
         }
-        #[cfg(feature = "verify")]
-        self.recv_watched(src, tag, recv_buf_id)
     }
 
-    /// Verified blocking receive: identical matching semantics, but waits
-    /// in short polls so this rank can (a) register itself as blocked in
-    /// the wait-for graph, (b) run the deadlock cycle check, and (c) bail
-    /// out promptly when another rank flags a violation.
+    /// Threaded-core matching loop, verified build: identical matching
+    /// semantics, but waits in short polls so this rank can (a) register
+    /// itself as blocked in the wait-for graph, (b) run the deadlock cycle
+    /// check, and (c) bail out promptly when another rank flags a
+    /// violation.
     #[cfg(feature = "verify")]
-    fn recv_watched(
-        &mut self,
-        src: usize,
-        tag: u64,
-        recv_buf_id: u64,
-    ) -> Result<Payload, CommError> {
+    fn channel_recv_matching(&mut self, src: usize, tag: u64) -> Result<Message, CommError> {
         use crossbeam::channel::RecvTimeoutError;
         let ctx = self.verify.clone();
         let mut noted = false;
         loop {
-            match self.rx.recv_timeout(crate::verify::POLL) {
+            let Wire::Channels { rx, .. } = &self.wire else {
+                unreachable!("caller checked the wire variant")
+            };
+            match rx.recv_timeout(crate::verify::POLL) {
                 Ok(m) => {
                     if m.src == src && m.tag == tag {
                         if noted {
@@ -587,7 +669,7 @@ impl Comm {
                                 c.note_unblocked(self.rank);
                             }
                         }
-                        return Ok(self.complete_recv(m, recv_buf_id));
+                        return Ok(m);
                     }
                     self.pending.push_back(m);
                 }
@@ -607,11 +689,59 @@ impl Comm {
         }
     }
 
+    /// Event-core matching receive: park on the fabric until the exact
+    /// message is delivered. With a verifier attached, parks in short
+    /// polls and runs the same blocked/deadlock bookkeeping as the
+    /// threaded core (token-less, so the checks never hold up peers).
+    fn event_recv_matching(
+        &mut self,
+        fabric: &EventFabric,
+        src: usize,
+        tag: u64,
+    ) -> Result<Message, CommError> {
+        #[cfg(feature = "verify")]
+        if let Some(ctx) = self.verify.clone() {
+            let mut noted = false;
+            loop {
+                let got = fabric.recv_blocking(
+                    self.rank,
+                    src,
+                    tag,
+                    self.clock.now(),
+                    Some(crate::verify::POLL),
+                );
+                match got {
+                    Ok(Some(m)) => {
+                        if noted {
+                            ctx.note_unblocked(self.rank);
+                        }
+                        return Ok(m);
+                    }
+                    Ok(None) => {
+                        ctx.note_blocked(self.rank, src, tag);
+                        noted = true;
+                        ctx.check_deadlock(self.rank);
+                    }
+                    Err(()) => return Err(CommError::WorldTornDown { rank: self.rank }),
+                }
+            }
+        }
+        fabric
+            .recv_blocking(self.rank, src, tag, self.clock.now(), None)
+            .map_err(|()| CommError::WorldTornDown { rank: self.rank })
+            .map(|m| m.expect("poll-less fabric recv always returns a message"))
+    }
+
     fn complete_recv(&mut self, m: Message, recv_buf_id: u64) -> Payload {
+        if let Some(b) = &self.budget {
+            b.release(&m);
+        }
         let bytes = m.payload.size_bytes();
         // Receiver-side registration: for inter-node RDMA the receive buffer
         // must be pinned too.
-        if !self.topo.same_node(self.rank, m.src) && bytes >= self.cfg.transport.eager_threshold {
+        if bytes >= self.cfg.transport.eager_threshold
+            && m.src / self.topo.gpus_per_node != self.my_node
+        {
             self.charge_registration(TransportPath::IbRdma, recv_buf_id, bytes);
         }
         self.clock.merge(m.arrival);
@@ -687,5 +817,86 @@ impl Comm {
     pub(crate) fn next_seq(&mut self) -> u64 {
         self.coll_seq += 1;
         self.coll_seq
+    }
+
+    /// Non-blocking receive: complete a queued `(src, tag)` match exactly
+    /// like [`Comm::recv`] (clock merge, overheads, registration), or
+    /// return `None` if no match has been delivered yet. Event tasks map
+    /// `None` to [`Poll::Pending`](crate::executor::Poll::Pending).
+    pub fn try_recv_buffered(&mut self, src: usize, tag: u64, recv_buf_id: u64) -> Option<Payload> {
+        let rank = self.rank;
+        loop {
+            // Fast path: the match is at the front of the queue — true for
+            // almost every receive outside fan-in hotspots (queues are
+            // length ≤ 1 in ring steps), and `pop_front` avoids the O(n)
+            // scan-and-shift of `remove`.
+            if let Some(m) = self.pending.front() {
+                if m.src == src && m.tag == tag {
+                    let m = self.pending.pop_front().expect("front exists");
+                    return Some(self.complete_recv(m, recv_buf_id));
+                }
+            }
+            if let Some(pos) = self
+                .pending
+                .iter()
+                .position(|m| m.src == src && m.tag == tag)
+            {
+                let m = self.pending.remove(pos).expect("position valid");
+                return Some(self.complete_recv(m, recv_buf_id));
+            }
+            let pulled = match &mut self.wire {
+                Wire::Channels { rx, .. } => {
+                    let mut any = false;
+                    while let Ok(m) = rx.try_recv() {
+                        self.pending.push_back(m);
+                        any = true;
+                    }
+                    any
+                }
+                Wire::Event { fabric } => {
+                    if let Some(m) = fabric.try_take(rank, src, tag) {
+                        self.pending.push_back(m);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                // The engine routes straight into `pending`; nothing else
+                // to pull from.
+                Wire::Driven { .. } => false,
+            };
+            if !pulled {
+                return None;
+            }
+        }
+    }
+
+    /// Block until a `(src, tag)` match is queued, leaving it in the
+    /// out-of-order buffer for the task's next poll — the blocking half of
+    /// [`drive_task`](crate::executor::drive_task) on the context cores.
+    /// Panics on terminal errors, like [`Comm::recv`].
+    pub(crate) fn block_until_match(&mut self, src: usize, tag: u64) {
+        if self.pending.iter().any(|m| m.src == src && m.tag == tag) {
+            return;
+        }
+        match self.wire_recv_matching(src, tag) {
+            Ok(m) => self.pending.push_back(m),
+            Err(e) => panic!("dlsr-mpi: rank {}: recv failed: {e}", self.rank),
+        }
+    }
+
+    /// Swap the driven-core outbox with a caller-owned scratch buffer:
+    /// the engine drains the scratch and swaps it back in next segment, so
+    /// steady-state routing does no allocator work — capacities circulate
+    /// instead of being freed. No-op on the other wires.
+    pub(crate) fn swap_outbox(&mut self, buf: &mut Vec<(usize, Message)>) {
+        if let Wire::Driven { outbox } = &mut self.wire {
+            std::mem::swap(outbox, buf);
+        }
+    }
+
+    /// Queue an inbound message (engine-side routing on the driven core).
+    pub(crate) fn push_pending(&mut self, m: Message) {
+        self.pending.push_back(m);
     }
 }

@@ -51,6 +51,22 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Which execution core runs the world's rank programs (see
+/// `docs/SIMCORE.md`). Results are bitwise-identical across cores — timing
+/// flows only through message arrival stamps — so this knob trades wall
+/// time, never fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimCore {
+    /// The discrete-event core: at most `sim_workers` ranks run at once,
+    /// blocked recvs park their rank, and run tokens are granted in
+    /// deterministic `(virtual_time, rank)` order. The default.
+    #[default]
+    Event,
+    /// The legacy thread-per-rank core: every rank gets an OS thread for
+    /// the run's whole lifetime. Kept as the equivalence baseline.
+    Threaded,
+}
+
 /// An [`MpiConfigBuilder`] rejected its knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigError(pub(crate) String);
@@ -104,6 +120,18 @@ pub struct MpiConfig {
     pub rd_threshold: u64,
     /// Retry/timeout/backoff policy answering transient transport faults.
     pub retry: RetryPolicy,
+    /// Which execution core runs the world ([`SimCore::Event`] by default).
+    pub sim_core: SimCore,
+    /// Worker-pool size of the event core: how many ranks may run
+    /// concurrently. 0 — the default — means "auto": the machine's
+    /// available parallelism, capped at the world size. Never affects
+    /// results, only wall time.
+    pub sim_workers: usize,
+    /// Host-byte budget for in-flight (sent, not yet received) messages
+    /// across the whole world. Exceeding it is an explicit
+    /// [`crate::CommError::MailboxBudget`] instead of unbounded queue
+    /// growth. 0 disables the check.
+    pub sim_mailbox_budget: u64,
     /// Scheduled faults for this job (shared by every rank). `None` — the
     /// default — injects nothing; without the `faults` feature the field
     /// does not exist and the injection hooks compile to nothing.
@@ -130,6 +158,9 @@ impl MpiConfig {
             pipeline_threshold: 8 << 20,
             rd_threshold: 128 << 10,
             retry: RetryPolicy::default(),
+            sim_core: SimCore::Event,
+            sim_workers: 0,
+            sim_mailbox_budget: 1 << 30,
             #[cfg(feature = "faults")]
             fault_plan: None,
         }
@@ -280,6 +311,24 @@ impl MpiConfigBuilder {
     /// Retry/timeout/backoff policy for transient transport faults.
     pub fn retry(mut self, policy: RetryPolicy) -> Self {
         self.cfg.retry = policy;
+        self
+    }
+
+    /// Which execution core runs the world.
+    pub fn sim_core(mut self, core: SimCore) -> Self {
+        self.cfg.sim_core = core;
+        self
+    }
+
+    /// Event-core worker-pool size (0 = auto).
+    pub fn sim_workers(mut self, workers: usize) -> Self {
+        self.cfg.sim_workers = workers;
+        self
+    }
+
+    /// In-flight host-byte budget (0 = unlimited).
+    pub fn sim_mailbox_budget(mut self, bytes: u64) -> Self {
+        self.cfg.sim_mailbox_budget = bytes;
         self
     }
 

@@ -49,6 +49,18 @@ pub enum CommError {
     /// The CUDA IPC handshake failed even though path selection chose the
     /// peer-to-peer path. Terminal (a config/topology bug, not a fault).
     Ipc(String),
+    /// Sending this message would push the world's in-flight host bytes
+    /// past the configured mailbox budget
+    /// ([`crate::MpiConfig::sim_mailbox_budget`]) — the fabric refuses to
+    /// queue it rather than grow without bound. Terminal.
+    MailboxBudget {
+        /// The sending rank.
+        rank: usize,
+        /// In-flight host bytes the send would have reached.
+        in_flight: u64,
+        /// The configured budget.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -71,6 +83,16 @@ impl fmt::Display for CommError {
                 write!(f, "rank {rank}: peers exited, the world is torn down")
             }
             CommError::Ipc(msg) => write!(f, "CUDA IPC handshake failed: {msg}"),
+            CommError::MailboxBudget {
+                rank,
+                in_flight,
+                budget,
+            } => write!(
+                f,
+                "rank {rank}: send would put {in_flight} in-flight host bytes past the \
+                 {budget}-byte mailbox budget (raise MpiConfig::sim_mailbox_budget or drain \
+                 receives sooner)"
+            ),
         }
     }
 }

@@ -1,0 +1,123 @@
+//! In-flight message accounting: the bounded-mailbox guarantee.
+//!
+//! Large worlds can hold hundreds of thousands of undelivered messages; an
+//! unbounded fabric turns a planning bug (a world whose fusion plan floods
+//! the wires faster than receivers drain them) into a silent host OOM. The
+//! [`FlightBudget`] charges every message's *host* footprint when it enters
+//! the fabric and releases it when the receiver completes the matching
+//! recv, so exceeding the configured budget is an explicit
+//! [`crate::CommError::MailboxBudget`] instead of a hang or a kill.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::config::MpiConfig;
+use crate::message::Message;
+
+/// Bookkeeping overhead charged per in-flight message on top of its host
+/// payload bytes (header fields, queue slot, allocator slack).
+const MSG_OVERHEAD: u64 = 96;
+
+/// Shared in-flight byte counter for one world. Cheap enough for the send
+/// hot path: two relaxed atomic ops per message lifetime.
+#[derive(Debug)]
+pub(crate) struct FlightBudget {
+    limit: u64,
+    used: AtomicU64,
+}
+
+impl FlightBudget {
+    /// The world's budget, or `None` when `sim_mailbox_budget` is 0
+    /// (unlimited — the legacy behaviour).
+    pub(crate) fn from_config(cfg: &MpiConfig) -> Option<Arc<FlightBudget>> {
+        (cfg.sim_mailbox_budget > 0).then(|| {
+            Arc::new(FlightBudget {
+                limit: cfg.sim_mailbox_budget,
+                used: AtomicU64::new(0),
+            })
+        })
+    }
+
+    fn cost(msg: &Message) -> u64 {
+        msg.payload.host_bytes() + MSG_OVERHEAD
+    }
+
+    /// Charge a message entering the fabric. On overflow the charge is
+    /// rolled back and the would-be total is returned for the error.
+    pub(crate) fn charge(&self, msg: &Message) -> Result<(), u64> {
+        let cost = Self::cost(msg);
+        let total = self.used.fetch_add(cost, Ordering::Relaxed) + cost;
+        if total > self.limit {
+            self.used.fetch_sub(cost, Ordering::Relaxed);
+            Err(total)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Release a message the receiver has consumed.
+    pub(crate) fn release(&self, msg: &Message) {
+        self.used.fetch_sub(Self::cost(msg), Ordering::Relaxed);
+    }
+
+    pub(crate) fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Payload;
+
+    fn msg(bytes: usize) -> Message {
+        Message {
+            src: 0,
+            tag: 0,
+            payload: Payload::Bytes(vec![0; bytes]),
+            arrival: 0.0,
+        }
+    }
+
+    #[test]
+    fn charge_and_release_balance() {
+        let b = FlightBudget {
+            limit: 1000,
+            used: AtomicU64::new(0),
+        };
+        let m = msg(100);
+        assert!(b.charge(&m).is_ok());
+        assert_eq!(b.used.load(Ordering::Relaxed), 100 + MSG_OVERHEAD);
+        b.release(&m);
+        assert_eq!(b.used.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn overflow_rolls_back_and_reports_the_total() {
+        let b = FlightBudget {
+            limit: 150,
+            used: AtomicU64::new(0),
+        };
+        let m = msg(100);
+        let e = b.charge(&m).unwrap_err();
+        assert_eq!(e, 100 + MSG_OVERHEAD);
+        assert_eq!(
+            b.used.load(Ordering::Relaxed),
+            0,
+            "failed charge rolled back"
+        );
+    }
+
+    #[test]
+    fn synthetic_payloads_cost_only_overhead() {
+        // A 512-rank world moves tens of GB of *simulated* gradient bytes;
+        // only the per-message bookkeeping may count against the budget.
+        let m = Message {
+            src: 0,
+            tag: 0,
+            payload: Payload::Synthetic { bytes: 1 << 30 },
+            arrival: 0.0,
+        };
+        assert_eq!(FlightBudget::cost(&m), MSG_OVERHEAD);
+    }
+}

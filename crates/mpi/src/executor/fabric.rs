@@ -1,0 +1,266 @@
+//! The event fabric: per-rank mailboxes plus the run-token scheduler of
+//! the event context core.
+//!
+//! Ranks execute on OS threads used as coroutine contexts, but at most
+//! `workers` of them hold a *run token* at any instant. A rank that blocks
+//! on a recv with no matching message parks — releasing its token — and
+//! the freed token is granted to the eligible rank with the smallest
+//! `(virtual_time, rank)` key. Delivery of the awaited `(src, tag)` makes
+//! a parked rank eligible again at `max(its clock, message arrival)`.
+//!
+//! Determinism does not *depend* on the grant order: cross-rank timing
+//! flows exclusively through arrival stamps computed at send time, and
+//! every receive names its exact `(src, tag)`, so results are identical
+//! for any worker count (asserted by the equivalence suite). The ordered
+//! grants exist so the schedule approximates a discrete-event sweep of
+//! virtual time — the rank most behind runs first — instead of an
+//! oversubscribed free-for-all.
+
+use std::collections::BTreeSet;
+use std::sync::{Condvar, MutexGuard, PoisonError};
+use std::time::Duration;
+
+// The vendored `parking_lot` stub wraps `std::sync::Mutex` and yields std
+// guards, so `std::sync::Condvar` composes with it; its `lock()` already
+// strips poisoning (a panicking rank must not cascade lock panics into
+// peers that are busy observing the teardown).
+use parking_lot::Mutex;
+
+use crate::message::Message;
+
+/// Condvar wait that survives a peer's panic-while-locked (deadlock abort
+/// poisons the inner std mutex; waiters just take the guard back).
+fn wait<'a>(cv: &Condvar, g: MutexGuard<'a, Sched>) -> MutexGuard<'a, Sched> {
+    cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Timed wait with the same poison-stripping; returns `(guard, timed_out)`.
+fn wait_timeout<'a>(
+    cv: &Condvar,
+    g: MutexGuard<'a, Sched>,
+    d: Duration,
+) -> (MutexGuard<'a, Sched>, bool) {
+    match cv.wait_timeout(g, d) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(p) => {
+            let (g, t) = p.into_inner();
+            (g, t.timed_out())
+        }
+    }
+}
+
+/// Where a rank stands with the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Status {
+    /// Holds a run token; its thread is (or may be) on a CPU.
+    Running,
+    /// Eligible and queued for a token.
+    TokenWait,
+    /// Blocked on a recv for exactly `(src, tag)`; holds no token.
+    /// `vtime` is the clock (as bits) at which it parked.
+    Parked { src: usize, tag: u64, vtime: u64 },
+    /// Rank closure returned.
+    Done,
+}
+
+struct Sched {
+    status: Vec<Status>,
+    has_token: Vec<bool>,
+    /// Per-rank mailboxes, in delivery order (per-sender FIFO follows from
+    /// senders delivering in their own program order).
+    mail: Vec<Vec<Message>>,
+    /// Token queue: `(virtual_time.to_bits(), rank)` — the bit pattern of a
+    /// non-negative finite f64 orders exactly like its value.
+    eligible: BTreeSet<(u64, usize)>,
+    running: usize,
+    workers: usize,
+    live: usize,
+    torn_down: bool,
+}
+
+/// One world's shared fabric (event context core).
+pub(crate) struct EventFabric {
+    sched: Mutex<Sched>,
+    cvs: Vec<Condvar>,
+}
+
+impl EventFabric {
+    pub(crate) fn new(size: usize, workers: usize) -> EventFabric {
+        let workers = workers.clamp(1, size);
+        let eligible: BTreeSet<(u64, usize)> = (0..size).map(|r| (0u64, r)).collect();
+        let fabric = EventFabric {
+            sched: Mutex::new(Sched {
+                status: vec![Status::TokenWait; size],
+                has_token: vec![false; size],
+                mail: vec![Vec::new(); size],
+                eligible,
+                running: 0,
+                workers,
+                live: size,
+                torn_down: false,
+            }),
+            cvs: (0..size).map(|_| Condvar::new()).collect(),
+        };
+        let mut st = fabric.sched.lock();
+        fabric.pump(&mut st);
+        drop(st);
+        fabric
+    }
+
+    /// Grant free tokens to eligible ranks in `(virtual_time, rank)` order.
+    fn pump(&self, st: &mut Sched) {
+        while st.running < st.workers {
+            let Some(&key) = st.eligible.iter().next() else {
+                break;
+            };
+            st.eligible.remove(&key);
+            let rank = key.1;
+            st.status[rank] = Status::Running;
+            st.has_token[rank] = true;
+            st.running += 1;
+            self.cvs[rank].notify_all();
+        }
+    }
+
+    /// Start-of-world gate: block until this rank holds a run token.
+    pub(crate) fn wait_for_token(&self, rank: usize) -> Result<(), ()> {
+        let mut st = self.sched.lock();
+        loop {
+            if st.torn_down {
+                return Err(());
+            }
+            if st.has_token[rank] {
+                return Ok(());
+            }
+            st = wait(&self.cvs[rank], st);
+        }
+    }
+
+    /// Deliver a message into `dst`'s mailbox, waking it if it parked on
+    /// exactly this `(src, tag)`.
+    pub(crate) fn deliver(&self, dst: usize, msg: Message) -> Result<(), ()> {
+        let mut st = self.sched.lock();
+        if st.torn_down {
+            return Err(());
+        }
+        let wake_key = match st.status[dst] {
+            Status::Parked { src, tag, vtime } if src == msg.src && tag == msg.tag => {
+                // The rank resumes at the later of its parked clock and the
+                // message's arrival stamp — the discrete-event wake time.
+                Some((f64::max(f64::from_bits(vtime), msg.arrival).to_bits(), dst))
+            }
+            _ => None,
+        };
+        st.mail[dst].push(msg);
+        if let Some(key) = wake_key {
+            st.status[dst] = Status::TokenWait;
+            st.eligible.insert(key);
+            self.pump(&mut st);
+        }
+        Ok(())
+    }
+
+    /// Non-blocking exact-match take from this rank's mailbox.
+    pub(crate) fn try_take(&self, rank: usize, src: usize, tag: u64) -> Option<Message> {
+        let mut st = self.sched.lock();
+        let i = st.mail[rank]
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)?;
+        Some(st.mail[rank].remove(i))
+    }
+
+    /// Blocking exact-match receive. Parks the rank (releasing its token)
+    /// until the message is delivered and a token is granted back.
+    ///
+    /// With `poll` set (the verify watcher), returns `Ok(None)` after that
+    /// long with no match, leaving the rank parked — the caller runs its
+    /// deadlock bookkeeping token-less and calls again. Returns `Err` on
+    /// world teardown.
+    pub(crate) fn recv_blocking(
+        &self,
+        rank: usize,
+        src: usize,
+        tag: u64,
+        vtime: f64,
+        poll: Option<Duration>,
+    ) -> Result<Option<Message>, ()> {
+        let mut st = self.sched.lock();
+        loop {
+            if st.torn_down {
+                return Err(());
+            }
+            if st.has_token[rank] {
+                if let Some(i) = st.mail[rank]
+                    .iter()
+                    .position(|m| m.src == src && m.tag == tag)
+                {
+                    return Ok(Some(st.mail[rank].remove(i)));
+                }
+                // Nothing to do at this virtual time: park, hand the token
+                // to the next eligible rank.
+                st.has_token[rank] = false;
+                st.running -= 1;
+                st.status[rank] = Status::Parked {
+                    src,
+                    tag,
+                    vtime: vtime.to_bits(),
+                };
+                self.pump(&mut st);
+                if poll.is_none() {
+                    // Without the verify watcher the fabric itself aborts a
+                    // fully-parked world instead of hanging forever.
+                    self.abort_if_deadlocked(&mut st, rank, src, tag);
+                }
+            }
+            match poll {
+                None => st = wait(&self.cvs[rank], st),
+                Some(d) => {
+                    let (g, timed_out) = wait_timeout(&self.cvs[rank], st, d);
+                    st = g;
+                    if timed_out && !st.has_token[rank] && !st.torn_down {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every live rank parked, no token granted, none eligible ⇒ no
+    /// message can ever arrive again. Tear the world down with a
+    /// diagnostic instead of hanging.
+    fn abort_if_deadlocked(&self, st: &mut Sched, rank: usize, src: usize, tag: u64) {
+        if st.running == 0 && st.eligible.is_empty() && st.live > 0 {
+            st.torn_down = true;
+            for cv in &self.cvs {
+                cv.notify_all();
+            }
+            panic!(
+                "dlsr-mpi: deadlock: all {} live ranks parked on recv with no matching message \
+                 in flight; rank {rank} waits for (src {src}, tag {tag:#x})",
+                st.live
+            );
+        }
+    }
+
+    /// Rank closure returned: release its token and let the world drain.
+    pub(crate) fn finish(&self, rank: usize) {
+        let mut st = self.sched.lock();
+        st.status[rank] = Status::Done;
+        if st.has_token[rank] {
+            st.has_token[rank] = false;
+            st.running -= 1;
+        }
+        st.live -= 1;
+        self.pump(&mut st);
+    }
+
+    /// A rank panicked: wake everyone so blocked peers observe
+    /// [`crate::CommError::WorldTornDown`] and the world aborts together.
+    pub(crate) fn teardown(&self) {
+        let mut st = self.sched.lock();
+        st.torn_down = true;
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+    }
+}

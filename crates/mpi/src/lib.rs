@@ -1,10 +1,12 @@
 //! `dlsr-mpi` — a CUDA-aware MPI library (MVAPICH2-GDR-like) over the
 //! simulated cluster.
 //!
-//! Every rank is a real OS thread carrying a **virtual clock**; messages
-//! carry real payloads (gradient `f32` buffers) through crossbeam channels,
-//! so collective *results* are bit-exact and testable, while message
-//! *timing* follows the `dlsr-net` transport models. The clock protocol is
+//! Every rank carries a **virtual clock**; messages carry real payloads
+//! (gradient `f32` buffers) through the execution core's fabric (see
+//! [`executor`] — discrete-event by default, with a zero-thread driven
+//! engine for 512–4096-rank worlds), so collective *results* are bit-exact
+//! and testable, while message *timing* follows the `dlsr-net` transport
+//! models. The clock protocol is
 //! LogGP-style: a message sent at sender-time `t` with transfer cost `c`
 //! cannot be received before `t + c`; receiving advances the receiver's
 //! clock to at least that point, so causality — and therefore collective
@@ -43,6 +45,7 @@ pub mod collectives;
 pub mod comm;
 pub mod config;
 pub mod error;
+pub mod executor;
 pub mod message;
 pub mod verify;
 pub mod world;
@@ -50,7 +53,8 @@ pub mod world;
 pub use clock::VClock;
 pub use collectives::AllreduceAlgorithm;
 pub use comm::{Comm, CommStats, PathPolicy, RecvRequest};
-pub use config::{ConfigError, MpiConfig, MpiConfigBuilder, RetryPolicy};
+pub use config::{ConfigError, MpiConfig, MpiConfigBuilder, RetryPolicy, SimCore};
 pub use error::CommError;
+pub use executor::{drive_program, drive_task, EventTask, Poll, RankProgram, Step, Task};
 pub use message::{Message, Payload};
-pub use world::MpiWorld;
+pub use world::{MpiWorld, WorldResult};

@@ -29,6 +29,18 @@ impl Payload {
         }
     }
 
+    /// Bytes this payload actually occupies in *host* memory while queued
+    /// (mailbox-budget accounting). Synthetic payloads carry a size but no
+    /// data, so they cost nothing here no matter how many simulated bytes
+    /// they represent.
+    pub fn host_bytes(&self) -> u64 {
+        match self {
+            Payload::F32(v) => (v.len() * 4) as u64,
+            Payload::Bytes(b) => b.len() as u64,
+            Payload::Synthetic { .. } => 0,
+        }
+    }
+
     /// Unwrap an f32 payload.
     pub fn into_f32(self) -> Vec<f32> {
         match self {

@@ -1,16 +1,13 @@
-//! Job launcher: spawns one thread per rank, wires channels, runs a
-//! closure on every rank and collects results — the simulated `mpirun`.
+//! Job launcher: runs a closure (or a resumable [`RankProgram`]) on every
+//! rank of a simulated world and collects results — the simulated
+//! `mpirun`. The actual execution cores live in [`crate::executor`]; this
+//! module only dispatches on [`SimCore`].
 
-use std::sync::Arc;
-
-use crossbeam::channel::unbounded;
-
-use dlsr_gpu::IpcRegistry;
 use dlsr_net::ClusterTopology;
 
 use crate::comm::Comm;
-use crate::config::MpiConfig;
-use crate::message::Message;
+use crate::config::{MpiConfig, SimCore};
+use crate::executor::{context, driven, RankProgram};
 
 /// The simulated MPI world.
 pub struct MpiWorld;
@@ -35,72 +32,55 @@ impl MpiWorld {
     /// per-rank results plus final clocks.
     ///
     /// `f` must be deterministic in rank order of collective calls (normal
-    /// SPMD discipline); payloads flow through real channels so results are
-    /// exact.
+    /// SPMD discipline); payloads flow through real message queues so
+    /// results are exact. Which core executes the ranks is chosen by
+    /// [`MpiConfig::sim_core`] — results are bitwise-identical either way.
     pub fn run<R, F>(topo: &ClusterTopology, cfg: MpiConfig, f: F) -> WorldResult<R>
     where
         R: Send,
         F: Fn(&mut Comm) -> R + Send + Sync,
     {
-        let size = topo.total_gpus();
-        assert!(size > 0, "cannot launch an empty world");
-        let cfg = Arc::new(cfg);
-        let mut senders = Vec::with_capacity(size);
-        let mut receivers = Vec::with_capacity(size);
-        for _ in 0..size {
-            let (tx, rx) = unbounded::<Message>();
-            senders.push(tx);
-            receivers.push(rx);
+        match cfg.sim_core {
+            SimCore::Event => context::run_event(topo, cfg, f),
+            SimCore::Threaded => context::run_threaded(topo, cfg, f),
         }
-        let ipc_registries = Arc::new(
-            (0..topo.nodes)
-                .map(|_| IpcRegistry::new())
-                .collect::<Vec<_>>(),
-        );
+    }
 
-        #[cfg(feature = "verify")]
-        let verify_ctx = crate::verify::VerifyCtx::new(size);
+    /// [`MpiWorld::run`] forced onto the legacy thread-per-rank core
+    /// (ignores `cfg.sim_core`) — the equivalence baseline.
+    pub fn run_threaded<R, F>(topo: &ClusterTopology, cfg: MpiConfig, f: F) -> WorldResult<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        context::run_threaded(topo, cfg, f)
+    }
 
-        let mut out: Vec<Option<(R, f64)>> = (0..size).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(size);
-            for (rank, rx) in receivers.into_iter().enumerate() {
-                let senders = senders.clone();
-                let cfg = Arc::clone(&cfg);
-                let registries = Arc::clone(&ipc_registries);
-                let topo = topo.clone();
-                let f = &f;
-                #[cfg(feature = "verify")]
-                let verify_ctx = Arc::clone(&verify_ctx);
-                handles.push(scope.spawn(move || {
-                    // Spans and counters recorded on this thread attribute
-                    // to this rank.
-                    dlsr_trace::set_thread_rank(rank);
-                    let mut comm = Comm::new(rank, topo, cfg, senders, rx, registries);
-                    #[cfg(feature = "verify")]
-                    comm.attach_verify(verify_ctx);
-                    let r = f(&mut comm);
-                    (rank, r, comm.now())
-                }));
-            }
-            for h in handles {
-                let (rank, r, clock) = h.join().expect("rank thread panicked");
-                out[rank] = Some((r, clock));
-            }
-        });
+    /// [`MpiWorld::run`] forced onto the event context core (ignores
+    /// `cfg.sim_core`).
+    pub fn run_event<R, F>(topo: &ClusterTopology, cfg: MpiConfig, f: F) -> WorldResult<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        context::run_event(topo, cfg, f)
+    }
 
-        // All ranks completed: run the end-of-run cross-rank checks
-        // (launch-order equality) and publish the verification summary.
-        #[cfg(feature = "verify")]
-        verify_ctx.final_check();
-        let mut ranks = Vec::with_capacity(size);
-        let mut clocks = Vec::with_capacity(size);
-        for slot in out {
-            let (r, c) = slot.expect("every rank reported");
-            ranks.push(r);
-            clocks.push(c);
-        }
-        WorldResult { ranks, clocks }
+    /// Run rank *programs* on the zero-thread driven engine: `make(rank)`
+    /// builds each rank's [`RankProgram`], and a single-threaded
+    /// discrete-event loop steps all of them in a deterministic
+    /// engine-chosen order. Same clock/payload semantics as
+    /// [`MpiWorld::run`], minus threads — this is the entry point for
+    /// 512–4096-rank worlds. The cross-rank `verify` checker is not
+    /// attached here (its rendezvous assumes concurrent ranks); use a
+    /// context core to verify a program, which the equivalence suite makes
+    /// meaningful by pinning this engine bitwise to those cores.
+    pub fn run_driven<P, F>(topo: &ClusterTopology, cfg: MpiConfig, make: F) -> WorldResult<P::Out>
+    where
+        P: RankProgram,
+        F: FnMut(usize) -> P,
+    {
+        driven::run(topo, cfg, make)
     }
 }
 

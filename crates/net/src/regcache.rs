@@ -8,8 +8,44 @@
 //! from enabling this cache for PyTorch (Fig 11).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use serde::{Deserialize, Serialize};
+
+/// Multiply-xor hasher for the `(buffer id, length)` keys — the cache is
+/// looked up once per send (and once per RDMA receive), so the default
+/// SipHash cost is pure overhead here. Unlike `RandomState` it is also
+/// deterministic across processes, which keeps the map's iteration order
+/// (and therefore any LRU tie-breaking) reproducible.
+#[derive(Default)]
+pub struct RegKeyHasher {
+    hash: u64,
+}
+
+impl Hasher for RegKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl RegKeyHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        // FxHash-style rotate-xor-multiply: two multiplies per key, no
+        // per-byte loop for the u64 components.
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
 
 /// Cache statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,7 +76,7 @@ pub struct RegistrationCache {
     capacity_bytes: u64,
     used_bytes: u64,
     tick: u64,
-    entries: HashMap<(u64, u64), Entry>,
+    entries: HashMap<(u64, u64), Entry, BuildHasherDefault<RegKeyHasher>>,
     stats: RegCacheStats,
     enabled: bool,
 }
@@ -58,7 +94,7 @@ impl RegistrationCache {
             capacity_bytes,
             used_bytes: 0,
             tick: 0,
-            entries: HashMap::new(),
+            entries: HashMap::default(),
             stats: RegCacheStats::default(),
             enabled: true,
         }
