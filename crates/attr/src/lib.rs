@@ -15,11 +15,24 @@
 //! fn microkernel(...) { ... }
 //! ```
 //!
-//! `#[dlsr::hot]` marks a function as steady-state hot: `dlsr-lint` rejects
-//! any allocating call (`Vec::new`, `vec!`, `to_vec`, `collect`, `clone`,
-//! `Box::new`, `with_capacity`, `format!`, `to_string`, `to_owned`) inside
-//! its body. The GEMM microkernel and im2col/col2im loops carry it; scratch
-//! must come in from the caller (see the scratch pool in `dlsr-tensor`).
+//! Three markers exist:
+//!
+//! - `#[dlsr::hot]` marks a function as steady-state hot: `dlsr-lint`
+//!   rejects any allocating call (`Vec::new`, `vec!`, `to_vec`, `collect`,
+//!   `clone`, `Box::new`, `with_capacity`, `format!`, `to_string`,
+//!   `to_owned`) inside its body *and everything its body transitively
+//!   calls*. The GEMM microkernel and im2col/col2im loops carry it;
+//!   scratch must come in from the caller (see the scratch pool in
+//!   `dlsr-tensor`).
+//! - `#[dlsr::wall]` marks a function as a wall-clock domain boundary:
+//!   real `Instant`/`SystemTime` reads are legitimate inside it and below
+//!   it (trace epoch anchoring, bench harness timing, self-measurement).
+//!   Everything *not* reachable under a `wall` fn must use virtual time.
+//! - `#[dlsr::deterministic]` marks a function as a rank-determinism root:
+//!   `dlsr-lint` verifies no nondeterminism source (`HashMap` iteration,
+//!   `thread_rng`, `thread::current`, unordered rayon combinators) is
+//!   reachable from it, and extracts its collective-call protocol skeleton
+//!   for rank-divergence checking.
 
 // This crate is the one place in the workspace that cannot carry
 // `#![forbid(unsafe_code)]` *conditionally*: proc-macro crates run at
@@ -34,5 +47,26 @@ use proc_macro::TokenStream;
 /// `dlsr-lint`, not by the compiler.
 #[proc_macro_attribute]
 pub fn hot(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}
+
+/// Marks a function as a wall-clock domain boundary: wall-time reads are
+/// allowed inside it and in everything it (transitively) calls.
+///
+/// Expands to the unmodified item. Enforced by the transitive `wall-clock`
+/// rule in `dlsr-lint`, not by the compiler.
+#[proc_macro_attribute]
+pub fn wall(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}
+
+/// Marks a function as a rank-determinism root: its call closure must be
+/// free of nondeterminism sources and its collective-call sequence is
+/// checked for rank divergence.
+///
+/// Expands to the unmodified item. Enforced by the `determinism-taint` and
+/// `collective-order` rules in `dlsr-lint`, not by the compiler.
+#[proc_macro_attribute]
+pub fn deterministic(_attr: TokenStream, item: TokenStream) -> TokenStream {
     item
 }

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 use std::time::Instant;
 
+use dlsr_attr as dlsr;
 use dlsr_bench::{legacy, packed};
 use dlsr_tensor::conv::{conv2d_backward, conv2d_fused, Act, Conv2dParams};
 use dlsr_tensor::{elementwise, init, Tensor};
@@ -101,6 +102,7 @@ fn step_legacy(stack: &[Layer], x: &Tensor, p: Conv2dParams) -> Tensor {
     grad
 }
 
+#[dlsr::wall]
 fn time_steps<F: FnMut() -> Tensor>(mut f: F) -> (f64, Tensor) {
     for _ in 0..WARMUP {
         f();

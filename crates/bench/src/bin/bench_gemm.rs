@@ -12,12 +12,14 @@
 #![forbid(unsafe_code)]
 use std::time::Instant;
 
+use dlsr_attr as dlsr;
 use dlsr_tensor::matmul::{self, BSrc, Epilogue, Im2colView};
 use dlsr_tensor::{init, scratch, tune};
 
 const WARMUP: usize = 2;
 const REPS: usize = 5;
 
+#[dlsr::wall]
 fn time_reps<F: FnMut()>(mut f: F) -> f64 {
     for _ in 0..WARMUP {
         f();

@@ -472,6 +472,8 @@ pub fn train_real(
             // with re-broadcast state. Replay is bitwise-exact because the
             // loader is step-keyed and the restored state is exact.
             #[cfg(feature = "faults")]
+            // dlsr-lint: allow(collective-order) -- rank_failure is config,
+            // identical on every rank: all ranks take the same arm together
             if let Some(f) = rank_failure {
                 if !restored && step == f.step {
                     let snap = snapshot.clone().expect("initial snapshot exists");

@@ -14,10 +14,9 @@
 //!   --check` asserts the absolute criteria (512-rank step under a wall
 //!   bound, driven-vs-threaded speedup) on the machine at hand.
 
-// dlsr-lint: allow(wall-clock) -- simscale's product IS host wall time: it
-// benchmarks the simulator itself, never feeds rank-visible state
 use std::time::Instant;
 
+use dlsr_attr as dlsr;
 use dlsr_mpi::SimCore;
 use dlsr_net::ClusterTopology;
 use serde::{Deserialize, Serialize};
@@ -184,7 +183,10 @@ fn setup(nodes: usize, sc: Scenario, batch: usize, seed: u64) -> (ClusterTopolog
 }
 
 /// Best-of-`repeats` wall for one core (virtual quantities are bitwise
-/// identical across repeats, so only the wall differs).
+/// identical across repeats, so only the wall differs). Wall-domain
+/// boundary: simscale's product IS host wall time — it benchmarks the
+/// simulator itself and never feeds rank-visible state.
+#[dlsr::wall]
 fn time_core(
     topo: &ClusterTopology,
     trainer: &SimTrainer,
@@ -198,7 +200,6 @@ fn time_core(
     let mut wall_s = f64::INFINITY;
     let mut res = None;
     for _ in 0..repeats.max(1) {
-        // dlsr-lint: allow(wall-clock) -- timing the simulator, not the sim
         let start = Instant::now();
         let r = run_world(topo, cfg.clone(), trainer, warmup, steps);
         wall_s = wall_s.min(start.elapsed().as_secs_f64());

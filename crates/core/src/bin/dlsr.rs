@@ -9,6 +9,7 @@
 //! dlsr profile  [--steps S]
 //! dlsr analyze  [--nodes N] [--steps S] [--baseline FILE] [--gate PCT]
 //! dlsr chaos    [--fault NAME] [--nodes N] [--gpus G] [--steps S] [--seed X]
+//! dlsr lint     [--json | --sarif] [--root DIR] [--self-test]
 //! dlsr info
 //! ```
 
@@ -37,6 +38,9 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
                     | "no-validate"
                     | "no-sim-check"
                     | "smoke"
+                    | "json"
+                    | "sarif"
+                    | "self-test"
             );
             if boolean {
                 flags.insert(name.to_string(), "true".to_string());
@@ -181,6 +185,14 @@ USAGE:
                 bitwise identical. Requires a `--features faults` build.
                 Faults: degraded-link | lossy | straggler | rank-failure
                 (default: all four)
+  dlsr lint     [--json | --sarif] [--root DIR] [--self-test]
+                static determinism & hot-path analysis of the workspace
+                sources: parses every file, builds the cross-crate call
+                graph, and checks wall-clock reads, hot-path allocation,
+                determinism taint and collective-protocol divergence
+                (see docs/CORRECTNESS.md). Exit 1 = findings, 2 = the
+                analyzer itself failed. --self-test runs the seeded
+                fixtures instead of the workspace
   dlsr info     calibration anchors and workload facts
   dlsr help     this text
 
@@ -897,6 +909,71 @@ fn check_analysis(
     }
 }
 
+/// `dlsr lint` — the workspace static analyzer, embedded so the main CLI
+/// exposes the same contract as the standalone `dlsr-lint` binary:
+/// exit 0 clean, 1 findings, 2 analyzer failure.
+fn cmd_lint(flags: &HashMap<String, String>) {
+    let root = match flags.get("root") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::env::current_dir()
+            .ok()
+            .and_then(|d| dlsr_lint::find_root(&d))
+            .unwrap_or_else(|| die("could not locate the workspace root (pass --root)")),
+    };
+
+    if flags.contains_key("self-test") {
+        let results = dlsr_lint::self_test(&root)
+            .unwrap_or_else(|e| die(&format!("self-test failed to read fixtures: {e}")));
+        let mut failed = false;
+        for r in &results {
+            let mark = if r.ok { "ok " } else { "FAIL" };
+            println!(
+                "{mark}  {:<28} expect {:<20} {}",
+                r.file, r.expected, r.detail
+            );
+            failed |= !r.ok;
+        }
+        if failed {
+            eprintln!("lint self-test: a seeded fixture did not trip its rule");
+            std::process::exit(1);
+        }
+        println!("lint self-test: {} fixtures, all rules trip", results.len());
+        return;
+    }
+
+    // An internal analyzer bug (parser panic on some file) must exit 2, not
+    // look like a clean run or a finding.
+    let analysis = match std::panic::catch_unwind(|| dlsr_lint::scan_workspace(&root)) {
+        Ok(Ok(a)) => a,
+        Ok(Err(e)) => die(&format!("lint scan failed: {e}")),
+        Err(_) => die("internal analyzer panic"),
+    };
+
+    if flags.contains_key("json") {
+        print!("{}", dlsr_lint::report::to_json(&analysis));
+    } else if flags.contains_key("sarif") {
+        print!("{}", dlsr_lint::report::to_sarif(&analysis));
+    } else {
+        for f in &analysis.findings {
+            println!("{f}");
+        }
+        if analysis.findings.is_empty() {
+            println!(
+                "dlsr lint: workspace clean ({} files, {} fns, {} call edges, {} rules)",
+                analysis.stats.files,
+                analysis.stats.fns,
+                analysis.stats.edges,
+                dlsr_lint::rules::ALL_RULES.len()
+            );
+        } else {
+            eprintln!("dlsr lint: {} violation(s)", analysis.findings.len());
+        }
+    }
+    if !analysis.findings.is_empty() {
+        std::process::exit(1);
+    }
+}
+
 fn cmd_info() {
     let model = KernelCostModel::new(GpuSpec::v100());
     let (edsr, tensors) = edsr_measured_workload();
@@ -1082,6 +1159,7 @@ fn main() {
         Some("analyze") => cmd_analyze(&flags),
         Some("verify") => cmd_verify(&flags),
         Some("chaos") => cmd_chaos(&flags),
+        Some("lint") => cmd_lint(&flags),
         Some("info") => cmd_info(),
         Some("help") | None => usage(),
         Some(other) => die(&format!("unknown command `{other}`")),

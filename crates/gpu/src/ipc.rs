@@ -10,7 +10,7 @@
 //! (post-CUDA-10.1 semantics — MPI's own `MV2_VISIBLE_DEVICES` mask
 //! suffices even when the framework mask hides the peer).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 
@@ -73,7 +73,7 @@ pub struct IpcRegistry {
 
 #[derive(Debug, Default)]
 struct Inner {
-    exported: HashMap<(GpuId, u64), u64>, // (device, buffer id) -> bytes
+    exported: BTreeMap<(GpuId, u64), u64>, // (device, buffer id) -> bytes
     open_count: u64,
 }
 

@@ -1,6 +1,7 @@
 //! The `DistributedOptimizer` wrapper and parameter broadcast — the two
 //! code changes that "Horovod-ize" a single-GPU model (§III-A).
 
+use dlsr_attr as dlsr;
 use dlsr_hvprof::{Collective, Hvprof};
 use dlsr_mpi::collectives::{allreduce_auto_labeled, bcast, synthetic, AllreduceAlgorithm};
 use dlsr_mpi::{Comm, PathPolicy};
@@ -193,6 +194,7 @@ impl<O: Optimizer> DistributedOptimizer<O> {
     /// values, groups pack the same byte ranges, the same size-binned
     /// algorithm reduces them in the same order, and averaging uses the
     /// same `/ world` division.
+    #[dlsr::deterministic]
     pub fn backward_and_step(
         &mut self,
         model: &mut dyn Module,
@@ -348,6 +350,7 @@ impl<O: Optimizer> DistributedOptimizer<O> {
 
     /// One distributed training step: negotiate, fuse, allreduce, average,
     /// then apply the wrapped optimizer. Call after `model.backward(...)`.
+    #[dlsr::deterministic]
     pub fn step(&mut self, model: &mut dyn Module, comm: &mut Comm) {
         if comm.size() > 1 {
             self.cycle += 1;
@@ -360,6 +363,7 @@ impl<O: Optimizer> DistributedOptimizer<O> {
     }
 
     /// Fuse + allreduce + average the gradients of `model` in place.
+    #[dlsr::deterministic]
     fn allreduce_gradients(&mut self, model: &mut dyn Module, comm: &mut Comm) {
         let world = comm.size() as f32;
         // flatten in visit order, then address per-tensor slices through

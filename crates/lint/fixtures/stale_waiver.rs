@@ -1,0 +1,10 @@
+//~ crate: mpi
+//~ expect: waiver
+//! Seeded fixture: a waiver that suppresses nothing is itself a finding.
+//! The `HashMap` this waiver once guarded was replaced by the `Vec` below;
+//! the leftover `allow` must be reported instead of rotting in place.
+
+// dlsr-lint: allow(hash-collections) -- guards a map that no longer exists
+pub fn tidy() -> Vec<u64> {
+    Vec::new()
+}

@@ -1,0 +1,20 @@
+//~ crate: cluster
+//~ expect: wall-clock
+//! Seeded fixture: the wall-clock read is buried two calls below an
+//! unmarked entry point — the transitive rule must follow the call graph
+//! down to it. PR 4's token rule only saw reads in the file it scanned;
+//! this layering was exactly its blind spot.
+
+use std::time::Instant;
+
+pub fn run_epoch() -> f64 {
+    measure_step()
+}
+
+fn measure_step() -> f64 {
+    raw_clock()
+}
+
+fn raw_clock() -> f64 {
+    Instant::now().elapsed().as_secs_f64()
+}

@@ -1,8 +1,8 @@
 //~ crate: cluster
 //~ expect: wall-clock
-//! Seeded fixture: wall-clock reads outside the trace wall domain and the
-//! bench mains must trip `wall-clock`. Pretends to live in dlsr-cluster,
-//! which is strictly virtual-time.
+//! Seeded fixture: wall-clock reads in a fn that is not under any
+//! `#[dlsr::wall]` boundary must trip `wall-clock`. Pretends to live in
+//! dlsr-cluster, which is strictly virtual-time.
 
 use std::time::{Instant, SystemTime};
 

@@ -1,4 +1,10 @@
-//! CLI entry point: `cargo run -p dlsr-lint [-- --self-test]`.
+//! CLI entry point: `dlsr-lint [--self-test] [--json | --sarif] [--root <ws>]`.
+//!
+//! Exit codes are part of the contract (CI gates on them):
+//! - `0` — scan ran, no findings
+//! - `1` — scan ran, findings reported (or a self-test fixture failed)
+//! - `2` — the analyzer itself failed (bad arguments, unreadable
+//!   workspace, or an internal panic)
 
 #![forbid(unsafe_code)]
 
@@ -14,14 +20,24 @@ fn workspace_root() -> Option<PathBuf> {
     dlsr_lint::find_root(&start)
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut self_test = false;
+    let mut format = Format::Text;
     let mut root_arg: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--self-test" => self_test = true,
+            "--json" => format = Format::Json,
+            "--sarif" => format = Format::Sarif,
             "--root" => match it.next() {
                 Some(p) => root_arg = Some(PathBuf::from(p)),
                 None => {
@@ -31,12 +47,15 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "dlsr-lint: workspace invariant lint pass\n\
+                    "dlsr-lint: workspace static analyzer\n\
                      \n\
-                     usage: dlsr-lint [--self-test] [--root <workspace>]\n\
+                     usage: dlsr-lint [--self-test] [--json | --sarif] [--root <workspace>]\n\
                      \n\
                      rules: {}\n\
-                     waiver: `// dlsr-lint: allow(<rule>) -- <reason>` on the line above",
+                     waiver: `// dlsr-lint: allow(<rule>[, <rule>]) -- <reason>`\n\
+                     (line above or trailing; a waiver that suppresses nothing is an error)\n\
+                     \n\
+                     exit codes: 0 clean, 1 findings, 2 analyzer failure",
                     dlsr_lint::rules::ALL_RULES.join(", ")
                 );
                 return ExitCode::SUCCESS;
@@ -78,24 +97,43 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    match dlsr_lint::scan_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!(
-                "dlsr-lint: workspace clean ({} rules)",
-                dlsr_lint::rules::ALL_RULES.len()
-            );
-            ExitCode::SUCCESS
+    // An internal analyzer bug (parser panic on some file) must exit 2, not
+    // look like a clean run or a finding.
+    let analysis = match std::panic::catch_unwind(|| dlsr_lint::scan_workspace(&root)) {
+        Ok(Ok(a)) => a,
+        Ok(Err(e)) => {
+            eprintln!("dlsr-lint: scan failed: {e}");
+            return ExitCode::from(2);
         }
-        Ok(findings) => {
-            for f in &findings {
+        Err(_) => {
+            eprintln!("dlsr-lint: internal analyzer panic");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format {
+        Format::Json => print!("{}", dlsr_lint::report::to_json(&analysis)),
+        Format::Sarif => print!("{}", dlsr_lint::report::to_sarif(&analysis)),
+        Format::Text => {
+            for f in &analysis.findings {
                 println!("{f}");
             }
-            eprintln!("dlsr-lint: {} violation(s)", findings.len());
-            ExitCode::FAILURE
+            if analysis.findings.is_empty() {
+                println!(
+                    "dlsr-lint: workspace clean ({} files, {} fns, {} call edges, {} rules)",
+                    analysis.stats.files,
+                    analysis.stats.fns,
+                    analysis.stats.edges,
+                    dlsr_lint::rules::ALL_RULES.len()
+                );
+            } else {
+                eprintln!("dlsr-lint: {} violation(s)", analysis.findings.len());
+            }
         }
-        Err(e) => {
-            eprintln!("dlsr-lint: scan failed: {e}");
-            ExitCode::from(2)
-        }
+    }
+    if analysis.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

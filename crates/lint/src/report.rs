@@ -1,0 +1,183 @@
+//! Machine-readable report rendering: `--json` and `--sarif`.
+//!
+//! Both serializers are hand-rolled — the analyzer stays zero-dependency —
+//! and emit keys in fixed order over pre-sorted findings, so the output is
+//! bitwise-stable across runs. `serde_json` is only a dev-dependency of
+//! the test suite, which parses these strings back to prove validity.
+
+use crate::rules::{ALL_RULES, RULE_WAIVER};
+use crate::Analysis;
+
+/// Escape one string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The native JSON report: stats, findings, and the extracted collective
+/// protocol skeletons.
+pub fn to_json(a: &Analysis) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"stats\": {{\"files\": {}, \"fns\": {}, \"edges\": {}}},\n",
+        a.stats.files, a.stats.fns, a.stats.edges
+    ));
+    s.push_str("  \"findings\": [");
+    for (i, f) in a.findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            esc(&f.path),
+            f.line,
+            esc(f.rule),
+            esc(&f.msg)
+        ));
+    }
+    if !a.findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+    s.push_str("  \"protocols\": [");
+    for (i, p) in a.protocols.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"root\": \"{}\", \"path\": \"{}\", \"line\": {}, \"skeleton\": \"{}\"}}",
+            esc(&p.root),
+            esc(&p.path),
+            p.line,
+            esc(&p.skeleton)
+        ));
+    }
+    if !a.protocols.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// SARIF 2.1.0, the minimal schema GitHub code scanning accepts: one run,
+/// one driver, a static rule table, one result per finding.
+pub fn to_sarif(a: &Analysis) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"dlsr-lint\",\n");
+    s.push_str("          \"informationUri\": \"https://example.invalid/dlsr-lint\",\n");
+    s.push_str("          \"rules\": [");
+    let mut rule_ids: Vec<&str> = ALL_RULES.to_vec();
+    rule_ids.push(RULE_WAIVER);
+    rule_ids.sort_unstable();
+    for (i, r) in rule_ids.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n            {{\"id\": \"{}\"}}", esc(r)));
+    }
+    s.push_str("\n          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [");
+    for (i, f) in a.findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n        {{\"ruleId\": \"{}\", \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\
+             \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}",
+            esc(f.rule),
+            esc(&f.msg),
+            esc(&f.path),
+            f.line.max(1)
+        ));
+    }
+    if !a.findings.is_empty() {
+        s.push_str("\n      ");
+    }
+    s.push_str("]\n    }\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Finding, Protocol, Stats};
+
+    fn sample() -> Analysis {
+        Analysis {
+            findings: vec![Finding {
+                path: String::from("crates/x/src/a.rs"),
+                line: 3,
+                rule: "wall-clock",
+                msg: String::from("bad \"clock\"\nread"),
+            }],
+            protocols: vec![Protocol {
+                root: String::from("Prog::next"),
+                path: String::from("crates/mpi/src/executor/x.rs"),
+                line: 10,
+                skeleton: String::from("[negotiate, loop{allreduce}]"),
+            }],
+            stats: Stats {
+                files: 2,
+                fns: 5,
+                edges: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn json_escapes_and_round_trips() {
+        let j = to_json(&sample());
+        let v: serde_json::Value = serde_json::from_str(&j).expect("valid JSON");
+        assert_eq!(v["findings"][0]["line"], 3);
+        assert_eq!(v["findings"][0]["message"], "bad \"clock\"\nread");
+        assert_eq!(
+            v["protocols"][0]["skeleton"],
+            "[negotiate, loop{allreduce}]"
+        );
+        assert_eq!(v["stats"]["fns"], 5);
+    }
+
+    #[test]
+    fn sarif_is_valid_2_1_0() {
+        let s = to_sarif(&sample());
+        let v: serde_json::Value = serde_json::from_str(&s).expect("valid JSON");
+        assert_eq!(v["version"], "2.1.0");
+        let run = &v["runs"][0];
+        assert_eq!(run["tool"]["driver"]["name"], "dlsr-lint");
+        assert!(run["tool"]["driver"]["rules"].as_array().unwrap().len() >= 9);
+        let res = &run["results"][0];
+        assert_eq!(res["ruleId"], "wall-clock");
+        assert_eq!(
+            res["locations"][0]["physicalLocation"]["region"]["startLine"],
+            3
+        );
+    }
+
+    #[test]
+    fn empty_analysis_renders_empty_arrays() {
+        let a = Analysis::default();
+        let v: serde_json::Value = serde_json::from_str(&to_json(&a)).unwrap();
+        assert_eq!(v["findings"].as_array().unwrap().len(), 0);
+        let sv: serde_json::Value = serde_json::from_str(&to_sarif(&a)).unwrap();
+        assert_eq!(sv["runs"][0]["results"].as_array().unwrap().len(), 0);
+    }
+}

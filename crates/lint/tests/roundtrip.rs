@@ -1,0 +1,84 @@
+//! Parser round-trip over the real workspace corpus: every file in the
+//! scan set must lex and parse without panicking, and the top-level item
+//! spans must tile the token stream exactly — no token is silently
+//! dropped, none is claimed twice. This is the guard that keeps the
+//! recursive-descent parser honest as the codebase underneath it grows.
+
+use std::path::Path;
+
+use dlsr_lint::parser::{self, Item, ItemKind};
+use dlsr_lint::{collect_workspace, find_root, lexer};
+
+fn count_other(items: &[Item], other: &mut Vec<(usize, usize)>) {
+    for it in items {
+        match &it.kind {
+            ItemKind::Container { items, .. } => count_other(items, other),
+            ItemKind::Plain { kw } if *kw == "other" => other.push((it.line, it.span.0)),
+            _ => {}
+        }
+    }
+}
+
+fn count_fns(items: &[Item]) -> usize {
+    items
+        .iter()
+        .map(|it| match &it.kind {
+            ItemKind::Fn(_) => 1,
+            ItemKind::Container { items, .. } => count_fns(items),
+            _ => 0,
+        })
+        .sum()
+}
+
+#[test]
+fn workspace_corpus_parses_with_total_span_coverage() {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let files = collect_workspace(&root).expect("workspace readable");
+    assert!(
+        files.len() > 100,
+        "scan set suspiciously small: {}",
+        files.len()
+    );
+
+    let mut fns = 0usize;
+    for f in &files {
+        let lexed = lexer::lex(&f.text);
+        let ast = parser::parse(&lexed);
+
+        // Top-level spans tile [0, toks.len()) in order, gap-free.
+        let mut cursor = 0usize;
+        for item in &ast.items {
+            assert_eq!(
+                item.span.0, cursor,
+                "{}: gap or overlap before item at line {} (token {} != {})",
+                f.path, item.line, item.span.0, cursor
+            );
+            assert!(
+                item.span.1 >= item.span.0,
+                "{}: inverted span at line {}",
+                f.path,
+                item.line
+            );
+            cursor = item.span.1;
+        }
+        assert_eq!(
+            cursor,
+            lexed.toks.len(),
+            "{}: trailing tokens not covered by any item",
+            f.path
+        );
+
+        // Nothing in the tree fell back to the unknown-item kind.
+        let mut other = Vec::new();
+        count_other(&ast.items, &mut other);
+        assert!(
+            other.is_empty(),
+            "{}: unrecognized items at (line, token): {:?}",
+            f.path,
+            other
+        );
+
+        fns += count_fns(&ast.items);
+    }
+    assert!(fns > 500, "expected a real corpus, found only {fns} fns");
+}

@@ -94,6 +94,9 @@ impl RegistrationCache {
             capacity_bytes,
             used_bytes: 0,
             tick: 0,
+            // dlsr-lint: allow(determinism-taint) -- fixed RegKeyHasher
+            // (BuildHasherDefault) makes iteration order a pure function of
+            // the insertion sequence, which is itself deterministic
             entries: HashMap::default(),
             stats: RegCacheStats::default(),
             enabled: true,

@@ -2,7 +2,7 @@
 //! parameter name, so state survives across steps regardless of traversal
 //! details and works identically on every rank.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dlsr_tensor::Tensor;
 
@@ -27,7 +27,7 @@ pub struct Sgd {
     lr: f32,
     momentum: f32,
     weight_decay: f32,
-    velocity: HashMap<String, Tensor>,
+    velocity: BTreeMap<String, Tensor>,
 }
 
 impl Sgd {
@@ -37,7 +37,7 @@ impl Sgd {
             lr,
             momentum: 0.0,
             weight_decay: 0.0,
-            velocity: HashMap::new(),
+            velocity: BTreeMap::new(),
         }
     }
 
@@ -47,7 +47,7 @@ impl Sgd {
             lr,
             momentum,
             weight_decay: 0.0,
-            velocity: HashMap::new(),
+            velocity: BTreeMap::new(),
         }
     }
 
@@ -109,8 +109,8 @@ pub struct Adam {
     beta2: f32,
     eps: f32,
     t: u64,
-    m: HashMap<String, Tensor>,
-    v: HashMap<String, Tensor>,
+    m: BTreeMap<String, Tensor>,
+    v: BTreeMap<String, Tensor>,
 }
 
 /// One parameter's `(name, shape, m, v)` moment estimates inside an
@@ -138,8 +138,8 @@ impl Adam {
             beta2: 0.999,
             eps: 1e-8,
             t: 0,
-            m: HashMap::new(),
-            v: HashMap::new(),
+            m: BTreeMap::new(),
+            v: BTreeMap::new(),
         }
     }
 

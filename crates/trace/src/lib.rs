@@ -119,6 +119,7 @@ pub mod cat {
 #[cfg(feature = "enabled")]
 mod imp {
     use super::TraceEvent;
+    use dlsr_attr as dlsr;
     use parking_lot::Mutex;
     use std::cell::Cell;
     use std::collections::BTreeMap;
@@ -146,7 +147,10 @@ mod imp {
         pub static RANK: Cell<usize> = const { Cell::new(0) };
     }
 
-    /// Wall-clock zero for this process's trace.
+    /// Wall-clock zero for this process's trace. Wall-domain boundary:
+    /// trace timestamps are host-side observability, never rank-visible
+    /// state (the virtual clock lives in `&mut Comm`).
+    #[dlsr::wall]
     pub fn epoch() -> Instant {
         static EPOCH: OnceLock<Instant> = OnceLock::new();
         *EPOCH.get_or_init(Instant::now)
