@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use dlsr_mpi::collectives::{allreduce_with, AllreduceAlgorithm};
+use dlsr_mpi::collectives::{Allreduce, AllreduceAlgorithm};
 use dlsr_mpi::{MpiConfig, MpiWorld};
 use dlsr_net::ClusterTopology;
 
@@ -28,7 +28,7 @@ fn bench_algorithms(c: &mut Criterion) {
                     b.iter(|| {
                         MpiWorld::run(&topo, MpiConfig::mpi_opt(), move |comm| {
                             let mut buf = vec![comm.rank() as f32; elems];
-                            allreduce_with(comm, &mut buf, 1, algo);
+                            Allreduce::new(&mut buf).buf_id(1).algo(algo).run(comm);
                             black_box(buf[0])
                         })
                     })
@@ -50,7 +50,10 @@ fn bench_synthetic_vs_real(c: &mut Criterion) {
         b.iter(|| {
             MpiWorld::run(&topo, MpiConfig::mpi_opt(), move |comm| {
                 let mut buf = vec![1.0f32; elems];
-                allreduce_with(comm, &mut buf, 1, AllreduceAlgorithm::TwoLevel);
+                Allreduce::new(&mut buf)
+                    .buf_id(1)
+                    .algo(AllreduceAlgorithm::TwoLevel)
+                    .run(comm);
                 black_box(buf[0])
             })
         })

@@ -91,7 +91,10 @@ pub struct GroupCost {
     pub calls_per_step: f64,
     /// Mean measured duration at the fit world, seconds.
     pub mean_s: f64,
-    /// Algorithm the size-binned selector picks for this payload.
+    /// Algorithm the size-binned selector picks for this payload, with
+    /// the wire format suffixed when lossy (`"PipelinedRing+bf16"`) —
+    /// wire compression is a constant factor at every world size, so it
+    /// cancels in the scaling ratio but is recorded for the report.
     pub algo: String,
 }
 
@@ -167,8 +170,14 @@ pub fn fit_model(run: &TracedRun, sc: Scenario) -> (CostModel, CritPath) {
         } else {
             let calls_per_step = row.calls as f64 / steps;
             comm_total += calls_per_step * row.mean_s;
+            let algo = mpi_cfg.select_allreduce(row.bytes);
+            let wf = mpi_cfg.tuning.select_wire(row.bytes);
             groups.push(GroupCost {
-                algo: format!("{:?}", mpi_cfg.select_allreduce(row.bytes)),
+                algo: if wf.is_f32() {
+                    format!("{algo:?}")
+                } else {
+                    format!("{algo:?}+{wf}")
+                },
                 name: row.name,
                 bytes: row.bytes,
                 calls_per_step,
@@ -198,7 +207,9 @@ impl CostModel {
         let negotiate = self.negotiate_s * (p.saturating_sub(1)) as f64 / (fit - 1) as f64;
         let mut comm = 0.0;
         for g in &self.groups {
-            let algo: AllreduceAlgorithm = match g.algo.as_str() {
+            // Strip any `+wire` suffix: compression scales the payload by
+            // the same factor at every world, so it cancels in the ratio.
+            let algo: AllreduceAlgorithm = match g.algo.split('+').next().unwrap_or("") {
                 "Ring" => AllreduceAlgorithm::Ring,
                 "RecursiveDoubling" => AllreduceAlgorithm::RecursiveDoubling,
                 "PipelinedRing" => AllreduceAlgorithm::PipelinedRing,
@@ -416,7 +427,10 @@ pub fn sim_check(
 /// Everything `dlsr analyze` exports to `results/BENCH_analysis.json`.
 /// Virtual-clock quantities only, so the file is identical across
 /// machines and usable as a committed regression baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// `Deserialize` is hand-written so committed baselines recorded before
+/// wire accounting existed (no `wire_bytes`/`wire_dense_bytes` keys →
+/// `Null`) lift to 0 instead of failing the parse.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct AnalysisReport {
     pub scenario: String,
     /// World of the headline critical-path trace.
@@ -431,8 +445,40 @@ pub struct AnalysisReport {
     pub projection: Vec<ProjectionPoint>,
     /// Projection-vs-simulation cross-validation at 64–512 ranks
     /// (`None` when skipped; absent in pre-simscale baselines).
-    #[serde(default)]
     pub sim_check: Option<SimCheck>,
+    /// Encoded gradient bytes per the `mpi.wire_bytes` counter of the
+    /// headline trace (0 when tracing predates wire accounting).
+    pub wire_bytes: f64,
+    /// Dense f32 bytes the same collectives would have moved
+    /// (`mpi.wire_dense_bytes`); `wire_dense_bytes / wire_bytes` is the
+    /// achieved compression ratio.
+    pub wire_dense_bytes: f64,
+}
+
+impl serde::Deserialize for AnalysisReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::msg("expected object for AnalysisReport"))?;
+        static NULL: serde::Value = serde::Value::Null;
+        let field = |k: &str| obj.get(k).unwrap_or(&NULL);
+        fn req<T: serde::Deserialize>(v: &serde::Value, k: &str) -> Result<T, serde::Error> {
+            T::from_value(v).map_err(|e| serde::Error::msg(format!("AnalysisReport.{k}: {e}")))
+        }
+        Ok(AnalysisReport {
+            scenario: req(field("scenario"), "scenario")?,
+            world: req(field("world"), "world")?,
+            steps: req(field("steps"), "steps")?,
+            measured_step_s: req(field("measured_step_s"), "measured_step_s")?,
+            attribution_per_step: req(field("attribution_per_step"), "attribution_per_step")?,
+            model: req(field("model"), "model")?,
+            validation: req(field("validation"), "validation")?,
+            projection: req(field("projection"), "projection")?,
+            sim_check: req(field("sim_check"), "sim_check")?,
+            wire_bytes: field("wire_bytes").as_f64().unwrap_or(0.0),
+            wire_dense_bytes: field("wire_dense_bytes").as_f64().unwrap_or(0.0),
+        })
+    }
 }
 
 impl AnalysisReport {
@@ -481,6 +527,18 @@ pub fn gate(current: &AnalysisReport, baseline: &AnalysisReport, tol_pct: f64) -
                 ));
             }
         }
+    }
+    // Wire-byte accounting may not regress: more encoded bytes per run at
+    // equal dense bytes means the compression pipeline lost ground. Gated
+    // only when both reports carry wire counters (old baselines hold 0).
+    if current.wire_bytes > 0.0
+        && baseline.wire_bytes > 0.0
+        && worse(current.wire_bytes, baseline.wire_bytes)
+    {
+        violations.push(format!(
+            "wire bytes regressed: {:.0} vs baseline {:.0} (tol {tol_pct}%)",
+            current.wire_bytes, baseline.wire_bytes,
+        ));
     }
     // Projection-vs-simulation agreement may not decay: the error at each
     // world may grow by at most `tol_pct` efficiency *points* over the
@@ -577,6 +635,8 @@ mod tests {
                 efficiency: eff512,
             }],
             sim_check: None,
+            wire_bytes: 0.0,
+            wire_dense_bytes: 0.0,
         };
         let base = run(1.0e-3, 0.70);
         // Identical → pass; faster → pass; 20% slower at 10% tol → trip.
@@ -620,6 +680,8 @@ mod tests {
                     eff_abs_err: err,
                 }],
             }),
+            wire_bytes: 0.0,
+            wire_dense_bytes: 0.0,
         };
         let base = report(0.02);
         // Same error, or error within tol points → pass.
@@ -639,6 +701,39 @@ mod tests {
         let stripped = base.to_json().replace("\"sim_check\"", "\"ignored\"");
         let parsed = AnalysisReport::from_json(&stripped);
         assert!(parsed.is_err() || parsed.unwrap().sim_check.is_none());
+    }
+
+    #[test]
+    fn gate_checks_wire_bytes_only_when_both_sides_have_them() {
+        let report = |wire: f64, dense: f64| AnalysisReport {
+            scenario: "mpi-opt".into(),
+            world: 8,
+            steps: 4,
+            measured_step_s: 1.0e-3,
+            attribution_per_step: Attribution::default(),
+            model: toy_model(),
+            validation: Vec::new(),
+            projection: Vec::new(),
+            sim_check: None,
+            wire_bytes: wire,
+            wire_dense_bytes: dense,
+        };
+        let base = report(1.0e6, 4.0e6);
+        assert!(gate(&report(1.0e6, 4.0e6), &base, 10.0).is_empty());
+        assert!(gate(&report(0.5e6, 4.0e6), &base, 10.0).is_empty());
+        let v = gate(&report(1.5e6, 4.0e6), &base, 10.0);
+        assert!(v.iter().any(|m| m.contains("wire bytes")), "{v:?}");
+        // Pre-wire baselines (0) never trip, in either direction.
+        assert!(gate(&report(1.5e6, 4.0e6), &report(0.0, 0.0), 10.0).is_empty());
+        assert!(gate(&report(0.0, 0.0), &base, 10.0).is_empty());
+        // And pre-wire JSON (no wire keys) still parses with 0 defaults.
+        let stripped = base
+            .to_json()
+            .replace("\"wire_bytes\"", "\"ignored_a\"")
+            .replace("\"wire_dense_bytes\"", "\"ignored_b\"");
+        let p = AnalysisReport::from_json(&stripped).expect("pre-wire baselines must parse");
+        assert_eq!(p.wire_bytes, 0.0);
+        assert_eq!(p.wire_dense_bytes, 0.0);
     }
 
     #[test]

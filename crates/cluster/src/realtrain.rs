@@ -76,6 +76,11 @@ pub struct RealTrainConfig {
     /// training loop is then byte-identical to the pre-checkpoint code).
     /// Every checkpoint charges a deterministic virtual cost on all ranks.
     pub checkpoint_every: usize,
+    /// Enable the online comm tuner ([`dlsr_horovod::tuner`]): the first
+    /// steps each measure one fusion/cycle/threshold candidate, then the
+    /// argmin freezes. Pre-warm the `DLSR_COMM_TUNE` cache to skip
+    /// exploration and keep the run digest-stable from step 0.
+    pub tune_comm: bool,
 }
 
 impl Default for RealTrainConfig {
@@ -96,6 +101,7 @@ impl Default for RealTrainConfig {
             fusion_threshold: 8 << 10,
             cycle_time: 0.35e-3,
             checkpoint_every: 0,
+            tune_comm: false,
         }
     }
 }
@@ -222,6 +228,12 @@ impl RealTrainConfigBuilder {
     /// Checkpoint period in steps (0 disables).
     pub fn checkpoint_every(mut self, steps: usize) -> Self {
         self.cfg.checkpoint_every = steps;
+        self
+    }
+
+    /// Enable the online comm tuner.
+    pub fn tune_comm(mut self, on: bool) -> Self {
+        self.cfg.tune_comm = on;
         self
     }
 
@@ -406,6 +418,7 @@ pub fn train_real(
             HorovodConfig::builder()
                 .fusion_threshold(cfg.fusion_threshold)
                 .cycle_time(cfg.cycle_time)
+                .tune_comm(cfg.tune_comm)
                 .build(),
             world,
         );

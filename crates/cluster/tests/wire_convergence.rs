@@ -1,0 +1,99 @@
+//! Convergence equivalence for lossy gradient wire formats (docs/WIRE.md).
+//!
+//! The compressed wire formats change what goes over the simulated network,
+//! not what training converges to: a 20-step EDSR(tiny) run under bf16,
+//! fp16 and top-k (with error feedback) must track the f32 loss curve
+//! within a small relative envelope and reach essentially the same final
+//! loss. This is the empirical half of the wire contract — the bitwise
+//! half (every rank sees identical quantized values) lives in the
+//! `dlsr-mpi` property tests and the in-crate allreduce tests.
+
+#![forbid(unsafe_code)]
+
+use dlsr_cluster::realtrain::{train_real, RealTrainConfig};
+use dlsr_mpi::{MpiConfig, WireFormat};
+use dlsr_net::ClusterTopology;
+
+fn topo() -> ClusterTopology {
+    ClusterTopology {
+        name: "wire-conv".into(),
+        nodes: 2,
+        gpus_per_node: 2,
+    }
+}
+
+fn cfg() -> RealTrainConfig {
+    RealTrainConfig::builder()
+        .steps(20)
+        .global_batch(8)
+        .seed(0xC0DE)
+        .build()
+}
+
+fn run(wf: WireFormat, hierarchical: bool) -> Vec<f32> {
+    let mpi = MpiConfig::mpi_opt()
+        .to_builder()
+        .wire(wf)
+        .wire_threshold(0)
+        .hierarchical(hierarchical)
+        .build();
+    train_real(&topo(), mpi, &cfg()).losses
+}
+
+/// Largest per-step relative deviation from the f32 loss curve.
+fn max_rel_dev(base: &[f32], lossy: &[f32]) -> f64 {
+    assert_eq!(base.len(), lossy.len());
+    base.iter()
+        .zip(lossy)
+        .map(|(b, l)| ((l - b) as f64 / *b as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn lossy_wire_formats_track_the_f32_loss_curve() {
+    let f32_losses = run(WireFormat::F32, false);
+    assert!(
+        f32_losses.last().unwrap() < &(f32_losses[0] * 0.8),
+        "f32 baseline did not converge: {f32_losses:?}"
+    );
+    for (wf, tol, label) in [
+        (WireFormat::Bf16, 0.01, "bf16"),
+        (WireFormat::Fp16, 0.01, "fp16"),
+        (WireFormat::TopK { k_permille: 200 }, 0.25, "topk:200"),
+    ] {
+        let losses = run(wf, false);
+        let dev = max_rel_dev(&f32_losses, &losses);
+        assert!(
+            dev <= tol,
+            "{label}: loss curve deviates {:.1}% from f32 (tol {:.0}%)\n  f32 {:?}\n  {label} {:?}",
+            dev * 100.0,
+            tol * 100.0,
+            f32_losses,
+            losses,
+        );
+        // The lossy run must also *converge*, not merely stay near a
+        // baseline that happens to plateau.
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.8),
+            "{label} run did not converge: {losses:?}"
+        );
+    }
+}
+
+/// The hierarchical (two-level) path composes with compression without
+/// changing the convergence story: bf16 over intra-node + leader-ring
+/// reduction tracks the same envelope as bf16 over the flat path.
+#[test]
+fn hierarchical_allreduce_with_bf16_converges_like_flat() {
+    let f32_losses = run(WireFormat::F32, false);
+    let losses = run(WireFormat::Bf16, true);
+    let dev = max_rel_dev(&f32_losses, &losses);
+    assert!(
+        dev <= 0.01,
+        "hierarchical+bf16 deviates {:.2}% from the flat f32 curve\n  f32 {:?}\n  hier {:?}",
+        dev * 100.0,
+        f32_losses,
+        losses,
+    );
+    assert!(losses.last().unwrap() < &(losses[0] * 0.8));
+}

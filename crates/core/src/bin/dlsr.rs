@@ -3,6 +3,7 @@
 //! ```text
 //! dlsr train    [--nodes N] [--gpus G] [--steps S] [--batch B] [--scenario NAME]
 //!               [--augment] [--warmup W] [--eval-every E] [--digest] [--core C]
+//!               [--allreduce ALGO] [--wire FMT] [--hier] [--tune-comm]
 //! dlsr simulate [--nodes N] [--steps S] [--batch B] [--scenario NAME] [--core C]
 //! dlsr simscale [--nodes N,N,...] [--steps S] [--smoke] [--check]
 //!               [--baseline FILE] [--gate PCT]
@@ -41,6 +42,8 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
                     | "json"
                     | "sarif"
                     | "self-test"
+                    | "hier"
+                    | "tune-comm"
             );
             if boolean {
                 flags.insert(name.to_string(), "true".to_string());
@@ -93,6 +96,28 @@ fn with_core(cfg: MpiConfig, flags: &HashMap<String, String>) -> MpiConfig {
     cfg.to_builder().sim_core(sim_core(flags)).build()
 }
 
+/// Apply the wire-efficiency knobs to an MPI configuration:
+/// `--allreduce` pins the default algorithm, `--wire` selects a gradient
+/// wire format *and* drops the size floor to zero so every bin uses it,
+/// `--hier` promotes large inter-node reductions to the two-level
+/// hierarchical path. Parse errors surface the enums' own messages (the
+/// same labels `FromStr` documents and the reports print).
+fn with_comm(cfg: MpiConfig, flags: &HashMap<String, String>) -> MpiConfig {
+    let mut b = cfg.to_builder();
+    if let Some(v) = flags.get("allreduce") {
+        let algo: AllreduceAlgorithm = v.parse().unwrap_or_else(|e: String| die(&e));
+        b = b.allreduce(algo);
+    }
+    if let Some(v) = flags.get("wire") {
+        let wf: WireFormat = v.parse().unwrap_or_else(|e: String| die(&e));
+        b = b.wire(wf).wire_threshold(0);
+    }
+    if flags.contains_key("hier") {
+        b = b.hierarchical(true);
+    }
+    b.build()
+}
+
 fn scenario(flags: &HashMap<String, String>) -> Scenario {
     // `Scenario`'s FromStr parses the same case-insensitive labels the
     // reports print, so every subcommand accepts the same names. Keep the
@@ -112,13 +137,20 @@ USAGE:
   dlsr train    [--nodes N] [--gpus G] [--steps S] [--batch B] [--scenario NAME]
                 [--augment] [--warmup W] [--eval-every E] [--digest]
                 [--core event|threaded] [--sequential]
+                [--allreduce ALGO] [--wire FMT] [--hier] [--tune-comm]
                 real EDSR training (tiny model, real math) on a simulated
                 cluster. --digest prints an FNV-1a digest of the exact loss
                 and parameter bits — two builds that print the same digest
                 ran bitwise-identical training (the CI chaos job compares
                 default vs `--features faults` builds this way, and the
                 simscale job compares --core event vs threaded).
-                --sequential disables backward/allreduce overlap
+                --sequential disables backward/allreduce overlap.
+                --allreduce pins the default algorithm (ring | rd |
+                two-level | pipelined-ring); --wire selects a gradient wire
+                format (f32 | bf16 | fp16 | topk[:permille]) for every size
+                bin; --hier promotes large inter-node reductions to the
+                two-level hierarchical path; --tune-comm turns on the
+                online comm tuner (see docs/WIRE.md)
   dlsr simulate [--nodes N] [--steps S] [--batch B] [--scenario NAME]
                 [--core event|threaded]
                 at-scale costs-only run of the paper-scale EDSR workload
@@ -135,6 +167,7 @@ USAGE:
                 virtual quantities against a committed report
   dlsr profile  [--nodes N] [--steps S] [--scenario NAME] [--sequential] [--check]
                 [--checkpoint-every K] [--trace-sample N]
+                [--allreduce ALGO] [--wire FMT] [--hier] [--tune-comm]
                 cross-layer trace of a real EDSR training run: chrome-trace
                 + step-report JSON under results/, breakdown table on stdout.
                 Default mode overlaps backward with allreduce (see the
@@ -215,6 +248,7 @@ fn cmd_train(flags: &HashMap<String, String>) {
         .augment(flags.contains_key("augment"))
         .warmup_steps(get(flags, "warmup", 0))
         .overlap(!flags.contains_key("sequential"))
+        .tune_comm(flags.contains_key("tune-comm"))
         .eval_every(
             flags
                 .get("eval-every")
@@ -227,7 +261,11 @@ fn cmd_train(flags: &HashMap<String, String>) {
         sc.label(),
         cfg.steps
     );
-    let res = train_real(&topo, with_core(sc.mpi_config(), flags), &cfg);
+    let res = train_real(
+        &topo,
+        with_core(with_comm(sc.mpi_config(), flags), flags),
+        &cfg,
+    );
     println!(
         "loss: {:.4} -> {:.4}",
         res.losses.first().unwrap(),
@@ -505,6 +543,7 @@ fn cmd_profile(flags: &HashMap<String, String>) {
         .steps(steps)
         .global_batch(world)
         .overlap(overlap)
+        .tune_comm(flags.contains_key("tune-comm"))
         .checkpoint_every(get(flags, "checkpoint-every", 2))
         .build();
     println!(
@@ -514,7 +553,7 @@ fn cmd_profile(flags: &HashMap<String, String>) {
     );
     dlsr::trace::set_enabled(true);
     dlsr::trace::reset();
-    let res = train_real(&topo, sc.mpi_config(), &cfg);
+    let res = train_real(&topo, with_comm(sc.mpi_config(), flags), &cfg);
     dlsr::trace::set_enabled(false);
     let counters = dlsr::trace::counters_snapshot();
     let mut report = dlsr::trace::report::StepReport::build(&res.trace, &counters).with_context(
@@ -777,6 +816,7 @@ fn cmd_analyze(flags: &HashMap<String, String>) {
         Some(chk)
     };
 
+    let wire_counter = |key: &str| run.counters.get(key).copied().unwrap_or(0.0);
     let areport = analysis::AnalysisReport {
         scenario: sc.label().to_string(),
         world,
@@ -787,6 +827,8 @@ fn cmd_analyze(flags: &HashMap<String, String>) {
         validation,
         projection,
         sim_check: sim,
+        wire_bytes: wire_counter(dlsr::trace::report::keys::WIRE_BYTES),
+        wire_dense_bytes: wire_counter(dlsr::trace::report::keys::WIRE_DENSE_BYTES),
     };
     if let Some(dir) = std::path::Path::new(&out).parent() {
         if !dir.as_os_str().is_empty() {

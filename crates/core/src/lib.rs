@@ -79,7 +79,10 @@ pub mod prelude {
     pub use dlsr_horovod::{broadcast_parameters, Backend, DistributedOptimizer, HorovodConfig};
     pub use dlsr_hvprof::{compare, render_table, Collective, Hvprof};
     pub use dlsr_models::{Edsr, EdsrConfig, ResNet, ResNetConfig, SrResNet, Srcnn, Vdsr};
-    pub use dlsr_mpi::{collectives, Comm, MpiConfig, MpiWorld, Payload};
+    pub use dlsr_mpi::{
+        collectives, Allreduce, AllreduceAlgorithm, Comm, CommTuning, MpiConfig, MpiWorld, Payload,
+        WireFormat,
+    };
     pub use dlsr_nccl::Nccl;
     pub use dlsr_net::{ClusterTopology, RegistrationCache, TransportModel};
     pub use dlsr_nn::checkpoint::StateDict;

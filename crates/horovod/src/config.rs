@@ -40,6 +40,12 @@ pub struct HorovodConfig {
     pub cycle_time: f64,
     /// Communication backend.
     pub backend: Backend,
+    /// Enable the online communication tuner (see [`crate::tuner`]): the
+    /// first few steps each measure one candidate knob set, then the
+    /// argmin freezes for the rest of the run. Off by default — the tuned
+    /// knobs change step timing, so runs that must match a committed
+    /// baseline leave this off or pre-warm the `DLSR_COMM_TUNE` cache.
+    pub tune_comm: bool,
 }
 
 impl Default for HorovodConfig {
@@ -48,6 +54,7 @@ impl Default for HorovodConfig {
             fusion_threshold: 64 << 20,
             cycle_time: 3.5e-3,
             backend: Backend::Mpi,
+            tune_comm: false,
         }
     }
 }
@@ -106,6 +113,12 @@ impl HorovodConfigBuilder {
         self
     }
 
+    /// Enable the online communication tuner.
+    pub fn tune_comm(mut self, on: bool) -> Self {
+        self.cfg.tune_comm = on;
+        self
+    }
+
     /// Validate and build.
     pub fn try_build(self) -> Result<HorovodConfig, ConfigError> {
         let c = &self.cfg;
@@ -154,9 +167,12 @@ mod tests {
             .to_builder()
             .fusion_threshold(32 << 20)
             .backend(Backend::Nccl)
+            .tune_comm(true)
             .build();
         assert_eq!(c.fusion_threshold, 32 << 20);
         assert_eq!(c.backend, Backend::Nccl);
+        assert!(c.tune_comm, "tune_comm knob must round-trip");
+        assert!(!HorovodConfig::default().tune_comm, "tuner is opt-in");
         assert!((c.cycle_time - 1.0e-3).abs() < 1e-12);
         assert_eq!(HorovodConfig::builder().build(), HorovodConfig::default());
     }

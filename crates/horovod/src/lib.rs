@@ -16,6 +16,9 @@
 //!   allreduce per fused group, then unpacked,
 //! - the **DistributedOptimizer** wrapper (guideline 3) with learning-rate
 //!   scaling (guideline 4),
+//! - an opt-in **online comm tuner** ([`tuner`]) automating the paper's
+//!   per-scale `HOROVOD_FUSION_THRESHOLD` / `HOROVOD_CYCLE_TIME` sweep
+//!   deterministically inside the run (see `docs/WIRE.md`),
 //! - per-collective, per-message-size profiling via `dlsr-hvprof`.
 
 //! # Example
@@ -49,6 +52,7 @@ pub mod config;
 pub mod coordinator;
 pub mod fusion;
 pub mod optimizer;
+pub mod tuner;
 
 pub use config::{Backend, ConfigError, HorovodConfig, HorovodConfigBuilder};
 pub use coordinator::{negotiate, negotiate_with_cost, NegotiateTask};
@@ -57,3 +61,4 @@ pub use fusion::{
     ReadinessReconciliation, ScheduledGroup, TensorSpec,
 };
 pub use optimizer::{broadcast_parameters, DistributedOptimizer, GradientSynchronizer};
+pub use tuner::{CommTuneEntry, CommTuner};

@@ -3,8 +3,8 @@
 
 use dlsr_attr as dlsr;
 use dlsr_hvprof::{Collective, Hvprof};
-use dlsr_mpi::collectives::{allreduce_auto_labeled, bcast, synthetic, AllreduceAlgorithm};
-use dlsr_mpi::{Comm, PathPolicy};
+use dlsr_mpi::collectives::{bcast, synthetic, wire, Allreduce, AllreduceAlgorithm, ReduceOp};
+use dlsr_mpi::{Comm, CommChoice, PathPolicy, WireFormat};
 use dlsr_nccl::Nccl;
 use dlsr_nn::module::{Module, ModuleExt};
 use dlsr_nn::optim::Optimizer;
@@ -16,10 +16,50 @@ use crate::fusion::{
     plan_fusion, readiness_from_elems, reconcile_readiness, FusionGroup, ReadinessReconciliation,
     TensorSpec,
 };
+use crate::tuner::{CommTuneEntry, CommTuner};
 
 /// Stable buffer-id namespace for the persistent fusion buffers (reused
 /// every step → registration-cache hits, the §III-D effect).
 const FUSION_BUF_ID_BASE: u64 = 0x4655_5300; // "FUS"
+
+/// Buffer id of the tuner's 1-element step-duration agreement allreduce.
+const TUNE_BUF_ID: u64 = 0x54_554E; // "TUN"
+
+/// Algorithm + wire selection for one fused group: the comm config's
+/// size-binned [`select_comm`](dlsr_mpi::MpiConfig::select_comm), with the
+/// tuner's `rd`/`pipeline` thresholds substituted when a tuned entry is
+/// active. A pure function of `(bytes, tuned, config)`, so the sequential
+/// and overlapped paths — and every rank — pick identically.
+fn comm_choice(comm: &Comm, bytes: u64, tuned: Option<CommTuneEntry>) -> CommChoice {
+    let nodes = comm.topology().nodes;
+    match tuned {
+        Some(e) => {
+            let mut cfg = comm.config().clone();
+            cfg.tuning.rd_threshold = e.rd_threshold;
+            cfg.tuning.pipeline_threshold = e.pipeline_threshold;
+            cfg.select_comm(bytes, nodes)
+        }
+        None => comm.config().select_comm(bytes, nodes),
+    }
+}
+
+/// Top-k error feedback (EF-SGD): fold the residual of the previous step
+/// into the gradient before compression, then stash everything the top-k
+/// selection will drop. `topk_indices` is a pure function of the values,
+/// so this recomputes exactly the set the collective transmits.
+fn topk_error_feedback(buf: &mut [f32], residual: &mut [f32], k_permille: u16) {
+    for (b, r) in buf.iter_mut().zip(residual.iter()) {
+        *b += *r;
+    }
+    let k = wire::topk_count(buf.len(), k_permille);
+    let idx = wire::topk_indices(buf, k);
+    for (r, &b) in residual.iter_mut().zip(buf.iter()) {
+        *r = b;
+    }
+    for &i in &idx {
+        residual[i as usize] = 0.0;
+    }
+}
 
 /// Fusion-buffer counters for the step report: group count, bytes actually
 /// packed, and the capacity each group occupies (a group can exceed the
@@ -80,6 +120,19 @@ pub struct DistributedOptimizer<O: Optimizer> {
     /// Analytic-vs-measured readiness comparison from the last overlapped
     /// backward.
     reconciliation: Option<ReadinessReconciliation>,
+    /// Online comm tuner (lazily created on the first tuned step when
+    /// `cfg.tune_comm`).
+    tuner: Option<CommTuner>,
+    /// The knob set the current step runs with (`None` ⇒ untuned config).
+    applied: Option<CommTuneEntry>,
+    /// The fusion threshold `self.groups` was planned with (re-planning is
+    /// only paid when the tuner actually moves this knob).
+    applied_fusion: u64,
+    /// Top-k error-feedback residuals, one per gradient element in
+    /// reduction order; empty until a top-k wire format is first chosen.
+    residual: Vec<f32>,
+    /// Virtual-clock start of the current tuned step.
+    step_t0: f64,
 }
 
 impl<O: Optimizer> DistributedOptimizer<O> {
@@ -121,6 +174,11 @@ impl<O: Optimizer> DistributedOptimizer<O> {
             avg_flat: Vec::new(),
             measured_readiness: Vec::new(),
             reconciliation: None,
+            tuner: None,
+            applied: None,
+            applied_fusion: cfg.fusion_threshold,
+            residual: Vec::new(),
+            step_t0: 0.0,
         }
     }
 
@@ -169,6 +227,74 @@ impl<O: Optimizer> DistributedOptimizer<O> {
         self.reconciliation.as_ref()
     }
 
+    /// The comm tuner's frozen decision, if tuning ran and converged.
+    pub fn comm_tune_decision(&self) -> Option<CommTuneEntry> {
+        self.tuner.as_ref().and_then(|t| t.frozen())
+    }
+
+    /// The cycle period in effect this step (tuned or configured).
+    fn cycle_time(&self) -> f64 {
+        self.applied.map_or(self.cfg.cycle_time, |e| e.cycle_time())
+    }
+
+    /// The fusion threshold in effect this step (tuned or configured).
+    fn fusion_threshold(&self) -> u64 {
+        self.applied
+            .map_or(self.cfg.fusion_threshold, |e| e.fusion_threshold)
+    }
+
+    /// Apply the tuner's knob set for the coming step: re-plan fusion when
+    /// the threshold moved, adopt the candidate's cycle time and selection
+    /// thresholds, and stamp the step start. No-op unless `cfg.tune_comm`
+    /// on a multi-rank world.
+    #[dlsr::deterministic]
+    fn tune_begin(&mut self, comm: &mut Comm) {
+        if !self.cfg.tune_comm || comm.size() <= 1 {
+            return;
+        }
+        if self.tuner.is_none() {
+            let base = CommTuneEntry {
+                fusion_threshold: self.cfg.fusion_threshold,
+                cycle_time_ns: (self.cfg.cycle_time * 1e9).round() as u64,
+                rd_threshold: comm.config().tuning.rd_threshold,
+                pipeline_threshold: comm.config().tuning.pipeline_threshold,
+            };
+            self.tuner = Some(CommTuner::new(
+                comm.size(),
+                self.total_elems as u64 * 4,
+                base,
+            ));
+        }
+        let entry = self.tuner.as_ref().unwrap().current();
+        if entry.fusion_threshold != self.applied_fusion {
+            self.groups = plan_fusion(&self.tensors, entry.fusion_threshold);
+            self.applied_fusion = entry.fusion_threshold;
+        }
+        self.applied = Some(entry);
+        self.step_t0 = comm.now();
+    }
+
+    /// Close a tuned step: agree on its virtual duration with a 1-element
+    /// Max-allreduce (every rank must act on the same measurement) and
+    /// feed the tuner. The agreement runs only while candidates are still
+    /// being explored — a frozen tuner costs nothing per step.
+    #[dlsr::deterministic]
+    fn tune_end(&mut self, comm: &mut Comm) {
+        let Some(t) = self.tuner.as_mut() else {
+            return;
+        };
+        if !t.exploring() {
+            return;
+        }
+        let mut d = vec![(comm.now() - self.step_t0) as f32];
+        Allreduce::new(&mut d)
+            .buf_id(TUNE_BUF_ID)
+            .op(ReduceOp::Max)
+            .wire(WireFormat::F32)
+            .run(comm);
+        t.observe(d[0] as f64, comm.rank() == 0);
+    }
+
     /// Overlapped backward + distributed step — the cycle-driven engine.
     ///
     /// Runs `model`'s backward with a gradient-readiness hook; the moment
@@ -202,6 +328,7 @@ impl<O: Optimizer> DistributedOptimizer<O> {
         comm: &mut Comm,
         bwd_virtual: f64,
     ) -> Result<Tensor> {
+        self.tune_begin(comm);
         let world = comm.size();
         let world_f = world as f32;
         let n = self.tensors.len();
@@ -220,6 +347,10 @@ impl<O: Optimizer> DistributedOptimizer<O> {
 
         // Split borrows: the hook drives comm and the profiler while the
         // model is exclusively inside backward_with_hook.
+        let tuned = self.applied;
+        let fusion_threshold = self.fusion_threshold();
+        let cycle_half = self.cycle_time() * 0.5;
+        let total_elems = self.total_elems;
         let groups = &self.groups;
         let tensors = &self.tensors;
         let cfg = &self.cfg;
@@ -228,6 +359,7 @@ impl<O: Optimizer> DistributedOptimizer<O> {
         let fuse_bufs = &mut self.fuse_bufs;
         let avg_flat = &mut self.avg_flat;
         let measured = &mut self.measured_readiness;
+        let residual = &mut self.residual;
 
         let mut next_tensor = 0usize;
         let mut cur_group = 0usize;
@@ -258,11 +390,11 @@ impl<O: Optimizer> DistributedOptimizer<O> {
             // continues on the remaining layers.
             let gi = cur_group;
             let last = *group.indices.last().unwrap();
-            comm.advance_to(bwd_start_v + readiness[last] + cfg.cycle_time * 0.5);
+            comm.advance_to(bwd_start_v + readiness[last] + cycle_half);
             if gi == 0 {
                 negotiate(comm, tensors.len(), cycle);
             }
-            record_group_counters(group, cfg.fusion_threshold);
+            record_group_counters(group, fusion_threshold);
             let t_pack = comm.now();
             comm.advance(group.bytes as f64 / pack_bandwidth);
             dlsr_trace::record_span(
@@ -276,7 +408,23 @@ impl<O: Optimizer> DistributedOptimizer<O> {
             comm.verify_launch(gi);
             match cfg.backend {
                 Backend::Mpi => {
-                    allreduce_auto_labeled(comm, buf, FUSION_BUF_ID_BASE + gi as u64, Some(gi));
+                    let choice = comm_choice(comm, group.bytes, tuned);
+                    if let WireFormat::TopK { k_permille } = choice.wire {
+                        if residual.len() != total_elems {
+                            residual.resize(total_elems, 0.0);
+                        }
+                        topk_error_feedback(
+                            buf,
+                            &mut residual[group_off..group_off + group.elems],
+                            k_permille,
+                        );
+                    }
+                    Allreduce::new(&mut *buf)
+                        .buf_id(FUSION_BUF_ID_BASE + gi as u64)
+                        .algo(choice.algo)
+                        .wire(choice.wire)
+                        .group(gi)
+                        .run(comm);
                 }
                 Backend::Nccl => Nccl::all_reduce(comm, buf, FUSION_BUF_ID_BASE + gi as u64),
             }
@@ -345,6 +493,7 @@ impl<O: Optimizer> DistributedOptimizer<O> {
             });
         }
         self.inner.step(model);
+        self.tune_end(comm);
         Ok(g_in)
     }
 
@@ -353,11 +502,15 @@ impl<O: Optimizer> DistributedOptimizer<O> {
     #[dlsr::deterministic]
     pub fn step(&mut self, model: &mut dyn Module, comm: &mut Comm) {
         if comm.size() > 1 {
+            self.tune_begin(comm);
             self.cycle += 1;
             // Coordinator cycle: cost of waiting for the tick + negotiation.
-            comm.advance(self.cfg.cycle_time);
+            comm.advance(self.cycle_time());
             negotiate(comm, self.tensors.len(), self.cycle);
             self.allreduce_gradients(model, comm);
+            self.inner.step(model);
+            self.tune_end(comm);
+            return;
         }
         self.inner.step(model);
     }
@@ -383,8 +536,10 @@ impl<O: Optimizer> DistributedOptimizer<O> {
             offsets.reverse();
             let _ = off;
         }
+        let fusion_threshold = self.fusion_threshold();
+        let mut group_off = 0usize; // start of the group in reduction order
         for (gi, group) in self.groups.iter().enumerate() {
-            record_group_counters(group, self.cfg.fusion_threshold);
+            record_group_counters(group, fusion_threshold);
             // pack
             let t_pack = comm.now();
             let mut fused = Vec::with_capacity(group.elems);
@@ -404,11 +559,27 @@ impl<O: Optimizer> DistributedOptimizer<O> {
             let buf_id = FUSION_BUF_ID_BASE + gi as u64;
             let t0 = comm.now();
             match self.cfg.backend {
-                // Size-binned algorithm selection — the same pure function
-                // of the group's byte count as the overlapped path, so
-                // both paths reduce in bitwise-identical order.
+                // Size-binned algorithm + wire selection — the same pure
+                // function of the group's byte count as the overlapped
+                // path, so both paths reduce in bitwise-identical order.
                 Backend::Mpi => {
-                    allreduce_auto_labeled(comm, &mut fused, buf_id, Some(gi));
+                    let choice = comm_choice(comm, group.bytes, self.applied);
+                    if let WireFormat::TopK { k_permille } = choice.wire {
+                        if self.residual.len() != self.total_elems {
+                            self.residual.resize(self.total_elems, 0.0);
+                        }
+                        topk_error_feedback(
+                            &mut fused,
+                            &mut self.residual[group_off..group_off + group.elems],
+                            k_permille,
+                        );
+                    }
+                    Allreduce::new(&mut fused)
+                        .buf_id(buf_id)
+                        .algo(choice.algo)
+                        .wire(choice.wire)
+                        .group(gi)
+                        .run(comm);
                 }
                 Backend::Nccl => Nccl::all_reduce(comm, &mut fused, buf_id),
             }
@@ -441,6 +612,7 @@ impl<O: Optimizer> DistributedOptimizer<O> {
                 t_unpack,
                 comm.now(),
             );
+            group_off += group.elems;
         }
         model.load_flat_grads(&flat);
     }
@@ -504,7 +676,13 @@ impl GradientSynchronizer {
             let buf_id = FUSION_BUF_ID_BASE + gi as u64;
             let t0 = comm.now();
             match self.cfg.backend {
-                Backend::Mpi => synthetic::allreduce_elems(comm, group.elems, buf_id, algo),
+                Backend::Mpi => {
+                    // Same wire selection as the real optimizer; the
+                    // configured default algorithm is kept (the at-scale
+                    // harnesses sweep algorithms through `MpiConfig`).
+                    let wf = comm.config().tuning.select_wire(group.bytes);
+                    synthetic::allreduce_elems_wire(comm, group.elems, buf_id, algo, wf);
+                }
                 Backend::Nccl => {
                     comm.set_path_policy(PathPolicy::NcclLike);
                     synthetic::allreduce_elems(comm, group.elems, buf_id, AllreduceAlgorithm::Ring);
@@ -747,6 +925,92 @@ mod tests {
                 ovl < seq,
                 "rank {r}: overlapped step {ovl}s not faster than sequential {seq}s"
             );
+        }
+    }
+
+    #[test]
+    fn comm_tuner_explores_then_freezes_and_ranks_stay_in_sync() {
+        // 16 steps > two steps (settle + measure) per candidate, so the
+        // tuner must freeze; the per-step agreement allreduce keeps every
+        // rank on the same knob set, so parameters stay bitwise identical
+        // throughout.
+        let topo = ClusterTopology::lassen(1); // 4 ranks
+        let cfg = HorovodConfig::builder().tune_comm(true).build();
+        let res = MpiWorld::run(&topo, MpiConfig::mpi_opt(), move |c| {
+            let mut model = make_model(1);
+            let mut opt = DistributedOptimizer::new(Sgd::new(0.01), &mut model, cfg, c.size());
+            for s in 0..16u32 {
+                let g = (c.rank() as u32 + 1 + s) as f32;
+                model.visit_params(&mut |p| {
+                    let shape = p.value.shape().clone();
+                    p.accumulate_grad(&dlsr_tensor::Tensor::full(shape, g));
+                });
+                opt.step(&mut model, c);
+            }
+            (model.flatten_params(), opt.comm_tune_decision())
+        });
+        let (params0, decision0) = &res.ranks[0];
+        assert!(decision0.is_some(), "tuner never froze in 16 steps");
+        for (r, (params, decision)) in res.ranks.iter().enumerate() {
+            assert_eq!(params, params0, "rank {r} params diverged under tuning");
+            assert_eq!(decision, decision0, "rank {r} froze a different entry");
+        }
+    }
+
+    #[test]
+    fn untuned_config_never_creates_a_tuner() {
+        let topo = ClusterTopology::lassen(1);
+        let res = MpiWorld::run(&topo, MpiConfig::mpi_opt(), |c| {
+            let mut model = make_model(1);
+            let mut opt =
+                DistributedOptimizer::new(Sgd::new(0.01), &mut model, HorovodConfig::default(), 4);
+            model.visit_params(&mut |p| {
+                let shape = p.value.shape().clone();
+                p.accumulate_grad(&dlsr_tensor::Tensor::full(shape, 1.0));
+            });
+            opt.step(&mut model, c);
+            opt.comm_tune_decision().is_none() && opt.tuner.is_none()
+        });
+        assert!(res.ranks.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn topk_wire_applies_error_feedback_and_keeps_ranks_identical() {
+        // A top-k wire drops gradient mass into the per-rank residual;
+        // ranks still agree bitwise because the reduced values are, and
+        // training still moves the parameters.
+        let topo = ClusterTopology::lassen(1);
+        let mcfg = MpiConfig::mpi_opt()
+            .to_builder()
+            .wire(WireFormat::TopK { k_permille: 200 })
+            .wire_threshold(0)
+            .build();
+        let res = MpiWorld::run(&topo, mcfg, |c| {
+            let mut model = make_model(1);
+            let mut opt =
+                DistributedOptimizer::new(Sgd::new(0.05), &mut model, HorovodConfig::default(), 4);
+            for s in 0..3u32 {
+                // element- and rank-dependent gradients so the top-k
+                // selection genuinely drops values
+                model.visit_params(&mut |p| {
+                    let shape = p.value.shape().clone();
+                    let n = p.numel();
+                    let data: Vec<f32> = (0..n)
+                        .map(|i| ((i as u32 * (c.rank() as u32 + 1) + s) % 7) as f32 - 3.0)
+                        .collect();
+                    p.accumulate_grad(&dlsr_tensor::Tensor::from_vec(shape, data).unwrap());
+                });
+                opt.step(&mut model, c);
+            }
+            let dropped = opt.residual.iter().filter(|&&r| r != 0.0).count();
+            (model.flatten_params(), dropped)
+        });
+        let before = make_model(1).flatten_params();
+        let (params0, dropped0) = &res.ranks[0];
+        assert_ne!(params0, &before, "top-k steps must still train");
+        assert!(*dropped0 > 0, "k=200‰ left no residual — EF path not hit");
+        for (r, (params, _)) in res.ranks.iter().enumerate() {
+            assert_eq!(params, params0, "rank {r} params diverged under top-k");
         }
     }
 

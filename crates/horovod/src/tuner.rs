@@ -1,0 +1,446 @@
+//! Online communication autotuning: a deterministic coordinate-descent
+//! tuner over the Horovod/MPI knobs that dominate exposed communication
+//! time, plus the persistent comm-tune cache.
+//!
+//! The paper tunes `HOROVOD_FUSION_THRESHOLD` and `HOROVOD_CYCLE_TIME` "at
+//! each scale" by hand (§II-D); this module automates that sweep *inside*
+//! the simulated run. The tuner gives each candidate knob set two
+//! consecutive training steps — a *settle* step whose duration is
+//! discarded, then a *measure* step that scores the candidate — and, once
+//! every candidate has been measured, freezes on the argmin for the rest
+//! of the run. The settle step matters: switching knobs re-plans the
+//! fusion groups and faults fresh buffers through the registration cache,
+//! and those one-shot transition costs would otherwise be billed to the
+//! candidate (most unfairly to candidate 0, whose "transition" is the
+//! run's own start-up), letting a steady-state-worse knob set win.
+//!
+//! # Determinism
+//!
+//! Everything the tuner does is a pure function of agreed values:
+//!
+//! - the candidate list is derived from the base config alone,
+//! - the per-step measurement is the *virtual* step duration, agreed
+//!   across ranks with a 1-element Max-allreduce (so no rank can act on a
+//!   locally divergent clock), and the virtual clock itself is
+//!   deterministic for a given seed and config,
+//! - ties in the argmin break toward the lowest candidate index.
+//!
+//! The cache file (`DLSR_COMM_TUNE=<path>`) short-circuits exploration:
+//! a cached `(world, grad_bytes)` key freezes the tuner at step 0, so
+//! *same binary + same comm-tune cache + same seed ⇒ same digest* — the
+//! same contract the GEMM tune cache (`dlsr-tensor::tune`) provides, and
+//! the contract `cluster/tests/comm_tune_determinism.rs` enforces across
+//! simulator cores and thread counts. `cycle_time` is carried as integer
+//! nanoseconds so the file round-trips bitwise.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+
+use parking_lot::Mutex;
+
+/// One knob set the tuner can run a step with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommTuneEntry {
+    /// Fusion buffer capacity in bytes (`HOROVOD_FUSION_THRESHOLD`).
+    pub fusion_threshold: u64,
+    /// Coordinator cycle period in integer nanoseconds
+    /// (`HOROVOD_CYCLE_TIME`; integer so the cache file round-trips
+    /// bitwise).
+    pub cycle_time_ns: u64,
+    /// Recursive-doubling upper size bin, bytes (see `CommTuning`).
+    pub rd_threshold: u64,
+    /// Pipelined-ring lower size bin, bytes (see `CommTuning`).
+    pub pipeline_threshold: u64,
+}
+
+impl CommTuneEntry {
+    /// The cycle period in seconds.
+    pub fn cycle_time(&self) -> f64 {
+        self.cycle_time_ns as f64 * 1e-9
+    }
+
+    /// Render as one cache-line body (without the key).
+    fn render(&self) -> String {
+        format!(
+            "{} {} {} {}",
+            self.fusion_threshold, self.cycle_time_ns, self.rd_threshold, self.pipeline_threshold
+        )
+    }
+
+    /// Clamp a (possibly file-sourced) entry to knobs the builders would
+    /// accept: positive fusion and cycle, and `rd < pipeline`. The fusion
+    /// floor is deliberately low (1 KiB): the candidate sweep starts from
+    /// the *configured* base, and clamping it away would leave the tuner
+    /// unable to even reproduce the untuned baseline.
+    fn sanitized(mut self) -> CommTuneEntry {
+        self.fusion_threshold = self.fusion_threshold.max(1 << 10);
+        self.cycle_time_ns = self.cycle_time_ns.max(1_000); // ≥ 1 µs
+        self.pipeline_threshold = self.pipeline_threshold.max(1 << 17);
+        self.rd_threshold = self.rd_threshold.clamp(1, self.pipeline_threshold / 2);
+        self
+    }
+}
+
+/// The deterministic candidate sweep around `base`: the base itself, then
+/// one move per knob axis (coordinate descent, single round). Clamping can
+/// make moves collide; duplicates are dropped so every measured step is
+/// informative.
+pub fn candidates(base: CommTuneEntry) -> Vec<CommTuneEntry> {
+    let base = base.sanitized();
+    let moves = [
+        base,
+        CommTuneEntry {
+            fusion_threshold: base.fusion_threshold / 4,
+            ..base
+        },
+        CommTuneEntry {
+            fusion_threshold: base.fusion_threshold.saturating_mul(4),
+            ..base
+        },
+        CommTuneEntry {
+            cycle_time_ns: base.cycle_time_ns / 2,
+            ..base
+        },
+        CommTuneEntry {
+            cycle_time_ns: base.cycle_time_ns / 8,
+            ..base
+        },
+        CommTuneEntry {
+            rd_threshold: base.rd_threshold.saturating_mul(4),
+            ..base
+        },
+        CommTuneEntry {
+            pipeline_threshold: base.pipeline_threshold / 2,
+            ..base
+        },
+        // Deep pipeline move: pulls MB-scale fused groups into the
+        // chunked-ring bin, where every hop is wire-compressed — the
+        // decisive knob when the defaults mis-bin a workload's dominant
+        // message size.
+        CommTuneEntry {
+            pipeline_threshold: base.pipeline_threshold / 8,
+            ..base
+        },
+    ];
+    let mut out: Vec<CommTuneEntry> = Vec::with_capacity(moves.len());
+    for m in moves {
+        let m = m.sanitized();
+        if !out.contains(&m) {
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// Per-run tuner state: explore each candidate for two steps (settle +
+/// measure), then freeze on the argmin over the measure steps.
+/// Construction consults the comm-tune cache; a hit freezes immediately
+/// (no exploration steps, digest-stable from step 0).
+#[derive(Debug)]
+pub struct CommTuner {
+    key: (usize, u64),
+    candidates: Vec<CommTuneEntry>,
+    /// Exploration steps observed so far; candidate `observed / 2` runs
+    /// the next step, and only odd-numbered observations (each
+    /// candidate's second step) count as measurements.
+    observed: usize,
+    measured: Vec<f64>,
+    frozen: Option<CommTuneEntry>,
+}
+
+impl CommTuner {
+    /// Tuner for a `world`-rank run reducing `grad_bytes` of gradients per
+    /// step, starting from the `base` knob set.
+    pub fn new(world: usize, grad_bytes: u64, base: CommTuneEntry) -> Self {
+        let key = (world, grad_bytes);
+        let frozen = lookup(world, grad_bytes);
+        CommTuner {
+            key,
+            candidates: if frozen.is_some() {
+                Vec::new()
+            } else {
+                candidates(base)
+            },
+            observed: 0,
+            measured: Vec::new(),
+            frozen,
+        }
+    }
+
+    /// The knob set to run the *next* step with.
+    pub fn current(&self) -> CommTuneEntry {
+        if let Some(e) = self.frozen {
+            return e;
+        }
+        self.candidates[(self.observed / 2).min(self.candidates.len() - 1)]
+    }
+
+    /// Whether the tuner still has unmeasured candidates (an exploring
+    /// step must end with an agreement allreduce feeding
+    /// [`CommTuner::observe`]).
+    pub fn exploring(&self) -> bool {
+        self.frozen.is_none() && self.observed < 2 * self.candidates.len()
+    }
+
+    /// The frozen decision, once exploration is over.
+    pub fn frozen(&self) -> Option<CommTuneEntry> {
+        self.frozen
+    }
+
+    /// Record the *agreed* duration of the step that ran
+    /// [`CommTuner::current`]. Each candidate's first (settle) step is
+    /// discarded — it carries the re-plan and registration-cache costs of
+    /// switching knobs — and its second step is the measurement. Once
+    /// every candidate is measured the tuner freezes on the argmin (ties
+    /// → lowest index); `is_root` (rank 0) persists the decision to the
+    /// comm-tune cache.
+    pub fn observe(&mut self, agreed_step_seconds: f64, is_root: bool) {
+        if self.frozen.is_some() {
+            return;
+        }
+        let is_measure_step = self.observed % 2 == 1;
+        self.observed += 1;
+        if !is_measure_step {
+            return;
+        }
+        self.measured.push(agreed_step_seconds);
+        if self.measured.len() < self.candidates.len() {
+            return;
+        }
+        let mut best = 0usize;
+        for (i, &d) in self.measured.iter().enumerate() {
+            if d < self.measured[best] {
+                best = i;
+            }
+        }
+        let e = self.candidates[best];
+        self.frozen = Some(e);
+        if is_root {
+            install(self.key.0, self.key.1, e);
+            let st = state().lock();
+            if let Some(path) = st.persist_to.clone() {
+                drop(st);
+                append_entry(&path, self.key, &e);
+            }
+        }
+    }
+}
+
+struct TuneState {
+    table: BTreeMap<(usize, u64), CommTuneEntry>,
+    /// Cache-file path from `DLSR_COMM_TUNE`, if set.
+    persist_to: Option<std::path::PathBuf>,
+}
+
+fn parse_line(line: &str) -> Option<((usize, u64), CommTuneEntry)> {
+    let mut it = line.split_whitespace();
+    let world: usize = it.next()?.parse().ok()?;
+    let grad_bytes: u64 = it.next()?.parse().ok()?;
+    let fusion_threshold: u64 = it.next()?.parse().ok()?;
+    let cycle_time_ns: u64 = it.next()?.parse().ok()?;
+    let rd_threshold: u64 = it.next()?.parse().ok()?;
+    let pipeline_threshold: u64 = it.next()?.parse().ok()?;
+    Some((
+        (world, grad_bytes),
+        CommTuneEntry {
+            fusion_threshold,
+            cycle_time_ns,
+            rd_threshold,
+            pipeline_threshold,
+        }
+        .sanitized(),
+    ))
+}
+
+fn init_state() -> TuneState {
+    let mut table = BTreeMap::new();
+    let persist_to = std::env::var_os("DLSR_COMM_TUNE").map(std::path::PathBuf::from);
+    if let Some(path) = &persist_to {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                if let Some((key, e)) = parse_line(line) {
+                    table.insert(key, e);
+                }
+            }
+        }
+    }
+    TuneState { table, persist_to }
+}
+
+fn state() -> &'static Mutex<TuneState> {
+    static STATE: std::sync::OnceLock<Mutex<TuneState>> = std::sync::OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(init_state()))
+}
+
+/// The cached decision for a `(world, grad_bytes)` run shape, if any.
+pub fn lookup(world: usize, grad_bytes: u64) -> Option<CommTuneEntry> {
+    state().lock().table.get(&(world, grad_bytes)).copied()
+}
+
+/// Install a decision, overriding the file. Used by tests (pre-warming a
+/// run without touching the environment) and by rank 0 on freeze.
+pub fn install(world: usize, grad_bytes: u64, entry: CommTuneEntry) {
+    state()
+        .lock()
+        .table
+        .insert((world, grad_bytes), entry.sanitized());
+}
+
+/// Snapshot the current table (debugging, offline inspection).
+pub fn entries() -> Vec<((usize, u64), CommTuneEntry)> {
+    state().lock().table.iter().map(|(k, v)| (*k, *v)).collect()
+}
+
+/// Write the full table as a comm-tune cache file.
+pub fn write_cache(path: &std::path::Path) -> std::io::Result<()> {
+    let mut out = String::from(
+        "# dlsr comm tune cache v1: world grad_bytes fusion_threshold \
+         cycle_time_ns rd_threshold pipeline_threshold\n",
+    );
+    for ((world, grad_bytes), e) in entries() {
+        out.push_str(&format!("{world} {grad_bytes} {}\n", e.render()));
+    }
+    std::fs::write(path, out)
+}
+
+fn append_entry(path: &std::path::Path, key: (usize, u64), e: &CommTuneEntry) {
+    let mut opts = std::fs::OpenOptions::new();
+    opts.create(true).append(true);
+    if let Ok(mut f) = opts.open(path) {
+        // Ignore I/O failures: the cache is an optimization, never a
+        // correctness dependency.
+        let _ = writeln!(f, "{} {} {}", key.0, key.1, e.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> CommTuneEntry {
+        CommTuneEntry {
+            fusion_threshold: 64 << 20,
+            cycle_time_ns: 3_500_000,
+            rd_threshold: 128 << 10,
+            pipeline_threshold: 8 << 20,
+        }
+    }
+
+    #[test]
+    fn candidates_start_at_base_and_deduplicate() {
+        let c = candidates(base());
+        assert_eq!(c[0], base());
+        assert!(c.len() >= 5 && c.len() <= 8, "got {} candidates", c.len());
+        for (i, a) in c.iter().enumerate() {
+            for b in &c[i + 1..] {
+                assert_ne!(a, b, "duplicate candidate survived");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_always_satisfy_builder_invariants() {
+        // Degenerate bases are clamped back into the region
+        // MpiConfigBuilder::try_build accepts (rd < pipeline, all > 0).
+        let degenerate = CommTuneEntry {
+            fusion_threshold: 1,
+            cycle_time_ns: 1,
+            rd_threshold: 1 << 30,
+            pipeline_threshold: 1 << 18,
+        };
+        for e in candidates(degenerate) {
+            assert!(e.fusion_threshold > 0);
+            assert!(e.cycle_time_ns >= 1_000);
+            assert!(
+                e.rd_threshold < e.pipeline_threshold,
+                "rd {} !< pipeline {}",
+                e.rd_threshold,
+                e.pipeline_threshold
+            );
+        }
+    }
+
+    #[test]
+    fn tuner_explores_every_candidate_then_freezes_on_argmin() {
+        let mut t = CommTuner::new(8, 999_001, base());
+        let n = candidates(base()).len();
+        let mut seen = Vec::new();
+        for i in 0..n {
+            // Settle step: same candidate two steps in a row, and its
+            // duration must NOT count — feed it an absurdly good time.
+            assert!(t.exploring());
+            let settling = t.current();
+            t.observe(0.001, false);
+            assert!(t.exploring());
+            assert_eq!(t.current(), settling, "candidate changed mid-pair");
+            seen.push(t.current());
+            // Measure step: make candidate 2 the winner.
+            t.observe(if i == 2 { 0.5 } else { 1.0 + i as f64 }, false);
+        }
+        assert!(!t.exploring());
+        assert_eq!(t.frozen().unwrap(), seen[2]);
+        assert_eq!(t.current(), seen[2]);
+        // further observations are ignored
+        t.observe(0.0, false);
+        assert_eq!(t.frozen().unwrap(), seen[2]);
+    }
+
+    #[test]
+    fn argmin_ties_break_toward_the_lowest_index() {
+        let mut t = CommTuner::new(8, 999_002, base());
+        let n = candidates(base()).len();
+        let first = t.current();
+        for _ in 0..2 * n {
+            t.observe(1.0, false);
+        }
+        assert_eq!(t.frozen().unwrap(), first);
+    }
+
+    #[test]
+    fn installed_entry_freezes_a_new_tuner_at_step_zero() {
+        let e = CommTuneEntry {
+            fusion_threshold: 4 << 20,
+            cycle_time_ns: 500_000,
+            rd_threshold: 64 << 10,
+            pipeline_threshold: 4 << 20,
+        };
+        install(16, 999_003, e);
+        let t = CommTuner::new(16, 999_003, base());
+        assert!(!t.exploring());
+        assert_eq!(t.frozen(), Some(e));
+        assert_eq!(t.current(), e);
+        assert_eq!(lookup(16, 999_003), Some(e));
+    }
+
+    #[test]
+    fn root_observe_installs_the_frozen_decision() {
+        let mut t = CommTuner::new(32, 999_004, base());
+        let n = candidates(base()).len();
+        for _ in 0..2 * n {
+            t.observe(2.0, true);
+        }
+        assert_eq!(lookup(32, 999_004), t.frozen());
+    }
+
+    #[test]
+    fn cache_line_round_trips() {
+        let e = base();
+        let line = format!("8 123456 {}", e.render());
+        let (key, parsed) = parse_line(&line).expect("parse");
+        assert_eq!(key, (8, 123456));
+        assert_eq!(parsed, e);
+        assert!(parse_line("garbage").is_none());
+        assert!(parse_line("8 1 2 3 4").is_none(), "short line rejected");
+    }
+
+    #[test]
+    fn sanitize_clamps_corrupt_entries() {
+        let (_, e) = parse_line("4 100 0 0 9999999999 1").expect("parse");
+        assert!(e.fusion_threshold > 0 && e.cycle_time_ns >= 1_000);
+        assert!(e.rd_threshold < e.pipeline_threshold);
+    }
+}

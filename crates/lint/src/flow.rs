@@ -19,8 +19,12 @@
 //!   from rank-deterministic roots: everything in
 //!   `crates/mpi/src/executor/` and `crates/mpi/src/collectives/`, every
 //!   `RankProgram`/`EventTask` impl, and every `#[dlsr::deterministic]`
-//!   fn (the `DistributedOptimizer` launch path and the fusion/readiness
-//!   schedule carry the marker). `#[dlsr::wall]` fns are trusted
+//!   fn (the `DistributedOptimizer` launch path, the fusion/readiness
+//!   schedule, and the comm tuner's `tune_begin`/`tune_end` carry the
+//!   marker — the tuner's measurements must stay virtual-clock
+//!   Max-allreduce agreements, so a wall-clock read or hashed iteration
+//!   sneaking into its observe path is exactly what this rule exists to
+//!   catch; see `docs/WIRE.md`). `#[dlsr::wall]` fns are trusted
 //!   boundaries and are not entered. Waivable per call edge or per source
 //!   line.
 //! - **`collective-order`**: for every fn whose call closure contains a

@@ -8,20 +8,29 @@
 //! - **Two-level** (MVAPICH2-GDR's dense-GPU design): flat intra-node
 //!   reduce to a node leader over NVLink/staged paths, ring allreduce among
 //!   leaders over InfiniBand, intra-node broadcast. This is the algorithm
-//!   whose intra-node phases the paper's CUDA IPC fix accelerates.
+//!   whose intra-node phases the paper's CUDA IPC fix accelerates. With
+//!   [`crate::config::CommTuning::hierarchical`] on, its inter-node leader
+//!   ring is itself pipelined and wire-compressed on the large size bins.
 //! - **Pipelined ring**: the ring schedule with every block streamed in
 //!   `pipeline_chunk`-byte sub-chunks over nonblocking p2p, so the GPU
 //!   reduce of sub-chunk *i* overlaps the wire transfer of sub-chunk *i+1*
 //!   and only one sub-chunk reduction per step stays exposed. Bitwise
 //!   identical to **Ring** (same per-element combine order).
 //!
-//! [`allreduce_auto`] picks between them by message size
-//! ([`crate::MpiConfig::select_allreduce`]), mirroring the paper's
-//! size-binned tuning.
+//! Entry point is the [`Allreduce`] request builder: buffer in, then
+//! `.op(..)`, `.algo(..)`, `.wire(..)`, `.group(..)` as needed, then
+//! `.run(comm)`. Unset algorithm/wire fall back to the size-binned
+//! selection ([`crate::MpiConfig::select_comm`]), mirroring the paper's
+//! message-size tuning. [`WireFormat`]s other than f32 compress what goes
+//! on the wire while keeping accumulation in f32; each algorithm
+//! re-quantizes at a single, documented point so every rank still lands on
+//! bit-identical results (`docs/WIRE.md`).
 
 use crate::comm::Comm;
+use crate::config::CommChoice;
 use crate::message::Payload;
 
+use super::wire::{self, WireFormat};
 use super::{chunk_range, coll_tag, ReduceOp};
 
 /// Allreduce algorithm selection.
@@ -38,41 +47,260 @@ pub enum AllreduceAlgorithm {
     PipelinedRing,
 }
 
+impl AllreduceAlgorithm {
+    /// Every algorithm, for sweeps and CLI help.
+    pub const ALL: [AllreduceAlgorithm; 4] = [
+        AllreduceAlgorithm::Ring,
+        AllreduceAlgorithm::RecursiveDoubling,
+        AllreduceAlgorithm::TwoLevel,
+        AllreduceAlgorithm::PipelinedRing,
+    ];
+
+    /// Short label — matches the names recorded in collective verify
+    /// signatures.
+    pub fn label(self) -> &'static str {
+        match self {
+            AllreduceAlgorithm::Ring => "ring",
+            AllreduceAlgorithm::RecursiveDoubling => "rd",
+            AllreduceAlgorithm::TwoLevel => "two-level",
+            AllreduceAlgorithm::PipelinedRing => "pipelined-ring",
+        }
+    }
+}
+
+impl std::fmt::Display for AllreduceAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for AllreduceAlgorithm {
+    type Err = String;
+
+    /// Case-insensitive, with the obvious aliases.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "ring" => Ok(AllreduceAlgorithm::Ring),
+            "rd" | "recursive-doubling" => Ok(AllreduceAlgorithm::RecursiveDoubling),
+            "two-level" | "twolevel" | "hierarchical" => Ok(AllreduceAlgorithm::TwoLevel),
+            "pipelined-ring" | "pipelined" | "pr" => Ok(AllreduceAlgorithm::PipelinedRing),
+            _ => Err(format!(
+                "unknown allreduce algorithm `{s}` (expected one of: ring, rd, \
+                 two-level, pipelined-ring)"
+            )),
+        }
+    }
+}
+
+/// A typed view of a collective's data buffer: the collective layer asks
+/// it for element count, dtype and byte size instead of hardwiring
+/// `len * 4` everywhere. f32 is the only gradient dtype today; the struct
+/// is the seam where further dtypes land.
+#[derive(Debug)]
+pub struct CollectiveBuf<'a> {
+    data: &'a mut Vec<f32>,
+}
+
+impl CollectiveBuf<'_> {
+    /// Element count.
+    pub fn elems(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Element dtype, as recorded in verify signatures.
+    pub fn dtype(&self) -> &'static str {
+        "f32"
+    }
+
+    /// Dense in-memory size in bytes (what the size-binned selection keys
+    /// on — the *wire* size depends on the chosen [`WireFormat`]).
+    pub fn dense_bytes(&self) -> u64 {
+        (self.elems() * std::mem::size_of::<f32>()) as u64
+    }
+}
+
+impl<'a> From<&'a mut Vec<f32>> for CollectiveBuf<'a> {
+    fn from(data: &'a mut Vec<f32>) -> Self {
+        CollectiveBuf { data }
+    }
+}
+
+/// Allreduce request builder — the single entry point for in-place
+/// allreduce across all ranks:
+///
+/// ```
+/// use dlsr_mpi::collectives::{Allreduce, AllreduceAlgorithm, WireFormat};
+/// use dlsr_mpi::{MpiConfig, MpiWorld};
+/// use dlsr_net::ClusterTopology;
+///
+/// let topo = ClusterTopology::lassen(1);
+/// let result = MpiWorld::run(&topo, MpiConfig::mpi_opt(), |comm| {
+///     let mut grads = vec![comm.rank() as f32; 8];
+///     Allreduce::new(&mut grads)
+///         .buf_id(1)
+///         .algo(AllreduceAlgorithm::Ring)
+///         .wire(WireFormat::F32)
+///         .run(comm);
+///     grads[0] // Σ ranks = 0+1+2+3
+/// });
+/// assert!(result.ranks.iter().all(|&v| v == 6.0));
+/// ```
+///
+/// Unset knobs fall back to deterministic size-binned selection
+/// ([`crate::MpiConfig::select_comm`]); [`Allreduce::run`] returns the
+/// resolved [`CommChoice`], which is a pure function of the buffer size
+/// and topology — every rank, and both the sequential and overlapped
+/// optimizer paths, make the same choice.
+#[derive(Debug)]
+#[must_use = "an allreduce request does nothing until run(comm)"]
+pub struct Allreduce<'a> {
+    buf: CollectiveBuf<'a>,
+    buf_id: u64,
+    op: ReduceOp,
+    algo: Option<AllreduceAlgorithm>,
+    wire: Option<WireFormat>,
+    group: Option<usize>,
+}
+
+impl<'a> Allreduce<'a> {
+    /// Start a request over `buf` (anything convertible to a
+    /// [`CollectiveBuf`]). Defaults: `buf_id` 0, [`ReduceOp::Sum`],
+    /// size-binned algorithm and wire format, no group label.
+    pub fn new(buf: impl Into<CollectiveBuf<'a>>) -> Self {
+        Allreduce {
+            buf: buf.into(),
+            buf_id: 0,
+            op: ReduceOp::Sum,
+            algo: None,
+            wire: None,
+            group: None,
+        }
+    }
+
+    /// Stable buffer identity for message matching (and the registration
+    /// cache); concurrent collectives need distinct ids.
+    pub fn buf_id(mut self, id: u64) -> Self {
+        self.buf_id = id;
+        self
+    }
+
+    /// Reduction operator (default [`ReduceOp::Sum`]).
+    pub fn op(mut self, op: ReduceOp) -> Self {
+        self.op = op;
+        self
+    }
+
+    /// Pin the algorithm instead of size-binned selection.
+    pub fn algo(mut self, algo: AllreduceAlgorithm) -> Self {
+        self.algo = Some(algo);
+        self
+    }
+
+    /// Pin the wire format instead of size-binned selection.
+    pub fn wire(mut self, wire: WireFormat) -> Self {
+        self.wire = Some(wire);
+        self
+    }
+
+    /// Fusion-group index carried into trace span names, so overlapped
+    /// per-group (and per-chunk) spans can be told apart in the chrome
+    /// timeline.
+    pub fn group(mut self, g: usize) -> Self {
+        self.group = Some(g);
+        self
+    }
+
+    /// Execute the allreduce in place; returns the resolved
+    /// algorithm + wire pair.
+    ///
+    /// # Panics
+    ///
+    /// Top-k wire compression is defined for [`ReduceOp::Sum`] only
+    /// (error feedback has no meaning under Max/Min).
+    pub fn run(self, comm: &mut Comm) -> CommChoice {
+        let auto = comm
+            .config()
+            .select_comm(self.buf.dense_bytes(), comm.topology().nodes);
+        let choice = CommChoice {
+            algo: self.algo.unwrap_or(auto.algo),
+            wire: self.wire.unwrap_or(auto.wire),
+        };
+        if matches!(choice.wire, WireFormat::TopK { .. }) {
+            assert_eq!(
+                self.op,
+                ReduceOp::Sum,
+                "top-k wire compression only supports ReduceOp::Sum"
+            );
+        }
+        allreduce_grouped(
+            comm,
+            self.buf.data,
+            self.buf_id,
+            choice.algo,
+            self.op,
+            self.group,
+            choice.wire,
+        );
+        choice
+    }
+}
+
 /// In-place sum-allreduce of `buf` across all ranks using the configured
 /// algorithm.
+#[deprecated(note = "use the request builder: Allreduce::new(&mut buf).buf_id(id).run(comm)")]
 pub fn allreduce(comm: &mut Comm, buf: &mut Vec<f32>, buf_id: u64) {
     let algo = comm.config().allreduce;
-    allreduce_with(comm, buf, buf_id, algo);
+    Allreduce::new(buf)
+        .buf_id(buf_id)
+        .algo(algo)
+        .wire(WireFormat::F32)
+        .run(comm);
 }
 
 /// In-place sum-allreduce with an explicit algorithm.
+#[deprecated(
+    note = "use the request builder: Allreduce::new(&mut buf).buf_id(id).algo(algo).run(comm)"
+)]
 pub fn allreduce_with(comm: &mut Comm, buf: &mut Vec<f32>, buf_id: u64, algo: AllreduceAlgorithm) {
-    allreduce_op(comm, buf, buf_id, algo, ReduceOp::Sum);
+    Allreduce::new(buf)
+        .buf_id(buf_id)
+        .algo(algo)
+        .wire(WireFormat::F32)
+        .run(comm);
 }
 
-/// In-place sum-allreduce with the algorithm chosen by message size
-/// (`MpiConfig::select_allreduce`). Returns the algorithm used, which is a
-/// pure function of the buffer size — every rank, and both the sequential
-/// and overlapped optimizer paths, make the same choice.
+/// In-place sum-allreduce with the algorithm chosen by message size.
+/// Returns the algorithm used.
+#[deprecated(
+    note = "use the request builder: Allreduce::new(&mut buf).buf_id(id).run(comm) and read \
+            `.algo` off the returned CommChoice"
+)]
 pub fn allreduce_auto(comm: &mut Comm, buf: &mut Vec<f32>, buf_id: u64) -> AllreduceAlgorithm {
-    allreduce_auto_labeled(comm, buf, buf_id, None)
+    Allreduce::new(buf).buf_id(buf_id).run(comm).algo
 }
 
 /// [`allreduce_auto`] with an optional fusion-group index carried into the
-/// trace span names, so overlapped per-group (and per-chunk) spans can be
-/// told apart in the chrome timeline.
+/// trace span names.
+#[deprecated(
+    note = "use the request builder: Allreduce::new(&mut buf).buf_id(id).group(g).run(comm)"
+)]
 pub fn allreduce_auto_labeled(
     comm: &mut Comm,
     buf: &mut Vec<f32>,
     buf_id: u64,
     group: Option<usize>,
 ) -> AllreduceAlgorithm {
-    let algo = comm.config().select_allreduce((buf.len() * 4) as u64);
-    allreduce_grouped(comm, buf, buf_id, algo, ReduceOp::Sum, group);
-    algo
+    let mut req = Allreduce::new(buf).buf_id(buf_id);
+    if let Some(g) = group {
+        req = req.group(g);
+    }
+    req.run(comm).algo
 }
 
 /// In-place allreduce with an explicit algorithm and reduction operator.
+#[deprecated(
+    note = "use the request builder: Allreduce::new(&mut buf).buf_id(id).algo(algo).op(op).run(comm)"
+)]
 pub fn allreduce_op(
     comm: &mut Comm,
     buf: &mut Vec<f32>,
@@ -80,7 +308,12 @@ pub fn allreduce_op(
     algo: AllreduceAlgorithm,
     op: ReduceOp,
 ) {
-    allreduce_grouped(comm, buf, buf_id, algo, op, None);
+    Allreduce::new(buf)
+        .buf_id(buf_id)
+        .algo(algo)
+        .op(op)
+        .wire(WireFormat::F32)
+        .run(comm);
 }
 
 fn allreduce_grouped(
@@ -90,57 +323,81 @@ fn allreduce_grouped(
     algo: AllreduceAlgorithm,
     op: ReduceOp,
     group: Option<usize>,
+    wf: WireFormat,
 ) {
     if comm.size() == 1 {
         return;
     }
+    // The wire format rides the signature's dtype slot: format skew
+    // between ranks must surface as a CollectiveMismatch at the
+    // rendezvous, never as a hang or a payload decode panic mid-schedule.
     comm.verify_coll(
         "allreduce",
         crate::verify::op_name(op),
-        "f32",
+        wf.dtype_name(),
         buf.len(),
         crate::verify::algo_name(algo),
         group,
         0,
     );
     let bytes = buf.len() * 4;
+    {
+        use dlsr_trace::report::keys;
+        dlsr_trace::counter_add(keys::WIRE_DENSE_BYTES, bytes as f64);
+        dlsr_trace::counter_add(keys::WIRE_BYTES, wf.wire_bytes(buf.len()) as f64);
+    }
     let t0 = comm.now();
-    match algo {
-        AllreduceAlgorithm::Ring => {
-            let seq = comm.next_seq();
-            let participants: Vec<usize> = (0..comm.size()).collect();
-            ring_allreduce(comm, buf, &participants, buf_id, seq, op);
-        }
-        AllreduceAlgorithm::RecursiveDoubling => {
-            if comm.size().is_power_of_two() {
-                recursive_doubling(comm, buf, buf_id, op);
-            } else {
+    if let WireFormat::TopK { k_permille } = wf {
+        let seq = comm.next_seq();
+        topk_allreduce(comm, buf, buf_id, seq, k_permille);
+    } else {
+        match algo {
+            AllreduceAlgorithm::Ring => {
                 let seq = comm.next_seq();
                 let participants: Vec<usize> = (0..comm.size()).collect();
-                ring_allreduce(comm, buf, &participants, buf_id, seq, op);
+                ring_allreduce(comm, buf, &participants, buf_id, seq, op, wf);
             }
-        }
-        AllreduceAlgorithm::TwoLevel => two_level(comm, buf, buf_id, op),
-        AllreduceAlgorithm::PipelinedRing => {
-            let seq = comm.next_seq();
-            let participants: Vec<usize> = (0..comm.size()).collect();
-            let chunk_elems = (comm.config().pipeline_chunk as usize / 4).max(1);
-            pipelined_ring_allreduce(
-                comm,
-                buf,
-                &participants,
-                buf_id,
-                seq,
-                op,
-                chunk_elems,
-                group,
-            );
+            AllreduceAlgorithm::RecursiveDoubling => {
+                if comm.size().is_power_of_two() {
+                    recursive_doubling(comm, buf, buf_id, op, wf);
+                } else {
+                    let seq = comm.next_seq();
+                    let participants: Vec<usize> = (0..comm.size()).collect();
+                    ring_allreduce(comm, buf, &participants, buf_id, seq, op, wf);
+                }
+            }
+            AllreduceAlgorithm::TwoLevel => two_level(comm, buf, buf_id, op, group, wf),
+            AllreduceAlgorithm::PipelinedRing => {
+                let seq = comm.next_seq();
+                let participants: Vec<usize> = (0..comm.size()).collect();
+                let chunk_elems = (comm.config().tuning.pipeline_chunk as usize / 4).max(1);
+                pipelined_ring_allreduce(
+                    comm,
+                    buf,
+                    &participants,
+                    buf_id,
+                    seq,
+                    op,
+                    chunk_elems,
+                    group,
+                    wf,
+                );
+            }
         }
     }
     dlsr_trace::record_span(
-        || match group {
-            Some(g) => format!("allreduce.{algo:?}[g{g}] {bytes}B"),
-            None => format!("allreduce.{algo:?} {bytes}B"),
+        || {
+            let name = if let WireFormat::TopK { .. } = wf {
+                "topk".to_string()
+            } else if wf.is_f32() {
+                format!("{algo:?}")
+            } else {
+                format!("{algo:?}+{wf}")
+            };
+            match group {
+                Some(g) => format!("allreduce.{name}[g{g}] {bytes}B"),
+                None => format!("allreduce.{name} {bytes}B"),
+            }
         },
         dlsr_trace::cat::MPI,
         t0,
@@ -151,6 +408,13 @@ fn allreduce_grouped(
 
 /// Ring allreduce over an ordered participant subset (every participant
 /// calls this with the same list). Non-participants must not call.
+///
+/// Wire compression: each reduce-scatter hop encodes the partial sum for
+/// the wire and the receiver accumulates the decoded values in f32. After
+/// reduce-scatter, the owner **re-quantizes its fully reduced block once**
+/// — the allgather then circulates already-quantized values, whose
+/// re-encode is lossless, so every rank finishes with bit-identical
+/// buffers (see `docs/WIRE.md`).
 fn ring_allreduce(
     comm: &mut Comm,
     buf: &mut [f32],
@@ -158,6 +422,7 @@ fn ring_allreduce(
     buf_id: u64,
     seq: u64,
     op: ReduceOp,
+    wf: WireFormat,
 ) {
     let p = participants.len();
     if p <= 1 {
@@ -176,39 +441,40 @@ fn ring_allreduce(
     for step in 0..p - 1 {
         let send_chunk = (me + p - step) % p;
         let recv_chunk = (me + p - step - 1) % p;
-        let payload = Payload::F32(buf[chunk_range(len, p, send_chunk)].to_vec());
-        let incoming = comm
-            .sendrecv(
-                right,
-                coll_tag(seq, step as u64),
-                payload,
-                buf_id,
-                left,
-                coll_tag(seq, step as u64),
-                buf_id,
-            )
-            .into_f32();
+        let payload = wf.encode(&buf[chunk_range(len, p, send_chunk)]);
+        let incoming = wire::decode(comm.sendrecv(
+            right,
+            coll_tag(seq, step as u64),
+            payload,
+            buf_id,
+            left,
+            coll_tag(seq, step as u64),
+            buf_id,
+        ));
         let r = chunk_range(len, p, recv_chunk);
         comm.charge_reduce(incoming.len());
         op.combine(&mut buf[r], &incoming);
+    }
+
+    // the owner's re-quantization point (see doc comment)
+    if !wf.is_f32() {
+        wf.quantize(&mut buf[chunk_range(len, p, (me + 1) % p)]);
     }
 
     // allgather: circulate reduced chunks
     for step in 0..p - 1 {
         let send_chunk = (me + 1 + p - step) % p;
         let recv_chunk = (me + p - step) % p;
-        let payload = Payload::F32(buf[chunk_range(len, p, send_chunk)].to_vec());
-        let incoming = comm
-            .sendrecv(
-                right,
-                coll_tag(seq, (p + step) as u64),
-                payload,
-                buf_id,
-                left,
-                coll_tag(seq, (p + step) as u64),
-                buf_id,
-            )
-            .into_f32();
+        let payload = wf.encode(&buf[chunk_range(len, p, send_chunk)]);
+        let incoming = wire::decode(comm.sendrecv(
+            right,
+            coll_tag(seq, (p + step) as u64),
+            payload,
+            buf_id,
+            left,
+            coll_tag(seq, (p + step) as u64),
+            buf_id,
+        ));
         let r = chunk_range(len, p, recv_chunk);
         buf[r].copy_from_slice(&incoming);
     }
@@ -247,8 +513,10 @@ fn pipeline_tag_step(phase_step: usize, chunk: usize) -> u64 {
 ///
 /// Per-element combine order is identical to [`ring_allreduce`] —
 /// sub-chunking only splits *which slice* a combine covers, never the rank
-/// order in which a given element accumulates — so results are bitwise
-/// equal to the plain ring for every `ReduceOp`.
+/// order in which a given element accumulates — and wire encode/decode and
+/// the post-reduce-scatter re-quantization point are elementwise, so
+/// results are bitwise equal to the plain ring for every `ReduceOp` and
+/// every `WireFormat`.
 #[allow(clippy::too_many_arguments)]
 fn pipelined_ring_allreduce(
     comm: &mut Comm,
@@ -259,6 +527,7 @@ fn pipelined_ring_allreduce(
     op: ReduceOp,
     chunk_elems: usize,
     group: Option<usize>,
+    wf: WireFormat,
 ) {
     let p = participants.len();
     if p <= 1 {
@@ -272,9 +541,21 @@ fn pipelined_ring_allreduce(
     let left = participants[(me + p - 1) % p];
     let len = buf.len();
 
+    // Sub-chunks stream through the path the parent buffer's rendezvous
+    // established (an IPC mapping covers the whole registered buffer), so
+    // the NVLink-vs-staged decision keys on the full dense size — a 40 MB
+    // pipelined allreduce rides NVLink when IPC works even though each
+    // 4 MB sub-chunk is below the large-message threshold on its own.
+    comm.set_rendezvous_bytes(Some((len * 4) as u64));
+
     // reduce-scatter, then allgather — same block rotation as the plain
     // ring, each step streamed sub-chunk by sub-chunk.
     for phase in 0..2usize {
+        // same re-quantization point as the plain ring: once, between the
+        // phases, on the block this participant owns
+        if phase == 1 && !wf.is_f32() {
+            wf.quantize(&mut buf[chunk_range(len, p, (me + 1) % p)]);
+        }
         for step in 0..p - 1 {
             let (send_block, recv_block) = if phase == 0 {
                 (
@@ -302,7 +583,7 @@ fn pipelined_ring_allreduce(
                     comm.isend(
                         right,
                         coll_tag(seq, pipeline_tag_step(phase_step, *next_send)),
-                        Payload::F32(buf[r].to_vec()),
+                        wf.encode(&buf[r]),
                         buf_id,
                     );
                     *next_send += 1;
@@ -316,7 +597,7 @@ fn pipelined_ring_allreduce(
                     coll_tag(seq, pipeline_tag_step(phase_step, i)),
                     buf_id,
                 );
-                let incoming = comm.wait(req).into_f32();
+                let incoming = wire::decode(comm.wait(req));
                 post_send(comm, buf, &mut next_send);
                 let r = sub_range(&recv_block, chunk_elems, i);
                 let sub_bytes = incoming.len() * 4;
@@ -342,10 +623,17 @@ fn pipelined_ring_allreduce(
             }
         }
     }
+    comm.set_rendezvous_bytes(None);
 }
 
 /// Recursive doubling: log2(p) full-buffer exchanges.
-fn recursive_doubling(comm: &mut Comm, buf: &mut [f32], buf_id: u64, op: ReduceOp) {
+///
+/// Wire compression quantizes *both* sides of every hop — the local
+/// accumulator and the decoded incoming buffer — so each exchange computes
+/// `Q(a) op Q(b)` on both partners. f32 `+`/`max`/`min` of two operands is
+/// commutative, so partners agree bitwise after every hop, and by
+/// induction all ranks finish identical.
+fn recursive_doubling(comm: &mut Comm, buf: &mut [f32], buf_id: u64, op: ReduceOp, wf: WireFormat) {
     let p = comm.size();
     let rank = comm.rank();
     let seq = comm.next_seq();
@@ -353,17 +641,19 @@ fn recursive_doubling(comm: &mut Comm, buf: &mut [f32], buf_id: u64, op: ReduceO
     let mut step = 0u64;
     while mask < p {
         let partner = rank ^ mask;
-        let incoming = comm
-            .sendrecv(
-                partner,
-                coll_tag(seq, step),
-                Payload::F32(buf.to_vec()),
-                buf_id,
-                partner,
-                coll_tag(seq, step),
-                buf_id,
-            )
-            .into_f32();
+        let payload = wf.encode(buf);
+        let incoming = wire::decode(comm.sendrecv(
+            partner,
+            coll_tag(seq, step),
+            payload,
+            buf_id,
+            partner,
+            coll_tag(seq, step),
+            buf_id,
+        ));
+        if !wf.is_f32() {
+            wf.quantize(buf);
+        }
         comm.charge_reduce(incoming.len());
         op.combine(buf, &incoming);
         mask <<= 1;
@@ -372,7 +662,21 @@ fn recursive_doubling(comm: &mut Comm, buf: &mut [f32], buf_id: u64, op: ReduceO
 }
 
 /// Hierarchical two-level allreduce (the MVAPICH2-GDR dense-GPU design).
-fn two_level(comm: &mut Comm, buf: &mut Vec<f32>, buf_id: u64, op: ReduceOp) {
+///
+/// Wire compression applies to the **inter-node leader ring only**: the
+/// intra-node phases ride NVLink/IPC where bandwidth is plentiful and
+/// stay lossless f32, which also keeps them bitwise identical to the
+/// uncompressed two-level. With [`crate::config::CommTuning::hierarchical`]
+/// on and the buffer in the pipelined size bin, the leader ring runs
+/// chunk-pipelined (bitwise identical to the plain leader ring).
+fn two_level(
+    comm: &mut Comm,
+    buf: &mut Vec<f32>,
+    buf_id: u64,
+    op: ReduceOp,
+    group: Option<usize>,
+    wf: WireFormat,
+) {
     let seq = comm.next_seq();
     let topo = comm.topology().clone();
     let rank = comm.rank();
@@ -407,10 +711,28 @@ fn two_level(comm: &mut Comm, buf: &mut Vec<f32>, buf_id: u64, op: ReduceOp) {
         }
     }
 
-    // Phase 2: inter-node ring allreduce among leaders over InfiniBand.
+    // Phase 2: inter-node ring allreduce among leaders over InfiniBand —
+    // the only wire-compressed phase. Pipelined on the large bins when
+    // hierarchical promotion is on.
     if topo.nodes > 1 && is_leader {
         let leaders: Vec<usize> = (0..topo.nodes).map(|n| n * gpn).collect();
-        ring_allreduce(comm, buf, &leaders, buf_id.wrapping_add(1), seq, op);
+        let tuning = comm.config().tuning;
+        if tuning.hierarchical && (buf.len() * 4) as u64 >= tuning.pipeline_threshold {
+            let chunk_elems = (tuning.pipeline_chunk as usize / 4).max(1);
+            pipelined_ring_allreduce(
+                comm,
+                buf,
+                &leaders,
+                buf_id.wrapping_add(1),
+                seq,
+                op,
+                chunk_elems,
+                group,
+                wf,
+            );
+        } else {
+            ring_allreduce(comm, buf, &leaders, buf_id.wrapping_add(1), seq, op, wf);
+        }
     }
 
     // Phase 3: binomial intra-node broadcast of the result.
@@ -440,6 +762,58 @@ fn two_level(comm: &mut Comm, buf: &mut Vec<f32>, buf_id: u64, op: ReduceOp) {
     }
 }
 
+/// Top-k sparse allreduce: each rank selects its `k` largest-|g|
+/// coordinates ([`wire::topk_indices`] — deterministic), circulates the
+/// sparse sets around the ring in `p−1` hops, then **every** rank applies
+/// all `p` sets densely in rank order `0..p`. Identical sets + identical
+/// application order ⇒ bit-identical results everywhere, with no
+/// re-quantization (values stay f32). The caller's fusion layer owns the
+/// error-feedback residual: this schedule reduces exactly what it is
+/// handed. Sum only.
+fn topk_allreduce(comm: &mut Comm, buf: &mut [f32], buf_id: u64, seq: u64, k_permille: u16) {
+    let p = comm.size();
+    let me = comm.rank();
+    let right = (me + 1) % p;
+    let left = (me + p - 1) % p;
+    let k = wire::topk_count(buf.len(), k_permille);
+    let own_idx = wire::topk_indices(buf, k);
+    let own_val: Vec<f32> = own_idx.iter().map(|&i| buf[i as usize]).collect();
+    let mut sets: Vec<Option<(Vec<u32>, Vec<f32>)>> = vec![None; p];
+    let mut cur = (own_idx, own_val);
+    sets[me] = Some(cur.clone());
+    for step in 0..p - 1 {
+        let payload = Payload::Sparse {
+            idx: cur.0,
+            val: cur.1,
+        };
+        let incoming = comm.sendrecv(
+            right,
+            coll_tag(seq, step as u64),
+            payload,
+            buf_id,
+            left,
+            coll_tag(seq, step as u64),
+            buf_id,
+        );
+        cur = incoming.into_sparse();
+        // after `step+1` hops the set arriving from the left originated at
+        // rank me-(step+1)
+        let src = (me + p - step - 1) % p;
+        sets[src] = Some(cur.clone());
+    }
+    // dense application, every rank in the same order
+    for v in buf.iter_mut() {
+        *v = 0.0;
+    }
+    for set in sets.iter().flatten() {
+        let (idx, val) = set;
+        comm.charge_reduce(idx.len());
+        for (&i, &v) in idx.iter().zip(val.iter()) {
+            buf[i as usize] += v;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::config::MpiConfig;
@@ -458,7 +832,7 @@ mod tests {
         let res = MpiWorld::run(&topo, cfg, move |c| {
             // rank-dependent input: buf[i] = rank + i
             let mut buf: Vec<f32> = (0..len).map(|i| (c.rank() + i) as f32).collect();
-            allreduce_with(c, &mut buf, 1, algo);
+            Allreduce::new(&mut buf).buf_id(1).algo(algo).run(c);
             buf
         });
         let makespan = res.makespan();
@@ -513,7 +887,7 @@ mod tests {
         };
         let res = MpiWorld::run(&topo, MpiConfig::default_mpi(), |c| {
             let mut buf = vec![1.0, 2.0];
-            allreduce(c, &mut buf, 1);
+            Allreduce::new(&mut buf).buf_id(1).run(c);
             buf
         });
         assert_eq!(res.ranks[0], vec![1.0, 2.0]);
@@ -589,7 +963,7 @@ mod tests {
             let mut buf: Vec<f32> = (0..len)
                 .map(|i| (c.rank() * 31 + i) as f32 * 0.1 - 1.7)
                 .collect();
-            allreduce_op(c, &mut buf, 1, algo, op);
+            Allreduce::new(&mut buf).buf_id(1).algo(algo).op(op).run(c);
             buf
         })
         .ranks
@@ -626,7 +1000,7 @@ mod tests {
                 for &chunk_bytes in &[4u64, 52, 4096, 1 << 30] {
                     for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min] {
                         let mut cfg = MpiConfig::mpi_opt();
-                        cfg.pipeline_chunk = chunk_bytes;
+                        cfg.tuning.pipeline_chunk = chunk_bytes;
                         let plain = run_op(gpus, len, cfg.clone(), AllreduceAlgorithm::Ring, op);
                         let piped = run_op(gpus, len, cfg, AllreduceAlgorithm::PipelinedRing, op);
                         let want = if gpus == 1 {
@@ -658,7 +1032,7 @@ mod tests {
     fn pipelined_ring_beats_plain_ring_when_reduce_is_exposed() {
         let len = 4 << 20; // 16 MB ⇒ 4 MB blocks on 4 ranks
         let mut cfg = MpiConfig::mpi_opt();
-        cfg.pipeline_chunk = 1 << 20;
+        cfg.tuning.pipeline_chunk = 1 << 20;
         cfg.reduce_bandwidth = 50.0e9;
         let (_, t_ring) = run_allreduce(1, len, cfg.clone(), AllreduceAlgorithm::Ring);
         let (_, t_piped) = run_allreduce(1, len, cfg, AllreduceAlgorithm::PipelinedRing);
@@ -673,20 +1047,186 @@ mod tests {
         let topo = ClusterTopology::lassen(1);
         let chosen = MpiWorld::run(&topo, MpiConfig::mpi_opt(), |c| {
             let mut small = vec![1.0f32; 64];
-            let a_small = allreduce_auto(c, &mut small, 1);
+            let a_small = Allreduce::new(&mut small).buf_id(1).run(c);
             let mut mid = vec![1.0f32; 1 << 18]; // 1 MB
-            let a_mid = allreduce_auto(c, &mut mid, 2);
+            let a_mid = Allreduce::new(&mut mid).buf_id(2).run(c);
             let mut big = vec![0.5f32; 4 << 20]; // 16 MB
-            let a_big = allreduce_auto(c, &mut big, 3);
+            let a_big = Allreduce::new(&mut big).buf_id(3).run(c);
             assert_eq!(small, vec![4.0f32; 64]);
             assert_eq!(big, vec![2.0f32; 4 << 20]);
             (a_small, a_mid, a_big)
         })
         .ranks;
         for (s, m, b) in chosen {
-            assert_eq!(s, AllreduceAlgorithm::RecursiveDoubling);
-            assert_eq!(m, MpiConfig::mpi_opt().allreduce);
-            assert_eq!(b, AllreduceAlgorithm::PipelinedRing);
+            assert_eq!(s.algo, AllreduceAlgorithm::RecursiveDoubling);
+            assert_eq!(m.algo, MpiConfig::mpi_opt().allreduce);
+            assert_eq!(b.algo, AllreduceAlgorithm::PipelinedRing);
+            // default tuning never compresses
+            assert_eq!(s.wire, WireFormat::F32);
+            assert_eq!(b.wire, WireFormat::F32);
         }
+    }
+
+    /// Run a compressed allreduce with awkward inputs on a multi-node
+    /// world; return per-rank results.
+    fn run_wire(
+        nodes: usize,
+        len: usize,
+        cfg: MpiConfig,
+        algo: AllreduceAlgorithm,
+        wf: WireFormat,
+    ) -> Vec<Vec<f32>> {
+        let topo = ClusterTopology::lassen(nodes);
+        MpiWorld::run(&topo, cfg, move |c| {
+            let mut buf: Vec<f32> = (0..len)
+                .map(|i| (c.rank() * 31 + i) as f32 * 0.1 - 1.7)
+                .collect();
+            Allreduce::new(&mut buf)
+                .buf_id(1)
+                .algo(algo)
+                .wire(wf)
+                .run(c);
+            buf
+        })
+        .ranks
+    }
+
+    /// The determinism contract of `docs/WIRE.md`: under every lossy dense
+    /// format and every algorithm, all ranks finish with **bit-identical**
+    /// buffers, and the lossy result stays close to the exact f32 one.
+    #[test]
+    fn compressed_formats_agree_across_ranks_and_track_f32() {
+        for wf in [WireFormat::Bf16, WireFormat::Fp16] {
+            for algo in AllreduceAlgorithm::ALL {
+                let results = run_wire(2, 37, MpiConfig::mpi_opt(), algo, wf);
+                let exact = run_wire(2, 37, MpiConfig::mpi_opt(), algo, WireFormat::F32);
+                let first = &results[0];
+                for (r, got) in results.iter().enumerate() {
+                    assert_eq!(
+                        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        first.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "{wf} {algo:?}: rank {r} diverged bitwise"
+                    );
+                }
+                for (a, b) in first.iter().zip(exact[0].iter()) {
+                    // 8 ranks, |values| ≲ 30: half precision keeps ≲1%
+                    // relative error per term.
+                    assert!(
+                        (a - b).abs() <= 0.02 * b.abs().max(1.0),
+                        "{wf} {algo:?}: {a} drifted from exact {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Compression must not break the pipelined ring's bitwise equivalence
+    /// to the plain ring (same combine order, same re-quantization point).
+    #[test]
+    fn compressed_pipelined_ring_matches_compressed_ring_bitwise() {
+        for &len in &[5usize, 37, 1000] {
+            let mut cfg = MpiConfig::mpi_opt();
+            cfg.tuning.pipeline_chunk = 52;
+            let plain = run_wire(
+                1,
+                len,
+                cfg.clone(),
+                AllreduceAlgorithm::Ring,
+                WireFormat::Bf16,
+            );
+            let piped = run_wire(
+                1,
+                len,
+                cfg,
+                AllreduceAlgorithm::PipelinedRing,
+                WireFormat::Bf16,
+            );
+            assert_eq!(plain, piped, "len={len}");
+        }
+    }
+
+    /// Hierarchical promotion only changes *timing* (pipelined leader
+    /// ring), never bits: two-level with the flag on must equal two-level
+    /// with it off, for lossless and lossy wire formats alike.
+    #[test]
+    fn hierarchical_two_level_is_bitwise_equal_to_plain_two_level() {
+        for wf in [WireFormat::F32, WireFormat::Bf16] {
+            let plain = run_wire(
+                2,
+                4096,
+                MpiConfig::mpi_opt(),
+                AllreduceAlgorithm::TwoLevel,
+                wf,
+            );
+            let hier_cfg = MpiConfig::mpi_opt()
+                .to_builder()
+                .hierarchical(true)
+                .pipeline_threshold(1 << 10) // 4096 elems = 16 KiB ⇒ pipelined
+                .rd_threshold(1 << 9)
+                .build();
+            let hier = run_wire(2, 4096, hier_cfg, AllreduceAlgorithm::TwoLevel, wf);
+            assert_eq!(plain, hier, "{wf}");
+        }
+    }
+
+    /// Top-k at full density (1000‰) must reproduce the dense rank-order
+    /// sum bitwise on every rank; at partial density all ranks must still
+    /// agree bitwise.
+    #[test]
+    fn topk_is_deterministic_and_exact_at_full_density() {
+        let input = |rank: usize, i: usize| (rank * 31 + i) as f32 * 0.1 - 1.7;
+        let len = 37;
+        let full = run_wire(
+            1,
+            len,
+            MpiConfig::mpi_opt(),
+            AllreduceAlgorithm::Ring,
+            WireFormat::TopK { k_permille: 1000 },
+        );
+        // reference: dense accumulation in rank order 0..p
+        let p = 4;
+        let want: Vec<f32> = (0..len)
+            .map(|i| {
+                let mut acc = 0.0f32;
+                for r in 0..p {
+                    acc += input(r, i);
+                }
+                acc
+            })
+            .collect();
+        for got in &full {
+            assert_eq!(got, &want);
+        }
+        let sparse = run_wire(
+            2,
+            len,
+            MpiConfig::mpi_opt(),
+            AllreduceAlgorithm::Ring,
+            WireFormat::TopK { k_permille: 200 },
+        );
+        let first = &sparse[0];
+        for got in &sparse {
+            assert_eq!(got, first, "top-k ranks diverged");
+        }
+        // partial density keeps only some coordinates: most must be zero
+        let nonzero = first.iter().filter(|v| **v != 0.0).count();
+        assert!(
+            nonzero < len,
+            "partial top-k should drop coordinates ({nonzero}/{len} kept)"
+        );
+        assert!(nonzero > 0, "top-k must keep at least one coordinate");
+    }
+
+    #[test]
+    fn algorithm_display_and_from_str_round_trip() {
+        for algo in AllreduceAlgorithm::ALL {
+            assert_eq!(algo.to_string().parse::<AllreduceAlgorithm>(), Ok(algo));
+        }
+        assert_eq!(
+            "Pipelined".parse::<AllreduceAlgorithm>(),
+            Ok(AllreduceAlgorithm::PipelinedRing)
+        );
+        let err = "tree".parse::<AllreduceAlgorithm>().unwrap_err();
+        assert!(err.contains("unknown allreduce algorithm `tree`"), "{err}");
     }
 }

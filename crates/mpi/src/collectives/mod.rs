@@ -11,15 +11,20 @@ mod bcast;
 mod rooted;
 pub mod synthetic;
 pub mod tasks;
+pub mod wire;
 
 pub use allgather::allgather;
+pub use allreduce::{Allreduce, AllreduceAlgorithm, CollectiveBuf};
+// Re-exporting deprecated items trips the lint at the `pub use` itself;
+// keep the old names importable for downstream code mid-migration.
+#[allow(deprecated)]
 pub use allreduce::{
     allreduce, allreduce_auto, allreduce_auto_labeled, allreduce_op, allreduce_with,
-    AllreduceAlgorithm,
 };
 pub use barrier::barrier;
 pub use bcast::bcast;
 pub use rooted::{gather, reduce, scatter};
+pub use wire::{WireFormat, DEFAULT_TOPK_PERMILLE};
 
 /// Reduction operator (`MPI_Op`). Gradient averaging uses [`ReduceOp::Sum`];
 /// Max/Min serve metric aggregation (e.g. slowest-rank step time).

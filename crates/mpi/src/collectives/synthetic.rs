@@ -19,17 +19,39 @@ use crate::comm::Comm;
 use crate::message::Payload;
 
 use super::tasks::drive_allreduce_elems;
+use super::wire::WireFormat;
 use super::{coll_tag, AllreduceAlgorithm};
 
 pub(crate) fn synth(elems: usize) -> Payload {
+    synth_wire(elems, WireFormat::F32)
+}
+
+/// A costs-only payload sized as `elems` f32 values would be after wire
+/// encoding — encode/decode cost nothing on the virtual clock, so matching
+/// the encoded byte count is all a synthetic mirror needs for timing
+/// equivalence with a compressed real collective.
+pub(crate) fn synth_wire(elems: usize, wf: WireFormat) -> Payload {
     Payload::Synthetic {
-        bytes: (elems * 4) as u64,
+        bytes: wf.wire_bytes(elems),
     }
 }
 
 /// Costs-only sum-allreduce of `elems` f32 elements.
 pub fn allreduce_elems(comm: &mut Comm, elems: usize, buf_id: u64, algo: AllreduceAlgorithm) {
-    drive_allreduce_elems(comm, elems, buf_id, algo);
+    drive_allreduce_elems(comm, elems, buf_id, algo, WireFormat::F32);
+}
+
+/// [`allreduce_elems`] with an explicit wire format: same schedule and
+/// reduce charges as the real compressed collective, encoded payload
+/// sizes on the wire.
+pub fn allreduce_elems_wire(
+    comm: &mut Comm,
+    elems: usize,
+    buf_id: u64,
+    algo: AllreduceAlgorithm,
+    wf: WireFormat,
+) {
+    drive_allreduce_elems(comm, elems, buf_id, algo, wf);
 }
 
 /// Costs-only broadcast of `elems` f32 elements from `root` (binomial).
@@ -67,7 +89,7 @@ mod tests {
     use crate::world::MpiWorld;
     use dlsr_net::ClusterTopology;
 
-    use super::super::{allreduce_with, bcast};
+    use super::super::{bcast, Allreduce};
     use super::*;
 
     /// The defining property: synthetic timing == real timing.
@@ -76,7 +98,7 @@ mod tests {
         // pipeline_chunk 1 MB ⇒ the 20 MB buffer's ring blocks split into
         // multiple sub-chunks, exercising the pipelined schedule fully
         let mut opt_chunked = MpiConfig::mpi_opt();
-        opt_chunked.pipeline_chunk = 1 << 20;
+        opt_chunked.tuning.pipeline_chunk = 1 << 20;
         for algo in [
             AllreduceAlgorithm::Ring,
             AllreduceAlgorithm::RecursiveDoubling,
@@ -92,7 +114,7 @@ mod tests {
                 let elems = 5_000_000usize; // 20 MB — exercises IPC threshold
                 let t_real = MpiWorld::run(&topo, cfg.clone(), move |c| {
                     let mut buf = vec![1.0f32; elems];
-                    allreduce_with(c, &mut buf, 1, algo);
+                    Allreduce::new(&mut buf).buf_id(1).algo(algo).run(c);
                     c.now()
                 })
                 .makespan();
@@ -106,6 +128,56 @@ mod tests {
                     rel < 1e-9,
                     "{algo:?}: real {t_real} vs synthetic {t_synth} (rel {rel})"
                 );
+            }
+        }
+    }
+
+    /// Wire compression preserves the timing equivalence: a compressed
+    /// real collective and its synthetic mirror agree for every format ×
+    /// algorithm, including hierarchical promotion and top-k sparse.
+    #[test]
+    fn synthetic_wire_allreduce_times_match_real() {
+        let hier = MpiConfig::mpi_opt()
+            .to_builder()
+            .hierarchical(true)
+            .pipeline_chunk(1 << 20)
+            .build();
+        for wf in [
+            WireFormat::Bf16,
+            WireFormat::Fp16,
+            WireFormat::TopK { k_permille: 50 },
+        ] {
+            for algo in [
+                AllreduceAlgorithm::Ring,
+                AllreduceAlgorithm::RecursiveDoubling,
+                AllreduceAlgorithm::TwoLevel,
+                AllreduceAlgorithm::PipelinedRing,
+            ] {
+                for cfg in [MpiConfig::mpi_opt(), hier.clone()] {
+                    let topo = ClusterTopology::lassen(2);
+                    let elems = 5_000_000usize;
+                    let t_real = MpiWorld::run(&topo, cfg.clone(), move |c| {
+                        let mut buf: Vec<f32> =
+                            (0..elems).map(|i| (i % 97) as f32 * 0.3 - 11.0).collect();
+                        Allreduce::new(&mut buf)
+                            .buf_id(1)
+                            .algo(algo)
+                            .wire(wf)
+                            .run(c);
+                        c.now()
+                    })
+                    .makespan();
+                    let t_synth = MpiWorld::run(&topo, cfg, move |c| {
+                        allreduce_elems_wire(c, elems, 1, algo, wf);
+                        c.now()
+                    })
+                    .makespan();
+                    let rel = (t_real - t_synth).abs() / t_real;
+                    assert!(
+                        rel < 1e-9,
+                        "{wf} {algo:?}: real {t_real} vs synthetic {t_synth} (rel {rel})"
+                    );
+                }
             }
         }
     }

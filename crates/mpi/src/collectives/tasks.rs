@@ -16,7 +16,8 @@ use crate::comm::Comm;
 use crate::executor::{drive_task, EventTask, Poll};
 use crate::message::Payload;
 
-use super::synthetic::synth;
+use super::synthetic::{synth, synth_wire};
+use super::wire::{self, WireFormat};
 use super::{chunk_range, coll_tag, AllreduceAlgorithm};
 
 /// Ring allreduce (reduce-scatter + allgather) over the strided
@@ -30,6 +31,7 @@ struct RingSm {
     p: usize,
     buf_id: u64,
     seq: u64,
+    wf: WireFormat,
     me: usize,
     right: usize,
     left: usize,
@@ -39,7 +41,15 @@ struct RingSm {
 }
 
 impl RingSm {
-    fn new(comm: &Comm, elems: usize, p: usize, stride: usize, buf_id: u64, seq: u64) -> RingSm {
+    fn new(
+        comm: &Comm,
+        elems: usize,
+        p: usize,
+        stride: usize,
+        buf_id: u64,
+        seq: u64,
+        wf: WireFormat,
+    ) -> RingSm {
         debug_assert_eq!(
             comm.rank() % stride,
             0,
@@ -52,6 +62,7 @@ impl RingSm {
             p,
             buf_id,
             seq,
+            wf,
             me,
             right: ((me + 1) % p) * stride,
             left: ((me + p - 1) % p) * stride,
@@ -79,7 +90,12 @@ impl RingSm {
                 };
                 if !self.sent {
                     let send_elems = chunk_range(self.elems, p, send_chunk).len();
-                    comm.isend(self.right, tag, synth(send_elems), self.buf_id);
+                    comm.isend(
+                        self.right,
+                        tag,
+                        synth_wire(send_elems, self.wf),
+                        self.buf_id,
+                    );
                     self.sent = true;
                 }
                 if comm
@@ -113,6 +129,7 @@ struct PipeSm {
     buf_id: u64,
     seq: u64,
     chunk_elems: usize,
+    wf: WireFormat,
     me: usize,
     right: usize,
     left: usize,
@@ -124,16 +141,25 @@ struct PipeSm {
 }
 
 impl PipeSm {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         comm: &Comm,
         elems: usize,
         p: usize,
+        stride: usize,
         buf_id: u64,
         seq: u64,
         chunk_elems: usize,
+        wf: WireFormat,
     ) -> PipeSm {
-        // Pipelined rings always span all ranks (stride 1).
-        let me = comm.rank();
+        // Stride 1 for all-rank rings; gpus-per-node for the hierarchical
+        // leader ring.
+        debug_assert_eq!(
+            comm.rank() % stride,
+            0,
+            "caller participates in the strided ring"
+        );
+        let me = comm.rank() / stride;
         debug_assert!(me < p, "caller participates in the ring");
         PipeSm {
             elems,
@@ -141,9 +167,10 @@ impl PipeSm {
             buf_id,
             seq,
             chunk_elems,
+            wf,
             me,
-            right: (me + 1) % p,
-            left: (me + p - 1) % p,
+            right: ((me + 1) % p) * stride,
+            left: ((me + p - 1) % p) * stride,
             phase: 0,
             step: 0,
             next_send: 0,
@@ -157,6 +184,11 @@ impl PipeSm {
         if p <= 1 {
             return Poll::Ready;
         }
+        // Mirror of the real pipelined ring: sub-chunks take the path the
+        // parent buffer's rendezvous established, so path selection keys
+        // on the full dense size. Set per poll (a poll never interleaves
+        // with another task's sends) and cleared on every exit.
+        comm.set_rendezvous_bytes(Some((self.elems * 4) as u64));
         let ce = self.chunk_elems;
         let sub_len = |block: &std::ops::Range<usize>, i: usize| {
             let start = block.start + i * ce;
@@ -183,7 +215,7 @@ impl PipeSm {
                         comm.isend(
                             self.right,
                             coll_tag(self.seq, phase_step),
-                            synth(sub_len(&send_block, 0)),
+                            synth_wire(sub_len(&send_block, 0), self.wf),
                             self.buf_id,
                         );
                         self.next_send = 1;
@@ -196,6 +228,7 @@ impl PipeSm {
                         .try_recv_buffered(self.left, tag, self.buf_id)
                         .is_none()
                     {
+                        comm.set_rendezvous_bytes(None);
                         return Poll::Pending {
                             src: self.left,
                             tag,
@@ -205,7 +238,7 @@ impl PipeSm {
                         comm.isend(
                             self.right,
                             coll_tag(self.seq, phase_step | self.next_send as u64),
-                            synth(sub_len(&send_block, self.next_send)),
+                            synth_wire(sub_len(&send_block, self.next_send), self.wf),
                             self.buf_id,
                         );
                         self.next_send += 1;
@@ -219,7 +252,7 @@ impl PipeSm {
                     comm.isend(
                         self.right,
                         coll_tag(self.seq, phase_step | self.next_send as u64),
-                        synth(sub_len(&send_block, self.next_send)),
+                        synth_wire(sub_len(&send_block, self.next_send), self.wf),
                         self.buf_id,
                     );
                     self.next_send += 1;
@@ -232,6 +265,7 @@ impl PipeSm {
             self.phase += 1;
             self.step = 0;
         }
+        comm.set_rendezvous_bytes(None);
         Poll::Ready
     }
 }
@@ -241,6 +275,7 @@ struct RdSm {
     elems: usize,
     buf_id: u64,
     seq: u64,
+    wf: WireFormat,
     mask: usize,
     step: u64,
     sent: bool,
@@ -254,7 +289,7 @@ impl RdSm {
             let partner = rank ^ self.mask;
             let tag = coll_tag(self.seq, self.step);
             if !self.sent {
-                comm.isend(partner, tag, synth(self.elems), self.buf_id);
+                comm.isend(partner, tag, synth_wire(self.elems, self.wf), self.buf_id);
                 self.sent = true;
             }
             if comm.try_recv_buffered(partner, tag, self.buf_id).is_none() {
@@ -269,10 +304,56 @@ impl RdSm {
     }
 }
 
+/// Top-k sparse allreduce: `p−1` ring hops circulating every rank's `k`
+/// selected coordinates (8 bytes each on the wire), then `p` dense-apply
+/// reduce charges — the costs-only twin of the real `topk_allreduce`.
+struct TopkSm {
+    k: usize,
+    buf_id: u64,
+    seq: u64,
+    step: usize,
+    sent: bool,
+}
+
+impl TopkSm {
+    fn poll(&mut self, comm: &mut Comm) -> Poll {
+        let p = comm.size();
+        let rank = comm.rank();
+        let right = (rank + 1) % p;
+        let left = (rank + p - 1) % p;
+        while self.step < p - 1 {
+            let tag = coll_tag(self.seq, self.step as u64);
+            if !self.sent {
+                comm.isend(
+                    right,
+                    tag,
+                    Payload::Synthetic {
+                        bytes: (self.k * 8) as u64,
+                    },
+                    self.buf_id,
+                );
+                self.sent = true;
+            }
+            if comm.try_recv_buffered(left, tag, self.buf_id).is_none() {
+                return Poll::Pending { src: left, tag };
+            }
+            self.sent = false;
+            self.step += 1;
+        }
+        for _ in 0..p {
+            comm.charge_reduce(self.k);
+        }
+        Poll::Ready
+    }
+}
+
 /// Two-level: binomial intra-node reduce → leader ring → binomial bcast.
+/// Only the inter-node leader ring is wire-compressed (and pipelined when
+/// hierarchical promotion is on), exactly like the real `two_level`.
 enum TwoLevelState {
     IntraReduce { mask: usize },
     Ring(RingSm),
+    Pipe(PipeSm),
     Bcast,
     Done,
 }
@@ -281,6 +362,7 @@ struct TwoLevelSm {
     elems: usize,
     buf_id: u64,
     seq: u64,
+    wf: WireFormat,
     state: TwoLevelState,
 }
 
@@ -329,19 +411,41 @@ impl TwoLevelSm {
                     }
                     self.state = if nodes > 1 && rank == leader {
                         // leader ring: ranks {0, gpn, 2·gpn, …}
-                        TwoLevelState::Ring(RingSm::new(
-                            comm,
-                            self.elems,
-                            nodes,
-                            gpn,
-                            self.buf_id.wrapping_add(1),
-                            self.seq,
-                        ))
+                        let tuning = comm.config().tuning;
+                        if tuning.hierarchical
+                            && (self.elems * 4) as u64 >= tuning.pipeline_threshold
+                        {
+                            let chunk_elems = (tuning.pipeline_chunk as usize / 4).max(1);
+                            TwoLevelState::Pipe(PipeSm::new(
+                                comm,
+                                self.elems,
+                                nodes,
+                                gpn,
+                                self.buf_id.wrapping_add(1),
+                                self.seq,
+                                chunk_elems,
+                                self.wf,
+                            ))
+                        } else {
+                            TwoLevelState::Ring(RingSm::new(
+                                comm,
+                                self.elems,
+                                nodes,
+                                gpn,
+                                self.buf_id.wrapping_add(1),
+                                self.seq,
+                                self.wf,
+                            ))
+                        }
                     } else {
                         TwoLevelState::Bcast
                     };
                 }
                 TwoLevelState::Ring(ring) => match ring.poll(comm) {
+                    Poll::Ready => self.state = TwoLevelState::Bcast,
+                    pending => return pending,
+                },
+                TwoLevelState::Pipe(pipe) => match pipe.poll(comm) {
                     Poll::Ready => self.state = TwoLevelState::Bcast,
                     pending => return pending,
                 },
@@ -393,6 +497,7 @@ enum AllreduceInner {
     Rd(RdSm),
     TwoLevel(TwoLevelSm),
     Pipe(PipeSm),
+    Topk(TopkSm),
 }
 
 /// Costs-only sum-allreduce of `elems` f32 elements as a resumable task —
@@ -402,6 +507,7 @@ pub struct AllreduceElemsTask {
     elems: usize,
     buf_id: u64,
     algo: AllreduceAlgorithm,
+    wf: WireFormat,
     t0: f64,
     inner: Option<AllreduceInner>,
 }
@@ -409,10 +515,23 @@ pub struct AllreduceElemsTask {
 impl AllreduceElemsTask {
     /// Build the task; nothing happens until the first `poll`.
     pub fn new(elems: usize, buf_id: u64, algo: AllreduceAlgorithm) -> AllreduceElemsTask {
+        AllreduceElemsTask::new_wire(elems, buf_id, algo, WireFormat::F32)
+    }
+
+    /// [`AllreduceElemsTask::new`] with an explicit wire format — mirrors
+    /// the real schedule's encoded payload sizes (and the top-k sparse
+    /// schedule) without real data.
+    pub fn new_wire(
+        elems: usize,
+        buf_id: u64,
+        algo: AllreduceAlgorithm,
+        wf: WireFormat,
+    ) -> AllreduceElemsTask {
         AllreduceElemsTask {
             elems,
             buf_id,
             algo,
+            wf,
             t0: 0.0,
             inner: None,
         }
@@ -436,22 +555,17 @@ impl EventTask for AllreduceElemsTask {
             );
             self.t0 = comm.now();
             let size = comm.size();
-            let inner = match self.algo {
-                AllreduceAlgorithm::Ring => {
-                    let seq = comm.next_seq();
-                    AllreduceInner::Ring(RingSm::new(comm, self.elems, size, 1, self.buf_id, seq))
-                }
-                AllreduceAlgorithm::RecursiveDoubling => {
-                    if comm.size().is_power_of_two() {
-                        AllreduceInner::Rd(RdSm {
-                            elems: self.elems,
-                            buf_id: self.buf_id,
-                            seq: comm.next_seq(),
-                            mask: 1,
-                            step: 0,
-                            sent: false,
-                        })
-                    } else {
+            let inner = if let WireFormat::TopK { k_permille } = self.wf {
+                AllreduceInner::Topk(TopkSm {
+                    k: wire::topk_count(self.elems, k_permille),
+                    buf_id: self.buf_id,
+                    seq: comm.next_seq(),
+                    step: 0,
+                    sent: false,
+                })
+            } else {
+                match self.algo {
+                    AllreduceAlgorithm::Ring => {
                         let seq = comm.next_seq();
                         AllreduceInner::Ring(RingSm::new(
                             comm,
@@ -460,26 +574,54 @@ impl EventTask for AllreduceElemsTask {
                             1,
                             self.buf_id,
                             seq,
+                            self.wf,
                         ))
                     }
-                }
-                AllreduceAlgorithm::TwoLevel => AllreduceInner::TwoLevel(TwoLevelSm {
-                    elems: self.elems,
-                    buf_id: self.buf_id,
-                    seq: comm.next_seq(),
-                    state: TwoLevelState::IntraReduce { mask: 1 },
-                }),
-                AllreduceAlgorithm::PipelinedRing => {
-                    let seq = comm.next_seq();
-                    let chunk_elems = (comm.config().pipeline_chunk as usize / 4).max(1);
-                    AllreduceInner::Pipe(PipeSm::new(
-                        comm,
-                        self.elems,
-                        size,
-                        self.buf_id,
-                        seq,
-                        chunk_elems,
-                    ))
+                    AllreduceAlgorithm::RecursiveDoubling => {
+                        if comm.size().is_power_of_two() {
+                            AllreduceInner::Rd(RdSm {
+                                elems: self.elems,
+                                buf_id: self.buf_id,
+                                seq: comm.next_seq(),
+                                wf: self.wf,
+                                mask: 1,
+                                step: 0,
+                                sent: false,
+                            })
+                        } else {
+                            let seq = comm.next_seq();
+                            AllreduceInner::Ring(RingSm::new(
+                                comm,
+                                self.elems,
+                                size,
+                                1,
+                                self.buf_id,
+                                seq,
+                                self.wf,
+                            ))
+                        }
+                    }
+                    AllreduceAlgorithm::TwoLevel => AllreduceInner::TwoLevel(TwoLevelSm {
+                        elems: self.elems,
+                        buf_id: self.buf_id,
+                        seq: comm.next_seq(),
+                        wf: self.wf,
+                        state: TwoLevelState::IntraReduce { mask: 1 },
+                    }),
+                    AllreduceAlgorithm::PipelinedRing => {
+                        let seq = comm.next_seq();
+                        let chunk_elems = (comm.config().tuning.pipeline_chunk as usize / 4).max(1);
+                        AllreduceInner::Pipe(PipeSm::new(
+                            comm,
+                            self.elems,
+                            size,
+                            1,
+                            self.buf_id,
+                            seq,
+                            chunk_elems,
+                            self.wf,
+                        ))
+                    }
                 }
             };
             self.inner = Some(inner);
@@ -489,11 +631,21 @@ impl EventTask for AllreduceElemsTask {
             AllreduceInner::Rd(sm) => sm.poll(comm),
             AllreduceInner::TwoLevel(sm) => sm.poll(comm),
             AllreduceInner::Pipe(sm) => sm.poll(comm),
+            AllreduceInner::Topk(sm) => sm.poll(comm),
         };
         if let Poll::Ready = done {
-            let (algo, bytes) = (self.algo, self.elems * 4);
+            let (algo, wf, bytes) = (self.algo, self.wf, self.elems * 4);
             dlsr_trace::record_span(
-                move || format!("allreduce.{algo:?} {bytes}B"),
+                move || {
+                    let name = if let WireFormat::TopK { .. } = wf {
+                        "topk".to_string()
+                    } else if wf.is_f32() {
+                        format!("{algo:?}")
+                    } else {
+                        format!("{algo:?}+{wf}")
+                    };
+                    format!("allreduce.{name} {bytes}B")
+                },
                 dlsr_trace::cat::MPI,
                 self.t0,
                 comm.now(),
@@ -567,8 +719,9 @@ pub(crate) fn drive_allreduce_elems(
     elems: usize,
     buf_id: u64,
     algo: AllreduceAlgorithm,
+    wf: WireFormat,
 ) {
-    let mut task = AllreduceElemsTask::new(elems, buf_id, algo);
+    let mut task = AllreduceElemsTask::new_wire(elems, buf_id, algo, wf);
     drive_task(comm, &mut task);
 }
 

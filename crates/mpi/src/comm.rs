@@ -115,6 +115,9 @@ pub struct Comm {
     stats: CommStats,
     pub(crate) coll_seq: u64,
     policy: PathPolicy,
+    /// When set, transport-path selection keys on this size instead of each
+    /// message's own (see [`Comm::set_rendezvous_bytes`]).
+    rendezvous_bytes: Option<u64>,
     /// NCCL's internal registration bookkeeping (always enabled — NCCL
     /// registers its persistent transport buffers once at init).
     nccl_regcache: RegistrationCache,
@@ -170,6 +173,7 @@ impl Comm {
             stats: CommStats::default(),
             coll_seq: 0,
             policy: PathPolicy::Mpi,
+            rendezvous_bytes: None,
             nccl_regcache: RegistrationCache::new(1 << 34),
             #[cfg(feature = "faults")]
             send_seq: vec![0; size],
@@ -297,6 +301,23 @@ impl Comm {
     /// Statistics so far.
     pub fn stats(&self) -> &CommStats {
         &self.stats
+    }
+
+    /// Key transport-path selection on a parent transfer size instead of
+    /// each message's own until cleared with `None`.
+    ///
+    /// Chunked collectives (the pipelined ring) stream one large registered
+    /// buffer as `pipeline_chunk`-sized sub-messages. CUDA IPC mappings and
+    /// the rendezvous-protocol choice are established once per *buffer* —
+    /// MVAPICH2's large-message path decides against the registered
+    /// transfer's size, then chunks internally — so the NVLink-vs-staged
+    /// decision must see the parent size, not the sub-chunk's. Transfer
+    /// *time* is still charged per message actually on the wire.
+    ///
+    /// Collectives set this on entry and clear it before returning; it is
+    /// never left set across user-visible calls.
+    pub fn set_rendezvous_bytes(&mut self, bytes: Option<u64>) {
+        self.rendezvous_bytes = bytes;
     }
 
     /// Registration cache statistics.
@@ -479,7 +500,12 @@ impl Comm {
             });
         }
         let bytes = payload.size_bytes();
-        let path = self.resolve_path(dst, bytes)?;
+        // The protocol decision (IPC/NVLink vs host staging, eager vs
+        // rendezvous) is made for the registered parent buffer when a
+        // chunked collective is streaming it as sub-chunks; each chunk
+        // then rides the path the parent established. Transfer time below
+        // still uses the chunk's own wire size.
+        let path = self.resolve_path(dst, self.rendezvous_bytes.unwrap_or(bytes))?;
         self.charge_registration(path, buf_id, bytes);
         // NCCL launches a device kernel per transport step — higher
         // per-message CPU+launch overhead than MPI's host-driven engine.

@@ -10,7 +10,7 @@ use std::fmt;
 
 use dlsr_net::{FatTree, TransportModel};
 
-use crate::collectives::AllreduceAlgorithm;
+use crate::collectives::{AllreduceAlgorithm, WireFormat};
 
 /// How each rank's device environment is set up (§III-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +67,98 @@ pub enum SimCore {
     Threaded,
 }
 
+/// Communication-tuning knobs: the algorithm size bins, the pipelined
+/// ring's chunking, and the wire-compression policy. Grouped in one
+/// sub-struct so the online comm tuner (`dlsr-horovod`) and the CLI can
+/// treat "the tunable comm surface" as a value, and so consistency rules
+/// (e.g. `rd_threshold < pipeline_threshold`) validate in one place via
+/// [`MpiConfigBuilder::try_build`].
+///
+/// The defaults reproduce the historical flat-field defaults exactly, so
+/// a default `CommTuning` never changes an existing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct CommTuning {
+    /// Slice size in bytes of the pipelined ring allreduce: each ring step
+    /// streams its block in `pipeline_chunk`-byte sub-chunks so only one
+    /// sub-chunk reduction is ever on the critical path.
+    pub pipeline_chunk: u64,
+    /// Messages at or above this many bytes use the pipelined ring when
+    /// the algorithm is selected by size.
+    pub pipeline_threshold: u64,
+    /// Messages at or below this many bytes use recursive doubling
+    /// (latency-bound regime) when the algorithm is selected by size.
+    pub rd_threshold: u64,
+    /// Wire format for gradient payloads at or above `wire_threshold`
+    /// bytes (below it, everything stays lossless f32 — small messages are
+    /// latency-bound, so halving their bytes buys nothing).
+    pub wire: WireFormat,
+    /// Size floor in bytes for applying `wire` compression.
+    pub wire_threshold: u64,
+    /// Promote hierarchical (two-level) allreduce into the size-binned
+    /// selection on multi-node worlds: intra-node flat reduce, inter-node
+    /// ring among node leaders (pipelined + wire-compressed on the large
+    /// bins), intra-node bcast. Off by default — the flat roster keeps its
+    /// historical behavior.
+    pub hierarchical: bool,
+}
+
+impl Default for CommTuning {
+    fn default() -> Self {
+        CommTuning {
+            pipeline_chunk: 4 << 20,
+            pipeline_threshold: 8 << 20,
+            rd_threshold: 128 << 10,
+            wire: WireFormat::F32,
+            wire_threshold: 8 << 20,
+            hierarchical: false,
+        }
+    }
+}
+
+impl CommTuning {
+    /// Wire format for a message of `bytes`: the configured format at or
+    /// above the wire threshold, lossless f32 below it.
+    pub fn select_wire(&self, bytes: u64) -> WireFormat {
+        if bytes >= self.wire_threshold {
+            self.wire
+        } else {
+            WireFormat::F32
+        }
+    }
+
+    /// Consistency rules shared by [`MpiConfigBuilder::try_build`].
+    pub(crate) fn validate(&self) -> Result<(), ConfigError> {
+        if self.rd_threshold >= self.pipeline_threshold {
+            return Err(ConfigError(format!(
+                "rd_threshold ({}) must lie below pipeline_threshold ({})",
+                self.rd_threshold, self.pipeline_threshold
+            )));
+        }
+        if self.pipeline_chunk == 0 {
+            return Err(ConfigError("pipeline_chunk must be positive".into()));
+        }
+        if let WireFormat::TopK { k_permille } = self.wire {
+            if !(1..=1000).contains(&k_permille) {
+                return Err(ConfigError(format!(
+                    "top-k density ({k_permille}‰) must lie in 1..=1000"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The algorithm + wire-format pair a size-binned selection resolved to
+/// (see [`MpiConfig::select_comm`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommChoice {
+    /// Allreduce algorithm.
+    pub algo: AllreduceAlgorithm,
+    /// Gradient wire format.
+    pub wire: WireFormat,
+}
+
 /// An [`MpiConfigBuilder`] rejected its knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigError(pub(crate) String);
@@ -108,16 +200,10 @@ pub struct MpiConfig {
     /// Effective bytes/s of the GPU vector-reduce kernel used inside
     /// reduction collectives (bandwidth-bound: ~3 accesses/element).
     pub reduce_bandwidth: f64,
-    /// Slice size in bytes of the pipelined ring allreduce: each ring step
-    /// streams its block in `pipeline_chunk`-byte sub-chunks so only one
-    /// sub-chunk reduction is ever on the critical path.
-    pub pipeline_chunk: u64,
-    /// Messages at or above this many bytes use the pipelined ring when the
-    /// algorithm is selected by size ([`MpiConfig::select_allreduce`]).
-    pub pipeline_threshold: u64,
-    /// Messages at or below this many bytes use recursive doubling (latency
-    /// bound regime) when the algorithm is selected by size.
-    pub rd_threshold: u64,
+    /// Communication-tuning knobs: algorithm size bins, pipelined-ring
+    /// chunking, wire compression, hierarchical promotion (see
+    /// [`MpiConfig::select_comm`]). Adjusted online by the comm tuner.
+    pub tuning: CommTuning,
     /// Retry/timeout/backoff policy answering transient transport faults.
     pub retry: RetryPolicy,
     /// Which execution core runs the world ([`SimCore::Event`] by default).
@@ -154,9 +240,7 @@ impl MpiConfig {
             nccl_send_overhead: 8.0e-6,
             recv_overhead: 2.0e-6,
             reduce_bandwidth: 500.0e9,
-            pipeline_chunk: 4 << 20,
-            pipeline_threshold: 8 << 20,
-            rd_threshold: 128 << 10,
+            tuning: CommTuning::default(),
             retry: RetryPolicy::default(),
             sim_core: SimCore::Event,
             sim_workers: 0,
@@ -174,12 +258,44 @@ impl MpiConfig {
     /// so every rank — and the sequential and overlapped optimizer paths —
     /// pick the same algorithm for the same tensor.
     pub fn select_allreduce(&self, bytes: u64) -> AllreduceAlgorithm {
-        if bytes <= self.rd_threshold {
+        if bytes <= self.tuning.rd_threshold {
             AllreduceAlgorithm::RecursiveDoubling
-        } else if bytes >= self.pipeline_threshold {
+        } else if bytes >= self.tuning.pipeline_threshold {
             AllreduceAlgorithm::PipelinedRing
         } else {
             self.allreduce
+        }
+    }
+
+    /// Full size-binned communication selection: the allreduce algorithm
+    /// *and* the wire format for a `bytes`-sized message on a
+    /// `nodes`-node world.
+    ///
+    /// Extends [`MpiConfig::select_allreduce`] with the wire-efficiency
+    /// layer: when [`CommTuning::hierarchical`] is on and the world spans
+    /// multiple nodes, buffers whose intra-node phases can ride the CUDA
+    /// IPC/NVLink path (`bytes >= transport.ipc_large_threshold`) take the
+    /// two-level hierarchy — whose inter-node leader ring is itself
+    /// pipelined and wire-compressed — instead of the flat pipelined ring;
+    /// inter-node links, not intra-node ones, are the scaling wall the
+    /// paper measures. Below the IPC threshold the intra-node phases would
+    /// stage through host memory at a fraction of NVLink bandwidth (and
+    /// stay lossless f32 by design), so two-level's log-depth full-buffer
+    /// phases lose to the flat chunked ring there and promotion stays out
+    /// of the way of the size-binned selection. Deterministic in
+    /// `(bytes, nodes)` and the config only.
+    pub fn select_comm(&self, bytes: u64, nodes: usize) -> CommChoice {
+        let mut algo = self.select_allreduce(bytes);
+        if self.tuning.hierarchical
+            && nodes > 1
+            && bytes > self.tuning.rd_threshold
+            && bytes >= self.transport.ipc_large_threshold
+        {
+            algo = AllreduceAlgorithm::TwoLevel;
+        }
+        CommChoice {
+            algo,
+            wire: self.tuning.select_wire(bytes),
         }
     }
 
@@ -292,19 +408,44 @@ impl MpiConfigBuilder {
 
     /// Pipelined-ring sub-chunk size, bytes.
     pub fn pipeline_chunk(mut self, bytes: u64) -> Self {
-        self.cfg.pipeline_chunk = bytes;
+        self.cfg.tuning.pipeline_chunk = bytes;
         self
     }
 
     /// Size floor for pipelined-ring selection, bytes.
     pub fn pipeline_threshold(mut self, bytes: u64) -> Self {
-        self.cfg.pipeline_threshold = bytes;
+        self.cfg.tuning.pipeline_threshold = bytes;
         self
     }
 
     /// Size ceiling for recursive-doubling selection, bytes.
     pub fn rd_threshold(mut self, bytes: u64) -> Self {
-        self.cfg.rd_threshold = bytes;
+        self.cfg.tuning.rd_threshold = bytes;
+        self
+    }
+
+    /// Gradient wire format for messages at or above the wire threshold.
+    pub fn wire(mut self, wire: WireFormat) -> Self {
+        self.cfg.tuning.wire = wire;
+        self
+    }
+
+    /// Size floor for wire compression, bytes (0 compresses everything).
+    pub fn wire_threshold(mut self, bytes: u64) -> Self {
+        self.cfg.tuning.wire_threshold = bytes;
+        self
+    }
+
+    /// Promote hierarchical allreduce into size-binned selection.
+    pub fn hierarchical(mut self, on: bool) -> Self {
+        self.cfg.tuning.hierarchical = on;
+        self
+    }
+
+    /// Replace the whole communication-tuning sub-struct (the comm tuner's
+    /// entry point — individual knobs have their own methods above).
+    pub fn tuning(mut self, tuning: CommTuning) -> Self {
+        self.cfg.tuning = tuning;
         self
     }
 
@@ -343,15 +484,7 @@ impl MpiConfigBuilder {
     /// Validate and build.
     pub fn try_build(self) -> Result<MpiConfig, ConfigError> {
         let c = &self.cfg;
-        if c.rd_threshold >= c.pipeline_threshold {
-            return Err(ConfigError(format!(
-                "rd_threshold ({}) must lie below pipeline_threshold ({})",
-                c.rd_threshold, c.pipeline_threshold
-            )));
-        }
-        if c.pipeline_chunk == 0 {
-            return Err(ConfigError("pipeline_chunk must be positive".into()));
-        }
+        c.tuning.validate()?;
         if !(c.reduce_bandwidth.is_finite() && c.reduce_bandwidth > 0.0) {
             return Err(ConfigError(format!(
                 "reduce_bandwidth ({}) must be finite and positive",
@@ -421,18 +554,55 @@ mod tests {
             AllreduceAlgorithm::RecursiveDoubling
         );
         assert_eq!(
-            cfg.select_allreduce(cfg.rd_threshold),
+            cfg.select_allreduce(cfg.tuning.rd_threshold),
             AllreduceAlgorithm::RecursiveDoubling
         );
         assert_eq!(cfg.select_allreduce(1 << 20), cfg.allreduce);
         assert_eq!(
-            cfg.select_allreduce(cfg.pipeline_threshold),
+            cfg.select_allreduce(cfg.tuning.pipeline_threshold),
             AllreduceAlgorithm::PipelinedRing
         );
         assert_eq!(
             cfg.select_allreduce(64 << 20),
             AllreduceAlgorithm::PipelinedRing
         );
+    }
+
+    #[test]
+    fn select_comm_composes_hierarchy_and_wire_bins() {
+        // Defaults: no hierarchy, no compression — identical to the flat
+        // selection with f32 wire, at any node count.
+        let flat = MpiConfig::mpi_opt();
+        for bytes in [1 << 10, 1 << 20, 64 << 20] {
+            let c = flat.select_comm(bytes, 8);
+            assert_eq!(c.algo, flat.select_allreduce(bytes));
+            assert_eq!(c.wire, WireFormat::F32);
+        }
+        let tuned = MpiConfig::mpi_opt()
+            .to_builder()
+            .hierarchical(true)
+            .wire(WireFormat::Bf16)
+            .build();
+        // Small bin: still latency-bound RD, still uncompressed.
+        let small = tuned.select_comm(1 << 10, 8);
+        assert_eq!(small.algo, AllreduceAlgorithm::RecursiveDoubling);
+        assert_eq!(small.wire, WireFormat::F32);
+        // Large bin on multiple nodes: hierarchy + compression.
+        let large = tuned.select_comm(64 << 20, 8);
+        assert_eq!(large.algo, AllreduceAlgorithm::TwoLevel);
+        assert_eq!(large.wire, WireFormat::Bf16);
+        // Pipelined bin below the IPC threshold: promotion stays out of
+        // the way — two-level's intra phases would host-stage in f32, so
+        // the flat pipelined ring (compressed on every hop) wins there.
+        let staged = tuned.select_comm(8 << 20, 8);
+        assert_eq!(staged.algo, AllreduceAlgorithm::PipelinedRing);
+        assert_eq!(staged.wire, WireFormat::Bf16);
+        // Single node: hierarchy has nothing to exploit.
+        let single = tuned.select_comm(64 << 20, 1);
+        assert_eq!(single.algo, AllreduceAlgorithm::PipelinedRing);
+        // wire_threshold 0 compresses even tiny messages.
+        let eager = tuned.to_builder().wire_threshold(0).build();
+        assert_eq!(eager.select_comm(64, 2).wire, WireFormat::Bf16);
     }
 
     #[test]
@@ -462,6 +632,14 @@ mod tests {
             .try_build()
             .is_err());
         assert!(MpiConfig::builder().pipeline_chunk(0).try_build().is_err());
+        assert!(MpiConfig::builder()
+            .wire(WireFormat::TopK { k_permille: 0 })
+            .try_build()
+            .is_err());
+        assert!(MpiConfig::builder()
+            .wire(WireFormat::TopK { k_permille: 1001 })
+            .try_build()
+            .is_err());
         assert!(MpiConfig::builder()
             .reduce_bandwidth(-1.0)
             .try_build()

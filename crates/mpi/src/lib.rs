@@ -24,15 +24,14 @@
 //! # Example
 //!
 //! ```
-//! use dlsr_mpi::{MpiConfig, MpiWorld};
-//! use dlsr_mpi::collectives::allreduce;
+//! use dlsr_mpi::{Allreduce, MpiConfig, MpiWorld};
 //! use dlsr_net::ClusterTopology;
 //!
 //! // 1 node × 4 GPUs, the paper's optimized configuration
 //! let topo = ClusterTopology::lassen(1);
 //! let result = MpiWorld::run(&topo, MpiConfig::mpi_opt(), |comm| {
 //!     let mut grads = vec![comm.rank() as f32; 8];
-//!     allreduce(comm, &mut grads, /*buf_id=*/ 1);
+//!     Allreduce::new(&mut grads).buf_id(1).run(comm);
 //!     grads[0] // Σ ranks = 0+1+2+3
 //! });
 //! assert!(result.ranks.iter().all(|&v| v == 6.0));
@@ -51,9 +50,11 @@ pub mod verify;
 pub mod world;
 
 pub use clock::VClock;
-pub use collectives::AllreduceAlgorithm;
+pub use collectives::{Allreduce, AllreduceAlgorithm, CollectiveBuf, WireFormat};
 pub use comm::{Comm, CommStats, PathPolicy, RecvRequest};
-pub use config::{ConfigError, MpiConfig, MpiConfigBuilder, RetryPolicy, SimCore};
+pub use config::{
+    CommChoice, CommTuning, ConfigError, MpiConfig, MpiConfigBuilder, RetryPolicy, SimCore,
+};
 pub use error::CommError;
 pub use executor::{drive_program, drive_task, EventTask, Poll, RankProgram, Step, Task};
 pub use message::{Message, Payload};

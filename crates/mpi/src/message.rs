@@ -6,6 +6,26 @@
 pub enum Payload {
     /// A dense f32 buffer (gradients, parameters).
     F32(Vec<f32>),
+    /// A dense half-precision buffer (bf16 or IEEE fp16 bit patterns) —
+    /// gradients compressed by a lossy [`WireFormat`] before the send;
+    /// the receiver decodes back to f32 and accumulates in f32.
+    ///
+    /// [`WireFormat`]: crate::collectives::WireFormat
+    Half {
+        /// 16-bit encodings, in element order.
+        bits: Vec<u16>,
+        /// `true` for IEEE fp16, `false` for bf16.
+        fp16: bool,
+    },
+    /// A sparse gradient fragment: a top-k round's selected coordinates as
+    /// parallel (index, value) arrays. Values stay f32 — top-k compresses
+    /// by dropping coordinates, not precision.
+    Sparse {
+        /// Ascending element indices.
+        idx: Vec<u32>,
+        /// Values at those indices.
+        val: Vec<f32>,
+    },
     /// Serialized control data.
     Bytes(Vec<u8>),
     /// A costs-only payload: carries a size but no data. Used by the
@@ -24,6 +44,8 @@ impl Payload {
     pub fn size_bytes(&self) -> u64 {
         match self {
             Payload::F32(v) => (v.len() * 4) as u64,
+            Payload::Half { bits, .. } => (bits.len() * 2) as u64,
+            Payload::Sparse { idx, .. } => (idx.len() * 8) as u64,
             Payload::Bytes(b) => b.len() as u64,
             Payload::Synthetic { bytes } => *bytes,
         }
@@ -36,8 +58,22 @@ impl Payload {
     pub fn host_bytes(&self) -> u64 {
         match self {
             Payload::F32(v) => (v.len() * 4) as u64,
+            Payload::Half { bits, .. } => (bits.len() * 2) as u64,
+            Payload::Sparse { idx, .. } => (idx.len() * 8) as u64,
             Payload::Bytes(b) => b.len() as u64,
             Payload::Synthetic { .. } => 0,
+        }
+    }
+
+    /// Short variant name for diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Payload::F32(_) => "F32",
+            Payload::Half { fp16: false, .. } => "Half(bf16)",
+            Payload::Half { fp16: true, .. } => "Half(fp16)",
+            Payload::Sparse { .. } => "Sparse",
+            Payload::Bytes(_) => "Bytes",
+            Payload::Synthetic { .. } => "Synthetic",
         }
     }
 
@@ -46,6 +82,14 @@ impl Payload {
         match self {
             Payload::F32(v) => v,
             other => panic!("expected F32 payload, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a sparse payload's (indices, values) pair.
+    pub fn into_sparse(self) -> (Vec<u32>, Vec<f32>) {
+        match self {
+            Payload::Sparse { idx, val } => (idx, val),
+            other => panic!("expected Sparse payload, got {other:?}"),
         }
     }
 
@@ -88,12 +132,32 @@ mod tests {
     fn payload_sizes() {
         assert_eq!(Payload::F32(vec![0.0; 3]).size_bytes(), 12);
         assert_eq!(Payload::Bytes(vec![0u8; 5]).size_bytes(), 5);
+        let half = Payload::Half {
+            bits: vec![0; 6],
+            fp16: false,
+        };
+        assert_eq!(half.size_bytes(), 12);
+        assert_eq!(half.host_bytes(), 12);
+        let sparse = Payload::Sparse {
+            idx: vec![0, 4, 9],
+            val: vec![1.0, 2.0, 3.0],
+        };
+        assert_eq!(sparse.size_bytes(), 24);
+        assert_eq!(sparse.host_bytes(), 24);
     }
 
     #[test]
     fn unwrap_round_trip() {
         assert_eq!(Payload::F32(vec![1.0]).into_f32(), vec![1.0]);
         assert_eq!(Payload::Bytes(vec![7]).into_bytes(), vec![7]);
+        assert_eq!(
+            Payload::Sparse {
+                idx: vec![2],
+                val: vec![5.0]
+            }
+            .into_sparse(),
+            (vec![2], vec![5.0])
+        );
     }
 
     #[test]

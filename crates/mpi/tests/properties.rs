@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use dlsr_mpi::collectives::{
-    allgather, allreduce_op, allreduce_with, barrier, bcast, AllreduceAlgorithm, ReduceOp,
-};
+use dlsr_mpi::collectives::{allgather, barrier, bcast, Allreduce, AllreduceAlgorithm, ReduceOp};
 use dlsr_mpi::{MpiConfig, MpiWorld, Payload};
 use dlsr_net::ClusterTopology;
 
@@ -43,7 +41,7 @@ proptest! {
         let res = MpiWorld::run(&t, cfg, move |c| {
             let mut buf: Vec<f32> =
                 (0..len).map(|i| ((c.rank() * 13 + i * 7) % 23) as f32).collect();
-            allreduce_with(c, &mut buf, 1, algo);
+            Allreduce::new(&mut buf).buf_id(1).algo(algo).run(c);
             buf
         });
         let want: Vec<f32> = (0..len)
@@ -116,7 +114,7 @@ proptest! {
             barrier(c);
             let t1 = c.now();
             let mut buf = vec![1.0f32; 64];
-            allreduce_with(c, &mut buf, 1, AllreduceAlgorithm::Ring);
+            Allreduce::new(&mut buf).buf_id(1).algo(AllreduceAlgorithm::Ring).run(c);
             let t2 = c.now();
             (t0, t1, t2)
         });
@@ -141,7 +139,7 @@ proptest! {
         let t = topo(nodes, 4);
         let real = MpiWorld::run(&t, MpiConfig::mpi_opt(), move |c| {
             let mut buf = vec![1.0f32; elems];
-            allreduce_with(c, &mut buf, 1, algo);
+            Allreduce::new(&mut buf).buf_id(1).algo(algo).run(c);
             c.now()
         })
         .makespan();
@@ -173,7 +171,7 @@ proptest! {
         let res = MpiWorld::run(&t, MpiConfig::mpi_opt(), move |c| {
             let mut buf: Vec<f32> =
                 (0..len).map(|i| ((c.rank() * 31 + i * 11) % 29) as f32 - 14.0).collect();
-            allreduce_op(c, &mut buf, 1, algo, op);
+            Allreduce::new(&mut buf).buf_id(1).algo(algo).op(op).run(c);
             buf
         });
         let want: Vec<f32> = (0..len)

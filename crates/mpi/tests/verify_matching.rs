@@ -12,7 +12,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
-use dlsr_mpi::collectives::{allreduce, allreduce_with, barrier, AllreduceAlgorithm};
+use dlsr_mpi::collectives::{barrier, Allreduce, AllreduceAlgorithm, WireFormat};
 use dlsr_mpi::verify::{self, ViolationKind};
 use dlsr_mpi::{MpiConfig, MpiWorld};
 use dlsr_net::ClusterTopology;
@@ -49,11 +49,14 @@ fn clean_world_passes_and_reports_a_summary() {
     let _ = verify::take_violations();
     let res = MpiWorld::run(&topo(), MpiConfig::mpi_opt(), |c| {
         let mut grads = vec![c.rank() as f32; 64];
-        allreduce(c, &mut grads, 1);
+        Allreduce::new(&mut grads).buf_id(1).run(c);
         barrier(c);
         c.verify_checkpoint("negotiate", 1);
         let mut more = vec![1.0f32; 8];
-        allreduce_with(c, &mut more, 2, AllreduceAlgorithm::Ring);
+        Allreduce::new(&mut more)
+            .buf_id(2)
+            .algo(AllreduceAlgorithm::Ring)
+            .run(c);
         grads[0]
     });
     assert!(res.ranks.iter().all(|&v| v == 6.0));
@@ -73,7 +76,7 @@ fn skewed_element_count_on_rank_1_is_detected() {
         // Rank 1 contributes 9 elements where everyone else sends 8.
         let elems = if c.rank() == 1 { 9 } else { 8 };
         let mut grads = vec![1.0f32; elems];
-        allreduce(c, &mut grads, 1);
+        Allreduce::new(&mut grads).buf_id(1).run(c);
         grads.len()
     });
     assert_eq!(violations.len(), 1, "{violations:?}");
@@ -95,7 +98,7 @@ fn skewed_tag_via_extra_collective_is_detected() {
             barrier(c);
         }
         let mut grads = vec![1.0f32; 16];
-        allreduce(c, &mut grads, 1);
+        Allreduce::new(&mut grads).buf_id(1).run(c);
         barrier(c);
         0
     });
@@ -113,7 +116,7 @@ fn skewed_algorithm_bin_is_detected() {
             AllreduceAlgorithm::Ring
         };
         let mut grads = vec![1.0f32; 32];
-        allreduce_with(c, &mut grads, 1, algo);
+        Allreduce::new(&mut grads).buf_id(1).algo(algo).run(c);
         0
     });
     assert_eq!(violations.len(), 1, "{violations:?}");
@@ -121,6 +124,35 @@ fn skewed_algorithm_bin_is_detected() {
     assert!(
         violations[0].detail.contains("ring") && violations[0].detail.contains("rd"),
         "detail names both algorithm bins: {}",
+        violations[0].detail
+    );
+}
+
+#[test]
+fn skewed_wire_format_is_detected() {
+    let _g = WORLD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let violations = run_expecting_abort(|c| {
+        // Rank 1 compresses to bf16 while everyone else sends f32: the
+        // dtype slot of the collective signature must catch this at the
+        // rendezvous — never a hang or a payload decode panic.
+        let wf = if c.rank() == 1 {
+            WireFormat::Bf16
+        } else {
+            WireFormat::F32
+        };
+        let mut grads = vec![1.0f32; 32];
+        Allreduce::new(&mut grads)
+            .buf_id(1)
+            .algo(AllreduceAlgorithm::Ring)
+            .wire(wf)
+            .run(c);
+        0
+    });
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].kind, ViolationKind::CollectiveMismatch);
+    assert!(
+        violations[0].detail.contains("dtype=f32") && violations[0].detail.contains("dtype=bf16"),
+        "detail names both wire formats: {}",
         violations[0].detail
     );
 }

@@ -21,7 +21,7 @@
 //! hop between nodes).
 
 #![forbid(unsafe_code)]
-use dlsr_mpi::collectives::{allreduce_with, AllreduceAlgorithm};
+use dlsr_mpi::collectives::{Allreduce, AllreduceAlgorithm};
 use dlsr_mpi::{Comm, PathPolicy};
 
 /// The NCCL-like backend entry points (`ncclAllReduce`, `ncclBroadcast`).
@@ -31,7 +31,10 @@ impl Nccl {
     /// Sum-allreduce `buf` across all ranks (ring algorithm, own IPC).
     pub fn all_reduce(comm: &mut Comm, buf: &mut Vec<f32>, buf_id: u64) {
         comm.set_path_policy(PathPolicy::NcclLike);
-        allreduce_with(comm, buf, buf_id, AllreduceAlgorithm::Ring);
+        Allreduce::new(buf)
+            .buf_id(buf_id)
+            .algo(AllreduceAlgorithm::Ring)
+            .run(comm);
         comm.set_path_policy(PathPolicy::Mpi);
     }
 
@@ -96,7 +99,8 @@ mod tests {
         .makespan();
         let t_mpi = MpiWorld::run(&topo, MpiConfig::default_mpi(), move |c| {
             let mut buf = vec![1.0f32; len];
-            dlsr_mpi::collectives::allreduce(c, &mut buf, 1);
+            let algo = c.config().allreduce;
+            Allreduce::new(&mut buf).buf_id(1).algo(algo).run(c);
             c.now()
         })
         .makespan();

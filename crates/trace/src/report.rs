@@ -49,6 +49,15 @@ pub mod keys {
     /// barrier) — the denominator `dlsr analyze` sanity-checks its
     /// happens-before edge count against.
     pub const MPI_COLLECTIVES: &str = "mpi.collectives";
+    /// Bytes a gradient allreduce puts on the wire under its chosen
+    /// [`WireFormat`] (per rank, per collective: the encoded size of the
+    /// full buffer — a compression-ratio counter, not link traffic).
+    ///
+    /// [`WireFormat`]: https://docs.rs/dlsr-mpi
+    pub const WIRE_BYTES: &str = "mpi.wire_bytes";
+    /// The same buffers' dense f32 size: `wire_dense_bytes / wire_bytes`
+    /// is the achieved wire compression ratio.
+    pub const WIRE_DENSE_BYTES: &str = "mpi.wire_dense_bytes";
     /// Prefix of the per-microkernel tile counters the GEMM engine emits
     /// (`gemm.variant.<kernel>` — e.g. `gemm.variant.avx512_8x32`); the
     /// suffix is the kernel name the shape-keyed selector resolved to.
@@ -210,6 +219,46 @@ impl Deserialize for FaultSummary {
     }
 }
 
+/// Wire-format activity of the gradient allreduces: bytes actually put on
+/// the wire under the chosen [`WireFormat`]s vs the dense f32 bytes they
+/// stand in for (all zeros — and the render line suppressed — when every
+/// collective ran plain f32 or no gradient allreduce was traced).
+///
+/// `Deserialize` is hand-written so reports recorded before compressed
+/// wire formats existed (no `wire` key → `Null`) lift to the all-zero
+/// default.
+///
+/// [`WireFormat`]: https://docs.rs/dlsr-mpi
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct WireSummary {
+    /// Encoded bytes across all traced gradient allreduces
+    /// ([`keys::WIRE_BYTES`]).
+    pub wire_bytes: u64,
+    /// Dense f32 bytes the same buffers would have occupied
+    /// ([`keys::WIRE_DENSE_BYTES`]).
+    pub dense_bytes: u64,
+    /// `dense_bytes / wire_bytes` — the achieved wire compression ratio
+    /// (1.0 for pure f32 traffic, 0.0 when nothing was traced).
+    pub ratio: f64,
+}
+
+impl Deserialize for WireSummary {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if v.is_null() {
+            return Ok(Self::default());
+        }
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::msg("expected object for WireSummary"))?;
+        let num = |k: &str| obj.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0);
+        Ok(WireSummary {
+            wire_bytes: num("wire_bytes") as u64,
+            dense_bytes: num("dense_bytes") as u64,
+            ratio: num("ratio"),
+        })
+    }
+}
+
 /// Min/mean/max across ranks for the headline columns.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct StepSkew {
@@ -311,6 +360,10 @@ pub struct StepReport {
     /// Fault-injection activity (reports written before this field existed
     /// deserialize with all zeros — see [`FaultSummary`]'s `Deserialize`).
     pub faults: FaultSummary,
+    /// Wire-compression activity of the gradient allreduces (reports
+    /// written before compressed wire formats existed deserialize with all
+    /// zeros — see [`WireSummary`]'s `Deserialize`).
+    pub wire: WireSummary,
     /// Microkernel-variant tile counts from the `gemm.variant.*` counters:
     /// which SIMD kernel served how many register tiles this run. Empty for
     /// reports written before the SIMD engine existed.
@@ -532,6 +585,18 @@ impl StepReport {
             restores: counter_u64(counters, keys::FAULT_RESTORES),
         };
 
+        let wire_bytes = counter_u64(counters, keys::WIRE_BYTES);
+        let dense_bytes = counter_u64(counters, keys::WIRE_DENSE_BYTES);
+        let wire = WireSummary {
+            wire_bytes,
+            dense_bytes,
+            ratio: if wire_bytes > 0 {
+                dense_bytes as f64 / wire_bytes as f64
+            } else {
+                0.0
+            },
+        };
+
         StepReport {
             scenario: String::new(),
             world: ranks.len(),
@@ -546,6 +611,7 @@ impl StepReport {
             transfers,
             scratch,
             faults,
+            wire,
             gemm_variants,
             percentiles,
             critical_path: None,
@@ -719,6 +785,14 @@ impl StepReport {
                 ));
             }
         }
+        if self.wire != WireSummary::default() {
+            out.push_str(&format!(
+                "wire: {:.2} MB on the wire for {:.2} MB dense f32 (compression {:.2}x)\n",
+                self.wire.wire_bytes as f64 / 1e6,
+                self.wire.dense_bytes as f64 / 1e6,
+                self.wire.ratio,
+            ));
+        }
         if self.faults != FaultSummary::default() {
             out.push_str(&format!(
                 "faults: {} retries ({} lost, {} corrupt), backoff {:.3} ms, degraded {:.3} ms, \
@@ -740,6 +814,30 @@ impl StepReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Remove `"key":{...},` from a compact JSON encoding, simulating a
+    /// report written before the field existed.
+    fn strip_object_key(compact: &str, key: &str) -> String {
+        let start = compact.find(&format!("\"{key}\":")).unwrap();
+        let obj_start = start + compact[start..].find('{').unwrap();
+        let mut depth = 0usize;
+        let mut end = obj_start;
+        for (i, c) in compact[obj_start..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = obj_start + i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let rest = compact[end..].strip_prefix(',').unwrap_or(&compact[end..]);
+        format!("{}{}", &compact[..start], rest)
+    }
 
     fn ev(name: &str, cat_: &str, rank: usize, s: f64, e: f64, clock: Clock) -> TraceEvent {
         TraceEvent {
@@ -872,6 +970,31 @@ mod tests {
     }
 
     #[test]
+    fn wire_summary_follows_counters_and_renders() {
+        let mut counters = BTreeMap::new();
+        counters.insert(keys::WIRE_BYTES.to_string(), 16e6);
+        counters.insert(keys::WIRE_DENSE_BYTES.to_string(), 32e6);
+        let rep = StepReport::build(&[], &counters);
+        assert_eq!(rep.wire.wire_bytes, 16_000_000);
+        assert_eq!(rep.wire.dense_bytes, 32_000_000);
+        assert!((rep.wire.ratio - 2.0).abs() < 1e-12);
+        let text = rep.render();
+        assert!(
+            text.contains("wire: 16.00 MB on the wire for 32.00 MB dense f32 (compression 2.00x)"),
+            "{text}"
+        );
+        // Runs with no traced gradient allreduce suppress the line.
+        let rep = StepReport::build(&[], &BTreeMap::new());
+        assert_eq!(rep.wire, WireSummary::default());
+        assert!(!rep.render().contains("wire:"));
+        // Pre-wire reports (no `wire` key) lift from Null to zeros.
+        let compact = serde_json::to_string(&StepReport::default()).unwrap();
+        let stripped = strip_object_key(&compact, "wire");
+        let old: StepReport = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old.wire, WireSummary::default());
+    }
+
+    #[test]
     fn fault_summary_follows_counters_and_renders() {
         let mut counters = BTreeMap::new();
         counters.insert(keys::FAULT_RETRIES.to_string(), 7.0);
@@ -896,25 +1019,7 @@ mod tests {
         // Pre-faults reports (no `faults` field) still deserialize: strip
         // the key from the compact encoding and round-trip.
         let compact = serde_json::to_string(&rep).unwrap();
-        let start = compact.find("\"faults\":").unwrap();
-        let obj_start = start + compact[start..].find('{').unwrap();
-        let mut depth = 0usize;
-        let mut end = obj_start;
-        for (i, c) in compact[obj_start..].char_indices() {
-            match c {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = obj_start + i + 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        let rest = compact[end..].strip_prefix(',').unwrap_or(&compact[end..]);
-        let stripped = format!("{}{}", &compact[..start], rest);
+        let stripped = strip_object_key(&compact, "faults");
         let old: StepReport = serde_json::from_str(&stripped).unwrap();
         assert_eq!(old.faults, FaultSummary::default());
     }

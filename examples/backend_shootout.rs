@@ -24,7 +24,9 @@ fn main() {
             let t0 = c.now();
             match sc.backend() {
                 Backend::Nccl => Nccl::all_reduce(c, &mut buf, 1),
-                Backend::Mpi => collectives::allreduce(c, &mut buf, 1),
+                Backend::Mpi => {
+                    Allreduce::new(&mut buf).buf_id(1).run(c);
+                }
             }
             let elapsed = c.now() - t0;
             // verify against the sequential sum

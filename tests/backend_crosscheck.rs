@@ -2,7 +2,7 @@
 //! must produce bit-comparable reductions, and the NCCL backend must be
 //! immune to the `CUDA_VISIBLE_DEVICES` conflict that breaks default MPI.
 
-use dlsr::mpi::collectives::{allreduce_with, AllreduceAlgorithm};
+use dlsr::mpi::collectives::{Allreduce, AllreduceAlgorithm};
 use dlsr::prelude::*;
 
 fn expected_sum(p: usize, len: usize) -> Vec<f32> {
@@ -28,7 +28,7 @@ fn all_algorithms_and_backends_agree() {
     ] {
         let res = MpiWorld::run(&topo, MpiConfig::mpi_opt(), move |c| {
             let mut buf = input(c.rank(), len);
-            allreduce_with(c, &mut buf, 1, algo);
+            Allreduce::new(&mut buf).buf_id(1).algo(algo).run(c);
             buf
         });
         for (r, got) in res.ranks.iter().enumerate() {
@@ -57,7 +57,7 @@ fn nccl_uses_nvlink_under_the_broken_default_env() {
         Nccl::all_reduce(c, &mut buf, 1);
         let nccl_nvlink = c.stats().nvlink_bytes;
         let mut buf2 = vec![1.0f32; len];
-        dlsr::mpi::collectives::allreduce(c, &mut buf2, 2);
+        Allreduce::new(&mut buf2).buf_id(2).run(c);
         let mpi_staged = c.stats().staged_bytes;
         (nccl_nvlink, mpi_staged)
     });
@@ -74,7 +74,7 @@ fn mpi_opt_matches_default_numerically_but_is_faster_on_large_buffers() {
     let run = |cfg: MpiConfig| {
         MpiWorld::run(&topo, cfg, move |c| {
             let mut buf = input(c.rank(), len);
-            dlsr::mpi::collectives::allreduce(c, &mut buf, 1);
+            Allreduce::new(&mut buf).buf_id(1).run(c);
             (buf[12345], c.now())
         })
     };
